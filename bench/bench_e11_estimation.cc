@@ -1,0 +1,89 @@
+// Experiment E11 — estimation accuracy of the statistics substrate.
+//
+// Cost-based choice is only as good as its cardinality estimates (the
+// paper's Section 5 presumes a cost model; this harness quantifies ours).
+// For selection, join, and group-by operators over skewed and uniform data,
+// the optimizer's row estimate is compared with the true cardinality; the
+// reported q-error is max(est/actual, actual/est).
+#include <cmath>
+
+#include "bench_util.h"
+#include "optimizer/plan_validator.h"
+
+namespace aggview {
+namespace bench {
+namespace {
+
+std::string FmtQ(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+double QError(double est, double actual) {
+  est = std::max(est, 1.0);
+  actual = std::max(actual, 1.0);
+  return std::max(est / actual, actual / est);
+}
+
+void Run() {
+  Banner("E11", "cardinality estimation accuracy (q-error)");
+
+  TablePrinter table({"skew", "operator", "est_rows", "actual", "q_error"});
+  for (double skew : {0.0, 1.1}) {
+    DbgenOptions options;
+    options.scale_factor = 0.005;
+    options.skew = skew;
+    TpcdDb db = MakeTpcdDb(options);
+
+    struct Probe {
+      const char* op;
+      std::string sql;
+    };
+    std::vector<Probe> probes = {
+        {"selection", "select l.l_orderkey from lineitem l where "
+                      "l.l_shipdate < 400"},
+        {"selection", "select l.l_orderkey from lineitem l where "
+                      "l.l_quantity > 40"},
+        {"fk-join", "select l.l_orderkey from lineitem l, orders o where "
+                    "l.l_orderkey = o.o_orderkey"},
+        {"fanout-join", "select l.l_orderkey from lineitem l, partsupp ps "
+                        "where l.l_partkey = ps.ps_partkey"},
+        {"group-by", "select l.l_partkey, count(*) from lineitem l group by "
+                     "l.l_partkey"},
+        {"skewed-eq", "select l.l_orderkey from lineitem l where "
+                      "l.l_partkey = 1"},
+        {"join+group", "select l.l_suppkey, sum(l.l_extendedprice) from "
+                       "lineitem l, supplier s where l.l_suppkey = "
+                       "s.s_suppkey and s.s_acctbal > 5000 group by "
+                       "l.l_suppkey"},
+    };
+    for (const Probe& probe : probes) {
+      auto query = ParseAndBind(*db.catalog, probe.sql);
+      if (!query.ok()) std::abort();
+      auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
+      if (!optimized.ok()) std::abort();
+      auto result = ExecutePlan(optimized->plan, optimized->query, nullptr);
+      if (!result.ok()) std::abort();
+      double est = optimized->plan->est.rows;
+      double actual = static_cast<double>(result->rows.size());
+      table.Row({skew == 0.0 ? "uniform" : "zipf1.1", probe.op, Fmt(est),
+                 Fmt(actual), FmtQ(QError(est, actual))});
+    }
+  }
+  std::printf(
+      "\nExpected shape: q-errors near 1 for selections (equi-depth\n"
+      "histograms), FK joins and group-bys; the familiar blowup appears on\n"
+      "equality against a skewed column ('skewed-eq' under zipf), where the\n"
+      "uniform-frequency assumption — which the paper's cost-based framework\n"
+      "inherits from System R — breaks down.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aggview
+
+int main() {
+  aggview::bench::Run();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Experiment E2 — Example 2 + Figure 2(a) (invariant grouping push-down).
+//
+// The paper's Example 2 computes the average salary per department with
+// budget < 1M. Invariant grouping lets the group-by move below the dept
+// join (D1/D2). The benefit is two-sided: a selective budget predicate
+// favors the lazy plan (aggregate the few surviving employees), while a
+// wide grouping key that includes dept columns favors the early plan
+// (aggregate the narrow emp rows before widening the join).
+//
+// Part 1 sweeps the budget-predicate selectivity for the paper's exact
+// query. Part 2 repeats the sweep for the (dno, budget)-grouped variant,
+// where early aggregation becomes profitable. "lazy" = group-by after all
+// joins (traditional); "early" = greedy conservative enumeration allowed to
+// push (what Section 5.2 adds); both columns are estimated IO, with the
+// measured IO of the chosen plan.
+#include "bench_util.h"
+#include "optimizer/join_enumerator.h"
+
+namespace aggview {
+namespace bench {
+namespace {
+
+bool PlanHasGroupByBelowJoin(const PlanPtr& plan, bool under_join = false) {
+  if (plan == nullptr) return false;
+  if (plan->kind == PlanNode::Kind::kGroupBy && under_join) return true;
+  bool join = under_join || plan->kind == PlanNode::Kind::kJoin;
+  return PlanHasGroupByBelowJoin(plan->left, join) ||
+         PlanHasGroupByBelowJoin(plan->right, join);
+}
+
+void Sweep(const char* title, const std::string& select_clause,
+           const std::string& group_clause) {
+  std::printf("\n--- %s ---\n", title);
+  TablePrinter table({"budget<", "sel%", "lazy_est", "early_est", "pick",
+                      "pick_io", "pushed?"});
+  for (double cutoff : {200'000.0, 600'000.0, 1'000'000.0, 5'000'000.0}) {
+    EmpDeptOptions data;
+    data.num_employees = 32'000;
+    data.num_departments = 2'000;
+    data.budget_below_1m_fraction = 0.5;
+    EmpDeptDb db = MakeEmpDeptDb(data);
+
+    std::string sql = select_clause + " from emp e, dept d where e.dno = d.dno"
+                      " and d.budget < " + std::to_string(static_cast<int64_t>(cutoff)) +
+                      " " + group_clause;
+
+    RunOutcome lazy = RunConfig(*db.catalog, sql, TraditionalOptions());
+
+    auto query = ParseAndBind(*db.catalog, sql);
+    if (!query.ok()) std::abort();
+    auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
+    if (!optimized.ok()) std::abort();
+    IoAccountant io;
+    auto result = ExecutePlan(optimized->plan, optimized->query, &io);
+    if (!result.ok()) std::abort();
+
+    // Selectivity of the budget predicate (budgets: half in [100k,1M), half
+    // in [1M,5M)).
+    double sel;
+    if (cutoff <= 1'000'000.0) {
+      sel = 0.5 * (cutoff - 100'000.0) / 900'000.0;
+    } else {
+      sel = 0.5 + 0.5 * (cutoff - 1'000'000.0) / 4'000'000.0;
+    }
+    bool pushed = PlanHasGroupByBelowJoin(optimized->plan);
+    table.Row({Fmt(cutoff), Fmt(sel * 100.0), Fmt(lazy.estimated),
+               Fmt(optimized->plan->cost),
+               pushed ? "early" : "lazy", Fmt(io.total()),
+               pushed ? "yes" : "no"});
+  }
+}
+
+void Run() {
+  Banner("E2", "invariant grouping (paper Example 2 / Figure 2a)");
+  Sweep("paper's Example 2: group by e.dno", "select e.dno, avg(e.sal)",
+        "group by e.dno");
+  Sweep("variant: group by (e.dno, d.budget) — wide lazy aggregation",
+        "select e.dno, d.budget, avg(e.sal)", "group by e.dno, d.budget");
+  std::printf(
+      "\nExpected shape: in the exact Example 2, the lazy plan tracks the\n"
+      "selectivity (cheap at selective cutoffs) and early aggregation is\n"
+      "never chosen against it; in the wide-grouping variant the early plan\n"
+      "wins once the lazy aggregation input outweighs the emp-only input.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aggview
+
+int main() {
+  aggview::bench::Run();
+  return 0;
+}

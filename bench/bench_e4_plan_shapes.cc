@@ -1,0 +1,113 @@
+// Experiment E4 — Figure 4 (alternative executions by pushing and pulling
+// up the group-by).
+//
+// Figure 4 shows four plan shapes for a query with one aggregate view:
+//   (a) traditional      — view optimized locally, group-by above its joins;
+//   (b) push group-by    — group-by pushed below the view's own joins
+//                          (invariant grouping, Section 4.1);
+//   (c) pull-up          — group-by deferred past the outer join (Section 3);
+//   (d) push + pull-up   — both: outer relations reordered into the view
+//                          block while the group-by moves inward.
+//
+// The query is Example 2 phrased as a view (avg salary per department with
+// a budget predicate) joined with an age-filtered emp. Each shape is forced
+// through the corresponding optimizer configuration; "best" is the full
+// cost-based optimizer of Section 5.3, which should track the minimum.
+#include "bench_util.h"
+#include "transform/pullup.h"
+#include "transform/pushdown.h"
+
+namespace aggview {
+namespace bench {
+namespace {
+
+std::string QuerySql(int age_cutoff, int64_t budget_cutoff) {
+  return R"sql(
+create view c (dno, asal) as
+  select e2.dno, avg(e2.sal)
+  from emp e2, dept d2
+  where e2.dno = d2.dno and d2.budget < )sql" +
+         std::to_string(budget_cutoff) + R"sql(
+  group by e2.dno;
+select e1.sal
+from emp e1, c
+where e1.dno = c.dno and e1.age < )sql" +
+         std::to_string(age_cutoff) + " and e1.sal > c.asal";
+}
+
+RunOutcome RunShape(const Catalog& catalog, const std::string& sql,
+                    bool push, bool pull) {
+  auto query = ParseAndBind(catalog, sql);
+  if (!query.ok()) std::abort();
+  Query shaped = *query;
+  if (pull) {
+    // Defer the view's group-by past the e1 join.
+    auto pulled = PullUpIntoView(shaped, 0, {shaped.base_rels()[0]});
+    if (!pulled.ok()) std::abort();
+    shaped = std::move(pulled).value();
+  }
+  OptimizerOptions options = TraditionalOptions();
+  if (push) {
+    // Allow the group-by to move below joins inside its block. When the
+    // query was pulled up first (shape d), keep the extended view intact
+    // (shrinking would undo the pull-up) and let the in-block enumeration
+    // place the deferred group-by between the joins — Figure 4(d).
+    options.shrink_views = !pull;
+    options.enumerator.greedy_aggregation = true;
+    options.enumerator.enable_invariant = true;
+    options.enumerator.enable_coalescing = true;
+  }
+  auto optimized = OptimizeQueryWithAggViews(shaped, options);
+  if (!optimized.ok()) std::abort();
+  RunOutcome out;
+  out.estimated = optimized->plan->cost;
+  IoAccountant io;
+  auto result = ExecutePlan(optimized->plan, optimized->query, &io);
+  if (!result.ok()) std::abort();
+  out.measured = io.total();
+  return out;
+}
+
+void Run() {
+  Banner("E4", "four plan shapes (paper Figure 4)");
+  std::printf(
+      "(a) traditional, (b) push-down inside the view, (c) pull-up past the\n"
+      "outer join, (d) both. 'best' = full cost-based optimizer (Section 5.3).\n"
+      "emp 50000 rows, dept 15000 rows.\n\n");
+
+  TablePrinter table({"age<", "budget<", "a_est", "b_est", "c_est", "d_est",
+                      "best_est", "best_io"}, 11);
+
+  EmpDeptOptions data;
+  data.num_employees = 50'000;
+  data.num_departments = 15'000;
+  data.young_fraction = 4.0 / 48.0;  // uniform ages
+  EmpDeptDb db = MakeEmpDeptDb(data);
+
+  for (int age : {20, 40, 64}) {
+    for (int64_t budget : {400'000, 5'000'000}) {
+      std::string sql = QuerySql(age, budget);
+      RunOutcome a = RunShape(*db.catalog, sql, false, false);
+      RunOutcome b = RunShape(*db.catalog, sql, true, false);
+      RunOutcome c = RunShape(*db.catalog, sql, false, true);
+      RunOutcome d = RunShape(*db.catalog, sql, true, true);
+      RunOutcome best = RunConfig(*db.catalog, sql, OptimizerOptions{});
+      table.Row({Fmt(static_cast<int64_t>(age)), Fmt(budget), Fmt(a.estimated),
+                 Fmt(b.estimated), Fmt(c.estimated), Fmt(d.estimated),
+                 Fmt(best.estimated), Fmt(best.measured)});
+    }
+  }
+  std::printf(
+      "\nExpected shape: no single column dominates — (c)/(d) win at\n"
+      "selective age predicates, (a)/(b) at unselective ones — and best_est\n"
+      "<= min(a,b,c,d) everywhere (Section 5's no-worse guarantee).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aggview
+
+int main() {
+  aggview::bench::Run();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Experiment E5 — Figure 5 (the two-phase optimization steps for a query
+// with multiple aggregate views).
+//
+// Figure 5 walks through Step 1 (optimize each "extended" view for every
+// pull-up subset W) and Step 2 (pick consistent, disjoint assignments and
+// order the composites with the remaining relations). This harness runs the
+// two-view query
+//
+//   emp e1 ⋈ v1(avg sal per dept) ⋈ v2(max age per dept)
+//
+// and prints every enumerated assignment with its estimated cost — the
+// concrete version of the figure's candidate set {V1, Φ(V1,B1), ...} — plus
+// the chosen plan and the traditional baseline.
+#include "bench_util.h"
+
+namespace aggview {
+namespace bench {
+namespace {
+
+void Run() {
+  Banner("E5", "multi-view two-phase optimization (paper Figure 5)");
+
+  EmpDeptOptions data;
+  data.num_employees = 50'000;
+  data.num_departments = 15'000;
+  data.young_fraction = 4.0 / 48.0;
+  EmpDeptDb db = MakeEmpDeptDb(data);
+
+  std::string sql = R"sql(
+create view v1 (dno, asal) as
+  select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
+create view v2 (dno, mage) as
+  select e3.dno, max(e3.age) from emp e3 group by e3.dno;
+select e1.sal
+from emp e1, v1, v2
+where e1.dno = v1.dno and e1.sal > v1.asal
+  and e1.dno = v2.dno and e1.age < v2.mage
+)sql";
+
+  auto query = ParseAndBind(*db.catalog, sql);
+  if (!query.ok()) std::abort();
+  auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
+  if (!optimized.ok()) std::abort();
+
+  std::printf("assignments enumerated (Step 1 candidates x Step 2 orders):\n\n");
+  TablePrinter table({"assignment", "est_cost"}, 34);
+  for (const PlanAlternative& alt : optimized->alternatives) {
+    table.Row({alt.description, Fmt(alt.cost)});
+  }
+
+  IoAccountant io;
+  auto result = ExecutePlan(optimized->plan, optimized->query, &io);
+  if (!result.ok()) std::abort();
+  std::printf("\nchosen: %s  est=%.1f  measured_io=%lld  rows=%zu\n",
+              optimized->description.c_str(), optimized->plan->cost,
+              static_cast<long long>(io.total()), result->rows.size());
+  std::printf("joins considered: %lld, early group-by placements: %lld\n",
+              static_cast<long long>(optimized->counters.joins_considered),
+              static_cast<long long>(optimized->counters.groupby_placements));
+  std::printf(
+      "\nExpected shape: disjoint W assignments only (e1 pulled into at most\n"
+      "one view); the chosen assignment is the cost minimum and is no worse\n"
+      "than 'traditional two-phase'.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aggview
+
+int main() {
+  aggview::bench::Run();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Experiment E6 — Section 5's no-worse guarantee, quantified.
+//
+// "Furthermore, our cost-based optimization algorithm is guaranteed to pick
+// a plan that is no worse than the traditional optimization algorithm."
+//
+// This harness draws randomized databases (three size regimes) and random
+// queries from the aggregate-view family, optimizes each with both
+// algorithms, and reports the distribution of the cost ratio
+// traditional/extended. A single ratio below 1.0 would falsify the
+// guarantee; ratios above 1.0 are the paper's promised wins.
+#include <algorithm>
+#include <cmath>
+
+#include "bench_util.h"
+#include "common/random.h"
+
+namespace aggview {
+namespace bench {
+namespace {
+
+std::string RandomQuery(Rng* rng) {
+  switch (rng->Uniform(0, 3)) {
+    case 0: {  // aggregate-view join (Example 1 family)
+      const char* aggs[] = {"avg", "sum", "min", "max"};
+      std::string agg = aggs[rng->Uniform(0, 3)];
+      std::string sql = "create view v (dno, x) as select e2.dno, " + agg +
+                        "(e2.sal) from emp e2 group by e2.dno;\n";
+      sql += "select e1.sal from emp e1, v where e1.dno = v.dno and e1.sal " +
+             std::string(rng->Chance(0.5) ? ">" : "<") + " v.x";
+      if (rng->Chance(0.7)) {
+        sql += " and e1.age < " + std::to_string(rng->Uniform(20, 60));
+      }
+      return sql;
+    }
+    case 1:  // fan-out self-join under a top group-by (coalescing family)
+      return "select e.dno, sum(e.sal), count(*) from emp e, emp f "
+             "where e.dno = f.dno group by e.dno";
+    case 2:  // wide grouping key across the join (push-down family)
+      return "select e.dno, d.budget, avg(e.sal) from emp e, dept d "
+             "where e.dno = d.dno group by e.dno, d.budget";
+    default:  // Example 2 family
+      return "select e.dno, avg(e.sal) from emp e, dept d "
+             "where e.dno = d.dno and d.budget < " +
+             std::to_string(rng->Uniform(200'000, 4'000'000)) +
+             " group by e.dno";
+  }
+}
+
+std::string FmtRatio(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+void Run() {
+  Banner("E6", "no-worse-than-traditional guarantee (Section 5)");
+  const int kTrials = 60;
+
+  Rng rng(20260707);
+  int wins = 0, ties = 0, violations = 0;
+  double log_sum = 0.0;
+  double max_ratio = 1.0;
+  std::vector<double> ratios;
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    EmpDeptOptions data;
+    int64_t regimes[] = {1'000, 24'000, 64'000};
+    data.num_employees = regimes[trial % 3];
+    data.num_departments = 10 + rng.Uniform(0, 15'000);
+    data.young_fraction = rng.UniformReal(0.02, 0.3);
+    data.seed = static_cast<uint64_t>(trial);
+    EmpDeptDb db = MakeEmpDeptDb(data);
+
+    std::string sql = RandomQuery(&rng);
+    RunOutcome trad = RunConfig(*db.catalog, sql, TraditionalOptions(),
+                                /*execute=*/false);
+    RunOutcome ext = RunConfig(*db.catalog, sql, OptimizerOptions{},
+                               /*execute=*/false);
+    double ratio = trad.estimated / std::max(ext.estimated, 1e-9);
+    ratios.push_back(ratio);
+    log_sum += std::log(ratio);
+    max_ratio = std::max(max_ratio, ratio);
+    if (ratio > 1.0 + 1e-9) {
+      ++wins;
+    } else if (ratio >= 1.0 - 1e-9) {
+      ++ties;
+    } else {
+      ++violations;
+    }
+  }
+
+  TablePrinter table({"trials", "improved", "equal", "worse", "geomean",
+                      "max_ratio"});
+  table.Row({Fmt(static_cast<int64_t>(kTrials)), Fmt(static_cast<int64_t>(wins)),
+             Fmt(static_cast<int64_t>(ties)), Fmt(static_cast<int64_t>(violations)),
+             FmtRatio(std::exp(log_sum / kTrials)), FmtRatio(max_ratio)});
+
+  std::sort(ratios.begin(), ratios.end());
+  std::printf("\nratio percentiles (traditional / extended):\n");
+  TablePrinter pct({"p10", "p50", "p90", "p100"});
+  auto at = [&](double q) {
+    return ratios[static_cast<size_t>(q * (ratios.size() - 1))];
+  };
+  pct.Row({FmtRatio(at(0.10)), FmtRatio(at(0.50)), FmtRatio(at(0.90)),
+           FmtRatio(at(1.0))});
+  std::printf(
+      "\nExpected shape: worse = 0 (the guarantee), a substantial improved\n"
+      "fraction, and multi-x max ratios where pull-up/push-down apply.\n");
+  if (violations > 0) {
+    std::printf("GUARANTEE VIOLATED\n");
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aggview
+
+int main() {
+  aggview::bench::Run();
+  return 0;
+}

@@ -1,0 +1,130 @@
+#ifndef AGGVIEW_BENCH_BENCH_UTIL_H_
+#define AGGVIEW_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aggview.h"
+
+namespace aggview {
+namespace bench {
+
+/// Fixed-width table printer for experiment output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers, int width = 14)
+      : headers_(std::move(headers)), width_(width) {
+    for (const std::string& h : headers_) {
+      std::printf("%-*s", width_, h.c_str());
+    }
+    std::printf("\n");
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      std::printf("%-*s", width_, std::string(static_cast<size_t>(width_) - 2, '-').c_str());
+    }
+    std::printf("\n");
+  }
+
+  void Row(const std::vector<std::string>& cells) const {
+    for (const std::string& c : cells) {
+      std::printf("%-*s", width_, c.c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+inline std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+inline std::string Fmt(int64_t v) { return std::to_string(v); }
+
+/// Banner naming the experiment and its paper artifact.
+inline void Banner(const char* id, const char* what) {
+  std::printf("\n=== %s: %s ===\n", id, what);
+}
+
+/// emp/dept catalog + data (Examples 1 and 2).
+struct EmpDeptDb {
+  std::unique_ptr<Catalog> catalog = std::make_unique<Catalog>();
+  EmpDeptTables tables;
+};
+
+inline EmpDeptDb MakeEmpDeptDb(const EmpDeptOptions& options) {
+  EmpDeptDb db;
+  auto tables = CreateEmpDeptSchema(db.catalog.get());
+  if (!tables.ok()) {
+    std::fprintf(stderr, "schema: %s\n", tables.status().ToString().c_str());
+    std::abort();
+  }
+  db.tables = *tables;
+  Status st = GenerateEmpDeptData(db.catalog.get(), db.tables, options);
+  if (!st.ok()) {
+    std::fprintf(stderr, "dbgen: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  return db;
+}
+
+struct TpcdDb {
+  std::unique_ptr<Catalog> catalog = std::make_unique<Catalog>();
+  TpcdTables tables;
+};
+
+inline TpcdDb MakeTpcdDb(const DbgenOptions& options) {
+  TpcdDb db;
+  auto tables = CreateTpcdSchema(db.catalog.get());
+  if (!tables.ok()) std::abort();
+  db.tables = *tables;
+  Status st = GenerateTpcdData(db.catalog.get(), db.tables, options);
+  if (!st.ok()) std::abort();
+  return db;
+}
+
+/// Optimizes + executes under one configuration; returns estimated cost and
+/// measured IO.
+struct RunOutcome {
+  double estimated = 0.0;
+  int64_t measured = 0;
+  std::string description;
+};
+
+inline RunOutcome RunConfig(const Catalog& catalog, const std::string& sql,
+                            const OptimizerOptions& options,
+                            bool execute = true) {
+  auto query = ParseAndBind(catalog, sql);
+  if (!query.ok()) {
+    std::fprintf(stderr, "bind: %s\n%s\n", query.status().ToString().c_str(),
+                 sql.c_str());
+    std::abort();
+  }
+  auto optimized = OptimizeQueryWithAggViews(*query, options);
+  if (!optimized.ok()) {
+    std::fprintf(stderr, "optimize: %s\n", optimized.status().ToString().c_str());
+    std::abort();
+  }
+  RunOutcome outcome;
+  outcome.estimated = optimized->plan->cost;
+  outcome.description = optimized->description;
+  if (execute) {
+    IoAccountant io;
+    auto result = ExecutePlan(optimized->plan, optimized->query, &io);
+    if (!result.ok()) {
+      std::fprintf(stderr, "execute: %s\n", result.status().ToString().c_str());
+      std::abort();
+    }
+    outcome.measured = io.total();
+  }
+  return outcome;
+}
+
+}  // namespace bench
+}  // namespace aggview
+
+#endif  // AGGVIEW_BENCH_BENCH_UTIL_H_

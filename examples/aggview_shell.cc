@@ -1,0 +1,148 @@
+// Interactive shell: type SQL (the paper's subset) against a generated
+// database, see the chosen plan, alternatives, and results.
+//
+//   ./build/examples/aggview_shell            # emp/dept database
+//   ./build/examples/aggview_shell tpcd       # TPC-D style database
+//
+// Statements end with ';'. Scripts may define views first:
+//   create view v (dno, asal) as
+//     select e.dno, avg(e.sal) from emp e group by e.dno;
+//   select e1.sal from emp e1, v where e1.dno = v.dno and e1.sal > v.asal;
+// Meta commands: \help \tables \traditional (toggle) \quit
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "aggview.h"
+
+using namespace aggview;
+
+namespace {
+
+void PrintTables(const Catalog& catalog) {
+  for (int i = 0; i < catalog.num_tables(); ++i) {
+    const TableDef& def = catalog.table(static_cast<TableId>(i));
+    std::printf("  %-10s %8lld rows   (%s)\n", def.name.c_str(),
+                static_cast<long long>(def.stats.row_count),
+                def.schema.ToString().c_str());
+  }
+}
+
+void RunStatement(const Catalog& catalog, const std::string& sql,
+                  bool traditional) {
+  auto query = ParseAndBind(catalog, sql);
+  if (!query.ok()) {
+    std::printf("error: %s\n", query.status().ToString().c_str());
+    return;
+  }
+  auto optimized = traditional
+                       ? OptimizeTraditional(*query)
+                       : OptimizeQueryWithAggViews(*query, OptimizerOptions{});
+  if (!optimized.ok()) {
+    std::printf("error: %s\n", optimized.status().ToString().c_str());
+    return;
+  }
+  std::printf("-- plan (%s, est %.1f IO pages):\n%s",
+              optimized->description.c_str(), optimized->plan->cost,
+              PlanToString(optimized->plan, optimized->query).c_str());
+  if (optimized->alternatives.size() > 1) {
+    std::printf("-- alternatives considered: %zu\n",
+                optimized->alternatives.size());
+  }
+  IoAccountant io;
+  auto result = ExecutePlan(optimized->plan, optimized->query, &io);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("-- %zu rows, %lld IO pages measured\n", result->rows.size(),
+              static_cast<long long>(io.total()));
+  size_t shown = std::min<size_t>(result->rows.size(), 20);
+  std::printf("%s", QueryResult{result->layout,
+                                {result->rows.begin(),
+                                 result->rows.begin() + static_cast<long>(shown)}}
+                        .ToString(optimized->query.columns())
+                        .c_str());
+  if (shown < result->rows.size()) {
+    std::printf("... (%zu more)\n", result->rows.size() - shown);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Catalog catalog;
+  if (argc > 1 && std::string(argv[1]) == "tpcd") {
+    auto tables = CreateTpcdSchema(&catalog);
+    if (!tables.ok()) return 1;
+    DbgenOptions options;
+    options.scale_factor = 0.005;
+    if (!GenerateTpcdData(&catalog, *tables, options).ok()) return 1;
+  } else {
+    auto tables = CreateEmpDeptSchema(&catalog);
+    if (!tables.ok()) return 1;
+    if (!GenerateEmpDeptData(&catalog, *tables, EmpDeptOptions{}).ok()) return 1;
+  }
+
+  std::printf("aggview shell — cost-based optimization of aggregate views\n"
+              "(EDBT 1996 reproduction). \\help for help.\n\ntables:\n");
+  PrintTables(catalog);
+
+  bool traditional = false;
+  std::string buffer;
+  std::string line;
+  std::printf("\nsql> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+      if (line == "\\quit" || line == "\\q") break;
+      if (line == "\\tables") {
+        PrintTables(catalog);
+      } else if (line == "\\traditional") {
+        traditional = !traditional;
+        std::printf("optimizer: %s\n",
+                    traditional ? "traditional two-phase"
+                                : "cost-based with pull-up/push-down");
+      } else {
+        std::printf(
+            "\\tables        list tables\n"
+            "\\traditional   toggle traditional vs extended optimizer\n"
+            "\\quit          exit\n"
+            "Anything else: SQL, terminated by ';'.\n");
+      }
+      std::printf("sql> ");
+      std::fflush(stdout);
+      continue;
+    }
+    buffer += line;
+    buffer += "\n";
+    if (buffer.find(';') != std::string::npos &&
+        buffer.rfind(';') == buffer.find_last_not_of(" \t\n")) {
+      // Heuristic: run when the statement ends with ';' — but only if the
+      // script has balanced create-view statements (a ';' inside a script
+      // separates views; the final select also ends with ';').
+      size_t selects = 0;
+      for (size_t pos = 0; (pos = buffer.find("select", pos)) != std::string::npos;
+           ++pos) {
+        ++selects;
+      }
+      size_t views = 0;
+      for (size_t pos = 0; (pos = buffer.find("create view", pos)) !=
+                           std::string::npos;
+           ++pos) {
+        ++views;
+      }
+      size_t semis = 0;
+      for (char c : buffer) {
+        if (c == ';') ++semis;
+      }
+      if (semis >= views + 1 || views == 0) {
+        RunStatement(catalog, buffer, traditional);
+        buffer.clear();
+      }
+    }
+    std::printf(buffer.empty() ? "sql> " : "...> ");
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+#ifndef AGGVIEW_AGGVIEW_H_
+#define AGGVIEW_AGGVIEW_H_
+
+/// Umbrella header for the AggView library: cost-based optimization of
+/// queries with aggregate views (Chaudhuri & Shim, EDBT 1996).
+///
+/// Typical flow:
+///   Catalog catalog;                      // register tables + stats + data
+///   auto query = ParseAndBind(catalog, sql);           // sql/binder.h
+///   auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
+///   auto result = ExecutePlan(optimized->plan, optimized->query, &io);
+
+#include "algebra/query.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "exec/executor.h"
+#include "optimizer/aggview_optimizer.h"
+#include "optimizer/plan_validator.h"
+#include "optimizer/traditional.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+#include "tpcd/schema.h"
+#include "transform/coalescing.h"
+#include "transform/propagate.h"
+#include "transform/pullup.h"
+#include "transform/pushdown.h"
+
+#endif  // AGGVIEW_AGGVIEW_H_

@@ -1,0 +1,8 @@
+#include "algebra/column.h"
+
+namespace aggview {
+
+// RowLayout and ColumnCatalog are header-only; this translation unit exists
+// so the module has a home for future out-of-line definitions.
+
+}  // namespace aggview

@@ -1,0 +1,94 @@
+#ifndef AGGVIEW_ALGEBRA_COLUMN_H_
+#define AGGVIEW_ALGEBRA_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "types/data_type.h"
+
+namespace aggview {
+
+/// Query-global column identity.
+///
+/// Every occurrence of a base table in a query (each range variable) gets its
+/// own set of ColIds, and every aggregate result gets a fresh ColId. The
+/// transformations of the paper (pull-up, push-down) manipulate *column id
+/// sets*, never names, so self-joins like `emp e1, emp e2` in Example 1 are
+/// unambiguous.
+using ColId = int32_t;
+
+inline constexpr ColId kInvalidColId = -1;
+
+/// Metadata for one query-global column.
+struct ColumnInfo {
+  /// Display name, e.g. "e1.sal" or "avg(e2.sal)".
+  std::string name;
+  DataType type = DataType::kInt64;
+  /// Byte width used in row-width (and hence page-count) arithmetic.
+  int64_t width = 8;
+};
+
+/// Registry of all query-global columns of one query. Owned by the Query
+/// object; transformations allocate new columns (e.g. aggregate outputs)
+/// through it.
+class ColumnCatalog {
+ public:
+  ColId Add(std::string name, DataType type, int64_t width) {
+    columns_.push_back({std::move(name), type, width});
+    return static_cast<ColId>(columns_.size() - 1);
+  }
+  ColId Add(std::string name, DataType type) {
+    return Add(std::move(name), type, DataTypeWidth(type));
+  }
+
+  const ColumnInfo& info(ColId id) const {
+    return columns_[static_cast<size_t>(id)];
+  }
+  int size() const { return static_cast<int>(columns_.size()); }
+
+  const std::string& name(ColId id) const { return info(id).name; }
+  DataType type(ColId id) const { return info(id).type; }
+  int64_t width(ColId id) const { return info(id).width; }
+
+ private:
+  std::vector<ColumnInfo> columns_;
+};
+
+/// Positional layout of a row: which ColId lives at which index. Physical
+/// operators carry one of these so expressions can be evaluated against rows.
+class RowLayout {
+ public:
+  RowLayout() = default;
+  explicit RowLayout(std::vector<ColId> cols) : cols_(std::move(cols)) {
+    for (size_t i = 0; i < cols_.size(); ++i) {
+      pos_[cols_[i]] = static_cast<int>(i);
+    }
+  }
+
+  /// Index of `id` in the row, or -1 when the column is absent.
+  int IndexOf(ColId id) const {
+    auto it = pos_.find(id);
+    return it == pos_.end() ? -1 : it->second;
+  }
+  bool Contains(ColId id) const { return pos_.count(id) > 0; }
+
+  const std::vector<ColId>& columns() const { return cols_; }
+  int size() const { return static_cast<int>(cols_.size()); }
+
+  /// Sum of the widths of the layout's columns.
+  int64_t RowWidth(const ColumnCatalog& cat) const {
+    int64_t w = 0;
+    for (ColId c : cols_) w += cat.width(c);
+    return w;
+  }
+
+ private:
+  std::vector<ColId> cols_;
+  std::unordered_map<ColId, int> pos_;
+};
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_ALGEBRA_COLUMN_H_

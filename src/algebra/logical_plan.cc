@@ -1,0 +1,96 @@
+#include "algebra/logical_plan.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace aggview {
+
+std::unordered_map<ColId, int> ColumnOwners(const Query& query) {
+  std::unordered_map<ColId, int> owners;
+  for (int i = 0; i < query.num_range_vars(); ++i) {
+    for (ColId c : query.range_var(i).columns) owners[c] = i;
+    if (query.range_var(i).rowid != kInvalidColId) {
+      owners[query.range_var(i).rowid] = i;
+    }
+  }
+  return owners;
+}
+
+std::set<int> PredicateRels(const Query& query, const Predicate& pred,
+                            const std::set<int>& scope) {
+  std::set<int> out;
+  std::unordered_map<ColId, int> owners = ColumnOwners(query);
+  for (ColId c : pred.Columns()) {
+    auto it = owners.find(c);
+    if (it == owners.end()) continue;
+    if (scope.count(it->second) > 0) out.insert(it->second);
+  }
+  return out;
+}
+
+bool RelsConnected(const Query& query, const std::vector<Predicate>& preds,
+                   const std::set<int>& rels) {
+  if (rels.size() <= 1) return true;
+  // Union-find over the relation ids.
+  std::unordered_map<int, int> parent;
+  for (int r : rels) parent[r] = r;
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Predicate& p : preds) {
+    std::set<int> touched = PredicateRels(query, p, rels);
+    if (touched.size() < 2) continue;
+    int first = *touched.begin();
+    for (int r : touched) {
+      parent[find(r)] = find(first);
+    }
+  }
+  int root = find(*rels.begin());
+  return std::all_of(rels.begin(), rels.end(),
+                     [&](int r) { return find(r) == root; });
+}
+
+std::vector<std::pair<ColId, ColId>> EquiJoinPairs(
+    const Query& query, const std::vector<Predicate>& preds,
+    const std::set<int>& left_rels, int right_rel) {
+  std::unordered_map<ColId, int> owners = ColumnOwners(query);
+  std::vector<std::pair<ColId, ColId>> pairs;
+  for (const Predicate& p : preds) {
+    ColId a, b;
+    if (!p.AsColumnEquality(&a, &b)) continue;
+    auto owner_of = [&](ColId c) -> int {
+      auto it = owners.find(c);
+      return it == owners.end() ? -1 : it->second;
+    };
+    int oa = owner_of(a), ob = owner_of(b);
+    if (ob == right_rel && oa >= 0 && left_rels.count(oa) > 0) {
+      pairs.emplace_back(a, b);
+    } else if (oa == right_rel && ob >= 0 && left_rels.count(ob) > 0) {
+      pairs.emplace_back(b, a);
+    }
+  }
+  return pairs;
+}
+
+bool EquiJoinCoversKey(const Query& query, int right_rel,
+                       const std::vector<std::pair<ColId, ColId>>& pairs) {
+  const RangeVar& rv = query.range_var(right_rel);
+  const TableDef& def = query.catalog().table(rv.table);
+  std::vector<int> local;
+  for (const auto& [left_col, right_col] : pairs) {
+    (void)left_col;
+    for (size_t i = 0; i < rv.columns.size(); ++i) {
+      if (rv.columns[i] == right_col) {
+        local.push_back(static_cast<int>(i));
+        break;
+      }
+    }
+  }
+  return def.CoversKey(local);
+}
+
+}  // namespace aggview

@@ -1,0 +1,106 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+#include <set>
+
+namespace aggview {
+
+namespace {
+
+bool IsSubset(const std::vector<int>& key, const std::vector<int>& columns) {
+  for (int k : key) {
+    if (std::find(columns.begin(), columns.end(), k) == columns.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool TableDef::CoversKey(const std::vector<int>& columns) const {
+  if (!primary_key.empty() && IsSubset(primary_key, columns)) return true;
+  for (const auto& uk : unique_keys) {
+    if (!uk.empty() && IsSubset(uk, columns)) return true;
+  }
+  return false;
+}
+
+Result<TableId> Catalog::AddTable(TableDef def) {
+  for (const auto& t : tables_) {
+    if (t->name == def.name) {
+      return Status::AlreadyExists("table '" + def.name + "' already exists");
+    }
+  }
+  for (int c : def.primary_key) {
+    if (c < 0 || c >= def.schema.num_columns()) {
+      return Status::InvalidArgument("primary key column index out of range in '" +
+                                     def.name + "'");
+    }
+  }
+  for (const auto& uk : def.unique_keys) {
+    for (int c : uk) {
+      if (c < 0 || c >= def.schema.num_columns()) {
+        return Status::InvalidArgument(
+            "unique key column index out of range in '" + def.name + "'");
+      }
+    }
+  }
+  TableId id = static_cast<TableId>(tables_.size());
+  def.id = id;
+  tables_.push_back(std::make_unique<TableDef>(std::move(def)));
+  return id;
+}
+
+Status Catalog::AddForeignKey(ForeignKey fk) {
+  if (fk.referencing_table < 0 || fk.referencing_table >= num_tables() ||
+      fk.referenced_table < 0 || fk.referenced_table >= num_tables()) {
+    return Status::InvalidArgument("foreign key references unknown table");
+  }
+  if (fk.referencing_columns.size() != fk.referenced_columns.size() ||
+      fk.referencing_columns.empty()) {
+    return Status::InvalidArgument("foreign key column lists must match and be non-empty");
+  }
+  const TableDef& target = table(fk.referenced_table);
+  std::vector<int> cols = fk.referenced_columns;
+  if (!target.CoversKey(cols)) {
+    return Status::InvalidArgument("foreign key must reference a key of '" +
+                                   target.name + "'");
+  }
+  foreign_keys_.push_back(std::move(fk));
+  return Status::OK();
+}
+
+Result<TableId> Catalog::FindTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t->name == name) return t->id;
+  }
+  return Status::NotFound("no table named '" + name + "'");
+}
+
+bool Catalog::IsForeignKeyJoin(TableId referencing,
+                               const std::vector<int>& referencing_cols,
+                               TableId referenced,
+                               const std::vector<int>& referenced_cols) const {
+  if (referencing_cols.size() != referenced_cols.size()) return false;
+  for (const ForeignKey& fk : foreign_keys_) {
+    if (fk.referencing_table != referencing || fk.referenced_table != referenced) {
+      continue;
+    }
+    if (fk.referencing_columns.size() != referencing_cols.size()) continue;
+    // The join must pair exactly the FK columns with the corresponding key
+    // columns (in any order of the pair list).
+    std::set<std::pair<int, int>> declared;
+    for (size_t i = 0; i < fk.referencing_columns.size(); ++i) {
+      declared.insert({fk.referencing_columns[i], fk.referenced_columns[i]});
+    }
+    std::set<std::pair<int, int>> actual;
+    for (size_t i = 0; i < referencing_cols.size(); ++i) {
+      actual.insert({referencing_cols[i], referenced_cols[i]});
+    }
+    if (declared == actual) return true;
+  }
+  return false;
+}
+
+}  // namespace aggview

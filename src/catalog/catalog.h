@@ -1,0 +1,96 @@
+#ifndef AGGVIEW_CATALOG_CATALOG_H_
+#define AGGVIEW_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/statistics.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "types/schema.h"
+
+namespace aggview {
+
+class Table;
+
+/// Identifies a table in the catalog.
+using TableId = int32_t;
+
+/// A declared foreign-key relationship: columns of the referencing table
+/// point at a key of the referenced table. The pull-up transformation uses
+/// this to elide the referenced table's key from the grouping columns
+/// (Section 3, "In case the join J1 is a foreign key join...").
+struct ForeignKey {
+  TableId referencing_table = -1;
+  std::vector<int> referencing_columns;
+  TableId referenced_table = -1;
+  std::vector<int> referenced_columns;  // must form a key of referenced_table
+};
+
+/// Definition of a base table: schema, keys, statistics, and (optionally) the
+/// in-memory data.
+struct TableDef {
+  TableId id = -1;
+  std::string name;
+  Schema schema;
+  /// Primary key: column indices. Every table has one (the paper notes a
+  /// query engine may fall back to internal tuple ids; we require declared
+  /// keys in the catalog and the storage layer can synthesize a rowid key).
+  std::vector<int> primary_key;
+  /// Additional unique keys.
+  std::vector<std::vector<int>> unique_keys;
+  TableStats stats;
+  /// Populated when data is loaded; optimization-only catalogs may leave this
+  /// null and provide stats directly.
+  std::shared_ptr<Table> data;
+
+  /// True when `columns` (table-local indices, any order) is a superset of
+  /// the primary key or of some unique key.
+  bool CoversKey(const std::vector<int>& columns) const;
+};
+
+/// The schema registry: tables, keys, foreign keys.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers a table; assigns and returns its id. Fails on duplicate name
+  /// or a primary key referencing nonexistent columns.
+  Result<TableId> AddTable(TableDef def);
+
+  /// Declares a foreign key. Fails unless the referenced columns form a key.
+  Status AddForeignKey(ForeignKey fk);
+
+  const TableDef& table(TableId id) const {
+    return *tables_[static_cast<size_t>(id)];
+  }
+  TableDef& mutable_table(TableId id) {
+    return *tables_[static_cast<size_t>(id)];
+  }
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+
+  Result<TableId> FindTable(const std::string& name) const;
+
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+
+  /// True when a declared FK maps `referencing_cols` of `referencing` exactly
+  /// onto a key of `referenced` (order-insensitive pairing of (ref_col,
+  /// key_col) pairs).
+  bool IsForeignKeyJoin(TableId referencing,
+                        const std::vector<int>& referencing_cols,
+                        TableId referenced,
+                        const std::vector<int>& referenced_cols) const;
+
+ private:
+  std::vector<std::unique_ptr<TableDef>> tables_;
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_CATALOG_CATALOG_H_

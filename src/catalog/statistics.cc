@@ -1,0 +1,79 @@
+#include "catalog/statistics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "storage/table.h"
+
+namespace aggview {
+
+double Histogram::FractionBelow(double x) const {
+  if (bounds.empty()) return 0.0;
+  if (x <= min) return 0.0;
+  if (x > bounds.back()) return 1.0;
+  double per_bucket = 1.0 / static_cast<double>(bounds.size());
+  double lo = min;
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    double hi = bounds[i];
+    if (x <= hi) {
+      double within =
+          hi > lo ? (x - lo) / (hi - lo) : 1.0;  // point bucket: all below
+      return per_bucket * (static_cast<double>(i) + within);
+    }
+    lo = hi;
+  }
+  return 1.0;
+}
+
+TableStats ComputeStats(const Table& table) {
+  TableStats stats;
+  stats.row_count = table.row_count();
+  const Schema& schema = table.schema();
+  stats.columns.resize(static_cast<size_t>(schema.num_columns()));
+
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    ColumnStats& cs = stats.columns[static_cast<size_t>(c)];
+    std::unordered_set<size_t> seen;
+    bool first = true;
+    bool numeric = IsNumeric(schema.column(c).type);
+    std::vector<double> values;
+    if (numeric) values.reserve(static_cast<size_t>(table.row_count()));
+    for (const Row& row : table.rows()) {
+      const Value& v = row[static_cast<size_t>(c)];
+      seen.insert(v.Hash());
+      if (numeric) {
+        double d = v.AsNumeric();
+        values.push_back(d);
+        if (first) {
+          cs.min = cs.max = d;
+          first = false;
+        } else {
+          if (d < cs.min) cs.min = d;
+          if (d > cs.max) cs.max = d;
+        }
+      }
+    }
+    cs.distinct = static_cast<int64_t>(seen.size());
+    if (cs.distinct == 0) cs.distinct = 1;
+    cs.has_range = numeric && !first;
+
+    // Equi-depth histogram: bucket edges at the N-quantiles.
+    if (cs.has_range && values.size() >= 2) {
+      std::sort(values.begin(), values.end());
+      cs.histogram.min = values.front();
+      int buckets = static_cast<int>(
+          std::min<size_t>(kHistogramBuckets, values.size()));
+      for (int b = 1; b <= buckets; ++b) {
+        size_t idx = values.size() * static_cast<size_t>(b) /
+                         static_cast<size_t>(buckets) -
+                     1;
+        cs.histogram.bounds.push_back(values[idx]);
+      }
+      // Edges must be non-decreasing and end at the max by construction.
+      cs.histogram.bounds.back() = values.back();
+    }
+  }
+  return stats;
+}
+
+}  // namespace aggview

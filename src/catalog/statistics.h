@@ -1,0 +1,56 @@
+#ifndef AGGVIEW_CATALOG_STATISTICS_H_
+#define AGGVIEW_CATALOG_STATISTICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace aggview {
+
+class Table;
+
+/// Equi-depth histogram over a numeric column: `bounds` holds the bucket
+/// upper edges (ascending, last == column max); each bucket holds ~1/N of
+/// the rows. Gives range-predicate estimates that survive skewed and
+/// multi-modal distributions where the uniform min/max interpolation fails.
+struct Histogram {
+  double min = 0.0;
+  std::vector<double> bounds;
+
+  bool empty() const { return bounds.empty(); }
+
+  /// Estimated fraction of rows with value < x (strict); values within a
+  /// bucket interpolate linearly.
+  double FractionBelow(double x) const;
+};
+
+/// Per-column statistics used by the cardinality estimator.
+struct ColumnStats {
+  /// Number of distinct values in the column.
+  int64_t distinct = 1;
+  /// Numeric min/max (meaningful for INT64/DOUBLE columns; ignored for
+  /// strings, whose range predicates get the default selectivity).
+  double min = 0.0;
+  double max = 0.0;
+  bool has_range = false;
+  /// Equi-depth histogram (numeric columns with enough rows).
+  Histogram histogram;
+};
+
+/// Table-level statistics: row count plus per-column stats, positionally
+/// aligned with the table schema.
+struct TableStats {
+  int64_t row_count = 0;
+  std::vector<ColumnStats> columns;
+};
+
+/// Number of equi-depth buckets built per numeric column.
+inline constexpr int kHistogramBuckets = 32;
+
+/// Scans `table` and computes exact statistics (the paper assumes the
+/// optimizer has statistics; we make them exact so that estimation error is a
+/// controlled, explainable quantity in the experiments).
+TableStats ComputeStats(const Table& table);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_CATALOG_STATISTICS_H_

@@ -1,0 +1,75 @@
+#ifndef AGGVIEW_COMMON_RANDOM_H_
+#define AGGVIEW_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace aggview {
+
+/// Deterministic pseudo-random source used by the data generators and the
+/// property tests. A fixed seed reproduces byte-identical databases, which is
+/// what makes the experiment outputs repeatable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with probability `p` of returning true.
+  bool Chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Zipf-like skewed integer in [1, n]: rank r drawn with probability
+  /// proportional to 1/r^theta. Used for skewed foreign keys.
+  int64_t Zipf(int64_t n, double theta);
+
+  /// Random lowercase ASCII string of exactly `len` characters.
+  std::string String(int len) {
+    std::string s(static_cast<size_t>(len), 'a');
+    for (char& c : s) c = static_cast<char>('a' + Uniform(0, 25));
+    return s;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+inline int64_t Rng::Zipf(int64_t n, double theta) {
+  assert(n >= 1);
+  // Inverse-CDF on the generalized harmonic weights; O(log n) via
+  // approximation of the partial sums by integrals is overkill here, so use
+  // rejection-free sequential search only for small n and the integral
+  // approximation otherwise.
+  if (theta <= 0.0) return Uniform(1, n);
+  double u = UniformReal(0.0, 1.0);
+  // H(x) ~= (x^(1-theta) - 1) / (1 - theta) for theta != 1, ln(x) otherwise.
+  double hn;
+  if (theta == 1.0) {
+    hn = std::log(static_cast<double>(n));
+    double x = std::exp(u * hn);
+    int64_t r = static_cast<int64_t>(x);
+    return std::min<int64_t>(std::max<int64_t>(r, 1), n);
+  }
+  hn = (std::pow(static_cast<double>(n), 1.0 - theta) - 1.0) / (1.0 - theta);
+  double x = std::pow(u * hn * (1.0 - theta) + 1.0, 1.0 / (1.0 - theta));
+  int64_t r = static_cast<int64_t>(x);
+  return std::min<int64_t>(std::max<int64_t>(r, 1), n);
+}
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_COMMON_RANDOM_H_

@@ -1,0 +1,79 @@
+#ifndef AGGVIEW_COMMON_RESULT_H_
+#define AGGVIEW_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace aggview {
+
+/// A value-or-error holder, analogous to arrow::Result / absl::StatusOr.
+///
+/// Either holds a T (status().ok() is true) or an error Status. Accessing the
+/// value of an errored Result aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, so functions can `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs from an error status (implicit, so functions can
+  /// `return Status::...;`). `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace aggview
+
+/// Assigns the value of a Result-returning expression to `lhs`, or returns the
+/// error from the enclosing function.
+#define AGGVIEW_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define AGGVIEW_ASSIGN_OR_RETURN(lhs, expr) \
+  AGGVIEW_ASSIGN_OR_RETURN_IMPL(            \
+      AGGVIEW_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define AGGVIEW_CONCAT_(a, b) AGGVIEW_CONCAT_IMPL_(a, b)
+#define AGGVIEW_CONCAT_IMPL_(a, b) a##b
+
+#endif  // AGGVIEW_COMMON_RESULT_H_

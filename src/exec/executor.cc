@@ -1,0 +1,79 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace aggview {
+
+namespace {
+
+/// Values are rendered with rounding for the fingerprint so that plans that
+/// compute the same number via different float operation orders (e.g. AVG
+/// vs SUM/COUNT after coalescing) compare equal.
+std::string FingerprintValue(const Value& v) {
+  if (v.is_null()) return "\x01NULL";  // distinct from the string 'NULL'
+  if (v.is_string()) return v.AsString();
+  if (v.is_int()) return std::to_string(v.AsInt());
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v.AsDouble());
+  return buf;
+}
+
+}  // namespace
+
+std::string QueryResult::Fingerprint() const {
+  std::vector<std::string> lines;
+  lines.reserve(rows.size());
+  for (const Row& row : rows) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) line += "|";
+      line += FingerprintValue(row[i]);
+    }
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += "\n";
+  }
+  return out;
+}
+
+std::string QueryResult::ToString(const ColumnCatalog& columns) const {
+  std::string out;
+  for (size_t i = 0; i < layout.columns().size(); ++i) {
+    if (i > 0) out += " | ";
+    out += columns.name(layout.columns()[i]);
+  }
+  out += "\n";
+  for (const Row& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<QueryResult> ExecutePlan(const PlanPtr& plan, const Query& query,
+                                IoAccountant* io) {
+  AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr op, LowerPlan(plan, query, io));
+  AGGVIEW_RETURN_NOT_OK(op->Open());
+  QueryResult result;
+  result.layout = op->layout();
+  Row row;
+  while (true) {
+    auto more = op->Next(&row);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    result.rows.push_back(row);
+  }
+  op->Close();
+  return result;
+}
+
+}  // namespace aggview

@@ -1,0 +1,31 @@
+#ifndef AGGVIEW_EXEC_EXECUTOR_H_
+#define AGGVIEW_EXEC_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/lowering.h"
+
+namespace aggview {
+
+/// A fully materialized query result: the output layout plus every row.
+struct QueryResult {
+  RowLayout layout;
+  std::vector<Row> rows;
+
+  /// Canonical multiset rendering: each row serialized and the lines sorted.
+  /// Two results are semantically equal iff their fingerprints match (used
+  /// by the transformation-equivalence property tests).
+  std::string Fingerprint() const;
+
+  /// Tabular rendering for examples.
+  std::string ToString(const ColumnCatalog& columns) const;
+};
+
+/// Lowers and runs `plan`, charging `io` (which may be null).
+Result<QueryResult> ExecutePlan(const PlanPtr& plan, const Query& query,
+                                IoAccountant* io);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_EXEC_EXECUTOR_H_

@@ -1,0 +1,163 @@
+#include "exec/lowering.h"
+
+#include <algorithm>
+
+namespace aggview {
+
+namespace {
+
+/// Splits join predicates into equi-join key pairs (left col, right col) and
+/// residual conjuncts.
+void SplitJoinPredicates(const std::vector<Predicate>& preds,
+                         const RowLayout& left, const RowLayout& right,
+                         std::vector<std::pair<ColId, ColId>>* keys,
+                         std::vector<Predicate>* residual) {
+  for (const Predicate& p : preds) {
+    ColId a, b;
+    if (p.AsColumnEquality(&a, &b)) {
+      if (left.Contains(a) && right.Contains(b)) {
+        keys->emplace_back(a, b);
+        continue;
+      }
+      if (left.Contains(b) && right.Contains(a)) {
+        keys->emplace_back(b, a);
+        continue;
+      }
+    }
+    residual->push_back(p);
+  }
+}
+
+Result<OperatorPtr> Lower(const PlanPtr& plan, const Query& query,
+                          IoAccountant* io, bool charge_scan);
+
+Result<OperatorPtr> LowerScan(const PlanPtr& plan, const Query& query,
+                              IoAccountant* io, bool charge_scan) {
+  const RangeVar& rv = query.range_var(plan->rel_id);
+  const TableDef& def = query.catalog().table(rv.table);
+  if (def.data == nullptr) {
+    return Status::ExecutionError("table '" + def.name + "' has no data loaded");
+  }
+  OperatorPtr op = std::make_unique<TableScanOp>(
+      def.data.get(), RowLayout(rv.columns), plan->scan_filter, plan->output,
+      io, charge_scan, rv.rowid);
+  return op;
+}
+
+Result<OperatorPtr> LowerJoin(const PlanPtr& plan, const Query& query,
+                              IoAccountant* io) {
+  // Mirror the costing convention of PlanBuilder::Join: a BNL over a bare
+  // base-table scan charges per-pass rescans of the full table instead of a
+  // one-time scan plus materialization.
+  bool inner_is_bare_scan = plan->right->kind == PlanNode::Kind::kScan &&
+                            plan->right->scan_filter.empty() &&
+                            plan->algo == JoinAlgo::kBlockNestedLoop;
+
+  AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr left,
+                           Lower(plan->left, query, io, /*charge_scan=*/true));
+  AGGVIEW_ASSIGN_OR_RETURN(
+      OperatorPtr right,
+      Lower(plan->right, query, io, /*charge_scan=*/!inner_is_bare_scan));
+
+  OperatorPtr join;
+  JoinAlgo algo = plan->algo;
+  if (plan->left_outer && algo == JoinAlgo::kSortMerge) {
+    algo = JoinAlgo::kHash;  // merge join has no outer mode; hash does
+  }
+  switch (algo) {
+    case JoinAlgo::kBlockNestedLoop: {
+      double pages_per_pass = 0.0;
+      bool charge_materialize = true;
+      if (inner_is_bare_scan) {
+        const RangeVar& rv = query.range_var(plan->right->rel_id);
+        const TableDef& def = query.catalog().table(rv.table);
+        pages_per_pass =
+            def.data != nullptr
+                ? static_cast<double>(def.data->page_count())
+                : static_cast<double>(PagesForRows(def.stats.row_count,
+                                                   def.schema.RowWidth()));
+        charge_materialize = false;
+      }
+      join = std::make_unique<NestedLoopJoinOp>(
+          std::move(left), std::move(right), plan->join_preds,
+          &query.columns(), io, pages_per_pass, charge_materialize,
+          plan->left_outer);
+      break;
+    }
+    case JoinAlgo::kHash:
+    case JoinAlgo::kSortMerge: {
+      std::vector<std::pair<ColId, ColId>> keys;
+      std::vector<Predicate> residual;
+      SplitJoinPredicates(plan->join_preds, plan->left->output,
+                          plan->right->output, &keys, &residual);
+      if (keys.empty()) {
+        return Status::Internal("hash/merge join lowered without equi-join keys");
+      }
+      if (algo == JoinAlgo::kHash) {
+        join = std::make_unique<HashJoinOp>(std::move(left), std::move(right),
+                                            std::move(keys), std::move(residual),
+                                            &query.columns(), io,
+                                            plan->left_outer);
+      } else {
+        join = std::make_unique<SortMergeJoinOp>(
+            std::move(left), std::move(right), std::move(keys),
+            std::move(residual), &query.columns(), io);
+      }
+      break;
+    }
+  }
+  // Project the concatenated row down to the plan's output layout.
+  if (join->layout().columns() != plan->output.columns()) {
+    join = std::make_unique<ProjectOp>(std::move(join), plan->output);
+  }
+  return join;
+}
+
+Result<OperatorPtr> Lower(const PlanPtr& plan, const Query& query,
+                          IoAccountant* io, bool charge_scan) {
+  switch (plan->kind) {
+    case PlanNode::Kind::kScan:
+      return LowerScan(plan, query, io, charge_scan);
+    case PlanNode::Kind::kFilter: {
+      AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr child,
+                               Lower(plan->left, query, io, true));
+      OperatorPtr op = std::move(child);
+      if (!plan->filter_preds.empty()) {
+        op = std::make_unique<FilterOp>(std::move(op), plan->filter_preds);
+      }
+      if (op->layout().columns() != plan->output.columns()) {
+        op = std::make_unique<ProjectOp>(std::move(op), plan->output);
+      }
+      return op;
+    }
+    case PlanNode::Kind::kJoin:
+      return LowerJoin(plan, query, io);
+    case PlanNode::Kind::kGroupBy: {
+      AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr child,
+                               Lower(plan->left, query, io, true));
+      OperatorPtr op = std::make_unique<HashAggregateOp>(
+          std::move(child), plan->group_by, &query.columns(), io);
+      if (op->layout().columns() != plan->output.columns()) {
+        op = std::make_unique<ProjectOp>(std::move(op), plan->output);
+      }
+      return op;
+    }
+    case PlanNode::Kind::kSort: {
+      AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr child,
+                               Lower(plan->left, query, io, true));
+      OperatorPtr op = std::make_unique<SortOp>(
+          std::move(child), plan->sort_keys, &query.columns(), io);
+      return op;
+    }
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+}  // namespace
+
+Result<OperatorPtr> LowerPlan(const PlanPtr& plan, const Query& query,
+                              IoAccountant* io) {
+  return Lower(plan, query, io, /*charge_scan=*/true);
+}
+
+}  // namespace aggview

@@ -1,0 +1,16 @@
+#ifndef AGGVIEW_EXEC_LOWERING_H_
+#define AGGVIEW_EXEC_LOWERING_H_
+
+#include "exec/operators.h"
+#include "optimizer/plan.h"
+
+namespace aggview {
+
+/// Lowers an optimized plan tree to a physical operator tree. Requires every
+/// scanned table to have data loaded in the catalog.
+Result<OperatorPtr> LowerPlan(const PlanPtr& plan, const Query& query,
+                              IoAccountant* io);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_EXEC_LOWERING_H_

@@ -1,0 +1,665 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cost/cost_model.h"
+
+namespace aggview {
+
+namespace {
+
+/// Pages occupied by `rows` rows whose layout has `width` bytes.
+double ActualPages(int64_t rows, int64_t width) {
+  return CostModel::Pages(static_cast<double>(rows), width);
+}
+
+/// Concatenated layout of two inputs.
+RowLayout ConcatLayouts(const RowLayout& a, const RowLayout& b) {
+  std::vector<ColId> cols = a.columns();
+  for (ColId c : b.columns()) cols.push_back(c);
+  return RowLayout(cols);
+}
+
+Row ConcatRows(const Row& a, const Row& b) {
+  Row out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+/// Drains `op` into `rows`.
+Status Drain(Operator* op, std::vector<Row>* rows) {
+  Row row;
+  while (true) {
+    auto more = op->Next(&row);
+    if (!more.ok()) return more.status();
+    if (!*more) return Status::OK();
+    rows->push_back(row);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- TableScan
+
+TableScanOp::TableScanOp(const Table* table, RowLayout table_layout,
+                         std::vector<Predicate> filter, RowLayout output,
+                         IoAccountant* io, bool charge_io, ColId rowid_col)
+    : table_(table),
+      table_layout_(std::move(table_layout)),
+      filter_(std::move(filter)),
+      io_(io),
+      charge_io_(charge_io) {
+  layout_ = std::move(output);
+  for (ColId c : layout_.columns()) {
+    if (rowid_col != kInvalidColId && c == rowid_col) {
+      projection_.push_back(kRowIdIndex);
+    } else {
+      projection_.push_back(table_layout_.IndexOf(c));
+    }
+  }
+}
+
+Status TableScanOp::Open() {
+  pos_ = 0;
+  if (charge_io_ && io_ != nullptr) io_->ChargeRead(table_->page_count());
+  for (int idx : projection_) {
+    if (idx < 0 && idx != kRowIdIndex) {
+      return Status::Internal("scan projects a non-table column");
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> TableScanOp::Next(Row* out) {
+  while (pos_ < table_->row_count()) {
+    int64_t rowid = pos_;
+    const Row& row = table_->row(pos_++);
+    if (!EvalConjunction(filter_, row, table_layout_)) continue;
+    out->clear();
+    for (int idx : projection_) {
+      if (idx == kRowIdIndex) {
+        out->push_back(Value::Int(rowid));
+      } else {
+        out->push_back(row[static_cast<size_t>(idx)]);
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------------- Filter
+
+FilterOp::FilterOp(OperatorPtr child, std::vector<Predicate> preds)
+    : child_(std::move(child)), preds_(std::move(preds)) {
+  layout_ = child_->layout();
+}
+
+Status FilterOp::Open() { return child_->Open(); }
+
+Result<bool> FilterOp::Next(Row* out) {
+  while (true) {
+    auto more = child_->Next(out);
+    if (!more.ok()) return more.status();
+    if (!*more) return false;
+    if (EvalConjunction(preds_, *out, layout_)) return true;
+  }
+}
+
+void FilterOp::Close() { child_->Close(); }
+
+// ------------------------------------------------------------------ Project
+
+ProjectOp::ProjectOp(OperatorPtr child, RowLayout output)
+    : child_(std::move(child)) {
+  layout_ = std::move(output);
+  for (ColId c : layout_.columns()) {
+    projection_.push_back(child_->layout().IndexOf(c));
+  }
+}
+
+Status ProjectOp::Open() {
+  for (int idx : projection_) {
+    if (idx < 0) return Status::Internal("projection references missing column");
+  }
+  return child_->Open();
+}
+
+Result<bool> ProjectOp::Next(Row* out) {
+  Row in;
+  auto more = child_->Next(&in);
+  if (!more.ok()) return more.status();
+  if (!*more) return false;
+  out->clear();
+  for (int idx : projection_) out->push_back(in[static_cast<size_t>(idx)]);
+  return true;
+}
+
+void ProjectOp::Close() { child_->Close(); }
+
+// ----------------------------------------------------------------- HashJoin
+
+namespace {
+
+size_t HashKey(const Row& row, const std::vector<int>& idx) {
+  size_t h = 1469598103934665603ull;
+  for (int i : idx) {
+    h ^= row[static_cast<size_t>(i)].Hash();
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool KeysEqual(const Row& a, const std::vector<int>& ai, const Row& b,
+               const std::vector<int>& bi) {
+  for (size_t k = 0; k < ai.size(); ++k) {
+    if (a[static_cast<size_t>(ai[k])] != b[static_cast<size_t>(bi[k])]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
+                       std::vector<std::pair<ColId, ColId>> keys,
+                       std::vector<Predicate> residual,
+                       const ColumnCatalog* columns, IoAccountant* io,
+                       bool left_outer)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      keys_(std::move(keys)),
+      residual_(std::move(residual)),
+      columns_(columns),
+      io_(io),
+      left_outer_(left_outer) {
+  layout_ = ConcatLayouts(left_->layout(), right_->layout());
+  for (const auto& [l, r] : keys_) {
+    left_key_idx_.push_back(left_->layout().IndexOf(l));
+    right_key_idx_.push_back(right_->layout().IndexOf(r));
+  }
+}
+
+Status HashJoinOp::Open() {
+  for (int idx : left_key_idx_) {
+    if (idx < 0) return Status::Internal("hash join: left key column missing");
+  }
+  for (int idx : right_key_idx_) {
+    if (idx < 0) return Status::Internal("hash join: right key column missing");
+  }
+  AGGVIEW_RETURN_NOT_OK(left_->Open());
+  AGGVIEW_RETURN_NOT_OK(right_->Open());
+  std::vector<Row> rows;
+  AGGVIEW_RETURN_NOT_OK(Drain(right_.get(), &rows));
+  right_rows_ = static_cast<int64_t>(rows.size());
+  for (Row& r : rows) {
+    size_t h = HashKey(r, right_key_idx_);
+    build_.emplace(h, std::move(r));
+  }
+  return Status::OK();
+}
+
+Result<bool> HashJoinOp::Next(Row* out) {
+  while (true) {
+    if (have_left_ && match_pos_ < matches_.size()) {
+      *out = ConcatRows(current_left_, *matches_[match_pos_++]);
+      if (EvalConjunction(residual_, *out, layout_)) {
+        emitted_for_left_ = true;
+        return true;
+      }
+      continue;
+    }
+    if (have_left_ && left_outer_ && !emitted_for_left_ && !padded_for_left_) {
+      padded_for_left_ = true;
+      *out = current_left_;
+      out->resize(static_cast<size_t>(layout_.size()), Value::Null());
+      return true;
+    }
+    auto more = left_->Next(&current_left_);
+    if (!more.ok()) return more.status();
+    if (!*more) {
+      if (!charged_ && io_ != nullptr) {
+        // Same formula as the cost model, on actual sizes: one read of each
+        // input, plus Grace partition spills when the smaller input exceeds
+        // the buffer pool.
+        double lp = ActualPages(left_rows_,
+                                left_->layout().RowWidth(*columns_));
+        double rp = ActualPages(right_rows_,
+                                right_->layout().RowWidth(*columns_));
+        io_->ChargeRead(static_cast<int64_t>(lp + rp));
+        double spill = CostModel::HashJoinLocalCost(lp, rp) - (lp + rp);
+        io_->ChargeWrite(static_cast<int64_t>(spill / 2.0));
+        io_->ChargeRead(static_cast<int64_t>(spill / 2.0));
+        charged_ = true;
+      }
+      return false;
+    }
+    ++left_rows_;
+    have_left_ = true;
+    emitted_for_left_ = false;
+    padded_for_left_ = false;
+    matches_.clear();
+    match_pos_ = 0;
+    size_t h = HashKey(current_left_, left_key_idx_);
+    auto [begin, end] = build_.equal_range(h);
+    for (auto it = begin; it != end; ++it) {
+      if (KeysEqual(current_left_, left_key_idx_, it->second,
+                    right_key_idx_)) {
+        matches_.push_back(&it->second);
+      }
+    }
+  }
+}
+
+void HashJoinOp::Close() {
+  left_->Close();
+  right_->Close();
+  build_.clear();
+}
+
+// ----------------------------------------------------------- NestedLoopJoin
+
+NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
+                                   std::vector<Predicate> preds,
+                                   const ColumnCatalog* columns,
+                                   IoAccountant* io,
+                                   double inner_pages_per_pass,
+                                   bool charge_materialize, bool left_outer)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      preds_(std::move(preds)),
+      columns_(columns),
+      io_(io),
+      inner_pages_per_pass_(inner_pages_per_pass),
+      charge_materialize_(charge_materialize),
+      left_outer_(left_outer) {
+  layout_ = ConcatLayouts(left_->layout(), right_->layout());
+}
+
+Status NestedLoopJoinOp::Open() {
+  AGGVIEW_RETURN_NOT_OK(left_->Open());
+  AGGVIEW_RETURN_NOT_OK(right_->Open());
+  AGGVIEW_RETURN_NOT_OK(Drain(right_.get(), &inner_));
+  if (charge_materialize_ && io_ != nullptr) {
+    double pages = ActualPages(static_cast<int64_t>(inner_.size()),
+                               right_->layout().RowWidth(*columns_));
+    io_->ChargeWrite(static_cast<int64_t>(pages));
+  }
+  // Split out equi-join conjuncts to index the inner (CPU only; the IO
+  // accounting below is unaffected).
+  left_key_idx_.clear();
+  right_key_idx_.clear();
+  residual_.clear();
+  for (const Predicate& p : preds_) {
+    ColId a, b;
+    if (p.AsColumnEquality(&a, &b)) {
+      int la = left_->layout().IndexOf(a), rb = right_->layout().IndexOf(b);
+      if (la >= 0 && rb >= 0) {
+        left_key_idx_.push_back(la);
+        right_key_idx_.push_back(rb);
+        continue;
+      }
+      int lb = left_->layout().IndexOf(b), ra = right_->layout().IndexOf(a);
+      if (lb >= 0 && ra >= 0) {
+        left_key_idx_.push_back(lb);
+        right_key_idx_.push_back(ra);
+        continue;
+      }
+    }
+    residual_.push_back(p);
+  }
+  use_index_ = !left_key_idx_.empty();
+  if (use_index_) {
+    index_.clear();
+    for (size_t i = 0; i < inner_.size(); ++i) {
+      index_.emplace(HashKey(inner_[i], right_key_idx_), i);
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> NestedLoopJoinOp::Next(Row* out) {
+  while (true) {
+    if (have_left_ && use_index_) {
+      while (probe_pos_ < probe_matches_.size()) {
+        const Row& inner_row = inner_[probe_matches_[probe_pos_++]];
+        if (!KeysEqual(current_left_, left_key_idx_, inner_row,
+                       right_key_idx_)) {
+          continue;  // hash collision
+        }
+        *out = ConcatRows(current_left_, inner_row);
+        if (EvalConjunction(residual_, *out, layout_)) {
+          emitted_for_left_ = true;
+          return true;
+        }
+      }
+    } else if (have_left_) {
+      while (inner_pos_ < inner_.size()) {
+        *out = ConcatRows(current_left_, inner_[inner_pos_++]);
+        if (EvalConjunction(preds_, *out, layout_)) {
+          emitted_for_left_ = true;
+          return true;
+        }
+      }
+    }
+    if (have_left_ && left_outer_ && !emitted_for_left_ && !padded_for_left_) {
+      padded_for_left_ = true;
+      *out = current_left_;
+      out->resize(static_cast<size_t>(layout_.size()), Value::Null());
+      return true;
+    }
+    auto more = left_->Next(&current_left_);
+    if (!more.ok()) return more.status();
+    if (!*more) {
+      if (!charged_ && io_ != nullptr) {
+        double inner_pages = inner_pages_per_pass_;
+        if (inner_pages <= 0.0) {
+          inner_pages = ActualPages(static_cast<int64_t>(inner_.size()),
+                                    right_->layout().RowWidth(*columns_));
+        }
+        double outer_pages =
+            ActualPages(left_rows_, left_->layout().RowWidth(*columns_));
+        io_->ChargeRead(
+            static_cast<int64_t>(CostModel::BnlLocalCost(outer_pages, inner_pages)));
+        charged_ = true;
+      }
+      return false;
+    }
+    ++left_rows_;
+    have_left_ = true;
+    emitted_for_left_ = false;
+    padded_for_left_ = false;
+    inner_pos_ = 0;
+    if (use_index_) {
+      probe_matches_.clear();
+      probe_pos_ = 0;
+      auto [begin, end] = index_.equal_range(HashKey(current_left_, left_key_idx_));
+      for (auto it = begin; it != end; ++it) {
+        probe_matches_.push_back(it->second);
+      }
+    }
+  }
+}
+
+void NestedLoopJoinOp::Close() {
+  left_->Close();
+  right_->Close();
+  inner_.clear();
+}
+
+// ------------------------------------------------------------ SortMergeJoin
+
+SortMergeJoinOp::SortMergeJoinOp(OperatorPtr left, OperatorPtr right,
+                                 std::vector<std::pair<ColId, ColId>> keys,
+                                 std::vector<Predicate> residual,
+                                 const ColumnCatalog* columns,
+                                 IoAccountant* io)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      keys_(std::move(keys)),
+      residual_(std::move(residual)),
+      columns_(columns),
+      io_(io) {
+  layout_ = ConcatLayouts(left_->layout(), right_->layout());
+  for (const auto& [l, r] : keys_) {
+    left_key_idx_.push_back(left_->layout().IndexOf(l));
+    right_key_idx_.push_back(right_->layout().IndexOf(r));
+  }
+}
+
+namespace {
+
+int CompareKeys(const Row& a, const std::vector<int>& ai, const Row& b,
+                const std::vector<int>& bi) {
+  for (size_t k = 0; k < ai.size(); ++k) {
+    int c = a[static_cast<size_t>(ai[k])].Compare(b[static_cast<size_t>(bi[k])]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Status SortMergeJoinOp::Open() {
+  for (int idx : left_key_idx_) {
+    if (idx < 0) return Status::Internal("merge join: left key column missing");
+  }
+  for (int idx : right_key_idx_) {
+    if (idx < 0) return Status::Internal("merge join: right key column missing");
+  }
+  AGGVIEW_RETURN_NOT_OK(left_->Open());
+  AGGVIEW_RETURN_NOT_OK(right_->Open());
+  AGGVIEW_RETURN_NOT_OK(Drain(left_.get(), &lrows_));
+  AGGVIEW_RETURN_NOT_OK(Drain(right_.get(), &rrows_));
+
+  auto cmp = [](const std::vector<int>& idx) {
+    return [&idx](const Row& a, const Row& b) {
+      for (int i : idx) {
+        int c = a[static_cast<size_t>(i)].Compare(b[static_cast<size_t>(i)]);
+        if (c != 0) return c < 0;
+      }
+      return false;
+    };
+  };
+  std::sort(lrows_.begin(), lrows_.end(), cmp(left_key_idx_));
+  std::sort(rrows_.begin(), rrows_.end(), cmp(right_key_idx_));
+
+  if (io_ != nullptr) {
+    double lp = ActualPages(static_cast<int64_t>(lrows_.size()),
+                            left_->layout().RowWidth(*columns_));
+    double rp = ActualPages(static_cast<int64_t>(rrows_.size()),
+                            right_->layout().RowWidth(*columns_));
+    io_->ChargeRead(static_cast<int64_t>(lp + rp));
+    double sort_io = CostModel::SortMergeLocalCost(lp, rp) - (lp + rp);
+    io_->ChargeWrite(static_cast<int64_t>(sort_io / 2.0));
+    io_->ChargeRead(static_cast<int64_t>(sort_io / 2.0));
+  }
+  li_ = ri_ = 0;
+  in_block_ = false;
+  return Status::OK();
+}
+
+Result<bool> SortMergeJoinOp::Next(Row* out) {
+  while (true) {
+    if (in_block_) {
+      if (block_r_ < block_r_end_) {
+        *out = ConcatRows(lrows_[block_l_], rrows_[block_r_++]);
+        if (EvalConjunction(residual_, *out, layout_)) return true;
+        continue;
+      }
+      // Advance within the key-equal block.
+      ++block_l_;
+      if (block_l_ < block_l_end_) {
+        block_r_ = block_r_begin_;
+        continue;
+      }
+      in_block_ = false;
+      li_ = block_l_end_;
+      ri_ = block_r_end_;
+    }
+    // Find the next key-equal block.
+    while (li_ < lrows_.size() && ri_ < rrows_.size()) {
+      int c = CompareKeys(lrows_[li_], left_key_idx_, rrows_[ri_],
+                          right_key_idx_);
+      if (c < 0) {
+        ++li_;
+      } else if (c > 0) {
+        ++ri_;
+      } else {
+        break;
+      }
+    }
+    if (li_ >= lrows_.size() || ri_ >= rrows_.size()) return false;
+    block_l_ = li_;
+    block_l_end_ = li_ + 1;
+    while (block_l_end_ < lrows_.size() &&
+           CompareKeys(lrows_[block_l_end_], left_key_idx_, rrows_[ri_],
+                       right_key_idx_) == 0) {
+      ++block_l_end_;
+    }
+    block_r_begin_ = ri_;
+    block_r_end_ = ri_ + 1;
+    while (block_r_end_ < rrows_.size() &&
+           CompareKeys(lrows_[li_], left_key_idx_, rrows_[block_r_end_],
+                       right_key_idx_) == 0) {
+      ++block_r_end_;
+    }
+    block_r_ = block_r_begin_;
+    in_block_ = true;
+  }
+}
+
+void SortMergeJoinOp::Close() {
+  left_->Close();
+  right_->Close();
+  lrows_.clear();
+  rrows_.clear();
+}
+
+// --------------------------------------------------------------------- Sort
+
+SortOp::SortOp(OperatorPtr child, std::vector<OrderKey> keys,
+               const ColumnCatalog* columns, IoAccountant* io)
+    : child_(std::move(child)),
+      keys_(std::move(keys)),
+      columns_(columns),
+      io_(io) {
+  layout_ = child_->layout();
+  for (const OrderKey& key : keys_) {
+    key_idx_.push_back(layout_.IndexOf(key.column));
+  }
+}
+
+Status SortOp::Open() {
+  for (int idx : key_idx_) {
+    if (idx < 0) return Status::Internal("sort key column missing from input");
+  }
+  AGGVIEW_RETURN_NOT_OK(child_->Open());
+  rows_.clear();
+  AGGVIEW_RETURN_NOT_OK(Drain(child_.get(), &rows_));
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [this](const Row& a, const Row& b) {
+                     for (size_t k = 0; k < keys_.size(); ++k) {
+                       size_t i = static_cast<size_t>(key_idx_[k]);
+                       int c = a[i].Compare(b[i]);
+                       if (c != 0) return keys_[k].descending ? c > 0 : c < 0;
+                     }
+                     return false;
+                   });
+  if (io_ != nullptr) {
+    double pages = ActualPages(static_cast<int64_t>(rows_.size()),
+                               layout_.RowWidth(*columns_));
+    double sort_io = CostModel::SortCost(pages);
+    io_->ChargeWrite(static_cast<int64_t>(sort_io / 2.0));
+    io_->ChargeRead(static_cast<int64_t>(sort_io / 2.0));
+  }
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> SortOp::Next(Row* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  return true;
+}
+
+void SortOp::Close() {
+  child_->Close();
+  rows_.clear();
+}
+
+// ------------------------------------------------------------ HashAggregate
+
+HashAggregateOp::HashAggregateOp(OperatorPtr child, GroupBySpec spec,
+                                 const ColumnCatalog* columns,
+                                 IoAccountant* io)
+    : child_(std::move(child)),
+      spec_(std::move(spec)),
+      columns_(columns),
+      io_(io) {
+  layout_ = RowLayout(spec_.OutputColumns());
+}
+
+Status HashAggregateOp::Open() {
+  AGGVIEW_RETURN_NOT_OK(child_->Open());
+  const RowLayout& in = child_->layout();
+
+  std::vector<int> group_idx;
+  for (ColId g : spec_.grouping) {
+    int idx = in.IndexOf(g);
+    if (idx < 0) return Status::Internal("group-by column missing from input");
+    group_idx.push_back(idx);
+  }
+  std::vector<std::vector<int>> arg_idx;
+  for (const AggregateCall& a : spec_.aggregates) {
+    std::vector<int> idxs;
+    for (ColId arg : a.args) {
+      int idx = in.IndexOf(arg);
+      if (idx < 0) return Status::Internal("aggregate argument missing from input");
+      idxs.push_back(idx);
+    }
+    arg_idx.push_back(std::move(idxs));
+  }
+
+  struct Group {
+    std::vector<AggAccumulator> accs;
+  };
+  std::unordered_map<Row, Group, RowHash, RowEq> groups;
+
+  int64_t input_rows = 0;
+  Row row;
+  while (true) {
+    auto more = child_->Next(&row);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    ++input_rows;
+    Row key;
+    key.reserve(group_idx.size());
+    for (int idx : group_idx) key.push_back(row[static_cast<size_t>(idx)]);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      Group g;
+      for (const AggregateCall& a : spec_.aggregates) {
+        g.accs.emplace_back(a.kind);
+      }
+      it = groups.emplace(std::move(key), std::move(g)).first;
+    }
+    for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+      std::vector<Value> args;
+      for (int idx : arg_idx[a]) args.push_back(row[static_cast<size_t>(idx)]);
+      it->second.accs[a].Add(args);
+    }
+  }
+
+  if (io_ != nullptr) {
+    double in_pages = ActualPages(input_rows, in.RowWidth(*columns_));
+    double spill = CostModel::HashAggLocalCost(in_pages);
+    io_->ChargeWrite(static_cast<int64_t>(spill / 2.0));
+    io_->ChargeRead(static_cast<int64_t>(spill / 2.0));
+  }
+
+  results_.clear();
+  for (auto& [key, group] : groups) {
+    Row out = key;
+    for (AggAccumulator& acc : group.accs) out.push_back(acc.Finish());
+    if (!EvalConjunction(spec_.having, out, layout_)) continue;
+    results_.push_back(std::move(out));
+  }
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> HashAggregateOp::Next(Row* out) {
+  if (pos_ >= results_.size()) return false;
+  *out = results_[pos_++];
+  return true;
+}
+
+void HashAggregateOp::Close() {
+  child_->Close();
+  results_.clear();
+}
+
+}  // namespace aggview

@@ -1,0 +1,256 @@
+#ifndef AGGVIEW_EXEC_OPERATORS_H_
+#define AGGVIEW_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/query.h"
+#include "common/result.h"
+#include "storage/io_accountant.h"
+#include "storage/table.h"
+
+namespace aggview {
+
+/// Volcano-style physical operator: Open / Next / Close. Operators charge
+/// the IoAccountant with the same page-granularity formulas the cost model
+/// uses, evaluated on *actual* (not estimated) cardinalities, so measured IO
+/// is the ground truth the estimates are judged against.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual Status Open() = 0;
+  /// Produces the next row; returns false at end of stream.
+  virtual Result<bool> Next(Row* out) = 0;
+  virtual void Close() {}
+
+  const RowLayout& layout() const { return layout_; }
+
+ protected:
+  RowLayout layout_;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Scans an in-memory table, applying a filter and projecting. When
+/// `charge_io` is set, Open charges one read per table page (a BNL inner
+/// scan is created uncharged because the join charges per-pass rescans).
+class TableScanOp final : public Operator {
+ public:
+  /// `rowid_col`, when valid, names a synthetic output column materialized
+  /// as the scanned row's position (the internal tuple id).
+  TableScanOp(const Table* table, RowLayout table_layout,
+              std::vector<Predicate> filter, RowLayout output,
+              IoAccountant* io, bool charge_io,
+              ColId rowid_col = kInvalidColId);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  static constexpr int kRowIdIndex = -2;
+
+  const Table* table_;
+  RowLayout table_layout_;
+  std::vector<Predicate> filter_;
+  std::vector<int> projection_;  // table-layout indices per output column
+  IoAccountant* io_;
+  bool charge_io_;
+  int64_t pos_ = 0;
+};
+
+/// Applies residual predicates; layout passes through.
+class FilterOp final : public Operator {
+ public:
+  FilterOp(OperatorPtr child, std::vector<Predicate> preds);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<Predicate> preds_;
+};
+
+/// Projects the child's output to a (sub)set of its columns, reordering.
+class ProjectOp final : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, RowLayout output);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<int> projection_;
+};
+
+/// In-memory hash join (Grace accounting when either side spills): builds on
+/// the right input, probes with the left. Equi-join keys are column pairs;
+/// `residual` predicates are evaluated on the concatenated row.
+class HashJoinOp final : public Operator {
+ public:
+  /// `left_outer` preserves unmatched probe rows, padding the build side's
+  /// columns with NULLs.
+  HashJoinOp(OperatorPtr left, OperatorPtr right,
+             std::vector<std::pair<ColId, ColId>> keys,
+             std::vector<Predicate> residual, const ColumnCatalog* columns,
+             IoAccountant* io, bool left_outer = false);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<std::pair<ColId, ColId>> keys_;
+  std::vector<Predicate> residual_;
+  const ColumnCatalog* columns_;
+  IoAccountant* io_;
+
+  std::vector<int> left_key_idx_;
+  std::vector<int> right_key_idx_;
+  std::unordered_multimap<size_t, Row> build_;
+  int64_t right_rows_ = 0;
+  int64_t left_rows_ = 0;
+  Row current_left_;
+  bool have_left_ = false;
+  std::vector<const Row*> matches_;
+  size_t match_pos_ = 0;
+  bool charged_ = false;
+  bool left_outer_ = false;
+  bool emitted_for_left_ = false;
+  bool padded_for_left_ = false;
+};
+
+/// Block-nested-loop join: materializes the inner (right) input, then one
+/// pass over it per block of outer pages. `inner_pages_per_pass` overrides
+/// the page count charged per pass (the base table's full page count when
+/// the inner is a bare table scan); pass 0 to derive it from the
+/// materialized rows. `charge_materialize` adds the one-time write of the
+/// materialized inner.
+class NestedLoopJoinOp final : public Operator {
+ public:
+  NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
+                   std::vector<Predicate> preds, const ColumnCatalog* columns,
+                   IoAccountant* io, double inner_pages_per_pass,
+                   bool charge_materialize, bool left_outer = false);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<Predicate> preds_;
+  const ColumnCatalog* columns_;
+  IoAccountant* io_;
+  double inner_pages_per_pass_;
+  bool charge_materialize_;
+
+  std::vector<Row> inner_;
+  Row current_left_;
+  bool have_left_ = false;
+  size_t inner_pos_ = 0;
+  int64_t left_rows_ = 0;
+  bool charged_ = false;
+
+  // CPU fast path: when some conjuncts are equi-joins, the materialized
+  // inner is hash-indexed on those columns so each outer row probes a
+  // bucket instead of the whole inner. Purely an in-memory matter — the
+  // charged IO is the block-nested-loop formula either way.
+  std::vector<int> left_key_idx_;
+  std::vector<int> right_key_idx_;
+  std::vector<Predicate> residual_;
+  std::unordered_multimap<size_t, size_t> index_;  // key hash -> inner row
+  std::vector<size_t> probe_matches_;
+  size_t probe_pos_ = 0;
+  bool use_index_ = false;
+  bool left_outer_ = false;
+  bool emitted_for_left_ = false;
+  bool padded_for_left_ = false;
+};
+
+/// Sort-merge join over equi-join keys (plus residual predicates).
+/// Materializes and sorts both inputs at Open, charging external-sort IO on
+/// actual sizes.
+class SortMergeJoinOp final : public Operator {
+ public:
+  SortMergeJoinOp(OperatorPtr left, OperatorPtr right,
+                  std::vector<std::pair<ColId, ColId>> keys,
+                  std::vector<Predicate> residual,
+                  const ColumnCatalog* columns, IoAccountant* io);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<std::pair<ColId, ColId>> keys_;
+  std::vector<Predicate> residual_;
+  const ColumnCatalog* columns_;
+  IoAccountant* io_;
+
+  std::vector<int> left_key_idx_;
+  std::vector<int> right_key_idx_;
+  std::vector<Row> lrows_;
+  std::vector<Row> rrows_;
+  size_t li_ = 0, ri_ = 0;
+  // Current key-equal block being emitted.
+  size_t block_l_ = 0, block_l_end_ = 0, block_r_begin_ = 0, block_r_end_ = 0;
+  size_t block_r_ = 0;
+  bool in_block_ = false;
+};
+
+/// Final ORDER BY: materializes its input at Open, sorts by the keys, and
+/// charges external-sort IO on the actual size.
+class SortOp final : public Operator {
+ public:
+  SortOp(OperatorPtr child, std::vector<OrderKey> keys,
+         const ColumnCatalog* columns, IoAccountant* io);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<OrderKey> keys_;
+  const ColumnCatalog* columns_;
+  IoAccountant* io_;
+  std::vector<int> key_idx_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+/// Hash aggregation implementing a GroupBySpec: grouping, aggregate
+/// accumulators, HAVING. Consumes its child at Open.
+class HashAggregateOp final : public Operator {
+ public:
+  HashAggregateOp(OperatorPtr child, GroupBySpec spec,
+                  const ColumnCatalog* columns, IoAccountant* io);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  GroupBySpec spec_;
+  const ColumnCatalog* columns_;
+  IoAccountant* io_;
+
+  std::vector<Row> results_;
+  size_t pos_ = 0;
+};
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_EXEC_OPERATORS_H_

@@ -1,0 +1,164 @@
+#include "expr/aggregate.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aggview {
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCountStar:
+      return "count(*)";
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kMedian:
+      return "median";
+    case AggKind::kAvgFinal:
+      return "avg_final";
+  }
+  return "?";
+}
+
+bool IsDecomposable(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+    case AggKind::kSum:
+    case AggKind::kMin:
+    case AggKind::kMax:
+    case AggKind::kAvg:
+    case AggKind::kAvgFinal:
+      return true;
+    case AggKind::kMedian:
+      return false;
+  }
+  return false;
+}
+
+bool IsDuplicateInsensitive(AggKind kind) {
+  return kind == AggKind::kMin || kind == AggKind::kMax;
+}
+
+DataType AggregateCall::ResultType(const ColumnCatalog& cat) const {
+  switch (kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      return DataType::kInt64;
+    case AggKind::kAvg:
+    case AggKind::kAvgFinal:
+    case AggKind::kMedian:
+      return DataType::kDouble;
+    case AggKind::kSum:
+    case AggKind::kMin:
+    case AggKind::kMax:
+      assert(!args.empty());
+      return cat.type(args[0]);
+  }
+  return DataType::kDouble;
+}
+
+std::string AggregateCall::ToString(const ColumnCatalog& cat) const {
+  if (kind == AggKind::kCountStar) return "count(*)";
+  std::string inner;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) inner += ", ";
+    inner += cat.name(args[i]);
+  }
+  std::string name = AggKindName(kind);
+  return name + "(" + inner + ")";
+}
+
+void AggAccumulator::Add(const std::vector<Value>& args) {
+  // SQL: aggregates (other than COUNT(*)) ignore NULL inputs.
+  if (kind_ != AggKind::kCountStar) {
+    for (const Value& v : args) {
+      if (v.is_null()) return;
+    }
+  }
+  switch (kind_) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      ++count_;
+      return;
+    case AggKind::kSum:
+    case AggKind::kAvg: {
+      assert(args.size() == 1);
+      const Value& v = args[0];
+      ++count_;
+      if (v.is_int() && all_int_) {
+        isum_ += v.AsInt();
+      } else {
+        if (all_int_) {
+          sum_ = static_cast<double>(isum_);
+          all_int_ = false;
+        }
+        sum_ += v.AsNumeric();
+      }
+      return;
+    }
+    case AggKind::kMin: {
+      assert(args.size() == 1);
+      if (!has_value_ || args[0] < extreme_) extreme_ = args[0];
+      has_value_ = true;
+      return;
+    }
+    case AggKind::kMax: {
+      assert(args.size() == 1);
+      if (!has_value_ || extreme_ < args[0]) extreme_ = args[0];
+      has_value_ = true;
+      return;
+    }
+    case AggKind::kMedian: {
+      assert(args.size() == 1);
+      samples_.push_back(args[0].AsNumeric());
+      return;
+    }
+    case AggKind::kAvgFinal: {
+      assert(args.size() == 2);
+      final_sum_ += args[0].AsNumeric();
+      final_count_ += args[1].AsInt();
+      return;
+    }
+  }
+}
+
+Value AggAccumulator::Finish() const {
+  switch (kind_) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      return Value::Int(count_);
+    case AggKind::kSum:
+      return all_int_ ? Value::Int(isum_) : Value::Real(sum_);
+    case AggKind::kAvg: {
+      double total = all_int_ ? static_cast<double>(isum_) : sum_;
+      return Value::Real(count_ == 0 ? 0.0 : total / static_cast<double>(count_));
+    }
+    case AggKind::kMin:
+    case AggKind::kMax:
+      assert(has_value_);
+      return extreme_;
+    case AggKind::kMedian: {
+      assert(!samples_.empty());
+      std::vector<double> s = samples_;
+      std::sort(s.begin(), s.end());
+      size_t n = s.size();
+      double m = (n % 2 == 1) ? s[n / 2] : 0.5 * (s[n / 2 - 1] + s[n / 2]);
+      return Value::Real(m);
+    }
+    case AggKind::kAvgFinal:
+      return Value::Real(final_count_ == 0
+                             ? 0.0
+                             : final_sum_ / static_cast<double>(final_count_));
+  }
+  return Value::Real(0.0);
+}
+
+}  // namespace aggview

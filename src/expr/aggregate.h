@@ -1,0 +1,84 @@
+#ifndef AGGVIEW_EXPR_AGGREGATE_H_
+#define AGGVIEW_EXPR_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/column.h"
+#include "common/result.h"
+#include "types/value.h"
+
+namespace aggview {
+
+/// Aggregate functions. Besides the SQL built-ins, MEDIAN stands in for the
+/// paper's "user-defined aggregate functions (without side-effects)" and is
+/// deliberately *not* decomposable, which exercises the applicability gate of
+/// simple coalescing grouping (Section 4.2).
+///
+/// kAvgFinal is the coalescing-combine form of AVG: it takes two inputs (a
+/// partial SUM column and a partial COUNT column) and emits their ratio.
+enum class AggKind {
+  kCountStar,
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+  kMedian,
+  kAvgFinal,
+};
+
+const char* AggKindName(AggKind kind);
+
+/// True when groups aggregated with `kind` can be computed from
+/// sub-aggregates of a partition of the group (Section 4.2's "decomposable"
+/// property): SUM/COUNT/MIN/MAX/AVG are; MEDIAN is not.
+bool IsDecomposable(AggKind kind);
+
+/// True when duplicating input rows never changes the result (MIN/MAX).
+/// Duplicate-insensitive aggregates relax the applicability conditions of the
+/// push-down transformations.
+bool IsDuplicateInsensitive(AggKind kind);
+
+/// One aggregate computation `output := kind(args)` inside a group-by
+/// operator. COUNT(*) has no args; AVG-final has two (sum, count); everything
+/// else has one.
+struct AggregateCall {
+  AggKind kind = AggKind::kCountStar;
+  std::vector<ColId> args;
+  ColId output = kInvalidColId;
+
+  /// Result type given the argument types.
+  DataType ResultType(const ColumnCatalog& cat) const;
+
+  std::string ToString(const ColumnCatalog& cat) const;
+};
+
+/// Streaming accumulator for one aggregate over one group.
+class AggAccumulator {
+ public:
+  explicit AggAccumulator(AggKind kind) : kind_(kind) {}
+
+  /// Feeds the argument values of one input row (arity matches the call).
+  void Add(const std::vector<Value>& args);
+
+  /// The aggregate value of everything fed so far. Empty groups cannot occur
+  /// (a group exists only if at least one row was fed).
+  Value Finish() const;
+
+ private:
+  AggKind kind_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  int64_t isum_ = 0;
+  bool all_int_ = true;
+  bool has_value_ = false;
+  Value extreme_;                 // MIN/MAX running value
+  std::vector<double> samples_;   // MEDIAN keeps its inputs
+  double final_sum_ = 0.0;        // kAvgFinal numerator
+  int64_t final_count_ = 0;       // kAvgFinal denominator
+};
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_EXPR_AGGREGATE_H_

@@ -1,0 +1,72 @@
+#ifndef AGGVIEW_OPTIMIZER_AGGVIEW_OPTIMIZER_H_
+#define AGGVIEW_OPTIMIZER_AGGVIEW_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "optimizer/join_enumerator.h"
+
+namespace aggview {
+
+/// Options of the two-phase aggregate-view optimizer (Sections 5.3 / 5.4).
+struct OptimizerOptions {
+  /// Single-block enumeration options (greedy conservative heuristic).
+  EnumeratorOptions enumerator;
+  /// Run the [MFPR90, LMS94]-style predicate propagation first (the prior
+  /// art the paper's Section 1 builds on). On for both the traditional and
+  /// the extended configuration, so comparisons are against the realistic
+  /// preprocessed baseline.
+  bool propagate_predicates = true;
+  /// k-level pull-up: at most this many relations may be pulled into any one
+  /// view (the paper's restriction bounding the W-subset explosion). 0
+  /// disables pull-up entirely.
+  int max_pullup = 2;
+  /// Enumerate pulling a relation only when it shares a predicate with the
+  /// (possibly already extended) view — the paper's other practical
+  /// restriction.
+  bool require_shared_predicate = true;
+  /// Move each view's removable relations (V - V') into the top block before
+  /// enumerating (Section 5.3's B' = B ∪ (V - V')).
+  bool shrink_views = true;
+  /// Safety cap on the number of W assignments evaluated.
+  int max_assignments = 512;
+  /// Also run the traditional two-phase optimizer and return its plan when
+  /// (contrary to the paper's argument) it beats every enumerated
+  /// alternative. Keeping it on makes the no-worse guarantee unconditional.
+  bool include_traditional_alternative = true;
+};
+
+/// One evaluated alternative (a W assignment), for the experiment reports.
+struct PlanAlternative {
+  std::string description;
+  double cost = 0.0;
+};
+
+/// The outcome of optimization. `plan` must be interpreted (and executed)
+/// against `query`, which is the rewritten query of the winning alternative
+/// (its column catalog contains any partial-aggregate columns allocated
+/// during enumeration).
+struct OptimizedQuery {
+  Query query;
+  PlanPtr plan;
+  EnumerationCounters counters;
+  std::string description;
+  std::vector<PlanAlternative> alternatives;
+
+  OptimizedQuery() : query(nullptr) {}
+  explicit OptimizedQuery(Query q) : query(std::move(q)) {}
+};
+
+/// Cost-based optimization of a canonical-form query with aggregate views:
+/// shrink views to their minimal invariant sets, enumerate pull-up subsets
+/// W_i per view (subject to the practical restrictions), optimize each
+/// extended view Φ(V_i', W_i) with the greedy conservative enumerator
+/// (phase 1), then optimize the top block over the composites and the
+/// remaining relations (phase 2). The returned plan's estimated cost is
+/// never worse than the traditional optimizer's.
+Result<OptimizedQuery> OptimizeQueryWithAggViews(const Query& query,
+                                                 const OptimizerOptions& options);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_OPTIMIZER_AGGVIEW_OPTIMIZER_H_

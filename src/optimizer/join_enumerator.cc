@@ -1,0 +1,430 @@
+#include "optimizer/join_enumerator.h"
+
+#include <algorithm>
+#include <array>
+#include <optional>
+#include <unordered_map>
+
+#include "transform/coalescing.h"
+
+namespace aggview {
+
+namespace {
+
+/// How far the block's group-by has been applied along a partial plan.
+enum class AggState { kNone, kPartial, kFinal };
+
+struct DpEntry {
+  PlanPtr plan;
+  AggState state = AggState::kNone;
+  /// HAVING conjuncts not evaluable at the pushed group-by (kFinal only);
+  /// applied as a filter once all joins are done.
+  std::vector<Predicate> pending_having;
+  /// Combining aggregates for the top group-by (kPartial only).
+  std::vector<AggregateCall> final_aggs;
+};
+
+class Enumerator {
+ public:
+  Enumerator(const Query& query, ColumnCatalog* columns,
+             const BlockSpec& block, const EnumeratorOptions& options,
+             EnumerationCounters* counters)
+      : query_(query),
+        columns_(columns),
+        block_(block),
+        options_(options),
+        counters_(counters),
+        builder_(query) {}
+
+  Result<PlanPtr> Run();
+
+ private:
+  using Mask = uint32_t;
+
+  std::set<ColId> ColsOf(Mask mask) const {
+    std::set<ColId> out;
+    for (int i = 0; i < n_; ++i) {
+      if (mask & (Mask{1} << i)) {
+        out.insert(rel_cols_[static_cast<size_t>(i)].begin(),
+                   rel_cols_[static_cast<size_t>(i)].end());
+      }
+    }
+    return out;
+  }
+
+  /// Columns the plan for `mask` must still carry: consumer needs, group-by
+  /// references, and every column of a predicate not yet fully applicable.
+  std::set<ColId> NeededFor(Mask mask) const {
+    std::set<ColId> needed = block_.needed_output;
+    needed.insert(gb_refs_.begin(), gb_refs_.end());
+    std::set<ColId> have = ColsOf(mask);
+    for (const Predicate& p : block_.predicates) {
+      if (!p.BoundBy(have)) {
+        for (ColId c : p.Columns()) needed.insert(c);
+      }
+    }
+    return needed;
+  }
+
+  /// Predicates that become applicable exactly when `next` joins `mask`.
+  std::vector<Predicate> PredsForJoin(Mask mask, int next) const {
+    std::set<ColId> before = ColsOf(mask);
+    std::set<ColId> leaf = rel_cols_[static_cast<size_t>(next)];
+    std::set<ColId> after = before;
+    after.insert(leaf.begin(), leaf.end());
+    std::vector<Predicate> out;
+    for (const Predicate& p : block_.predicates) {
+      if (p.BoundBy(after) && !p.BoundBy(before) && !p.BoundBy(leaf)) {
+        out.push_back(p);
+      }
+    }
+    return out;
+  }
+
+  Result<PlanPtr> LeafPlan(int i) const;
+
+  bool InvariantApplicableAt(Mask mask) const;
+  bool CoalescingApplicableAt(Mask mask) const;
+
+  /// Applies the block group-by in invariant (final) form on `entry`'s plan,
+  /// restricted to the columns of `mask`.
+  Result<DpEntry> PushInvariant(const DpEntry& entry, Mask mask) const;
+  /// Applies a coalescing pre-aggregation on `entry`'s plan.
+  Result<DpEntry> PushCoalescing(const DpEntry& entry, Mask mask) const;
+
+  /// The best join of `left` (for `mask`) with relation `next`, across join
+  /// algorithms. `extra_needed` keeps columns NeededFor does not know about
+  /// (the partial-aggregate columns of a coalesced subplan).
+  Result<PlanPtr> JoinStep(const PlanPtr& left, Mask mask, int next,
+                           const PlanPtr& leaf,
+                           const std::set<ColId>& extra_needed) const;
+
+  /// Finishes the block: applies the (remaining) group-by / pending having.
+  Result<PlanPtr> Complete(const DpEntry& entry) const;
+
+  /// Candidate admission: keep `cand` over `incumbent` when cheaper.
+  static bool Better(const DpEntry& cand, const DpEntry& incumbent) {
+    return cand.plan->cost < incumbent.plan->cost;
+  }
+
+  const Query& query_;
+  ColumnCatalog* columns_;
+  const BlockSpec& block_;
+  EnumeratorOptions options_;
+  EnumerationCounters* counters_;
+  PlanBuilder builder_;
+
+  int n_ = 0;
+  std::vector<std::set<ColId>> rel_cols_;
+  std::set<size_t> removable_;
+  std::set<ColId> gb_refs_;
+  std::set<ColId> agg_args_;
+  /// One DP lane per aggregation state: plans that have not aggregated,
+  /// plans carrying a coalescing pre-aggregation, and plans whose group-by
+  /// is fully applied are not comparable by cost alone (their completions
+  /// differ), so each competes within its own lane. This is the
+  /// linear-aggregate-join-tree space of Section 5.2 with per-state
+  /// memoization.
+  std::unordered_map<Mask, std::array<std::optional<DpEntry>, 3>> dp_;
+};
+
+Result<PlanPtr> Enumerator::LeafPlan(int i) const {
+  const BlockRel& rel = block_.rels[static_cast<size_t>(i)];
+  const std::set<ColId>& cols = rel_cols_[static_cast<size_t>(i)];
+  std::vector<Predicate> local;
+  for (const Predicate& p : block_.predicates) {
+    if (p.BoundBy(cols)) local.push_back(p);
+  }
+  std::set<ColId> needed = NeededFor(Mask{1} << i);
+  if (rel.scan_rel >= 0) {
+    return builder_.Scan(rel.scan_rel, std::move(local), needed);
+  }
+  if (rel.composite == nullptr) {
+    return Status::InvalidArgument("block relation '" + rel.name +
+                                   "' has neither a scan target nor a plan");
+  }
+  return builder_.Filter(rel.composite, std::move(local));
+}
+
+bool Enumerator::InvariantApplicableAt(Mask mask) const {
+  if (!block_.group_by.has_value()) return false;
+  Mask full = (Mask{1} << n_) - 1;
+  if (mask == full) return false;  // that is just the normal completion
+  for (int i = 0; i < n_; ++i) {
+    if ((mask & (Mask{1} << i)) == 0 &&
+        removable_.count(static_cast<size_t>(i)) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Enumerator::CoalescingApplicableAt(Mask mask) const {
+  if (!block_.group_by.has_value()) return false;
+  Mask full = (Mask{1} << n_) - 1;
+  if (mask == full) return false;
+  return CoalescingApplicable(*block_.group_by, ColsOf(mask));
+}
+
+Result<DpEntry> Enumerator::PushInvariant(const DpEntry& entry,
+                                          Mask mask) const {
+  const GroupBySpec& gb = *block_.group_by;
+  std::set<ColId> have = ColsOf(mask);
+
+  GroupBySpec pushed;
+  for (ColId g : gb.grouping) {
+    if (have.count(g) > 0) pushed.grouping.push_back(g);
+  }
+  pushed.aggregates = gb.aggregates;
+  std::set<ColId> outputs(pushed.grouping.begin(), pushed.grouping.end());
+  for (const AggregateCall& a : pushed.aggregates) outputs.insert(a.output);
+
+  DpEntry out;
+  out.state = AggState::kFinal;
+  for (const Predicate& p : gb.having) {
+    if (p.BoundBy(outputs)) {
+      pushed.having.push_back(p);
+    } else {
+      out.pending_having.push_back(p);
+    }
+  }
+
+  std::set<ColId> needed = NeededFor(mask);
+  needed.insert(outputs.begin(), outputs.end());
+  out.plan = builder_.GroupBy(entry.plan, std::move(pushed), needed);
+  if (counters_ != nullptr) ++counters_->groupby_placements;
+  return out;
+}
+
+Result<DpEntry> Enumerator::PushCoalescing(const DpEntry& entry,
+                                           Mask mask) const {
+  const GroupBySpec& gb = *block_.group_by;
+  std::set<ColId> have = ColsOf(mask);
+
+  // Columns of this subset that later predicates still reference must be
+  // carried through the pre-aggregation as extra grouping columns.
+  std::set<ColId> carry;
+  for (const Predicate& p : block_.predicates) {
+    if (!p.BoundBy(have)) {
+      for (ColId c : p.Columns()) {
+        if (have.count(c) > 0) carry.insert(c);
+      }
+    }
+  }
+  AGGVIEW_ASSIGN_OR_RETURN(CoalescingSplit split,
+                           SplitForCoalescing(gb, have, carry, columns_));
+
+  std::set<ColId> needed = NeededFor(mask);
+  for (ColId g : split.partial.grouping) needed.insert(g);
+  for (const AggregateCall& a : split.partial.aggregates) {
+    needed.insert(a.output);
+  }
+
+  DpEntry out;
+  out.state = AggState::kPartial;
+  out.final_aggs = std::move(split.final_aggregates);
+  out.plan = builder_.GroupBy(entry.plan, std::move(split.partial), needed);
+  if (counters_ != nullptr) ++counters_->groupby_placements;
+  return out;
+}
+
+Result<PlanPtr> Enumerator::JoinStep(const PlanPtr& left, Mask mask, int next,
+                                     const PlanPtr& leaf,
+                                     const std::set<ColId>& extra_needed) const {
+  std::vector<Predicate> preds = PredsForJoin(mask, next);
+  std::set<ColId> needed = NeededFor(mask | (Mask{1} << next));
+  needed.insert(extra_needed.begin(), extra_needed.end());
+  if (counters_ != nullptr) ++counters_->joins_considered;
+  return builder_.BestJoin(left, leaf, std::move(preds), needed);
+}
+
+Result<PlanPtr> Enumerator::Complete(const DpEntry& entry) const {
+  switch (entry.state) {
+    case AggState::kNone: {
+      if (!block_.group_by.has_value()) return entry.plan;
+      std::set<ColId> needed = block_.needed_output;
+      for (ColId g : block_.group_by->grouping) needed.insert(g);
+      for (const AggregateCall& a : block_.group_by->aggregates) {
+        needed.insert(a.output);
+      }
+      return builder_.GroupBy(entry.plan, *block_.group_by, needed);
+    }
+    case AggState::kPartial: {
+      GroupBySpec final_spec;
+      final_spec.grouping = block_.group_by->grouping;
+      final_spec.aggregates = entry.final_aggs;
+      final_spec.having = block_.group_by->having;
+      std::set<ColId> needed = block_.needed_output;
+      for (ColId g : final_spec.grouping) needed.insert(g);
+      for (const AggregateCall& a : final_spec.aggregates) {
+        needed.insert(a.output);
+      }
+      return builder_.GroupBy(entry.plan, std::move(final_spec), needed);
+    }
+    case AggState::kFinal:
+      return builder_.Filter(entry.plan, entry.pending_having);
+  }
+  return Status::Internal("unknown aggregation state");
+}
+
+Result<PlanPtr> Enumerator::Run() {
+  n_ = static_cast<int>(block_.rels.size());
+  if (n_ == 0) return Status::InvalidArgument("block has no relations");
+  if (n_ > 20) {
+    return Status::InvalidArgument("block too large for exhaustive DP (>20)");
+  }
+
+  // Per-relation available columns and shapes.
+  std::vector<RelShape> shapes;
+  for (int i = 0; i < n_; ++i) {
+    const BlockRel& rel = block_.rels[static_cast<size_t>(i)];
+    RelShape shape;
+    if (rel.scan_rel >= 0) {
+      shape = ShapeOfRangeVar(query_, rel.scan_rel);
+    } else {
+      for (ColId c : rel.composite->output.columns()) shape.cols.insert(c);
+      shape.keys = rel.keys;
+    }
+    if (!rel.keys.empty() && rel.scan_rel >= 0) {
+      // Extra caller-declared keys.
+      shape.keys.insert(shape.keys.end(), rel.keys.begin(), rel.keys.end());
+    }
+    rel_cols_.push_back(shape.cols);
+    shapes.push_back(std::move(shape));
+  }
+  if (block_.group_by.has_value()) {
+    removable_ = RemovableShapes(shapes, block_.predicates, *block_.group_by);
+    gb_refs_.insert(block_.group_by->grouping.begin(),
+                    block_.group_by->grouping.end());
+    agg_args_ = block_.group_by->AggArgSet();
+    gb_refs_.insert(agg_args_.begin(), agg_args_.end());
+    for (const Predicate& p : block_.group_by->having) {
+      for (ColId c : p.Columns()) gb_refs_.insert(c);
+    }
+  }
+
+  bool greedy = options_.greedy_aggregation && block_.group_by.has_value();
+
+  auto lane_of = [](AggState state) {
+    return static_cast<size_t>(state);
+  };
+  auto admit = [&](Mask mask, DpEntry entry) {
+    auto& lanes = dp_[mask];
+    std::optional<DpEntry>& slot = lanes[lane_of(entry.state)];
+    if (!slot.has_value() || Better(entry, *slot)) {
+      bool fresh = !slot.has_value();
+      slot = std::move(entry);
+      if (fresh && counters_ != nullptr) ++counters_->subsets_stored;
+    }
+  };
+
+  // Leaf plans.
+  std::vector<PlanPtr> leaves;
+  for (int i = 0; i < n_; ++i) {
+    AGGVIEW_ASSIGN_OR_RETURN(PlanPtr leaf, LeafPlan(i));
+    leaves.push_back(leaf);
+    DpEntry entry;
+    entry.plan = leaf;
+    admit(Mask{1} << i, std::move(entry));
+  }
+
+  // Columns the default projection must keep for an entry's pending work:
+  // partial-aggregate inputs of a coalesced subplan.
+  auto extras_of = [](const DpEntry& entry) {
+    std::set<ColId> extras;
+    for (const AggregateCall& a : entry.final_aggs) {
+      extras.insert(a.args.begin(), a.args.end());
+    }
+    return extras;
+  };
+
+  Mask full = (Mask{1} << n_) - 1;
+  for (Mask mask = 1; mask <= full; ++mask) {
+    if (dp_.find(mask) == dp_.end()) continue;
+
+    // Early aggregation: promote the kNone entry into the aggregated lanes
+    // of the same subset (processed below in the same iteration).
+    if (greedy && n_ > 1 && mask != full) {
+      std::optional<DpEntry> none_entry =
+          dp_[mask][lane_of(AggState::kNone)];
+      if (none_entry.has_value()) {
+        if (options_.enable_invariant && InvariantApplicableAt(mask)) {
+          AGGVIEW_ASSIGN_OR_RETURN(DpEntry v,
+                                   PushInvariant(*none_entry, mask));
+          admit(mask, std::move(v));
+        }
+        if (options_.enable_coalescing && CoalescingApplicableAt(mask)) {
+          AGGVIEW_ASSIGN_OR_RETURN(DpEntry v,
+                                   PushCoalescing(*none_entry, mask));
+          admit(mask, std::move(v));
+        }
+      }
+    }
+    if (mask == full) break;
+
+    // Cross products only when no connected extension exists.
+    std::set<ColId> have = ColsOf(mask);
+    std::vector<int> connected, others;
+    for (int j = 0; j < n_; ++j) {
+      if (mask & (Mask{1} << j)) continue;
+      bool shares = false;
+      for (const Predicate& p : block_.predicates) {
+        if (p.References(have) &&
+            p.References(rel_cols_[static_cast<size_t>(j)])) {
+          shares = true;
+          break;
+        }
+      }
+      (shares ? connected : others).push_back(j);
+    }
+    const std::vector<int>& extensions = connected.empty() ? others : connected;
+
+    // Copy the lanes: dp_ may rehash during insertions below.
+    std::array<std::optional<DpEntry>, 3> lanes = dp_[mask];
+    for (const std::optional<DpEntry>& entry : lanes) {
+      if (!entry.has_value()) continue;
+      std::set<ColId> extras = extras_of(*entry);
+      for (int j : extensions) {
+        Mask next_mask = mask | (Mask{1} << j);
+        AGGVIEW_ASSIGN_OR_RETURN(
+            PlanPtr joined,
+            JoinStep(entry->plan, mask, j, leaves[static_cast<size_t>(j)],
+                     extras));
+        DpEntry cand;
+        cand.plan = std::move(joined);
+        cand.state = entry->state;
+        cand.pending_having = entry->pending_having;
+        cand.final_aggs = entry->final_aggs;
+        admit(next_mask, std::move(cand));
+      }
+    }
+  }
+
+  auto final_it = dp_.find(full);
+  if (final_it == dp_.end()) {
+    return Status::Internal("DP produced no plan for the full relation set");
+  }
+  // Complete every lane and keep the cheapest finished plan.
+  PlanPtr best;
+  for (const std::optional<DpEntry>& entry : final_it->second) {
+    if (!entry.has_value()) continue;
+    AGGVIEW_ASSIGN_OR_RETURN(PlanPtr finished, Complete(*entry));
+    if (best == nullptr || finished->cost < best->cost) best = finished;
+  }
+  if (best == nullptr) {
+    return Status::Internal("DP produced no completable plan");
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<PlanPtr> OptimizeBlock(const Query& query, ColumnCatalog* columns,
+                              const BlockSpec& block,
+                              const EnumeratorOptions& options,
+                              EnumerationCounters* counters) {
+  Enumerator e(query, columns, block, options, counters);
+  return e.Run();
+}
+
+}  // namespace aggview

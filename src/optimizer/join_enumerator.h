@@ -1,0 +1,75 @@
+#ifndef AGGVIEW_OPTIMIZER_JOIN_ENUMERATOR_H_
+#define AGGVIEW_OPTIMIZER_JOIN_ENUMERATOR_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "optimizer/plan.h"
+#include "transform/pushdown.h"
+
+namespace aggview {
+
+/// One input relation of a single-block query: either a base range variable
+/// (scanned, with local predicates pushed into the scan) or a composite
+/// input — an already-optimized subplan such as an aggregate view.
+struct BlockRel {
+  std::string name;
+  /// >= 0 for a base range variable.
+  int scan_rel = -1;
+  /// Non-null for a composite input.
+  PlanPtr composite;
+  /// Keys for group-by movement analysis: declared table keys for base
+  /// relations, the grouping columns for an aggregated composite.
+  std::vector<std::vector<ColId>> keys;
+};
+
+/// A single-block query in the sense of Section 2: a join of relations under
+/// a conjunction, optionally topped by one group-by (+HAVING).
+struct BlockSpec {
+  std::vector<BlockRel> rels;
+  std::vector<Predicate> predicates;
+  std::optional<GroupBySpec> group_by;
+  /// Columns the block's consumer needs (post-group-by outputs included).
+  std::set<ColId> needed_output;
+};
+
+/// Options controlling the enumeration (Section 5.2).
+struct EnumeratorOptions {
+  /// Enables the greedy conservative heuristic: linear *aggregate* join
+  /// trees, with early group-by placement chosen locally (cheaper and no
+  /// wider). Off = the traditional enumerator (group-by after all joins).
+  bool greedy_aggregation = true;
+  /// Individual transformation gates (both require greedy_aggregation).
+  bool enable_invariant = true;
+  bool enable_coalescing = true;
+};
+
+/// Instrumentation shared across enumerator invocations (experiment E7).
+struct EnumerationCounters {
+  int64_t joins_considered = 0;     // joinplan() invocations
+  int64_t groupby_placements = 0;   // early group-by candidates costed
+  int64_t subsets_stored = 0;       // DP entries retained
+};
+
+/// System-R style dynamic programming over linear (left-deep) join orders
+/// [SAC+79], extended per Section 5.2 with the greedy conservative heuristic
+/// of [CS94]: when extending a subplan, an early application of the block's
+/// group-by (invariant form, which ends aggregation for the block, or simple
+/// coalescing form, which adds a pre-aggregation) is also considered, and is
+/// kept only when it is cheaper than the unaggregated alternative and its
+/// output row is no wider — which is what makes the final plan provably no
+/// worse than the traditional one under an IO-only cost model.
+///
+/// Returns the best plan for the block, already including the (possibly
+/// pushed or split) group-by and HAVING. `columns` must be the query's
+/// column catalog (coalescing allocates partial-aggregate columns).
+Result<PlanPtr> OptimizeBlock(const Query& query, ColumnCatalog* columns,
+                              const BlockSpec& block,
+                              const EnumeratorOptions& options,
+                              EnumerationCounters* counters);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_OPTIMIZER_JOIN_ENUMERATOR_H_

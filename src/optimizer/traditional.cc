@@ -1,0 +1,20 @@
+#include "optimizer/traditional.h"
+
+namespace aggview {
+
+OptimizerOptions TraditionalOptions() {
+  OptimizerOptions options;
+  options.enumerator.greedy_aggregation = false;
+  options.enumerator.enable_invariant = false;
+  options.enumerator.enable_coalescing = false;
+  options.max_pullup = 0;
+  options.shrink_views = false;
+  options.include_traditional_alternative = false;
+  return options;
+}
+
+Result<OptimizedQuery> OptimizeTraditional(const Query& query) {
+  return OptimizeQueryWithAggViews(query, TraditionalOptions());
+}
+
+}  // namespace aggview

@@ -1,0 +1,20 @@
+#ifndef AGGVIEW_OPTIMIZER_TRADITIONAL_H_
+#define AGGVIEW_OPTIMIZER_TRADITIONAL_H_
+
+#include "optimizer/aggview_optimizer.h"
+
+namespace aggview {
+
+/// The traditional two-phase optimizer of Section 5.1: every aggregate view
+/// is optimized locally with the plain System-R enumerator (group-by applied
+/// after all of the block's joins), then the top block is optimized treating
+/// the views as base relations, with G0 applied last. No pull-up, no
+/// push-down, no view shrinking.
+Result<OptimizedQuery> OptimizeTraditional(const Query& query);
+
+/// Options preset matching OptimizeTraditional (useful for ablations).
+OptimizerOptions TraditionalOptions();
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_OPTIMIZER_TRADITIONAL_H_

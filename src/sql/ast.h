@@ -1,0 +1,93 @@
+#ifndef AGGVIEW_SQL_AST_H_
+#define AGGVIEW_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/aggregate.h"
+#include "expr/predicate.h"
+
+namespace aggview {
+
+/// Unbound expression tree produced by the parser.
+struct AstExpr {
+  enum class Kind { kColumnRef, kIntLiteral, kRealLiteral, kStringLiteral,
+                    kArith, kAggregate };
+
+  Kind kind = Kind::kColumnRef;
+
+  // kColumnRef: qualifier may be empty ("sal" vs "e.sal").
+  std::string qualifier;
+  std::string name;
+
+  // literals
+  int64_t int_value = 0;
+  double real_value = 0.0;
+  std::string string_value;
+
+  // kArith
+  ArithOp arith_op = ArithOp::kAdd;
+  std::unique_ptr<AstExpr> lhs;
+  std::unique_ptr<AstExpr> rhs;
+
+  // kAggregate: agg_kind over `lhs` (null for COUNT(*)).
+  AggKind agg_kind = AggKind::kCountStar;
+
+  /// Deep copy (AST nodes are trees of unique_ptrs).
+  std::unique_ptr<AstExpr> Clone() const;
+
+  /// True when the subtree contains an aggregate call.
+  bool ContainsAggregate() const;
+
+  /// Structural rendering for diagnostics and for matching aggregate calls
+  /// between SELECT and HAVING ("avg(e.sal)").
+  std::string ToString() const;
+};
+
+struct AstPredicate {
+  std::unique_ptr<AstExpr> lhs;
+  CompareOp op = CompareOp::kEq;
+  std::unique_ptr<AstExpr> rhs;
+};
+
+struct AstSelectItem {
+  std::unique_ptr<AstExpr> expr;
+  std::string alias;  // optional AS name
+};
+
+struct AstTableRef {
+  std::string table;  // base table or view name
+  std::string alias;  // defaults to the table name
+};
+
+struct AstOrderKey {
+  AstExpr column;  // column ref
+  bool descending = false;
+};
+
+struct AstSelect {
+  std::vector<AstSelectItem> items;
+  std::vector<AstTableRef> from;
+  std::vector<AstPredicate> where;     // conjunction
+  std::vector<AstExpr> group_by;       // column refs
+  std::vector<AstPredicate> having;    // conjunction
+  std::vector<AstOrderKey> order_by;
+};
+
+struct AstCreateView {
+  std::string name;
+  std::vector<std::string> column_names;  // may be empty (use item aliases)
+  AstSelect select;
+};
+
+/// A script: zero or more view definitions followed by one query.
+struct AstScript {
+  std::vector<AstCreateView> views;
+  AstSelect query;
+};
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_SQL_AST_H_

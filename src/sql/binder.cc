@@ -1,0 +1,422 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+
+namespace aggview {
+
+namespace {
+
+/// Resolution scope: per range-variable alias the column names, plus view
+/// instance outputs.
+class Scope {
+ public:
+  /// Adds a base range variable's columns under `alias`.
+  void AddRangeVar(const Query& query, int rel_id) {
+    const RangeVar& rv = query.range_var(rel_id);
+    const TableDef& def = query.catalog().table(rv.table);
+    auto& cols = by_alias_[rv.alias];
+    for (int i = 0; i < def.schema.num_columns(); ++i) {
+      cols[def.schema.column(i).name] = rv.columns[static_cast<size_t>(i)];
+    }
+  }
+
+  /// Adds a view instance's output columns under `alias`.
+  void AddViewOutputs(const std::string& alias,
+                      const std::vector<std::pair<std::string, ColId>>& outputs) {
+    auto& cols = by_alias_[alias];
+    for (const auto& [name, id] : outputs) cols[name] = id;
+  }
+
+  Result<ColId> Resolve(const std::string& qualifier,
+                        const std::string& name) const {
+    if (!qualifier.empty()) {
+      auto it = by_alias_.find(qualifier);
+      if (it == by_alias_.end()) {
+        return Status::BindError("unknown alias '" + qualifier + "'");
+      }
+      auto cit = it->second.find(name);
+      if (cit == it->second.end()) {
+        return Status::BindError("no column '" + name + "' in '" + qualifier + "'");
+      }
+      return cit->second;
+    }
+    ColId found = kInvalidColId;
+    for (const auto& [alias, cols] : by_alias_) {
+      auto cit = cols.find(name);
+      if (cit == cols.end()) continue;
+      if (found != kInvalidColId && found != cit->second) {
+        return Status::BindError("ambiguous column '" + name + "'");
+      }
+      found = cit->second;
+    }
+    if (found == kInvalidColId) {
+      return Status::BindError("unknown column '" + name + "'");
+    }
+    return found;
+  }
+
+ private:
+  std::map<std::string, std::map<std::string, ColId>> by_alias_;
+};
+
+class Binder {
+ public:
+  explicit Binder(const Catalog& catalog) : catalog_(catalog) {}
+
+  Result<Query> Bind(const AstScript& script);
+
+ private:
+  /// Binds a scalar AST expression (no aggregates allowed) in `scope`.
+  Result<ExprPtr> BindScalar(const AstExpr& ast, const Scope& scope) const;
+
+  Result<Predicate> BindPredicate(const AstPredicate& ast,
+                                  const Scope& scope) const;
+
+  /// Binds an aggregate call `agg(col)` / `count(*)`, reusing an existing
+  /// call with the same rendering or appending a new one to `calls`.
+  Result<ColId> BindAggregate(const AstExpr& ast, const Scope& scope,
+                              Query* query,
+                              std::vector<AggregateCall>* calls,
+                              std::unordered_map<std::string, ColId>* known)
+      const;
+
+  /// Instantiates a view definition as an AggView of `query`, returning the
+  /// output name → ColId list (positional view column names applied).
+  Result<std::vector<std::pair<std::string, ColId>>> InstantiateView(
+      const AstCreateView& def, const std::string& alias, Query* query,
+      AggView* out) const;
+
+  const Catalog& catalog_;
+};
+
+Result<ExprPtr> Binder::BindScalar(const AstExpr& ast,
+                                   const Scope& scope) const {
+  switch (ast.kind) {
+    case AstExpr::Kind::kColumnRef: {
+      AGGVIEW_ASSIGN_OR_RETURN(ColId id, scope.Resolve(ast.qualifier, ast.name));
+      return Col(id);
+    }
+    case AstExpr::Kind::kIntLiteral:
+      return LitInt(ast.int_value);
+    case AstExpr::Kind::kRealLiteral:
+      return LitReal(ast.real_value);
+    case AstExpr::Kind::kStringLiteral:
+      return LitStr(ast.string_value);
+    case AstExpr::Kind::kArith: {
+      AGGVIEW_ASSIGN_OR_RETURN(ExprPtr lhs, BindScalar(*ast.lhs, scope));
+      AGGVIEW_ASSIGN_OR_RETURN(ExprPtr rhs, BindScalar(*ast.rhs, scope));
+      return Arith(ast.arith_op, std::move(lhs), std::move(rhs));
+    }
+    case AstExpr::Kind::kAggregate:
+      return Status::BindError(
+          "aggregate '" + ast.ToString() +
+          "' is not allowed here (only in SELECT or HAVING of a grouped query)");
+  }
+  return Status::BindError("unsupported expression");
+}
+
+Result<Predicate> Binder::BindPredicate(const AstPredicate& ast,
+                                        const Scope& scope) const {
+  AGGVIEW_ASSIGN_OR_RETURN(ExprPtr lhs, BindScalar(*ast.lhs, scope));
+  AGGVIEW_ASSIGN_OR_RETURN(ExprPtr rhs, BindScalar(*ast.rhs, scope));
+  return Predicate(std::move(lhs), ast.op, std::move(rhs));
+}
+
+Result<ColId> Binder::BindAggregate(
+    const AstExpr& ast, const Scope& scope, Query* query,
+    std::vector<AggregateCall>* calls,
+    std::unordered_map<std::string, ColId>* known) const {
+  if (ast.kind != AstExpr::Kind::kAggregate) {
+    return Status::BindError("expected an aggregate call, got '" +
+                             ast.ToString() + "'");
+  }
+  std::string rendering = ast.ToString();
+  auto it = known->find(rendering);
+  if (it != known->end()) return it->second;
+
+  AggregateCall call;
+  call.kind = ast.agg_kind;
+  std::string display;
+  if (ast.agg_kind == AggKind::kCountStar) {
+    display = "count(*)";
+  } else {
+    if (ast.lhs == nullptr || ast.lhs->kind != AstExpr::Kind::kColumnRef) {
+      return Status::BindError("aggregate arguments must be single columns: '" +
+                               rendering + "'");
+    }
+    AGGVIEW_ASSIGN_OR_RETURN(
+        ColId arg, scope.Resolve(ast.lhs->qualifier, ast.lhs->name));
+    call.args.push_back(arg);
+    display = std::string(AggKindName(ast.agg_kind)) + "(" +
+              query->columns().name(arg) + ")";
+  }
+  DataType type = call.ResultType(query->columns());
+  call.output = query->columns().Add(display, type);
+  ColId out = call.output;
+  calls->push_back(std::move(call));
+  (*known)[rendering] = out;
+  return out;
+}
+
+Result<std::vector<std::pair<std::string, ColId>>> Binder::InstantiateView(
+    const AstCreateView& def, const std::string& alias, Query* query,
+    AggView* out) const {
+  out->name = alias;
+  Scope scope;
+  std::set<std::string> used_aliases;
+  for (const AstTableRef& ref : def.select.from) {
+    if (!used_aliases.insert(ref.alias).second) {
+      return Status::BindError("duplicate range variable alias '" + ref.alias +
+                               "' in view '" + def.name + "'");
+    }
+    AGGVIEW_ASSIGN_OR_RETURN(TableId table, catalog_.FindTable(ref.table));
+    // Prefix range-variable aliases with the view alias so two instances of
+    // the same view do not collide.
+    std::string rv_alias = alias + "." + ref.alias;
+    int rel = query->AddRangeVar(table, rv_alias);
+    out->spj.rels.push_back(rel);
+    // Make both "e" and "v1.e" resolve within the view body.
+    const RangeVar& rv = query->range_var(rel);
+    const TableDef& table_def = catalog_.table(rv.table);
+    auto outputs = std::vector<std::pair<std::string, ColId>>();
+    for (int i = 0; i < table_def.schema.num_columns(); ++i) {
+      outputs.emplace_back(table_def.schema.column(i).name,
+                           rv.columns[static_cast<size_t>(i)]);
+    }
+    scope.AddViewOutputs(ref.alias, outputs);
+  }
+  for (const AstPredicate& p : def.select.where) {
+    AGGVIEW_ASSIGN_OR_RETURN(Predicate pred, BindPredicate(p, scope));
+    out->spj.predicates.push_back(std::move(pred));
+  }
+  if (def.select.group_by.empty()) {
+    return Status::BindError("view '" + def.name +
+                             "' must have a GROUP BY (aggregate view)");
+  }
+  std::set<ColId> grouping_set;
+  for (const AstExpr& g : def.select.group_by) {
+    AGGVIEW_ASSIGN_OR_RETURN(ColId id, scope.Resolve(g.qualifier, g.name));
+    if (grouping_set.insert(id).second) {
+      out->group_by.grouping.push_back(id);
+    }
+  }
+
+  std::unordered_map<std::string, ColId> known_aggs;
+  std::vector<std::pair<std::string, ColId>> outputs;
+  for (size_t i = 0; i < def.select.items.size(); ++i) {
+    const AstSelectItem& item = def.select.items[i];
+    std::string out_name;
+    if (i < def.column_names.size()) {
+      out_name = def.column_names[i];
+    } else if (!item.alias.empty()) {
+      out_name = item.alias;
+    } else if (item.expr->kind == AstExpr::Kind::kColumnRef) {
+      out_name = item.expr->name;
+    } else {
+      return Status::BindError(
+          "view '" + def.name +
+          "' needs a column name for item: " + item.expr->ToString());
+    }
+    if (item.expr->kind == AstExpr::Kind::kColumnRef) {
+      AGGVIEW_ASSIGN_OR_RETURN(
+          ColId id, scope.Resolve(item.expr->qualifier, item.expr->name));
+      if (grouping_set.count(id) == 0) {
+        return Status::BindError("view select item '" + item.expr->ToString() +
+                                 "' is not a grouping column");
+      }
+      outputs.emplace_back(out_name, id);
+    } else if (item.expr->kind == AstExpr::Kind::kAggregate) {
+      AGGVIEW_ASSIGN_OR_RETURN(
+          ColId id, BindAggregate(*item.expr, scope, query,
+                                  &out->group_by.aggregates, &known_aggs));
+      outputs.emplace_back(out_name, id);
+    } else {
+      return Status::BindError(
+          "view select items must be grouping columns or aggregates: '" +
+          item.expr->ToString() + "'");
+    }
+  }
+
+  // HAVING: comparisons whose sides are aggregates, grouping columns, or
+  // literals.
+  for (const AstPredicate& p : def.select.having) {
+    auto bind_side = [&](const AstExpr& side) -> Result<ExprPtr> {
+      if (side.kind == AstExpr::Kind::kAggregate) {
+        AGGVIEW_ASSIGN_OR_RETURN(
+            ColId id, BindAggregate(side, scope, query,
+                                    &out->group_by.aggregates, &known_aggs));
+        return Col(id);
+      }
+      if (side.ContainsAggregate()) {
+        return Status::BindError(
+            "arithmetic over aggregates in HAVING is not supported: '" +
+            side.ToString() + "'");
+      }
+      return BindScalar(side, scope);
+    };
+    AGGVIEW_ASSIGN_OR_RETURN(ExprPtr lhs, bind_side(*p.lhs));
+    AGGVIEW_ASSIGN_OR_RETURN(ExprPtr rhs, bind_side(*p.rhs));
+    out->group_by.having.emplace_back(std::move(lhs), p.op, std::move(rhs));
+  }
+  return outputs;
+}
+
+Result<Query> Binder::Bind(const AstScript& script) {
+  Query query(&catalog_);
+
+  std::map<std::string, const AstCreateView*> view_defs;
+  for (const AstCreateView& v : script.views) {
+    if (!view_defs.emplace(v.name, &v).second) {
+      return Status::BindError("duplicate view '" + v.name + "'");
+    }
+    if (catalog_.FindTable(v.name).ok()) {
+      return Status::BindError("view '" + v.name + "' shadows a base table");
+    }
+  }
+
+  // FROM of the main query.
+  Scope scope;
+  std::set<std::string> used_aliases;
+  for (const AstTableRef& ref : script.query.from) {
+    if (!used_aliases.insert(ref.alias).second) {
+      return Status::BindError("duplicate range variable alias '" + ref.alias +
+                               "' in FROM");
+    }
+    auto def_it = view_defs.find(ref.table);
+    if (def_it != view_defs.end()) {
+      AggView view;
+      AGGVIEW_ASSIGN_OR_RETURN(
+          auto outputs,
+          InstantiateView(*def_it->second, ref.alias, &query, &view));
+      query.views().push_back(std::move(view));
+      scope.AddViewOutputs(ref.alias, outputs);
+      continue;
+    }
+    AGGVIEW_ASSIGN_OR_RETURN(TableId table, catalog_.FindTable(ref.table));
+    int rel = query.AddRangeVar(table, ref.alias);
+    query.base_rels().push_back(rel);
+    scope.AddRangeVar(query, rel);
+  }
+
+  for (const AstPredicate& p : script.query.where) {
+    if (p.lhs->ContainsAggregate() || p.rhs->ContainsAggregate()) {
+      return Status::BindError("aggregates are not allowed in WHERE");
+    }
+    AGGVIEW_ASSIGN_OR_RETURN(Predicate pred, BindPredicate(p, scope));
+    query.predicates().push_back(std::move(pred));
+  }
+
+  bool has_aggregates = !script.query.group_by.empty();
+  for (const AstSelectItem& item : script.query.items) {
+    if (item.expr->ContainsAggregate()) has_aggregates = true;
+  }
+  for (const AstPredicate& p : script.query.having) {
+    if (p.lhs->ContainsAggregate() || p.rhs->ContainsAggregate()) {
+      has_aggregates = true;
+    }
+  }
+
+  if (has_aggregates) {
+    GroupBySpec g0;
+    std::set<ColId> grouping_set;
+    for (const AstExpr& g : script.query.group_by) {
+      AGGVIEW_ASSIGN_OR_RETURN(ColId id, scope.Resolve(g.qualifier, g.name));
+      if (grouping_set.insert(id).second) g0.grouping.push_back(id);
+    }
+    std::unordered_map<std::string, ColId> known_aggs;
+    for (const AstSelectItem& item : script.query.items) {
+      if (item.expr->kind == AstExpr::Kind::kAggregate) {
+        AGGVIEW_ASSIGN_OR_RETURN(
+            ColId id, BindAggregate(*item.expr, scope, &query, &g0.aggregates,
+                                    &known_aggs));
+        query.select_list().push_back(id);
+      } else if (item.expr->kind == AstExpr::Kind::kColumnRef) {
+        AGGVIEW_ASSIGN_OR_RETURN(
+            ColId id, scope.Resolve(item.expr->qualifier, item.expr->name));
+        if (grouping_set.count(id) == 0) {
+          return Status::BindError("select item '" + item.expr->ToString() +
+                                   "' is not a grouping column");
+        }
+        query.select_list().push_back(id);
+      } else {
+        return Status::BindError(
+            "grouped select items must be grouping columns or aggregates: '" +
+            item.expr->ToString() + "'");
+      }
+    }
+    for (const AstPredicate& p : script.query.having) {
+      auto bind_side = [&](const AstExpr& side) -> Result<ExprPtr> {
+        if (side.kind == AstExpr::Kind::kAggregate) {
+          AGGVIEW_ASSIGN_OR_RETURN(
+              ColId id, BindAggregate(side, scope, &query, &g0.aggregates,
+                                      &known_aggs));
+          return Col(id);
+        }
+        if (side.ContainsAggregate()) {
+          return Status::BindError(
+              "arithmetic over aggregates in HAVING is not supported: '" +
+              side.ToString() + "'");
+        }
+        return BindScalar(side, scope);
+      };
+      AGGVIEW_ASSIGN_OR_RETURN(ExprPtr lhs, bind_side(*p.lhs));
+      AGGVIEW_ASSIGN_OR_RETURN(ExprPtr rhs, bind_side(*p.rhs));
+      g0.having.emplace_back(std::move(lhs), p.op, std::move(rhs));
+    }
+    for (const AstOrderKey& key : script.query.order_by) {
+      if (key.column.kind == AstExpr::Kind::kAggregate) {
+        AGGVIEW_ASSIGN_OR_RETURN(
+            ColId id, BindAggregate(key.column, scope, &query, &g0.aggregates,
+                                    &known_aggs));
+        query.order_by().push_back({id, key.descending});
+      } else {
+        AGGVIEW_ASSIGN_OR_RETURN(
+            ColId id, scope.Resolve(key.column.qualifier, key.column.name));
+        query.order_by().push_back({id, key.descending});
+      }
+    }
+    query.top_group_by() = std::move(g0);
+  } else {
+    for (const AstSelectItem& item : script.query.items) {
+      if (item.expr->kind != AstExpr::Kind::kColumnRef) {
+        return Status::BindError(
+            "ungrouped select items must be plain columns: '" +
+            item.expr->ToString() + "'");
+      }
+      AGGVIEW_ASSIGN_OR_RETURN(
+          ColId id, scope.Resolve(item.expr->qualifier, item.expr->name));
+      query.select_list().push_back(id);
+    }
+    for (const AstOrderKey& key : script.query.order_by) {
+      if (key.column.kind == AstExpr::Kind::kAggregate) {
+        return Status::BindError(
+            "ORDER BY aggregate requires a grouped query");
+      }
+      AGGVIEW_ASSIGN_OR_RETURN(
+          ColId id, scope.Resolve(key.column.qualifier, key.column.name));
+      query.order_by().push_back({id, key.descending});
+    }
+  }
+
+  AGGVIEW_RETURN_NOT_OK(query.Validate());
+  return query;
+}
+
+}  // namespace
+
+Result<Query> BindScript(const Catalog& catalog, const AstScript& script) {
+  Binder binder(catalog);
+  return binder.Bind(script);
+}
+
+Result<Query> ParseAndBind(const Catalog& catalog, const std::string& sql) {
+  AGGVIEW_ASSIGN_OR_RETURN(AstScript script, ParseScript(sql));
+  return BindScript(catalog, script);
+}
+
+}  // namespace aggview

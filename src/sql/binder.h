@@ -1,0 +1,27 @@
+#ifndef AGGVIEW_SQL_BINDER_H_
+#define AGGVIEW_SQL_BINDER_H_
+
+#include "algebra/query.h"
+#include "sql/ast.h"
+
+namespace aggview {
+
+/// Binds a parsed script against a catalog, producing the canonical
+/// multi-block Query of Figure 3.
+///
+/// Restrictions (the paper's query class, Section 2):
+///  - views are single-block SELECT ... GROUP BY ... [HAVING ...] over base
+///    tables (no views over views);
+///  - the main query joins base tables and views, with an optional GROUP BY
+///    and HAVING;
+///  - predicates are conjunctions of comparisons;
+///  - aggregate arguments are single columns; non-aggregate select items of
+///    a grouped query must be grouping columns.
+Result<Query> BindScript(const Catalog& catalog, const AstScript& script);
+
+/// Convenience: parse + bind in one step.
+Result<Query> ParseAndBind(const Catalog& catalog, const std::string& sql);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_SQL_BINDER_H_

@@ -1,0 +1,35 @@
+#ifndef AGGVIEW_SQL_LEXER_H_
+#define AGGVIEW_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aggview {
+
+/// Token kinds of the SQL subset.
+enum class TokenKind {
+  kIdentifier,  // emp, e1, dno   (keywords are identifiers classified later)
+  kInteger,     // 42
+  kReal,        // 3.5
+  kString,      // 'abc'
+  kSymbol,      // = <> < <= > >= ( ) , . * + - / ;
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // identifier lower-cased; symbol spelling; literal text
+  int64_t int_value = 0;
+  double real_value = 0.0;
+  int position = 0;  // byte offset, for error messages
+};
+
+/// Splits `sql` into tokens. Identifiers are lower-cased (the SQL subset is
+/// case-insensitive); string literals keep their exact contents.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_SQL_LEXER_H_

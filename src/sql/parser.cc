@@ -1,0 +1,345 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace aggview {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<AstScript> Script();
+  Result<AstSelect> SingleSelect();
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool AtKeyword(const char* kw) const {
+    return Peek().kind == TokenKind::kIdentifier && Peek().text == kw;
+  }
+  bool AtSymbol(const char* sym) const {
+    return Peek().kind == TokenKind::kSymbol && Peek().text == sym;
+  }
+  bool ConsumeKeyword(const char* kw) {
+    if (!AtKeyword(kw)) return false;
+    ++pos_;
+    return true;
+  }
+  bool ConsumeSymbol(const char* sym) {
+    if (!AtSymbol(sym)) return false;
+    ++pos_;
+    return true;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (ConsumeKeyword(kw)) return Status::OK();
+    return Error(std::string("expected '") + kw + "'");
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (ConsumeSymbol(sym)) return Status::OK();
+    return Error(std::string("expected '") + sym + "'");
+  }
+  Status Error(const std::string& what) const {
+    return Status::ParseError(StrFormat("%s at offset %d (near '%s')",
+                                        what.c_str(), Peek().position,
+                                        Peek().text.c_str()));
+  }
+
+  Result<std::string> Identifier() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::ParseError(
+          StrFormat("expected identifier at offset %d", Peek().position));
+    }
+    return Advance().text;
+  }
+
+  Result<AstSelect> Select();
+  Result<AstCreateView> CreateView();
+  Result<std::unique_ptr<AstExpr>> Expr();
+  Result<std::unique_ptr<AstExpr>> Term();
+  Result<std::unique_ptr<AstExpr>> Factor();
+  Result<AstPredicate> Comparison();
+  Result<std::vector<AstPredicate>> Conjunction();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+/// Keywords that end an expression / select-item list.
+bool IsClauseKeyword(const std::string& word) {
+  return word == "from" || word == "where" || word == "group" ||
+         word == "having" || word == "and" || word == "as" || word == "by" ||
+         word == "select" || word == "create" || word == "view" ||
+         word == "order" || word == "asc" || word == "desc";
+}
+
+Result<std::unique_ptr<AstExpr>> Parser::Factor() {
+  const Token& t = Peek();
+  auto node = std::make_unique<AstExpr>();
+  switch (t.kind) {
+    case TokenKind::kInteger:
+      node->kind = AstExpr::Kind::kIntLiteral;
+      node->int_value = t.int_value;
+      Advance();
+      return node;
+    case TokenKind::kReal:
+      node->kind = AstExpr::Kind::kRealLiteral;
+      node->real_value = t.real_value;
+      Advance();
+      return node;
+    case TokenKind::kString:
+      node->kind = AstExpr::Kind::kStringLiteral;
+      node->string_value = t.text;
+      Advance();
+      return node;
+    case TokenKind::kSymbol:
+      if (ConsumeSymbol("(")) {
+        AGGVIEW_ASSIGN_OR_RETURN(node, Expr());
+        AGGVIEW_RETURN_NOT_OK(ExpectSymbol(")"));
+        return node;
+      }
+      return Error("expected expression");
+    case TokenKind::kIdentifier: {
+      std::string word = Advance().text;
+      // Aggregate call?
+      AggKind agg;
+      bool is_agg = true;
+      if (word == "avg") {
+        agg = AggKind::kAvg;
+      } else if (word == "sum") {
+        agg = AggKind::kSum;
+      } else if (word == "count") {
+        agg = AggKind::kCount;
+      } else if (word == "min") {
+        agg = AggKind::kMin;
+      } else if (word == "max") {
+        agg = AggKind::kMax;
+      } else if (word == "median") {
+        agg = AggKind::kMedian;
+      } else {
+        is_agg = false;
+        agg = AggKind::kCountStar;  // unused
+      }
+      if (is_agg && AtSymbol("(")) {
+        Advance();  // (
+        node->kind = AstExpr::Kind::kAggregate;
+        if (agg == AggKind::kCount && ConsumeSymbol("*")) {
+          node->agg_kind = AggKind::kCountStar;
+        } else {
+          node->agg_kind = agg;
+          AGGVIEW_ASSIGN_OR_RETURN(node->lhs, Expr());
+        }
+        AGGVIEW_RETURN_NOT_OK(ExpectSymbol(")"));
+        return node;
+      }
+      // Column reference: name or qualifier.name.
+      node->kind = AstExpr::Kind::kColumnRef;
+      if (ConsumeSymbol(".")) {
+        node->qualifier = word;
+        AGGVIEW_ASSIGN_OR_RETURN(node->name, Identifier());
+      } else {
+        node->name = word;
+      }
+      return node;
+    }
+    case TokenKind::kEnd:
+      return Error("unexpected end of input");
+  }
+  return Error("expected expression");
+}
+
+Result<std::unique_ptr<AstExpr>> Parser::Term() {
+  AGGVIEW_ASSIGN_OR_RETURN(std::unique_ptr<AstExpr> lhs, Factor());
+  while (AtSymbol("*") || AtSymbol("/")) {
+    ArithOp op = Peek().text == "*" ? ArithOp::kMul : ArithOp::kDiv;
+    Advance();
+    AGGVIEW_ASSIGN_OR_RETURN(std::unique_ptr<AstExpr> rhs, Factor());
+    auto node = std::make_unique<AstExpr>();
+    node->kind = AstExpr::Kind::kArith;
+    node->arith_op = op;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+Result<std::unique_ptr<AstExpr>> Parser::Expr() {
+  AGGVIEW_ASSIGN_OR_RETURN(std::unique_ptr<AstExpr> lhs, Term());
+  while (AtSymbol("+") || AtSymbol("-")) {
+    ArithOp op = Peek().text == "+" ? ArithOp::kAdd : ArithOp::kSub;
+    Advance();
+    AGGVIEW_ASSIGN_OR_RETURN(std::unique_ptr<AstExpr> rhs, Term());
+    auto node = std::make_unique<AstExpr>();
+    node->kind = AstExpr::Kind::kArith;
+    node->arith_op = op;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+Result<AstPredicate> Parser::Comparison() {
+  AstPredicate pred;
+  AGGVIEW_ASSIGN_OR_RETURN(pred.lhs, Expr());
+  if (Peek().kind != TokenKind::kSymbol) return Error("expected comparison operator");
+  std::string sym = Advance().text;
+  if (sym == "=") {
+    pred.op = CompareOp::kEq;
+  } else if (sym == "<>") {
+    pred.op = CompareOp::kNe;
+  } else if (sym == "<") {
+    pred.op = CompareOp::kLt;
+  } else if (sym == "<=") {
+    pred.op = CompareOp::kLe;
+  } else if (sym == ">") {
+    pred.op = CompareOp::kGt;
+  } else if (sym == ">=") {
+    pred.op = CompareOp::kGe;
+  } else {
+    return Error("expected comparison operator");
+  }
+  AGGVIEW_ASSIGN_OR_RETURN(pred.rhs, Expr());
+  return pred;
+}
+
+Result<std::vector<AstPredicate>> Parser::Conjunction() {
+  std::vector<AstPredicate> preds;
+  while (true) {
+    AGGVIEW_ASSIGN_OR_RETURN(AstPredicate p, Comparison());
+    preds.push_back(std::move(p));
+    if (!ConsumeKeyword("and")) break;
+  }
+  return preds;
+}
+
+Result<AstSelect> Parser::Select() {
+  AstSelect select;
+  AGGVIEW_RETURN_NOT_OK(ExpectKeyword("select"));
+  ConsumeKeyword("all");
+  ConsumeKeyword("distinct");  // accepted and ignored (results are sets of groups)
+  // Select items.
+  while (true) {
+    AstSelectItem item;
+    AGGVIEW_ASSIGN_OR_RETURN(item.expr, Expr());
+    if (ConsumeKeyword("as")) {
+      AGGVIEW_ASSIGN_OR_RETURN(item.alias, Identifier());
+    } else if (Peek().kind == TokenKind::kIdentifier &&
+               !IsClauseKeyword(Peek().text)) {
+      item.alias = Advance().text;
+    }
+    select.items.push_back(std::move(item));
+    if (!ConsumeSymbol(",")) break;
+  }
+  AGGVIEW_RETURN_NOT_OK(ExpectKeyword("from"));
+  while (true) {
+    AstTableRef ref;
+    AGGVIEW_ASSIGN_OR_RETURN(ref.table, Identifier());
+    if (Peek().kind == TokenKind::kIdentifier && !IsClauseKeyword(Peek().text)) {
+      ref.alias = Advance().text;
+    } else {
+      ref.alias = ref.table;
+    }
+    select.from.push_back(std::move(ref));
+    if (!ConsumeSymbol(",")) break;
+  }
+  if (ConsumeKeyword("where")) {
+    AGGVIEW_ASSIGN_OR_RETURN(select.where, Conjunction());
+  }
+  if (ConsumeKeyword("group")) {
+    AGGVIEW_RETURN_NOT_OK(ExpectKeyword("by"));
+    while (true) {
+      AGGVIEW_ASSIGN_OR_RETURN(std::unique_ptr<AstExpr> col, Expr());
+      if (col->kind != AstExpr::Kind::kColumnRef) {
+        return Error("GROUP BY supports column references only");
+      }
+      select.group_by.push_back(std::move(*col));
+      if (!ConsumeSymbol(",")) break;
+    }
+  }
+  if (ConsumeKeyword("having")) {
+    AGGVIEW_ASSIGN_OR_RETURN(select.having, Conjunction());
+  }
+  if (ConsumeKeyword("order")) {
+    AGGVIEW_RETURN_NOT_OK(ExpectKeyword("by"));
+    while (true) {
+      AGGVIEW_ASSIGN_OR_RETURN(std::unique_ptr<AstExpr> col, Expr());
+      if (col->kind != AstExpr::Kind::kColumnRef &&
+          col->kind != AstExpr::Kind::kAggregate) {
+        return Error("ORDER BY supports columns and aggregate outputs only");
+      }
+      AstOrderKey key;
+      key.column = std::move(*col);
+      if (ConsumeKeyword("desc")) {
+        key.descending = true;
+      } else {
+        ConsumeKeyword("asc");
+      }
+      select.order_by.push_back(std::move(key));
+      if (!ConsumeSymbol(",")) break;
+    }
+  }
+  return select;
+}
+
+Result<AstCreateView> Parser::CreateView() {
+  AstCreateView view;
+  AGGVIEW_RETURN_NOT_OK(ExpectKeyword("create"));
+  AGGVIEW_RETURN_NOT_OK(ExpectKeyword("view"));
+  AGGVIEW_ASSIGN_OR_RETURN(view.name, Identifier());
+  if (ConsumeSymbol("(")) {
+    while (true) {
+      AGGVIEW_ASSIGN_OR_RETURN(std::string col, Identifier());
+      view.column_names.push_back(std::move(col));
+      if (!ConsumeSymbol(",")) break;
+    }
+    AGGVIEW_RETURN_NOT_OK(ExpectSymbol(")"));
+  }
+  AGGVIEW_RETURN_NOT_OK(ExpectKeyword("as"));
+  AGGVIEW_ASSIGN_OR_RETURN(view.select, Select());
+  return view;
+}
+
+Result<AstScript> Parser::Script() {
+  AstScript script;
+  while (AtKeyword("create")) {
+    AGGVIEW_ASSIGN_OR_RETURN(AstCreateView view, CreateView());
+    script.views.push_back(std::move(view));
+    AGGVIEW_RETURN_NOT_OK(ExpectSymbol(";"));
+  }
+  AGGVIEW_ASSIGN_OR_RETURN(script.query, Select());
+  ConsumeSymbol(";");
+  if (Peek().kind != TokenKind::kEnd) {
+    return Error("trailing input after query");
+  }
+  return script;
+}
+
+Result<AstSelect> Parser::SingleSelect() {
+  AGGVIEW_ASSIGN_OR_RETURN(AstSelect select, Select());
+  ConsumeSymbol(";");
+  if (Peek().kind != TokenKind::kEnd) {
+    return Error("trailing input after query");
+  }
+  return select;
+}
+
+}  // namespace
+
+Result<AstScript> ParseScript(const std::string& sql) {
+  AGGVIEW_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.Script();
+}
+
+Result<AstSelect> ParseSelect(const std::string& sql) {
+  AGGVIEW_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.SingleSelect();
+}
+
+}  // namespace aggview

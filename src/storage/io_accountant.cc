@@ -1,0 +1,18 @@
+#include "storage/io_accountant.h"
+
+#include <algorithm>
+
+namespace aggview {
+
+int64_t RowsPerPage(int64_t row_width_bytes) {
+  if (row_width_bytes <= 0) row_width_bytes = 1;
+  return std::max<int64_t>(1, kPageSizeBytes / row_width_bytes);
+}
+
+int64_t PagesForRows(int64_t rows, int64_t row_width_bytes) {
+  if (rows <= 0) return 0;
+  int64_t per_page = RowsPerPage(row_width_bytes);
+  return (rows + per_page - 1) / per_page;
+}
+
+}  // namespace aggview

@@ -1,0 +1,44 @@
+#ifndef AGGVIEW_STORAGE_IO_ACCOUNTANT_H_
+#define AGGVIEW_STORAGE_IO_ACCOUNTANT_H_
+
+#include <cstdint>
+
+namespace aggview {
+
+/// Page geometry shared by the storage layer and the cost model. Using the
+/// same unit on both sides is what makes "estimated IO" and "measured IO"
+/// directly comparable in the experiments.
+inline constexpr int64_t kPageSizeBytes = 8192;
+
+/// Number of buffer pages available to each operator (the `B` of the
+/// textbook cost formulas). Small enough that the experiment-scale tables do
+/// not all fit in memory, so join/sort/aggregate algorithm choice matters.
+inline constexpr int64_t kBufferPages = 64;
+
+/// Rows per page for a given row width, and pages for a given row count —
+/// the single definition used everywhere.
+int64_t RowsPerPage(int64_t row_width_bytes);
+int64_t PagesForRows(int64_t rows, int64_t row_width_bytes);
+
+/// Counts page reads and writes charged by the execution engine. The
+/// executor charges base-table scans per page and charges spill passes of
+/// out-of-core joins / sorts / aggregations, mirroring the cost model's
+/// formulas with actual (not estimated) cardinalities.
+class IoAccountant {
+ public:
+  void ChargeRead(int64_t pages) { reads_ += pages; }
+  void ChargeWrite(int64_t pages) { writes_ += pages; }
+  void Reset() { reads_ = writes_ = 0; }
+
+  int64_t reads() const { return reads_; }
+  int64_t writes() const { return writes_; }
+  int64_t total() const { return reads_ + writes_; }
+
+ private:
+  int64_t reads_ = 0;
+  int64_t writes_ = 0;
+};
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_STORAGE_IO_ACCOUNTANT_H_

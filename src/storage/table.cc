@@ -1,0 +1,19 @@
+#include "storage/table.h"
+
+namespace aggview {
+
+Status Table::Append(Row row) {
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    if (row[static_cast<size_t>(i)].type() != schema_.column(i).type) {
+      return Status::InvalidArgument("type mismatch in column '" +
+                                     schema_.column(i).name + "'");
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+}  // namespace aggview

@@ -1,0 +1,65 @@
+#ifndef AGGVIEW_TPCD_DBGEN_H_
+#define AGGVIEW_TPCD_DBGEN_H_
+
+#include "tpcd/schema.h"
+
+namespace aggview {
+
+/// Generation knobs. `scale_factor` mirrors TPC-D sizing (SF 1.0 ≈ 6M
+/// lineitems; the experiments run at SF 0.002–0.02). `skew` is the Zipf
+/// theta of foreign-key draws (0 = uniform).
+struct DbgenOptions {
+  double scale_factor = 0.01;
+  uint64_t seed = 42;
+  double skew = 0.0;
+
+  int64_t suppliers() const { return Scaled(10'000); }
+  int64_t customers() const { return Scaled(150'000); }
+  int64_t parts() const { return Scaled(200'000); }
+  int64_t orders() const { return Scaled(1'500'000); }
+  int64_t partsupp_per_part() const { return 4; }
+  int64_t nations() const { return 25; }
+  int64_t regions() const { return 5; }
+  int64_t max_lines_per_order() const { return 7; }
+
+ private:
+  int64_t Scaled(int64_t base) const {
+    int64_t n = static_cast<int64_t>(static_cast<double>(base) * scale_factor);
+    return n < 1 ? 1 : n;
+  }
+};
+
+/// Deterministically fills the eight TPC-D tables with synthetic data and
+/// computes exact statistics. The value distributions follow the benchmark's
+/// shape (uniform keys, date range of ~7 years, prices derived from keys)
+/// without reproducing dbgen byte-for-byte — the experiments only depend on
+/// cardinalities, key/FK structure, and selectivity knobs.
+Status GenerateTpcdData(Catalog* catalog, const TpcdTables& tables,
+                        const DbgenOptions& options);
+
+/// The paper's running example schema (Examples 1 and 2): emp(eno, dno, sal,
+/// age) and dept(dno, budget), with emp.dno a foreign key into dept.
+struct EmpDeptTables {
+  TableId emp = -1;
+  TableId dept = -1;
+};
+
+Result<EmpDeptTables> CreateEmpDeptSchema(Catalog* catalog);
+
+/// Data knobs for emp/dept aligned with the crossover discussion of
+/// Example 1: `young_fraction` controls the selectivity of `age < 22`, and
+/// `num_departments` the grouping cardinality.
+struct EmpDeptOptions {
+  int64_t num_employees = 10'000;
+  int64_t num_departments = 100;
+  double young_fraction = 0.05;
+  uint64_t seed = 7;
+  double budget_below_1m_fraction = 0.5;
+};
+
+Status GenerateEmpDeptData(Catalog* catalog, const EmpDeptTables& tables,
+                           const EmpDeptOptions& options);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_TPCD_DBGEN_H_

@@ -1,0 +1,94 @@
+#include "tpcd/queries.h"
+
+namespace aggview {
+namespace tpcd_queries {
+
+std::string TopSupplierRevenue() {
+  return R"sql(
+create view revenue (suppkey, total_rev) as
+  select l.l_suppkey, sum(l.l_extendedprice)
+  from lineitem l
+  where l.l_shipdate >= 1000 and l.l_shipdate < 1090
+  group by l.l_suppkey;
+select s.s_name, r.total_rev
+from supplier s, revenue r
+where s.s_suppkey = r.suppkey and r.total_rev > 100000
+)sql";
+}
+
+std::string SmallQuantityRevenue(const std::string& brand) {
+  return R"sql(
+create view avgqty (partkey, aq) as
+  select l2.l_partkey, avg(l2.l_quantity)
+  from lineitem l2
+  group by l2.l_partkey;
+select sum(l.l_extendedprice)
+from lineitem l, part p, avgqty a
+where p.p_partkey = l.l_partkey and a.partkey = l.l_partkey
+  and p.p_brand = ')sql" +
+         brand + R"sql(' and l.l_quantity < 0.5 * a.aq
+)sql";
+}
+
+std::string MinCostSupplier() {
+  return R"sql(
+create view mincost (partkey, mc) as
+  select ps2.ps_partkey, min(ps2.ps_supplycost)
+  from partsupp ps2
+  group by ps2.ps_partkey;
+select s.s_name, p.p_partkey
+from part p, supplier s, partsupp ps, mincost m
+where p.p_partkey = ps.ps_partkey and s.s_suppkey = ps.ps_suppkey
+  and m.partkey = p.p_partkey and ps.ps_supplycost = m.mc
+  and p.p_size = 15
+)sql";
+}
+
+std::string CustomerOrderProfile() {
+  return R"sql(
+create view ordagg (custkey, total) as
+  select o.o_custkey, sum(o.o_totalprice)
+  from orders o
+  group by o.o_custkey;
+create view custbal (nationkey, avgbal) as
+  select c2.c_nationkey, avg(c2.c_acctbal)
+  from customer c2
+  group by c2.c_nationkey;
+select c.c_name, oa.total
+from customer c, ordagg oa, custbal cb
+where c.c_custkey = oa.custkey and c.c_nationkey = cb.nationkey
+  and c.c_acctbal > cb.avgbal and oa.total > 100000
+)sql";
+}
+
+std::string SupplierBalanceRevenue() {
+  return R"sql(
+select l.l_suppkey, s.s_acctbal, sum(l.l_extendedprice)
+from lineitem l, supplier s
+where l.l_suppkey = s.s_suppkey
+group by l.l_suppkey, s.s_acctbal
+)sql";
+}
+
+std::string PartQuantityProfile() {
+  return R"sql(
+select l.l_partkey, sum(l.l_quantity), count(*)
+from lineitem l, partsupp ps
+where l.l_partkey = ps.ps_partkey
+group by l.l_partkey
+)sql";
+}
+
+std::vector<NamedQuery> AllQueries() {
+  return {
+      {"Q15-style top supplier revenue", TopSupplierRevenue()},
+      {"Q17-style small-quantity revenue", SmallQuantityRevenue("Brand#21")},
+      {"Q2-style minimum cost supplier", MinCostSupplier()},
+      {"multi-view customer order profile", CustomerOrderProfile()},
+      {"pushdown supplier balance revenue", SupplierBalanceRevenue()},
+      {"coalesce part quantity profile", PartQuantityProfile()},
+  };
+}
+
+}  // namespace tpcd_queries
+}  // namespace aggview

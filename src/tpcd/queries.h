@@ -1,0 +1,52 @@
+#ifndef AGGVIEW_TPCD_QUERIES_H_
+#define AGGVIEW_TPCD_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace aggview {
+
+/// SQL texts (in this library's SQL subset) of the decision-support query
+/// patterns the paper motivates: TPC-D queries whose flattened form joins
+/// base tables with aggregate views. Each returns a script for ParseAndBind.
+namespace tpcd_queries {
+
+/// Q15 pattern ("top supplier"): a revenue-per-supplier aggregate view joined
+/// back to supplier, with a revenue threshold standing in for the MAX
+/// correlation.
+std::string TopSupplierRevenue();
+
+/// Q17 pattern ("small-quantity-order revenue"): the per-part average
+/// quantity view joined with lineitem and part — Kim-style flattening of the
+/// correlated `l_quantity < avg(l_quantity)` subquery.
+std::string SmallQuantityRevenue(const std::string& brand);
+
+/// Q2 pattern ("minimum cost supplier"): the per-part minimum supply cost
+/// view joined with partsupp/supplier/nation.
+std::string MinCostSupplier();
+
+/// Per-customer order statistics joined against the customer table — a
+/// multi-view query exercising the Section 5.4 path (two aggregate views).
+std::string CustomerOrderProfile();
+
+/// Revenue per (supplier, account balance): the grouping key spans the
+/// join, so the lazy plan aggregates wide joined rows — invariant-grouping
+/// push-down territory (Section 4.1).
+std::string SupplierBalanceRevenue();
+
+/// Total quantity per part across the partsupp fan-out join — eager
+/// aggregation (simple coalescing, Section 4.2) territory.
+std::string PartQuantityProfile();
+
+/// All of the above, with display names.
+struct NamedQuery {
+  std::string name;
+  std::string sql;
+};
+std::vector<NamedQuery> AllQueries();
+
+}  // namespace tpcd_queries
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_TPCD_QUERIES_H_

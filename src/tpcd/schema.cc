@@ -1,0 +1,118 @@
+#include "tpcd/schema.h"
+
+namespace aggview {
+
+namespace {
+
+TableDef MakeTable(const std::string& name, std::vector<ColumnSpec> columns,
+                   std::vector<int> primary_key) {
+  TableDef def;
+  def.name = name;
+  def.schema = Schema(std::move(columns));
+  def.primary_key = std::move(primary_key);
+  return def;
+}
+
+}  // namespace
+
+Result<TpcdTables> CreateTpcdSchema(Catalog* catalog) {
+  TpcdTables t;
+
+  AGGVIEW_ASSIGN_OR_RETURN(
+      t.region,
+      catalog->AddTable(MakeTable(
+          "region",
+          {{"r_regionkey", DataType::kInt64}, {"r_name", DataType::kString}},
+          {0})));
+
+  AGGVIEW_ASSIGN_OR_RETURN(
+      t.nation, catalog->AddTable(MakeTable("nation",
+                                            {{"n_nationkey", DataType::kInt64},
+                                             {"n_name", DataType::kString},
+                                             {"n_regionkey", DataType::kInt64}},
+                                            {0})));
+
+  AGGVIEW_ASSIGN_OR_RETURN(
+      t.supplier,
+      catalog->AddTable(MakeTable("supplier",
+                                  {{"s_suppkey", DataType::kInt64},
+                                   {"s_name", DataType::kString},
+                                   {"s_nationkey", DataType::kInt64},
+                                   {"s_acctbal", DataType::kDouble}},
+                                  {0})));
+
+  AGGVIEW_ASSIGN_OR_RETURN(
+      t.customer,
+      catalog->AddTable(MakeTable("customer",
+                                  {{"c_custkey", DataType::kInt64},
+                                   {"c_name", DataType::kString},
+                                   {"c_nationkey", DataType::kInt64},
+                                   {"c_acctbal", DataType::kDouble},
+                                   {"c_mktsegment", DataType::kString}},
+                                  {0})));
+
+  AGGVIEW_ASSIGN_OR_RETURN(
+      t.part, catalog->AddTable(MakeTable("part",
+                                          {{"p_partkey", DataType::kInt64},
+                                           {"p_name", DataType::kString},
+                                           {"p_brand", DataType::kString},
+                                           {"p_type", DataType::kString},
+                                           {"p_size", DataType::kInt64},
+                                           {"p_retailprice", DataType::kDouble}},
+                                          {0})));
+
+  AGGVIEW_ASSIGN_OR_RETURN(
+      t.partsupp,
+      catalog->AddTable(MakeTable("partsupp",
+                                  {{"ps_partkey", DataType::kInt64},
+                                   {"ps_suppkey", DataType::kInt64},
+                                   {"ps_availqty", DataType::kInt64},
+                                   {"ps_supplycost", DataType::kDouble}},
+                                  {0, 1})));
+
+  AGGVIEW_ASSIGN_OR_RETURN(
+      t.orders,
+      catalog->AddTable(MakeTable("orders",
+                                  {{"o_orderkey", DataType::kInt64},
+                                   {"o_custkey", DataType::kInt64},
+                                   {"o_orderstatus", DataType::kString},
+                                   {"o_totalprice", DataType::kDouble},
+                                   {"o_orderdate", DataType::kInt64},
+                                   {"o_shippriority", DataType::kInt64}},
+                                  {0})));
+
+  AGGVIEW_ASSIGN_OR_RETURN(
+      t.lineitem,
+      catalog->AddTable(MakeTable("lineitem",
+                                  {{"l_orderkey", DataType::kInt64},
+                                   {"l_linenumber", DataType::kInt64},
+                                   {"l_partkey", DataType::kInt64},
+                                   {"l_suppkey", DataType::kInt64},
+                                   {"l_quantity", DataType::kDouble},
+                                   {"l_extendedprice", DataType::kDouble},
+                                   {"l_discount", DataType::kDouble},
+                                   {"l_shipdate", DataType::kInt64}},
+                                  {0, 1})));
+
+  auto fk = [&](TableId from, std::vector<int> from_cols, TableId to,
+                std::vector<int> to_cols) {
+    ForeignKey f;
+    f.referencing_table = from;
+    f.referencing_columns = std::move(from_cols);
+    f.referenced_table = to;
+    f.referenced_columns = std::move(to_cols);
+    return catalog->AddForeignKey(std::move(f));
+  };
+  AGGVIEW_RETURN_NOT_OK(fk(t.nation, {2}, t.region, {0}));
+  AGGVIEW_RETURN_NOT_OK(fk(t.supplier, {2}, t.nation, {0}));
+  AGGVIEW_RETURN_NOT_OK(fk(t.customer, {2}, t.nation, {0}));
+  AGGVIEW_RETURN_NOT_OK(fk(t.partsupp, {0}, t.part, {0}));
+  AGGVIEW_RETURN_NOT_OK(fk(t.partsupp, {1}, t.supplier, {0}));
+  AGGVIEW_RETURN_NOT_OK(fk(t.orders, {1}, t.customer, {0}));
+  AGGVIEW_RETURN_NOT_OK(fk(t.lineitem, {0}, t.orders, {0}));
+  AGGVIEW_RETURN_NOT_OK(fk(t.lineitem, {2}, t.part, {0}));
+  AGGVIEW_RETURN_NOT_OK(fk(t.lineitem, {3}, t.supplier, {0}));
+  return t;
+}
+
+}  // namespace aggview

@@ -1,0 +1,29 @@
+#ifndef AGGVIEW_TPCD_SCHEMA_H_
+#define AGGVIEW_TPCD_SCHEMA_H_
+
+#include <memory>
+
+#include "catalog/catalog.h"
+
+namespace aggview {
+
+/// Table ids of the TPC-D-style schema registered by CreateTpcdSchema.
+struct TpcdTables {
+  TableId region = -1;
+  TableId nation = -1;
+  TableId supplier = -1;
+  TableId customer = -1;
+  TableId part = -1;
+  TableId partsupp = -1;
+  TableId orders = -1;
+  TableId lineitem = -1;
+};
+
+/// Registers the eight TPC-D tables (schemas, primary keys, foreign keys)
+/// into `catalog`. Dates are stored as integer day indexes. No data is
+/// loaded; see dbgen.h.
+Result<TpcdTables> CreateTpcdSchema(Catalog* catalog);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_TPCD_SCHEMA_H_

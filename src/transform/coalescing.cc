@@ -1,0 +1,106 @@
+#include "transform/coalescing.h"
+
+namespace aggview {
+
+bool CoalescingApplicable(const GroupBySpec& spec,
+                          const std::set<ColId>& below_cols) {
+  for (const AggregateCall& a : spec.aggregates) {
+    if (!IsDecomposable(a.kind)) return false;
+    for (ColId arg : a.args) {
+      if (below_cols.count(arg) == 0) return false;
+    }
+  }
+  return true;
+}
+
+Result<CoalescingSplit> SplitForCoalescing(const GroupBySpec& spec,
+                                           const std::set<ColId>& below_cols,
+                                           const std::set<ColId>& carry_cols,
+                                           ColumnCatalog* columns) {
+  if (!CoalescingApplicable(spec, below_cols)) {
+    return Status::InvalidArgument(
+        "simple coalescing requires decomposable aggregates over the "
+        "pre-aggregated input");
+  }
+
+  CoalescingSplit split;
+
+  // Pre-aggregation grouping: original grouping columns available below,
+  // plus every below-column that later operators still need.
+  std::set<ColId> partial_grouping_set;
+  for (ColId g : spec.grouping) {
+    if (below_cols.count(g) > 0 && partial_grouping_set.insert(g).second) {
+      split.partial.grouping.push_back(g);
+    }
+  }
+  for (ColId c : carry_cols) {
+    if (below_cols.count(c) > 0 && partial_grouping_set.insert(c).second) {
+      split.partial.grouping.push_back(c);
+    }
+  }
+
+  for (const AggregateCall& original : spec.aggregates) {
+    switch (original.kind) {
+      case AggKind::kSum: {
+        ColId partial = columns->Add("psum(" + columns->name(original.args[0]) + ")",
+                                     columns->type(original.args[0]));
+        split.partial.aggregates.push_back(
+            {AggKind::kSum, original.args, partial});
+        split.final_aggregates.push_back(
+            {AggKind::kSum, {partial}, original.output});
+        break;
+      }
+      case AggKind::kCount:
+      case AggKind::kCountStar: {
+        ColId partial = columns->Add("pcount", DataType::kInt64);
+        split.partial.aggregates.push_back(
+            {original.kind, original.args, partial});
+        split.final_aggregates.push_back(
+            {AggKind::kSum, {partial}, original.output});
+        break;
+      }
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        ColId partial = columns->Add(
+            std::string("p") + AggKindName(original.kind) + "(" +
+                columns->name(original.args[0]) + ")",
+            columns->type(original.args[0]));
+        split.partial.aggregates.push_back(
+            {original.kind, original.args, partial});
+        split.final_aggregates.push_back(
+            {original.kind, {partial}, original.output});
+        break;
+      }
+      case AggKind::kAvg: {
+        ColId psum = columns->Add("psum(" + columns->name(original.args[0]) + ")",
+                                  DataType::kDouble);
+        ColId pcount = columns->Add("pcount", DataType::kInt64);
+        split.partial.aggregates.push_back(
+            {AggKind::kSum, original.args, psum});
+        split.partial.aggregates.push_back(
+            {AggKind::kCountStar, {}, pcount});
+        split.final_aggregates.push_back(
+            {AggKind::kAvgFinal, {psum, pcount}, original.output});
+        break;
+      }
+      case AggKind::kAvgFinal: {
+        // Re-splitting an already-coalesced AVG: pre-aggregate the partial
+        // sums and counts one level further.
+        ColId psum = columns->Add("psum", DataType::kDouble);
+        ColId pcount = columns->Add("pcount", DataType::kInt64);
+        split.partial.aggregates.push_back(
+            {AggKind::kSum, {original.args[0]}, psum});
+        split.partial.aggregates.push_back(
+            {AggKind::kSum, {original.args[1]}, pcount});
+        split.final_aggregates.push_back(
+            {AggKind::kAvgFinal, {psum, pcount}, original.output});
+        break;
+      }
+      case AggKind::kMedian:
+        return Status::Internal("unreachable: MEDIAN is not decomposable");
+    }
+  }
+  return split;
+}
+
+}  // namespace aggview

@@ -1,0 +1,44 @@
+#ifndef AGGVIEW_TRANSFORM_COALESCING_H_
+#define AGGVIEW_TRANSFORM_COALESCING_H_
+
+#include <set>
+
+#include "algebra/query.h"
+#include "common/result.h"
+
+namespace aggview {
+
+/// The two pieces of a simple-coalescing split (paper Section 4.2 /
+/// Figure 2(b)): a pre-aggregation G2 applied below the remaining joins, and
+/// the rewritten aggregate calls for the original (coalescing) group-by G1.
+struct CoalescingSplit {
+  /// The added pre-aggregation: groups by the original grouping columns
+  /// available below plus every below-column still needed later, computing
+  /// partial aggregates into fresh columns.
+  GroupBySpec partial;
+  /// Replacement aggregate calls for G1: same output columns as the original
+  /// calls, but combining the partial columns (SUM of partial SUMs, SUM of
+  /// partial COUNTs, MIN of MINs, AVG = sum/count of partials, ...).
+  std::vector<AggregateCall> final_aggregates;
+};
+
+/// True when `spec` can be split: every aggregate is decomposable (Section
+/// 4.2's applicability condition) and takes its arguments from `below_cols`
+/// (COUNT(*) qualifies trivially).
+bool CoalescingApplicable(const GroupBySpec& spec,
+                          const std::set<ColId>& below_cols);
+
+/// Computes the split. `below_cols` are the columns produced by the subplan
+/// the pre-aggregation is placed on; `carry_cols` are the below-columns that
+/// must survive the pre-aggregation because later joins/predicates/outputs
+/// use them (they become extra grouping columns of G2, which is always
+/// semantically safe — finer groups are coalesced by G1). Fresh partial
+/// columns are allocated in `columns`.
+Result<CoalescingSplit> SplitForCoalescing(const GroupBySpec& spec,
+                                           const std::set<ColId>& below_cols,
+                                           const std::set<ColId>& carry_cols,
+                                           ColumnCatalog* columns);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_TRANSFORM_COALESCING_H_

@@ -1,0 +1,146 @@
+#include "transform/propagate.h"
+
+#include <algorithm>
+#include <map>
+
+namespace aggview {
+
+namespace {
+
+/// Which view (index) owns `col` as a grouping output? -1 when none.
+int GroupingOwner(const Query& query, ColId col) {
+  for (size_t i = 0; i < query.views().size(); ++i) {
+    const auto& grouping = query.views()[i].group_by.grouping;
+    if (std::find(grouping.begin(), grouping.end(), col) != grouping.end()) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+bool IsBaseColumn(const Query& query, ColId col) {
+  for (int rel : query.base_rels()) {
+    const RangeVar& rv = query.range_var(rel);
+    if (std::find(rv.columns.begin(), rv.columns.end(), col) !=
+        rv.columns.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string PredKey(const Query& query, const Predicate& p) {
+  return p.ToString(query.columns());
+}
+
+}  // namespace
+
+Result<Query> PropagatePredicates(const Query& query) {
+  Query out = query;
+
+  // (2) View HAVING conjuncts bound by grouping columns move below the
+  // group-by.
+  for (AggView& view : out.views()) {
+    std::set<ColId> grouping(view.group_by.grouping.begin(),
+                             view.group_by.grouping.end());
+    std::vector<Predicate> staying;
+    for (const Predicate& p : view.group_by.having) {
+      if (p.BoundBy(grouping)) {
+        view.spj.predicates.push_back(p);
+      } else {
+        staying.push_back(p);
+      }
+    }
+    view.group_by.having = std::move(staying);
+  }
+
+  // (3) Top HAVING conjuncts bound by G0's grouping columns become WHERE
+  // conjuncts.
+  if (out.top_group_by().has_value()) {
+    GroupBySpec& g0 = *out.top_group_by();
+    std::set<ColId> grouping(g0.grouping.begin(), g0.grouping.end());
+    std::vector<Predicate> staying;
+    for (const Predicate& p : g0.having) {
+      if (p.BoundBy(grouping)) {
+        out.predicates().push_back(p);
+      } else {
+        staying.push_back(p);
+      }
+    }
+    g0.having = std::move(staying);
+  }
+
+  // (4) Transfer literal bounds across top-level equi-joins (implication:
+  // keep the source conjunct, add the derived one). Collect equivalence
+  // pairs first.
+  std::vector<std::pair<ColId, ColId>> equalities;
+  for (const Predicate& p : out.predicates()) {
+    ColId a, b;
+    if (p.AsColumnEquality(&a, &b)) {
+      equalities.emplace_back(a, b);
+    }
+  }
+  std::set<std::string> existing;
+  for (const Predicate& p : out.predicates()) {
+    existing.insert(PredKey(out, p));
+  }
+  for (const AggView& view : out.views()) {
+    for (const Predicate& p : view.spj.predicates) {
+      existing.insert(PredKey(out, p));
+    }
+  }
+  std::vector<Predicate> derived;
+  for (const Predicate& p : out.predicates()) {
+    ColId col;
+    CompareOp op;
+    Value v;
+    if (!p.AsColumnVsLiteral(&col, &op, &v)) continue;
+    for (const auto& [a, b] : equalities) {
+      ColId other = kInvalidColId;
+      if (a == col) other = b;
+      if (b == col) other = a;
+      if (other == kInvalidColId) continue;
+      // Only derive for columns the top block can filter early: base
+      // columns and view grouping outputs (handled by step 1 below).
+      if (!IsBaseColumn(out, other) && GroupingOwner(out, other) < 0) continue;
+      Predicate candidate(Col(other), op, Lit(v));
+      std::string key = PredKey(out, candidate);
+      if (existing.insert(key).second) {
+        derived.push_back(std::move(candidate));
+      }
+    }
+  }
+  for (Predicate& p : derived) out.predicates().push_back(std::move(p));
+
+  // (1) Top conjuncts over a single view's grouping outputs (and literals)
+  // move into that view's SPJ block.
+  std::vector<Predicate> staying_top;
+  for (const Predicate& p : out.predicates()) {
+    std::set<ColId> cols = p.Columns();
+    int target = -1;
+    bool movable = !cols.empty();
+    for (ColId c : cols) {
+      int owner = GroupingOwner(out, c);
+      if (owner < 0) {
+        movable = false;
+        break;
+      }
+      if (target >= 0 && owner != target) {
+        movable = false;
+        break;
+      }
+      target = owner;
+    }
+    if (movable && target >= 0) {
+      out.views()[static_cast<size_t>(target)].spj.predicates.push_back(p);
+    } else {
+      staying_top.push_back(p);
+    }
+  }
+  out.predicates() = std::move(staying_top);
+
+  AGGVIEW_RETURN_NOT_OK(out.Validate());
+  return out;
+}
+
+}  // namespace aggview

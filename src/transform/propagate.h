@@ -1,0 +1,35 @@
+#ifndef AGGVIEW_TRANSFORM_PROPAGATE_H_
+#define AGGVIEW_TRANSFORM_PROPAGATE_H_
+
+#include "algebra/query.h"
+#include "common/result.h"
+
+namespace aggview {
+
+/// Predicate propagation across query blocks — the preprocessing the paper
+/// cites as the state of the art it builds on (Section 1: "the techniques
+/// for optimizing queries with aggregate views have been limited to
+/// propagating predicates across query blocks [MFPR90, LMS94]").
+///
+/// Sound moves implemented:
+///  1. A top-level conjunct comparing a view's *grouping* output with a
+///     literal moves into the view's SPJ block (selections commute with
+///     group-by on grouping columns). Fewer groups are built and the join
+///     sees fewer rows.
+///  2. A view HAVING conjunct bound by grouping columns alone likewise
+///     moves into the view's SPJ block.
+///  3. The same for the top-level group-by: HAVING conjuncts bound by G0's
+///     grouping columns become top-level WHERE conjuncts.
+///  4. Literal bounds transfer across top-level equi-joins: from
+///     `a = b AND a < 5`, derive `b < 5` and push it to b's side when b is
+///     a view grouping output or a base column (implication, so the
+///     original conjunct is kept — this is the "magic"-style reduction).
+///
+/// Both optimizers run this first, so the comparison of Section 5 is against
+/// the realistic [LMS94]-preprocessed baseline, exactly as the paper frames
+/// it.
+Result<Query> PropagatePredicates(const Query& query);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_TRANSFORM_PROPAGATE_H_

@@ -1,0 +1,194 @@
+#include "transform/pullup.h"
+
+#include <algorithm>
+
+#include "algebra/logical_plan.h"
+
+namespace aggview {
+
+namespace {
+
+void CollectPredicateColumns(const std::vector<Predicate>& preds,
+                             std::set<ColId>* out) {
+  for (const Predicate& p : preds) {
+    for (ColId c : p.Columns()) out->insert(c);
+  }
+}
+
+}  // namespace
+
+Result<Query> PullUpIntoView(const Query& query, size_t view_idx,
+                             const std::set<int>& pulled) {
+  if (view_idx >= query.views().size()) {
+    return Status::InvalidArgument("view index out of range");
+  }
+  for (int r : pulled) {
+    if (std::find(query.base_rels().begin(), query.base_rels().end(), r) ==
+        query.base_rels().end()) {
+      return Status::InvalidArgument(
+          "pulled relation is not a top-block base relation");
+    }
+  }
+  if (pulled.empty()) return query;
+
+  Query out = query;
+  AggView& view = out.views()[view_idx];
+
+  std::set<ColId> view_cols = out.ColumnsOfRels(view.spj.rels);
+  std::vector<int> pulled_vec(pulled.begin(), pulled.end());
+  std::set<ColId> pulled_cols = out.ColumnsOfRels(pulled_vec);
+  std::set<ColId> agg_outputs = view.group_by.AggOutputSet();
+
+  std::set<ColId> block_cols = view_cols;
+  block_cols.insert(pulled_cols.begin(), pulled_cols.end());
+  std::set<ColId> block_and_aggs = block_cols;
+  block_and_aggs.insert(agg_outputs.begin(), agg_outputs.end());
+
+  // Partition the top-level conjunction (Definition 1 items 4 and 5).
+  std::vector<Predicate> staying_top;
+  std::vector<Predicate> new_spj_preds;
+  std::vector<Predicate> deferred_having;
+  for (const Predicate& p : out.predicates()) {
+    if (!p.BoundBy(block_and_aggs)) {
+      staying_top.push_back(p);
+      continue;
+    }
+    if (p.References(agg_outputs)) {
+      deferred_having.push_back(p);
+    } else if (p.References(pulled_cols)) {
+      new_spj_preds.push_back(p);
+    } else {
+      // Bound entirely by the view's own relations: it could only have been
+      // placed at the top if it referenced view outputs; keep it with the
+      // block either way.
+      new_spj_preds.push_back(p);
+    }
+  }
+
+  // Pulled columns still needed above the (deferred) group-by: referenced by
+  // the remaining top predicates, the top group-by, or the select list.
+  std::set<ColId> needed_above;
+  CollectPredicateColumns(staying_top, &needed_above);
+  // Columns referenced by the deferred HAVING conjuncts must be grouping
+  // columns of the deferred group-by (Example 1: e1.sal appears in query B's
+  // GROUP BY precisely because `e1.sal > avg(e2.sal)` is deferred).
+  CollectPredicateColumns(deferred_having, &needed_above);
+  if (out.top_group_by().has_value()) {
+    const GroupBySpec& g0 = *out.top_group_by();
+    needed_above.insert(g0.grouping.begin(), g0.grouping.end());
+    for (const AggregateCall& a : g0.aggregates) {
+      needed_above.insert(a.args.begin(), a.args.end());
+    }
+    CollectPredicateColumns(g0.having, &needed_above);
+  }
+  needed_above.insert(out.select_list().begin(), out.select_list().end());
+
+  // New grouping: original grouping, then needed pulled columns, then the
+  // primary key of each pulled relation unless elided (Definition 1 item 2).
+  std::vector<ColId> grouping = view.group_by.grouping;
+  std::set<ColId> grouping_set(grouping.begin(), grouping.end());
+  auto add_grouping = [&](ColId c) {
+    if (grouping_set.insert(c).second) grouping.push_back(c);
+  };
+  for (int r : pulled_vec) {
+    for (ColId c : out.range_var(r).columns) {
+      if (needed_above.count(c) > 0) add_grouping(c);
+    }
+  }
+
+  // Key elision: relation r's key may be skipped when the block's equi-join
+  // predicates bind a key of r to columns already in the grouping set (then
+  // at most one r-tuple matches each group — the foreign-key-join case).
+  std::vector<Predicate> all_block_preds = view.spj.predicates;
+  all_block_preds.insert(all_block_preds.end(), new_spj_preds.begin(),
+                         new_spj_preds.end());
+  std::set<int> others(view.spj.rels.begin(), view.spj.rels.end());
+  others.insert(pulled.begin(), pulled.end());
+  for (int r : pulled_vec) {
+    const RangeVar& rv = out.range_var(r);
+    const TableDef& def = out.catalog().table(rv.table);
+    std::set<int> partners = others;
+    partners.erase(r);
+
+    std::vector<int> fixed_local;
+    for (const auto& [partner_col, r_col] :
+         EquiJoinPairs(out, all_block_preds, partners, r)) {
+      if (grouping_set.count(partner_col) == 0) continue;
+      for (size_t i = 0; i < rv.columns.size(); ++i) {
+        if (rv.columns[i] == r_col) {
+          fixed_local.push_back(static_cast<int>(i));
+          break;
+        }
+      }
+    }
+    // Equality-with-literal selections also pin columns of r.
+    for (const Predicate& p : all_block_preds) {
+      ColId col;
+      CompareOp op;
+      Value v;
+      if (p.AsColumnVsLiteral(&col, &op, &v) && op == CompareOp::kEq) {
+        for (size_t i = 0; i < rv.columns.size(); ++i) {
+          if (rv.columns[i] == col) {
+            fixed_local.push_back(static_cast<int>(i));
+            break;
+          }
+        }
+      }
+    }
+    // Grouping columns owned by r are fixed per group by definition.
+    for (ColId g : grouping_set) {
+      for (size_t i = 0; i < rv.columns.size(); ++i) {
+        if (rv.columns[i] == g) fixed_local.push_back(static_cast<int>(i));
+      }
+    }
+    if (def.CoversKey(fixed_local)) continue;  // elide: ≤1 tuple per group
+    if (!def.primary_key.empty()) {
+      for (int k : def.primary_key) {
+        add_grouping(rv.columns[static_cast<size_t>(k)]);
+      }
+    } else if (rv.rowid != kInvalidColId) {
+      // Keyless table: group by the internal tuple id (paper, Section 3).
+      add_grouping(rv.rowid);
+    } else {
+      return Status::InvalidArgument(
+          "pull-up needs a primary key or tuple id on table '" + def.name +
+          "'");
+    }
+  }
+
+  // Assemble the extended view.
+  for (int r : pulled_vec) view.spj.rels.push_back(r);
+  view.spj.predicates.insert(view.spj.predicates.end(), new_spj_preds.begin(),
+                             new_spj_preds.end());
+  view.group_by.grouping = std::move(grouping);
+  view.group_by.having.insert(view.group_by.having.end(),
+                              deferred_having.begin(), deferred_having.end());
+
+  // Shrink the top block.
+  std::vector<int> new_base;
+  for (int r : out.base_rels()) {
+    if (pulled.count(r) == 0) new_base.push_back(r);
+  }
+  out.base_rels() = std::move(new_base);
+  out.predicates() = std::move(staying_top);
+
+  AGGVIEW_RETURN_NOT_OK(out.Validate());
+  return out;
+}
+
+bool SharesPredicateWithView(const Query& query, const AggView& view,
+                             const std::set<int>& already_pulled, int rel) {
+  std::set<ColId> rel_cols = query.range_var(rel).ColumnSet();
+  std::set<ColId> scope;
+  for (ColId c : view.OutputColumns()) scope.insert(c);
+  std::vector<int> pulled_vec(already_pulled.begin(), already_pulled.end());
+  std::set<ColId> pulled_cols = query.ColumnsOfRels(pulled_vec);
+  scope.insert(pulled_cols.begin(), pulled_cols.end());
+
+  for (const Predicate& p : query.predicates()) {
+    if (p.References(rel_cols) && p.References(scope)) return true;
+  }
+  return false;
+}
+
+}  // namespace aggview

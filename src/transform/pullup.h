@@ -1,0 +1,41 @@
+#ifndef AGGVIEW_TRANSFORM_PULLUP_H_
+#define AGGVIEW_TRANSFORM_PULLUP_H_
+
+#include <set>
+
+#include "algebra/query.h"
+#include "common/result.h"
+
+namespace aggview {
+
+/// The pull-up transformation of Section 3 (Definition 1), applied at the
+/// query level: absorbs the top-block relations `pulled` into view
+/// `view_idx`, deferring the view's group-by until after the joins with
+/// them. The result is again a canonical-form query.
+///
+/// Effects (numbers refer to Definition 1):
+///  - the pulled relations join the view's SPJ block;
+///  - top-level predicates bound by the enlarged block move into it: those
+///    involving the view's aggregate outputs become HAVING conjuncts of the
+///    deferred group-by (item 4), the rest become SPJ predicates (item 5);
+///  - the deferred group-by keeps its aggregates (item 3) and groups by the
+///    original grouping columns, every pulled column still needed above the
+///    view (item 1/2's "projection columns of J1"), and a primary key of
+///    each pulled relation (item 2) — the key is elided when the join into
+///    that relation already binds one of its keys to grouping columns (the
+///    paper's foreign-key-join case).
+///
+/// Pulling every top-block relation into the only view of a query with no
+/// G0 collapses the query to a single block — Example 1's query B.
+Result<Query> PullUpIntoView(const Query& query, size_t view_idx,
+                             const std::set<int>& pulled);
+
+/// True when pulling `rel` into `view` is worth enumerating under the
+/// paper's practical restriction: the relation shares a predicate with the
+/// (possibly already extended) view block.
+bool SharesPredicateWithView(const Query& query, const AggView& view,
+                             const std::set<int>& already_pulled, int rel);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_TRANSFORM_PULLUP_H_

@@ -1,0 +1,74 @@
+#ifndef AGGVIEW_TRANSFORM_PUSHDOWN_H_
+#define AGGVIEW_TRANSFORM_PUSHDOWN_H_
+
+#include <set>
+#include <vector>
+
+#include "algebra/query.h"
+#include "common/result.h"
+
+namespace aggview {
+
+/// Abstraction of a relation for group-by movement analysis: its output
+/// columns and its keys (column sets whose values are unique per row). Base
+/// tables contribute their declared primary/unique keys; composite inputs
+/// (already-aggregated views) contribute their grouping columns.
+struct RelShape {
+  std::set<ColId> cols;
+  std::vector<std::vector<ColId>> keys;
+
+  bool CoversKey(const std::set<ColId>& fixed) const;
+};
+
+/// True when a group-by `gb` evaluated over (retained ⋈ rel) can be moved to
+/// the retained side alone (invariant grouping, paper Section 4.1).
+///
+/// Sufficient conditions (cf. [CS94], [YL94]):
+///  (IG1) no aggregate argument comes from `rel`;
+///  (IG2) every predicate in `preds` connecting `rel` to the retained side
+///        references only grouping columns on the retained side;
+///  (IG3) unless all aggregates are duplicate-insensitive (MIN/MAX), at most
+///        one `rel` tuple matches each group: the columns of `rel` fixed by
+///        equi-joins with retained grouping columns, equality-with-literal
+///        selections, or membership in the grouping columns must cover one
+///        of `rel`'s keys.
+bool CanMoveGroupByPastShape(const RelShape& rel,
+                             const std::set<ColId>& retained_cols,
+                             const std::vector<Predicate>& preds,
+                             const GroupBySpec& gb);
+
+/// Fixpoint of CanMoveGroupByPastShape over `rels`: returns the indices of
+/// relations the group-by can be moved past (in some order). The complement
+/// is the paper's minimal invariant set V'.
+std::set<size_t> RemovableShapes(const std::vector<RelShape>& rels,
+                                 const std::vector<Predicate>& preds,
+                                 const GroupBySpec& gb);
+
+/// Invariant-grouping analysis of one aggregate view, in terms of the
+/// query's range-variable ids.
+struct InvariantAnalysis {
+  std::set<int> minimal_invariant_set;  // the paper's V'
+  std::set<int> removable;              // V - V'
+};
+
+/// Builds the RelShape of range variable `rel_id` (declared keys from the
+/// catalog).
+RelShape ShapeOfRangeVar(const Query& query, int rel_id);
+
+/// View-level wrapper over the shape analysis.
+InvariantAnalysis AnalyzeInvariantGrouping(const Query& query,
+                                           const AggView& view);
+
+/// Rewrites the query so that view `view_idx` retains only its minimal
+/// invariant set: removable relations move to the top block (forming B' of
+/// Section 5.3), their predicates move with them, grouping columns owned by
+/// moved relations leave the view's group-by, and HAVING conjuncts that
+/// reference moved columns become top-level predicates.
+///
+/// `moved` (optional) receives the ids of the relations that moved.
+Result<Query> ShrinkViewToInvariantSet(const Query& query, size_t view_idx,
+                                       std::set<int>* moved);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_TRANSFORM_PUSHDOWN_H_

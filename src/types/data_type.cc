@@ -1,0 +1,33 @@
+#include "types/data_type.h"
+
+namespace aggview {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+int64_t DataTypeWidth(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return 8;
+    case DataType::kDouble:
+      return 8;
+    case DataType::kString:
+      return 24;
+  }
+  return 8;
+}
+
+bool IsNumeric(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kDouble;
+}
+
+}  // namespace aggview

@@ -1,0 +1,30 @@
+#ifndef AGGVIEW_TYPES_DATA_TYPE_H_
+#define AGGVIEW_TYPES_DATA_TYPE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace aggview {
+
+/// Column data types. The paper's examples need integers (keys, ages),
+/// decimals (salaries, prices) and strings (names); per the paper's
+/// assumptions (Section 2) there are no NULLs.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Returns "INT64" / "DOUBLE" / "STRING".
+const char* DataTypeName(DataType type);
+
+/// Width in bytes used for page-count arithmetic. Strings use a declared
+/// fixed width stored in the column definition; this returns the default.
+int64_t DataTypeWidth(DataType type);
+
+/// True when values of `type` can be added / averaged.
+bool IsNumeric(DataType type);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_TYPES_DATA_TYPE_H_

@@ -1,0 +1,29 @@
+#include "types/schema.h"
+
+namespace aggview {
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int64_t Schema::RowWidth() const {
+  int64_t w = 0;
+  for (const ColumnSpec& c : columns_) w += c.width;
+  return w;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += DataTypeName(columns_[i].type);
+  }
+  return out;
+}
+
+}  // namespace aggview

@@ -1,0 +1,54 @@
+#ifndef AGGVIEW_TYPES_SCHEMA_H_
+#define AGGVIEW_TYPES_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/data_type.h"
+
+namespace aggview {
+
+/// A named, typed column with an explicit byte width used by the page-count
+/// arithmetic shared between the cost model and the storage accountant.
+struct ColumnSpec {
+  std::string name;
+  DataType type = DataType::kInt64;
+  int64_t width = 8;
+
+  ColumnSpec() = default;
+  ColumnSpec(std::string name_in, DataType type_in)
+      : name(std::move(name_in)), type(type_in), width(DataTypeWidth(type_in)) {}
+  ColumnSpec(std::string name_in, DataType type_in, int64_t width_in)
+      : name(std::move(name_in)), type(type_in), width(width_in) {}
+};
+
+/// An ordered list of column specs; the physical layout of a Row.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnSpec> columns)
+      : columns_(std::move(columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnSpec& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+
+  void AddColumn(ColumnSpec spec) { columns_.push_back(std::move(spec)); }
+
+  /// Index of the column named `name`, or -1 when absent.
+  int FindColumn(const std::string& name) const;
+
+  /// Sum of column widths: the row width used for page-count estimates.
+  int64_t RowWidth() const;
+
+  /// "name:TYPE, name:TYPE, ..." for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnSpec> columns_;
+};
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_TYPES_SCHEMA_H_

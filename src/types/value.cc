@@ -1,0 +1,72 @@
+#include "types/value.h"
+
+#include <cassert>
+#include <cstdio>
+#include <functional>
+
+namespace aggview {
+
+double Value::AsNumeric() const {
+  if (is_int()) return static_cast<double>(AsInt());
+  assert(is_double() && "AsNumeric on a string or null value");
+  return AsDouble();
+}
+
+int Value::Compare(const Value& other) const {
+  // Total order for grouping/sorting: NULL first, NULL == NULL.
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  if (is_string() || other.is_string()) {
+    assert(is_string() && other.is_string() &&
+           "comparing string with numeric value");
+    return AsString().compare(other.AsString());
+  }
+  if (is_int() && other.is_int()) {
+    int64_t a = AsInt(), b = other.AsInt();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  double a = AsNumeric(), b = other.AsNumeric();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+    return buf;
+  }
+  return "'" + AsString() + "'";
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ull;
+  if (is_string()) return std::hash<std::string>{}(AsString());
+  // Hash numerics through their double representation so that equal values of
+  // different numeric types collide, matching operator==.
+  double d = AsNumeric();
+  if (d == 0.0) d = 0.0;  // normalize -0.0
+  return std::hash<double>{}(d);
+}
+
+size_t HashRow(const Row& row) {
+  size_t h = 1469598103934665603ull;
+  for (const Value& v : row) {
+    h ^= v.Hash();
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool RowEq::operator()(const Row& a, const Row& b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace aggview

@@ -1,0 +1,100 @@
+#ifndef AGGVIEW_TYPES_VALUE_H_
+#define AGGVIEW_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "types/data_type.h"
+
+namespace aggview {
+
+/// A single column value. Per the paper's Section 2 assumptions base tables
+/// contain no NULLs; the null state exists for the outer-join extension
+/// (footnote 3: flattening nested subqueries "may introduce outerjoins"),
+/// whose padding rows carry NULLs into intermediate results.
+///
+/// Comparison across the two numeric types promotes to double, which is what
+/// the expression evaluator relies on for predicates like `e.sal > b.asal`
+/// where one side is an AVG (double) and the other an INT64 column.
+///
+/// NULL semantics: Compare() defines a total order with NULL first and
+/// NULL == NULL (the grouping/sorting convention); *predicates* implement
+/// the SQL convention separately — any comparison involving NULL is false
+/// (see Predicate::Eval).
+class Value {
+ public:
+  Value() : rep_(int64_t{0}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Real(double v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+  static Value Null() {
+    Value v;
+    v.rep_ = std::monostate{};
+    return v;
+  }
+
+  DataType type() const {
+    switch (rep_.index()) {
+      case 0:
+        return DataType::kInt64;
+      case 1:
+        return DataType::kDouble;
+      default:
+        return DataType::kString;
+    }
+  }
+
+  bool is_int() const { return rep_.index() == 0; }
+  bool is_double() const { return rep_.index() == 1; }
+  bool is_string() const { return rep_.index() == 2; }
+  bool is_null() const { return rep_.index() == 3; }
+
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Numeric view: INT64 and DOUBLE both convert; strings abort.
+  double AsNumeric() const;
+
+  /// Three-way comparison: <0, 0, >0. Numeric types compare by value with
+  /// promotion; strings compare lexicographically. Comparing a string with a
+  /// numeric type is a caller bug (checked by the binder) and aborts.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// SQL-literal-ish rendering, e.g. 42, 3.5, 'abc'.
+  std::string ToString() const;
+
+  /// Hash compatible with operator== (numeric 3.0 and integer 3 hash alike).
+  size_t Hash() const;
+
+ private:
+  std::variant<int64_t, double, std::string, std::monostate> rep_;
+};
+
+/// A row is a flat vector of values positionally aligned with some schema.
+using Row = std::vector<Value>;
+
+/// Hashes a whole row (for hash joins / hash aggregation).
+size_t HashRow(const Row& row);
+
+/// Hash/equality functors over rows for unordered containers.
+struct RowHash {
+  size_t operator()(const Row& r) const { return HashRow(r); }
+};
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const;
+};
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_TYPES_VALUE_H_

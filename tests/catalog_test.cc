@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/statistics.h"
+#include "common/random.h"
+#include "storage/table.h"
+
+namespace aggview {
+namespace {
+
+TableDef SimpleTable(const std::string& name) {
+  TableDef def;
+  def.name = name;
+  def.schema = Schema({{"id", DataType::kInt64}, {"v", DataType::kDouble}});
+  def.primary_key = {0};
+  return def;
+}
+
+TEST(CatalogTest, AddAndFind) {
+  Catalog catalog;
+  auto id = catalog.AddTable(SimpleTable("t"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(catalog.table(*id).name, "t");
+  auto found = catalog.FindTable("t");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, *id);
+  EXPECT_FALSE(catalog.FindTable("nope").ok());
+}
+
+TEST(CatalogTest, RejectsDuplicateNames) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(SimpleTable("t")).ok());
+  EXPECT_EQ(catalog.AddTable(SimpleTable("t")).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, RejectsBadPrimaryKey) {
+  Catalog catalog;
+  TableDef def = SimpleTable("t");
+  def.primary_key = {5};
+  EXPECT_EQ(catalog.AddTable(std::move(def)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, CoversKey) {
+  TableDef def = SimpleTable("t");
+  def.unique_keys = {{1}};
+  EXPECT_TRUE(def.CoversKey({0}));
+  EXPECT_TRUE(def.CoversKey({0, 1}));
+  EXPECT_TRUE(def.CoversKey({1}));
+  def.unique_keys.clear();
+  EXPECT_FALSE(def.CoversKey({1}));
+  EXPECT_FALSE(def.CoversKey({}));
+}
+
+TEST(CatalogTest, CompositeKeyCoverage) {
+  TableDef def;
+  def.name = "c";
+  def.schema = Schema({{"a", DataType::kInt64},
+                       {"b", DataType::kInt64},
+                       {"v", DataType::kDouble}});
+  def.primary_key = {0, 1};
+  EXPECT_FALSE(def.CoversKey({0}));
+  EXPECT_TRUE(def.CoversKey({1, 0}));
+  EXPECT_TRUE(def.CoversKey({0, 1, 2}));
+}
+
+TEST(CatalogTest, ForeignKeyValidation) {
+  Catalog catalog;
+  auto parent = catalog.AddTable(SimpleTable("parent"));
+  TableDef child_def = SimpleTable("child");
+  child_def.schema.AddColumn({"pid", DataType::kInt64});
+  auto child = catalog.AddTable(std::move(child_def));
+  ASSERT_TRUE(parent.ok() && child.ok());
+
+  ForeignKey good;
+  good.referencing_table = *child;
+  good.referencing_columns = {2};
+  good.referenced_table = *parent;
+  good.referenced_columns = {0};
+  EXPECT_TRUE(catalog.AddForeignKey(good).ok());
+
+  ForeignKey not_a_key = good;
+  not_a_key.referenced_columns = {1};  // "v" is not a key of parent
+  EXPECT_FALSE(catalog.AddForeignKey(not_a_key).ok());
+
+  ForeignKey arity = good;
+  arity.referencing_columns = {2, 0};
+  EXPECT_FALSE(catalog.AddForeignKey(arity).ok());
+}
+
+TEST(CatalogTest, IsForeignKeyJoin) {
+  Catalog catalog;
+  auto parent = catalog.AddTable(SimpleTable("parent"));
+  TableDef child_def = SimpleTable("child");
+  child_def.schema.AddColumn({"pid", DataType::kInt64});
+  auto child = catalog.AddTable(std::move(child_def));
+  ForeignKey fk;
+  fk.referencing_table = *child;
+  fk.referencing_columns = {2};
+  fk.referenced_table = *parent;
+  fk.referenced_columns = {0};
+  ASSERT_TRUE(catalog.AddForeignKey(fk).ok());
+
+  EXPECT_TRUE(catalog.IsForeignKeyJoin(*child, {2}, *parent, {0}));
+  EXPECT_FALSE(catalog.IsForeignKeyJoin(*child, {0}, *parent, {0}));
+  EXPECT_FALSE(catalog.IsForeignKeyJoin(*parent, {0}, *child, {2}));
+}
+
+TEST(StatisticsTest, ComputeStats) {
+  Table t(Schema({{"id", DataType::kInt64}, {"v", DataType::kDouble},
+                  {"s", DataType::kString}}));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Append({Value::Int(i), Value::Real(i % 3),
+                          Value::Str(i % 2 == 0 ? "even" : "odd")})
+                    .ok());
+  }
+  TableStats stats = ComputeStats(t);
+  EXPECT_EQ(stats.row_count, 10);
+  ASSERT_EQ(stats.columns.size(), 3u);
+  EXPECT_EQ(stats.columns[0].distinct, 10);
+  EXPECT_EQ(stats.columns[1].distinct, 3);
+  EXPECT_EQ(stats.columns[2].distinct, 2);
+  EXPECT_TRUE(stats.columns[0].has_range);
+  EXPECT_DOUBLE_EQ(stats.columns[0].min, 0.0);
+  EXPECT_DOUBLE_EQ(stats.columns[0].max, 9.0);
+  EXPECT_FALSE(stats.columns[2].has_range);
+}
+
+TEST(StatisticsTest, EquiDepthHistogram) {
+  Table t(Schema({{"v", DataType::kDouble}}));
+  // Bimodal: 900 values near 0, 100 values near 1000 — uniform
+  // interpolation would be badly wrong here.
+  for (int i = 0; i < 900; ++i) t.AppendUnchecked({Value::Real(i * 0.001)});
+  for (int i = 0; i < 100; ++i) t.AppendUnchecked({Value::Real(1000.0 + i)});
+  TableStats stats = ComputeStats(t);
+  const Histogram& h = stats.columns[0].histogram;
+  ASSERT_FALSE(h.empty());
+  // ~90% of rows are below 1.0.
+  EXPECT_NEAR(h.FractionBelow(1.0), 0.9, 0.05);
+  // Uniform interpolation would have claimed ~0.1% here.
+  EXPECT_GT(h.FractionBelow(500.0), 0.85);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(1e9), 1.0);
+}
+
+TEST(StatisticsTest, HistogramMonotone) {
+  Table t(Schema({{"v", DataType::kInt64}}));
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    t.AppendUnchecked({Value::Int(rng.Zipf(1000, 1.1))});
+  }
+  TableStats stats = ComputeStats(t);
+  const Histogram& h = stats.columns[0].histogram;
+  ASSERT_FALSE(h.empty());
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1001.0; x += 13.0) {
+    double f = h.FractionBelow(x);
+    EXPECT_GE(f, prev - 1e-12);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+}
+
+TEST(StatisticsTest, HistogramAccurateOnSkewedData) {
+  Table t(Schema({{"v", DataType::kInt64}}));
+  Rng rng(7);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t v = rng.Zipf(10000, 1.0);
+    values.push_back(v);
+    t.AppendUnchecked({Value::Int(v)});
+  }
+  TableStats stats = ComputeStats(t);
+  const Histogram& h = stats.columns[0].histogram;
+  for (int64_t cut : {5, 50, 500, 5000}) {
+    double actual = 0;
+    for (int64_t v : values) {
+      if (v < cut) actual += 1;
+    }
+    actual /= static_cast<double>(values.size());
+    EXPECT_NEAR(h.FractionBelow(static_cast<double>(cut)), actual, 0.05)
+        << "cut " << cut;
+  }
+}
+
+TEST(StatisticsTest, EmptyTable) {
+  Table t(Schema({{"id", DataType::kInt64}}));
+  TableStats stats = ComputeStats(t);
+  EXPECT_EQ(stats.row_count, 0);
+  EXPECT_EQ(stats.columns[0].distinct, 1);  // clamped to avoid div-by-zero
+  EXPECT_FALSE(stats.columns[0].has_range);
+}
+
+}  // namespace
+}  // namespace aggview

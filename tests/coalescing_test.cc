@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "transform/coalescing.h"
+#include "optimizer/plan.h"
+#include "test_util.h"
+
+namespace aggview {
+namespace {
+
+class CoalescingTest : public ::testing::Test {
+ protected:
+  CoalescingTest()
+      : fixture_(MakeEmpDept(Options())), q_(fixture_.catalog.get()) {
+    e_ = q_.AddRangeVar(fixture_.tables.emp, "e");
+    f_ = q_.AddRangeVar(fixture_.tables.emp, "f");  // fan-out join partner
+    q_.base_rels() = {e_, f_};
+    e_dno_ = q_.range_var(e_).columns[1];
+    e_sal_ = q_.range_var(e_).columns[2];
+    f_dno_ = q_.range_var(f_).columns[1];
+  }
+
+  static EmpDeptOptions Options() {
+    EmpDeptOptions o;
+    o.num_employees = 120;
+    o.num_departments = 8;
+    return o;
+  }
+
+  /// Builds the lazy plan G(e ⋈ f) and the eager plan G_final(G_partial(e) ⋈ f)
+  /// and checks that they produce identical results. The e-f join fans out
+  /// (dno is not a key), which is exactly the multiplicity case eager
+  /// aggregation must preserve.
+  void CheckEagerEqualsLazy(const GroupBySpec& gb) {
+    q_.select_list().clear();
+    for (ColId c : gb.OutputColumns()) q_.select_list().push_back(c);
+    q_.top_group_by() = gb;
+
+    PlanBuilder b(q_);
+    std::vector<Predicate> join = {EqCols(e_dno_, f_dno_)};
+    std::set<ColId> needed(q_.select_list().begin(), q_.select_list().end());
+    for (ColId c : gb.AggArgSet()) needed.insert(c);
+    for (ColId g : gb.grouping) needed.insert(g);
+    needed.insert(e_dno_);
+    needed.insert(f_dno_);
+
+    // Lazy: join first, aggregate last.
+    PlanPtr lazy = b.GroupBy(
+        b.Join(JoinAlgo::kHash, b.Scan(e_, {}, needed), b.Scan(f_, {}, needed),
+               join, needed),
+        gb, needed);
+
+    // Eager: pre-aggregate the e side, join, combine.
+    std::set<ColId> below = q_.range_var(e_).ColumnSet();
+    auto split = SplitForCoalescing(gb, below, {e_dno_}, &q_.columns());
+    ASSERT_OK(split);
+    std::set<ColId> needed2 = needed;
+    for (const AggregateCall& a : split->partial.aggregates) {
+      needed2.insert(a.output);
+    }
+    GroupBySpec final_spec;
+    final_spec.grouping = gb.grouping;
+    final_spec.aggregates = split->final_aggregates;
+    final_spec.having = gb.having;
+    PlanPtr eager = b.GroupBy(
+        b.Join(JoinAlgo::kHash,
+               b.GroupBy(b.Scan(e_, {}, needed2), split->partial, needed2),
+               b.Scan(f_, {}, needed2), join, needed2),
+        final_spec, needed2);
+
+    auto r_lazy = ExecutePlan(lazy, q_, nullptr);
+    ASSERT_OK(r_lazy);
+    auto r_eager = ExecutePlan(eager, q_, nullptr);
+    ASSERT_OK(r_eager);
+    EXPECT_GT(r_lazy->rows.size(), 0u);
+    EXPECT_EQ(r_lazy->Fingerprint(), r_eager->Fingerprint());
+  }
+
+  ColId NewOut(const char* name, DataType t) { return q_.columns().Add(name, t); }
+
+  EmpDeptFixture fixture_;
+  Query q_;
+  int e_, f_;
+  ColId e_dno_, e_sal_, f_dno_;
+};
+
+TEST_F(CoalescingTest, ApplicabilityRequiresDecomposableAggregates) {
+  GroupBySpec gb;
+  gb.grouping = {e_dno_};
+  gb.aggregates = {{AggKind::kMedian, {e_sal_}, NewOut("m", DataType::kDouble)}};
+  EXPECT_FALSE(CoalescingApplicable(gb, q_.range_var(e_).ColumnSet()));
+  auto split = SplitForCoalescing(gb, q_.range_var(e_).ColumnSet(), {},
+                                  &q_.columns());
+  EXPECT_FALSE(split.ok());
+}
+
+TEST_F(CoalescingTest, ApplicabilityRequiresArgsBelow) {
+  GroupBySpec gb;
+  gb.grouping = {e_dno_};
+  // Aggregate over f's column cannot be pre-computed on e alone.
+  gb.aggregates = {
+      {AggKind::kSum, {q_.range_var(f_).columns[2]}, NewOut("s", DataType::kDouble)}};
+  EXPECT_FALSE(CoalescingApplicable(gb, q_.range_var(e_).ColumnSet()));
+}
+
+TEST_F(CoalescingTest, CountStarIsAlwaysApplicable) {
+  GroupBySpec gb;
+  gb.grouping = {e_dno_};
+  gb.aggregates = {{AggKind::kCountStar, {}, NewOut("c", DataType::kInt64)}};
+  EXPECT_TRUE(CoalescingApplicable(gb, q_.range_var(e_).ColumnSet()));
+}
+
+TEST_F(CoalescingTest, SplitStructure) {
+  GroupBySpec gb;
+  gb.grouping = {e_dno_};
+  gb.aggregates = {{AggKind::kAvg, {e_sal_}, NewOut("a", DataType::kDouble)}};
+  auto split = SplitForCoalescing(gb, q_.range_var(e_).ColumnSet(), {e_dno_},
+                                  &q_.columns());
+  ASSERT_OK(split);
+  // AVG splits into SUM + COUNT partials and one AvgFinal.
+  EXPECT_EQ(split->partial.aggregates.size(), 2u);
+  ASSERT_EQ(split->final_aggregates.size(), 1u);
+  EXPECT_EQ(split->final_aggregates[0].kind, AggKind::kAvgFinal);
+  // The final call writes into the ORIGINAL output column id.
+  EXPECT_EQ(split->final_aggregates[0].output, gb.aggregates[0].output);
+  EXPECT_EQ(split->partial.grouping, (std::vector<ColId>{e_dno_}));
+}
+
+TEST_F(CoalescingTest, SumSurvivesFanOutJoin) {
+  GroupBySpec gb;
+  gb.grouping = {e_dno_};
+  gb.aggregates = {{AggKind::kSum, {e_sal_}, NewOut("s", DataType::kDouble)}};
+  CheckEagerEqualsLazy(gb);
+}
+
+TEST_F(CoalescingTest, CountStarSurvivesFanOutJoin) {
+  GroupBySpec gb;
+  gb.grouping = {e_dno_};
+  gb.aggregates = {{AggKind::kCountStar, {}, NewOut("c", DataType::kInt64)}};
+  CheckEagerEqualsLazy(gb);
+}
+
+TEST_F(CoalescingTest, CountColumnSurvivesFanOutJoin) {
+  GroupBySpec gb;
+  gb.grouping = {e_dno_};
+  gb.aggregates = {{AggKind::kCount, {e_sal_}, NewOut("c", DataType::kInt64)}};
+  CheckEagerEqualsLazy(gb);
+}
+
+TEST_F(CoalescingTest, MinMaxSurviveFanOutJoin) {
+  GroupBySpec gb;
+  gb.grouping = {e_dno_};
+  gb.aggregates = {{AggKind::kMin, {e_sal_}, NewOut("mn", DataType::kDouble)},
+                   {AggKind::kMax, {e_sal_}, NewOut("mx", DataType::kDouble)}};
+  CheckEagerEqualsLazy(gb);
+}
+
+TEST_F(CoalescingTest, AvgSurvivesFanOutJoin) {
+  GroupBySpec gb;
+  gb.grouping = {e_dno_};
+  gb.aggregates = {{AggKind::kAvg, {e_sal_}, NewOut("a", DataType::kDouble)}};
+  CheckEagerEqualsLazy(gb);
+}
+
+TEST_F(CoalescingTest, MixedAggregatesSurviveFanOutJoin) {
+  GroupBySpec gb;
+  gb.grouping = {e_dno_};
+  gb.aggregates = {{AggKind::kSum, {e_sal_}, NewOut("s", DataType::kDouble)},
+                   {AggKind::kAvg, {e_sal_}, NewOut("a", DataType::kDouble)},
+                   {AggKind::kCountStar, {}, NewOut("c", DataType::kInt64)},
+                   {AggKind::kMin, {e_sal_}, NewOut("m", DataType::kDouble)}};
+  CheckEagerEqualsLazy(gb);
+}
+
+TEST_F(CoalescingTest, HavingStaysAtFinal) {
+  GroupBySpec gb;
+  gb.grouping = {e_dno_};
+  ColId c = NewOut("c", DataType::kInt64);
+  gb.aggregates = {{AggKind::kCountStar, {}, c}};
+  gb.having = {Cmp(Col(c), CompareOp::kGt, LitInt(100))};
+  CheckEagerEqualsLazy(gb);
+}
+
+TEST_F(CoalescingTest, ResplitAvgFinal) {
+  // Splitting twice (an already-coalesced AVG pre-aggregated again) still
+  // produces a consistent combining chain.
+  GroupBySpec gb;
+  gb.grouping = {e_dno_};
+  ColId a = NewOut("a", DataType::kDouble);
+  gb.aggregates = {{AggKind::kAvg, {e_sal_}, a}};
+  auto split1 = SplitForCoalescing(gb, q_.range_var(e_).ColumnSet(), {e_dno_},
+                                   &q_.columns());
+  ASSERT_OK(split1);
+  GroupBySpec second;
+  second.grouping = gb.grouping;
+  second.aggregates = split1->final_aggregates;
+  std::set<ColId> below2(split1->partial.OutputColumns().begin(),
+                         split1->partial.OutputColumns().end());
+  auto split2 = SplitForCoalescing(second, below2, {e_dno_}, &q_.columns());
+  ASSERT_OK(split2);
+  EXPECT_EQ(split2->final_aggregates[0].kind, AggKind::kAvgFinal);
+  EXPECT_EQ(split2->final_aggregates[0].output, a);
+}
+
+}  // namespace
+}  // namespace aggview

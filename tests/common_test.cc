@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace aggview {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arg");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad arg");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad arg");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kUnimplemented, StatusCode::kInternal,
+        StatusCode::kParseError, StatusCode::kBindError,
+        StatusCode::kExecutionError}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status UsesReturnMacro(int x) {
+  AGGVIEW_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(Status, ReturnNotOkMacro) {
+  EXPECT_TRUE(UsesReturnMacro(1).ok());
+  EXPECT_EQ(UsesReturnMacro(-1).code(), StatusCode::kOutOfRange);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  AGGVIEW_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 21);
+  EXPECT_EQ(r.value_or(-1), 21);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = Doubled(5);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 10);
+  Result<int> err = Doubled(-5);
+  EXPECT_FALSE(err.ok());
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, ZipfRespectsBounds) {
+  Rng rng(2);
+  for (double theta : {0.0, 0.5, 1.0, 1.5}) {
+    for (int i = 0; i < 500; ++i) {
+      int64_t v = rng.Zipf(100, theta);
+      EXPECT_GE(v, 1);
+      EXPECT_LE(v, 100);
+    }
+  }
+}
+
+TEST(Rng, ZipfIsSkewed) {
+  Rng rng(3);
+  int64_t low_ranks = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Zipf(1000, 1.2) <= 10) ++low_ranks;
+  }
+  // Under uniform draws P(rank <= 10) = 1%; with theta=1.2 it is far larger.
+  EXPECT_GT(low_ranks, kDraws / 20);
+}
+
+TEST(Rng, StringHasRequestedLength) {
+  Rng rng(4);
+  EXPECT_EQ(rng.String(12).size(), 12u);
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(StringUtil, ToLower) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToLower("abc_123"), "abc_123");
+}
+
+TEST(StringUtil, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("GROUP", "group"));
+  EXPECT_FALSE(EqualsIgnoreCase("GROUP", "groups"));
+}
+
+TEST(StringUtil, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+}  // namespace
+}  // namespace aggview

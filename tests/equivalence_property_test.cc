@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "transform/pullup.h"
+#include "test_util.h"
+
+namespace aggview {
+namespace {
+
+/// Property: for every query in the family and every randomized database,
+/// the traditional plan, the extended (pull-up/push-down) plan, and every
+/// ablated optimizer configuration produce identical result multisets.
+class EquivalenceProperty : public ::testing::TestWithParam<int> {};
+
+/// Query templates spanning the transformation space: single views,
+/// multi-views, MIN/MAX vs SUM/AVG, HAVING, top group-bys, deferred
+/// aggregate predicates, fan-out joins.
+std::vector<std::string> QueryFamily(Rng* rng) {
+  auto lit = [&](double lo, double hi) {
+    return std::to_string(rng->Uniform(static_cast<int64_t>(lo),
+                                       static_cast<int64_t>(hi)));
+  };
+  std::vector<std::string> queries;
+  // Example 1 with a random age threshold.
+  queries.push_back(R"sql(
+create view a1 (dno, asal) as
+  select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
+select e1.sal from emp e1, a1 b
+where e1.dno = b.dno and e1.age < )sql" + lit(19, 40) + R"sql( and e1.sal > b.asal
+)sql");
+  // Example 2 with a random budget threshold.
+  queries.push_back(R"sql(
+select e.dno, avg(e.sal) from emp e, dept d
+where e.dno = d.dno and d.budget < )sql" + lit(200000, 4000000) + R"sql(
+group by e.dno
+)sql");
+  // View with MIN (duplicate-insensitive) + top group-by.
+  queries.push_back(R"sql(
+create view lows (dno, lo) as
+  select e2.dno, min(e2.sal) from emp e2 group by e2.dno;
+select e1.dno, count(*)
+from emp e1, lows v
+where e1.dno = v.dno and e1.sal < 2 * v.lo
+group by e1.dno
+)sql");
+  // Multi-relation view with HAVING and a selective dept filter.
+  queries.push_back(R"sql(
+create view busy (dno, cnt, total) as
+  select e.dno, count(*), sum(e.sal)
+  from emp e, dept d
+  where e.dno = d.dno and d.budget < )sql" + lit(500000, 3000000) + R"sql(
+  group by e.dno
+  having count(*) > 1;
+select busy.dno, busy.total from busy where busy.cnt < )sql" + lit(3, 60) + R"sql(
+)sql");
+  // Two views joined through a base relation.
+  queries.push_back(R"sql(
+create view v1 (dno, asal) as
+  select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
+create view v2 (dno, mage) as
+  select e3.dno, max(e3.age) from emp e3 group by e3.dno;
+select e1.sal
+from emp e1, v1, v2
+where e1.dno = v1.dno and e1.sal > v1.asal
+  and e1.dno = v2.dno and e1.age < v2.mage
+)sql");
+  // Fan-out self join under a top aggregate (coalescing territory).
+  queries.push_back(R"sql(
+select e.dno, sum(e.sal), count(*)
+from emp e, emp f
+where e.dno = f.dno and f.age > )sql" + lit(20, 50) + R"sql(
+group by e.dno
+)sql");
+  // MEDIAN view: non-decomposable, blocks coalescing but not pull-up.
+  queries.push_back(R"sql(
+create view meds (dno, med) as
+  select e2.dno, median(e2.sal) from emp e2 group by e2.dno;
+select e1.eno from emp e1, meds m
+where e1.dno = m.dno and e1.sal > m.med and e1.age < )sql" + lit(25, 45) + R"sql(
+)sql");
+  // Scalar aggregate over a join with a view.
+  queries.push_back(R"sql(
+create view a1 (dno, asal) as
+  select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
+select count(*) from emp e1, a1 b
+where e1.dno = b.dno and e1.sal > b.asal
+)sql");
+  return queries;
+}
+
+TEST_P(EquivalenceProperty, AllOptimizerConfigurationsAgree) {
+  int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 7919 + 13);
+
+  EmpDeptOptions data;
+  data.num_employees = 200 + rng.Uniform(0, 800);
+  data.num_departments = 3 + rng.Uniform(0, 40);
+  data.young_fraction = rng.UniformReal(0.02, 0.5);
+  data.seed = static_cast<uint64_t>(seed) + 1000;
+  EmpDeptFixture fixture = MakeEmpDept(data);
+
+  for (const std::string& sql : QueryFamily(&rng)) {
+    SCOPED_TRACE(sql);
+    auto query = ParseAndBind(*fixture.catalog, sql);
+    ASSERT_OK(query);
+
+    std::string reference;
+    // Configurations: traditional, extended default, and ablations.
+    std::vector<OptimizerOptions> configs;
+    configs.push_back(TraditionalOptions());
+    configs.push_back(OptimizerOptions{});
+    OptimizerOptions no_coalesce;
+    no_coalesce.enumerator.enable_coalescing = false;
+    configs.push_back(no_coalesce);
+    OptimizerOptions no_invariant;
+    no_invariant.enumerator.enable_invariant = false;
+    configs.push_back(no_invariant);
+    OptimizerOptions deep_pull;
+    deep_pull.max_pullup = 3;
+    deep_pull.require_shared_predicate = false;
+    configs.push_back(deep_pull);
+    OptimizerOptions no_shrink;
+    no_shrink.shrink_views = false;
+    configs.push_back(no_shrink);
+
+    for (size_t i = 0; i < configs.size(); ++i) {
+      auto optimized = OptimizeQueryWithAggViews(*query, configs[i]);
+      ASSERT_OK(optimized);
+      Status valid = ValidatePlan(optimized->plan, optimized->query);
+      ASSERT_TRUE(valid.ok()) << valid.ToString();
+      auto result = ExecutePlan(optimized->plan, optimized->query, nullptr);
+      ASSERT_OK(result);
+      if (i == 0) {
+        reference = result->Fingerprint();
+      } else {
+        EXPECT_EQ(result->Fingerprint(), reference) << "config " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceProperty, ::testing::Range(0, 8));
+
+/// Systematic data-shape sweep: department count (grouping cardinality) x
+/// employee count (fan-out / spill regime). At every grid point the three
+/// plan families — traditional, pull-up-forced, extended — must agree on
+/// Example 1's results, and the extended cost must dominate neither.
+class ShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(ShapeSweep, Example1EquivalentAcrossDataShapes) {
+  auto [departments, employees] = GetParam();
+  EmpDeptOptions data;
+  data.num_departments = departments;
+  data.num_employees = employees;
+  data.young_fraction = 0.15;
+  data.seed = static_cast<uint64_t>(departments * 31 + employees);
+  EmpDeptFixture fixture = MakeEmpDept(data);
+
+  auto query = ParseAndBind(*fixture.catalog, Example1Sql());
+  ASSERT_OK(query);
+
+  auto traditional = OptimizeTraditional(*query);
+  ASSERT_OK(traditional);
+  auto extended = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
+  ASSERT_OK(extended);
+  EXPECT_LE(extended->plan->cost, traditional->plan->cost);
+
+  auto pulled = PullUpIntoView(*query, 0, {query->base_rels()[0]});
+  ASSERT_OK(pulled);
+  auto forced = OptimizeQueryWithAggViews(*pulled, TraditionalOptions());
+  ASSERT_OK(forced);
+
+  auto rt = ExecutePlan(traditional->plan, traditional->query, nullptr);
+  ASSERT_OK(rt);
+  auto re = ExecutePlan(extended->plan, extended->query, nullptr);
+  ASSERT_OK(re);
+  auto rf = ExecutePlan(forced->plan, forced->query, nullptr);
+  ASSERT_OK(rf);
+  EXPECT_EQ(rt->Fingerprint(), re->Fingerprint());
+  EXPECT_EQ(rt->Fingerprint(), rf->Fingerprint());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShapeSweep,
+    ::testing::Combine(::testing::Values<int64_t>(3, 40, 800),
+                       ::testing::Values<int64_t>(200, 3'000, 20'000)));
+
+}  // namespace
+}  // namespace aggview

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "stats/estimator.h"
+#include "test_util.h"
+
+namespace aggview {
+namespace {
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  EstimatorTest() : fixture_(MakeEmpDept(Options())), q_(fixture_.catalog.get()) {
+    e_ = q_.AddRangeVar(fixture_.tables.emp, "e");
+    d_ = q_.AddRangeVar(fixture_.tables.dept, "d");
+    eno_ = q_.range_var(e_).columns[0];
+    e_dno_ = q_.range_var(e_).columns[1];
+    sal_ = q_.range_var(e_).columns[2];
+    age_ = q_.range_var(e_).columns[3];
+    d_dno_ = q_.range_var(d_).columns[0];
+  }
+
+  static EmpDeptOptions Options() {
+    EmpDeptOptions o;
+    o.num_employees = 1000;
+    o.num_departments = 50;
+    return o;
+  }
+
+  EmpDeptFixture fixture_;
+  Query q_;
+  int e_, d_;
+  ColId eno_, e_dno_, sal_, age_, d_dno_;
+};
+
+TEST_F(EstimatorTest, BaseRelMatchesCatalogStats) {
+  RelEstimate est = Estimator::BaseRel(q_, e_);
+  EXPECT_DOUBLE_EQ(est.rows, 1000.0);
+  EXPECT_DOUBLE_EQ(est.Find(eno_)->distinct, 1000.0);
+  EXPECT_TRUE(est.Find(age_)->has_range);
+}
+
+TEST_F(EstimatorTest, EqualitySelectivityIsOneOverDistinct) {
+  RelEstimate est = Estimator::BaseRel(q_, e_);
+  double d = est.Find(e_dno_)->distinct;
+  Predicate p = Cmp(Col(e_dno_), CompareOp::kEq, LitInt(3));
+  EXPECT_NEAR(Estimator::Selectivity(p, est), 1.0 / d, 1e-12);
+}
+
+TEST_F(EstimatorTest, RangeSelectivityUsesMinMax) {
+  RelEstimate est = Estimator::BaseRel(q_, e_);
+  const ColEstimate* age = est.Find(age_);
+  ASSERT_TRUE(age->has_range);
+  Predicate below_min = Cmp(Col(age_), CompareOp::kLt, LitInt(0));
+  EXPECT_DOUBLE_EQ(Estimator::Selectivity(below_min, est), 0.0);
+  Predicate above_max = Cmp(Col(age_), CompareOp::kLt, LitInt(200));
+  EXPECT_DOUBLE_EQ(Estimator::Selectivity(above_max, est), 1.0);
+  Predicate mid = Cmp(Col(age_), CompareOp::kLt, LitInt(22));
+  double sel = Estimator::Selectivity(mid, est);
+  EXPECT_GT(sel, 0.0);
+  EXPECT_LT(sel, 0.5);
+}
+
+TEST_F(EstimatorTest, DefaultSelectivityForOpaquePredicates) {
+  RelEstimate est = Estimator::BaseRel(q_, e_);
+  // col < col has no analyzable shape.
+  Predicate p = Cmp(Col(sal_), CompareOp::kLt, Col(age_));
+  EXPECT_DOUBLE_EQ(Estimator::Selectivity(p, est), kDefaultSelectivity);
+}
+
+TEST_F(EstimatorTest, FilterScalesRowsAndCapsDistinct) {
+  RelEstimate est = Estimator::BaseRel(q_, e_);
+  RelEstimate filtered =
+      Estimator::ApplyFilter(est, {Cmp(Col(e_dno_), CompareOp::kEq, LitInt(1))});
+  EXPECT_NEAR(filtered.rows, 1000.0 / est.Find(e_dno_)->distinct, 1e-9);
+  EXPECT_DOUBLE_EQ(filtered.Find(e_dno_)->distinct, 1.0);
+  // Every distinct count is capped by the row count.
+  for (const auto& [col, cs] : filtered.cols) {
+    EXPECT_LE(cs.distinct, std::max(filtered.rows, 1.0));
+  }
+}
+
+TEST_F(EstimatorTest, FilterNarrowsRange) {
+  RelEstimate est = Estimator::BaseRel(q_, e_);
+  RelEstimate filtered =
+      Estimator::ApplyFilter(est, {Cmp(Col(age_), CompareOp::kLt, LitInt(22))});
+  EXPECT_LE(filtered.Find(age_)->max, 22.0);
+}
+
+TEST_F(EstimatorTest, EquiJoinUsesLargerDistinct) {
+  RelEstimate emp = Estimator::BaseRel(q_, e_);
+  RelEstimate dept = Estimator::BaseRel(q_, d_);
+  RelEstimate joined = Estimator::Join(emp, dept, {EqCols(e_dno_, d_dno_)});
+  double expected = emp.rows * dept.rows /
+                    std::max(emp.Find(e_dno_)->distinct,
+                             dept.Find(d_dno_)->distinct);
+  EXPECT_NEAR(joined.rows, expected, 1e-6);
+  // FK join: every employee matches exactly one department.
+  EXPECT_NEAR(joined.rows, 1000.0, 1e-6);
+}
+
+TEST_F(EstimatorTest, CrossJoinMultiplies) {
+  RelEstimate emp = Estimator::BaseRel(q_, e_);
+  RelEstimate dept = Estimator::BaseRel(q_, d_);
+  RelEstimate cross = Estimator::Join(emp, dept, {});
+  EXPECT_DOUBLE_EQ(cross.rows, emp.rows * dept.rows);
+}
+
+TEST_F(EstimatorTest, CardenasGroups) {
+  // d >= n: every row its own group.
+  EXPECT_DOUBLE_EQ(Estimator::CardenasGroups(100, 1000), 100.0);
+  // d << n: close to d.
+  EXPECT_NEAR(Estimator::CardenasGroups(10000, 10), 10.0, 1e-3);
+  // Monotone in both arguments.
+  EXPECT_LE(Estimator::CardenasGroups(100, 50),
+            Estimator::CardenasGroups(200, 50) + 1e-9);
+  EXPECT_LE(Estimator::CardenasGroups(100, 20),
+            Estimator::CardenasGroups(100, 50) + 1e-9);
+  EXPECT_DOUBLE_EQ(Estimator::CardenasGroups(0, 50), 0.0);
+}
+
+TEST_F(EstimatorTest, GroupByEstimation) {
+  RelEstimate emp = Estimator::BaseRel(q_, e_);
+  ColId out = q_.columns().Add("avg(e.sal)", DataType::kDouble);
+  GroupBySpec gb;
+  gb.grouping = {e_dno_};
+  gb.aggregates = {{AggKind::kAvg, {sal_}, out}};
+  RelEstimate grouped = Estimator::GroupBy(emp, gb);
+  EXPECT_NEAR(grouped.rows, 50.0, 1.0);  // one group per department
+  const ColEstimate* avg = grouped.Find(out);
+  ASSERT_NE(avg, nullptr);
+  EXPECT_TRUE(avg->has_range);  // inherits the salary range
+  EXPECT_GE(avg->min, 20'000.0 - 1.0);
+}
+
+TEST_F(EstimatorTest, GroupByWithHavingFilters) {
+  RelEstimate emp = Estimator::BaseRel(q_, e_);
+  ColId out = q_.columns().Add("avg(e.sal)", DataType::kDouble);
+  GroupBySpec gb;
+  gb.grouping = {e_dno_};
+  gb.aggregates = {{AggKind::kAvg, {sal_}, out}};
+  GroupBySpec with_having = gb;
+  with_having.having = {Cmp(Col(out), CompareOp::kGt, LitReal(1e9))};
+  RelEstimate plain = Estimator::GroupBy(emp, gb);
+  RelEstimate filtered = Estimator::GroupBy(emp, with_having);
+  EXPECT_LT(filtered.rows, plain.rows);
+}
+
+TEST_F(EstimatorTest, EmptyGroupingIsScalarAggregate) {
+  RelEstimate emp = Estimator::BaseRel(q_, e_);
+  ColId out = q_.columns().Add("count(*)", DataType::kInt64);
+  GroupBySpec gb;
+  gb.aggregates = {{AggKind::kCountStar, {}, out}};
+  RelEstimate grouped = Estimator::GroupBy(emp, gb);
+  EXPECT_DOUBLE_EQ(grouped.rows, 1.0);
+}
+
+TEST_F(EstimatorTest, HistogramTracksBimodalDistribution) {
+  // 2% of employees aged 18..21, the rest 22..65: a uniform min/max
+  // interpolation would claim (22-18)/(65-18) = 8.5% for age < 22; the
+  // equi-depth histogram must stay near the true 2%.
+  EmpDeptOptions options;
+  options.num_employees = 20'000;
+  options.num_departments = 100;
+  options.young_fraction = 0.02;
+  EmpDeptFixture bimodal = MakeEmpDept(options);
+  Query q(bimodal.catalog.get());
+  int e = q.AddRangeVar(bimodal.tables.emp, "e");
+  ColId age = q.range_var(e).columns[3];
+  RelEstimate est = Estimator::BaseRel(q, e);
+  double sel = Estimator::Selectivity(
+      Cmp(Col(age), CompareOp::kLt, LitInt(22)), est);
+  EXPECT_GT(sel, 0.005);
+  EXPECT_LT(sel, 0.05);  // far below the uniform 8.5%
+}
+
+TEST_F(EstimatorTest, HistogramConditionsOnNarrowedRange) {
+  RelEstimate est = Estimator::BaseRel(q_, e_);
+  // First narrow to age < 40, then ask about age < 30 within that.
+  RelEstimate narrowed =
+      Estimator::ApplyFilter(est, {Cmp(Col(age_), CompareOp::kLt, LitInt(40))});
+  double sel = Estimator::Selectivity(
+      Cmp(Col(age_), CompareOp::kLt, LitInt(30)), narrowed);
+  // Within the <40 population, <30 selects roughly half — much more than
+  // the unconditioned fraction.
+  double uncond = Estimator::Selectivity(
+      Cmp(Col(age_), CompareOp::kLt, LitInt(30)), est);
+  EXPECT_GT(sel, uncond);
+  EXPECT_LE(sel, 1.0);
+}
+
+TEST_F(EstimatorTest, GroupRowsNeverExceedInput) {
+  RelEstimate emp = Estimator::BaseRel(q_, e_);
+  GroupBySpec gb;
+  gb.grouping = {eno_, e_dno_, sal_};  // huge key space
+  RelEstimate grouped = Estimator::GroupBy(emp, gb);
+  EXPECT_LE(grouped.rows, emp.rows + 1e-9);
+}
+
+}  // namespace
+}  // namespace aggview

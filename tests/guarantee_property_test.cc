@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace aggview {
+namespace {
+
+/// The paper's central promise (Section 5): "our cost-based optimization
+/// algorithm is guaranteed to pick a plan that is no worse than the
+/// traditional optimization algorithm." Verified over randomized catalogs,
+/// data distributions, and queries.
+class GuaranteeProperty : public ::testing::TestWithParam<int> {};
+
+std::string RandomViewQuery(Rng* rng) {
+  const char* aggs[] = {"avg", "sum", "min", "max", "count"};
+  std::string agg = aggs[rng->Uniform(0, 4)];
+  std::string arg = rng->Chance(0.5) ? "e2.sal" : "e2.age";
+  std::string view_filter =
+      rng->Chance(0.4)
+          ? " where e2.age > " + std::to_string(rng->Uniform(20, 50))
+          : "";
+  std::string sql = "create view v (dno, x) as select e2.dno, " + agg + "(" +
+                    arg + ") from emp e2" + view_filter +
+                    " group by e2.dno;\n";
+  std::string cmp = rng->Chance(0.5) ? ">" : "<";
+  sql += "select e1.sal from emp e1, v where e1.dno = v.dno and e1.sal " +
+         cmp + " v.x";
+  if (rng->Chance(0.6)) {
+    sql += " and e1.age < " + std::to_string(rng->Uniform(20, 60));
+  }
+  return sql;
+}
+
+std::string RandomGroupByQuery(Rng* rng) {
+  std::string sql =
+      "select e.dno, sum(e.sal), count(*) from emp e, dept d "
+      "where e.dno = d.dno";
+  if (rng->Chance(0.7)) {
+    sql += " and d.budget < " +
+           std::to_string(rng->Uniform(200'000, 4'000'000));
+  }
+  sql += " group by e.dno";
+  if (rng->Chance(0.4)) {
+    sql += " having count(*) > " + std::to_string(rng->Uniform(1, 5));
+  }
+  return sql;
+}
+
+TEST_P(GuaranteeProperty, ExtendedNeverWorseThanTraditional) {
+  int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 104729 + 7);
+
+  EmpDeptOptions data;
+  // Vary size across three regimes: in-memory, boundary, spilling.
+  int64_t regimes[] = {500, 20'000, 70'000};
+  data.num_employees = regimes[seed % 3] + rng.Uniform(0, 500);
+  data.num_departments = 5 + rng.Uniform(0, 5'000);
+  data.young_fraction = rng.UniformReal(0.01, 0.4);
+  data.seed = static_cast<uint64_t>(seed);
+  EmpDeptFixture fixture = MakeEmpDept(data);
+
+  for (int i = 0; i < 4; ++i) {
+    std::string sql =
+        rng.Chance(0.5) ? RandomViewQuery(&rng) : RandomGroupByQuery(&rng);
+    SCOPED_TRACE(sql);
+    auto query = ParseAndBind(*fixture.catalog, sql);
+    ASSERT_OK(query);
+
+    auto traditional = OptimizeTraditional(*query);
+    ASSERT_OK(traditional);
+    auto extended = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
+    ASSERT_OK(extended);
+
+    EXPECT_LE(extended->plan->cost, traditional->plan->cost)
+        << "guarantee violated at seed " << seed;
+
+    // Restricting the search space can only cost plan quality, never
+    // correctness, and never beats the full configuration.
+    OptimizerOptions k1;
+    k1.max_pullup = 1;
+    auto limited = OptimizeQueryWithAggViews(*query, k1);
+    ASSERT_OK(limited);
+    EXPECT_LE(limited->plan->cost, traditional->plan->cost);
+    EXPECT_LE(extended->plan->cost, limited->plan->cost + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuaranteeProperty, ::testing::Range(0, 12));
+
+/// Monotonicity of instrumentation: wider search spaces consider at least
+/// as many joins.
+TEST(GuaranteeCounters, SearchSpaceGrowsWithOptions) {
+  EmpDeptFixture fixture = MakeEmpDept();
+  auto query = ParseAndBind(*fixture.catalog, R"sql(
+create view v (dno, asal) as
+  select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
+select e1.sal from emp e1, dept d, v
+where e1.dno = v.dno and e1.sal > v.asal and e1.dno = d.dno
+)sql");
+  ASSERT_OK(query);
+
+  auto traditional = OptimizeTraditional(*query);
+  ASSERT_OK(traditional);
+  OptimizerOptions k1;
+  k1.max_pullup = 1;
+  k1.include_traditional_alternative = false;
+  auto limited = OptimizeQueryWithAggViews(*query, k1);
+  ASSERT_OK(limited);
+  OptimizerOptions k2;
+  k2.max_pullup = 2;
+  k2.include_traditional_alternative = false;
+  auto full = OptimizeQueryWithAggViews(*query, k2);
+  ASSERT_OK(full);
+
+  EXPECT_LT(traditional->counters.joins_considered,
+            limited->counters.joins_considered);
+  EXPECT_LE(limited->counters.joins_considered,
+            full->counters.joins_considered);
+}
+
+}  // namespace
+}  // namespace aggview

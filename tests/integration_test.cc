@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aggview {
+namespace {
+
+/// End-to-end checks against hand-computed answers on a tiny, fully
+/// deterministic database.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest() {
+    auto tables = CreateEmpDeptSchema(&catalog_);
+    EXPECT_OK(tables);
+    tables_ = *tables;
+
+    // dept: (1, 500k), (2, 2M), (3, 800k)
+    auto dept = std::make_shared<Table>(catalog_.table(tables_.dept).schema);
+    dept->AppendUnchecked({Value::Int(1), Value::Real(500'000)});
+    dept->AppendUnchecked({Value::Int(2), Value::Real(2'000'000)});
+    dept->AppendUnchecked({Value::Int(3), Value::Real(800'000)});
+    catalog_.mutable_table(tables_.dept).stats = ComputeStats(*dept);
+    catalog_.mutable_table(tables_.dept).data = dept;
+
+    // emp: (eno, dno, sal, age)
+    auto emp = std::make_shared<Table>(catalog_.table(tables_.emp).schema);
+    auto add = [&](int64_t eno, int64_t dno, double sal, int64_t age) {
+      emp->AppendUnchecked(
+          {Value::Int(eno), Value::Int(dno), Value::Real(sal), Value::Int(age)});
+    };
+    add(1, 1, 100, 30);  // dept 1: salaries 100, 200 -> avg 150
+    add(2, 1, 200, 21);
+    add(3, 2, 300, 20);  // dept 2: salaries 300, 500, 400 -> avg 400
+    add(4, 2, 500, 45);
+    add(5, 2, 400, 21);
+    add(6, 3, 900, 19);  // dept 3: salary 900 -> avg 900
+    catalog_.mutable_table(tables_.emp).stats = ComputeStats(*emp);
+    catalog_.mutable_table(tables_.emp).data = emp;
+  }
+
+  QueryResult Run(const std::string& sql) {
+    auto query = ParseAndBind(catalog_, sql);
+    EXPECT_TRUE(query.ok()) << query.status().ToString();
+    auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
+    EXPECT_TRUE(optimized.ok()) << optimized.status().ToString();
+    auto result = ExecutePlan(optimized->plan, optimized->query, nullptr);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  Catalog catalog_;
+  EmpDeptTables tables_;
+};
+
+TEST_F(IntegrationTest, Example1HandChecked) {
+  // Employees under 22 earning above their department average:
+  //  - eno 2 (dept 1, sal 200 > 150, age 21)        -> qualifies
+  //  - eno 3 (dept 2, sal 300 < 400)                -> no
+  //  - eno 5 (dept 2, sal 400 = 400, not >)         -> no
+  //  - eno 6 (dept 3, sal 900 = avg, not >)         -> no
+  QueryResult r = Run(Example1Sql());
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 200.0);
+}
+
+TEST_F(IntegrationTest, Example2HandChecked) {
+  // Departments with budget < 1M: 1 and 3. Averages: 150 and 900.
+  QueryResult r = Run(Example2Sql());
+  ASSERT_EQ(r.rows.size(), 2u);
+  std::map<int64_t, double> by_dno;
+  for (const Row& row : r.rows) by_dno[row[0].AsInt()] = row[1].AsDouble();
+  EXPECT_DOUBLE_EQ(by_dno.at(1), 150.0);
+  EXPECT_DOUBLE_EQ(by_dno.at(3), 900.0);
+}
+
+TEST_F(IntegrationTest, ViewWithHavingHandChecked) {
+  QueryResult r = Run(R"sql(
+create view big (dno, cnt) as
+  select e.dno, count(*) from emp e group by e.dno having count(*) > 1;
+select big.dno, big.cnt from big
+)sql");
+  // dept 1 has 2 employees, dept 2 has 3; dept 3 (1 employee) filtered out.
+  ASSERT_EQ(r.rows.size(), 2u);
+  std::map<int64_t, int64_t> by_dno;
+  for (const Row& row : r.rows) by_dno[row[0].AsInt()] = row[1].AsInt();
+  EXPECT_EQ(by_dno.at(1), 2);
+  EXPECT_EQ(by_dno.at(2), 3);
+}
+
+TEST_F(IntegrationTest, MultiViewHandChecked) {
+  QueryResult r = Run(R"sql(
+create view avgs (dno, asal) as
+  select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
+create view tops (dno, msal) as
+  select e3.dno, max(e3.sal) from emp e3 group by e3.dno;
+select e1.eno
+from emp e1, avgs a, tops t
+where e1.dno = a.dno and e1.dno = t.dno
+  and e1.sal > a.asal and e1.sal = t.msal
+)sql");
+  // Top earner strictly above average per dept: eno 2 (200 > 150), eno 4
+  // (500 > 400). Dept 3's only employee equals the average.
+  ASSERT_EQ(r.rows.size(), 2u);
+  std::set<int64_t> enos;
+  for (const Row& row : r.rows) enos.insert(row[0].AsInt());
+  EXPECT_EQ(enos, (std::set<int64_t>{2, 4}));
+}
+
+TEST_F(IntegrationTest, TopGroupByOverViewHandChecked) {
+  QueryResult r = Run(R"sql(
+create view avgs (dno, asal) as
+  select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
+select e1.dno, count(*)
+from emp e1, avgs a
+where e1.dno = a.dno and e1.sal < a.asal
+group by e1.dno
+)sql");
+  // Below-average earners: dept 1: eno 1 (100 < 150); dept 2: eno 3 (300).
+  ASSERT_EQ(r.rows.size(), 2u);
+  std::map<int64_t, int64_t> by_dno;
+  for (const Row& row : r.rows) by_dno[row[0].AsInt()] = row[1].AsInt();
+  EXPECT_EQ(by_dno.at(1), 1);
+  EXPECT_EQ(by_dno.at(2), 1);
+}
+
+TEST_F(IntegrationTest, ScalarAggregateHandChecked) {
+  QueryResult r = Run("select count(*), sum(e.sal) from emp e where e.age < 22");
+  ASSERT_EQ(r.rows.size(), 1u);
+  // Young employees: 2 (200), 3 (300), 5 (400), 6 (900).
+  EXPECT_EQ(r.rows[0][0].AsInt(), 4);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsDouble(), 1800.0);
+}
+
+TEST_F(IntegrationTest, ArithmeticPredicateHandChecked) {
+  QueryResult r = Run(R"sql(
+create view avgs (dno, asal) as
+  select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
+select e1.eno from emp e1, avgs a
+where e1.dno = a.dno and e1.sal > 2 * a.asal
+)sql");
+  // sal > 2*avg: dept averages 150/400/900 -> thresholds 300/800/1800.
+  // Nobody qualifies in dept 1 (max 200), dept 2 (max 500), dept 3 (900).
+  EXPECT_EQ(r.rows.size(), 0u);
+}
+
+TEST_F(IntegrationTest, MedianViewHandChecked) {
+  QueryResult r = Run(R"sql(
+create view meds (dno, med) as
+  select e2.dno, median(e2.sal) from emp e2 group by e2.dno;
+select meds.dno, meds.med from meds
+)sql");
+  ASSERT_EQ(r.rows.size(), 3u);
+  std::map<int64_t, double> by_dno;
+  for (const Row& row : r.rows) by_dno[row[0].AsInt()] = row[1].AsDouble();
+  EXPECT_DOUBLE_EQ(by_dno.at(1), 150.0);  // {100,200}
+  EXPECT_DOUBLE_EQ(by_dno.at(2), 400.0);  // {300,400,500}
+  EXPECT_DOUBLE_EQ(by_dno.at(3), 900.0);  // {900}
+}
+
+TEST_F(IntegrationTest, EmptyResultIsNotAnError) {
+  QueryResult r = Run("select e.eno from emp e where e.age > 100");
+  EXPECT_EQ(r.rows.size(), 0u);
+}
+
+TEST_F(IntegrationTest, MeasuredIoIsPositiveAndFinite) {
+  auto query = ParseAndBind(catalog_, Example1Sql());
+  ASSERT_OK(query);
+  auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
+  ASSERT_OK(optimized);
+  IoAccountant io;
+  ASSERT_OK(ExecutePlan(optimized->plan, optimized->query, &io));
+  EXPECT_GT(io.total(), 0);
+  EXPECT_LT(io.total(), 100);
+}
+
+}  // namespace
+}  // namespace aggview

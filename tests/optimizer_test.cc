@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "optimizer/aggview_optimizer.h"
+#include "optimizer/traditional.h"
+#include "test_util.h"
+
+namespace aggview {
+namespace {
+
+bool PlanHasGroupByBelowJoin(const PlanPtr& plan, bool under_join = false) {
+  if (plan == nullptr) return false;
+  if (plan->kind == PlanNode::Kind::kGroupBy && under_join) return true;
+  bool join = under_join || plan->kind == PlanNode::Kind::kJoin;
+  return PlanHasGroupByBelowJoin(plan->left, join) ||
+         PlanHasGroupByBelowJoin(plan->right, join);
+}
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest() : fixture_(MakeEmpDept(Options())) {}
+
+  static EmpDeptOptions Options() {
+    EmpDeptOptions o;
+    // Example 1's pull-up-friendly regime: many departments (small fan-out),
+    // an emp table whose full aggregation spills, and a selective age
+    // predicate whose selectivity matches the estimator's uniform-range
+    // assumption (4 young ages out of the 18..65 span).
+    o.num_employees = 50'000;
+    o.num_departments = 15'000;
+    o.young_fraction = 4.0 / 47.0;
+    return o;
+  }
+
+  EmpDeptFixture fixture_;
+};
+
+TEST_F(OptimizerTest, TraditionalOptimizesExample1) {
+  auto q = ParseAndBind(*fixture_.catalog, Example1Sql());
+  ASSERT_OK(q);
+  auto optimized = OptimizeTraditional(*q);
+  ASSERT_OK(optimized);
+  EXPECT_GT(optimized->plan->cost, 0.0);
+  // Traditional plans keep the view's group-by above all of the view's
+  // joins and below the top join.
+  auto result = ExecutePlan(optimized->plan, optimized->query, nullptr);
+  ASSERT_OK(result);
+  EXPECT_GT(result->rows.size(), 0u);
+}
+
+TEST_F(OptimizerTest, ExtendedNeverWorseAndEquivalentOnExample1) {
+  int64_t io_t = 0, io_e = 0;
+  CheckOptimizersAgree(*fixture_.catalog, Example1Sql(), &io_t, &io_e);
+}
+
+TEST_F(OptimizerTest, ExtendedNeverWorseAndEquivalentOnExample2) {
+  CheckOptimizersAgree(*fixture_.catalog, Example2Sql());
+}
+
+TEST_F(OptimizerTest, PullUpWinsWithFewYoungEmployeesAndManyDepartments) {
+  // The paper's Example 1 discussion: few young employees + many
+  // departments favor the pulled-up query B. The extended optimizer should
+  // strictly beat the traditional plan here.
+  auto q = ParseAndBind(*fixture_.catalog, Example1Sql());
+  ASSERT_OK(q);
+  auto traditional = OptimizeTraditional(*q);
+  ASSERT_OK(traditional);
+  auto extended = OptimizeQueryWithAggViews(*q, OptimizerOptions{});
+  ASSERT_OK(extended);
+  EXPECT_LT(extended->plan->cost, traditional->plan->cost);
+  // The winning alternative pulled e1 into the view.
+  EXPECT_NE(extended->description.find("W(b)={e1}"), std::string::npos)
+      << extended->description;
+}
+
+TEST_F(OptimizerTest, AlternativesIncludeTraditionalAndEmptyAssignment) {
+  auto q = ParseAndBind(*fixture_.catalog, Example1Sql());
+  ASSERT_OK(q);
+  auto extended = OptimizeQueryWithAggViews(*q, OptimizerOptions{});
+  ASSERT_OK(extended);
+  bool has_empty = false, has_traditional = false;
+  for (const PlanAlternative& alt : extended->alternatives) {
+    if (alt.description == "W(b)={}") has_empty = true;
+    if (alt.description == "traditional two-phase") has_traditional = true;
+  }
+  EXPECT_TRUE(has_empty);
+  EXPECT_TRUE(has_traditional);
+}
+
+TEST_F(OptimizerTest, KLevelRestrictionLimitsPullUpSets) {
+  auto q = ParseAndBind(*fixture_.catalog, R"sql(
+create view v (dno, asal) as
+  select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
+select e1.sal
+from emp e1, dept d, v
+where e1.dno = v.dno and e1.sal > v.asal and e1.dno = d.dno
+)sql");
+  ASSERT_OK(q);
+
+  OptimizerOptions k0;
+  k0.max_pullup = 0;
+  auto r0 = OptimizeQueryWithAggViews(*q, k0);
+  ASSERT_OK(r0);
+
+  OptimizerOptions k1;
+  k1.max_pullup = 1;
+  auto r1 = OptimizeQueryWithAggViews(*q, k1);
+  ASSERT_OK(r1);
+
+  OptimizerOptions k2;
+  k2.max_pullup = 2;
+  auto r2 = OptimizeQueryWithAggViews(*q, k2);
+  ASSERT_OK(r2);
+
+  // More pull-up levels -> more alternatives, never a worse plan.
+  EXPECT_LT(r0->alternatives.size(), r1->alternatives.size());
+  EXPECT_LE(r1->alternatives.size(), r2->alternatives.size());
+  EXPECT_LE(r1->plan->cost, r0->plan->cost);
+  EXPECT_LE(r2->plan->cost, r1->plan->cost);
+}
+
+TEST_F(OptimizerTest, SharedPredicateRestrictionPrunes) {
+  auto q = ParseAndBind(*fixture_.catalog, R"sql(
+create view v (dno, asal) as
+  select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
+select e1.sal
+from emp e1, dept d, v
+where e1.dno = v.dno and e1.sal > v.asal and e1.dno = d.dno
+)sql");
+  ASSERT_OK(q);
+
+  OptimizerOptions restricted;  // default: require shared predicate
+  auto r = OptimizeQueryWithAggViews(*q, restricted);
+  ASSERT_OK(r);
+  OptimizerOptions open;
+  open.require_shared_predicate = false;
+  auto o = OptimizeQueryWithAggViews(*q, open);
+  ASSERT_OK(o);
+  EXPECT_LE(r->alternatives.size(), o->alternatives.size());
+}
+
+TEST_F(OptimizerTest, MultiViewQueryOptimizesAndAgrees) {
+  CheckOptimizersAgree(*fixture_.catalog, R"sql(
+create view v1 (dno, asal) as
+  select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
+create view v2 (dno, mage) as
+  select e3.dno, max(e3.age) from emp e3 group by e3.dno;
+select e1.sal
+from emp e1, v1, v2
+where e1.dno = v1.dno and e1.sal > v1.asal
+  and e1.dno = v2.dno and e1.age < v2.mage
+)sql");
+}
+
+TEST_F(OptimizerTest, MultiViewAssignmentsAreDisjoint) {
+  auto q = ParseAndBind(*fixture_.catalog, R"sql(
+create view v1 (dno, asal) as
+  select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
+create view v2 (dno, mage) as
+  select e3.dno, max(e3.age) from emp e3 group by e3.dno;
+select e1.sal
+from emp e1, v1, v2
+where e1.dno = v1.dno and e1.sal > v1.asal
+  and e1.dno = v2.dno and e1.age < v2.mage
+)sql");
+  ASSERT_OK(q);
+  auto r = OptimizeQueryWithAggViews(*q, OptimizerOptions{});
+  ASSERT_OK(r);
+  // e1 can be pulled into v1 OR v2, never both at once.
+  for (const PlanAlternative& alt : r->alternatives) {
+    EXPECT_EQ(alt.description.find("W(v1)={e1}; W(v2)={e1}"),
+              std::string::npos)
+        << alt.description;
+  }
+}
+
+TEST_F(OptimizerTest, ViewOnlyQueryWorks) {
+  CheckOptimizersAgree(*fixture_.catalog, R"sql(
+create view v (dno, asal) as
+  select e.dno, avg(e.sal) from emp e group by e.dno;
+select v.dno, v.asal from v where v.asal > 100000
+)sql");
+}
+
+TEST_F(OptimizerTest, PlainSpjQueryWorks) {
+  CheckOptimizersAgree(*fixture_.catalog,
+                       "select e.sal from emp e, dept d "
+                       "where e.dno = d.dno and d.budget < 500000 "
+                       "and e.age < 25");
+}
+
+TEST_F(OptimizerTest, TopGroupByPushdownHappensInPhase2) {
+  // Example 2 variant grouped by (e.dno, d.budget): the lazy plan would
+  // aggregate the wider joined rows (spilling), while the pushed group-by's
+  // input fits in memory — phase 2's greedy enumeration takes the push.
+  EmpDeptOptions data;
+  data.num_employees = 32'000;
+  data.num_departments = 2'000;
+  EmpDeptFixture local = MakeEmpDept(data);
+  auto q = ParseAndBind(*local.catalog,
+                        "select e.dno, d.budget, avg(e.sal) from emp e, dept d "
+                        "where e.dno = d.dno group by e.dno, d.budget");
+  ASSERT_OK(q);
+  auto traditional = OptimizeTraditional(*q);
+  ASSERT_OK(traditional);
+  auto extended = OptimizeQueryWithAggViews(*q, OptimizerOptions{});
+  ASSERT_OK(extended);
+  EXPECT_TRUE(PlanHasGroupByBelowJoin(extended->plan));
+  EXPECT_LT(extended->plan->cost, traditional->plan->cost);
+}
+
+TEST_F(OptimizerTest, ScalarAggregateQuery) {
+  CheckOptimizersAgree(*fixture_.catalog,
+                       "select count(*) from emp e where e.age < 22");
+}
+
+TEST_F(OptimizerTest, CountersAccumulate) {
+  auto q = ParseAndBind(*fixture_.catalog, Example1Sql());
+  ASSERT_OK(q);
+  auto r = OptimizeQueryWithAggViews(*q, OptimizerOptions{});
+  ASSERT_OK(r);
+  EXPECT_GT(r->counters.joins_considered, 0);
+  EXPECT_GT(r->counters.subsets_stored, 0);
+}
+
+TEST_F(OptimizerTest, InvalidQueryRejected) {
+  Query q(fixture_.catalog.get());
+  EXPECT_FALSE(OptimizeQueryWithAggViews(q, OptimizerOptions{}).ok());
+}
+
+}  // namespace
+}  // namespace aggview

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aggview {
+namespace {
+
+class OrderByTest : public ::testing::Test {
+ protected:
+  OrderByTest() : fixture_(MakeEmpDept(Options())) {}
+
+  static EmpDeptOptions Options() {
+    EmpDeptOptions o;
+    o.num_employees = 500;
+    o.num_departments = 20;
+    return o;
+  }
+
+  QueryResult Run(const std::string& sql) {
+    auto query = ParseAndBind(*fixture_.catalog, sql);
+    EXPECT_TRUE(query.ok()) << query.status().ToString();
+    auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
+    EXPECT_TRUE(optimized.ok()) << optimized.status().ToString();
+    Status valid = ValidatePlan(optimized->plan, optimized->query);
+    EXPECT_TRUE(valid.ok()) << valid.ToString();
+    auto result = ExecutePlan(optimized->plan, optimized->query, nullptr);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  EmpDeptFixture fixture_;
+};
+
+TEST_F(OrderByTest, ParserAcceptsOrderBy) {
+  auto ast = ParseSelect("select a from t order by a desc, b asc, c");
+  ASSERT_OK(ast);
+  ASSERT_EQ(ast->order_by.size(), 3u);
+  EXPECT_TRUE(ast->order_by[0].descending);
+  EXPECT_FALSE(ast->order_by[1].descending);
+  EXPECT_FALSE(ast->order_by[2].descending);
+}
+
+TEST_F(OrderByTest, ParserRejectsOrderByExpression) {
+  EXPECT_FALSE(ParseSelect("select a from t order by a + 1").ok());
+}
+
+TEST_F(OrderByTest, AscendingOrder) {
+  QueryResult r = Run("select e.eno, e.sal from emp e where e.eno <= 50 "
+                      "order by e.sal");
+  ASSERT_EQ(r.rows.size(), 50u);
+  for (size_t i = 1; i < r.rows.size(); ++i) {
+    EXPECT_LE(r.rows[i - 1][1].AsDouble(), r.rows[i][1].AsDouble());
+  }
+}
+
+TEST_F(OrderByTest, DescendingOrder) {
+  QueryResult r = Run("select e.eno, e.sal from emp e where e.eno <= 50 "
+                      "order by e.sal desc");
+  for (size_t i = 1; i < r.rows.size(); ++i) {
+    EXPECT_GE(r.rows[i - 1][1].AsDouble(), r.rows[i][1].AsDouble());
+  }
+}
+
+TEST_F(OrderByTest, MultiKeyOrder) {
+  QueryResult r = Run("select e.dno, e.sal from emp e order by e.dno, e.sal desc");
+  for (size_t i = 1; i < r.rows.size(); ++i) {
+    int64_t d0 = r.rows[i - 1][0].AsInt(), d1 = r.rows[i][0].AsInt();
+    EXPECT_LE(d0, d1);
+    if (d0 == d1) {
+      EXPECT_GE(r.rows[i - 1][1].AsDouble(), r.rows[i][1].AsDouble());
+    }
+  }
+}
+
+TEST_F(OrderByTest, OrderByAggregateOutput) {
+  QueryResult r = Run(
+      "select e.dno, avg(e.sal) from emp e group by e.dno order by avg(e.sal)");
+  ASSERT_EQ(r.rows.size(), 20u);
+  for (size_t i = 1; i < r.rows.size(); ++i) {
+    EXPECT_LE(r.rows[i - 1][1].AsDouble(), r.rows[i][1].AsDouble());
+  }
+}
+
+TEST_F(OrderByTest, OrderByOverViewQuery) {
+  QueryResult r = Run(R"sql(
+create view v (dno, asal) as
+  select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
+select e1.eno, e1.sal from emp e1, v
+where e1.dno = v.dno and e1.sal > v.asal
+order by e1.sal desc
+)sql");
+  ASSERT_GT(r.rows.size(), 0u);
+  for (size_t i = 1; i < r.rows.size(); ++i) {
+    EXPECT_GE(r.rows[i - 1][1].AsDouble(), r.rows[i][1].AsDouble());
+  }
+}
+
+TEST_F(OrderByTest, BinderRejectsInvisibleOrderColumn) {
+  // e.sal is not visible above the group-by.
+  EXPECT_FALSE(ParseAndBind(*fixture_.catalog,
+                            "select e.dno, count(*) from emp e group by e.dno "
+                            "order by e.sal")
+                   .ok());
+}
+
+TEST_F(OrderByTest, SortCostIsCharged) {
+  auto query = ParseAndBind(*fixture_.catalog,
+                            "select e.eno from emp e order by e.eno");
+  ASSERT_OK(query);
+  auto with_sort = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
+  ASSERT_OK(with_sort);
+  auto query2 = ParseAndBind(*fixture_.catalog, "select e.eno from emp e");
+  ASSERT_OK(query2);
+  auto without = OptimizeQueryWithAggViews(*query2, OptimizerOptions{});
+  ASSERT_OK(without);
+  EXPECT_GE(with_sort->plan->cost, without->plan->cost);
+}
+
+TEST(OrderByAggBinding, HavingKeywordBoundary) {
+  // "desc"/"asc" must not be eaten as select-item aliases.
+  auto ast = ParseSelect("select a from t order by a desc");
+  ASSERT_OK(ast);
+  EXPECT_TRUE(ast->order_by[0].descending);
+}
+
+}  // namespace
+}  // namespace aggview

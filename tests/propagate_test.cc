@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "transform/propagate.h"
+#include "test_util.h"
+
+namespace aggview {
+namespace {
+
+class PropagateTest : public ::testing::Test {
+ protected:
+  PropagateTest() : fixture_(MakeEmpDept(Options())) {}
+
+  static EmpDeptOptions Options() {
+    EmpDeptOptions o;
+    o.num_employees = 2'000;
+    o.num_departments = 50;
+    return o;
+  }
+
+  std::string Execute(const Query& q) {
+    auto optimized = OptimizeTraditional(q);
+    EXPECT_TRUE(optimized.ok()) << optimized.status().ToString();
+    auto result = ExecutePlan(optimized->plan, optimized->query, nullptr);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result->Fingerprint();
+  }
+
+  EmpDeptFixture fixture_;
+};
+
+TEST_F(PropagateTest, TopPredicateOnGroupingOutputMovesIntoView) {
+  auto q = ParseAndBind(*fixture_.catalog, R"sql(
+create view v (dno, asal) as
+  select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
+select v.asal from v where v.dno < 10
+)sql");
+  ASSERT_OK(q);
+  std::string before = Execute(*q);
+  auto prop = PropagatePredicates(*q);
+  ASSERT_OK(prop);
+  EXPECT_TRUE(prop->predicates().empty());
+  EXPECT_EQ(prop->views()[0].spj.predicates.size(), 1u);
+  EXPECT_EQ(Execute(*prop), before);
+}
+
+TEST_F(PropagateTest, PredicateOnAggregateOutputStaysAtTop) {
+  auto q = ParseAndBind(*fixture_.catalog, R"sql(
+create view v (dno, asal) as
+  select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
+select v.dno from v where v.asal > 100000
+)sql");
+  ASSERT_OK(q);
+  auto prop = PropagatePredicates(*q);
+  ASSERT_OK(prop);
+  EXPECT_EQ(prop->predicates().size(), 1u);
+  EXPECT_TRUE(prop->views()[0].spj.predicates.empty());
+}
+
+TEST_F(PropagateTest, ViewHavingOnGroupingColumnBecomesSelection) {
+  auto q = ParseAndBind(*fixture_.catalog, R"sql(
+create view v (dno, cnt) as
+  select e2.dno, count(*) from emp e2 group by e2.dno having e2.dno < 25;
+select v.dno, v.cnt from v
+)sql");
+  ASSERT_OK(q);
+  std::string before = Execute(*q);
+  auto prop = PropagatePredicates(*q);
+  ASSERT_OK(prop);
+  EXPECT_TRUE(prop->views()[0].group_by.having.empty());
+  EXPECT_EQ(prop->views()[0].spj.predicates.size(), 1u);
+  EXPECT_EQ(Execute(*prop), before);
+}
+
+TEST_F(PropagateTest, TopHavingOnGroupingColumnBecomesWhere) {
+  auto q = ParseAndBind(*fixture_.catalog, R"sql(
+select e.dno, count(*) from emp e group by e.dno having e.dno < 25 and count(*) > 2
+)sql");
+  ASSERT_OK(q);
+  std::string before = Execute(*q);
+  auto prop = PropagatePredicates(*q);
+  ASSERT_OK(prop);
+  ASSERT_TRUE(prop->top_group_by().has_value());
+  EXPECT_EQ(prop->top_group_by()->having.size(), 1u);  // count(*) > 2 stays
+  EXPECT_EQ(prop->predicates().size(), 1u);            // dno < 25 moved
+  EXPECT_EQ(Execute(*prop), before);
+}
+
+TEST_F(PropagateTest, LiteralBoundTransfersAcrossEquiJoin) {
+  auto q = ParseAndBind(*fixture_.catalog, R"sql(
+create view v (dno, asal) as
+  select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
+select e1.sal from emp e1, v
+where e1.dno = v.dno and e1.dno < 10 and e1.sal > v.asal
+)sql");
+  ASSERT_OK(q);
+  std::string before = Execute(*q);
+  auto prop = PropagatePredicates(*q);
+  ASSERT_OK(prop);
+  // Derived: v.dno < 10, moved into the view.
+  ASSERT_EQ(prop->views()[0].spj.predicates.size(), 1u);
+  EXPECT_EQ(prop->views()[0].spj.predicates[0].ToString(prop->columns()),
+            "v.e2.dno < 10");
+  EXPECT_EQ(Execute(*prop), before);
+}
+
+TEST_F(PropagateTest, DerivedPredicatesAreNotDuplicated) {
+  auto q = ParseAndBind(*fixture_.catalog, R"sql(
+select e.sal from emp e, dept d
+where e.dno = d.dno and e.dno < 10 and d.dno < 10
+)sql");
+  ASSERT_OK(q);
+  auto prop = PropagatePredicates(*q);
+  ASSERT_OK(prop);
+  // Both bounds already present on both sides: nothing new derived.
+  EXPECT_EQ(prop->predicates().size(), q->predicates().size());
+}
+
+TEST_F(PropagateTest, IdempotentOnExample1) {
+  auto q = ParseAndBind(*fixture_.catalog, Example1Sql());
+  ASSERT_OK(q);
+  auto once = PropagatePredicates(*q);
+  ASSERT_OK(once);
+  auto twice = PropagatePredicates(*once);
+  ASSERT_OK(twice);
+  EXPECT_EQ(once->predicates().size(), twice->predicates().size());
+  EXPECT_EQ(once->views()[0].spj.predicates.size(),
+            twice->views()[0].spj.predicates.size());
+}
+
+TEST_F(PropagateTest, PropagationNeverHurtsCostOnViewFamily) {
+  for (const char* sql : {
+           R"sql(
+create view v (dno, asal) as
+  select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
+select e1.sal from emp e1, v
+where e1.dno = v.dno and e1.dno < 10 and e1.sal > v.asal)sql",
+           R"sql(
+create view v (dno, cnt) as
+  select e2.dno, count(*) from emp e2 group by e2.dno;
+select v.cnt from v where v.dno < 5)sql",
+       }) {
+    auto q = ParseAndBind(*fixture_.catalog, sql);
+    ASSERT_OK(q);
+    OptimizerOptions off;
+    off.propagate_predicates = false;
+    auto without = OptimizeQueryWithAggViews(*q, off);
+    ASSERT_OK(without);
+    auto with = OptimizeQueryWithAggViews(*q, OptimizerOptions{});
+    ASSERT_OK(with);
+    EXPECT_LE(with->plan->cost, without->plan->cost) << sql;
+
+    auto r1 = ExecutePlan(without->plan, without->query, nullptr);
+    ASSERT_OK(r1);
+    auto r2 = ExecutePlan(with->plan, with->query, nullptr);
+    ASSERT_OK(r2);
+    EXPECT_EQ(r1->Fingerprint(), r2->Fingerprint());
+  }
+}
+
+TEST_F(PropagateTest, MultiViewPropagationTargetsTheRightView) {
+  auto q = ParseAndBind(*fixture_.catalog, R"sql(
+create view v1 (dno, asal) as
+  select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
+create view v2 (dno, cnt) as
+  select e3.dno, count(*) from emp e3 group by e3.dno;
+select v1.asal, v2.cnt from v1, v2
+where v1.dno = v2.dno and v1.dno < 10
+)sql");
+  ASSERT_OK(q);
+  std::string before = Execute(*q);
+  auto prop = PropagatePredicates(*q);
+  ASSERT_OK(prop);
+  // v1.dno < 10 moved into v1; derived v2.dno < 10 moved into v2.
+  EXPECT_EQ(prop->views()[0].spj.predicates.size(), 1u);
+  EXPECT_EQ(prop->views()[1].spj.predicates.size(), 1u);
+  EXPECT_EQ(Execute(*prop), before);
+}
+
+}  // namespace
+}  // namespace aggview

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "transform/pushdown.h"
+#include "test_util.h"
+
+namespace aggview {
+namespace {
+
+class PushdownTest : public ::testing::Test {
+ protected:
+  PushdownTest() : fixture_(MakeEmpDept(Options())) {}
+
+  static EmpDeptOptions Options() {
+    EmpDeptOptions o;
+    o.num_employees = 300;
+    o.num_departments = 12;
+    return o;
+  }
+
+  /// Example 2 phrased as an aggregate view so the view-level analysis
+  /// applies: average salary per department with budget < 1M.
+  std::string Example2AsViewSql() const {
+    return R"sql(
+create view c (dno, asal) as
+  select e.dno, avg(e.sal)
+  from emp e, dept d
+  where e.dno = d.dno and d.budget < 1000000
+  group by e.dno;
+select c.dno, c.asal from c
+)sql";
+  }
+
+  EmpDeptFixture fixture_;
+};
+
+TEST_F(PushdownTest, Example2MinimalInvariantSetIsEmp) {
+  auto q = ParseAndBind(*fixture_.catalog, Example2AsViewSql());
+  ASSERT_OK(q);
+  const AggView& view = q->views()[0];
+  InvariantAnalysis analysis = AnalyzeInvariantGrouping(*q, view);
+  // The paper: "The minimal invariant set of the query C consists of the
+  // singleton relation emp."
+  ASSERT_EQ(analysis.minimal_invariant_set.size(), 1u);
+  int kept = *analysis.minimal_invariant_set.begin();
+  EXPECT_EQ(q->range_var(kept).alias, "c.e");
+  EXPECT_EQ(analysis.removable.size(), 1u);
+}
+
+TEST_F(PushdownTest, AggregateOverDroppedSideBlocksMove) {
+  // avg(d.budget): the aggregate argument comes from dept, so the group-by
+  // cannot be moved past dept (IG1).
+  auto q = ParseAndBind(*fixture_.catalog, R"sql(
+create view c (dno, ab) as
+  select e.dno, avg(d.budget)
+  from emp e, dept d
+  where e.dno = d.dno
+  group by e.dno;
+select c.dno, c.ab from c
+)sql");
+  ASSERT_OK(q);
+  InvariantAnalysis analysis = AnalyzeInvariantGrouping(*q, q->views()[0]);
+  EXPECT_EQ(analysis.minimal_invariant_set.size(), 2u);
+}
+
+TEST_F(PushdownTest, JoinColumnOutsideGroupingBlocksMove) {
+  // Join on e.sal = d.budget: e.sal is not a grouping column (IG2).
+  auto q = ParseAndBind(*fixture_.catalog, R"sql(
+create view c (dno, cnt) as
+  select e.dno, count(*)
+  from emp e, dept d
+  where e.sal = d.budget
+  group by e.dno;
+select c.dno, c.cnt from c
+)sql");
+  ASSERT_OK(q);
+  InvariantAnalysis analysis = AnalyzeInvariantGrouping(*q, q->views()[0]);
+  EXPECT_EQ(analysis.minimal_invariant_set.size(), 2u);
+}
+
+TEST_F(PushdownTest, NonKeyJoinBlocksMoveForDuplicateSensitiveAggregates) {
+  // emp joined with emp on dno: many matches per group, so SUM/COUNT would
+  // be inflated (IG3 fails — e2.dno is not a key of emp).
+  auto q = ParseAndBind(*fixture_.catalog, R"sql(
+create view c (dno, total) as
+  select e1.dno, sum(e1.sal)
+  from emp e1, emp e2
+  where e1.dno = e2.dno
+  group by e1.dno;
+select c.dno, c.total from c
+)sql");
+  ASSERT_OK(q);
+  InvariantAnalysis analysis = AnalyzeInvariantGrouping(*q, q->views()[0]);
+  EXPECT_EQ(analysis.minimal_invariant_set.size(), 2u);
+}
+
+TEST_F(PushdownTest, NonKeyJoinAllowedForMinMax) {
+  // Same join, but MIN is duplicate-insensitive, so IG3 is waived.
+  auto q = ParseAndBind(*fixture_.catalog, R"sql(
+create view c (dno, m) as
+  select e1.dno, min(e1.sal)
+  from emp e1, emp e2
+  where e1.dno = e2.dno
+  group by e1.dno;
+select c.dno, c.m from c
+)sql");
+  ASSERT_OK(q);
+  InvariantAnalysis analysis = AnalyzeInvariantGrouping(*q, q->views()[0]);
+  EXPECT_EQ(analysis.minimal_invariant_set.size(), 1u);
+}
+
+TEST_F(PushdownTest, EqualityLiteralSelectionsHelpCoverKeys) {
+  RelShape rel;
+  rel.cols = {10, 11};
+  rel.keys = {{10, 11}};  // composite key
+  GroupBySpec gb;
+  gb.grouping = {1};
+  gb.aggregates = {{AggKind::kSum, {2}, 3}};
+  // Equi-join fixes col 10, literal equality fixes col 11.
+  std::vector<Predicate> preds = {EqCols(1, 10),
+                                  Cmp(Col(11), CompareOp::kEq, LitInt(5))};
+  EXPECT_TRUE(CanMoveGroupByPastShape(rel, {1, 2}, preds, gb));
+  // Without the literal the key is not covered.
+  std::vector<Predicate> partial = {EqCols(1, 10)};
+  EXPECT_FALSE(CanMoveGroupByPastShape(rel, {1, 2}, partial, gb));
+}
+
+TEST_F(PushdownTest, GroupingColumnsOfDroppedRelCountTowardKey) {
+  RelShape rel;
+  rel.cols = {10, 11};
+  rel.keys = {{10}};
+  GroupBySpec gb;
+  gb.grouping = {1, 10};  // grouping includes rel's key column
+  gb.aggregates = {{AggKind::kSum, {2}, 3}};
+  EXPECT_TRUE(CanMoveGroupByPastShape(rel, {1, 2}, {}, gb));
+}
+
+TEST_F(PushdownTest, RemovableShapesFixpointCascades) {
+  // Chain: G over (A ⋈ B ⋈ C), join cols in grouping, B and C key-joined.
+  // C is removable only after B is (its join partner is B's grouping col).
+  RelShape a{{1, 2}, {{1}}};
+  RelShape b{{10, 11}, {{10}}};
+  RelShape c{{20, 21}, {{20}}};
+  GroupBySpec gb;
+  gb.grouping = {1, 11};
+  gb.aggregates = {{AggKind::kSum, {2}, 30}};
+  std::vector<Predicate> preds = {EqCols(1, 10), EqCols(11, 20)};
+  std::set<size_t> removable = RemovableShapes({a, b, c}, preds, gb);
+  EXPECT_EQ(removable, (std::set<size_t>{1, 2}));
+}
+
+TEST_F(PushdownTest, ShrinkViewMovesRemovableRelations) {
+  auto q = ParseAndBind(*fixture_.catalog, Example2AsViewSql());
+  ASSERT_OK(q);
+  std::set<int> moved;
+  auto shrunk = ShrinkViewToInvariantSet(*q, 0, &moved);
+  ASSERT_OK(shrunk);
+  EXPECT_EQ(moved.size(), 1u);
+  EXPECT_EQ(shrunk->views()[0].spj.rels.size(), 1u);
+  EXPECT_EQ(shrunk->base_rels().size(), 1u);
+  // The join predicate and the budget selection moved to the top block.
+  EXPECT_EQ(shrunk->predicates().size(), 2u);
+  EXPECT_OK(shrunk->Validate());
+}
+
+TEST_F(PushdownTest, ShrinkViewPreservesResults) {
+  auto q = ParseAndBind(*fixture_.catalog, Example2AsViewSql());
+  ASSERT_OK(q);
+  auto shrunk = ShrinkViewToInvariantSet(*q, 0, nullptr);
+  ASSERT_OK(shrunk);
+
+  auto plan_orig = OptimizeTraditional(*q);
+  ASSERT_OK(plan_orig);
+  auto plan_shrunk = OptimizeTraditional(*shrunk);
+  ASSERT_OK(plan_shrunk);
+
+  auto r1 = ExecutePlan(plan_orig->plan, plan_orig->query, nullptr);
+  ASSERT_OK(r1);
+  auto r2 = ExecutePlan(plan_shrunk->plan, plan_shrunk->query, nullptr);
+  ASSERT_OK(r2);
+  EXPECT_EQ(r1->Fingerprint(), r2->Fingerprint());
+  EXPECT_GT(r1->rows.size(), 0u);
+}
+
+TEST_F(PushdownTest, ShrinkViewMovesHavingOnMovedColumns) {
+  // HAVING references d.budget-grouped column? Build: group by e.dno, d.budget
+  // with having on d.budget (moved column).
+  auto q = ParseAndBind(*fixture_.catalog, R"sql(
+create view c (dno, b, asal) as
+  select e.dno, d.budget, avg(e.sal)
+  from emp e, dept d
+  where e.dno = d.dno
+  group by e.dno, d.budget
+  having d.budget > 500000;
+select c.dno, c.asal from c
+)sql");
+  ASSERT_OK(q);
+  std::set<int> moved;
+  auto shrunk = ShrinkViewToInvariantSet(*q, 0, &moved);
+  ASSERT_OK(shrunk);
+  ASSERT_EQ(moved.size(), 1u);
+  // The budget HAVING conjunct is now a top-level predicate.
+  EXPECT_TRUE(shrunk->views()[0].group_by.having.empty());
+  EXPECT_EQ(shrunk->predicates().size(), 2u);  // join pred + budget pred
+  EXPECT_OK(shrunk->Validate());
+
+  auto plan_orig = OptimizeTraditional(*q);
+  ASSERT_OK(plan_orig);
+  auto plan_shrunk = OptimizeTraditional(*shrunk);
+  ASSERT_OK(plan_shrunk);
+  auto r1 = ExecutePlan(plan_orig->plan, plan_orig->query, nullptr);
+  auto r2 = ExecutePlan(plan_shrunk->plan, plan_shrunk->query, nullptr);
+  ASSERT_OK(r1);
+  ASSERT_OK(r2);
+  EXPECT_EQ(r1->Fingerprint(), r2->Fingerprint());
+}
+
+TEST_F(PushdownTest, ShrinkViewNoOpWhenNothingRemovable) {
+  auto q = ParseAndBind(*fixture_.catalog, Example1Sql());
+  ASSERT_OK(q);
+  std::set<int> moved;
+  auto shrunk = ShrinkViewToInvariantSet(*q, 0, &moved);
+  ASSERT_OK(shrunk);
+  EXPECT_TRUE(moved.empty());  // single-relation view
+}
+
+TEST_F(PushdownTest, RelShapeCoversKey) {
+  RelShape shape;
+  shape.cols = {1, 2, 3};
+  shape.keys = {{1, 2}};
+  EXPECT_TRUE(shape.CoversKey({1, 2, 3}));
+  EXPECT_FALSE(shape.CoversKey({1}));
+  shape.keys.push_back({3});
+  EXPECT_TRUE(shape.CoversKey({3}));
+}
+
+TEST_F(PushdownTest, ViewIndexOutOfRange) {
+  auto q = ParseAndBind(*fixture_.catalog, Example2AsViewSql());
+  ASSERT_OK(q);
+  EXPECT_FALSE(ShrinkViewToInvariantSet(*q, 7, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace aggview

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "transform/pullup.h"
+#include "transform/pushdown.h"
+#include "test_util.h"
+
+namespace aggview {
+namespace {
+
+/// Tests of the synthetic tuple-id key (paper, Section 3: "In the absence of
+/// a declared primary key, the query engine can use the internal tuple id
+/// as a key").
+class RowidTest : public ::testing::Test {
+ protected:
+  RowidTest() {
+    // A keyless log table: (dno, amount) — no primary or unique key.
+    TableDef def;
+    def.name = "payments";
+    def.schema = Schema({{"dno", DataType::kInt64},
+                         {"amount", DataType::kDouble}});
+    auto id = catalog_.AddTable(std::move(def));
+    EXPECT_OK(id);
+    payments_ = *id;
+    auto data = std::make_shared<Table>(catalog_.table(payments_).schema);
+    // Deliberate duplicate rows: only a tuple id distinguishes them.
+    auto add = [&](int64_t dno, double amount) {
+      data->AppendUnchecked({Value::Int(dno), Value::Real(amount)});
+    };
+    add(1, 100);
+    add(1, 100);  // duplicate of the row above
+    add(1, 50);
+    add(2, 10);
+    add(2, 10);  // duplicate
+    catalog_.mutable_table(payments_).stats = ComputeStats(*data);
+    catalog_.mutable_table(payments_).data = data;
+  }
+
+  Catalog catalog_;
+  TableId payments_ = -1;
+};
+
+TEST_F(RowidTest, KeylessTableGetsRowid) {
+  Query q(&catalog_);
+  int p = q.AddRangeVar(payments_, "p");
+  EXPECT_NE(q.range_var(p).rowid, kInvalidColId);
+  EXPECT_EQ(q.columns().name(q.range_var(p).rowid), "p.$rowid");
+  // Tables with keys do not get one.
+  Catalog keyed;
+  auto tables = CreateEmpDeptSchema(&keyed);
+  ASSERT_OK(tables);
+  Query q2(&keyed);
+  int e = q2.AddRangeVar(tables->emp, "e");
+  EXPECT_EQ(q2.range_var(e).rowid, kInvalidColId);
+}
+
+TEST_F(RowidTest, RowidActsAsKeyInShapeAnalysis) {
+  Query q(&catalog_);
+  int p = q.AddRangeVar(payments_, "p");
+  RelShape shape = ShapeOfRangeVar(q, p);
+  ASSERT_EQ(shape.keys.size(), 1u);
+  EXPECT_EQ(shape.keys[0], std::vector<ColId>{q.range_var(p).rowid});
+}
+
+TEST_F(RowidTest, PullUpUsesRowidForKeylessTable) {
+  // View over payments; the keyless payments joins from the top block.
+  auto q = ParseAndBind(catalog_, R"sql(
+create view v (dno, total) as
+  select p2.dno, sum(p2.amount) from payments p2 group by p2.dno;
+select p1.amount
+from payments p1, v
+where p1.dno = v.dno and p1.amount > 0.25 * v.total
+)sql");
+  ASSERT_OK(q);
+  auto pulled = PullUpIntoView(*q, 0, {q->base_rels()[0]});
+  ASSERT_OK(pulled);
+  // p1 has no key, so its tuple id must appear in the deferred grouping.
+  std::set<std::string> names;
+  for (ColId g : pulled->views()[0].group_by.grouping) {
+    names.insert(pulled->columns().name(g));
+  }
+  EXPECT_EQ(names.count("p1.$rowid"), 1u) << pulled->ToString();
+}
+
+TEST_F(RowidTest, PullUpOverDuplicateRowsIsExact) {
+  // The duplicates are the danger: without a tuple id, the pulled-up
+  // group-by would merge the two identical p1 rows and emit one instead of
+  // two. Compare traditional vs pull-up results.
+  auto q = ParseAndBind(catalog_, R"sql(
+create view v (dno, total) as
+  select p2.dno, sum(p2.amount) from payments p2 group by p2.dno;
+select p1.amount
+from payments p1, v
+where p1.dno = v.dno and p1.amount > 0.25 * v.total
+)sql");
+  ASSERT_OK(q);
+
+  auto traditional = OptimizeTraditional(*q);
+  ASSERT_OK(traditional);
+  auto rt = ExecutePlan(traditional->plan, traditional->query, nullptr);
+  ASSERT_OK(rt);
+
+  auto pulled = PullUpIntoView(*q, 0, {q->base_rels()[0]});
+  ASSERT_OK(pulled);
+  auto forced = OptimizeQueryWithAggViews(*pulled, TraditionalOptions());
+  ASSERT_OK(forced);
+  auto rp = ExecutePlan(forced->plan, forced->query, nullptr);
+  ASSERT_OK(rp);
+
+  // dno 1: total 250, threshold 62.5 -> rows 100, 100 (both duplicates!).
+  // dno 2: total 20, threshold 5 -> rows 10, 10.
+  EXPECT_EQ(rt->rows.size(), 4u);
+  EXPECT_EQ(rt->Fingerprint(), rp->Fingerprint());
+}
+
+TEST_F(RowidTest, ScanMaterializesDistinctRowids) {
+  Query q(&catalog_);
+  int p = q.AddRangeVar(payments_, "p");
+  q.base_rels() = {p};
+  ColId rowid = q.range_var(p).rowid;
+  ColId amount = q.range_var(p).columns[1];
+  q.select_list() = {rowid, amount};
+  PlanBuilder b(q);
+  PlanPtr scan = b.Scan(p, {}, {rowid, amount});
+  auto result = ExecutePlan(scan, q, nullptr);
+  ASSERT_OK(result);
+  ASSERT_EQ(result->rows.size(), 5u);
+  int idx = result->layout.IndexOf(rowid);
+  ASSERT_GE(idx, 0);
+  std::set<int64_t> ids;
+  for (const Row& row : result->rows) {
+    ids.insert(row[static_cast<size_t>(idx)].AsInt());
+  }
+  EXPECT_EQ(ids.size(), 5u);  // all distinct, despite duplicate payloads
+}
+
+TEST_F(RowidTest, OptimizersAgreeOnKeylessTables) {
+  CheckOptimizersAgree(catalog_, R"sql(
+create view v (dno, total) as
+  select p2.dno, sum(p2.amount) from payments p2 group by p2.dno;
+select p1.amount
+from payments p1, v
+where p1.dno = v.dno and p1.amount > 0.25 * v.total
+)sql");
+}
+
+}  // namespace
+}  // namespace aggview

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "storage/io_accountant.h"
+#include "storage/table.h"
+
+namespace aggview {
+namespace {
+
+TEST(IoGeometry, RowsPerPage) {
+  EXPECT_EQ(RowsPerPage(8), kPageSizeBytes / 8);
+  EXPECT_EQ(RowsPerPage(kPageSizeBytes), 1);
+  EXPECT_EQ(RowsPerPage(kPageSizeBytes * 2), 1);  // at least one row per page
+  EXPECT_EQ(RowsPerPage(0), kPageSizeBytes);      // degenerate width
+}
+
+TEST(IoGeometry, PagesForRows) {
+  EXPECT_EQ(PagesForRows(0, 8), 0);
+  EXPECT_EQ(PagesForRows(1, 8), 1);
+  int64_t per_page = RowsPerPage(8);
+  EXPECT_EQ(PagesForRows(per_page, 8), 1);
+  EXPECT_EQ(PagesForRows(per_page + 1, 8), 2);
+}
+
+TEST(IoAccountantTest, CountsReadsAndWrites) {
+  IoAccountant io;
+  io.ChargeRead(10);
+  io.ChargeWrite(3);
+  EXPECT_EQ(io.reads(), 10);
+  EXPECT_EQ(io.writes(), 3);
+  EXPECT_EQ(io.total(), 13);
+  io.Reset();
+  EXPECT_EQ(io.total(), 0);
+}
+
+TEST(TableTest, AppendValidates) {
+  Table t(Schema({{"id", DataType::kInt64}, {"v", DataType::kDouble}}));
+  EXPECT_TRUE(t.Append({Value::Int(1), Value::Real(2.0)}).ok());
+  EXPECT_FALSE(t.Append({Value::Int(1)}).ok());                       // arity
+  EXPECT_FALSE(t.Append({Value::Real(1.0), Value::Real(2.0)}).ok());  // type
+  EXPECT_EQ(t.row_count(), 1);
+}
+
+TEST(TableTest, PageCountMatchesGeometry) {
+  Table t(Schema({{"id", DataType::kInt64}}));
+  int64_t per_page = RowsPerPage(8);
+  for (int64_t i = 0; i < per_page + 1; ++i) {
+    t.AppendUnchecked({Value::Int(i)});
+  }
+  EXPECT_EQ(t.page_count(), 2);
+}
+
+TEST(TableTest, RowAccess) {
+  Table t(Schema({{"id", DataType::kInt64}}));
+  t.AppendUnchecked({Value::Int(7)});
+  EXPECT_EQ(t.row(0)[0].AsInt(), 7);
+  EXPECT_EQ(t.rows().size(), 1u);
+}
+
+}  // namespace
+}  // namespace aggview

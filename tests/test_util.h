@@ -1,0 +1,125 @@
+#ifndef AGGVIEW_TESTS_TEST_UTIL_H_
+#define AGGVIEW_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "aggview.h"
+
+namespace aggview {
+
+#define ASSERT_OK(expr)                                              \
+  do {                                                               \
+    const auto& _status_like = (expr);                               \
+    ASSERT_TRUE(_status_like.ok()) << StatusString(_status_like);    \
+  } while (false)
+
+#define EXPECT_OK(expr)                                              \
+  do {                                                               \
+    const auto& _status_like = (expr);                               \
+    EXPECT_TRUE(_status_like.ok()) << StatusString(_status_like);    \
+  } while (false)
+
+inline std::string StatusString(const Status& s) { return s.ToString(); }
+template <typename T>
+std::string StatusString(const Result<T>& r) {
+  return r.status().ToString();
+}
+
+/// emp/dept catalog with generated data (the paper's running example).
+struct EmpDeptFixture {
+  std::unique_ptr<Catalog> catalog = std::make_unique<Catalog>();
+  EmpDeptTables tables;
+};
+
+inline EmpDeptFixture MakeEmpDept(const EmpDeptOptions& options = {}) {
+  EmpDeptFixture f;
+  auto tables = CreateEmpDeptSchema(f.catalog.get());
+  EXPECT_TRUE(tables.ok()) << tables.status().ToString();
+  f.tables = *tables;
+  Status st = GenerateEmpDeptData(f.catalog.get(), f.tables, options);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return f;
+}
+
+/// Example 1 of the paper: employees under 22 earning more than their
+/// department's average salary, phrased with the aggregate view A1.
+inline std::string Example1Sql() {
+  return R"sql(
+create view a1 (dno, asal) as
+  select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
+select e1.sal
+from emp e1, a1 b
+where e1.dno = b.dno and e1.age < 22 and e1.sal > b.asal
+)sql";
+}
+
+/// Example 2 of the paper: average salary per department with budget < 1M,
+/// as a single-block query (the invariant-grouping example).
+inline std::string Example2Sql() {
+  return R"sql(
+select e.dno, avg(e.sal)
+from emp e, dept d
+where e.dno = d.dno and d.budget < 1000000
+group by e.dno
+)sql";
+}
+
+/// TPC-D catalog with generated data.
+struct TpcdFixture {
+  std::unique_ptr<Catalog> catalog = std::make_unique<Catalog>();
+  TpcdTables tables;
+};
+
+inline TpcdFixture MakeTpcd(const DbgenOptions& options) {
+  TpcdFixture f;
+  auto tables = CreateTpcdSchema(f.catalog.get());
+  EXPECT_TRUE(tables.ok()) << tables.status().ToString();
+  f.tables = *tables;
+  Status st = GenerateTpcdData(f.catalog.get(), f.tables, options);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return f;
+}
+
+/// Optimizes `sql` with both the traditional and the aggregate-view
+/// optimizer, executes both plans, and checks result equivalence; returns
+/// the two measured IO counts through the out-params.
+inline void CheckOptimizersAgree(const Catalog& catalog,
+                                 const std::string& sql,
+                                 int64_t* traditional_io = nullptr,
+                                 int64_t* extended_io = nullptr) {
+  auto query = ParseAndBind(catalog, sql);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+
+  auto traditional = OptimizeTraditional(*query);
+  ASSERT_TRUE(traditional.ok()) << traditional.status().ToString();
+  auto extended = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
+  ASSERT_TRUE(extended.ok()) << extended.status().ToString();
+
+  {
+    Status v1 = ValidatePlan(traditional->plan, traditional->query);
+    ASSERT_TRUE(v1.ok()) << v1.ToString();
+    Status v2 = ValidatePlan(extended->plan, extended->query);
+    ASSERT_TRUE(v2.ok()) << v2.ToString();
+  }
+
+  EXPECT_LE(extended->plan->cost, traditional->plan->cost)
+      << "no-worse guarantee violated";
+
+  IoAccountant io_t, io_e;
+  auto result_t = ExecutePlan(traditional->plan, traditional->query, &io_t);
+  ASSERT_TRUE(result_t.ok()) << result_t.status().ToString();
+  auto result_e = ExecutePlan(extended->plan, extended->query, &io_e);
+  ASSERT_TRUE(result_e.ok()) << result_e.status().ToString();
+
+  EXPECT_EQ(result_t->Fingerprint(), result_e->Fingerprint())
+      << "plans disagree on query results";
+  if (traditional_io != nullptr) *traditional_io = io_t.total();
+  if (extended_io != nullptr) *extended_io = io_e.total();
+}
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_TESTS_TEST_UTIL_H_

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "types/data_type.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace aggview {
+namespace {
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt64), "INT64");
+  EXPECT_STREQ(DataTypeName(DataType::kDouble), "DOUBLE");
+  EXPECT_STREQ(DataTypeName(DataType::kString), "STRING");
+}
+
+TEST(DataTypeTest, Widths) {
+  EXPECT_EQ(DataTypeWidth(DataType::kInt64), 8);
+  EXPECT_EQ(DataTypeWidth(DataType::kDouble), 8);
+  EXPECT_EQ(DataTypeWidth(DataType::kString), 24);
+}
+
+TEST(DataTypeTest, Numeric) {
+  EXPECT_TRUE(IsNumeric(DataType::kInt64));
+  EXPECT_TRUE(IsNumeric(DataType::kDouble));
+  EXPECT_FALSE(IsNumeric(DataType::kString));
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Int(3).is_int());
+  EXPECT_TRUE(Value::Real(3.5).is_double());
+  EXPECT_TRUE(Value::Str("x").is_string());
+  EXPECT_EQ(Value::Int(3).AsInt(), 3);
+  EXPECT_DOUBLE_EQ(Value::Real(3.5).AsDouble(), 3.5);
+  EXPECT_EQ(Value::Str("x").AsString(), "x");
+}
+
+TEST(ValueTest, NumericPromotionInComparison) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Real(3.0)), 0);
+  EXPECT_LT(Value::Int(3).Compare(Value::Real(3.5)), 0);
+  EXPECT_GT(Value::Real(4.0).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, IntComparisonExactAtLargeMagnitudes) {
+  // Same-type int comparison must not go through double.
+  int64_t big = (int64_t{1} << 62) + 1;
+  EXPECT_GT(Value::Int(big).Compare(Value::Int(big - 1)), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::Str("abc").Compare(Value::Str("abd")), 0);
+  EXPECT_EQ(Value::Str("abc"), Value::Str("abc"));
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_TRUE(Value::Int(1) < Value::Int(2));
+  EXPECT_FALSE(Value::Int(2) < Value::Int(2));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  // 3 (int) == 3.0 (double), so their hashes must match.
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Real(3.0).Hash());
+  EXPECT_EQ(Value::Str("q").Hash(), Value::Str("q").Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Str("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Real(1.5).ToString(), "1.5");
+}
+
+TEST(RowTest, HashAndEquality) {
+  Row a = {Value::Int(1), Value::Str("x")};
+  Row b = {Value::Int(1), Value::Str("x")};
+  Row c = {Value::Int(2), Value::Str("x")};
+  EXPECT_EQ(HashRow(a), HashRow(b));
+  EXPECT_TRUE(RowEq{}(a, b));
+  EXPECT_FALSE(RowEq{}(a, c));
+  EXPECT_FALSE(RowEq{}(a, Row{Value::Int(1)}));
+}
+
+TEST(SchemaTest, FindColumn) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(s.FindColumn("a"), 0);
+  EXPECT_EQ(s.FindColumn("b"), 1);
+  EXPECT_EQ(s.FindColumn("c"), -1);
+}
+
+TEST(SchemaTest, RowWidth) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(s.RowWidth(), 8 + 24);
+}
+
+TEST(SchemaTest, CustomWidth) {
+  Schema s({ColumnSpec("name", DataType::kString, 64)});
+  EXPECT_EQ(s.RowWidth(), 64);
+}
+
+TEST(SchemaTest, ToString) {
+  Schema s({{"a", DataType::kInt64}});
+  EXPECT_EQ(s.ToString(), "a:INT64");
+}
+
+}  // namespace
+}  // namespace aggview
