@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_estimation.dir/bench_e11_estimation.cc.o"
+  "CMakeFiles/bench_e11_estimation.dir/bench_e11_estimation.cc.o.d"
+  "bench_e11_estimation"
+  "bench_e11_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_pullup_crossover.dir/bench_e1_pullup_crossover.cc.o"
+  "CMakeFiles/bench_e1_pullup_crossover.dir/bench_e1_pullup_crossover.cc.o.d"
+  "bench_e1_pullup_crossover"
+  "bench_e1_pullup_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_pullup_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

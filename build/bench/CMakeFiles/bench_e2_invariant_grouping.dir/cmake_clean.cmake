@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_invariant_grouping.dir/bench_e2_invariant_grouping.cc.o"
+  "CMakeFiles/bench_e2_invariant_grouping.dir/bench_e2_invariant_grouping.cc.o.d"
+  "bench_e2_invariant_grouping"
+  "bench_e2_invariant_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_invariant_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

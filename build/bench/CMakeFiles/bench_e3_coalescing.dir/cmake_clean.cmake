@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_coalescing.dir/bench_e3_coalescing.cc.o"
+  "CMakeFiles/bench_e3_coalescing.dir/bench_e3_coalescing.cc.o.d"
+  "bench_e3_coalescing"
+  "bench_e3_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_multiview.dir/bench_e5_multiview.cc.o"
+  "CMakeFiles/bench_e5_multiview.dir/bench_e5_multiview.cc.o.d"
+  "bench_e5_multiview"
+  "bench_e5_multiview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_multiview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

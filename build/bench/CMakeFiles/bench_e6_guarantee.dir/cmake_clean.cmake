@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_guarantee.dir/bench_e6_guarantee.cc.o"
+  "CMakeFiles/bench_e6_guarantee.dir/bench_e6_guarantee.cc.o.d"
+  "bench_e6_guarantee"
+  "bench_e6_guarantee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_guarantee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

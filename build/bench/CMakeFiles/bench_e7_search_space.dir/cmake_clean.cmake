@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_search_space.dir/bench_e7_search_space.cc.o"
+  "CMakeFiles/bench_e7_search_space.dir/bench_e7_search_space.cc.o.d"
+  "bench_e7_search_space"
+  "bench_e7_search_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_search_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_tpcd.dir/bench_e8_tpcd.cc.o"
+  "CMakeFiles/bench_e8_tpcd.dir/bench_e8_tpcd.cc.o.d"
+  "bench_e8_tpcd"
+  "bench_e8_tpcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_tpcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

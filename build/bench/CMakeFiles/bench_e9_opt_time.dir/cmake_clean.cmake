@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_opt_time.dir/bench_e9_opt_time.cc.o"
+  "CMakeFiles/bench_e9_opt_time.dir/bench_e9_opt_time.cc.o.d"
+  "bench_e9_opt_time"
+  "bench_e9_opt_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_opt_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggview_shell.dir/aggview_shell.cc.o"
+  "CMakeFiles/aggview_shell.dir/aggview_shell.cc.o.d"
+  "aggview_shell"
+  "aggview_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggview_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

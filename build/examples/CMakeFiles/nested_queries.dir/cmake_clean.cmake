@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_queries.dir/nested_queries.cc.o"
+  "CMakeFiles/nested_queries.dir/nested_queries.cc.o.d"
+  "nested_queries"
+  "nested_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

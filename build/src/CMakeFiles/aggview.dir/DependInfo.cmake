@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/column.cc" "src/CMakeFiles/aggview.dir/algebra/column.cc.o" "gcc" "src/CMakeFiles/aggview.dir/algebra/column.cc.o.d"
+  "/root/repo/src/algebra/logical_plan.cc" "src/CMakeFiles/aggview.dir/algebra/logical_plan.cc.o" "gcc" "src/CMakeFiles/aggview.dir/algebra/logical_plan.cc.o.d"
+  "/root/repo/src/algebra/query.cc" "src/CMakeFiles/aggview.dir/algebra/query.cc.o" "gcc" "src/CMakeFiles/aggview.dir/algebra/query.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/aggview.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/aggview.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/statistics.cc" "src/CMakeFiles/aggview.dir/catalog/statistics.cc.o" "gcc" "src/CMakeFiles/aggview.dir/catalog/statistics.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/aggview.dir/common/status.cc.o" "gcc" "src/CMakeFiles/aggview.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/aggview.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/aggview.dir/common/string_util.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/aggview.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/aggview.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/aggview.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/aggview.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/lowering.cc" "src/CMakeFiles/aggview.dir/exec/lowering.cc.o" "gcc" "src/CMakeFiles/aggview.dir/exec/lowering.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/aggview.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/aggview.dir/exec/operators.cc.o.d"
+  "/root/repo/src/expr/aggregate.cc" "src/CMakeFiles/aggview.dir/expr/aggregate.cc.o" "gcc" "src/CMakeFiles/aggview.dir/expr/aggregate.cc.o.d"
+  "/root/repo/src/expr/predicate.cc" "src/CMakeFiles/aggview.dir/expr/predicate.cc.o" "gcc" "src/CMakeFiles/aggview.dir/expr/predicate.cc.o.d"
+  "/root/repo/src/expr/scalar_expr.cc" "src/CMakeFiles/aggview.dir/expr/scalar_expr.cc.o" "gcc" "src/CMakeFiles/aggview.dir/expr/scalar_expr.cc.o.d"
+  "/root/repo/src/optimizer/aggview_optimizer.cc" "src/CMakeFiles/aggview.dir/optimizer/aggview_optimizer.cc.o" "gcc" "src/CMakeFiles/aggview.dir/optimizer/aggview_optimizer.cc.o.d"
+  "/root/repo/src/optimizer/join_enumerator.cc" "src/CMakeFiles/aggview.dir/optimizer/join_enumerator.cc.o" "gcc" "src/CMakeFiles/aggview.dir/optimizer/join_enumerator.cc.o.d"
+  "/root/repo/src/optimizer/plan.cc" "src/CMakeFiles/aggview.dir/optimizer/plan.cc.o" "gcc" "src/CMakeFiles/aggview.dir/optimizer/plan.cc.o.d"
+  "/root/repo/src/optimizer/plan_validator.cc" "src/CMakeFiles/aggview.dir/optimizer/plan_validator.cc.o" "gcc" "src/CMakeFiles/aggview.dir/optimizer/plan_validator.cc.o.d"
+  "/root/repo/src/optimizer/traditional.cc" "src/CMakeFiles/aggview.dir/optimizer/traditional.cc.o" "gcc" "src/CMakeFiles/aggview.dir/optimizer/traditional.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/aggview.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/aggview.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "src/CMakeFiles/aggview.dir/sql/binder.cc.o" "gcc" "src/CMakeFiles/aggview.dir/sql/binder.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/aggview.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/aggview.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/aggview.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/aggview.dir/sql/parser.cc.o.d"
+  "/root/repo/src/stats/estimator.cc" "src/CMakeFiles/aggview.dir/stats/estimator.cc.o" "gcc" "src/CMakeFiles/aggview.dir/stats/estimator.cc.o.d"
+  "/root/repo/src/storage/io_accountant.cc" "src/CMakeFiles/aggview.dir/storage/io_accountant.cc.o" "gcc" "src/CMakeFiles/aggview.dir/storage/io_accountant.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/aggview.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/aggview.dir/storage/table.cc.o.d"
+  "/root/repo/src/tpcd/dbgen.cc" "src/CMakeFiles/aggview.dir/tpcd/dbgen.cc.o" "gcc" "src/CMakeFiles/aggview.dir/tpcd/dbgen.cc.o.d"
+  "/root/repo/src/tpcd/queries.cc" "src/CMakeFiles/aggview.dir/tpcd/queries.cc.o" "gcc" "src/CMakeFiles/aggview.dir/tpcd/queries.cc.o.d"
+  "/root/repo/src/tpcd/schema.cc" "src/CMakeFiles/aggview.dir/tpcd/schema.cc.o" "gcc" "src/CMakeFiles/aggview.dir/tpcd/schema.cc.o.d"
+  "/root/repo/src/transform/coalescing.cc" "src/CMakeFiles/aggview.dir/transform/coalescing.cc.o" "gcc" "src/CMakeFiles/aggview.dir/transform/coalescing.cc.o.d"
+  "/root/repo/src/transform/propagate.cc" "src/CMakeFiles/aggview.dir/transform/propagate.cc.o" "gcc" "src/CMakeFiles/aggview.dir/transform/propagate.cc.o.d"
+  "/root/repo/src/transform/pullup.cc" "src/CMakeFiles/aggview.dir/transform/pullup.cc.o" "gcc" "src/CMakeFiles/aggview.dir/transform/pullup.cc.o.d"
+  "/root/repo/src/transform/pushdown.cc" "src/CMakeFiles/aggview.dir/transform/pushdown.cc.o" "gcc" "src/CMakeFiles/aggview.dir/transform/pushdown.cc.o.d"
+  "/root/repo/src/types/data_type.cc" "src/CMakeFiles/aggview.dir/types/data_type.cc.o" "gcc" "src/CMakeFiles/aggview.dir/types/data_type.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/aggview.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/aggview.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/aggview.dir/types/value.cc.o" "gcc" "src/CMakeFiles/aggview.dir/types/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

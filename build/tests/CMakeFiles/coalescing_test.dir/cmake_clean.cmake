@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalescing_test.dir/coalescing_test.cc.o"
+  "CMakeFiles/coalescing_test.dir/coalescing_test.cc.o.d"
+  "coalescing_test"
+  "coalescing_test.pdb"
+  "coalescing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalescing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

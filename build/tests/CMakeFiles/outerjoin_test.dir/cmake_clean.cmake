@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outerjoin_test.dir/outerjoin_test.cc.o"
+  "CMakeFiles/outerjoin_test.dir/outerjoin_test.cc.o.d"
+  "outerjoin_test"
+  "outerjoin_test.pdb"
+  "outerjoin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outerjoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

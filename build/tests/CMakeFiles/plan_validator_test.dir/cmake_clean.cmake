@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_validator_test.dir/plan_validator_test.cc.o"
+  "CMakeFiles/plan_validator_test.dir/plan_validator_test.cc.o.d"
+  "plan_validator_test"
+  "plan_validator_test.pdb"
+  "plan_validator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pullup_test.dir/pullup_test.cc.o"
+  "CMakeFiles/pullup_test.dir/pullup_test.cc.o.d"
+  "pullup_test"
+  "pullup_test.pdb"
+  "pullup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pullup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

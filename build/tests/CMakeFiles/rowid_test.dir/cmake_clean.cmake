@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rowid_test.dir/rowid_test.cc.o"
+  "CMakeFiles/rowid_test.dir/rowid_test.cc.o.d"
+  "rowid_test"
+  "rowid_test.pdb"
+  "rowid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rowid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

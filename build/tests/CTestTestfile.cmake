@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/types_test[1]_include.cmake")
+include("/root/repo/build/tests/catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_test[1]_include.cmake")
+include("/root/repo/build/tests/algebra_test[1]_include.cmake")
+include("/root/repo/build/tests/estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/operators_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/pushdown_test[1]_include.cmake")
+include("/root/repo/build/tests/propagate_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_validator_test[1]_include.cmake")
+include("/root/repo/build/tests/rowid_test[1]_include.cmake")
+include("/root/repo/build/tests/outerjoin_test[1]_include.cmake")
+include("/root/repo/build/tests/orderby_test[1]_include.cmake")
+include("/root/repo/build/tests/pullup_test[1]_include.cmake")
+include("/root/repo/build/tests/coalescing_test[1]_include.cmake")
+include("/root/repo/build/tests/enumerator_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/tpcd_test[1]_include.cmake")
+include("/root/repo/build/tests/equivalence_property_test[1]_include.cmake")
+include("/root/repo/build/tests/guarantee_property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
