@@ -88,16 +88,21 @@ inline TpcdDb MakeTpcdDb(const DbgenOptions& options) {
 }
 
 /// Optimizes + executes under one configuration; returns estimated cost and
-/// measured IO.
+/// measured IO, plus the per-operator estimation-accuracy summary when the
+/// run was instrumented (analyze = true).
 struct RunOutcome {
   double estimated = 0.0;
   int64_t measured = 0;
   std::string description;
+
+  // Filled only when RunConfig(..., analyze = true).
+  double q_root = 1.0;      // q-error of the plan root's cardinality
+  QErrorSummary q_ops;      // q-error over every executed operator
 };
 
 inline RunOutcome RunConfig(const Catalog& catalog, const std::string& sql,
                             const OptimizerOptions& options,
-                            bool execute = true) {
+                            bool execute = true, bool analyze = false) {
   auto query = ParseAndBind(catalog, sql);
   if (!query.ok()) {
     std::fprintf(stderr, "bind: %s\n%s\n", query.status().ToString().c_str(),
@@ -114,12 +119,21 @@ inline RunOutcome RunConfig(const Catalog& catalog, const std::string& sql,
   outcome.description = optimized->description;
   if (execute) {
     IoAccountant io;
-    auto result = ExecutePlan(optimized->plan, optimized->query, &io);
+    RuntimeStatsCollector stats;
+    auto result = ExecutePlan(optimized->plan, optimized->query, &io,
+                              analyze ? &stats : nullptr);
     if (!result.ok()) {
       std::fprintf(stderr, "execute: %s\n", result.status().ToString().c_str());
       std::abort();
     }
     outcome.measured = io.total();
+    if (analyze) {
+      std::vector<NodeQError> nodes =
+          CollectNodeQErrors(optimized->plan, optimized->query, stats);
+      outcome.q_ops = SummarizeQError(nodes);
+      outcome.q_root = QError(optimized->plan->est.rows,
+                              static_cast<double>(result->rows.size()));
+    }
   }
   return outcome;
 }

@@ -8,8 +8,12 @@
 //   create view v (dno, asal) as
 //     select e.dno, avg(e.sal) from emp e group by e.dno;
 //   select e1.sal from emp e1, v where e1.dno = v.dno and e1.sal > v.asal;
+// Prefix a statement with `explain analyze` to run it instrumented and see
+// per-operator actual rows, Q-error, pages and wall time.
 // Meta commands: \help \tables \traditional (toggle) \quit
+#include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -18,6 +22,35 @@
 using namespace aggview;
 
 namespace {
+
+/// Consumes a leading case-insensitive `explain analyze` (the statement may
+/// start with view definitions after it). Returns true when present.
+bool StripExplainAnalyze(std::string* sql) {
+  size_t pos = 0;
+  auto skip_space = [&] {
+    while (pos < sql->size() &&
+           std::isspace(static_cast<unsigned char>((*sql)[pos]))) {
+      ++pos;
+    }
+  };
+  auto word = [&](const char* w) {
+    size_t len = std::strlen(w);
+    if (sql->size() - pos < len) return false;
+    for (size_t i = 0; i < len; ++i) {
+      if (std::tolower(static_cast<unsigned char>((*sql)[pos + i])) != w[i]) {
+        return false;
+      }
+    }
+    pos += len;
+    return true;
+  };
+  skip_space();
+  if (!word("explain")) return false;
+  skip_space();
+  if (!word("analyze")) return false;
+  sql->erase(0, pos);
+  return true;
+}
 
 void PrintTables(const Catalog& catalog) {
   for (int i = 0; i < catalog.num_tables(); ++i) {
@@ -28,8 +61,8 @@ void PrintTables(const Catalog& catalog) {
   }
 }
 
-void RunStatement(const Catalog& catalog, const std::string& sql,
-                  bool traditional) {
+void RunStatement(const Catalog& catalog, std::string sql, bool traditional) {
+  bool analyze = StripExplainAnalyze(&sql);
   auto query = ParseAndBind(catalog, sql);
   if (!query.ok()) {
     std::printf("error: %s\n", query.status().ToString().c_str());
@@ -50,10 +83,16 @@ void RunStatement(const Catalog& catalog, const std::string& sql,
                 optimized->alternatives.size());
   }
   IoAccountant io;
-  auto result = ExecutePlan(optimized->plan, optimized->query, &io);
+  RuntimeStatsCollector stats;
+  auto result = ExecutePlan(optimized->plan, optimized->query, &io,
+                            analyze ? &stats : nullptr);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
+  }
+  if (analyze) {
+    std::printf("%s", ExplainAnalyze(optimized->plan, optimized->query, stats)
+                          .c_str());
   }
   std::printf("-- %zu rows, %lld IO pages measured\n", result->rows.size(),
               static_cast<long long>(io.total()));
@@ -108,7 +147,9 @@ int main(int argc, char** argv) {
             "\\tables        list tables\n"
             "\\traditional   toggle traditional vs extended optimizer\n"
             "\\quit          exit\n"
-            "Anything else: SQL, terminated by ';'.\n");
+            "Anything else: SQL, terminated by ';'.\n"
+            "Prefix with `explain analyze` for per-operator actual rows,\n"
+            "Q-error, pages and time.\n");
       }
       std::printf("sql> ");
       std::fflush(stdout);

@@ -76,10 +76,13 @@ where e1.dno = c.dno and e1.age < 22 and e1.sal > c.asal
               PlanToString(optimized->plan, optimized->query).c_str());
 
   IoAccountant io;
-  auto result = ExecutePlan(optimized->plan, optimized->query, &io);
+  RuntimeStatsCollector stats;
+  auto result = ExecutePlan(optimized->plan, optimized->query, &io, &stats);
   if (!result.ok()) return 1;
   std::printf("\nexecuted: %zu rows, %lld IO pages (estimated %.1f)\n",
               result->rows.size(), static_cast<long long>(io.total()),
               optimized->plan->cost);
+  std::printf("\n=== explain analyze ===\n%s",
+              ExplainAnalyze(optimized->plan, optimized->query, stats).c_str());
   return 0;
 }

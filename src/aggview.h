@@ -15,6 +15,8 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "exec/executor.h"
+#include "obs/explain.h"
+#include "obs/runtime_stats.h"
 #include "optimizer/aggview_optimizer.h"
 #include "optimizer/plan_validator.h"
 #include "optimizer/traditional.h"

@@ -41,6 +41,9 @@ TableStats ComputeStats(const Table& table) {
     for (const Row& row : table.rows()) {
       const Value& v = row[static_cast<size_t>(c)];
       seen.insert(v.Hash());
+      // NULLs count toward distinct (one bucket) but contribute no range or
+      // histogram mass.
+      if (v.is_null()) continue;
       if (numeric) {
         double d = v.AsNumeric();
         values.push_back(d);

@@ -60,8 +60,9 @@ std::string QueryResult::ToString(const ColumnCatalog& columns) const {
 }
 
 Result<QueryResult> ExecutePlan(const PlanPtr& plan, const Query& query,
-                                IoAccountant* io) {
-  AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr op, LowerPlan(plan, query, io));
+                                IoAccountant* io,
+                                RuntimeStatsCollector* stats) {
+  AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr op, LowerPlan(plan, query, io, stats));
   AGGVIEW_RETURN_NOT_OK(op->Open());
   QueryResult result;
   result.layout = op->layout();

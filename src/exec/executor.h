@@ -22,9 +22,12 @@ struct QueryResult {
   std::string ToString(const ColumnCatalog& columns) const;
 };
 
-/// Lowers and runs `plan`, charging `io` (which may be null).
+/// Lowers and runs `plan`, charging `io` (which may be null). When `stats`
+/// is non-null, every operator records OpStats into it (EXPLAIN ANALYZE);
+/// when null, execution is uninstrumented and pays no observability cost.
 Result<QueryResult> ExecutePlan(const PlanPtr& plan, const Query& query,
-                                IoAccountant* io);
+                                IoAccountant* io,
+                                RuntimeStatsCollector* stats = nullptr);
 
 }  // namespace aggview
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/runtime_stats.h"
+
 namespace aggview {
 
 namespace {
@@ -28,11 +30,22 @@ void SplitJoinPredicates(const std::vector<Predicate>& preds,
   }
 }
 
+/// Registers `op` as (part of) the lowering of `plan` and installs its stats
+/// block. Operators are tagged bottom-up, so the last tag for a plan node is
+/// its topmost operator (whose output is the node's output).
+OperatorPtr Tag(OperatorPtr op, const PlanPtr& plan, const char* name,
+                RuntimeStatsCollector* stats) {
+  if (stats != nullptr) op->set_stats(stats->Register(plan.get(), name));
+  return op;
+}
+
 Result<OperatorPtr> Lower(const PlanPtr& plan, const Query& query,
-                          IoAccountant* io, bool charge_scan);
+                          IoAccountant* io, RuntimeStatsCollector* stats,
+                          bool charge_scan);
 
 Result<OperatorPtr> LowerScan(const PlanPtr& plan, const Query& query,
-                              IoAccountant* io, bool charge_scan) {
+                              IoAccountant* io, RuntimeStatsCollector* stats,
+                              bool charge_scan) {
   const RangeVar& rv = query.range_var(plan->rel_id);
   const TableDef& def = query.catalog().table(rv.table);
   if (def.data == nullptr) {
@@ -41,11 +54,11 @@ Result<OperatorPtr> LowerScan(const PlanPtr& plan, const Query& query,
   OperatorPtr op = std::make_unique<TableScanOp>(
       def.data.get(), RowLayout(rv.columns), plan->scan_filter, plan->output,
       io, charge_scan, rv.rowid);
-  return op;
+  return Tag(std::move(op), plan, "TableScan", stats);
 }
 
 Result<OperatorPtr> LowerJoin(const PlanPtr& plan, const Query& query,
-                              IoAccountant* io) {
+                              IoAccountant* io, RuntimeStatsCollector* stats) {
   // Mirror the costing convention of PlanBuilder::Join: a BNL over a bare
   // base-table scan charges per-pass rescans of the full table instead of a
   // one-time scan plus materialization.
@@ -53,13 +66,15 @@ Result<OperatorPtr> LowerJoin(const PlanPtr& plan, const Query& query,
                             plan->right->scan_filter.empty() &&
                             plan->algo == JoinAlgo::kBlockNestedLoop;
 
-  AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr left,
-                           Lower(plan->left, query, io, /*charge_scan=*/true));
+  AGGVIEW_ASSIGN_OR_RETURN(
+      OperatorPtr left,
+      Lower(plan->left, query, io, stats, /*charge_scan=*/true));
   AGGVIEW_ASSIGN_OR_RETURN(
       OperatorPtr right,
-      Lower(plan->right, query, io, /*charge_scan=*/!inner_is_bare_scan));
+      Lower(plan->right, query, io, stats, /*charge_scan=*/!inner_is_bare_scan));
 
   OperatorPtr join;
+  const char* op_name = nullptr;
   JoinAlgo algo = plan->algo;
   if (plan->left_outer && algo == JoinAlgo::kSortMerge) {
     algo = JoinAlgo::kHash;  // merge join has no outer mode; hash does
@@ -82,6 +97,7 @@ Result<OperatorPtr> LowerJoin(const PlanPtr& plan, const Query& query,
           std::move(left), std::move(right), plan->join_preds,
           &query.columns(), io, pages_per_pass, charge_materialize,
           plan->left_outer);
+      op_name = "NestedLoopJoin";
       break;
     }
     case JoinAlgo::kHash:
@@ -98,55 +114,68 @@ Result<OperatorPtr> LowerJoin(const PlanPtr& plan, const Query& query,
                                             std::move(keys), std::move(residual),
                                             &query.columns(), io,
                                             plan->left_outer);
+        op_name = "HashJoin";
       } else {
         join = std::make_unique<SortMergeJoinOp>(
             std::move(left), std::move(right), std::move(keys),
             std::move(residual), &query.columns(), io);
+        op_name = "SortMergeJoin";
       }
       break;
     }
   }
+  join = Tag(std::move(join), plan, op_name, stats);
   // Project the concatenated row down to the plan's output layout.
   if (join->layout().columns() != plan->output.columns()) {
-    join = std::make_unique<ProjectOp>(std::move(join), plan->output);
+    join = Tag(std::make_unique<ProjectOp>(std::move(join), plan->output),
+               plan, "Project", stats);
   }
   return join;
 }
 
 Result<OperatorPtr> Lower(const PlanPtr& plan, const Query& query,
-                          IoAccountant* io, bool charge_scan) {
+                          IoAccountant* io, RuntimeStatsCollector* stats,
+                          bool charge_scan) {
   switch (plan->kind) {
     case PlanNode::Kind::kScan:
-      return LowerScan(plan, query, io, charge_scan);
+      return LowerScan(plan, query, io, stats, charge_scan);
     case PlanNode::Kind::kFilter: {
       AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr child,
-                               Lower(plan->left, query, io, true));
+                               Lower(plan->left, query, io, stats, true));
       OperatorPtr op = std::move(child);
       if (!plan->filter_preds.empty()) {
-        op = std::make_unique<FilterOp>(std::move(op), plan->filter_preds);
+        op = Tag(std::make_unique<FilterOp>(std::move(op), plan->filter_preds),
+                 plan, "Filter", stats);
       }
       if (op->layout().columns() != plan->output.columns()) {
-        op = std::make_unique<ProjectOp>(std::move(op), plan->output);
+        op = Tag(std::make_unique<ProjectOp>(std::move(op), plan->output),
+                 plan, "Project", stats);
       }
       return op;
     }
     case PlanNode::Kind::kJoin:
-      return LowerJoin(plan, query, io);
+      return LowerJoin(plan, query, io, stats);
     case PlanNode::Kind::kGroupBy: {
       AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr child,
-                               Lower(plan->left, query, io, true));
-      OperatorPtr op = std::make_unique<HashAggregateOp>(
-          std::move(child), plan->group_by, &query.columns(), io);
+                               Lower(plan->left, query, io, stats, true));
+      OperatorPtr op =
+          Tag(std::make_unique<HashAggregateOp>(std::move(child),
+                                                plan->group_by,
+                                                &query.columns(), io),
+              plan, "HashAggregate", stats);
       if (op->layout().columns() != plan->output.columns()) {
-        op = std::make_unique<ProjectOp>(std::move(op), plan->output);
+        op = Tag(std::make_unique<ProjectOp>(std::move(op), plan->output),
+                 plan, "Project", stats);
       }
       return op;
     }
     case PlanNode::Kind::kSort: {
       AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr child,
-                               Lower(plan->left, query, io, true));
-      OperatorPtr op = std::make_unique<SortOp>(
-          std::move(child), plan->sort_keys, &query.columns(), io);
+                               Lower(plan->left, query, io, stats, true));
+      OperatorPtr op = Tag(std::make_unique<SortOp>(std::move(child),
+                                                    plan->sort_keys,
+                                                    &query.columns(), io),
+                           plan, "Sort", stats);
       return op;
     }
   }
@@ -156,8 +185,8 @@ Result<OperatorPtr> Lower(const PlanPtr& plan, const Query& query,
 }  // namespace
 
 Result<OperatorPtr> LowerPlan(const PlanPtr& plan, const Query& query,
-                              IoAccountant* io) {
-  return Lower(plan, query, io, /*charge_scan=*/true);
+                              IoAccountant* io, RuntimeStatsCollector* stats) {
+  return Lower(plan, query, io, stats, /*charge_scan=*/true);
 }
 
 }  // namespace aggview

@@ -6,10 +6,17 @@
 
 namespace aggview {
 
+class RuntimeStatsCollector;
+
 /// Lowers an optimized plan tree to a physical operator tree. Requires every
 /// scanned table to have data loaded in the catalog.
+///
+/// When `stats` is non-null every operator is registered with the collector
+/// (linked to the plan node it was lowered from) and instrumented; when null
+/// the operators run uninstrumented — no clocks, no counters.
 Result<OperatorPtr> LowerPlan(const PlanPtr& plan, const Query& query,
-                              IoAccountant* io);
+                              IoAccountant* io,
+                              RuntimeStatsCollector* stats = nullptr);
 
 }  // namespace aggview
 

@@ -1,13 +1,21 @@
 #include "exec/operators.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "cost/cost_model.h"
+#include "obs/runtime_stats.h"
 
 namespace aggview {
 
 namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Pages occupied by `rows` rows whose layout has `width` bytes.
 double ActualPages(int64_t rows, int64_t width) {
@@ -40,6 +48,42 @@ Status Drain(Operator* op, std::vector<Row>* rows) {
 
 }  // namespace
 
+// ----------------------------------------------------------------- Operator
+
+Status Operator::Open() {
+  if (stats_ == nullptr) return OpenImpl();
+  int64_t t0 = NowNs();
+  Status s = OpenImpl();
+  stats_->open_ns += NowNs() - t0;
+  return s;
+}
+
+Result<bool> Operator::Next(Row* out) {
+  if (stats_ == nullptr) return NextImpl(out);
+  int64_t t0 = NowNs();
+  Result<bool> r = NextImpl(out);
+  stats_->next_ns += NowNs() - t0;
+  ++stats_->next_calls;
+  if (r.ok() && *r) ++stats_->rows_produced;
+  return r;
+}
+
+void Operator::Close() { CloseImpl(); }
+
+void Operator::ChargeRead(IoAccountant* io, int64_t pages) {
+  if (io != nullptr) io->ChargeRead(pages);
+  if (stats_ != nullptr) stats_->pages_charged += pages;
+}
+
+void Operator::ChargeWrite(IoAccountant* io, int64_t pages) {
+  if (io != nullptr) io->ChargeWrite(pages);
+  if (stats_ != nullptr) stats_->pages_charged += pages;
+}
+
+void Operator::CountInput(int64_t rows) {
+  if (stats_ != nullptr) stats_->input_rows += rows;
+}
+
 // ---------------------------------------------------------------- TableScan
 
 TableScanOp::TableScanOp(const Table* table, RowLayout table_layout,
@@ -60,9 +104,9 @@ TableScanOp::TableScanOp(const Table* table, RowLayout table_layout,
   }
 }
 
-Status TableScanOp::Open() {
+Status TableScanOp::OpenImpl() {
   pos_ = 0;
-  if (charge_io_ && io_ != nullptr) io_->ChargeRead(table_->page_count());
+  if (charge_io_) ChargeRead(io_, table_->page_count());
   for (int idx : projection_) {
     if (idx < 0 && idx != kRowIdIndex) {
       return Status::Internal("scan projects a non-table column");
@@ -71,10 +115,11 @@ Status TableScanOp::Open() {
   return Status::OK();
 }
 
-Result<bool> TableScanOp::Next(Row* out) {
+Result<bool> TableScanOp::NextImpl(Row* out) {
   while (pos_ < table_->row_count()) {
     int64_t rowid = pos_;
     const Row& row = table_->row(pos_++);
+    CountInput();
     if (!EvalConjunction(filter_, row, table_layout_)) continue;
     out->clear();
     for (int idx : projection_) {
@@ -96,18 +141,19 @@ FilterOp::FilterOp(OperatorPtr child, std::vector<Predicate> preds)
   layout_ = child_->layout();
 }
 
-Status FilterOp::Open() { return child_->Open(); }
+Status FilterOp::OpenImpl() { return child_->Open(); }
 
-Result<bool> FilterOp::Next(Row* out) {
+Result<bool> FilterOp::NextImpl(Row* out) {
   while (true) {
     auto more = child_->Next(out);
     if (!more.ok()) return more.status();
     if (!*more) return false;
+    CountInput();
     if (EvalConjunction(preds_, *out, layout_)) return true;
   }
 }
 
-void FilterOp::Close() { child_->Close(); }
+void FilterOp::CloseImpl() { child_->Close(); }
 
 // ------------------------------------------------------------------ Project
 
@@ -119,24 +165,25 @@ ProjectOp::ProjectOp(OperatorPtr child, RowLayout output)
   }
 }
 
-Status ProjectOp::Open() {
+Status ProjectOp::OpenImpl() {
   for (int idx : projection_) {
     if (idx < 0) return Status::Internal("projection references missing column");
   }
   return child_->Open();
 }
 
-Result<bool> ProjectOp::Next(Row* out) {
+Result<bool> ProjectOp::NextImpl(Row* out) {
   Row in;
   auto more = child_->Next(&in);
   if (!more.ok()) return more.status();
   if (!*more) return false;
+  CountInput();
   out->clear();
   for (int idx : projection_) out->push_back(in[static_cast<size_t>(idx)]);
   return true;
 }
 
-void ProjectOp::Close() { child_->Close(); }
+void ProjectOp::CloseImpl() { child_->Close(); }
 
 // ----------------------------------------------------------------- HashJoin
 
@@ -151,12 +198,24 @@ size_t HashKey(const Row& row, const std::vector<int>& idx) {
   return h;
 }
 
+/// True when any join-key column of `row` is NULL. SQL equality is never
+/// true on NULL, so such rows cannot match under any join algorithm.
+bool HasNullKey(const Row& row, const std::vector<int>& idx) {
+  for (int i : idx) {
+    if (row[static_cast<size_t>(i)].is_null()) return true;
+  }
+  return false;
+}
+
 bool KeysEqual(const Row& a, const std::vector<int>& ai, const Row& b,
                const std::vector<int>& bi) {
   for (size_t k = 0; k < ai.size(); ++k) {
-    if (a[static_cast<size_t>(ai[k])] != b[static_cast<size_t>(bi[k])]) {
-      return false;
-    }
+    const Value& av = a[static_cast<size_t>(ai[k])];
+    const Value& bv = b[static_cast<size_t>(bi[k])];
+    // SQL: NULL = NULL is not true, even though the grouping/sorting
+    // convention (Value::Compare) treats NULLs as equal.
+    if (av.is_null() || bv.is_null()) return false;
+    if (av != bv) return false;
   }
   return true;
 }
@@ -182,7 +241,7 @@ HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
   }
 }
 
-Status HashJoinOp::Open() {
+Status HashJoinOp::OpenImpl() {
   for (int idx : left_key_idx_) {
     if (idx < 0) return Status::Internal("hash join: left key column missing");
   }
@@ -194,14 +253,20 @@ Status HashJoinOp::Open() {
   std::vector<Row> rows;
   AGGVIEW_RETURN_NOT_OK(Drain(right_.get(), &rows));
   right_rows_ = static_cast<int64_t>(rows.size());
+  CountInput(right_rows_);
   for (Row& r : rows) {
+    // A NULL-keyed build row can never be matched; keep it out of the table.
+    if (HasNullKey(r, right_key_idx_)) continue;
     size_t h = HashKey(r, right_key_idx_);
     build_.emplace(h, std::move(r));
+  }
+  if (stats_ != nullptr) {
+    stats_->hash_build_rows = static_cast<int64_t>(build_.size());
   }
   return Status::OK();
 }
 
-Result<bool> HashJoinOp::Next(Row* out) {
+Result<bool> HashJoinOp::NextImpl(Row* out) {
   while (true) {
     if (have_left_ && match_pos_ < matches_.size()) {
       *out = ConcatRows(current_left_, *matches_[match_pos_++]);
@@ -220,7 +285,7 @@ Result<bool> HashJoinOp::Next(Row* out) {
     auto more = left_->Next(&current_left_);
     if (!more.ok()) return more.status();
     if (!*more) {
-      if (!charged_ && io_ != nullptr) {
+      if (!charged_) {
         // Same formula as the cost model, on actual sizes: one read of each
         // input, plus Grace partition spills when the smaller input exceeds
         // the buffer pool.
@@ -228,20 +293,28 @@ Result<bool> HashJoinOp::Next(Row* out) {
                                 left_->layout().RowWidth(*columns_));
         double rp = ActualPages(right_rows_,
                                 right_->layout().RowWidth(*columns_));
-        io_->ChargeRead(static_cast<int64_t>(lp + rp));
+        ChargeRead(io_, static_cast<int64_t>(lp + rp));
         double spill = CostModel::HashJoinLocalCost(lp, rp) - (lp + rp);
-        io_->ChargeWrite(static_cast<int64_t>(spill / 2.0));
-        io_->ChargeRead(static_cast<int64_t>(spill / 2.0));
+        ChargeWrite(io_, static_cast<int64_t>(spill / 2.0));
+        ChargeRead(io_, static_cast<int64_t>(spill / 2.0));
+        if (stats_ != nullptr) {
+          stats_->spill_pages += static_cast<int64_t>(spill / 2.0) * 2;
+        }
         charged_ = true;
       }
       return false;
     }
     ++left_rows_;
+    CountInput();
     have_left_ = true;
     emitted_for_left_ = false;
     padded_for_left_ = false;
     matches_.clear();
     match_pos_ = 0;
+    // SQL: a NULL probe key matches nothing (in outer mode the row still
+    // surfaces as a padded row via the branch above).
+    if (HasNullKey(current_left_, left_key_idx_)) continue;
+    if (stats_ != nullptr) ++stats_->hash_probes;
     size_t h = HashKey(current_left_, left_key_idx_);
     auto [begin, end] = build_.equal_range(h);
     for (auto it = begin; it != end; ++it) {
@@ -253,7 +326,7 @@ Result<bool> HashJoinOp::Next(Row* out) {
   }
 }
 
-void HashJoinOp::Close() {
+void HashJoinOp::CloseImpl() {
   left_->Close();
   right_->Close();
   build_.clear();
@@ -278,14 +351,15 @@ NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
   layout_ = ConcatLayouts(left_->layout(), right_->layout());
 }
 
-Status NestedLoopJoinOp::Open() {
+Status NestedLoopJoinOp::OpenImpl() {
   AGGVIEW_RETURN_NOT_OK(left_->Open());
   AGGVIEW_RETURN_NOT_OK(right_->Open());
   AGGVIEW_RETURN_NOT_OK(Drain(right_.get(), &inner_));
-  if (charge_materialize_ && io_ != nullptr) {
+  CountInput(static_cast<int64_t>(inner_.size()));
+  if (charge_materialize_) {
     double pages = ActualPages(static_cast<int64_t>(inner_.size()),
                                right_->layout().RowWidth(*columns_));
-    io_->ChargeWrite(static_cast<int64_t>(pages));
+    ChargeWrite(io_, static_cast<int64_t>(pages));
   }
   // Split out equi-join conjuncts to index the inner (CPU only; the IO
   // accounting below is unaffected).
@@ -314,13 +388,19 @@ Status NestedLoopJoinOp::Open() {
   if (use_index_) {
     index_.clear();
     for (size_t i = 0; i < inner_.size(); ++i) {
+      // NULL-keyed inner rows can never satisfy the equi-join conjuncts
+      // (predicate eval rejects them on the slow path too); skip them.
+      if (HasNullKey(inner_[i], right_key_idx_)) continue;
       index_.emplace(HashKey(inner_[i], right_key_idx_), i);
+    }
+    if (stats_ != nullptr) {
+      stats_->hash_build_rows = static_cast<int64_t>(index_.size());
     }
   }
   return Status::OK();
 }
 
-Result<bool> NestedLoopJoinOp::Next(Row* out) {
+Result<bool> NestedLoopJoinOp::NextImpl(Row* out) {
   while (true) {
     if (have_left_ && use_index_) {
       while (probe_pos_ < probe_matches_.size()) {
@@ -353,7 +433,7 @@ Result<bool> NestedLoopJoinOp::Next(Row* out) {
     auto more = left_->Next(&current_left_);
     if (!more.ok()) return more.status();
     if (!*more) {
-      if (!charged_ && io_ != nullptr) {
+      if (!charged_) {
         double inner_pages = inner_pages_per_pass_;
         if (inner_pages <= 0.0) {
           inner_pages = ActualPages(static_cast<int64_t>(inner_.size()),
@@ -361,13 +441,14 @@ Result<bool> NestedLoopJoinOp::Next(Row* out) {
         }
         double outer_pages =
             ActualPages(left_rows_, left_->layout().RowWidth(*columns_));
-        io_->ChargeRead(
-            static_cast<int64_t>(CostModel::BnlLocalCost(outer_pages, inner_pages)));
+        ChargeRead(io_, static_cast<int64_t>(
+                            CostModel::BnlLocalCost(outer_pages, inner_pages)));
         charged_ = true;
       }
       return false;
     }
     ++left_rows_;
+    CountInput();
     have_left_ = true;
     emitted_for_left_ = false;
     padded_for_left_ = false;
@@ -375,6 +456,10 @@ Result<bool> NestedLoopJoinOp::Next(Row* out) {
     if (use_index_) {
       probe_matches_.clear();
       probe_pos_ = 0;
+      // A NULL probe key matches nothing (the fallback path agrees: its
+      // predicate eval is never true on NULL).
+      if (HasNullKey(current_left_, left_key_idx_)) continue;
+      if (stats_ != nullptr) ++stats_->hash_probes;
       auto [begin, end] = index_.equal_range(HashKey(current_left_, left_key_idx_));
       for (auto it = begin; it != end; ++it) {
         probe_matches_.push_back(it->second);
@@ -383,7 +468,7 @@ Result<bool> NestedLoopJoinOp::Next(Row* out) {
   }
 }
 
-void NestedLoopJoinOp::Close() {
+void NestedLoopJoinOp::CloseImpl() {
   left_->Close();
   right_->Close();
   inner_.clear();
@@ -422,7 +507,7 @@ int CompareKeys(const Row& a, const std::vector<int>& ai, const Row& b,
 
 }  // namespace
 
-Status SortMergeJoinOp::Open() {
+Status SortMergeJoinOp::OpenImpl() {
   for (int idx : left_key_idx_) {
     if (idx < 0) return Status::Internal("merge join: left key column missing");
   }
@@ -433,6 +518,7 @@ Status SortMergeJoinOp::Open() {
   AGGVIEW_RETURN_NOT_OK(right_->Open());
   AGGVIEW_RETURN_NOT_OK(Drain(left_.get(), &lrows_));
   AGGVIEW_RETURN_NOT_OK(Drain(right_.get(), &rrows_));
+  CountInput(static_cast<int64_t>(lrows_.size() + rrows_.size()));
 
   auto cmp = [](const std::vector<int>& idx) {
     return [&idx](const Row& a, const Row& b) {
@@ -446,22 +532,23 @@ Status SortMergeJoinOp::Open() {
   std::sort(lrows_.begin(), lrows_.end(), cmp(left_key_idx_));
   std::sort(rrows_.begin(), rrows_.end(), cmp(right_key_idx_));
 
-  if (io_ != nullptr) {
-    double lp = ActualPages(static_cast<int64_t>(lrows_.size()),
-                            left_->layout().RowWidth(*columns_));
-    double rp = ActualPages(static_cast<int64_t>(rrows_.size()),
-                            right_->layout().RowWidth(*columns_));
-    io_->ChargeRead(static_cast<int64_t>(lp + rp));
-    double sort_io = CostModel::SortMergeLocalCost(lp, rp) - (lp + rp);
-    io_->ChargeWrite(static_cast<int64_t>(sort_io / 2.0));
-    io_->ChargeRead(static_cast<int64_t>(sort_io / 2.0));
+  double lp = ActualPages(static_cast<int64_t>(lrows_.size()),
+                          left_->layout().RowWidth(*columns_));
+  double rp = ActualPages(static_cast<int64_t>(rrows_.size()),
+                          right_->layout().RowWidth(*columns_));
+  ChargeRead(io_, static_cast<int64_t>(lp + rp));
+  double sort_io = CostModel::SortMergeLocalCost(lp, rp) - (lp + rp);
+  ChargeWrite(io_, static_cast<int64_t>(sort_io / 2.0));
+  ChargeRead(io_, static_cast<int64_t>(sort_io / 2.0));
+  if (stats_ != nullptr) {
+    stats_->spill_pages += static_cast<int64_t>(sort_io / 2.0) * 2;
   }
   li_ = ri_ = 0;
   in_block_ = false;
   return Status::OK();
 }
 
-Result<bool> SortMergeJoinOp::Next(Row* out) {
+Result<bool> SortMergeJoinOp::NextImpl(Row* out) {
   while (true) {
     if (in_block_) {
       if (block_r_ < block_r_end_) {
@@ -479,8 +566,18 @@ Result<bool> SortMergeJoinOp::Next(Row* out) {
       li_ = block_l_end_;
       ri_ = block_r_end_;
     }
-    // Find the next key-equal block.
+    // Find the next key-equal block. NULL keys sort first (the grouping
+    // convention of Value::Compare) but never satisfy SQL equality, so
+    // NULL-keyed rows on either side are skipped, not matched.
     while (li_ < lrows_.size() && ri_ < rrows_.size()) {
+      if (HasNullKey(lrows_[li_], left_key_idx_)) {
+        ++li_;
+        continue;
+      }
+      if (HasNullKey(rrows_[ri_], right_key_idx_)) {
+        ++ri_;
+        continue;
+      }
       int c = CompareKeys(lrows_[li_], left_key_idx_, rrows_[ri_],
                           right_key_idx_);
       if (c < 0) {
@@ -511,7 +608,7 @@ Result<bool> SortMergeJoinOp::Next(Row* out) {
   }
 }
 
-void SortMergeJoinOp::Close() {
+void SortMergeJoinOp::CloseImpl() {
   left_->Close();
   right_->Close();
   lrows_.clear();
@@ -532,13 +629,14 @@ SortOp::SortOp(OperatorPtr child, std::vector<OrderKey> keys,
   }
 }
 
-Status SortOp::Open() {
+Status SortOp::OpenImpl() {
   for (int idx : key_idx_) {
     if (idx < 0) return Status::Internal("sort key column missing from input");
   }
   AGGVIEW_RETURN_NOT_OK(child_->Open());
   rows_.clear();
   AGGVIEW_RETURN_NOT_OK(Drain(child_.get(), &rows_));
+  CountInput(static_cast<int64_t>(rows_.size()));
   std::stable_sort(rows_.begin(), rows_.end(),
                    [this](const Row& a, const Row& b) {
                      for (size_t k = 0; k < keys_.size(); ++k) {
@@ -548,24 +646,25 @@ Status SortOp::Open() {
                      }
                      return false;
                    });
-  if (io_ != nullptr) {
-    double pages = ActualPages(static_cast<int64_t>(rows_.size()),
-                               layout_.RowWidth(*columns_));
-    double sort_io = CostModel::SortCost(pages);
-    io_->ChargeWrite(static_cast<int64_t>(sort_io / 2.0));
-    io_->ChargeRead(static_cast<int64_t>(sort_io / 2.0));
+  double pages = ActualPages(static_cast<int64_t>(rows_.size()),
+                             layout_.RowWidth(*columns_));
+  double sort_io = CostModel::SortCost(pages);
+  ChargeWrite(io_, static_cast<int64_t>(sort_io / 2.0));
+  ChargeRead(io_, static_cast<int64_t>(sort_io / 2.0));
+  if (stats_ != nullptr) {
+    stats_->spill_pages += static_cast<int64_t>(sort_io / 2.0) * 2;
   }
   pos_ = 0;
   return Status::OK();
 }
 
-Result<bool> SortOp::Next(Row* out) {
+Result<bool> SortOp::NextImpl(Row* out) {
   if (pos_ >= rows_.size()) return false;
   *out = rows_[pos_++];
   return true;
 }
 
-void SortOp::Close() {
+void SortOp::CloseImpl() {
   child_->Close();
   rows_.clear();
 }
@@ -582,7 +681,7 @@ HashAggregateOp::HashAggregateOp(OperatorPtr child, GroupBySpec spec,
   layout_ = RowLayout(spec_.OutputColumns());
 }
 
-Status HashAggregateOp::Open() {
+Status HashAggregateOp::OpenImpl() {
   AGGVIEW_RETURN_NOT_OK(child_->Open());
   const RowLayout& in = child_->layout();
 
@@ -615,6 +714,7 @@ Status HashAggregateOp::Open() {
     if (!more.ok()) return more.status();
     if (!*more) break;
     ++input_rows;
+    CountInput();
     Row key;
     key.reserve(group_idx.size());
     for (int idx : group_idx) key.push_back(row[static_cast<size_t>(idx)]);
@@ -633,11 +733,24 @@ Status HashAggregateOp::Open() {
     }
   }
 
-  if (io_ != nullptr) {
-    double in_pages = ActualPages(input_rows, in.RowWidth(*columns_));
-    double spill = CostModel::HashAggLocalCost(in_pages);
-    io_->ChargeWrite(static_cast<int64_t>(spill / 2.0));
-    io_->ChargeRead(static_cast<int64_t>(spill / 2.0));
+  // SQL: a scalar aggregate (no GROUP BY) over zero input rows yields
+  // exactly one row — COUNT = 0, SUM/MIN/MAX/AVG = NULL. Grouped queries
+  // correctly yield no rows.
+  if (groups.empty() && spec_.grouping.empty()) {
+    Group g;
+    for (const AggregateCall& a : spec_.aggregates) {
+      g.accs.emplace_back(a.kind);
+    }
+    groups.emplace(Row{}, std::move(g));
+  }
+
+  double in_pages = ActualPages(input_rows, in.RowWidth(*columns_));
+  double spill = CostModel::HashAggLocalCost(in_pages);
+  ChargeWrite(io_, static_cast<int64_t>(spill / 2.0));
+  ChargeRead(io_, static_cast<int64_t>(spill / 2.0));
+  if (stats_ != nullptr) {
+    stats_->spill_pages += static_cast<int64_t>(spill / 2.0) * 2;
+    stats_->hash_build_rows = static_cast<int64_t>(groups.size());
   }
 
   results_.clear();
@@ -651,13 +764,13 @@ Status HashAggregateOp::Open() {
   return Status::OK();
 }
 
-Result<bool> HashAggregateOp::Next(Row* out) {
+Result<bool> HashAggregateOp::NextImpl(Row* out) {
   if (pos_ >= results_.size()) return false;
   *out = results_[pos_++];
   return true;
 }
 
-void HashAggregateOp::Close() {
+void HashAggregateOp::CloseImpl() {
   child_->Close();
   results_.clear();
 }

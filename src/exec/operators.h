@@ -12,23 +12,48 @@
 
 namespace aggview {
 
+struct OpStats;
+
 /// Volcano-style physical operator: Open / Next / Close. Operators charge
 /// the IoAccountant with the same page-granularity formulas the cost model
 /// uses, evaluated on *actual* (not estimated) cardinalities, so measured IO
 /// is the ground truth the estimates are judged against.
+///
+/// The public Open/Next/Close entry points are non-virtual: when a stats
+/// sink is installed (set_stats) they time each call and count produced
+/// rows before dispatching to the virtual *Impl methods; with no sink they
+/// dispatch directly, so observability costs nothing when off.
 class Operator {
  public:
   virtual ~Operator() = default;
 
-  virtual Status Open() = 0;
+  Status Open();
   /// Produces the next row; returns false at end of stream.
-  virtual Result<bool> Next(Row* out) = 0;
-  virtual void Close() {}
+  Result<bool> Next(Row* out);
+  void Close();
 
   const RowLayout& layout() const { return layout_; }
 
+  /// Installs the runtime-stats sink (owned by the caller, typically a
+  /// RuntimeStatsCollector). Must be set before Open.
+  void set_stats(OpStats* stats) { stats_ = stats; }
+  const OpStats* stats() const { return stats_; }
+
  protected:
+  virtual Status OpenImpl() = 0;
+  virtual Result<bool> NextImpl(Row* out) = 0;
+  virtual void CloseImpl() {}
+
+  /// Charges `pages` reads/writes to `io` (when non-null) and mirrors the
+  /// charge into the stats sink (when installed), so EXPLAIN ANALYZE can
+  /// attribute IO to the operator that incurred it.
+  void ChargeRead(IoAccountant* io, int64_t pages);
+  void ChargeWrite(IoAccountant* io, int64_t pages);
+  /// Counts one input row consumed (no-op without a sink).
+  void CountInput(int64_t rows = 1);
+
   RowLayout layout_;
+  OpStats* stats_ = nullptr;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -45,8 +70,9 @@ class TableScanOp final : public Operator {
               IoAccountant* io, bool charge_io,
               ColId rowid_col = kInvalidColId);
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   static constexpr int kRowIdIndex = -2;
@@ -65,9 +91,10 @@ class FilterOp final : public Operator {
  public:
   FilterOp(OperatorPtr child, std::vector<Predicate> preds);
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override;
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;
@@ -79,9 +106,10 @@ class ProjectOp final : public Operator {
  public:
   ProjectOp(OperatorPtr child, RowLayout output);
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override;
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;
@@ -90,7 +118,9 @@ class ProjectOp final : public Operator {
 
 /// In-memory hash join (Grace accounting when either side spills): builds on
 /// the right input, probes with the left. Equi-join keys are column pairs;
-/// `residual` predicates are evaluated on the concatenated row.
+/// `residual` predicates are evaluated on the concatenated row. Rows with a
+/// NULL in any join key never match (SQL equality semantics); in outer mode
+/// a NULL-keyed probe row still survives as a padded row.
 class HashJoinOp final : public Operator {
  public:
   /// `left_outer` preserves unmatched probe rows, padding the build side's
@@ -100,9 +130,10 @@ class HashJoinOp final : public Operator {
              std::vector<Predicate> residual, const ColumnCatalog* columns,
              IoAccountant* io, bool left_outer = false);
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override;
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr left_;
@@ -140,9 +171,10 @@ class NestedLoopJoinOp final : public Operator {
                    IoAccountant* io, double inner_pages_per_pass,
                    bool charge_materialize, bool left_outer = false);
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override;
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr left_;
@@ -163,7 +195,8 @@ class NestedLoopJoinOp final : public Operator {
   // CPU fast path: when some conjuncts are equi-joins, the materialized
   // inner is hash-indexed on those columns so each outer row probes a
   // bucket instead of the whole inner. Purely an in-memory matter — the
-  // charged IO is the block-nested-loop formula either way.
+  // charged IO is the block-nested-loop formula either way. NULL keys
+  // never probe (matching the predicate-eval semantics of the slow path).
   std::vector<int> left_key_idx_;
   std::vector<int> right_key_idx_;
   std::vector<Predicate> residual_;
@@ -178,7 +211,8 @@ class NestedLoopJoinOp final : public Operator {
 
 /// Sort-merge join over equi-join keys (plus residual predicates).
 /// Materializes and sorts both inputs at Open, charging external-sort IO on
-/// actual sizes.
+/// actual sizes. NULL join keys sort first and are skipped by the merge, so
+/// they never match (SQL equality semantics).
 class SortMergeJoinOp final : public Operator {
  public:
   SortMergeJoinOp(OperatorPtr left, OperatorPtr right,
@@ -186,9 +220,10 @@ class SortMergeJoinOp final : public Operator {
                   std::vector<Predicate> residual,
                   const ColumnCatalog* columns, IoAccountant* io);
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override;
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr left_;
@@ -216,9 +251,10 @@ class SortOp final : public Operator {
   SortOp(OperatorPtr child, std::vector<OrderKey> keys,
          const ColumnCatalog* columns, IoAccountant* io);
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override;
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;
@@ -231,15 +267,18 @@ class SortOp final : public Operator {
 };
 
 /// Hash aggregation implementing a GroupBySpec: grouping, aggregate
-/// accumulators, HAVING. Consumes its child at Open.
+/// accumulators, HAVING. Consumes its child at Open. A scalar aggregate
+/// (empty grouping) over zero input rows produces exactly one row, with
+/// COUNT = 0 and SUM/MIN/MAX/AVG = NULL (SQL semantics).
 class HashAggregateOp final : public Operator {
  public:
   HashAggregateOp(OperatorPtr child, GroupBySpec spec,
                   const ColumnCatalog* columns, IoAccountant* io);
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override;
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;

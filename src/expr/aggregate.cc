@@ -131,22 +131,27 @@ void AggAccumulator::Add(const std::vector<Value>& args) {
 }
 
 Value AggAccumulator::Finish() const {
+  // SQL: every aggregate except COUNT yields NULL when no (non-NULL) input
+  // was fed — the scalar-aggregate-over-empty-input case and groups whose
+  // argument column was entirely NULL (outer-join padding).
   switch (kind_) {
     case AggKind::kCountStar:
     case AggKind::kCount:
       return Value::Int(count_);
     case AggKind::kSum:
+      if (count_ == 0) return Value::Null();
       return all_int_ ? Value::Int(isum_) : Value::Real(sum_);
     case AggKind::kAvg: {
+      if (count_ == 0) return Value::Null();
       double total = all_int_ ? static_cast<double>(isum_) : sum_;
-      return Value::Real(count_ == 0 ? 0.0 : total / static_cast<double>(count_));
+      return Value::Real(total / static_cast<double>(count_));
     }
     case AggKind::kMin:
     case AggKind::kMax:
-      assert(has_value_);
+      if (!has_value_) return Value::Null();
       return extreme_;
     case AggKind::kMedian: {
-      assert(!samples_.empty());
+      if (samples_.empty()) return Value::Null();
       std::vector<double> s = samples_;
       std::sort(s.begin(), s.end());
       size_t n = s.size();
@@ -154,9 +159,8 @@ Value AggAccumulator::Finish() const {
       return Value::Real(m);
     }
     case AggKind::kAvgFinal:
-      return Value::Real(final_count_ == 0
-                             ? 0.0
-                             : final_sum_ / static_cast<double>(final_count_));
+      if (final_count_ == 0) return Value::Null();
+      return Value::Real(final_sum_ / static_cast<double>(final_count_));
   }
   return Value::Real(0.0);
 }

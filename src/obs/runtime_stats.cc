@@ -1,0 +1,31 @@
+#include "obs/runtime_stats.h"
+
+#include <cstdio>
+
+namespace aggview {
+
+namespace {
+
+std::string FmtMs(int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+std::string OpStatsToString(const OpStats& s) {
+  std::string out = s.op_name + ": rows=" + std::to_string(s.rows_produced) +
+                    " in=" + std::to_string(s.input_rows) +
+                    " pages=" + std::to_string(s.pages_charged) +
+                    " open=" + FmtMs(s.open_ns) + "ms next=" +
+                    FmtMs(s.next_ns) + "ms";
+  if (s.hash_build_rows > 0 || s.hash_probes > 0) {
+    out += " build=" + std::to_string(s.hash_build_rows) +
+           " probes=" + std::to_string(s.hash_probes);
+  }
+  if (s.spill_pages > 0) out += " spill=" + std::to_string(s.spill_pages);
+  return out;
+}
+
+}  // namespace aggview

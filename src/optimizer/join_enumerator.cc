@@ -286,8 +286,15 @@ Result<PlanPtr> Enumerator::Run() {
       shape.keys = rel.keys;
     }
     if (!rel.keys.empty() && rel.scan_rel >= 0) {
-      // Extra caller-declared keys.
-      shape.keys.insert(shape.keys.end(), rel.keys.begin(), rel.keys.end());
+      // Extra caller-declared keys — dropping any the catalog already
+      // declared, so key-based reasoning downstream (pull-up key grouping,
+      // removable-shape detection) never sees the same key twice.
+      for (const std::vector<ColId>& key : rel.keys) {
+        if (std::find(shape.keys.begin(), shape.keys.end(), key) ==
+            shape.keys.end()) {
+          shape.keys.push_back(key);
+        }
+      }
     }
     rel_cols_.push_back(shape.cols);
     shapes.push_back(std::move(shape));

@@ -208,50 +208,57 @@ PlanPtr PlanBuilder::Project(PlanPtr input,
   return node;
 }
 
+std::string PlanNodeLabel(const PlanPtr& plan, const Query& query) {
+  const ColumnCatalog& cat = query.columns();
+  std::string out;
+  switch (plan->kind) {
+    case PlanNode::Kind::kScan: {
+      const RangeVar& rv = query.range_var(plan->rel_id);
+      out += StrFormat("Scan %s %s",
+                       query.catalog().table(rv.table).name.c_str(),
+                       rv.alias.c_str());
+      for (const Predicate& p : plan->scan_filter) {
+        out += " [" + p.ToString(cat) + "]";
+      }
+      break;
+    }
+    case PlanNode::Kind::kFilter: {
+      out += "Filter";
+      for (const Predicate& p : plan->filter_preds) {
+        out += " [" + p.ToString(cat) + "]";
+      }
+      break;
+    }
+    case PlanNode::Kind::kJoin: {
+      out += StrFormat("Join(%s%s)", JoinAlgoName(plan->algo),
+                       plan->left_outer ? ", outer" : "");
+      for (const Predicate& p : plan->join_preds) {
+        out += " [" + p.ToString(cat) + "]";
+      }
+      break;
+    }
+    case PlanNode::Kind::kGroupBy: {
+      out += "GroupBy " + plan->group_by.ToString(cat);
+      break;
+    }
+    case PlanNode::Kind::kSort: {
+      out += "Sort";
+      for (const OrderKey& key : plan->sort_keys) {
+        out += " [" + cat.name(key.column) +
+               (key.descending ? " desc]" : "]");
+      }
+      break;
+    }
+  }
+  return out;
+}
+
 namespace {
 
 void PlanToStringRec(const PlanPtr& plan, const Query& query, int indent,
                      std::string* out) {
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
-  const ColumnCatalog& cat = query.columns();
-  switch (plan->kind) {
-    case PlanNode::Kind::kScan: {
-      const RangeVar& rv = query.range_var(plan->rel_id);
-      *out += pad + StrFormat("Scan %s %s",
-                              query.catalog().table(rv.table).name.c_str(),
-                              rv.alias.c_str());
-      for (const Predicate& p : plan->scan_filter) {
-        *out += " [" + p.ToString(cat) + "]";
-      }
-      break;
-    }
-    case PlanNode::Kind::kFilter: {
-      *out += pad + "Filter";
-      for (const Predicate& p : plan->filter_preds) {
-        *out += " [" + p.ToString(cat) + "]";
-      }
-      break;
-    }
-    case PlanNode::Kind::kJoin: {
-      *out += pad + StrFormat("Join(%s)", JoinAlgoName(plan->algo));
-      for (const Predicate& p : plan->join_preds) {
-        *out += " [" + p.ToString(cat) + "]";
-      }
-      break;
-    }
-    case PlanNode::Kind::kGroupBy: {
-      *out += pad + "GroupBy " + plan->group_by.ToString(cat);
-      break;
-    }
-    case PlanNode::Kind::kSort: {
-      *out += pad + "Sort";
-      for (const OrderKey& key : plan->sort_keys) {
-        *out += " [" + cat.name(key.column) +
-                (key.descending ? " desc]" : "]");
-      }
-      break;
-    }
-  }
+  *out += pad + PlanNodeLabel(plan, query);
   *out += StrFormat("  {rows=%.1f cost=%.1f}\n", plan->est.rows, plan->cost);
   if (plan->left != nullptr) PlanToStringRec(plan->left, query, indent + 1, out);
   if (plan->right != nullptr) {

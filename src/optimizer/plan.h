@@ -109,6 +109,10 @@ class PlanBuilder {
   const Query* query_;
 };
 
+/// One-line label of a single node — kind, algorithm, predicates — without
+/// estimates or indentation (shared by PlanToString and EXPLAIN ANALYZE).
+std::string PlanNodeLabel(const PlanPtr& plan, const Query& query);
+
 /// Indented tree rendering with per-node algorithm, estimated rows and
 /// cumulative cost.
 std::string PlanToString(const PlanPtr& plan, const Query& query);

@@ -297,8 +297,9 @@ class FailingOp final : public Operator {
       : remaining_(rows_before_failure) {
     layout_ = std::move(layout);
   }
-  Status Open() override { return Status::OK(); }
-  Result<bool> Next(Row* out) override {
+ protected:
+  Status OpenImpl() override { return Status::OK(); }
+  Result<bool> NextImpl(Row* out) override {
     if (remaining_ <= 0) {
       return Status::ExecutionError("injected failure");
     }
