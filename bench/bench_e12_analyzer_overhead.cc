@@ -1,0 +1,115 @@
+// Experiment E12 — paranoid-mode overhead. The semantic analyzer runs at
+// every DP-table insertion and every transformation certificate is re-proved
+// when OptimizerOptions::paranoid is on; this measures what that costs on
+// top of plain optimization, and what a one-shot AnalyzePlan of the final
+// plan costs (the cheap always-on alternative).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace aggview {
+namespace bench {
+namespace {
+
+const EmpDeptDb& Db() {
+  static EmpDeptDb* db = [] {
+    EmpDeptOptions data;
+    data.num_employees = 20'000;
+    data.num_departments = 500;
+    return new EmpDeptDb(MakeEmpDeptDb(data));
+  }();
+  return *db;
+}
+
+std::string TwoViewQuery() {
+  return R"sql(
+create view a (dno, asal) as
+  select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
+create view c (dno, cnt) as
+  select e3.dno, count(*) from emp e3, dept d2
+  where e3.dno = d2.dno and d2.budget < 1000000
+  group by e3.dno;
+select e1.sal
+from emp e1, dept d, a, c
+where e1.dno = d.dno and e1.dno = a.dno and e1.dno = c.dno
+  and e1.sal > a.asal and c.cnt > 2)sql";
+}
+
+void OptimizeOnce(const std::string& sql, const OptimizerOptions& options,
+                  benchmark::State& state) {
+  auto query = ParseAndBind(*Db().catalog, sql);
+  if (!query.ok()) std::abort();
+  auto optimized = OptimizeQueryWithAggViews(*query, options);
+  if (!optimized.ok()) std::abort();
+  benchmark::DoNotOptimize(optimized->plan->cost);
+  state.counters["plans_checked"] = static_cast<double>(
+      optimized->counters.plans_checked);
+  state.counters["certs"] = static_cast<double>(
+      optimized->counters.certificates_verified);
+}
+
+void BM_TwoViews_Plain(benchmark::State& state) {
+  OptimizerOptions options;
+  options.paranoid = false;
+  for (auto _ : state) OptimizeOnce(TwoViewQuery(), options, state);
+}
+BENCHMARK(BM_TwoViews_Plain);
+
+void BM_TwoViews_Paranoid(benchmark::State& state) {
+  OptimizerOptions options;
+  options.paranoid = true;
+  for (auto _ : state) OptimizeOnce(TwoViewQuery(), options, state);
+}
+BENCHMARK(BM_TwoViews_Paranoid);
+
+void BM_TwoViews_FinalAnalyzeOnly(benchmark::State& state) {
+  // Optimize once, measure only the one-shot analysis of the winning plan.
+  auto query = ParseAndBind(*Db().catalog, TwoViewQuery());
+  if (!query.ok()) std::abort();
+  OptimizerOptions options;
+  options.paranoid = false;
+  auto optimized = OptimizeQueryWithAggViews(*query, options);
+  if (!optimized.ok()) std::abort();
+  for (auto _ : state) {
+    Status st = AnalyzePlan(optimized->plan, optimized->query);
+    if (!st.ok()) std::abort();
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_TwoViews_FinalAnalyzeOnly);
+
+void BM_Fuzz10_Plain(benchmark::State& state) {
+  for (auto _ : state) {
+    FuzzOptions options;
+    options.seed = 12345;
+    options.num_queries = 10;
+    options.num_employees = 200;
+    options.num_departments = 8;
+    options.paranoid = false;
+    auto report = RunDifferentialFuzz(options);
+    if (!report.ok()) std::abort();
+    benchmark::DoNotOptimize(report->plans_compared);
+  }
+}
+BENCHMARK(BM_Fuzz10_Plain)->Unit(benchmark::kMillisecond);
+
+void BM_Fuzz10_Paranoid(benchmark::State& state) {
+  for (auto _ : state) {
+    FuzzOptions options;
+    options.seed = 12345;
+    options.num_queries = 10;
+    options.num_employees = 200;
+    options.num_departments = 8;
+    options.paranoid = true;
+    auto report = RunDifferentialFuzz(options);
+    if (!report.ok()) std::abort();
+    benchmark::DoNotOptimize(report->plans_compared);
+  }
+}
+BENCHMARK(BM_Fuzz10_Paranoid)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aggview
+
+BENCHMARK_MAIN();

@@ -11,6 +11,10 @@
 ///   auto result = ExecutePlan(optimized->plan, optimized->query, &io);
 
 #include "algebra/query.h"
+#include "analysis/analyzer.h"
+#include "analysis/certificate.h"
+#include "analysis/fd.h"
+#include "analysis/fuzzer.h"
 #include "catalog/catalog.h"
 #include "common/result.h"
 #include "common/status.h"

@@ -1,0 +1,70 @@
+#ifndef AGGVIEW_ANALYSIS_ANALYZER_H_
+#define AGGVIEW_ANALYSIS_ANALYZER_H_
+
+#include "analysis/certificate.h"
+#include "analysis/fd.h"
+#include "common/result.h"
+#include "optimizer/plan.h"
+
+namespace aggview {
+
+/// Options of the semantic plan analyzer.
+struct AnalysisOptions {
+  /// Run the structural validator (plan_validator.h) first.
+  bool structural = true;
+  /// Run the semantic passes: predicate/aggregate type checking, group-by
+  /// output disjointness, aggregate arity, HAVING placement, and bottom-up
+  /// FD/key derivation.
+  bool semantic = true;
+};
+
+/// Static semantic analysis of a physical plan, beyond the structural
+/// ValidatePlan:
+///
+///  - every predicate compares numeric with numeric or string with string,
+///    and arithmetic is over numeric operands (a corrupt plan fails here
+///    instead of crashing Value::Compare at execution);
+///  - aggregate calls have the right arity for their kind;
+///  - group-by outputs are disjoint: aggregate output columns are pairwise
+///    distinct, never grouping columns, and never their own arguments;
+///  - HAVING references only the group-by's outputs;
+///  - functional dependencies and keys derive cleanly bottom-up (scans
+///    contribute catalog keys, joins combine them, group-bys make their
+///    grouping columns a key — Section 3's key-propagation obligations).
+///
+/// Errors name the offending node.
+Status AnalyzePlan(const PlanPtr& plan, const Query& query,
+                   const AnalysisOptions& options = {});
+
+/// Re-derives Definition 1's side condition for a pull-up certificate: the
+/// deferred grouping columns, closed under the extended block's
+/// predicate-implied FDs, must contain a declared key (or the rowid) of
+/// every pulled relation. Independent of the transformation's own key
+/// bookkeeping: keys come from the catalog, FDs from the recorded
+/// predicates.
+Status VerifyPullUpCertificate(const Query& query,
+                               const PullUpCertificate& cert);
+
+/// Re-derives the invariant-grouping conditions (IG1-IG3, Section 4.1) for
+/// every removed relation of the certificate, searching for a valid
+/// elimination order. Keys of scanned relations come from the catalog; keys
+/// of composite inputs are re-derived from their subplans via
+/// DerivePlanProperties. IG3 is discharged through FD closure: the grouping
+/// columns (fixed per group) plus predicate-implied constants and
+/// equivalences must pin a key of the removed relation.
+Status VerifyInvariantCertificate(const Query& query,
+                                  const InvariantCertificate& cert);
+
+/// Re-checks a coalescing split (Section 4.2): every original aggregate
+/// decomposable with arguments available below, the partial group-by
+/// covering the original grouping and carried columns, and the
+/// partial/final rewriting being the canonical combine form.
+Status VerifyCoalescingCertificate(const Query& query,
+                                   const CoalescingCertificate& cert);
+
+/// Verifies every certificate in `audit` against `query`.
+Status VerifyAudit(const Query& query, const TransformationAudit& audit);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,100 @@
+#ifndef AGGVIEW_ANALYSIS_CERTIFICATE_H_
+#define AGGVIEW_ANALYSIS_CERTIFICATE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/query.h"
+#include "optimizer/plan.h"
+
+namespace aggview {
+
+/// Machine-checkable legality certificates. Every transformation that relies
+/// on one of the paper's side conditions emits a certificate stating exactly
+/// which condition it relied on and on what evidence; the analyzer
+/// (analysis/analyzer.h) re-derives the condition from first principles —
+/// catalog keys, predicate-implied functional dependencies, subplan
+/// properties — and rejects the transformation when the claim does not hold.
+/// Certificates are self-contained: they carry the block state at
+/// transformation time so verification needs no replay.
+
+/// One relation of a single-block claim. The verifier re-derives the
+/// relation's columns and keys itself: from the catalog for a range variable,
+/// from the subplan (via DerivePlanProperties) for a composite input.
+struct BlockRelClaim {
+  std::string name;
+  /// Range-variable id; >= 0 means columns/keys come from the catalog.
+  int scan_rel = -1;
+  /// Composite input (an already-optimized subplan, e.g. an aggregate view);
+  /// columns/keys are derived from the plan itself.
+  PlanPtr composite;
+};
+
+/// Emitted by PullUpIntoView (Section 3, Definition 1). Claims that the
+/// deferred group-by's grouping columns functionally determine a key of
+/// every pulled relation within the extended block — i.e. each group
+/// contains at most one tuple of each pulled relation, so deferring the
+/// aggregation preserves the result.
+struct PullUpCertificate {
+  size_t view_idx = 0;
+  std::set<int> pulled;
+  /// Block state after the pull-up.
+  std::vector<int> block_rels;
+  std::vector<Predicate> block_predicates;
+  std::vector<ColId> grouping_before;
+  std::vector<ColId> grouping_after;
+
+  /// Per pulled relation: the key columns appended to the grouping (empty
+  /// when the key was elided because the join already pins a key).
+  struct RelClaim {
+    int rel = -1;
+    std::vector<ColId> key_added;
+    bool used_rowid = false;
+  };
+  std::vector<RelClaim> rels;
+};
+
+/// Emitted when a group-by is moved past relations (invariant grouping,
+/// Section 4.1): by ShrinkViewToInvariantSet at the query level and by the
+/// enumerator's early invariant placement at the plan level. Claims that for
+/// every removed relation (in some elimination order) IG1-IG3 hold: no
+/// aggregate argument comes from it, predicates crossing to the retained
+/// side touch only grouping columns there, and at most one of its tuples
+/// matches each group (so neither values nor row multiplicity change).
+struct InvariantCertificate {
+  GroupBySpec group_by;
+  std::vector<BlockRelClaim> removed;
+  std::vector<BlockRelClaim> retained;
+  std::vector<Predicate> predicates;
+};
+
+/// Emitted by SplitForCoalescing (Section 4.2). Claims that every aggregate
+/// of the original group-by is decomposable, takes its arguments from the
+/// pre-aggregation's input, and that the partial/final rewriting is the
+/// canonical combine form (SUM of partial SUMs, SUM of partial COUNTs, MIN
+/// of MINs, AVG as ratio of partial SUM and COUNT).
+struct CoalescingCertificate {
+  GroupBySpec original;
+  GroupBySpec partial;
+  std::vector<AggregateCall> final_aggregates;
+  std::set<ColId> below_cols;
+  std::set<ColId> carry_cols;
+};
+
+/// Audit trail of one optimization: every certificate the winning rewrite
+/// emitted, for observability and post-hoc re-verification.
+struct TransformationAudit {
+  std::vector<PullUpCertificate> pullups;
+  std::vector<InvariantCertificate> invariants;
+  std::vector<CoalescingCertificate> coalescings;
+
+  int64_t size() const {
+    return static_cast<int64_t>(pullups.size() + invariants.size() +
+                                coalescings.size());
+  }
+};
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_ANALYSIS_CERTIFICATE_H_

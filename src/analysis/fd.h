@@ -1,0 +1,102 @@
+#ifndef AGGVIEW_ANALYSIS_FD_H_
+#define AGGVIEW_ANALYSIS_FD_H_
+
+#include <set>
+#include <vector>
+
+#include "algebra/query.h"
+#include "common/result.h"
+#include "optimizer/plan.h"
+
+namespace aggview {
+
+/// A set of functional dependencies over query-global column ids, with the
+/// attribute-closure operations the semantic analyzer needs to discharge the
+/// paper's proof obligations (Section 3: the deferred group-by must group by
+/// a key of every pulled relation; Section 4.1's IG3: at most one tuple of a
+/// removed relation may match each group).
+///
+/// Constants (nullary FDs, from equality-with-literal predicates) and
+/// equivalences (column equalities) are ordinary FDs with empty or singleton
+/// left-hand sides; Closure() saturates over all of them.
+class FdSet {
+ public:
+  /// Adds lhs -> rhs. An empty lhs marks every rhs column constant.
+  void AddFd(std::set<ColId> lhs, std::set<ColId> rhs);
+
+  /// Marks `col` constant ({} -> col).
+  void AddConstant(ColId col);
+
+  /// Adds a -> b and b -> a.
+  void AddEquivalence(ColId a, ColId b);
+
+  /// Declares `key` a key of the relation with columns `all_cols`
+  /// (key -> all_cols).
+  void AddKey(const std::vector<ColId>& key, const std::set<ColId>& all_cols);
+
+  /// Extracts FDs from a conjunction: column equalities become equivalences,
+  /// equality-with-literal comparisons become constants. Other comparisons
+  /// contribute nothing.
+  void AddPredicates(const std::vector<Predicate>& preds);
+
+  /// Adds every FD of `other`.
+  void Merge(const FdSet& other);
+
+  /// The attribute closure of `start` under this FD set (always includes the
+  /// constants).
+  std::set<ColId> Closure(std::set<ColId> start) const;
+
+  /// True when Closure(lhs) contains every column of `rhs`.
+  bool Determines(const std::set<ColId>& lhs,
+                  const std::set<ColId>& rhs) const;
+
+  int num_fds() const { return static_cast<int>(fds_.size()); }
+
+ private:
+  struct Fd {
+    std::set<ColId> lhs;
+    std::set<ColId> rhs;
+  };
+  std::vector<Fd> fds_;
+  std::set<ColId> constants_;
+};
+
+/// Properties the analyzer derives bottom-up for every physical plan node:
+/// the output column set, the functional dependencies that hold over the
+/// node's output stream, and the candidate keys found along the way. FDs may
+/// mention projected-away columns; transitive closure through them is sound
+/// for the projection.
+struct PlanProperties {
+  std::set<ColId> columns;
+  FdSet fds;
+  /// Derived candidate keys (not necessarily minimal). Empty when no key is
+  /// known (e.g. a join that multiplies a keyless stream).
+  std::vector<std::vector<ColId>> keys;
+
+  /// True when `cols` functionally determine the whole output.
+  bool IsKey(const std::set<ColId>& cols) const {
+    return fds.Determines(cols, columns);
+  }
+};
+
+/// Derives PlanProperties for `plan` independently of the optimizer's own
+/// key bookkeeping: scans contribute declared catalog keys (and the rowid
+/// key), filters and joins contribute predicate-derived constants and
+/// equivalences, group-bys contribute grouping -> outputs. Left outer joins
+/// conservatively drop predicate-derived FDs (they do not hold on padding
+/// rows).
+Result<PlanProperties> DerivePlanProperties(const PlanPtr& plan,
+                                            const Query& query);
+
+/// The declared keys of range variable `rel_id`, as query-global column ids:
+/// the table's primary key, its unique keys, and the synthetic rowid key
+/// when present.
+std::vector<std::vector<ColId>> RangeVarKeys(const Query& query, int rel_id);
+
+/// FdSet of one range variable: each declared key determines the full column
+/// set.
+FdSet RangeVarFds(const Query& query, int rel_id);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_ANALYSIS_FD_H_

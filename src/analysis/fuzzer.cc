@@ -1,0 +1,325 @@
+#include "analysis/fuzzer.h"
+
+#include <memory>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "catalog/catalog.h"
+#include "exec/executor.h"
+#include "optimizer/aggview_optimizer.h"
+#include "optimizer/plan_validator.h"
+#include "optimizer/traditional.h"
+#include "sql/binder.h"
+#include "tpcd/dbgen.h"
+
+namespace aggview {
+
+namespace {
+
+std::string Lit(Rng* rng, int64_t lo, int64_t hi) {
+  return std::to_string(rng->Uniform(lo, hi));
+}
+
+/// What an aggregate output measures, so top-block predicates compare it
+/// against a column (or literal range) of the same scale.
+enum class AggDomain { kSal, kAge, kCount };
+
+struct AggOut {
+  std::string col;  // output column name inside the view
+  AggDomain domain = AggDomain::kSal;
+};
+
+struct ViewSpec {
+  std::string name;
+  std::string sql;  // the full CREATE VIEW statement
+  std::vector<AggOut> aggs;
+};
+
+/// One random view: an emp block (optionally joined with dept or a second
+/// emp), grouped by dno (optionally also age), with 1-2 aggregates and
+/// optional WHERE/HAVING.
+ViewSpec GenerateView(Rng* rng, int index) {
+  ViewSpec view;
+  view.name = "v" + std::to_string(index);
+  std::string e = "ve" + std::to_string(index);
+
+  std::string from = "emp " + e;
+  std::vector<std::string> where;
+  bool with_dept = rng->Chance(0.3);
+  bool with_self = !with_dept && rng->Chance(0.15);
+  std::string d = "vd" + std::to_string(index);
+  std::string f = "vf" + std::to_string(index);
+  if (with_dept) {
+    from += ", dept " + d;
+    where.push_back(e + ".dno = " + d + ".dno");
+    if (rng->Chance(0.5)) {
+      where.push_back(d + ".budget < " + Lit(rng, 300'000, 4'000'000));
+    }
+  }
+  if (with_self) {
+    from += ", emp " + f;
+    where.push_back(e + ".dno = " + f + ".dno");
+    if (rng->Chance(0.6)) {
+      where.push_back(f + ".age > " + Lit(rng, 20, 50));
+    }
+  }
+  if (rng->Chance(0.4)) where.push_back(e + ".age < " + Lit(rng, 19, 60));
+  if (rng->Chance(0.25)) {
+    where.push_back(e + ".sal > " + Lit(rng, 30'000, 150'000));
+  }
+
+  std::vector<std::string> out_cols = {"dno"};
+  std::vector<std::string> select = {e + ".dno"};
+  std::vector<std::string> group = {e + ".dno"};
+  if (rng->Chance(0.2)) {
+    out_cols.push_back("gage");
+    select.push_back(e + ".age");
+    group.push_back(e + ".age");
+  }
+
+  int num_aggs = static_cast<int>(rng->Uniform(1, 2));
+  for (int a = 0; a < num_aggs; ++a) {
+    AggOut out;
+    out.col = "a" + std::to_string(a);
+    std::string call;
+    switch (rng->Uniform(0, 6)) {
+      case 0:
+        call = "avg(" + e + ".sal)";
+        out.domain = AggDomain::kSal;
+        break;
+      case 1:
+        call = "sum(" + e + ".sal)";
+        out.domain = AggDomain::kSal;
+        break;
+      case 2:
+        call = "min(" + e + ".sal)";
+        out.domain = AggDomain::kSal;
+        break;
+      case 3:
+        call = "max(" + e + ".age)";
+        out.domain = AggDomain::kAge;
+        break;
+      case 4:
+        call = "count(*)";
+        out.domain = AggDomain::kCount;
+        break;
+      case 5:
+        call = "count(" + e + ".sal)";
+        out.domain = AggDomain::kCount;
+        break;
+      default:
+        call = "median(" + e + ".sal)";
+        out.domain = AggDomain::kSal;
+        break;
+    }
+    out_cols.push_back(out.col);
+    select.push_back(call);
+    view.aggs.push_back(std::move(out));
+  }
+
+  std::string sql = "create view " + view.name + " (";
+  for (size_t i = 0; i < out_cols.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += out_cols[i];
+  }
+  sql += ") as\n  select ";
+  for (size_t i = 0; i < select.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += select[i];
+  }
+  sql += "\n  from " + from;
+  if (!where.empty()) {
+    sql += "\n  where ";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) sql += " and ";
+      sql += where[i];
+    }
+  }
+  sql += "\n  group by ";
+  for (size_t i = 0; i < group.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += group[i];
+  }
+  if (rng->Chance(0.2)) {
+    sql += "\n  having count(*) > " + Lit(rng, 1, 3);
+  }
+  sql += ";\n";
+  view.sql = std::move(sql);
+  return view;
+}
+
+}  // namespace
+
+std::string GenerateAggViewSql(Rng* rng) {
+  int num_views = static_cast<int>(rng->Uniform(0, 2));
+  std::vector<ViewSpec> views;
+  std::string sql;
+  for (int i = 0; i < num_views; ++i) {
+    views.push_back(GenerateView(rng, i));
+    sql += views.back().sql;
+  }
+
+  // Top block: emp e1 always, optional self-join / dept, every view joined
+  // through dno.
+  std::string from = "emp e1";
+  std::vector<std::string> where;
+  bool with_self = rng->Chance(0.25);
+  bool with_dept = rng->Chance(0.25);
+  if (with_self) {
+    from += ", emp e2";
+    where.push_back("e1.dno = e2.dno");
+    if (rng->Chance(0.5)) where.push_back("e2.age > " + Lit(rng, 20, 50));
+  }
+  if (with_dept) {
+    from += ", dept d";
+    where.push_back("e1.dno = d.dno");
+    if (rng->Chance(0.6)) {
+      where.push_back("d.budget < " + Lit(rng, 300'000, 4'000'000));
+    }
+  }
+  for (const ViewSpec& v : views) {
+    from += ", " + v.name;
+    where.push_back("e1.dno = " + v.name + ".dno");
+    // Aggregate-output predicates: compare against a base column of the same
+    // domain (the deferred-HAVING path of pull-up) or against a literal.
+    for (const AggOut& agg : v.aggs) {
+      if (!rng->Chance(0.55)) continue;
+      std::string out = v.name + "." + agg.col;
+      switch (agg.domain) {
+        case AggDomain::kSal:
+          where.push_back(rng->Chance(0.7) ? "e1.sal > " + out
+                                           : out + " < " + Lit(rng, 40'000,
+                                                               500'000));
+          break;
+        case AggDomain::kAge:
+          where.push_back(rng->Chance(0.7) ? "e1.age < " + out
+                                           : out + " > " + Lit(rng, 25, 60));
+          break;
+        case AggDomain::kCount:
+          where.push_back(out + " > " + Lit(rng, 0, 4));
+          break;
+      }
+    }
+  }
+  if (rng->Chance(0.5)) where.push_back("e1.age < " + Lit(rng, 19, 60));
+  if (rng->Chance(0.2)) {
+    where.push_back("e1.sal > " + Lit(rng, 30'000, 150'000));
+  }
+
+  std::vector<std::string> select;
+  std::string tail;
+  if (rng->Chance(0.4)) {
+    // Aggregated top block: grouped by e1.dno, or scalar.
+    bool scalar = rng->Chance(0.3);
+    if (!scalar) select.push_back("e1.dno");
+    select.push_back("count(*)");
+    if (rng->Chance(0.5)) select.push_back("sum(e1.sal)");
+    if (rng->Chance(0.3)) select.push_back("min(e1.age)");
+    if (!scalar) {
+      tail = "\ngroup by e1.dno";
+      if (rng->Chance(0.35)) {
+        tail += "\nhaving count(*) > " + Lit(rng, 1, 3);
+      }
+    }
+  } else {
+    if (rng->Chance(0.6)) select.push_back("e1.dno");
+    if (rng->Chance(0.6)) select.push_back("e1.sal");
+    for (const ViewSpec& v : views) {
+      if (rng->Chance(0.5) && !v.aggs.empty()) {
+        select.push_back(v.name + "." + v.aggs[0].col);
+      }
+    }
+    if (select.empty()) select.push_back("e1.eno");
+  }
+
+  sql += "select ";
+  for (size_t i = 0; i < select.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += select[i];
+  }
+  sql += "\nfrom " + from;
+  if (!where.empty()) {
+    sql += "\nwhere ";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) sql += " and ";
+      sql += where[i];
+    }
+  }
+  sql += tail + "\n";
+  return sql;
+}
+
+Result<FuzzReport> RunDifferentialFuzz(const FuzzOptions& options) {
+  Catalog catalog;
+  AGGVIEW_ASSIGN_OR_RETURN(EmpDeptTables tables,
+                           CreateEmpDeptSchema(&catalog));
+  EmpDeptOptions data;
+  data.num_employees = options.num_employees;
+  data.num_departments = options.num_departments;
+  data.young_fraction = 0.2;
+  data.seed = options.seed * 131 + 7;
+  AGGVIEW_RETURN_NOT_OK(GenerateEmpDeptData(&catalog, tables, data));
+
+  // The three algorithm families of the paper plus an aggressive pull-up
+  // ablation: traditional two-phase (group-by after all joins), greedy
+  // conservative (early group-by placement, no pull-up), and the extended
+  // two-phase optimizer (pull-up + push-down + greedy enumeration).
+  std::vector<OptimizerOptions> configs;
+  configs.push_back(TraditionalOptions());
+  OptimizerOptions greedy;
+  greedy.max_pullup = 0;
+  greedy.shrink_views = false;
+  configs.push_back(greedy);
+  configs.push_back(OptimizerOptions{});
+  OptimizerOptions deep_pull;
+  deep_pull.max_pullup = 3;
+  deep_pull.require_shared_predicate = false;
+  configs.push_back(deep_pull);
+  for (OptimizerOptions& c : configs) c.paranoid = options.paranoid;
+
+  Rng rng(options.seed);
+  FuzzReport report;
+  for (int q = 0; q < options.num_queries; ++q) {
+    std::string sql = GenerateAggViewSql(&rng);
+    auto bound = ParseAndBind(catalog, sql);
+    if (!bound.ok()) {
+      return Status::Internal("fuzzer generated unbindable SQL:\n" + sql +
+                              "\n" + bound.status().ToString());
+    }
+    if (!bound->views().empty()) ++report.queries_with_views;
+
+    std::string reference;
+    for (size_t i = 0; i < configs.size(); ++i) {
+      auto fail = [&](const std::string& what, const Status& st) {
+        return Status::Internal("differential fuzz failure (config " +
+                                std::to_string(i) + ", " + what +
+                                ") on query:\n" + sql + "\n" + st.ToString());
+      };
+      auto optimized = OptimizeQueryWithAggViews(*bound, configs[i]);
+      if (!optimized.ok()) return fail("optimize", optimized.status());
+      report.plans_checked += optimized->counters.plans_checked;
+      report.certificates_verified += optimized->counters.certificates_verified;
+
+      Status valid = ValidatePlan(optimized->plan, optimized->query);
+      if (!valid.ok()) return fail("validate", valid);
+      Status analyzed = AnalyzePlan(optimized->plan, optimized->query);
+      if (!analyzed.ok()) return fail("analyze", analyzed);
+      Status audited = VerifyAudit(optimized->query, optimized->audit);
+      if (!audited.ok()) return fail("audit", audited);
+
+      auto result = ExecutePlan(optimized->plan, optimized->query, nullptr);
+      if (!result.ok()) return fail("execute", result.status());
+      ++report.plans_compared;
+      if (i == 0) {
+        reference = result->Fingerprint();
+      } else if (result->Fingerprint() != reference) {
+        return fail("results diverge from traditional plan",
+                    Status::Internal("fingerprints differ"));
+      }
+    }
+    ++report.queries_run;
+  }
+  return report;
+}
+
+}  // namespace aggview

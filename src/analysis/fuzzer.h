@@ -1,0 +1,60 @@
+#ifndef AGGVIEW_ANALYSIS_FUZZER_H_
+#define AGGVIEW_ANALYSIS_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace aggview {
+
+/// Differential fuzzing of the optimizer stack (the dynamic complement of the
+/// static analyzer): seeded random queries in the paper's canonical form are
+/// optimized by every optimizer configuration, every plan is analyzed, every
+/// plan is executed, and the result multisets are cross-checked. A plan that
+/// passes the analyzer but computes a different bag than the traditional
+/// plan is exactly the kind of bug the legality certificates exist to catch,
+/// so any disagreement is reported as an error carrying the offending SQL.
+
+/// Generates one random aggregate-view query over the emp/dept schema
+/// (tpcd/dbgen.h), in canonical form: 0-2 aggregate views (single- or
+/// multi-relation blocks, AVG/SUM/MIN/MAX/COUNT/COUNT(*)/MEDIAN, optional
+/// HAVING), a top block joining base relations and views, literal and
+/// aggregate-output predicates, and an optional top group-by (grouped or
+/// scalar). All literals are integers, so results are exactly comparable
+/// across plans. Deterministic in `rng`.
+std::string GenerateAggViewSql(Rng* rng);
+
+struct FuzzOptions {
+  uint64_t seed = 1;
+  /// Queries generated and cross-checked.
+  int num_queries = 50;
+  /// Database shape: small enough to execute hundreds of queries quickly,
+  /// large enough for multi-tuple groups and empty-group edge cases.
+  int64_t num_employees = 150;
+  int64_t num_departments = 8;
+  /// Optimize in paranoid mode: the semantic analyzer runs at every DP-table
+  /// insertion and every transformation certificate is re-verified.
+  bool paranoid = true;
+};
+
+/// What a fuzz run did, for test assertions and reporting.
+struct FuzzReport {
+  int queries_run = 0;
+  int queries_with_views = 0;
+  int plans_compared = 0;
+  int64_t plans_checked = 0;        // analyzer invocations from dp_check
+  int64_t certificates_verified = 0;
+};
+
+/// Runs the differential fuzz loop. Fails on the first query where any
+/// optimizer configuration yields a plan that fails validation/analysis,
+/// fails to execute, or executes to a result multiset different from the
+/// traditional plan's; the error message contains the SQL, the configuration
+/// index, and the underlying diagnostic.
+Result<FuzzReport> RunDifferentialFuzz(const FuzzOptions& options);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_ANALYSIS_FUZZER_H_

@@ -23,6 +23,8 @@ const char* AggKindName(AggKind kind) {
       return "median";
     case AggKind::kAvgFinal:
       return "avg_final";
+    case AggKind::kCountSum:
+      return "count_sum";
   }
   return "?";
 }
@@ -36,6 +38,7 @@ bool IsDecomposable(AggKind kind) {
     case AggKind::kMax:
     case AggKind::kAvg:
     case AggKind::kAvgFinal:
+    case AggKind::kCountSum:
       return true;
     case AggKind::kMedian:
       return false;
@@ -51,6 +54,7 @@ DataType AggregateCall::ResultType(const ColumnCatalog& cat) const {
   switch (kind) {
     case AggKind::kCountStar:
     case AggKind::kCount:
+    case AggKind::kCountSum:
       return DataType::kInt64;
     case AggKind::kAvg:
     case AggKind::kAvgFinal:
@@ -89,7 +93,8 @@ void AggAccumulator::Add(const std::vector<Value>& args) {
       ++count_;
       return;
     case AggKind::kSum:
-    case AggKind::kAvg: {
+    case AggKind::kAvg:
+    case AggKind::kCountSum: {
       assert(args.size() == 1);
       const Value& v = args[0];
       ++count_;
@@ -140,6 +145,9 @@ Value AggAccumulator::Finish() const {
       return Value::Int(count_);
     case AggKind::kSum:
       if (count_ == 0) return Value::Null();
+      return all_int_ ? Value::Int(isum_) : Value::Real(sum_);
+    case AggKind::kCountSum:
+      // Combine of partial counts: empty input is a count of 0, not NULL.
       return all_int_ ? Value::Int(isum_) : Value::Real(sum_);
     case AggKind::kAvg: {
       if (count_ == 0) return Value::Null();

@@ -17,6 +17,12 @@ namespace aggview {
 ///
 /// kAvgFinal is the coalescing-combine form of AVG: it takes two inputs (a
 /// partial SUM column and a partial COUNT column) and emits their ratio.
+///
+/// kCountSum is the coalescing-combine form of COUNT/COUNT(*): a SUM of
+/// partial counts that keeps COUNT's empty-input semantics — a scalar
+/// aggregate over zero rows yields 0, where a plain SUM would yield NULL.
+/// (The differential fuzzer caught a plain-SUM combine turning a scalar
+/// COUNT over an empty join into NULL.)
 enum class AggKind {
   kCountStar,
   kCount,
@@ -26,6 +32,7 @@ enum class AggKind {
   kAvg,
   kMedian,
   kAvgFinal,
+  kCountSum,
 };
 
 const char* AggKindName(AggKind kind);

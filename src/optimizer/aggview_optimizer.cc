@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "analysis/analyzer.h"
 #include "common/string_util.h"
 #include "optimizer/traditional.h"
 #include "transform/propagate.h"
@@ -90,6 +91,18 @@ Result<PlanPtr> OptimizeRewritten(Query* query, const OptimizerOptions& options,
                                   EnumerationCounters* counters) {
   std::set<ColId> top_refs = TopReferences(*query);
 
+  // Paranoid mode: analyze every candidate at DP-table insertion time and
+  // re-verify every early group-by placement certificate. The hook captures
+  // `query` by pointer; it outlives both OptimizeBlock calls below.
+  EnumeratorOptions enum_options = options.enumerator;
+  if (options.paranoid) {
+    enum_options.verify_certificates = true;
+    const Query* q = query;
+    enum_options.dp_check = [q](const PlanPtr& plan) {
+      return AnalyzePlan(plan, *q);
+    };
+  }
+
   BlockSpec top;
   // Phase 1: each aggregate view becomes a composite relation.
   for (const AggView& view : query->views()) {
@@ -108,7 +121,7 @@ Result<PlanPtr> OptimizeRewritten(Query* query, const OptimizerOptions& options,
     AGGVIEW_ASSIGN_OR_RETURN(
         PlanPtr composite,
         OptimizeBlock(*query, &query->columns(), view_block,
-                      options.enumerator, counters));
+                      enum_options, counters));
     BlockRel br;
     br.name = view.name;
     br.composite = composite;
@@ -130,7 +143,7 @@ Result<PlanPtr> OptimizeRewritten(Query* query, const OptimizerOptions& options,
 
   AGGVIEW_ASSIGN_OR_RETURN(
       PlanPtr plan, OptimizeBlock(*query, &query->columns(), top,
-                                  options.enumerator, counters));
+                                  enum_options, counters));
   PlanBuilder builder(*query);
   plan = builder.Project(plan, query->select_list());
   return builder.Sort(plan, query->order_by());
@@ -149,11 +162,24 @@ Result<OptimizedQuery> OptimizeQueryWithAggViews(const Query& query,
   }
 
   // Section 5.3/5.4 step 0: shrink every view to its minimal invariant set;
-  // the moved relations become part of B'.
+  // the moved relations become part of B'. In paranoid mode every shrink
+  // emits an invariant-grouping certificate that is verified on the spot
+  // (against the pre-shrink query — the certificate describes the view as it
+  // was when the claim was made) and kept for the audit trail.
+  std::vector<InvariantCertificate> shrink_certs;
+  int64_t base_certificates_verified = 0;
   if (options.shrink_views) {
     for (size_t i = 0; i < base.views().size(); ++i) {
-      AGGVIEW_ASSIGN_OR_RETURN(base,
-                               ShrinkViewToInvariantSet(base, i, nullptr));
+      InvariantCertificate cert;
+      Query before = base;
+      AGGVIEW_ASSIGN_OR_RETURN(
+          base, ShrinkViewToInvariantSet(base, i, nullptr,
+                                         options.paranoid ? &cert : nullptr));
+      if (options.paranoid) {
+        AGGVIEW_RETURN_NOT_OK(VerifyInvariantCertificate(before, cert));
+        ++base_certificates_verified;
+        if (!cert.removed.empty()) shrink_certs.push_back(std::move(cert));
+      }
     }
   }
 
@@ -193,18 +219,31 @@ Result<OptimizedQuery> OptimizeQueryWithAggViews(const Query& query,
 
   OptimizedQuery best(base);
   EnumerationCounters counters;
+  counters.certificates_verified += base_certificates_verified;
 
   for (const auto& assignment : assignments) {
     Query rewritten = base;
+    TransformationAudit audit;
+    audit.invariants = shrink_certs;
     bool feasible = true;
     for (size_t i = 0; i < assignment.size(); ++i) {
       if (assignment[i].empty()) continue;
-      auto pulled = PullUpIntoView(rewritten, i, assignment[i]);
+      PullUpCertificate cert;
+      auto pulled = PullUpIntoView(rewritten, i, assignment[i],
+                                   options.paranoid ? &cert : nullptr);
       if (!pulled.ok()) {
         feasible = false;
         break;
       }
       rewritten = std::move(pulled).value();
+      if (options.paranoid) {
+        // The pulled relations' keys and the extended block's predicates are
+        // recorded in the certificate; re-prove Definition 1's side condition
+        // from the catalog before costing anything built on this rewrite.
+        AGGVIEW_RETURN_NOT_OK(VerifyPullUpCertificate(rewritten, cert));
+        ++counters.certificates_verified;
+        audit.pullups.push_back(std::move(cert));
+      }
     }
     if (!feasible) continue;
 
@@ -217,6 +256,7 @@ Result<OptimizedQuery> OptimizeQueryWithAggViews(const Query& query,
       best.plan = std::move(plan).value();
       best.query = std::move(rewritten);
       best.description = std::move(description);
+      best.audit = std::move(audit);
     }
   }
 
@@ -228,18 +268,32 @@ Result<OptimizedQuery> OptimizeQueryWithAggViews(const Query& query,
   // it is cheaper (the search space above includes it in spirit; estimation
   // asymmetries can not make us regress past it with this check in place).
   if (options.include_traditional_alternative) {
-    AGGVIEW_ASSIGN_OR_RETURN(OptimizedQuery traditional,
-                             OptimizeTraditional(query));
+    OptimizerOptions traditional_options = TraditionalOptions();
+    traditional_options.paranoid = options.paranoid;
+    AGGVIEW_ASSIGN_OR_RETURN(
+        OptimizedQuery traditional,
+        OptimizeQueryWithAggViews(query, traditional_options));
     counters.joins_considered += traditional.counters.joins_considered;
     counters.groupby_placements += traditional.counters.groupby_placements;
     counters.subsets_stored += traditional.counters.subsets_stored;
+    counters.plans_checked += traditional.counters.plans_checked;
+    counters.certificates_verified += traditional.counters.certificates_verified;
     best.alternatives.push_back({"traditional two-phase",
                                  traditional.plan->cost});
     if (traditional.plan->cost < best.plan->cost) {
       best.plan = traditional.plan;
       best.query = std::move(traditional.query);
       best.description = "traditional two-phase";
+      best.audit = std::move(traditional.audit);
     }
+  }
+
+  if (options.paranoid) {
+    // Belt and braces: the winner was already checked at every DP insertion,
+    // but Project/Sort are added after the enumerator — analyze the full
+    // final plan and re-verify the audit trail once more.
+    AGGVIEW_RETURN_NOT_OK(AnalyzePlan(best.plan, best.query));
+    AGGVIEW_RETURN_NOT_OK(VerifyAudit(best.query, best.audit));
   }
 
   best.counters = counters;

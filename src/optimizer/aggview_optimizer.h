@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/certificate.h"
 #include "optimizer/join_enumerator.h"
 
 namespace aggview {
@@ -34,6 +35,18 @@ struct OptimizerOptions {
   /// (contrary to the paper's argument) it beats every enumerated
   /// alternative. Keeping it on makes the no-worse guarantee unconditional.
   bool include_traditional_alternative = true;
+  /// Paranoid self-checking: run the semantic analyzer (analysis/analyzer.h)
+  /// on every candidate plan at DP-table insertion time, emit and re-verify a
+  /// legality certificate for every transformation applied (pull-up, view
+  /// shrinking, early group-by placement), and analyze the winning plan once
+  /// more before returning it. Any failure aborts optimization with an error
+  /// naming the offending node or claim. Defaults on when the library is
+  /// built with -DAGGVIEW_PARANOID=ON.
+#ifdef AGGVIEW_PARANOID
+  bool paranoid = true;
+#else
+  bool paranoid = false;
+#endif
 };
 
 /// One evaluated alternative (a W assignment), for the experiment reports.
@@ -52,6 +65,11 @@ struct OptimizedQuery {
   EnumerationCounters counters;
   std::string description;
   std::vector<PlanAlternative> alternatives;
+  /// Certificates of every query-level transformation the winning rewrite
+  /// applied (view shrinking, pull-up). Populated in paranoid mode; each was
+  /// verified when it was emitted and can be re-verified against `query` with
+  /// VerifyAudit.
+  TransformationAudit audit;
 
   OptimizedQuery() : query(nullptr) {}
   explicit OptimizedQuery(Query q) : query(std::move(q)) {}

@@ -5,6 +5,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "analysis/analyzer.h"
 #include "transform/coalescing.h"
 
 namespace aggview {
@@ -92,6 +93,23 @@ class Enumerator {
   /// Applies a coalescing pre-aggregation on `entry`'s plan.
   Result<DpEntry> PushCoalescing(const DpEntry& entry, Mask mask) const;
 
+  /// Builds the BlockRelClaims of `mask`'s relations (in = true) or its
+  /// complement (in = false), for certificate emission.
+  std::vector<BlockRelClaim> ClaimsOf(Mask mask, bool in) const {
+    std::vector<BlockRelClaim> out;
+    for (int i = 0; i < n_; ++i) {
+      bool member = (mask & (Mask{1} << i)) != 0;
+      if (member != in) continue;
+      const BlockRel& rel = block_.rels[static_cast<size_t>(i)];
+      BlockRelClaim claim;
+      claim.name = rel.name;
+      claim.scan_rel = rel.scan_rel;
+      claim.composite = rel.composite;
+      out.push_back(std::move(claim));
+    }
+    return out;
+  }
+
   /// The best join of `left` (for `mask`) with relation `next`, across join
   /// algorithms. `extra_needed` keeps columns NeededFor does not know about
   /// (the partial-aggregate columns of a coalesced subplan).
@@ -116,7 +134,10 @@ class Enumerator {
 
   int n_ = 0;
   std::vector<std::set<ColId>> rel_cols_;
+  std::vector<RelShape> shapes_;
   std::set<size_t> removable_;
+  /// Exact per-mask invariant legality (see InvariantApplicableAt).
+  mutable std::unordered_map<Mask, bool> invariant_ok_;
   std::set<ColId> gb_refs_;
   std::set<ColId> agg_args_;
   /// One DP lane per aggregation state: plans that have not aggregated,
@@ -156,7 +177,41 @@ bool Enumerator::InvariantApplicableAt(Mask mask) const {
       return false;
     }
   }
-  return true;
+  // Membership in the global removable set is necessary but not sufficient:
+  // the fixpoint may have removed relation A only after relation B was
+  // already gone, while this mask retains B. (The certificate verifier found
+  // exactly such a mask: a crossing predicate reached a retained non-grouping
+  // column that the fixpoint order had eliminated first.) Re-run the
+  // elimination against exactly this retained set.
+  auto cached = invariant_ok_.find(mask);
+  if (cached != invariant_ok_.end()) return cached->second;
+  std::set<size_t> pending;
+  for (int i = 0; i < n_; ++i) {
+    if ((mask & (Mask{1} << i)) == 0) pending.insert(static_cast<size_t>(i));
+  }
+  bool progress = true;
+  while (!pending.empty() && progress) {
+    progress = false;
+    for (size_t candidate : pending) {
+      std::set<ColId> retained_cols;
+      for (int i = 0; i < n_; ++i) {
+        size_t u = static_cast<size_t>(i);
+        if (u == candidate) continue;
+        if ((mask & (Mask{1} << i)) != 0 || pending.count(u) > 0) {
+          retained_cols.insert(rel_cols_[u].begin(), rel_cols_[u].end());
+        }
+      }
+      if (CanMoveGroupByPastShape(shapes_[candidate], retained_cols,
+                                  block_.predicates, *block_.group_by)) {
+        pending.erase(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+  bool ok = pending.empty();
+  invariant_ok_[mask] = ok;
+  return ok;
 }
 
 bool Enumerator::CoalescingApplicableAt(Mask mask) const {
@@ -170,6 +225,18 @@ Result<DpEntry> Enumerator::PushInvariant(const DpEntry& entry,
                                           Mask mask) const {
   const GroupBySpec& gb = *block_.group_by;
   std::set<ColId> have = ColsOf(mask);
+
+  if (options_.verify_certificates) {
+    // Re-prove IG1-IG3 for the relations the group-by is moved past before
+    // trusting the placement.
+    InvariantCertificate cert;
+    cert.group_by = gb;
+    cert.predicates = block_.predicates;
+    cert.removed = ClaimsOf(mask, /*in=*/false);
+    cert.retained = ClaimsOf(mask, /*in=*/true);
+    AGGVIEW_RETURN_NOT_OK(VerifyInvariantCertificate(query_, cert));
+    if (counters_ != nullptr) ++counters_->certificates_verified;
+  }
 
   GroupBySpec pushed;
   for (ColId g : gb.grouping) {
@@ -211,8 +278,15 @@ Result<DpEntry> Enumerator::PushCoalescing(const DpEntry& entry,
       }
     }
   }
-  AGGVIEW_ASSIGN_OR_RETURN(CoalescingSplit split,
-                           SplitForCoalescing(gb, have, carry, columns_));
+  CoalescingCertificate cert;
+  AGGVIEW_ASSIGN_OR_RETURN(
+      CoalescingSplit split,
+      SplitForCoalescing(gb, have, carry, columns_,
+                         options_.verify_certificates ? &cert : nullptr));
+  if (options_.verify_certificates) {
+    AGGVIEW_RETURN_NOT_OK(VerifyCoalescingCertificate(query_, cert));
+    if (counters_ != nullptr) ++counters_->certificates_verified;
+  }
 
   std::set<ColId> needed = NeededFor(mask);
   for (ColId g : split.partial.grouping) needed.insert(g);
@@ -275,7 +349,7 @@ Result<PlanPtr> Enumerator::Run() {
   }
 
   // Per-relation available columns and shapes.
-  std::vector<RelShape> shapes;
+  std::vector<RelShape>& shapes = shapes_;
   for (int i = 0; i < n_; ++i) {
     const BlockRel& rel = block_.rels[static_cast<size_t>(i)];
     RelShape shape;
@@ -315,7 +389,14 @@ Result<PlanPtr> Enumerator::Run() {
   auto lane_of = [](AggState state) {
     return static_cast<size_t>(state);
   };
-  auto admit = [&](Mask mask, DpEntry entry) {
+  auto admit = [&](Mask mask, DpEntry entry) -> Status {
+    // The paranoid debug hook fires on every candidate before it can enter
+    // the DP table, so an illegal plan is caught at the insertion that
+    // created it — with the offending subplan, not the assembled final plan.
+    if (options_.dp_check) {
+      if (counters_ != nullptr) ++counters_->plans_checked;
+      AGGVIEW_RETURN_NOT_OK(options_.dp_check(entry.plan));
+    }
     auto& lanes = dp_[mask];
     std::optional<DpEntry>& slot = lanes[lane_of(entry.state)];
     if (!slot.has_value() || Better(entry, *slot)) {
@@ -323,6 +404,7 @@ Result<PlanPtr> Enumerator::Run() {
       slot = std::move(entry);
       if (fresh && counters_ != nullptr) ++counters_->subsets_stored;
     }
+    return Status::OK();
   };
 
   // Leaf plans.
@@ -332,7 +414,7 @@ Result<PlanPtr> Enumerator::Run() {
     leaves.push_back(leaf);
     DpEntry entry;
     entry.plan = leaf;
-    admit(Mask{1} << i, std::move(entry));
+    AGGVIEW_RETURN_NOT_OK(admit(Mask{1} << i, std::move(entry)));
   }
 
   // Columns the default projection must keep for an entry's pending work:
@@ -358,12 +440,12 @@ Result<PlanPtr> Enumerator::Run() {
         if (options_.enable_invariant && InvariantApplicableAt(mask)) {
           AGGVIEW_ASSIGN_OR_RETURN(DpEntry v,
                                    PushInvariant(*none_entry, mask));
-          admit(mask, std::move(v));
+          AGGVIEW_RETURN_NOT_OK(admit(mask, std::move(v)));
         }
         if (options_.enable_coalescing && CoalescingApplicableAt(mask)) {
           AGGVIEW_ASSIGN_OR_RETURN(DpEntry v,
                                    PushCoalescing(*none_entry, mask));
-          admit(mask, std::move(v));
+          AGGVIEW_RETURN_NOT_OK(admit(mask, std::move(v)));
         }
       }
     }
@@ -402,7 +484,7 @@ Result<PlanPtr> Enumerator::Run() {
         cand.state = entry->state;
         cand.pending_having = entry->pending_having;
         cand.final_aggs = entry->final_aggs;
-        admit(next_mask, std::move(cand));
+        AGGVIEW_RETURN_NOT_OK(admit(next_mask, std::move(cand)));
       }
     }
   }

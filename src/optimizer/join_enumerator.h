@@ -1,6 +1,7 @@
 #ifndef AGGVIEW_OPTIMIZER_JOIN_ENUMERATOR_H_
 #define AGGVIEW_OPTIMIZER_JOIN_ENUMERATOR_H_
 
+#include <functional>
 #include <optional>
 #include <set>
 #include <string>
@@ -35,6 +36,12 @@ struct BlockSpec {
   std::set<ColId> needed_output;
 };
 
+/// Debug hook run on every plan a DP table is about to admit. Returning an
+/// error aborts the whole enumeration with that error — used by the paranoid
+/// mode of the optimizer to run the semantic analyzer (analysis/analyzer.h)
+/// at every DP-table insertion, not just on the final plan.
+using PlanCheckFn = std::function<Status(const PlanPtr&)>;
+
 /// Options controlling the enumeration (Section 5.2).
 struct EnumeratorOptions {
   /// Enables the greedy conservative heuristic: linear *aggregate* join
@@ -44,6 +51,14 @@ struct EnumeratorOptions {
   /// Individual transformation gates (both require greedy_aggregation).
   bool enable_invariant = true;
   bool enable_coalescing = true;
+  /// When set, called on every candidate plan at DP-table insertion time.
+  PlanCheckFn dp_check;
+  /// Emit and immediately verify a legality certificate for every early
+  /// group-by placement (invariant push, coalescing split) the enumerator
+  /// tries. An unverifiable placement aborts the enumeration — it would mean
+  /// the transformation's side conditions and the analyzer's re-derivation
+  /// disagree.
+  bool verify_certificates = false;
 };
 
 /// Instrumentation shared across enumerator invocations (experiment E7).
@@ -51,6 +66,8 @@ struct EnumerationCounters {
   int64_t joins_considered = 0;     // joinplan() invocations
   int64_t groupby_placements = 0;   // early group-by candidates costed
   int64_t subsets_stored = 0;       // DP entries retained
+  int64_t plans_checked = 0;        // dp_check invocations
+  int64_t certificates_verified = 0;  // legality certificates re-proved
 };
 
 /// System-R style dynamic programming over linear (left-deep) join orders

@@ -221,7 +221,8 @@ RelEstimate Estimator::GroupBy(const RelEstimate& input,
         break;
       }
       case AggKind::kCount:
-      case AggKind::kCountStar: {
+      case AggKind::kCountStar:
+      case AggKind::kCountSum: {
         cs.min = 1.0;
         cs.max = std::max(1.0, input.rows / std::max(out.rows, 1.0) * 4.0);
         cs.has_range = true;

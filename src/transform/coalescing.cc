@@ -16,7 +16,8 @@ bool CoalescingApplicable(const GroupBySpec& spec,
 Result<CoalescingSplit> SplitForCoalescing(const GroupBySpec& spec,
                                            const std::set<ColId>& below_cols,
                                            const std::set<ColId>& carry_cols,
-                                           ColumnCatalog* columns) {
+                                           ColumnCatalog* columns,
+                                           CoalescingCertificate* cert) {
   if (!CoalescingApplicable(spec, below_cols)) {
     return Status::InvalidArgument(
         "simple coalescing requires decomposable aggregates over the "
@@ -55,8 +56,20 @@ Result<CoalescingSplit> SplitForCoalescing(const GroupBySpec& spec,
         ColId partial = columns->Add("pcount", DataType::kInt64);
         split.partial.aggregates.push_back(
             {original.kind, original.args, partial});
+        // kCountSum, not kSum: the combine must keep COUNT's empty-input
+        // semantics (scalar over zero rows = 0, not NULL).
         split.final_aggregates.push_back(
-            {AggKind::kSum, {partial}, original.output});
+            {AggKind::kCountSum, {partial}, original.output});
+        break;
+      }
+      case AggKind::kCountSum: {
+        // Re-splitting an already-coalesced COUNT: pre-sum the partial
+        // counts one level further.
+        ColId partial = columns->Add("pcount", DataType::kInt64);
+        split.partial.aggregates.push_back(
+            {AggKind::kCountSum, original.args, partial});
+        split.final_aggregates.push_back(
+            {AggKind::kCountSum, {partial}, original.output});
         break;
       }
       case AggKind::kMin:
@@ -99,6 +112,14 @@ Result<CoalescingSplit> SplitForCoalescing(const GroupBySpec& spec,
       case AggKind::kMedian:
         return Status::Internal("unreachable: MEDIAN is not decomposable");
     }
+  }
+  if (cert != nullptr) {
+    *cert = CoalescingCertificate{};
+    cert->original = spec;
+    cert->partial = split.partial;
+    cert->final_aggregates = split.final_aggregates;
+    cert->below_cols = below_cols;
+    cert->carry_cols = carry_cols;
   }
   return split;
 }

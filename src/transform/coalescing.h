@@ -4,6 +4,7 @@
 #include <set>
 
 #include "algebra/query.h"
+#include "analysis/certificate.h"
 #include "common/result.h"
 
 namespace aggview {
@@ -33,11 +34,15 @@ bool CoalescingApplicable(const GroupBySpec& spec,
 /// must survive the pre-aggregation because later joins/predicates/outputs
 /// use them (they become extra grouping columns of G2, which is always
 /// semantically safe — finer groups are coalesced by G1). Fresh partial
-/// columns are allocated in `columns`.
+/// columns are allocated in `columns`. `cert` (optional) receives the
+/// legality certificate of the split — the original spec, the partial
+/// group-by, and the replacement calls — for independent re-verification by
+/// VerifyCoalescingCertificate (analysis/analyzer.h).
 Result<CoalescingSplit> SplitForCoalescing(const GroupBySpec& spec,
                                            const std::set<ColId>& below_cols,
                                            const std::set<ColId>& carry_cols,
-                                           ColumnCatalog* columns);
+                                           ColumnCatalog* columns,
+                                           CoalescingCertificate* cert = nullptr);
 
 }  // namespace aggview
 

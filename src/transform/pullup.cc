@@ -18,7 +18,8 @@ void CollectPredicateColumns(const std::vector<Predicate>& preds,
 }  // namespace
 
 Result<Query> PullUpIntoView(const Query& query, size_t view_idx,
-                             const std::set<int>& pulled) {
+                             const std::set<int>& pulled,
+                             PullUpCertificate* cert) {
   if (view_idx >= query.views().size()) {
     return Status::InvalidArgument("view index out of range");
   }
@@ -28,6 +29,12 @@ Result<Query> PullUpIntoView(const Query& query, size_t view_idx,
       return Status::InvalidArgument(
           "pulled relation is not a top-block base relation");
     }
+  }
+  if (cert != nullptr) {
+    *cert = PullUpCertificate{};
+    cert->view_idx = view_idx;
+    cert->pulled = pulled;
+    cert->grouping_before = query.views()[view_idx].group_by.grouping;
   }
   if (pulled.empty()) return query;
 
@@ -141,19 +148,30 @@ Result<Query> PullUpIntoView(const Query& query, size_t view_idx,
         if (rv.columns[i] == g) fixed_local.push_back(static_cast<int>(i));
       }
     }
-    if (def.CoversKey(fixed_local)) continue;  // elide: ≤1 tuple per group
+    PullUpCertificate::RelClaim claim;
+    claim.rel = r;
+    if (def.CoversKey(fixed_local)) {
+      // Elide: the join/selections already pin a key, ≤1 tuple per group.
+      if (cert != nullptr) cert->rels.push_back(std::move(claim));
+      continue;
+    }
     if (!def.primary_key.empty()) {
       for (int k : def.primary_key) {
-        add_grouping(rv.columns[static_cast<size_t>(k)]);
+        ColId c = rv.columns[static_cast<size_t>(k)];
+        add_grouping(c);
+        claim.key_added.push_back(c);
       }
     } else if (rv.rowid != kInvalidColId) {
       // Keyless table: group by the internal tuple id (paper, Section 3).
       add_grouping(rv.rowid);
+      claim.key_added.push_back(rv.rowid);
+      claim.used_rowid = true;
     } else {
       return Status::InvalidArgument(
           "pull-up needs a primary key or tuple id on table '" + def.name +
           "'");
     }
+    if (cert != nullptr) cert->rels.push_back(std::move(claim));
   }
 
   // Assemble the extended view.
@@ -171,6 +189,12 @@ Result<Query> PullUpIntoView(const Query& query, size_t view_idx,
   }
   out.base_rels() = std::move(new_base);
   out.predicates() = std::move(staying_top);
+
+  if (cert != nullptr) {
+    cert->block_rels = view.spj.rels;
+    cert->block_predicates = view.spj.predicates;
+    cert->grouping_after = view.group_by.grouping;
+  }
 
   AGGVIEW_RETURN_NOT_OK(out.Validate());
   return out;

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "algebra/query.h"
+#include "analysis/certificate.h"
 #include "common/result.h"
 
 namespace aggview {
@@ -27,8 +28,14 @@ namespace aggview {
 ///
 /// Pulling every top-block relation into the only view of a query with no
 /// G0 collapses the query to a single block — Example 1's query B.
+///
+/// When `cert` is non-null it receives the legality certificate of the
+/// rewrite — which key of each pulled relation the deferred group-by now
+/// groups by (or why the key could be elided) — for independent
+/// re-verification by VerifyPullUpCertificate (analysis/analyzer.h).
 Result<Query> PullUpIntoView(const Query& query, size_t view_idx,
-                             const std::set<int>& pulled);
+                             const std::set<int>& pulled,
+                             PullUpCertificate* cert = nullptr);
 
 /// True when pulling `rel` into `view` is worth enumerating under the
 /// paper's practical restriction: the relation shares a predicate with the

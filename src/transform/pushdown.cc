@@ -47,46 +47,42 @@ bool CanMoveGroupByPastShape(const RelShape& rel,
     }
   }
 
-  // (IG3) One matching tuple per group unless every aggregate is
-  // duplicate-insensitive.
-  bool all_dup_insensitive =
-      !gb.aggregates.empty() &&
-      std::all_of(gb.aggregates.begin(), gb.aggregates.end(),
-                  [](const AggregateCall& a) {
-                    return IsDuplicateInsensitive(a.kind);
-                  });
-  if (!all_dup_insensitive) {
-    std::set<ColId> fixed;
-    // Equi-joins with retained grouping columns.
-    for (const Predicate& p : preds) {
-      ColId a, b;
-      if (!p.AsColumnEquality(&a, &b)) continue;
-      if (rel.cols.count(b) > 0 && grouping.count(a) > 0 &&
-          retained_cols.count(a) > 0) {
-        fixed.insert(b);
-      }
-      if (rel.cols.count(a) > 0 && grouping.count(b) > 0 &&
-          retained_cols.count(b) > 0) {
-        fixed.insert(a);
-      }
+  // (IG3) At most one matching tuple of `rel` per group. This must hold
+  // even when every aggregate is duplicate-insensitive (MIN/MAX): fan-out
+  // past the group-by leaves the aggregate *values* intact but multiplies
+  // the *row multiplicity* of the group-by output, which any downstream
+  // duplicate-sensitive consumer (count(*), sum, bag projection) observes.
+  // The differential fuzzer found exactly this divergence, so the former
+  // MIN/MAX waiver is gone.
+  std::set<ColId> fixed;
+  // Equi-joins with retained grouping columns.
+  for (const Predicate& p : preds) {
+    ColId a, b;
+    if (!p.AsColumnEquality(&a, &b)) continue;
+    if (rel.cols.count(b) > 0 && grouping.count(a) > 0 &&
+        retained_cols.count(a) > 0) {
+      fixed.insert(b);
     }
-    // Equality-with-literal selections on `rel`.
-    for (const Predicate& p : preds) {
-      ColId col;
-      CompareOp op;
-      Value v;
-      if (p.AsColumnVsLiteral(&col, &op, &v) && op == CompareOp::kEq &&
-          rel.cols.count(col) > 0) {
-        fixed.insert(col);
-      }
+    if (rel.cols.count(a) > 0 && grouping.count(b) > 0 &&
+        retained_cols.count(b) > 0) {
+      fixed.insert(a);
     }
-    // Grouping columns owned by `rel`.
-    for (ColId g : grouping) {
-      if (rel.cols.count(g) > 0) fixed.insert(g);
-    }
-    if (!rel.CoversKey(fixed)) return false;
   }
-  return true;
+  // Equality-with-literal selections on `rel`.
+  for (const Predicate& p : preds) {
+    ColId col;
+    CompareOp op;
+    Value v;
+    if (p.AsColumnVsLiteral(&col, &op, &v) && op == CompareOp::kEq &&
+        rel.cols.count(col) > 0) {
+      fixed.insert(col);
+    }
+  }
+  // Grouping columns owned by `rel`.
+  for (ColId g : grouping) {
+    if (rel.cols.count(g) > 0) fixed.insert(g);
+  }
+  return rel.CoversKey(fixed);
 }
 
 std::set<size_t> RemovableShapes(const std::vector<RelShape>& rels,
@@ -154,7 +150,8 @@ InvariantAnalysis AnalyzeInvariantGrouping(const Query& query,
 }
 
 Result<Query> ShrinkViewToInvariantSet(const Query& query, size_t view_idx,
-                                       std::set<int>* moved) {
+                                       std::set<int>* moved,
+                                       InvariantCertificate* cert) {
   if (view_idx >= query.views().size()) {
     return Status::InvalidArgument("view index out of range");
   }
@@ -162,6 +159,21 @@ Result<Query> ShrinkViewToInvariantSet(const Query& query, size_t view_idx,
   AggView& view = out.views()[view_idx];
   InvariantAnalysis analysis = AnalyzeInvariantGrouping(out, view);
   if (moved != nullptr) *moved = analysis.removable;
+  if (cert != nullptr) {
+    *cert = InvariantCertificate{};
+    cert->group_by = view.group_by;
+    cert->predicates = view.spj.predicates;
+    for (int r : view.spj.rels) {
+      BlockRelClaim claim;
+      claim.name = out.range_var(r).alias;
+      claim.scan_rel = r;
+      if (analysis.removable.count(r) > 0) {
+        cert->removed.push_back(std::move(claim));
+      } else {
+        cert->retained.push_back(std::move(claim));
+      }
+    }
+  }
   if (analysis.removable.empty()) return out;
 
   const std::set<int>& keep = analysis.minimal_invariant_set;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "algebra/query.h"
+#include "analysis/certificate.h"
 #include "common/result.h"
 
 namespace aggview {
@@ -27,11 +28,13 @@ struct RelShape {
 ///  (IG1) no aggregate argument comes from `rel`;
 ///  (IG2) every predicate in `preds` connecting `rel` to the retained side
 ///        references only grouping columns on the retained side;
-///  (IG3) unless all aggregates are duplicate-insensitive (MIN/MAX), at most
-///        one `rel` tuple matches each group: the columns of `rel` fixed by
-///        equi-joins with retained grouping columns, equality-with-literal
-///        selections, or membership in the grouping columns must cover one
-///        of `rel`'s keys.
+///  (IG3) at most one `rel` tuple matches each group: the columns of `rel`
+///        fixed by equi-joins with retained grouping columns,
+///        equality-with-literal selections, or membership in the grouping
+///        columns must cover one of `rel`'s keys. This applies even to
+///        duplicate-insensitive aggregates (MIN/MAX) — fan-out preserves
+///        their values but multiplies the group-by's output rows, which
+///        downstream bag semantics observe.
 bool CanMoveGroupByPastShape(const RelShape& rel,
                              const std::set<ColId>& retained_cols,
                              const std::vector<Predicate>& preds,
@@ -65,9 +68,14 @@ InvariantAnalysis AnalyzeInvariantGrouping(const Query& query,
 /// moved relations leave the view's group-by, and HAVING conjuncts that
 /// reference moved columns become top-level predicates.
 ///
-/// `moved` (optional) receives the ids of the relations that moved.
+/// `moved` (optional) receives the ids of the relations that moved. `cert`
+/// (optional) receives the invariant-grouping legality certificate — which
+/// relations were claimed removable under which block state — for
+/// independent re-verification by VerifyInvariantCertificate
+/// (analysis/analyzer.h).
 Result<Query> ShrinkViewToInvariantSet(const Query& query, size_t view_idx,
-                                       std::set<int>* moved);
+                                       std::set<int>* moved,
+                                       InvariantCertificate* cert = nullptr);
 
 }  // namespace aggview
 

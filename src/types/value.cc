@@ -1,15 +1,25 @@
 #include "types/value.h"
 
-#include <cassert>
+#include <cmath>
 #include <cstdio>
 #include <functional>
+#include <limits>
 
 namespace aggview {
 
 double Value::AsNumeric() const {
   if (is_int()) return static_cast<double>(AsInt());
-  assert(is_double() && "AsNumeric on a string or null value");
-  return AsDouble();
+  if (is_double()) return AsDouble();
+  // No numeric view of a string or NULL: poison instead of crashing.
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+Result<double> Value::CheckedNumeric() const {
+  if (is_int()) return static_cast<double>(AsInt());
+  if (is_double()) return AsDouble();
+  return Status::InvalidArgument("no numeric view of " +
+                                 std::string(is_null() ? "NULL" : "string") +
+                                 " value " + ToString());
 }
 
 int Value::Compare(const Value& other) const {
@@ -19,9 +29,14 @@ int Value::Compare(const Value& other) const {
     return is_null() ? -1 : 1;
   }
   if (is_string() || other.is_string()) {
-    assert(is_string() && other.is_string() &&
-           "comparing string with numeric value");
-    return AsString().compare(other.AsString());
+    if (is_string() && other.is_string()) {
+      int c = AsString().compare(other.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    // Mixed string/numeric comparison is a caller bug the binder should have
+    // rejected; keep a deterministic total order (numerics < strings) rather
+    // than crashing mid-execution.
+    return is_string() ? 1 : -1;
   }
   if (is_int() && other.is_int()) {
     int64_t a = AsInt(), b = other.AsInt();
@@ -29,6 +44,15 @@ int Value::Compare(const Value& other) const {
   }
   double a = AsNumeric(), b = other.AsNumeric();
   return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+Result<int> Value::CheckedCompare(const Value& other) const {
+  if (!is_null() && !other.is_null() && (is_string() != other.is_string())) {
+    return Status::InvalidArgument("cannot compare " + ToString() + " with " +
+                                   other.ToString() +
+                                   ": string vs numeric value");
+  }
+  return Compare(other);
 }
 
 std::string Value::ToString() const {

@@ -6,6 +6,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/result.h"
 #include "types/data_type.h"
 
 namespace aggview {
@@ -59,13 +60,25 @@ class Value {
   double AsDouble() const { return std::get<double>(rep_); }
   const std::string& AsString() const { return std::get<std::string>(rep_); }
 
-  /// Numeric view: INT64 and DOUBLE both convert; strings abort.
+  /// Numeric view: INT64 and DOUBLE both convert. A string or NULL value has
+  /// no numeric view and yields quiet NaN — a visible poison value rather
+  /// than a crash; callers that can report errors should use
+  /// CheckedNumeric() instead.
   double AsNumeric() const;
+
+  /// Numeric view with an explicit error when the value is not numeric.
+  Result<double> CheckedNumeric() const;
 
   /// Three-way comparison: <0, 0, >0. Numeric types compare by value with
   /// promotion; strings compare lexicographically. Comparing a string with a
-  /// numeric type is a caller bug (checked by the binder) and aborts.
+  /// numeric value is a caller bug (the binder rejects such predicates), but
+  /// instead of crashing the order falls back to by-type ranking
+  /// (numerics < strings) so sorting/grouping stays a total order; callers
+  /// that can report errors should use CheckedCompare() instead.
   int Compare(const Value& other) const;
+
+  /// Compare with an explicit error on a string-vs-numeric mismatch.
+  Result<int> CheckedCompare(const Value& other) const;
 
   bool operator==(const Value& other) const { return Compare(other) == 0; }
   bool operator!=(const Value& other) const { return Compare(other) != 0; }

@@ -1,0 +1,440 @@
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "analysis/fd.h"
+#include "transform/coalescing.h"
+#include "transform/pullup.h"
+#include "transform/pushdown.h"
+#include "test_util.h"
+
+namespace aggview {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FD / key derivation.
+
+TEST(FdSetTest, ClosureIsTransitive) {
+  FdSet fds;
+  fds.AddFd({1}, {2});
+  fds.AddFd({2}, {3});
+  EXPECT_TRUE(fds.Determines({1}, {3}));
+  EXPECT_FALSE(fds.Determines({3}, {1}));
+}
+
+TEST(FdSetTest, ConstantsAreInEveryClosure) {
+  FdSet fds;
+  fds.AddConstant(7);
+  fds.AddFd({7}, {8});
+  std::set<ColId> closure = fds.Closure({});
+  EXPECT_EQ(closure.count(7), 1u);
+  EXPECT_EQ(closure.count(8), 1u);
+}
+
+TEST(FdSetTest, EquivalencesGoBothWays) {
+  FdSet fds;
+  fds.AddEquivalence(1, 2);
+  EXPECT_TRUE(fds.Determines({1}, {2}));
+  EXPECT_TRUE(fds.Determines({2}, {1}));
+}
+
+TEST(FdSetTest, PredicatesYieldConstantsAndEquivalences) {
+  FdSet fds;
+  fds.AddPredicates({EqCols(1, 2), Cmp(Col(3), CompareOp::kEq, LitInt(5)),
+                     Cmp(Col(4), CompareOp::kLt, LitInt(5))});
+  EXPECT_TRUE(fds.Determines({1}, {2}));
+  EXPECT_TRUE(fds.Determines({}, {3}));
+  // Inequalities contribute nothing.
+  EXPECT_FALSE(fds.Determines({}, {4}));
+}
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  AnalysisTest()
+      : fixture_(MakeEmpDept(Options())), q_(fixture_.catalog.get()) {
+    e_ = q_.AddRangeVar(fixture_.tables.emp, "e");
+    d_ = q_.AddRangeVar(fixture_.tables.dept, "d");
+    q_.base_rels() = {e_, d_};
+    eno_ = q_.range_var(e_).columns[0];
+    e_dno_ = q_.range_var(e_).columns[1];
+    sal_ = q_.range_var(e_).columns[2];
+    age_ = q_.range_var(e_).columns[3];
+    d_dno_ = q_.range_var(d_).columns[0];
+    budget_ = q_.range_var(d_).columns[1];
+    q_.select_list() = {eno_};
+  }
+
+  static EmpDeptOptions Options() {
+    EmpDeptOptions o;
+    o.num_employees = 300;
+    o.num_departments = 10;
+    return o;
+  }
+
+  EmpDeptFixture fixture_;
+  Query q_;
+  int e_, d_;
+  ColId eno_, e_dno_, sal_, age_, d_dno_, budget_;
+};
+
+TEST_F(AnalysisTest, ScanKeyComesFromCatalog) {
+  PlanBuilder b(q_);
+  PlanPtr scan = b.Scan(e_, {}, {eno_, e_dno_, sal_});
+  auto props = DerivePlanProperties(scan, q_);
+  ASSERT_OK(props);
+  EXPECT_TRUE(props->IsKey({eno_}));
+  EXPECT_FALSE(props->IsKey({e_dno_}));
+}
+
+TEST_F(AnalysisTest, JoinOnForeignKeyPropagatesKeys) {
+  PlanBuilder b(q_);
+  std::set<ColId> needed = {eno_, e_dno_, d_dno_, budget_};
+  PlanPtr join = b.BestJoin(b.Scan(e_, {}, needed), b.Scan(d_, {}, needed),
+                            {EqCols(e_dno_, d_dno_)}, needed);
+  auto props = DerivePlanProperties(join, q_);
+  ASSERT_OK(props);
+  // emp's key determines everything: eno -> e.dno = d.dno -> budget.
+  EXPECT_TRUE(props->IsKey({eno_}));
+  EXPECT_FALSE(props->IsKey({d_dno_}));
+}
+
+TEST_F(AnalysisTest, GroupByMakesGroupingAKey) {
+  PlanBuilder b(q_);
+  PlanPtr scan = b.Scan(e_, {}, {e_dno_, sal_});
+  GroupBySpec gb;
+  gb.grouping = {e_dno_};
+  ColId out = q_.columns().Add("sum(sal)", DataType::kDouble);
+  gb.aggregates = {{AggKind::kSum, {sal_}, out}};
+  PlanPtr grouped = b.GroupBy(scan, gb, {e_dno_, out});
+  auto props = DerivePlanProperties(grouped, q_);
+  ASSERT_OK(props);
+  EXPECT_TRUE(props->IsKey({e_dno_}));
+}
+
+// ---------------------------------------------------------------------------
+// Semantic plan checks (AnalyzePlan).
+
+TEST_F(AnalysisTest, AcceptsOptimizerOutput) {
+  auto query = ParseAndBind(*fixture_.catalog, Example1Sql());
+  ASSERT_OK(query);
+  auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
+  ASSERT_OK(optimized);
+  EXPECT_OK(AnalyzePlan(optimized->plan, optimized->query));
+}
+
+TEST_F(AnalysisTest, RejectsAggregateOutputAliasingGroupingColumn) {
+  PlanBuilder b(q_);
+  PlanPtr scan = b.Scan(e_, {}, {e_dno_, sal_});
+  GroupBySpec gb;
+  gb.grouping = {e_dno_};
+  gb.aggregates = {{AggKind::kSum, {sal_}, e_dno_}};  // output = grouping col
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNode::Kind::kGroupBy;
+  node->left = scan;
+  node->group_by = gb;
+  node->output = RowLayout({e_dno_});
+  AnalysisOptions opts;
+  opts.structural = false;
+  Status st = AnalyzePlan(node, q_, opts);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("also a grouping column"), std::string::npos)
+      << st.message();
+  // Diagnostics name the offending node.
+  EXPECT_NE(st.message().find("in node:"), std::string::npos) << st.message();
+}
+
+TEST_F(AnalysisTest, RejectsWrongAggregateArity) {
+  PlanBuilder b(q_);
+  PlanPtr scan = b.Scan(e_, {}, {e_dno_, sal_});
+  GroupBySpec gb;
+  gb.grouping = {e_dno_};
+  ColId out = q_.columns().Add("broken", DataType::kDouble);
+  gb.aggregates = {{AggKind::kAvgFinal, {sal_}, out}};  // needs 2 args
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNode::Kind::kGroupBy;
+  node->left = scan;
+  node->group_by = gb;
+  node->output = RowLayout({e_dno_, out});
+  AnalysisOptions opts;
+  opts.structural = false;
+  Status st = AnalyzePlan(node, q_, opts);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("argument"), std::string::npos) << st.message();
+}
+
+TEST_F(AnalysisTest, RejectsPredicateComparingStringWithNumber) {
+  ColId label = q_.columns().Add("label", DataType::kString);
+  PlanBuilder b(q_);
+  PlanPtr scan = b.Scan(e_, {}, {eno_});
+  auto node = std::make_shared<PlanNode>(*scan);
+  node->scan_filter = {Cmp(Col(label), CompareOp::kEq, LitInt(3))};
+  AnalysisOptions opts;
+  opts.structural = false;
+  Status st = AnalyzePlan(node, q_, opts);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("compares"), std::string::npos) << st.message();
+}
+
+// ---------------------------------------------------------------------------
+// Pull-up certificates (Section 3, Definition 1).
+
+TEST_F(AnalysisTest, PullUpCertificateVerifies) {
+  auto query = ParseAndBind(*fixture_.catalog, Example1Sql());
+  ASSERT_OK(query);
+  PullUpCertificate cert;
+  auto pulled =
+      PullUpIntoView(*query, 0, {query->base_rels()[0]}, &cert);
+  ASSERT_OK(pulled);
+  EXPECT_OK(VerifyPullUpCertificate(*pulled, cert));
+  ASSERT_EQ(cert.rels.size(), 1u);
+  // Example 1 adds e1's primary key to the deferred grouping.
+  EXPECT_FALSE(cert.rels[0].key_added.empty());
+}
+
+TEST_F(AnalysisTest, RejectsPullUpWithoutKeyInGrouping) {
+  auto query = ParseAndBind(*fixture_.catalog, Example1Sql());
+  ASSERT_OK(query);
+  PullUpCertificate cert;
+  auto pulled =
+      PullUpIntoView(*query, 0, {query->base_rels()[0]}, &cert);
+  ASSERT_OK(pulled);
+  // Tamper: pretend the transformation never added e1's key. The grouping no
+  // longer determines a key of the pulled relation, so the claim must fail.
+  ASSERT_EQ(cert.rels.size(), 1u);
+  std::set<ColId> dropped(cert.rels[0].key_added.begin(),
+                          cert.rels[0].key_added.end());
+  std::vector<ColId> shrunk;
+  for (ColId c : cert.grouping_after) {
+    if (dropped.count(c) == 0) shrunk.push_back(c);
+  }
+  cert.grouping_after = std::move(shrunk);
+  cert.rels[0].key_added.clear();
+  Status st = VerifyPullUpCertificate(*pulled, cert);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("Definition 1"), std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("e1"), std::string::npos) << st.message();
+}
+
+TEST_F(AnalysisTest, RejectsPullUpCertificateMissingAClaim) {
+  auto query = ParseAndBind(*fixture_.catalog, Example1Sql());
+  ASSERT_OK(query);
+  PullUpCertificate cert;
+  auto pulled =
+      PullUpIntoView(*query, 0, {query->base_rels()[0]}, &cert);
+  ASSERT_OK(pulled);
+  cert.rels.clear();
+  Status st = VerifyPullUpCertificate(*pulled, cert);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("missing a claim"), std::string::npos)
+      << st.message();
+}
+
+// ---------------------------------------------------------------------------
+// Invariant-grouping certificates (Section 4.1, IG1-IG3).
+
+class InvariantCertTest : public AnalysisTest {
+ protected:
+  /// Example 2's block: emp join dept on dno, group by e.dno, avg(e.sal).
+  InvariantCertificate BaseCert() {
+    InvariantCertificate cert;
+    cert.group_by.grouping = {e_dno_};
+    out_ = q_.columns().Add("avg(sal)", DataType::kDouble);
+    cert.group_by.aggregates = {{AggKind::kAvg, {sal_}, out_}};
+    cert.predicates = {EqCols(e_dno_, d_dno_),
+                       Cmp(Col(budget_), CompareOp::kLt, LitInt(1'000'000))};
+    BlockRelClaim emp;
+    emp.name = "e";
+    emp.scan_rel = e_;
+    BlockRelClaim dept;
+    dept.name = "d";
+    dept.scan_rel = d_;
+    cert.removed = {dept};
+    cert.retained = {emp};
+    return cert;
+  }
+  ColId out_ = kInvalidColId;
+};
+
+TEST_F(InvariantCertTest, LegalRemovalVerifies) {
+  // dept's key dno is pinned per group: grouping fixes e.dno, the join
+  // equivalence carries it to d.dno.
+  EXPECT_OK(VerifyInvariantCertificate(q_, BaseCert()));
+}
+
+TEST_F(InvariantCertTest, RejectsRemovalOfAggregateSourceRelation) {
+  InvariantCertificate cert = BaseCert();
+  std::swap(cert.removed, cert.retained);  // claim emp was moved out
+  Status st = VerifyInvariantCertificate(q_, cert);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("IG1"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("'e'"), std::string::npos) << st.message();
+}
+
+TEST_F(InvariantCertTest, RejectsCrossingPredicateOnNonGroupingColumn) {
+  InvariantCertificate cert = BaseCert();
+  // budget < sal crosses from dept to a retained non-grouping column.
+  cert.predicates.push_back(
+      Cmp(Col(budget_), CompareOp::kLt, Col(sal_)));
+  Status st = VerifyInvariantCertificate(q_, cert);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("IG2"), std::string::npos) << st.message();
+}
+
+TEST_F(InvariantCertTest, RejectsRemovalWithUnpinnedKey) {
+  InvariantCertificate cert = BaseCert();
+  // Without the join equivalence nothing pins dept's key, and AVG is
+  // duplicate-sensitive: a fan-out would change the result.
+  cert.predicates = {Cmp(Col(budget_), CompareOp::kLt, LitInt(1'000'000))};
+  Status st = VerifyInvariantCertificate(q_, cert);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("IG3"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("'d'"), std::string::npos) << st.message();
+}
+
+TEST_F(InvariantCertTest, DuplicateInsensitiveAggregatesStillNeedKey) {
+  InvariantCertificate cert = BaseCert();
+  cert.group_by.aggregates = {{AggKind::kMin, {sal_}, out_}};
+  // MIN's *value* tolerates fan-out, but the group-by's output multiplicity
+  // does not: without a pinned key of dept the shrunk view emits one row per
+  // (group, dept match), observable under bag semantics. IG3 therefore has
+  // no duplicate-insensitivity waiver — the crossing predicate below keeps
+  // IG2 happy but leaves dept's key unpinned, so the certificate must fail.
+  cert.predicates = {Cmp(Col(budget_), CompareOp::kLt, Col(e_dno_))};
+  Status st = VerifyInvariantCertificate(q_, cert);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("IG3"), std::string::npos) << st.message();
+  // With the join equivalence restored, dno = dno pins dept's key and the
+  // same MIN certificate verifies.
+  cert.predicates.push_back(EqCols(e_dno_, d_dno_));
+  EXPECT_OK(VerifyInvariantCertificate(q_, cert));
+}
+
+TEST_F(InvariantCertTest, ShrinkEmitsVerifiableCertificate) {
+  std::string sql = R"sql(
+create view a (dno, asal) as
+  select e.dno, avg(e.sal) from emp e, dept d
+  where e.dno = d.dno and d.budget < 1000000
+  group by e.dno;
+select a.dno, a.asal from a where a.asal > 50000
+)sql";
+  auto query = ParseAndBind(*fixture_.catalog, sql);
+  ASSERT_OK(query);
+  InvariantCertificate cert;
+  std::set<int> moved;
+  auto shrunk = ShrinkViewToInvariantSet(*query, 0, &moved, &cert);
+  ASSERT_OK(shrunk);
+  EXPECT_EQ(moved.size(), 1u);  // dept moves out
+  EXPECT_EQ(cert.removed.size(), 1u);
+  EXPECT_OK(VerifyInvariantCertificate(*query, cert));
+}
+
+// ---------------------------------------------------------------------------
+// Coalescing certificates (Section 4.2).
+
+class CoalescingCertTest : public AnalysisTest {
+ protected:
+  GroupBySpec Spec() {
+    GroupBySpec gb;
+    gb.grouping = {e_dno_};
+    out_ = q_.columns().Add("avg(sal)", DataType::kDouble);
+    gb.aggregates = {{AggKind::kAvg, {sal_}, out_}};
+    return gb;
+  }
+  ColId out_ = kInvalidColId;
+};
+
+TEST_F(CoalescingCertTest, LegalSplitVerifies) {
+  CoalescingCertificate cert;
+  auto split = SplitForCoalescing(Spec(), {e_dno_, sal_, age_}, {age_},
+                                  &q_.columns(), &cert);
+  ASSERT_OK(split);
+  EXPECT_OK(VerifyCoalescingCertificate(q_, cert));
+}
+
+TEST_F(CoalescingCertTest, RejectsNonCanonicalCombine) {
+  CoalescingCertificate cert;
+  auto split = SplitForCoalescing(Spec(), {e_dno_, sal_}, {},
+                                  &q_.columns(), &cert);
+  ASSERT_OK(split);
+  // Tamper: combine the partial AVG pieces with MAX instead of the ratio.
+  cert.final_aggregates[0].kind = AggKind::kMax;
+  Status st = VerifyCoalescingCertificate(q_, cert);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("canonical combine form"), std::string::npos)
+      << st.message();
+}
+
+TEST_F(CoalescingCertTest, RejectsNonDecomposableAggregate) {
+  CoalescingCertificate cert;
+  auto split = SplitForCoalescing(Spec(), {e_dno_, sal_}, {},
+                                  &q_.columns(), &cert);
+  ASSERT_OK(split);
+  // Tamper: pretend the original aggregate was MEDIAN.
+  cert.original.aggregates[0].kind = AggKind::kMedian;
+  Status st = VerifyCoalescingCertificate(q_, cert);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("non-decomposable"), std::string::npos)
+      << st.message();
+}
+
+TEST_F(CoalescingCertTest, RejectsDroppedGroupingColumn) {
+  CoalescingCertificate cert;
+  auto split = SplitForCoalescing(Spec(), {e_dno_, sal_}, {},
+                                  &q_.columns(), &cert);
+  ASSERT_OK(split);
+  cert.partial.grouping.clear();  // pre-aggregation coarser than the final
+  Status st = VerifyCoalescingCertificate(q_, cert);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("dropped grouping column"), std::string::npos)
+      << st.message();
+}
+
+TEST_F(CoalescingCertTest, RejectsSplittingMedianOutright) {
+  GroupBySpec gb;
+  gb.grouping = {e_dno_};
+  ColId out = q_.columns().Add("median(sal)", DataType::kDouble);
+  gb.aggregates = {{AggKind::kMedian, {sal_}, out}};
+  auto split = SplitForCoalescing(gb, {e_dno_, sal_}, {}, &q_.columns());
+  EXPECT_FALSE(split.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Paranoid optimization end to end.
+
+TEST_F(AnalysisTest, ParanoidOptimizationChecksEveryDpInsertion) {
+  auto query = ParseAndBind(*fixture_.catalog, Example1Sql());
+  ASSERT_OK(query);
+  OptimizerOptions options;
+  options.paranoid = true;
+  auto optimized = OptimizeQueryWithAggViews(*query, options);
+  ASSERT_OK(optimized);
+  EXPECT_GT(optimized->counters.plans_checked, 0);
+  EXPECT_GT(optimized->counters.certificates_verified, 0);
+  EXPECT_OK(VerifyAudit(optimized->query, optimized->audit));
+
+  // Same winning plan as the unchecked run: paranoia observes, never steers.
+  auto plain = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
+  ASSERT_OK(plain);
+  EXPECT_EQ(optimized->plan->cost, plain->plan->cost);
+  EXPECT_EQ(optimized->description, plain->description);
+}
+
+TEST_F(AnalysisTest, ParanoidAuditRecordsPullUp) {
+  auto query = ParseAndBind(*fixture_.catalog, Example1Sql());
+  ASSERT_OK(query);
+  OptimizerOptions options;
+  options.paranoid = true;
+  auto optimized = OptimizeQueryWithAggViews(*query, options);
+  ASSERT_OK(optimized);
+  // On the small default data, Example 1's winner is the pulled-up plan and
+  // its audit carries the pull-up certificate. If data sizes ever shift the
+  // winner, the audit is still internally consistent (checked above); here
+  // we pin the expected transformation for the canonical example.
+  if (optimized->description.find("W(") != std::string::npos &&
+      optimized->description.find("{e1}") != std::string::npos) {
+    EXPECT_FALSE(optimized->audit.pullups.empty());
+  }
+}
+
+}  // namespace
+}  // namespace aggview

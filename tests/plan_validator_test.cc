@@ -118,6 +118,67 @@ TEST_F(PlanValidatorTest, RejectsNegativeEstimates) {
   EXPECT_FALSE(ValidatePlan(broken, q_).ok());
 }
 
+TEST_F(PlanValidatorTest, DanglingColumnErrorNamesColumnAndNode) {
+  PlanBuilder b(q_);
+  PlanPtr left = b.Scan(e_, {}, {eno_});
+  PlanPtr right = b.Scan(d_, {}, {d_dno_});
+  auto broken = std::make_shared<PlanNode>();
+  broken->kind = PlanNode::Kind::kJoin;
+  broken->algo = JoinAlgo::kBlockNestedLoop;
+  broken->left = left;
+  broken->right = right;
+  // sal was projected away by the left scan: the reference dangles.
+  broken->join_preds = {Cmp(Col(sal_), CompareOp::kGt, LitInt(0))};
+  broken->output = RowLayout({eno_, d_dno_});
+  Status st = ValidatePlan(broken, q_);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("join predicate references unavailable column"),
+            std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("e.sal"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("in node:"), std::string::npos) << st.message();
+}
+
+TEST_F(PlanValidatorTest, HashJoinWithoutEquiConjunctNamesJoinNode) {
+  PlanBuilder b(q_);
+  std::set<ColId> needed = {eno_, sal_, d_dno_};
+  PlanPtr left = b.Scan(e_, {}, needed);
+  PlanPtr right = b.Scan(d_, {}, needed);
+  auto broken = std::make_shared<PlanNode>();
+  broken->kind = PlanNode::Kind::kJoin;
+  broken->algo = JoinAlgo::kHash;
+  broken->left = left;
+  broken->right = right;
+  // A range predicate only: nothing a hash table could be keyed on.
+  broken->join_preds = {Cmp(Col(sal_), CompareOp::kGt, Col(d_dno_))};
+  broken->output = RowLayout({eno_});
+  Status st = ValidatePlan(broken, q_);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("hash/merge join without equi-join conjunct"),
+            std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("Join(hash)"), std::string::npos)
+      << st.message();
+}
+
+TEST_F(PlanValidatorTest, NonMonotoneChildCostNamesNode) {
+  PlanBuilder b(q_);
+  std::set<ColId> needed = {eno_, e_dno_, d_dno_};
+  PlanPtr plan = b.Join(JoinAlgo::kHash, b.Scan(e_, {}, needed),
+                        b.Scan(d_, {}, needed), {EqCols(e_dno_, d_dno_)},
+                        needed);
+  ASSERT_OK(ValidatePlan(plan, q_));
+  // Corrupt: the join claims to cost less than its own inputs, which an
+  // IO-based cost model can never produce.
+  auto broken = std::make_shared<PlanNode>(*plan);
+  broken->cost = plan->left->cost - 1.0;
+  Status st = ValidatePlan(broken, q_);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("cost decreased at join"), std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("in node:"), std::string::npos) << st.message();
+}
+
 TEST_F(PlanValidatorTest, RejectsGroupByThatGrowsRows) {
   PlanBuilder b(q_);
   PlanPtr scan = b.Scan(e_, {}, {e_dno_, sal_});

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "types/data_type.h"
 #include "types/schema.h"
 #include "types/value.h"
@@ -60,6 +62,43 @@ TEST(ValueTest, HashConsistentWithEquality) {
   // 3 (int) == 3.0 (double), so their hashes must match.
   EXPECT_EQ(Value::Int(3).Hash(), Value::Real(3.0).Hash());
   EXPECT_EQ(Value::Str("q").Hash(), Value::Str("q").Hash());
+}
+
+TEST(ValueTest, AsNumericPoisonsInsteadOfCrashing) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsNumeric(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Real(3.5).AsNumeric(), 3.5);
+  EXPECT_TRUE(std::isnan(Value::Str("x").AsNumeric()));
+  EXPECT_TRUE(std::isnan(Value::Null().AsNumeric()));
+}
+
+TEST(ValueTest, CheckedNumericReportsNonNumeric) {
+  auto ok = Value::Int(7).CheckedNumeric();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ(*ok, 7.0);
+  auto bad = Value::Str("x").CheckedNumeric();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("no numeric view"), std::string::npos);
+  EXPECT_FALSE(Value::Null().CheckedNumeric().ok());
+}
+
+TEST(ValueTest, MixedTypeCompareIsDeterministicTotalOrder) {
+  // String vs numeric is a caller bug, but the fallback order must stay
+  // total and antisymmetric so sorting/grouping cannot corrupt memory.
+  EXPECT_GT(Value::Str("x").Compare(Value::Int(3)), 0);
+  EXPECT_LT(Value::Int(3).Compare(Value::Str("x")), 0);
+  EXPECT_LT(Value::Real(1e18).Compare(Value::Str("")), 0);
+}
+
+TEST(ValueTest, CheckedCompareReportsMixedTypes) {
+  auto ok = Value::Int(2).CheckedCompare(Value::Real(3.0));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_LT(*ok, 0);
+  auto bad = Value::Str("x").CheckedCompare(Value::Int(1));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("string vs numeric"),
+            std::string::npos);
+  // NULL keeps its total-order position without an error.
+  EXPECT_TRUE(Value::Null().CheckedCompare(Value::Str("x")).ok());
 }
 
 TEST(ValueTest, ToString) {
