@@ -16,10 +16,13 @@ std::string Short(const std::string& name) {
   return name.substr(0, name.find(' '));
 }
 
-void Run() {
-  Banner("E8", "TPC-D style aggregate-view queries (Section 1 motivation)");
+void Run(bool json) {
+  if (!json) {
+    Banner("E8", "TPC-D style aggregate-view queries (Section 1 motivation)");
+  }
 
-  TablePrinter table({"SF", "query", "trad_est", "ext_est", "trad_io",
+  ResultWriter table(json, "E8",
+                     {"SF", "query", "trad_est", "ext_est", "trad_io",
                       "ext_io", "io_ratio"}, 12);
 
   for (double sf : {0.002, 0.005, 0.01}) {
@@ -38,17 +41,19 @@ void Run() {
                  ratio});
     }
   }
-  std::printf(
-      "\nExpected shape: ext never worse; the largest wins on the queries\n"
-      "whose flattened form profits from pull-up or early aggregation, and\n"
-      "the ratios persist across scale factors.\n");
+  if (!json) {
+    std::printf(
+        "\nExpected shape: ext never worse; the largest wins on the queries\n"
+        "whose flattened form profits from pull-up or early aggregation, and\n"
+        "the ratios persist across scale factors.\n");
+  }
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace aggview
 
-int main() {
-  aggview::bench::Run();
+int main(int argc, char** argv) {
+  aggview::bench::Run(aggview::bench::JsonMode(argc, argv));
   return 0;
 }

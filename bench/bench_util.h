@@ -2,6 +2,7 @@
 #define AGGVIEW_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -44,6 +45,98 @@ inline std::string Fmt(double v) {
   return buf;
 }
 inline std::string Fmt(int64_t v) { return std::to_string(v); }
+
+/// True when the experiment was invoked with --json: emit one machine-
+/// readable JSON document instead of the banner + fixed-width table, so
+/// plotting and regression scripts can consume the numbers directly.
+inline bool JsonMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return true;
+  }
+  return false;
+}
+
+/// Streams experiment rows as a JSON document:
+///   {"experiment": "E13", "rows": [{"col": value, ...}, ...]}
+/// Cells that parse completely as numbers are emitted unquoted; everything
+/// else is emitted as an escaped string. The document closes when the
+/// writer is destroyed.
+class JsonWriter {
+ public:
+  JsonWriter(std::string experiment, std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    std::printf("{\"experiment\": \"%s\", \"rows\": [", experiment.c_str());
+  }
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  ~JsonWriter() { std::printf("]}\n"); }
+
+  void Row(const std::vector<std::string>& cells) {
+    std::printf("%s\n  {", first_ ? "" : ",");
+    first_ = false;
+    for (size_t i = 0; i < headers_.size() && i < cells.size(); ++i) {
+      std::printf("%s\"%s\": %s", i == 0 ? "" : ", ",
+                  Escape(headers_[i]).c_str(), Literal(cells[i]).c_str());
+    }
+    std::printf("}");
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  static std::string Literal(const std::string& cell) {
+    char* end = nullptr;
+    std::strtod(cell.c_str(), &end);
+    bool numeric = !cell.empty() && end != nullptr && *end == '\0';
+    return numeric ? cell : "\"" + Escape(cell) + "\"";
+  }
+
+  std::vector<std::string> headers_;
+  bool first_ = true;
+};
+
+/// Routes rows to a TablePrinter (human mode) or a JsonWriter (--json).
+/// Experiments construct one of these, emit rows, and stay agnostic of the
+/// output format.
+class ResultWriter {
+ public:
+  ResultWriter(bool json, const std::string& experiment,
+               std::vector<std::string> headers, int width = 14) {
+    if (json) {
+      json_ = std::make_unique<JsonWriter>(experiment, std::move(headers));
+    } else {
+      table_ = std::make_unique<TablePrinter>(std::move(headers), width);
+    }
+  }
+
+  void Row(const std::vector<std::string>& cells) {
+    if (json_ != nullptr) {
+      json_->Row(cells);
+    } else {
+      table_->Row(cells);
+    }
+  }
+
+ private:
+  std::unique_ptr<JsonWriter> json_;
+  std::unique_ptr<TablePrinter> table_;
+};
 
 /// Banner naming the experiment and its paper artifact.
 inline void Banner(const char* id, const char* what) {

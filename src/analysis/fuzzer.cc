@@ -312,6 +312,26 @@ Result<FuzzReport> RunDifferentialFuzz(const FuzzOptions& options) {
       ++report.plans_compared;
       if (i == 0) {
         reference = result->Fingerprint();
+        // The batch engine must be invisible to query semantics: the same
+        // plan re-executed at degenerate and default batch sizes has to
+        // produce a byte-identical fingerprint (size 1 is the row-at-a-time
+        // engine's behaviour; size 2 exercises every mid-batch boundary).
+        for (int batch_size : options.cross_batch_sizes) {
+          ExecOptions exec;
+          exec.batch_size = batch_size;
+          auto rerun = ExecutePlan(optimized->plan, optimized->query, nullptr,
+                                   nullptr, exec);
+          if (!rerun.ok()) {
+            return fail("execute at batch_size=" + std::to_string(batch_size),
+                        rerun.status());
+          }
+          if (rerun->Fingerprint() != reference) {
+            return fail("batch_size=" + std::to_string(batch_size) +
+                            " diverges from the reference execution",
+                        Status::Internal("fingerprints differ"));
+          }
+          ++report.batch_size_checks;
+        }
       } else if (result->Fingerprint() != reference) {
         return fail("results diverge from traditional plan",
                     Status::Internal("fingerprints differ"));

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "common/result.h"
@@ -37,6 +38,11 @@ struct FuzzOptions {
   /// Optimize in paranoid mode: the semantic analyzer runs at every DP-table
   /// insertion and every transformation certificate is re-verified.
   bool paranoid = true;
+  /// The reference (traditional) plan is re-executed at each of these batch
+  /// sizes and every fingerprint must be byte-identical to the default-size
+  /// run's — the batch engine must be invisible to query semantics. Size 1
+  /// is the row-at-a-time engine's behaviour. Empty disables the check.
+  std::vector<int> cross_batch_sizes = {1, 2, 1024};
 };
 
 /// What a fuzz run did, for test assertions and reporting.
@@ -44,6 +50,9 @@ struct FuzzReport {
   int queries_run = 0;
   int queries_with_views = 0;
   int plans_compared = 0;
+  /// Reference-plan re-executions at a non-default batch size whose
+  /// fingerprint matched the reference fingerprint.
+  int batch_size_checks = 0;
   int64_t plans_checked = 0;        // analyzer invocations from dp_check
   int64_t certificates_verified = 0;
 };

@@ -25,16 +25,19 @@ std::string FingerprintValue(const Value& v) {
 std::string QueryResult::Fingerprint() const {
   std::vector<std::string> lines;
   lines.reserve(rows.size());
+  size_t total = 0;
   for (const Row& row : rows) {
     std::string line;
     for (size_t i = 0; i < row.size(); ++i) {
       if (i > 0) line += "|";
       line += FingerprintValue(row[i]);
     }
+    total += line.size() + 1;  // +1 for the trailing newline
     lines.push_back(std::move(line));
   }
   std::sort(lines.begin(), lines.end());
   std::string out;
+  out.reserve(total);
   for (const std::string& l : lines) {
     out += l;
     out += "\n";
@@ -60,18 +63,23 @@ std::string QueryResult::ToString(const ColumnCatalog& columns) const {
 }
 
 Result<QueryResult> ExecutePlan(const PlanPtr& plan, const Query& query,
-                                IoAccountant* io,
-                                RuntimeStatsCollector* stats) {
-  AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr op, LowerPlan(plan, query, io, stats));
+                                IoAccountant* io, RuntimeStatsCollector* stats,
+                                ExecOptions options) {
+  AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr op,
+                           LowerPlan(plan, query, io, stats, options));
   AGGVIEW_RETURN_NOT_OK(op->Open());
   QueryResult result;
   result.layout = op->layout();
-  Row row;
+  RowBatch batch(options.batch_size);
   while (true) {
-    auto more = op->Next(&row);
+    auto more = op->Next(&batch);
     if (!more.ok()) return more.status();
     if (!*more) break;
-    result.rows.push_back(row);
+    for (int i = 0; i < batch.size(); ++i) {
+      // Copy, not move: the batch slots keep their heap buffers, so the
+      // root operator refills them without a per-row allocation.
+      result.rows.push_back(batch.row(i));
+    }
   }
   op->Close();
   return result;

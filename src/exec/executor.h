@@ -22,12 +22,16 @@ struct QueryResult {
   std::string ToString(const ColumnCatalog& columns) const;
 };
 
-/// Lowers and runs `plan`, charging `io` (which may be null). When `stats`
-/// is non-null, every operator records OpStats into it (EXPLAIN ANALYZE);
-/// when null, execution is uninstrumented and pays no observability cost.
+/// Lowers and runs `plan` batch-at-a-time, charging `io` (which may be
+/// null). When `stats` is non-null, every operator records OpStats into it
+/// (EXPLAIN ANALYZE); when null, execution is uninstrumented and pays no
+/// observability cost. `options` sets the batch size the whole operator tree
+/// runs at; the result is identical for every batch size (the differential
+/// fuzz harness asserts this), only the throughput changes.
 Result<QueryResult> ExecutePlan(const PlanPtr& plan, const Query& query,
                                 IoAccountant* io,
-                                RuntimeStatsCollector* stats = nullptr);
+                                RuntimeStatsCollector* stats = nullptr,
+                                ExecOptions options = ExecOptions::Default());
 
 }  // namespace aggview
 

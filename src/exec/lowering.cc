@@ -8,6 +8,16 @@ namespace aggview {
 
 namespace {
 
+/// Everything lowering threads through the recursion: the query, the IO
+/// sink, the (optional) stats collector, and the execution options every
+/// operator is configured with.
+struct LowerCtx {
+  const Query& query;
+  IoAccountant* io;
+  RuntimeStatsCollector* stats;
+  ExecOptions exec;
+};
+
 /// Splits join predicates into equi-join key pairs (left col, right col) and
 /// residual conjuncts.
 void SplitJoinPredicates(const std::vector<Predicate>& preds,
@@ -30,35 +40,34 @@ void SplitJoinPredicates(const std::vector<Predicate>& preds,
   }
 }
 
-/// Registers `op` as (part of) the lowering of `plan` and installs its stats
-/// block. Operators are tagged bottom-up, so the last tag for a plan node is
-/// its topmost operator (whose output is the node's output).
+/// Registers `op` as (part of) the lowering of `plan`, installs its stats
+/// block, and configures its batch size. Operators are tagged bottom-up, so
+/// the last tag for a plan node is its topmost operator (whose output is the
+/// node's output).
 OperatorPtr Tag(OperatorPtr op, const PlanPtr& plan, const char* name,
-                RuntimeStatsCollector* stats) {
-  if (stats != nullptr) op->set_stats(stats->Register(plan.get(), name));
+                const LowerCtx& ctx) {
+  op->set_batch_size(ctx.exec.batch_size);
+  if (ctx.stats != nullptr) op->set_stats(ctx.stats->Register(plan.get(), name));
   return op;
 }
 
-Result<OperatorPtr> Lower(const PlanPtr& plan, const Query& query,
-                          IoAccountant* io, RuntimeStatsCollector* stats,
+Result<OperatorPtr> Lower(const PlanPtr& plan, const LowerCtx& ctx,
                           bool charge_scan);
 
-Result<OperatorPtr> LowerScan(const PlanPtr& plan, const Query& query,
-                              IoAccountant* io, RuntimeStatsCollector* stats,
+Result<OperatorPtr> LowerScan(const PlanPtr& plan, const LowerCtx& ctx,
                               bool charge_scan) {
-  const RangeVar& rv = query.range_var(plan->rel_id);
-  const TableDef& def = query.catalog().table(rv.table);
+  const RangeVar& rv = ctx.query.range_var(plan->rel_id);
+  const TableDef& def = ctx.query.catalog().table(rv.table);
   if (def.data == nullptr) {
     return Status::ExecutionError("table '" + def.name + "' has no data loaded");
   }
   OperatorPtr op = std::make_unique<TableScanOp>(
       def.data.get(), RowLayout(rv.columns), plan->scan_filter, plan->output,
-      io, charge_scan, rv.rowid);
-  return Tag(std::move(op), plan, "TableScan", stats);
+      ctx.io, charge_scan, rv.rowid);
+  return Tag(std::move(op), plan, "TableScan", ctx);
 }
 
-Result<OperatorPtr> LowerJoin(const PlanPtr& plan, const Query& query,
-                              IoAccountant* io, RuntimeStatsCollector* stats) {
+Result<OperatorPtr> LowerJoin(const PlanPtr& plan, const LowerCtx& ctx) {
   // Mirror the costing convention of PlanBuilder::Join: a BNL over a bare
   // base-table scan charges per-pass rescans of the full table instead of a
   // one-time scan plus materialization.
@@ -66,12 +75,11 @@ Result<OperatorPtr> LowerJoin(const PlanPtr& plan, const Query& query,
                             plan->right->scan_filter.empty() &&
                             plan->algo == JoinAlgo::kBlockNestedLoop;
 
-  AGGVIEW_ASSIGN_OR_RETURN(
-      OperatorPtr left,
-      Lower(plan->left, query, io, stats, /*charge_scan=*/true));
+  AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr left,
+                           Lower(plan->left, ctx, /*charge_scan=*/true));
   AGGVIEW_ASSIGN_OR_RETURN(
       OperatorPtr right,
-      Lower(plan->right, query, io, stats, /*charge_scan=*/!inner_is_bare_scan));
+      Lower(plan->right, ctx, /*charge_scan=*/!inner_is_bare_scan));
 
   OperatorPtr join;
   const char* op_name = nullptr;
@@ -84,8 +92,8 @@ Result<OperatorPtr> LowerJoin(const PlanPtr& plan, const Query& query,
       double pages_per_pass = 0.0;
       bool charge_materialize = true;
       if (inner_is_bare_scan) {
-        const RangeVar& rv = query.range_var(plan->right->rel_id);
-        const TableDef& def = query.catalog().table(rv.table);
+        const RangeVar& rv = ctx.query.range_var(plan->right->rel_id);
+        const TableDef& def = ctx.query.catalog().table(rv.table);
         pages_per_pass =
             def.data != nullptr
                 ? static_cast<double>(def.data->page_count())
@@ -95,7 +103,7 @@ Result<OperatorPtr> LowerJoin(const PlanPtr& plan, const Query& query,
       }
       join = std::make_unique<NestedLoopJoinOp>(
           std::move(left), std::move(right), plan->join_preds,
-          &query.columns(), io, pages_per_pass, charge_materialize,
+          &ctx.query.columns(), ctx.io, pages_per_pass, charge_materialize,
           plan->left_outer);
       op_name = "NestedLoopJoin";
       break;
@@ -112,70 +120,70 @@ Result<OperatorPtr> LowerJoin(const PlanPtr& plan, const Query& query,
       if (algo == JoinAlgo::kHash) {
         join = std::make_unique<HashJoinOp>(std::move(left), std::move(right),
                                             std::move(keys), std::move(residual),
-                                            &query.columns(), io,
+                                            &ctx.query.columns(), ctx.io,
                                             plan->left_outer);
         op_name = "HashJoin";
       } else {
         join = std::make_unique<SortMergeJoinOp>(
             std::move(left), std::move(right), std::move(keys),
-            std::move(residual), &query.columns(), io);
+            std::move(residual), &ctx.query.columns(), ctx.io);
         op_name = "SortMergeJoin";
       }
       break;
     }
   }
-  join = Tag(std::move(join), plan, op_name, stats);
+  join = Tag(std::move(join), plan, op_name, ctx);
   // Project the concatenated row down to the plan's output layout.
   if (join->layout().columns() != plan->output.columns()) {
     join = Tag(std::make_unique<ProjectOp>(std::move(join), plan->output),
-               plan, "Project", stats);
+               plan, "Project", ctx);
   }
   return join;
 }
 
-Result<OperatorPtr> Lower(const PlanPtr& plan, const Query& query,
-                          IoAccountant* io, RuntimeStatsCollector* stats,
+Result<OperatorPtr> Lower(const PlanPtr& plan, const LowerCtx& ctx,
                           bool charge_scan) {
   switch (plan->kind) {
     case PlanNode::Kind::kScan:
-      return LowerScan(plan, query, io, stats, charge_scan);
+      return LowerScan(plan, ctx, charge_scan);
     case PlanNode::Kind::kFilter: {
       AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr child,
-                               Lower(plan->left, query, io, stats, true));
+                               Lower(plan->left, ctx, true));
       OperatorPtr op = std::move(child);
       if (!plan->filter_preds.empty()) {
         op = Tag(std::make_unique<FilterOp>(std::move(op), plan->filter_preds),
-                 plan, "Filter", stats);
+                 plan, "Filter", ctx);
       }
       if (op->layout().columns() != plan->output.columns()) {
         op = Tag(std::make_unique<ProjectOp>(std::move(op), plan->output),
-                 plan, "Project", stats);
+                 plan, "Project", ctx);
       }
       return op;
     }
     case PlanNode::Kind::kJoin:
-      return LowerJoin(plan, query, io, stats);
+      return LowerJoin(plan, ctx);
     case PlanNode::Kind::kGroupBy: {
       AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr child,
-                               Lower(plan->left, query, io, stats, true));
+                               Lower(plan->left, ctx, true));
       OperatorPtr op =
           Tag(std::make_unique<HashAggregateOp>(std::move(child),
                                                 plan->group_by,
-                                                &query.columns(), io),
-              plan, "HashAggregate", stats);
+                                                &ctx.query.columns(), ctx.io),
+              plan, "HashAggregate", ctx);
       if (op->layout().columns() != plan->output.columns()) {
         op = Tag(std::make_unique<ProjectOp>(std::move(op), plan->output),
-                 plan, "Project", stats);
+                 plan, "Project", ctx);
       }
       return op;
     }
     case PlanNode::Kind::kSort: {
       AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr child,
-                               Lower(plan->left, query, io, stats, true));
+                               Lower(plan->left, ctx, true));
       OperatorPtr op = Tag(std::make_unique<SortOp>(std::move(child),
                                                     plan->sort_keys,
-                                                    &query.columns(), io),
-                           plan, "Sort", stats);
+                                                    &ctx.query.columns(),
+                                                    ctx.io),
+                           plan, "Sort", ctx);
       return op;
     }
   }
@@ -185,8 +193,10 @@ Result<OperatorPtr> Lower(const PlanPtr& plan, const Query& query,
 }  // namespace
 
 Result<OperatorPtr> LowerPlan(const PlanPtr& plan, const Query& query,
-                              IoAccountant* io, RuntimeStatsCollector* stats) {
-  return Lower(plan, query, io, stats, /*charge_scan=*/true);
+                              IoAccountant* io, RuntimeStatsCollector* stats,
+                              ExecOptions options) {
+  LowerCtx ctx{query, io, stats, options};
+  return Lower(plan, ctx, /*charge_scan=*/true);
 }
 
 }  // namespace aggview

@@ -2,6 +2,7 @@
 #define AGGVIEW_EXEC_LOWERING_H_
 
 #include "exec/operators.h"
+#include "exec/row_batch.h"
 #include "optimizer/plan.h"
 
 namespace aggview {
@@ -14,9 +15,13 @@ class RuntimeStatsCollector;
 /// When `stats` is non-null every operator is registered with the collector
 /// (linked to the plan node it was lowered from) and instrumented; when null
 /// the operators run uninstrumented — no clocks, no counters.
+///
+/// `options.batch_size` is installed on every operator, so the whole tree
+/// streams batches of one size.
 Result<OperatorPtr> LowerPlan(const PlanPtr& plan, const Query& query,
                               IoAccountant* io,
-                              RuntimeStatsCollector* stats = nullptr);
+                              RuntimeStatsCollector* stats = nullptr,
+                              ExecOptions options = ExecOptions::Default());
 
 }  // namespace aggview
 

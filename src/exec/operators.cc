@@ -29,20 +29,23 @@ RowLayout ConcatLayouts(const RowLayout& a, const RowLayout& b) {
   return RowLayout(cols);
 }
 
-Row ConcatRows(const Row& a, const Row& b) {
-  Row out = a;
-  out.insert(out.end(), b.begin(), b.end());
-  return out;
+/// Writes a|b into `out` (assumed empty), reusing its storage.
+void ConcatInto(const Row& a, const Row& b, Row* out) {
+  out->reserve(a.size() + b.size());
+  out->insert(out->end(), a.begin(), a.end());
+  out->insert(out->end(), b.begin(), b.end());
 }
 
-/// Drains `op` into `rows`.
-Status Drain(Operator* op, std::vector<Row>* rows) {
-  Row row;
+/// Drains `op` batch-by-batch into `rows` (Open-time materialization).
+Status Drain(Operator* op, int batch_size, std::vector<Row>* rows) {
+  RowBatch batch(batch_size);
   while (true) {
-    auto more = op->Next(&row);
+    auto more = op->Next(&batch);
     if (!more.ok()) return more.status();
     if (!*more) return Status::OK();
-    rows->push_back(row);
+    for (int i = 0; i < batch.size(); ++i) {
+      rows->push_back(std::move(batch.row(i)));
+    }
   }
 }
 
@@ -58,13 +61,17 @@ Status Operator::Open() {
   return s;
 }
 
-Result<bool> Operator::Next(Row* out) {
-  if (stats_ == nullptr) return NextImpl(out);
+Result<bool> Operator::Next(RowBatch* out) {
+  out->Clear();
+  if (stats_ == nullptr) return NextBatchImpl(out);
   int64_t t0 = NowNs();
-  Result<bool> r = NextImpl(out);
+  Result<bool> r = NextBatchImpl(out);
   stats_->next_ns += NowNs() - t0;
   ++stats_->next_calls;
-  if (r.ok() && *r) ++stats_->rows_produced;
+  if (r.ok() && *r) {
+    ++stats_->batches_produced;
+    stats_->rows_produced += out->size();
+  }
   return r;
 }
 
@@ -115,23 +122,26 @@ Status TableScanOp::OpenImpl() {
   return Status::OK();
 }
 
-Result<bool> TableScanOp::NextImpl(Row* out) {
-  while (pos_ < table_->row_count()) {
+Result<bool> TableScanOp::NextBatchImpl(RowBatch* out) {
+  const int64_t n = table_->row_count();
+  int64_t examined = 0;
+  while (pos_ < n && !out->full()) {
     int64_t rowid = pos_;
     const Row& row = table_->row(pos_++);
-    CountInput();
+    ++examined;
     if (!EvalConjunction(filter_, row, table_layout_)) continue;
-    out->clear();
+    Row& dst = out->AppendRow();
+    dst.reserve(projection_.size());
     for (int idx : projection_) {
       if (idx == kRowIdIndex) {
-        out->push_back(Value::Int(rowid));
+        dst.push_back(Value::Int(rowid));
       } else {
-        out->push_back(row[static_cast<size_t>(idx)]);
+        dst.push_back(row[static_cast<size_t>(idx)]);
       }
     }
-    return true;
   }
-  return false;
+  CountInput(examined);
+  return !out->empty();
 }
 
 // ------------------------------------------------------------------- Filter
@@ -143,13 +153,24 @@ FilterOp::FilterOp(OperatorPtr child, std::vector<Predicate> preds)
 
 Status FilterOp::OpenImpl() { return child_->Open(); }
 
-Result<bool> FilterOp::NextImpl(Row* out) {
+Result<bool> FilterOp::NextBatchImpl(RowBatch* out) {
   while (true) {
     auto more = child_->Next(out);
     if (!more.ok()) return more.status();
     if (!*more) return false;
-    CountInput();
-    if (EvalConjunction(preds_, *out, layout_)) return true;
+    CountInput(out->size());
+    // Selection compaction: swap survivors to the front (buffer pointer
+    // swaps, no row copies) and truncate.
+    int kept = 0;
+    for (int i = 0; i < out->size(); ++i) {
+      Row& row = out->row(i);
+      if (EvalConjunction(preds_, row, layout_)) {
+        if (kept != i) out->row(kept).swap(row);
+        ++kept;
+      }
+    }
+    out->Truncate(kept);
+    if (!out->empty()) return true;  // else the whole batch was filtered out
   }
 }
 
@@ -172,14 +193,23 @@ Status ProjectOp::OpenImpl() {
   return child_->Open();
 }
 
-Result<bool> ProjectOp::NextImpl(Row* out) {
-  Row in;
-  auto more = child_->Next(&in);
+Result<bool> ProjectOp::NextBatchImpl(RowBatch* out) {
+  auto more = child_->Next(out);
   if (!more.ok()) return more.status();
   if (!*more) return false;
-  CountInput();
-  out->clear();
-  for (int idx : projection_) out->push_back(in[static_cast<size_t>(idx)]);
+  CountInput(out->size());
+  // Rewrite each row in place: build the projection in the reused scratch
+  // buffer (projection may duplicate columns, so the row itself cannot be
+  // the destination), then swap buffers — no allocation in steady state.
+  for (int i = 0; i < out->size(); ++i) {
+    Row& row = out->row(i);
+    scratch_.clear();
+    scratch_.reserve(projection_.size());
+    for (int idx : projection_) {
+      scratch_.push_back(row[static_cast<size_t>(idx)]);
+    }
+    row.swap(scratch_);
+  }
   return true;
 }
 
@@ -251,7 +281,7 @@ Status HashJoinOp::OpenImpl() {
   AGGVIEW_RETURN_NOT_OK(left_->Open());
   AGGVIEW_RETURN_NOT_OK(right_->Open());
   std::vector<Row> rows;
-  AGGVIEW_RETURN_NOT_OK(Drain(right_.get(), &rows));
+  AGGVIEW_RETURN_NOT_OK(Drain(right_.get(), batch_size_, &rows));
   right_rows_ = static_cast<int64_t>(rows.size());
   CountInput(right_rows_);
   for (Row& r : rows) {
@@ -263,62 +293,79 @@ Status HashJoinOp::OpenImpl() {
   if (stats_ != nullptr) {
     stats_->hash_build_rows = static_cast<int64_t>(build_.size());
   }
+  probe_ = RowBatch(batch_size_);
+  probe_pos_ = 0;
+  current_left_ = nullptr;
   return Status::OK();
 }
 
-Result<bool> HashJoinOp::NextImpl(Row* out) {
+Result<bool> HashJoinOp::NextBatchImpl(RowBatch* out) {
   while (true) {
-    if (have_left_ && match_pos_ < matches_.size()) {
-      *out = ConcatRows(current_left_, *matches_[match_pos_++]);
-      if (EvalConjunction(residual_, *out, layout_)) {
-        emitted_for_left_ = true;
-        return true;
-      }
-      continue;
-    }
-    if (have_left_ && left_outer_ && !emitted_for_left_ && !padded_for_left_) {
-      padded_for_left_ = true;
-      *out = current_left_;
-      out->resize(static_cast<size_t>(layout_.size()), Value::Null());
-      return true;
-    }
-    auto more = left_->Next(&current_left_);
-    if (!more.ok()) return more.status();
-    if (!*more) {
-      if (!charged_) {
-        // Same formula as the cost model, on actual sizes: one read of each
-        // input, plus Grace partition spills when the smaller input exceeds
-        // the buffer pool.
-        double lp = ActualPages(left_rows_,
-                                left_->layout().RowWidth(*columns_));
-        double rp = ActualPages(right_rows_,
-                                right_->layout().RowWidth(*columns_));
-        ChargeRead(io_, static_cast<int64_t>(lp + rp));
-        double spill = CostModel::HashJoinLocalCost(lp, rp) - (lp + rp);
-        ChargeWrite(io_, static_cast<int64_t>(spill / 2.0));
-        ChargeRead(io_, static_cast<int64_t>(spill / 2.0));
-        if (stats_ != nullptr) {
-          stats_->spill_pages += static_cast<int64_t>(spill / 2.0) * 2;
+    // Emit the pending matches of the current probe row, then its outer
+    // padding if nothing matched. current_left_ points into probe_, which
+    // stays untouched until every pending emission has drained.
+    if (current_left_ != nullptr) {
+      while (match_pos_ < matches_.size()) {
+        if (out->full()) return true;
+        Row& dst = out->AppendRow();
+        ConcatInto(*current_left_, *matches_[match_pos_++], &dst);
+        if (EvalConjunction(residual_, dst, layout_)) {
+          emitted_for_left_ = true;
+        } else {
+          out->PopRow();
         }
-        charged_ = true;
       }
-      return false;
+      if (left_outer_ && !emitted_for_left_ && !padded_for_left_) {
+        if (out->full()) return true;
+        padded_for_left_ = true;
+        Row& dst = out->AppendRow();
+        dst = *current_left_;
+        dst.resize(static_cast<size_t>(layout_.size()), Value::Null());
+      }
+      current_left_ = nullptr;
     }
-    ++left_rows_;
-    CountInput();
-    have_left_ = true;
+    // Advance to the next probe row, pulling a fresh batch when this one is
+    // spent; one virtual dispatch brings in batch_size_ probe rows.
+    if (probe_pos_ >= probe_.size()) {
+      auto more = left_->Next(&probe_);
+      if (!more.ok()) return more.status();
+      if (!*more) {
+        if (!charged_) {
+          // Same formula as the cost model, on actual sizes: one read of
+          // each input, plus Grace partition spills when the smaller input
+          // exceeds the buffer pool.
+          double lp = ActualPages(left_rows_,
+                                  left_->layout().RowWidth(*columns_));
+          double rp = ActualPages(right_rows_,
+                                  right_->layout().RowWidth(*columns_));
+          ChargeRead(io_, static_cast<int64_t>(lp + rp));
+          double spill = CostModel::HashJoinLocalCost(lp, rp) - (lp + rp);
+          ChargeWrite(io_, static_cast<int64_t>(spill / 2.0));
+          ChargeRead(io_, static_cast<int64_t>(spill / 2.0));
+          if (stats_ != nullptr) {
+            stats_->spill_pages += static_cast<int64_t>(spill / 2.0) * 2;
+          }
+          charged_ = true;
+        }
+        return !out->empty();
+      }
+      left_rows_ += probe_.size();
+      CountInput(probe_.size());
+      probe_pos_ = 0;
+    }
+    current_left_ = &probe_.row(probe_pos_++);
     emitted_for_left_ = false;
     padded_for_left_ = false;
     matches_.clear();
     match_pos_ = 0;
     // SQL: a NULL probe key matches nothing (in outer mode the row still
-    // surfaces as a padded row via the branch above).
-    if (HasNullKey(current_left_, left_key_idx_)) continue;
+    // surfaces as a padded row via the emission branch above).
+    if (HasNullKey(*current_left_, left_key_idx_)) continue;
     if (stats_ != nullptr) ++stats_->hash_probes;
-    size_t h = HashKey(current_left_, left_key_idx_);
+    size_t h = HashKey(*current_left_, left_key_idx_);
     auto [begin, end] = build_.equal_range(h);
     for (auto it = begin; it != end; ++it) {
-      if (KeysEqual(current_left_, left_key_idx_, it->second,
+      if (KeysEqual(*current_left_, left_key_idx_, it->second,
                     right_key_idx_)) {
         matches_.push_back(&it->second);
       }
@@ -354,7 +401,7 @@ NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
 Status NestedLoopJoinOp::OpenImpl() {
   AGGVIEW_RETURN_NOT_OK(left_->Open());
   AGGVIEW_RETURN_NOT_OK(right_->Open());
-  AGGVIEW_RETURN_NOT_OK(Drain(right_.get(), &inner_));
+  AGGVIEW_RETURN_NOT_OK(Drain(right_.get(), batch_size_, &inner_));
   CountInput(static_cast<int64_t>(inner_.size()));
   if (charge_materialize_) {
     double pages = ActualPages(static_cast<int64_t>(inner_.size()),
@@ -397,59 +444,76 @@ Status NestedLoopJoinOp::OpenImpl() {
       stats_->hash_build_rows = static_cast<int64_t>(index_.size());
     }
   }
+  outer_ = RowBatch(batch_size_);
+  outer_pos_ = 0;
+  current_left_ = nullptr;
   return Status::OK();
 }
 
-Result<bool> NestedLoopJoinOp::NextImpl(Row* out) {
+Result<bool> NestedLoopJoinOp::NextBatchImpl(RowBatch* out) {
   while (true) {
-    if (have_left_ && use_index_) {
-      while (probe_pos_ < probe_matches_.size()) {
-        const Row& inner_row = inner_[probe_matches_[probe_pos_++]];
-        if (!KeysEqual(current_left_, left_key_idx_, inner_row,
-                       right_key_idx_)) {
-          continue;  // hash collision
+    if (current_left_ != nullptr) {
+      if (use_index_) {
+        while (probe_pos_ < probe_matches_.size()) {
+          if (out->full()) return true;
+          const Row& inner_row = inner_[probe_matches_[probe_pos_++]];
+          if (!KeysEqual(*current_left_, left_key_idx_, inner_row,
+                         right_key_idx_)) {
+            continue;  // hash collision
+          }
+          Row& dst = out->AppendRow();
+          ConcatInto(*current_left_, inner_row, &dst);
+          if (EvalConjunction(residual_, dst, layout_)) {
+            emitted_for_left_ = true;
+          } else {
+            out->PopRow();
+          }
         }
-        *out = ConcatRows(current_left_, inner_row);
-        if (EvalConjunction(residual_, *out, layout_)) {
-          emitted_for_left_ = true;
-          return true;
+      } else {
+        while (inner_pos_ < inner_.size()) {
+          if (out->full()) return true;
+          Row& dst = out->AppendRow();
+          ConcatInto(*current_left_, inner_[inner_pos_++], &dst);
+          if (EvalConjunction(preds_, dst, layout_)) {
+            emitted_for_left_ = true;
+          } else {
+            out->PopRow();
+          }
         }
       }
-    } else if (have_left_) {
-      while (inner_pos_ < inner_.size()) {
-        *out = ConcatRows(current_left_, inner_[inner_pos_++]);
-        if (EvalConjunction(preds_, *out, layout_)) {
-          emitted_for_left_ = true;
-          return true;
-        }
+      if (left_outer_ && !emitted_for_left_ && !padded_for_left_) {
+        if (out->full()) return true;
+        padded_for_left_ = true;
+        Row& dst = out->AppendRow();
+        dst = *current_left_;
+        dst.resize(static_cast<size_t>(layout_.size()), Value::Null());
       }
+      current_left_ = nullptr;
     }
-    if (have_left_ && left_outer_ && !emitted_for_left_ && !padded_for_left_) {
-      padded_for_left_ = true;
-      *out = current_left_;
-      out->resize(static_cast<size_t>(layout_.size()), Value::Null());
-      return true;
-    }
-    auto more = left_->Next(&current_left_);
-    if (!more.ok()) return more.status();
-    if (!*more) {
-      if (!charged_) {
-        double inner_pages = inner_pages_per_pass_;
-        if (inner_pages <= 0.0) {
-          inner_pages = ActualPages(static_cast<int64_t>(inner_.size()),
-                                    right_->layout().RowWidth(*columns_));
+    if (outer_pos_ >= outer_.size()) {
+      auto more = left_->Next(&outer_);
+      if (!more.ok()) return more.status();
+      if (!*more) {
+        if (!charged_) {
+          double inner_pages = inner_pages_per_pass_;
+          if (inner_pages <= 0.0) {
+            inner_pages = ActualPages(static_cast<int64_t>(inner_.size()),
+                                      right_->layout().RowWidth(*columns_));
+          }
+          double outer_pages =
+              ActualPages(left_rows_, left_->layout().RowWidth(*columns_));
+          ChargeRead(io_,
+                     static_cast<int64_t>(
+                         CostModel::BnlLocalCost(outer_pages, inner_pages)));
+          charged_ = true;
         }
-        double outer_pages =
-            ActualPages(left_rows_, left_->layout().RowWidth(*columns_));
-        ChargeRead(io_, static_cast<int64_t>(
-                            CostModel::BnlLocalCost(outer_pages, inner_pages)));
-        charged_ = true;
+        return !out->empty();
       }
-      return false;
+      left_rows_ += outer_.size();
+      CountInput(outer_.size());
+      outer_pos_ = 0;
     }
-    ++left_rows_;
-    CountInput();
-    have_left_ = true;
+    current_left_ = &outer_.row(outer_pos_++);
     emitted_for_left_ = false;
     padded_for_left_ = false;
     inner_pos_ = 0;
@@ -458,9 +522,10 @@ Result<bool> NestedLoopJoinOp::NextImpl(Row* out) {
       probe_pos_ = 0;
       // A NULL probe key matches nothing (the fallback path agrees: its
       // predicate eval is never true on NULL).
-      if (HasNullKey(current_left_, left_key_idx_)) continue;
+      if (HasNullKey(*current_left_, left_key_idx_)) continue;
       if (stats_ != nullptr) ++stats_->hash_probes;
-      auto [begin, end] = index_.equal_range(HashKey(current_left_, left_key_idx_));
+      auto [begin, end] =
+          index_.equal_range(HashKey(*current_left_, left_key_idx_));
       for (auto it = begin; it != end; ++it) {
         probe_matches_.push_back(it->second);
       }
@@ -516,8 +581,8 @@ Status SortMergeJoinOp::OpenImpl() {
   }
   AGGVIEW_RETURN_NOT_OK(left_->Open());
   AGGVIEW_RETURN_NOT_OK(right_->Open());
-  AGGVIEW_RETURN_NOT_OK(Drain(left_.get(), &lrows_));
-  AGGVIEW_RETURN_NOT_OK(Drain(right_.get(), &rrows_));
+  AGGVIEW_RETURN_NOT_OK(Drain(left_.get(), batch_size_, &lrows_));
+  AGGVIEW_RETURN_NOT_OK(Drain(right_.get(), batch_size_, &rrows_));
   CountInput(static_cast<int64_t>(lrows_.size() + rrows_.size()));
 
   auto cmp = [](const std::vector<int>& idx) {
@@ -548,12 +613,14 @@ Status SortMergeJoinOp::OpenImpl() {
   return Status::OK();
 }
 
-Result<bool> SortMergeJoinOp::NextImpl(Row* out) {
+Result<bool> SortMergeJoinOp::NextBatchImpl(RowBatch* out) {
   while (true) {
     if (in_block_) {
       if (block_r_ < block_r_end_) {
-        *out = ConcatRows(lrows_[block_l_], rrows_[block_r_++]);
-        if (EvalConjunction(residual_, *out, layout_)) return true;
+        if (out->full()) return true;
+        Row& dst = out->AppendRow();
+        ConcatInto(lrows_[block_l_], rrows_[block_r_++], &dst);
+        if (!EvalConjunction(residual_, dst, layout_)) out->PopRow();
         continue;
       }
       // Advance within the key-equal block.
@@ -588,7 +655,7 @@ Result<bool> SortMergeJoinOp::NextImpl(Row* out) {
         break;
       }
     }
-    if (li_ >= lrows_.size() || ri_ >= rrows_.size()) return false;
+    if (li_ >= lrows_.size() || ri_ >= rrows_.size()) return !out->empty();
     block_l_ = li_;
     block_l_end_ = li_ + 1;
     while (block_l_end_ < lrows_.size() &&
@@ -635,7 +702,7 @@ Status SortOp::OpenImpl() {
   }
   AGGVIEW_RETURN_NOT_OK(child_->Open());
   rows_.clear();
-  AGGVIEW_RETURN_NOT_OK(Drain(child_.get(), &rows_));
+  AGGVIEW_RETURN_NOT_OK(Drain(child_.get(), batch_size_, &rows_));
   CountInput(static_cast<int64_t>(rows_.size()));
   std::stable_sort(rows_.begin(), rows_.end(),
                    [this](const Row& a, const Row& b) {
@@ -658,10 +725,11 @@ Status SortOp::OpenImpl() {
   return Status::OK();
 }
 
-Result<bool> SortOp::NextImpl(Row* out) {
-  if (pos_ >= rows_.size()) return false;
-  *out = rows_[pos_++];
-  return true;
+Result<bool> SortOp::NextBatchImpl(RowBatch* out) {
+  while (pos_ < rows_.size() && !out->full()) {
+    out->AppendRow() = rows_[pos_++];
+  }
+  return !out->empty();
 }
 
 void SortOp::CloseImpl() {
@@ -707,29 +775,36 @@ Status HashAggregateOp::OpenImpl() {
   };
   std::unordered_map<Row, Group, RowHash, RowEq> groups;
 
+  // A whole input batch is accumulated per child dispatch; the group key and
+  // argument buffers are reused across rows.
   int64_t input_rows = 0;
-  Row row;
+  RowBatch batch(batch_size_);
+  Row key;
+  std::vector<Value> args;
   while (true) {
-    auto more = child_->Next(&row);
+    auto more = child_->Next(&batch);
     if (!more.ok()) return more.status();
     if (!*more) break;
-    ++input_rows;
-    CountInput();
-    Row key;
-    key.reserve(group_idx.size());
-    for (int idx : group_idx) key.push_back(row[static_cast<size_t>(idx)]);
-    auto it = groups.find(key);
-    if (it == groups.end()) {
-      Group g;
-      for (const AggregateCall& a : spec_.aggregates) {
-        g.accs.emplace_back(a.kind);
+    input_rows += batch.size();
+    CountInput(batch.size());
+    for (int i = 0; i < batch.size(); ++i) {
+      const Row& row = batch.row(i);
+      key.clear();
+      key.reserve(group_idx.size());
+      for (int idx : group_idx) key.push_back(row[static_cast<size_t>(idx)]);
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        Group g;
+        for (const AggregateCall& a : spec_.aggregates) {
+          g.accs.emplace_back(a.kind);
+        }
+        it = groups.emplace(key, std::move(g)).first;
       }
-      it = groups.emplace(std::move(key), std::move(g)).first;
-    }
-    for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
-      std::vector<Value> args;
-      for (int idx : arg_idx[a]) args.push_back(row[static_cast<size_t>(idx)]);
-      it->second.accs[a].Add(args);
+      for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+        args.clear();
+        for (int idx : arg_idx[a]) args.push_back(row[static_cast<size_t>(idx)]);
+        it->second.accs[a].Add(args);
+      }
     }
   }
 
@@ -754,8 +829,8 @@ Status HashAggregateOp::OpenImpl() {
   }
 
   results_.clear();
-  for (auto& [key, group] : groups) {
-    Row out = key;
+  for (auto& [group_key, group] : groups) {
+    Row out = group_key;
     for (AggAccumulator& acc : group.accs) out.push_back(acc.Finish());
     if (!EvalConjunction(spec_.having, out, layout_)) continue;
     results_.push_back(std::move(out));
@@ -764,10 +839,11 @@ Status HashAggregateOp::OpenImpl() {
   return Status::OK();
 }
 
-Result<bool> HashAggregateOp::NextImpl(Row* out) {
-  if (pos_ >= results_.size()) return false;
-  *out = results_[pos_++];
-  return true;
+Result<bool> HashAggregateOp::NextBatchImpl(RowBatch* out) {
+  while (pos_ < results_.size() && !out->full()) {
+    out->AppendRow() = results_[pos_++];
+  }
+  return !out->empty();
 }
 
 void HashAggregateOp::CloseImpl() {

@@ -7,6 +7,7 @@
 
 #include "algebra/query.h"
 #include "common/result.h"
+#include "exec/row_batch.h"
 #include "storage/io_accountant.h"
 #include "storage/table.h"
 
@@ -14,22 +15,30 @@ namespace aggview {
 
 struct OpStats;
 
-/// Volcano-style physical operator: Open / Next / Close. Operators charge
-/// the IoAccountant with the same page-granularity formulas the cost model
-/// uses, evaluated on *actual* (not estimated) cardinalities, so measured IO
-/// is the ground truth the estimates are judged against.
+/// Batch-at-a-time physical operator: Open / Next(RowBatch*) / Close.
+/// Operators charge the IoAccountant with the same page-granularity formulas
+/// the cost model uses, evaluated on *actual* (not estimated) cardinalities,
+/// so measured IO is the ground truth the estimates are judged against.
+///
+/// Next fills the caller's batch with up to batch->capacity() rows and
+/// returns true; it returns false (batch empty) only at end of stream, so no
+/// phantom empty batch precedes end-of-stream and mid-stream batches are
+/// never empty. Calling Next again after end of stream is safe and keeps
+/// returning false.
 ///
 /// The public Open/Next/Close entry points are non-virtual: when a stats
 /// sink is installed (set_stats) they time each call and count produced
-/// rows before dispatching to the virtual *Impl methods; with no sink they
-/// dispatch directly, so observability costs nothing when off.
+/// batches and rows before dispatching to the virtual *Impl methods; with no
+/// sink they dispatch directly. Either way the cost is paid once per *batch*,
+/// not once per tuple, which is the point of the batch protocol.
 class Operator {
  public:
   virtual ~Operator() = default;
 
   Status Open();
-  /// Produces the next row; returns false at end of stream.
-  Result<bool> Next(Row* out);
+  /// Fills `out` with the next batch of rows; returns false at end of
+  /// stream. `out` is cleared first; its capacity is the caller's choice.
+  Result<bool> Next(RowBatch* out);
   void Close();
 
   const RowLayout& layout() const { return layout_; }
@@ -39,9 +48,18 @@ class Operator {
   void set_stats(OpStats* stats) { stats_ = stats; }
   const OpStats* stats() const { return stats_; }
 
+  /// Capacity of the batches this operator allocates internally (input-side
+  /// buffers, Open-time drains). The batch handed to Next has its own
+  /// capacity; lowering installs one size everywhere. Must be set before
+  /// Open.
+  void set_batch_size(int batch_size) {
+    batch_size_ = batch_size > 0 ? batch_size : 1;
+  }
+  int batch_size() const { return batch_size_; }
+
  protected:
   virtual Status OpenImpl() = 0;
-  virtual Result<bool> NextImpl(Row* out) = 0;
+  virtual Result<bool> NextBatchImpl(RowBatch* out) = 0;
   virtual void CloseImpl() {}
 
   /// Charges `pages` reads/writes to `io` (when non-null) and mirrors the
@@ -49,18 +67,21 @@ class Operator {
   /// attribute IO to the operator that incurred it.
   void ChargeRead(IoAccountant* io, int64_t pages);
   void ChargeWrite(IoAccountant* io, int64_t pages);
-  /// Counts one input row consumed (no-op without a sink).
-  void CountInput(int64_t rows = 1);
+  /// Counts input rows consumed (no-op without a sink). Called once per
+  /// input batch, not per row.
+  void CountInput(int64_t rows);
 
   RowLayout layout_;
   OpStats* stats_ = nullptr;
+  int batch_size_ = kDefaultBatchSize;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
-/// Scans an in-memory table, applying a filter and projecting. When
-/// `charge_io` is set, Open charges one read per table page (a BNL inner
-/// scan is created uncharged because the join charges per-pass rescans).
+/// Scans an in-memory table, applying a filter and projecting: each Next
+/// copies out one batch-sized slice of qualifying rows. When `charge_io` is
+/// set, Open charges one read per table page (a BNL inner scan is created
+/// uncharged because the join charges per-pass rescans).
 class TableScanOp final : public Operator {
  public:
   /// `rowid_col`, when valid, names a synthetic output column materialized
@@ -72,7 +93,7 @@ class TableScanOp final : public Operator {
 
  protected:
   Status OpenImpl() override;
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
   static constexpr int kRowIdIndex = -2;
@@ -86,14 +107,18 @@ class TableScanOp final : public Operator {
   int64_t pos_ = 0;
 };
 
-/// Applies residual predicates; layout passes through.
+/// Applies residual predicates in place: the child fills the caller's batch
+/// directly, survivors are compacted to the front (O(1) row-buffer swaps),
+/// and the batch is truncated. No intermediate batch, no row copies; layout
+/// passes through. Mid-stream batches may be partially full but never empty
+/// (fully-filtered input batches are skipped).
 class FilterOp final : public Operator {
  public:
   FilterOp(OperatorPtr child, std::vector<Predicate> preds);
 
  protected:
   Status OpenImpl() override;
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
 
  private:
@@ -102,25 +127,30 @@ class FilterOp final : public Operator {
 };
 
 /// Projects the child's output to a (sub)set of its columns, reordering.
+/// Rewrites the caller's batch in place: each row is rebuilt in a reused
+/// scratch buffer and swapped in (O(1)), so projection adds no intermediate
+/// batch and no per-row allocation in steady state.
 class ProjectOp final : public Operator {
  public:
   ProjectOp(OperatorPtr child, RowLayout output);
 
  protected:
   Status OpenImpl() override;
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
 
  private:
   OperatorPtr child_;
   std::vector<int> projection_;
+  Row scratch_;
 };
 
 /// In-memory hash join (Grace accounting when either side spills): builds on
-/// the right input, probes with the left. Equi-join keys are column pairs;
-/// `residual` predicates are evaluated on the concatenated row. Rows with a
-/// NULL in any join key never match (SQL equality semantics); in outer mode
-/// a NULL-keyed probe row still survives as a padded row.
+/// the right input, probes with a batch of left rows per dispatch. Equi-join
+/// keys are column pairs; `residual` predicates are evaluated on the
+/// concatenated row. Rows with a NULL in any join key never match (SQL
+/// equality semantics); in outer mode a NULL-keyed probe row still survives
+/// as a padded row.
 class HashJoinOp final : public Operator {
  public:
   /// `left_outer` preserves unmatched probe rows, padding the build side's
@@ -132,7 +162,7 @@ class HashJoinOp final : public Operator {
 
  protected:
   Status OpenImpl() override;
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
 
  private:
@@ -148,8 +178,11 @@ class HashJoinOp final : public Operator {
   std::unordered_multimap<size_t, Row> build_;
   int64_t right_rows_ = 0;
   int64_t left_rows_ = 0;
-  Row current_left_;
-  bool have_left_ = false;
+  // Probe state: the current input batch and the row of it being matched
+  // (a pointer into probe_, stable until the next batch is pulled).
+  RowBatch probe_{1};
+  int probe_pos_ = 0;
+  const Row* current_left_ = nullptr;
   std::vector<const Row*> matches_;
   size_t match_pos_ = 0;
   bool charged_ = false;
@@ -173,7 +206,7 @@ class NestedLoopJoinOp final : public Operator {
 
  protected:
   Status OpenImpl() override;
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
 
  private:
@@ -186,8 +219,9 @@ class NestedLoopJoinOp final : public Operator {
   bool charge_materialize_;
 
   std::vector<Row> inner_;
-  Row current_left_;
-  bool have_left_ = false;
+  RowBatch outer_{1};
+  int outer_pos_ = 0;
+  const Row* current_left_ = nullptr;
   size_t inner_pos_ = 0;
   int64_t left_rows_ = 0;
   bool charged_ = false;
@@ -211,8 +245,9 @@ class NestedLoopJoinOp final : public Operator {
 
 /// Sort-merge join over equi-join keys (plus residual predicates).
 /// Materializes and sorts both inputs at Open, charging external-sort IO on
-/// actual sizes. NULL join keys sort first and are skipped by the merge, so
-/// they never match (SQL equality semantics).
+/// actual sizes; Next emits one batch of the merge output per call. NULL
+/// join keys sort first and are skipped by the merge, so they never match
+/// (SQL equality semantics).
 class SortMergeJoinOp final : public Operator {
  public:
   SortMergeJoinOp(OperatorPtr left, OperatorPtr right,
@@ -222,7 +257,7 @@ class SortMergeJoinOp final : public Operator {
 
  protected:
   Status OpenImpl() override;
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
 
  private:
@@ -245,7 +280,8 @@ class SortMergeJoinOp final : public Operator {
 };
 
 /// Final ORDER BY: materializes its input at Open, sorts by the keys, and
-/// charges external-sort IO on the actual size.
+/// charges external-sort IO on the actual size. Next copies out one sorted
+/// slice per call.
 class SortOp final : public Operator {
  public:
   SortOp(OperatorPtr child, std::vector<OrderKey> keys,
@@ -253,7 +289,7 @@ class SortOp final : public Operator {
 
  protected:
   Status OpenImpl() override;
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
 
  private:
@@ -267,9 +303,10 @@ class SortOp final : public Operator {
 };
 
 /// Hash aggregation implementing a GroupBySpec: grouping, aggregate
-/// accumulators, HAVING. Consumes its child at Open. A scalar aggregate
-/// (empty grouping) over zero input rows produces exactly one row, with
-/// COUNT = 0 and SUM/MIN/MAX/AVG = NULL (SQL semantics).
+/// accumulators, HAVING. Consumes its child at Open, accumulating a whole
+/// input batch per pull. A scalar aggregate (empty grouping) over zero input
+/// rows produces exactly one row, with COUNT = 0 and SUM/MIN/MAX/AVG = NULL
+/// (SQL semantics).
 class HashAggregateOp final : public Operator {
  public:
   HashAggregateOp(OperatorPtr child, GroupBySpec spec,
@@ -277,7 +314,7 @@ class HashAggregateOp final : public Operator {
 
  protected:
   Status OpenImpl() override;
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
 
  private:

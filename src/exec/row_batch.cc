@@ -1,0 +1,16 @@
+#include "exec/row_batch.h"
+
+#include <cstdlib>
+
+namespace aggview {
+
+ExecOptions ExecOptions::Default() {
+  ExecOptions options;
+  if (const char* env = std::getenv("AGGVIEW_TEST_BATCH_SIZE")) {
+    int v = std::atoi(env);
+    if (v > 0) options.batch_size = v;
+  }
+  return options;
+}
+
+}  // namespace aggview

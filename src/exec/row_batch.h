@@ -1,0 +1,79 @@
+#ifndef AGGVIEW_EXEC_ROW_BATCH_H_
+#define AGGVIEW_EXEC_ROW_BATCH_H_
+
+#include <vector>
+
+#include "types/value.h"
+
+namespace aggview {
+
+/// Default number of rows per execution batch. Large enough to amortize the
+/// per-dispatch costs (virtual call, clock reads, counter updates) down to
+/// noise, small enough that a batch of the widest rows stays cache-resident.
+inline constexpr int kDefaultBatchSize = 1024;
+
+/// Execution-engine knobs, threaded from ExecutePlan through lowering into
+/// every operator.
+struct ExecOptions {
+  /// Capacity of every batch flowing through the operator tree. 1 degrades
+  /// to row-at-a-time Volcano behaviour (useful for boundary-bug hunting and
+  /// as the baseline in throughput experiments).
+  int batch_size = kDefaultBatchSize;
+
+  /// The standard options: kDefaultBatchSize, unless the environment
+  /// variable AGGVIEW_TEST_BATCH_SIZE overrides it (CI runs the whole test
+  /// suite under AGGVIEW_TEST_BATCH_SIZE=1 to shake out off-by-one bugs at
+  /// batch boundaries that size-1024 runs never hit).
+  static ExecOptions Default();
+};
+
+/// A fixed-capacity buffer of rows, the unit of flow between operators.
+///
+/// The batch owns `capacity` Row slots for its whole lifetime; Clear() only
+/// resets the fill count, so a slot's heap storage (the Value vector) is
+/// reused across batches and the per-row allocation cost of the row-at-a-time
+/// engine is amortized away. AppendRow() hands out the next slot cleared;
+/// callers must check full() first.
+class RowBatch {
+ public:
+  explicit RowBatch(int capacity = kDefaultBatchSize)
+      : rows_(static_cast<size_t>(capacity > 0 ? capacity : 1)),
+        capacity_(capacity > 0 ? capacity : 1) {}
+
+  int capacity() const { return capacity_; }
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ >= capacity_; }
+
+  /// Resets the fill count; row storage is kept for reuse.
+  void Clear() { size_ = 0; }
+
+  /// Returns the next free slot, emptied. Undefined when full().
+  Row& AppendRow() {
+    Row& row = rows_[static_cast<size_t>(size_++)];
+    row.clear();
+    return row;
+  }
+
+  /// Drops the most recently appended row (e.g. a join candidate that failed
+  /// its residual predicate after being materialized in place).
+  void PopRow() { --size_; }
+
+  /// Shrinks the fill count to `n` rows (selection compaction: a filter
+  /// swaps survivors to the front and truncates). No-op when n >= size().
+  void Truncate(int n) {
+    if (n < size_) size_ = n;
+  }
+
+  Row& row(int i) { return rows_[static_cast<size_t>(i)]; }
+  const Row& row(int i) const { return rows_[static_cast<size_t>(i)]; }
+
+ private:
+  std::vector<Row> rows_;
+  int size_ = 0;
+  int capacity_;
+};
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_EXEC_ROW_BATCH_H_

@@ -54,12 +54,12 @@ void ExplainRec(const PlanPtr& plan, const Query& query,
   NodeRuntime rt = RuntimeOfNode(plan.get(), stats);
   if (rt.executed) {
     double actual = static_cast<double>(rt.top->rows_produced);
-    *out += StrFormat("  (est=%.1f act=%lld q=%.2f pages=%lld time=%.3fms",
-                      plan->est.rows,
-                      static_cast<long long>(rt.top->rows_produced),
-                      QError(plan->est.rows, actual),
-                      static_cast<long long>(rt.pages),
-                      static_cast<double>(rt.top->total_ns()) / 1e6);
+    *out += StrFormat(
+        "  (est=%.1f act=%lld batches=%lld q=%.2f pages=%lld time=%.3fms",
+        plan->est.rows, static_cast<long long>(rt.top->rows_produced),
+        static_cast<long long>(rt.top->batches_produced),
+        QError(plan->est.rows, actual), static_cast<long long>(rt.pages),
+        static_cast<double>(rt.top->total_ns()) / 1e6);
     if (rt.bottom->input_rows > 0) {
       *out += StrFormat(" rows_in=%lld",
                         static_cast<long long>(rt.bottom->input_rows));

@@ -16,6 +16,7 @@ std::string FmtMs(int64_t ns) {
 
 std::string OpStatsToString(const OpStats& s) {
   std::string out = s.op_name + ": rows=" + std::to_string(s.rows_produced) +
+                    " batches=" + std::to_string(s.batches_produced) +
                     " in=" + std::to_string(s.input_rows) +
                     " pages=" + std::to_string(s.pages_charged) +
                     " open=" + FmtMs(s.open_ns) + "ms next=" +

@@ -15,19 +15,26 @@ struct PlanNode;
 /// An operator updates its OpStats only when one was installed (see
 /// Operator::set_stats); with no stats sink the executor takes no clock
 /// readings and touches no counters, so observability is zero-overhead when
-/// off. Wall time is read from std::chrono::steady_clock and is *inclusive*:
-/// an operator's Next time contains the Next time of its children, the
-/// EXPLAIN ANALYZE convention.
+/// off. With a sink, the clock readings and counter updates happen once per
+/// *batch* dispatch, so the observer effect shrinks with the batch size.
+/// Wall time is read from std::chrono::steady_clock and is *inclusive*: an
+/// operator's Next time contains the Next time of its children, the EXPLAIN
+/// ANALYZE convention.
 struct OpStats {
   /// Operator class name ("TableScan", "HashJoin", ...).
   std::string op_name;
 
   /// Rows returned from Next (the operator's actual output cardinality).
   int64_t rows_produced = 0;
+  /// Non-empty batches returned from Next. An exact-multiple result
+  /// cardinality yields exactly rows/batch_size batches — the end-of-stream
+  /// call is not counted as a phantom tail batch.
+  int64_t batches_produced = 0;
   /// Rows consumed from the operator's input(s): rows examined by a scan,
   /// rows pulled from both sides of a join, rows fed to an aggregate.
   int64_t input_rows = 0;
-  /// Number of Next calls (rows_produced + 1 when the stream was drained).
+  /// Number of Next calls (batches_produced + 1 when the stream was
+  /// drained).
   int64_t next_calls = 0;
 
   /// Wall time spent inside Open, resp. cumulative over all Next calls.

@@ -37,6 +37,12 @@ class Table {
   /// once per batch).
   void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
 
+  /// Pre-sizes the row store for `n` rows so a bulk load appends without
+  /// repeated reallocation. A hint: loading more than `n` rows still works.
+  void Reserve(int64_t n) {
+    if (n > 0) rows_.reserve(static_cast<size_t>(n));
+  }
+
   const Row& row(int64_t i) const { return rows_[static_cast<size_t>(i)]; }
   const std::vector<Row>& rows() const { return rows_; }
 

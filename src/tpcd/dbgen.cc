@@ -39,6 +39,7 @@ Status GenerateTpcdData(Catalog* catalog, const TpcdTables& tables,
   // region
   {
     auto data = std::make_shared<Table>(catalog->table(tables.region).schema);
+    data->Reserve(options.regions());
     const char* names[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDEAST"};
     for (int64_t i = 1; i <= options.regions(); ++i) {
       data->AppendUnchecked(
@@ -50,6 +51,7 @@ Status GenerateTpcdData(Catalog* catalog, const TpcdTables& tables,
   // nation
   {
     auto data = std::make_shared<Table>(catalog->table(tables.nation).schema);
+    data->Reserve(options.nations());
     for (int64_t i = 1; i <= options.nations(); ++i) {
       data->AppendUnchecked({Value::Int(i), Value::Str("NATION_" + std::to_string(i)),
                              Value::Int(1 + (i - 1) % options.regions())});
@@ -60,6 +62,7 @@ Status GenerateTpcdData(Catalog* catalog, const TpcdTables& tables,
   // supplier
   {
     auto data = std::make_shared<Table>(catalog->table(tables.supplier).schema);
+    data->Reserve(options.suppliers());
     for (int64_t i = 1; i <= options.suppliers(); ++i) {
       data->AppendUnchecked({Value::Int(i),
                              Value::Str("Supplier#" + std::to_string(i)),
@@ -72,6 +75,7 @@ Status GenerateTpcdData(Catalog* catalog, const TpcdTables& tables,
   // customer
   {
     auto data = std::make_shared<Table>(catalog->table(tables.customer).schema);
+    data->Reserve(options.customers());
     for (int64_t i = 1; i <= options.customers(); ++i) {
       data->AppendUnchecked({Value::Int(i),
                              Value::Str("Customer#" + std::to_string(i)),
@@ -85,6 +89,7 @@ Status GenerateTpcdData(Catalog* catalog, const TpcdTables& tables,
   // part
   {
     auto data = std::make_shared<Table>(catalog->table(tables.part).schema);
+    data->Reserve(options.parts());
     for (int64_t i = 1; i <= options.parts(); ++i) {
       data->AppendUnchecked(
           {Value::Int(i), Value::Str("Part#" + std::to_string(i)),
@@ -99,6 +104,7 @@ Status GenerateTpcdData(Catalog* catalog, const TpcdTables& tables,
   // partsupp
   {
     auto data = std::make_shared<Table>(catalog->table(tables.partsupp).schema);
+    data->Reserve(options.parts() * options.partsupp_per_part());
     int64_t ns = options.suppliers();
     for (int64_t p = 1; p <= options.parts(); ++p) {
       for (int64_t k = 0; k < options.partsupp_per_part(); ++k) {
@@ -116,6 +122,10 @@ Status GenerateTpcdData(Catalog* catalog, const TpcdTables& tables,
     auto orders = std::make_shared<Table>(catalog->table(tables.orders).schema);
     auto lineitem =
         std::make_shared<Table>(catalog->table(tables.lineitem).schema);
+    orders->Reserve(options.orders());
+    // Lines per order are uniform in [1, max]; reserve the expected total.
+    lineitem->Reserve(options.orders() * (options.max_lines_per_order() + 1) /
+                      2);
     for (int64_t o = 1; o <= options.orders(); ++o) {
       int64_t orderdate = rng.Uniform(0, kDateRange - 1);
       int64_t lines = rng.Uniform(1, options.max_lines_per_order());
@@ -180,6 +190,7 @@ Status GenerateEmpDeptData(Catalog* catalog, const EmpDeptTables& tables,
   Rng rng(options.seed);
 
   auto dept = std::make_shared<Table>(catalog->table(tables.dept).schema);
+  dept->Reserve(options.num_departments);
   for (int64_t d = 1; d <= options.num_departments; ++d) {
     double budget = rng.Chance(options.budget_below_1m_fraction)
                         ? rng.UniformReal(100'000.0, 999'999.0)
@@ -189,6 +200,7 @@ Status GenerateEmpDeptData(Catalog* catalog, const EmpDeptTables& tables,
   Finalize(catalog, tables.dept, std::move(dept));
 
   auto emp = std::make_shared<Table>(catalog->table(tables.emp).schema);
+  emp->Reserve(options.num_employees);
   for (int64_t e = 1; e <= options.num_employees; ++e) {
     int64_t age = rng.Chance(options.young_fraction) ? rng.Uniform(18, 21)
                                                      : rng.Uniform(22, 65);

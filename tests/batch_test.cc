@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exec/operators.h"
+#include "test_util.h"
+
+namespace aggview {
+namespace {
+
+/// Batch-boundary tests for the vectorized execution engine: the batch size
+/// is a pure throughput knob, so every query must compute the identical
+/// result at size 1 (row-at-a-time degenerate), tiny odd sizes (rows straddle
+/// batch boundaries everywhere), and the default 1024. Plus the protocol
+/// edge cases: empty inputs, cardinalities that are exact multiples of the
+/// batch size (no phantom empty tail batch), and post-EOS Next calls.
+
+TEST(RowBatchTest, AppendPopClearReuseSlots) {
+  RowBatch batch(3);
+  EXPECT_EQ(batch.capacity(), 3);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_FALSE(batch.full());
+
+  batch.AppendRow() = {Value::Int(1)};
+  batch.AppendRow() = {Value::Int(2), Value::Int(3)};
+  EXPECT_EQ(batch.size(), 2);
+  batch.PopRow();
+  EXPECT_EQ(batch.size(), 1);
+  EXPECT_EQ(batch.row(0)[0].AsInt(), 1);
+
+  batch.AppendRow() = {Value::Int(4)};
+  batch.AppendRow() = {Value::Int(5)};
+  EXPECT_TRUE(batch.full());
+
+  batch.Clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.capacity(), 3);
+  // A reused slot comes back emptied, not carrying the old row.
+  Row& slot = batch.AppendRow();
+  EXPECT_TRUE(slot.empty());
+}
+
+TEST(RowBatchTest, NonPositiveCapacityClampsToOne) {
+  RowBatch batch(0);
+  EXPECT_EQ(batch.capacity(), 1);
+  batch.AppendRow() = {Value::Int(7)};
+  EXPECT_TRUE(batch.full());
+}
+
+TEST(ExecOptionsTest, EnvironmentVariableOverridesDefault) {
+  // CI runs the suite with AGGVIEW_TEST_BATCH_SIZE already set; save and
+  // restore whatever is there so this test observes only its own values.
+  const char* ambient = std::getenv("AGGVIEW_TEST_BATCH_SIZE");
+  std::string saved = ambient == nullptr ? "" : ambient;
+
+  EXPECT_EQ(ExecOptions{}.batch_size, kDefaultBatchSize);
+  ASSERT_EQ(setenv("AGGVIEW_TEST_BATCH_SIZE", "7", /*overwrite=*/1), 0);
+  EXPECT_EQ(ExecOptions::Default().batch_size, 7);
+  // Non-positive values are ignored, not honoured as batch size zero.
+  ASSERT_EQ(setenv("AGGVIEW_TEST_BATCH_SIZE", "0", /*overwrite=*/1), 0);
+  EXPECT_EQ(ExecOptions::Default().batch_size, kDefaultBatchSize);
+  ASSERT_EQ(unsetenv("AGGVIEW_TEST_BATCH_SIZE"), 0);
+  EXPECT_EQ(ExecOptions::Default().batch_size, kDefaultBatchSize);
+
+  if (ambient != nullptr) {
+    ASSERT_EQ(setenv("AGGVIEW_TEST_BATCH_SIZE", saved.c_str(), 1), 0);
+  }
+}
+
+/// Ten-row table scanned through small batches, directly at the operator
+/// protocol level where the boundary behaviour is observable.
+class ScanBatchTest : public ::testing::Test {
+ protected:
+  ScanBatchTest() : table_(Schema({{"id", DataType::kInt64}})) {
+    id_ = cat_.Add("t.id", DataType::kInt64);
+    for (int i = 0; i < 10; ++i) table_.AppendUnchecked({Value::Int(i)});
+  }
+
+  ColumnCatalog cat_;
+  Table table_;
+  ColId id_ = -1;
+};
+
+TEST_F(ScanBatchTest, ExactMultipleCardinalityHasNoPhantomTailBatch) {
+  // 10 rows through capacity-5 batches: exactly 2 batches, and the call
+  // that discovers end-of-stream returns false instead of an empty batch.
+  RowLayout layout({id_});
+  IoAccountant io;
+  TableScanOp scan(&table_, layout, {}, layout, &io, /*charge_io=*/true);
+  OpStats stats;
+  scan.set_stats(&stats);
+  ASSERT_OK(scan.Open());
+
+  RowBatch batch(5);
+  int64_t rows = 0;
+  while (true) {
+    auto more = scan.Next(&batch);
+    ASSERT_OK(more);
+    if (!*more) break;
+    EXPECT_FALSE(batch.empty()) << "mid-stream batches are never empty";
+    rows += batch.size();
+  }
+  EXPECT_EQ(rows, 10);
+  EXPECT_EQ(stats.batches_produced, 2);
+  EXPECT_EQ(stats.next_calls, 3);  // two full batches + end-of-stream
+
+  // Past end-of-stream the operator keeps answering false, safely.
+  for (int i = 0; i < 3; ++i) {
+    auto more = scan.Next(&batch);
+    ASSERT_OK(more);
+    EXPECT_FALSE(*more);
+    EXPECT_TRUE(batch.empty());
+  }
+  scan.Close();
+}
+
+TEST_F(ScanBatchTest, EmptyInputAnswersFalseOnFirstNext) {
+  RowLayout layout({id_});
+  IoAccountant io;
+  TableScanOp scan(&table_, layout,
+                   {Cmp(Col(id_), CompareOp::kLt, LitInt(0))}, layout, &io,
+                   /*charge_io=*/true);
+  OpStats stats;
+  scan.set_stats(&stats);
+  ASSERT_OK(scan.Open());
+  RowBatch batch(5);
+  auto more = scan.Next(&batch);
+  ASSERT_OK(more);
+  EXPECT_FALSE(*more);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(stats.batches_produced, 0);
+  EXPECT_EQ(stats.rows_produced, 0);
+  EXPECT_EQ(stats.input_rows, 10);  // the scan still examined every row
+  scan.Close();
+}
+
+/// End-to-end: the same optimized plan executed at many batch sizes must
+/// fingerprint identically, including sizes that divide the cardinalities
+/// involved (boundary-aligned) and sizes that do not.
+class BatchSizeInvarianceTest : public ::testing::Test {
+ protected:
+  BatchSizeInvarianceTest() : db_(MakeEmpDept()) {}
+
+  void CheckInvariant(const std::string& sql) {
+    auto query = ParseAndBind(*db_.catalog, sql);
+    ASSERT_OK(query);
+    auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
+    ASSERT_OK(optimized);
+
+    auto reference =
+        ExecutePlan(optimized->plan, optimized->query, nullptr, nullptr,
+                    ExecOptions{.batch_size = kDefaultBatchSize});
+    ASSERT_OK(reference);
+    for (int batch_size : {1, 2, 3, 7, 64, 4096}) {
+      auto rerun = ExecutePlan(optimized->plan, optimized->query, nullptr,
+                               nullptr, ExecOptions{.batch_size = batch_size});
+      ASSERT_OK(rerun);
+      EXPECT_EQ(rerun->Fingerprint(), reference->Fingerprint())
+          << "batch_size=" << batch_size << " changed the result of:\n"
+          << sql;
+    }
+  }
+
+  EmpDeptFixture db_;
+};
+
+TEST_F(BatchSizeInvarianceTest, AggregateViewQuery) {
+  CheckInvariant(Example1Sql());
+}
+
+TEST_F(BatchSizeInvarianceTest, InvariantGroupingQuery) {
+  CheckInvariant(Example2Sql());
+}
+
+TEST_F(BatchSizeInvarianceTest, ScalarAggregateOverEmptyInput) {
+  // The one synthesized row of a scalar aggregate over zero input must
+  // appear exactly once at every batch size.
+  CheckInvariant("select count(*), sum(e.sal) from emp e where e.sal < 0");
+}
+
+/// NULL join keys placed so they straddle batch boundaries at small batch
+/// sizes: the skip-NULL-key logic runs at the boundary between pulling a new
+/// probe batch and finishing the old one, where an off-by-one would either
+/// drop a valid row or let NULL = NULL match.
+class NullKeysAcrossBatchesTest : public ::testing::Test {
+ protected:
+  NullKeysAcrossBatchesTest() {
+    auto tables = CreateEmpDeptSchema(&catalog_);
+    EXPECT_OK(tables);
+    tables_ = *tables;
+
+    auto dept = std::make_shared<Table>(catalog_.table(tables_.dept).schema);
+    dept->AppendUnchecked({Value::Int(1), Value::Real(100000.0)});
+    dept->AppendUnchecked({Value::Null(), Value::Real(200000.0)});
+    dept->AppendUnchecked({Value::Int(2), Value::Real(300000.0)});
+    catalog_.mutable_table(tables_.dept).stats = ComputeStats(*dept);
+    catalog_.mutable_table(tables_.dept).data = dept;
+
+    // Every third employee has a NULL dno, so at batch sizes 2 and 3 the
+    // NULL-keyed rows land at every position within a probe batch.
+    auto emp = std::make_shared<Table>(catalog_.table(tables_.emp).schema);
+    for (int i = 0; i < 18; ++i) {
+      Value dno = (i % 3 == 2) ? Value::Null() : Value::Int(1 + i % 2);
+      emp->AppendUnchecked({Value::Int(i), std::move(dno),
+                            Value::Real(100.0 * i), Value::Int(25 + i % 10)});
+    }
+    catalog_.mutable_table(tables_.emp).stats = ComputeStats(*emp);
+    catalog_.mutable_table(tables_.emp).data = emp;
+  }
+
+  Catalog catalog_;
+  EmpDeptTables tables_;
+};
+
+TEST_F(NullKeysAcrossBatchesTest, AllJoinAlgorithmsAtAllBatchSizes) {
+  Query q(&catalog_);
+  int d = q.AddRangeVar(tables_.dept, "d");
+  int e = q.AddRangeVar(tables_.emp, "e");
+  q.base_rels() = {d, e};
+  ColId d_dno = q.range_var(d).columns[0];
+  ColId e_dno = q.range_var(e).columns[1];
+  ColId eno = q.range_var(e).columns[0];
+  q.select_list() = {d_dno, eno};
+  PlanBuilder b(q);
+  std::set<ColId> needed = {d_dno, e_dno, eno};
+
+  // 12 non-NULL-keyed employees, each matching exactly one department.
+  std::string reference;
+  for (JoinAlgo algo :
+       {JoinAlgo::kHash, JoinAlgo::kSortMerge, JoinAlgo::kBlockNestedLoop}) {
+    PlanPtr join = b.Join(algo, b.Scan(d, {}, needed), b.Scan(e, {}, needed),
+                          {EqCols(d_dno, e_dno)}, needed);
+    PlanPtr plan = b.Project(join, q.select_list());
+    for (int batch_size : {1, 2, 3, 1024}) {
+      auto result = ExecutePlan(plan, q, nullptr, nullptr,
+                                ExecOptions{.batch_size = batch_size});
+      ASSERT_OK(result);
+      EXPECT_EQ(result->rows.size(), 12u)
+          << JoinAlgoName(algo) << " batch_size=" << batch_size;
+      for (const Row& row : result->rows) {
+        EXPECT_FALSE(row[0].is_null()) << JoinAlgoName(algo);
+      }
+      if (reference.empty()) {
+        reference = result->Fingerprint();
+      } else {
+        EXPECT_EQ(result->Fingerprint(), reference)
+            << JoinAlgoName(algo) << " batch_size=" << batch_size;
+      }
+    }
+  }
+}
+
+TEST_F(NullKeysAcrossBatchesTest, OuterJoinPadsNullKeyedRowsAtEverySize) {
+  Query q(&catalog_);
+  int e = q.AddRangeVar(tables_.emp, "e");
+  int d = q.AddRangeVar(tables_.dept, "d");
+  q.base_rels() = {e, d};
+  ColId e_dno = q.range_var(e).columns[1];
+  ColId eno = q.range_var(e).columns[0];
+  ColId d_dno = q.range_var(d).columns[0];
+  ColId budget = q.range_var(d).columns[1];
+  q.select_list() = {eno, budget};
+  PlanBuilder b(q);
+  std::set<ColId> needed = {e_dno, eno, d_dno, budget};
+
+  PlanPtr loj = b.LeftOuterJoin(b.Scan(e, {}, needed), b.Scan(d, {}, needed),
+                                {EqCols(e_dno, d_dno)}, needed);
+  PlanPtr plan = b.Project(loj, q.select_list());
+  for (int batch_size : {1, 2, 3, 1024}) {
+    auto result = ExecutePlan(plan, q, nullptr, nullptr,
+                              ExecOptions{.batch_size = batch_size});
+    ASSERT_OK(result);
+    // All 18 employees survive: 12 matched, 6 NULL-dno rows padded.
+    ASSERT_EQ(result->rows.size(), 18u) << "batch_size=" << batch_size;
+    int padded = 0;
+    for (const Row& row : result->rows) {
+      if (row[1].is_null()) ++padded;
+    }
+    EXPECT_EQ(padded, 6) << "batch_size=" << batch_size;
+  }
+}
+
+/// A single group whose rows straddle many batch boundaries: the aggregate
+/// must fold every input batch into the same accumulator rather than start a
+/// fresh group per batch.
+TEST(GroupAcrossBatchesTest, GroupSpanningManyBatchesAggregatesOnce) {
+  Catalog catalog;
+  auto tables = CreateEmpDeptSchema(&catalog);
+  ASSERT_OK(tables);
+
+  auto dept = std::make_shared<Table>(catalog.table(tables->dept).schema);
+  dept->AppendUnchecked({Value::Int(1), Value::Real(100000.0)});
+  catalog.mutable_table(tables->dept).stats = ComputeStats(*dept);
+  catalog.mutable_table(tables->dept).data = dept;
+
+  // One department, 100 employees with salaries 0..99: any batch size below
+  // 100 splits the group across input batches.
+  auto emp = std::make_shared<Table>(catalog.table(tables->emp).schema);
+  for (int i = 0; i < 100; ++i) {
+    emp->AppendUnchecked({Value::Int(i), Value::Int(1), Value::Real(i),
+                          Value::Int(30)});
+  }
+  catalog.mutable_table(tables->emp).stats = ComputeStats(*emp);
+  catalog.mutable_table(tables->emp).data = emp;
+
+  auto query = ParseAndBind(
+      catalog, "select e.dno, count(*), sum(e.sal), avg(e.sal) "
+               "from emp e group by e.dno");
+  ASSERT_OK(query);
+  auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
+  ASSERT_OK(optimized);
+
+  for (int batch_size : {1, 3, 25, 100, 1024}) {
+    auto result = ExecutePlan(optimized->plan, optimized->query, nullptr,
+                              nullptr, ExecOptions{.batch_size = batch_size});
+    ASSERT_OK(result);
+    ASSERT_EQ(result->rows.size(), 1u) << "batch_size=" << batch_size;
+    const Row& row = result->rows[0];
+    EXPECT_EQ(row[0].AsInt(), 1);
+    EXPECT_EQ(row[1].AsInt(), 100);
+    EXPECT_DOUBLE_EQ(row[2].AsDouble(), 4950.0);
+    EXPECT_DOUBLE_EQ(row[3].AsDouble(), 49.5);
+  }
+}
+
+}  // namespace
+}  // namespace aggview

@@ -36,19 +36,20 @@ TEST(OpStatsTest, TableScanRecordsCounters) {
   OpStats stats;
   scan.set_stats(&stats);
   ASSERT_OK(scan.Open());
-  Row row;
+  RowBatch batch(3);  // 4 matching rows -> a full batch, a partial, then EOS
   int64_t rows = 0;
   while (true) {
-    auto more = scan.Next(&row);
+    auto more = scan.Next(&batch);
     ASSERT_OK(more);
     if (!*more) break;
-    ++rows;
+    rows += batch.size();
   }
   scan.Close();
 
   EXPECT_EQ(rows, 4);
   EXPECT_EQ(stats.rows_produced, 4);
-  EXPECT_EQ(stats.next_calls, 5);         // 4 rows + the end-of-stream call
+  EXPECT_EQ(stats.batches_produced, 2);   // sizes 3 and 1; no phantom tail
+  EXPECT_EQ(stats.next_calls, 3);         // 2 batches + the end-of-stream call
   EXPECT_EQ(stats.input_rows, 10);        // every table row examined
   EXPECT_EQ(stats.pages_charged, table.page_count());
   EXPECT_EQ(stats.pages_charged, io.total());
@@ -131,6 +132,7 @@ TEST_F(ExplainAnalyzeTest, EveryNodeCarriesEstimateAndActual) {
       ExplainAnalyze(optimized->plan, optimized->query, stats);
   EXPECT_EQ(CountOccurrences(rendered, "est="), nodes);
   EXPECT_EQ(CountOccurrences(rendered, "act="), nodes);
+  EXPECT_EQ(CountOccurrences(rendered, "batches="), nodes);
   EXPECT_EQ(CountOccurrences(rendered, "act=?"), 0)
       << "all nodes of the executed plan were lowered:\n" << rendered;
   EXPECT_NE(rendered.find("q-error"), std::string::npos);

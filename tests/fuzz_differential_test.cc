@@ -28,6 +28,11 @@ TEST_P(DifferentialFuzz, AllOptimizersAgreeUnderParanoidAnalysis) {
   EXPECT_EQ(report->queries_run, options.num_queries);
   // 4 configurations per query, each executed and compared.
   EXPECT_EQ(report->plans_compared, options.num_queries * 4);
+  // Every reference plan re-executed at batch sizes 1, 2, and 1024 with a
+  // byte-identical fingerprint: the batch engine is invisible to semantics.
+  EXPECT_EQ(report->batch_size_checks,
+            options.num_queries *
+                static_cast<int>(options.cross_batch_sizes.size()));
   // Paranoid mode actually fired: the analyzer ran at DP insertions and
   // transformation certificates were re-proved.
   EXPECT_GT(report->plans_checked, 0);

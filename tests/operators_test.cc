@@ -31,15 +31,17 @@ class OperatorsTest : public ::testing::Test {
                                          &io_, /*charge_io=*/true);
   }
 
-  static std::vector<Row> DrainAll(Operator* op) {
+  /// Drains through the batch protocol with a deliberately small odd
+  /// capacity, so multi-row results straddle batch boundaries.
+  static std::vector<Row> DrainAll(Operator* op, int batch_size = 7) {
     EXPECT_TRUE(op->Open().ok());
     std::vector<Row> rows;
-    Row row;
+    RowBatch batch(batch_size);
     while (true) {
-      auto more = op->Next(&row);
+      auto more = op->Next(&batch);
       EXPECT_TRUE(more.ok());
-      if (!*more) break;
-      rows.push_back(row);
+      if (!more.ok() || !*more) break;
+      for (int i = 0; i < batch.size(); ++i) rows.push_back(batch.row(i));
     }
     op->Close();
     return rows;
@@ -299,12 +301,15 @@ class FailingOp final : public Operator {
   }
  protected:
   Status OpenImpl() override { return Status::OK(); }
-  Result<bool> NextImpl(Row* out) override {
-    if (remaining_ <= 0) {
-      return Status::ExecutionError("injected failure");
+  Result<bool> NextBatchImpl(RowBatch* out) override {
+    while (!out->full()) {
+      if (remaining_ <= 0) {
+        return Status::ExecutionError("injected failure");
+      }
+      --remaining_;
+      out->AppendRow().assign(static_cast<size_t>(layout_.size()),
+                              Value::Int(remaining_));
     }
-    --remaining_;
-    out->assign(static_cast<size_t>(layout_.size()), Value::Int(remaining_));
     return true;
   }
 
@@ -315,11 +320,13 @@ class FailingOp final : public Operator {
 TEST_F(OperatorsTest, FailurePropagatesThroughFilter) {
   FilterOp op(std::make_unique<FailingOp>(RowLayout({id_}), 2),
               {Cmp(Col(id_), CompareOp::kGe, LitInt(0))});
+  // Degenerate batches, so the two good rows drain before the failure.
+  op.set_batch_size(1);
   ASSERT_TRUE(op.Open().ok());
-  Row row;
-  ASSERT_TRUE(*op.Next(&row));
-  ASSERT_TRUE(*op.Next(&row));
-  auto r = op.Next(&row);
+  RowBatch batch(1);
+  ASSERT_TRUE(*op.Next(&batch));
+  ASSERT_TRUE(*op.Next(&batch));
+  auto r = op.Next(&batch);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kExecutionError);
 }
@@ -336,9 +343,9 @@ TEST_F(OperatorsTest, FailureInProbeSideSurfacesAtNext) {
   HashJoinOp join(std::make_unique<FailingOp>(RowLayout({k}), 1), Scan(),
                   {{k, grp_}}, {}, &cat_, &io_);
   ASSERT_TRUE(join.Open().ok());
-  Row row;
+  RowBatch batch(4);
   while (true) {
-    auto r = join.Next(&row);
+    auto r = join.Next(&batch);
     if (!r.ok()) {
       EXPECT_EQ(r.status().code(), StatusCode::kExecutionError);
       break;
