@@ -1,4 +1,5 @@
-// Experiment E13 — execution-engine throughput across batch sizes.
+// Experiment E13 — execution-engine throughput across batch sizes and
+// thread counts.
 //
 // The batch-at-a-time refactor claims that per-row interpretation overhead
 // (virtual dispatch, stats clock reads, counter updates) amortizes over the
@@ -10,10 +11,19 @@
 // installed (traced_ms), where the interpreter pays two clock reads per
 // Next per operator and the per-batch amortization is decisive.
 //
-// Repetitions are interleaved round-robin across batch sizes (all sizes at
-// rep 0, then all at rep 1, ...) so clock-frequency drift during the run
-// cannot systematically favour whichever size is measured first.
+// A second sweep holds the batch size at the default (1024) and varies the
+// morsel-driven worker count through 1, 2, 4 and 8: parallel scan morsels,
+// partitioned hash-join build and thread-local partial aggregation. The
+// speedup column is relative to the 1-thread run of the same workload; it
+// can only approach the thread count when the host actually has that many
+// cores (the `cores` column reports std::thread::hardware_concurrency),
+// and the results stay byte-identical at every point regardless.
+//
+// Repetitions are interleaved round-robin across the axis values (all
+// values at rep 0, then all at rep 1, ...) so clock-frequency drift during
+// the run cannot systematically favour whichever value is measured first.
 #include <chrono>
+#include <thread>
 
 #include "bench_util.h"
 
@@ -42,16 +52,19 @@ constexpr Workload kWorkloads[] = {
 
 constexpr int kBatchSizes[] = {1, 64, 256, 1024, 4096};
 constexpr int kNumSizes = 5;
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+constexpr int kNumThreadCounts = 4;
 constexpr int kReps = 5;
 
 double RunOnce(const PlanPtr& plan, const Query& query, int batch_size,
-               bool traced) {
-  ExecOptions exec;
-  exec.batch_size = batch_size;
+               int threads, bool traced) {
   RuntimeStatsCollector stats;
+  ExecContext ctx = ExecContext{}
+                        .WithBatchSize(batch_size)
+                        .WithThreads(threads)
+                        .WithStats(traced ? &stats : nullptr);
   auto start = std::chrono::steady_clock::now();
-  auto result =
-      ExecutePlan(plan, query, nullptr, traced ? &stats : nullptr, exec);
+  auto result = ExecutePlan(plan, query, ctx);
   auto stop = std::chrono::steady_clock::now();
   if (!result.ok()) {
     std::fprintf(stderr, "execute: %s\n", result.status().ToString().c_str());
@@ -60,9 +73,25 @@ double RunOnce(const PlanPtr& plan, const Query& query, int batch_size,
   return std::chrono::duration<double>(stop - start).count();
 }
 
+Result<OptimizedQuery> Prepare(const TpcdDb& db, const Workload& w) {
+  auto query = ParseAndBind(*db.catalog, w.sql);
+  if (!query.ok()) {
+    std::fprintf(stderr, "bind: %s\n", query.status().ToString().c_str());
+    std::abort();
+  }
+  auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
+  if (!optimized.ok()) {
+    std::fprintf(stderr, "optimize: %s\n",
+                 optimized.status().ToString().c_str());
+    std::abort();
+  }
+  return optimized;
+}
+
 void Run(bool json) {
   if (!json) {
-    Banner("E13", "batch execution throughput (rows/sec vs batch size)");
+    Banner("E13",
+           "batch execution throughput (rows/sec vs batch size, threads)");
   }
 
   DbgenOptions options;
@@ -71,33 +100,24 @@ void Run(bool json) {
   int64_t lineitems = db.catalog->table(db.tables.lineitem).data->row_count();
 
   ResultWriter table(json, "E13",
-                     {"workload", "batch_size", "rows", "plain_ms",
+                     {"workload", "batch_size", "threads", "rows", "plain_ms",
                       "rows_per_sec", "plain_speedup", "traced_ms",
                       "traced_speedup"}, 15);
 
+  // Axis 1: batch size (serial execution).
   for (const Workload& w : kWorkloads) {
-    auto query = ParseAndBind(*db.catalog, w.sql);
-    if (!query.ok()) {
-      std::fprintf(stderr, "bind: %s\n", query.status().ToString().c_str());
-      std::abort();
-    }
-    auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
-    if (!optimized.ok()) {
-      std::fprintf(stderr, "optimize: %s\n",
-                   optimized.status().ToString().c_str());
-      std::abort();
-    }
+    auto optimized = Prepare(db, w);
 
     double plain[kNumSizes], traced[kNumSizes];
     for (int s = 0; s < kNumSizes; ++s) plain[s] = traced[s] = 1e300;
     // Warm-up pass (untimed), then interleaved timed repetitions.
-    RunOnce(optimized->plan, optimized->query, kBatchSizes[0], false);
+    RunOnce(optimized->plan, optimized->query, kBatchSizes[0], 1, false);
     for (int rep = 0; rep < kReps; ++rep) {
       for (int s = 0; s < kNumSizes; ++s) {
         double t = RunOnce(optimized->plan, optimized->query, kBatchSizes[s],
-                           /*traced=*/false);
+                           1, /*traced=*/false);
         if (t < plain[s]) plain[s] = t;
-        t = RunOnce(optimized->plan, optimized->query, kBatchSizes[s],
+        t = RunOnce(optimized->plan, optimized->query, kBatchSizes[s], 1,
                     /*traced=*/true);
         if (t < traced[s]) traced[s] = t;
       }
@@ -111,16 +131,57 @@ void Run(bool json) {
       std::snprintf(pspd, sizeof(pspd), "%.2f", plain[0] / plain[s]);
       std::snprintf(tms, sizeof(tms), "%.3f", traced[s] * 1e3);
       std::snprintf(tspd, sizeof(tspd), "%.2f", traced[0] / traced[s]);
-      table.Row({w.name, Fmt(static_cast<int64_t>(kBatchSizes[s])),
+      table.Row({w.name, Fmt(static_cast<int64_t>(kBatchSizes[s])), "1",
                  Fmt(lineitems), pms, rps, pspd, tms, tspd});
     }
   }
+
+  // Axis 2: worker count at the default batch size. The speedup baseline is
+  // the 1-thread entry of this sweep (same batch size, same plan).
+  for (const Workload& w : kWorkloads) {
+    auto optimized = Prepare(db, w);
+
+    double plain[kNumThreadCounts], traced[kNumThreadCounts];
+    for (int s = 0; s < kNumThreadCounts; ++s) plain[s] = traced[s] = 1e300;
+    RunOnce(optimized->plan, optimized->query, kDefaultBatchSize,
+            kThreadCounts[kNumThreadCounts - 1], false);
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (int s = 0; s < kNumThreadCounts; ++s) {
+        double t = RunOnce(optimized->plan, optimized->query,
+                           kDefaultBatchSize, kThreadCounts[s],
+                           /*traced=*/false);
+        if (t < plain[s]) plain[s] = t;
+        t = RunOnce(optimized->plan, optimized->query, kDefaultBatchSize,
+                    kThreadCounts[s], /*traced=*/true);
+        if (t < traced[s]) traced[s] = t;
+      }
+    }
+
+    for (int s = 0; s < kNumThreadCounts; ++s) {
+      char pms[32], rps[32], pspd[32], tms[32], tspd[32];
+      std::snprintf(pms, sizeof(pms), "%.3f", plain[s] * 1e3);
+      std::snprintf(rps, sizeof(rps), "%.0f",
+                    static_cast<double>(lineitems) / plain[s]);
+      std::snprintf(pspd, sizeof(pspd), "%.2f", plain[0] / plain[s]);
+      std::snprintf(tms, sizeof(tms), "%.3f", traced[s] * 1e3);
+      std::snprintf(tspd, sizeof(tspd), "%.2f", traced[0] / traced[s]);
+      table.Row({w.name, Fmt(static_cast<int64_t>(kDefaultBatchSize)),
+                 Fmt(static_cast<int64_t>(kThreadCounts[s])), Fmt(lineitems),
+                 pms, rps, pspd, tms, tspd});
+    }
+  }
+
   if (!json) {
     std::printf(
+        "\nhost cores: %u (speedup from the threads axis is bounded by this)\n"
         "\nExpected shape: batch sizes >= 256 beat size 1 in both modes and\n"
         "the curve flattens once per-batch costs are amortized. The traced\n"
         "columns show the larger effect: at size 1 the interpreter pays two\n"
-        "clock reads per operator per row, at 1024 per thousand rows.\n");
+        "clock reads per operator per row, at 1024 per thousand rows. On the\n"
+        "threads axis the scan workload scales with cores (morsel-parallel\n"
+        "probe pipeline); the aggregate workload scales until the serial\n"
+        "merge of partial group states dominates.\n",
+        std::thread::hardware_concurrency());
   }
 }
 

@@ -61,46 +61,40 @@ void PrintTables(const Catalog& catalog) {
   }
 }
 
-void RunStatement(const Catalog& catalog, std::string sql, bool traditional) {
+void RunStatement(Session& session, std::string sql) {
   bool analyze = StripExplainAnalyze(&sql);
-  auto query = ParseAndBind(catalog, sql);
-  if (!query.ok()) {
-    std::printf("error: %s\n", query.status().ToString().c_str());
-    return;
-  }
-  auto optimized = traditional
-                       ? OptimizeTraditional(*query)
-                       : OptimizeQueryWithAggViews(*query, OptimizerOptions{});
-  if (!optimized.ok()) {
-    std::printf("error: %s\n", optimized.status().ToString().c_str());
+  auto prepared = session.Sql(sql);
+  if (!prepared.ok()) {
+    std::printf("error: %s\n", prepared.status().ToString().c_str());
     return;
   }
   std::printf("-- plan (%s, est %.1f IO pages):\n%s",
-              optimized->description.c_str(), optimized->plan->cost,
-              PlanToString(optimized->plan, optimized->query).c_str());
-  if (optimized->alternatives.size() > 1) {
+              prepared->description().c_str(), prepared->plan()->cost,
+              PlanToString(prepared->plan(), prepared->query()).c_str());
+  if (prepared->alternatives().size() > 1) {
     std::printf("-- alternatives considered: %zu\n",
-                optimized->alternatives.size());
+                prepared->alternatives().size());
   }
-  IoAccountant io;
-  RuntimeStatsCollector stats;
-  auto result = ExecutePlan(optimized->plan, optimized->query, &io,
-                            analyze ? &stats : nullptr);
+  if (analyze) {
+    auto analyzed = prepared->ExplainAnalyze();
+    if (!analyzed.ok()) {
+      std::printf("error: %s\n", analyzed.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", analyzed->c_str());
+  }
+  auto result = prepared->Execute();
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
   }
-  if (analyze) {
-    std::printf("%s", ExplainAnalyze(optimized->plan, optimized->query, stats)
-                          .c_str());
-  }
   std::printf("-- %zu rows, %lld IO pages measured\n", result->rows.size(),
-              static_cast<long long>(io.total()));
+              static_cast<long long>(prepared->last_io_pages()));
   size_t shown = std::min<size_t>(result->rows.size(), 20);
   std::printf("%s", QueryResult{result->layout,
                                 {result->rows.begin(),
                                  result->rows.begin() + static_cast<long>(shown)}}
-                        .ToString(optimized->query.columns())
+                        .ToString(prepared->query().columns())
                         .c_str());
   if (shown < result->rows.size()) {
     std::printf("... (%zu more)\n", result->rows.size() - shown);
@@ -110,7 +104,11 @@ void RunStatement(const Catalog& catalog, std::string sql, bool traditional) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Catalog catalog;
+  // The session reads AGGVIEW_TEST_THREADS / AGGVIEW_TEST_BATCH_SIZE from
+  // the environment (SessionOptions::Default), so the shell can be driven
+  // parallel without flags.
+  Session session;
+  Catalog& catalog = session.catalog();
   if (argc > 1 && std::string(argv[1]) == "tpcd") {
     auto tables = CreateTpcdSchema(&catalog);
     if (!tables.ok()) return 1;
@@ -139,6 +137,7 @@ int main(int argc, char** argv) {
         PrintTables(catalog);
       } else if (line == "\\traditional") {
         traditional = !traditional;
+        session.set_use_traditional(traditional);
         std::printf("optimizer: %s\n",
                     traditional ? "traditional two-phase"
                                 : "cost-based with pull-up/push-down");
@@ -178,7 +177,7 @@ int main(int argc, char** argv) {
         if (c == ';') ++semis;
       }
       if (semis >= views + 1 || views == 0) {
-        RunStatement(catalog, buffer, traditional);
+        RunStatement(session, buffer);
         buffer.clear();
       }
     }

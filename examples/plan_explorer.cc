@@ -8,7 +8,10 @@
 using namespace aggview;
 
 int main(int argc, char** argv) {
-  Catalog catalog;
+  // The session front door, plus direct use of the analysis layers below it
+  // (invariant-grouping analysis and pull-up operate on the bound Query).
+  Session session;
+  Catalog& catalog = session.catalog();
   auto tables = CreateEmpDeptSchema(&catalog);
   if (!tables.ok()) return 1;
   EmpDeptOptions data;
@@ -60,29 +63,30 @@ where e1.dno = c.dno and e1.age < 22 and e1.sal > c.asal
     }
   }
 
-  // Every alternative the two-phase optimizer evaluates (Section 5.3).
-  auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
-  if (!optimized.ok()) {
-    std::fprintf(stderr, "%s\n", optimized.status().ToString().c_str());
+  // Every alternative the two-phase optimizer evaluates (Section 5.3),
+  // through the session facade: Sql() parses, binds and optimizes.
+  auto prepared = session.Sql(sql);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
     return 1;
   }
   std::printf("=== alternatives ===\n");
-  for (const PlanAlternative& alt : optimized->alternatives) {
+  for (const PlanAlternative& alt : prepared->alternatives()) {
     std::printf("  %-36s est %10.1f%s\n", alt.description.c_str(), alt.cost,
-                alt.description == optimized->description ? "   <-- chosen"
-                                                          : "");
+                alt.description == prepared->description() ? "   <-- chosen"
+                                                           : "");
   }
   std::printf("\n=== chosen plan ===\n%s",
-              PlanToString(optimized->plan, optimized->query).c_str());
+              PlanToString(prepared->plan(), prepared->query()).c_str());
 
-  IoAccountant io;
-  RuntimeStatsCollector stats;
-  auto result = ExecutePlan(optimized->plan, optimized->query, &io, &stats);
+  auto result = prepared->Execute();
   if (!result.ok()) return 1;
   std::printf("\nexecuted: %zu rows, %lld IO pages (estimated %.1f)\n",
-              result->rows.size(), static_cast<long long>(io.total()),
-              optimized->plan->cost);
-  std::printf("\n=== explain analyze ===\n%s",
-              ExplainAnalyze(optimized->plan, optimized->query, stats).c_str());
+              result->rows.size(),
+              static_cast<long long>(prepared->last_io_pages()),
+              prepared->plan()->cost);
+  auto analyzed = prepared->ExplainAnalyze();
+  if (!analyzed.ok()) return 1;
+  std::printf("\n=== explain analyze ===\n%s", analyzed->c_str());
   return 0;
 }

@@ -1,5 +1,5 @@
-// Quickstart: define a schema, load data, run a SQL query with aggregate
-// views through the cost-based optimizer, and execute the plan.
+// Quickstart: open a Session, define a schema, load data, and run a SQL
+// query with aggregate views through the cost-based optimizer — in parallel.
 //
 // Build & run:   cmake -B build -G Ninja && cmake --build build
 //                ./build/examples/quickstart
@@ -10,27 +10,36 @@
 using namespace aggview;
 
 int main() {
-  // 1. Schema: the paper's running example — emp(eno, dno, sal, age) and
+  // 1. A session owns the catalog, the optimizer configuration and the
+  //    worker pool. threads = 4 runs every query's scans, hash joins and
+  //    aggregations morsel-parallel on 4 pipeline instances; the results
+  //    are identical to threads = 1.
+  SessionOptions options;
+  options.threads = 4;
+  Session session(options);
+
+  // 2. Schema: the paper's running example — emp(eno, dno, sal, age) and
   //    dept(dno, budget), with emp.dno a foreign key into dept.
-  Catalog catalog;
-  auto tables = CreateEmpDeptSchema(&catalog);
+  auto tables = CreateEmpDeptSchema(&session.catalog());
   if (!tables.ok()) {
     std::fprintf(stderr, "%s\n", tables.status().ToString().c_str());
     return 1;
   }
 
-  // 2. Data: synthetic, deterministic. 20000 employees in 800 departments.
+  // 3. Data: synthetic, deterministic. 20000 employees in 800 departments.
   EmpDeptOptions data;
   data.num_employees = 20'000;
   data.num_departments = 800;
-  Status st = GenerateEmpDeptData(&catalog, *tables, data);
+  Status st = GenerateEmpDeptData(&session.catalog(), *tables, data);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
 
-  // 3. A multi-block query: employees under 22 earning more than their
-  //    department's average salary (the paper's Example 1).
+  // 4. A multi-block query: employees under 22 earning more than their
+  //    department's average salary (the paper's Example 1). Sql() parses,
+  //    binds and optimizes with the paper's algorithm (pull-up + push-down
+  //    + the System-R style enumerator).
   const std::string sql = R"sql(
 create view a1 (dno, asal) as
   select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
@@ -39,35 +48,36 @@ from emp e1, a1 b
 where e1.dno = b.dno and e1.age < 22 and e1.sal > b.asal
 )sql";
 
-  auto query = ParseAndBind(catalog, sql);
-  if (!query.ok()) {
-    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+  auto prepared = session.Sql(sql);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
     return 1;
   }
-  std::printf("canonical form:\n%s\n", query->ToString().c_str());
+  std::printf("estimated IO: %.1f pages\n\n%s\n", prepared->plan()->cost,
+              prepared->Explain().c_str());
 
-  // 4. Optimize with the paper's algorithm (pull-up + push-down + the
-  //    System-R style enumerator).
-  auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
-  if (!optimized.ok()) {
-    std::fprintf(stderr, "%s\n", optimized.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("chosen alternative: %s\nestimated IO: %.1f pages\n\nplan:\n%s\n",
-              optimized->description.c_str(), optimized->plan->cost,
-              PlanToString(optimized->plan, optimized->query).c_str());
-
-  // 5. Execute and measure.
-  IoAccountant io;
-  auto result = ExecutePlan(optimized->plan, optimized->query, &io);
+  // 5. Execute and measure. The charged IO pages are independent of the
+  //    session's thread count — parallelism changes wall time, not the
+  //    simulated IO.
+  auto result = prepared->Execute();
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
   }
   std::printf("result rows: %zu, measured IO: %lld pages\n",
-              result->rows.size(), static_cast<long long>(io.total()));
+              result->rows.size(),
+              static_cast<long long>(prepared->last_io_pages()));
   for (size_t i = 0; i < std::min<size_t>(result->rows.size(), 5); ++i) {
     std::printf("  %s\n", result->rows[i][0].ToString().c_str());
   }
+
+  // 6. EXPLAIN ANALYZE: re-run instrumented; parallel regions show their
+  //    worker count per operator.
+  auto analyzed = prepared->ExplainAnalyze();
+  if (!analyzed.ok()) {
+    std::fprintf(stderr, "%s\n", analyzed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nEXPLAIN ANALYZE:\n%s", analyzed->c_str());
   return 0;
 }

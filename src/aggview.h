@@ -4,11 +4,16 @@
 /// Umbrella header for the AggView library: cost-based optimization of
 /// queries with aggregate views (Chaudhuri & Shim, EDBT 1996).
 ///
-/// Typical flow:
-///   Catalog catalog;                      // register tables + stats + data
-///   auto query = ParseAndBind(catalog, sql);           // sql/binder.h
-///   auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
-///   auto result = ExecutePlan(optimized->plan, optimized->query, &io);
+/// Typical flow — the Session facade (session.h):
+///   Session session(SessionOptions{.threads = 8});
+///   ... populate session.catalog() (tables + stats + data) ...
+///   auto q = session.Sql(sql);        // parse -> bind -> optimize
+///   auto result = q->Execute();       // morsel-parallel on 8 threads
+///   std::cout << q->Explain();        // or q->ExplainAnalyze()
+///
+/// The layers underneath remain directly usable: ParseAndBind (sql/binder.h),
+/// OptimizeQueryWithAggViews (optimizer/aggview_optimizer.h), and
+/// ExecutePlan(plan, query, ExecContext) (exec/executor.h).
 
 #include "algebra/query.h"
 #include "analysis/analyzer.h"
@@ -18,12 +23,15 @@
 #include "catalog/catalog.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "exec/exec_context.h"
 #include "exec/executor.h"
+#include "exec/thread_pool.h"
 #include "obs/explain.h"
 #include "obs/runtime_stats.h"
 #include "optimizer/aggview_optimizer.h"
 #include "optimizer/plan_validator.h"
 #include "optimizer/traditional.h"
+#include "session.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
 #include "tpcd/dbgen.h"

@@ -332,6 +332,32 @@ Result<FuzzReport> RunDifferentialFuzz(const FuzzOptions& options) {
           }
           ++report.batch_size_checks;
         }
+        // Morsel-driven parallelism must be equally invisible: the same
+        // plan re-executed at every (threads × batch size) combination has
+        // to reproduce the serial reference fingerprint bit for bit. The
+        // fuzzer's literals are all integers, so even SUM/AVG merges are
+        // exact and order-independent — any divergence is a real race or a
+        // morsel-boundary bug, not float noise.
+        for (int threads : options.cross_thread_counts) {
+          for (int batch_size : options.cross_thread_batch_sizes) {
+            auto rerun = ExecutePlan(optimized->plan, optimized->query,
+                                     ExecContext{}
+                                         .WithThreads(threads)
+                                         .WithBatchSize(batch_size));
+            if (!rerun.ok()) {
+              return fail("execute at threads=" + std::to_string(threads) +
+                              " batch_size=" + std::to_string(batch_size),
+                          rerun.status());
+            }
+            if (rerun->Fingerprint() != reference) {
+              return fail("threads=" + std::to_string(threads) +
+                              " batch_size=" + std::to_string(batch_size) +
+                              " diverges from the serial reference",
+                          Status::Internal("fingerprints differ"));
+            }
+            ++report.thread_checks;
+          }
+        }
       } else if (result->Fingerprint() != reference) {
         return fail("results diverge from traditional plan",
                     Status::Internal("fingerprints differ"));

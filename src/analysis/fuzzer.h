@@ -43,6 +43,13 @@ struct FuzzOptions {
   /// run's — the batch engine must be invisible to query semantics. Size 1
   /// is the row-at-a-time engine's behaviour. Empty disables the check.
   std::vector<int> cross_batch_sizes = {1, 2, 1024};
+  /// The reference plan is additionally re-executed at every (threads ×
+  /// batch size) combination of these two lists, and every fingerprint must
+  /// be byte-identical to the serial reference — morsel-driven parallelism
+  /// must be invisible to query semantics at any thread count and any batch
+  /// geometry. Either list empty disables the check.
+  std::vector<int> cross_thread_counts = {1, 2, 8};
+  std::vector<int> cross_thread_batch_sizes = {1, 1024};
 };
 
 /// What a fuzz run did, for test assertions and reporting.
@@ -53,6 +60,9 @@ struct FuzzReport {
   /// Reference-plan re-executions at a non-default batch size whose
   /// fingerprint matched the reference fingerprint.
   int batch_size_checks = 0;
+  /// Reference-plan re-executions at a (threads, batch size) combination
+  /// whose fingerprint matched the serial reference fingerprint.
+  int thread_checks = 0;
   int64_t plans_checked = 0;        // analyzer invocations from dp_check
   int64_t certificates_verified = 0;
 };

@@ -1,0 +1,36 @@
+#include "exec/exec_context.h"
+
+#include <cstdlib>
+
+#include "exec/thread_pool.h"
+
+namespace aggview {
+
+ExecContext ExecContext::Default() {
+  ExecContext ctx;
+  if (const char* env = std::getenv("AGGVIEW_TEST_BATCH_SIZE")) {
+    int v = std::atoi(env);
+    if (v > 0) ctx.batch_size = v;
+  }
+  if (const char* env = std::getenv("AGGVIEW_TEST_THREADS")) {
+    int v = std::atoi(env);
+    if (v > 0) ctx.threads = v;
+  }
+  return ctx;
+}
+
+ExecRuntime::ExecRuntime(int threads, int64_t morsel_rows,
+                         ThreadPool* external_pool)
+    : threads_(threads > 0 ? threads : 1),
+      morsel_rows_(morsel_rows > 0 ? morsel_rows : 1),
+      external_(external_pool) {}
+
+ExecRuntime::~ExecRuntime() = default;
+
+ThreadPool* ExecRuntime::pool() {
+  if (external_ != nullptr) return external_;
+  if (owned_ == nullptr) owned_ = std::make_unique<ThreadPool>(threads_);
+  return owned_.get();
+}
+
+}  // namespace aggview

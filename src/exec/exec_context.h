@@ -1,0 +1,105 @@
+#ifndef AGGVIEW_EXEC_EXEC_CONTEXT_H_
+#define AGGVIEW_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "exec/row_batch.h"
+
+namespace aggview {
+
+class IoAccountant;
+class RuntimeStatsCollector;
+class ThreadPool;
+
+/// Default number of rows per morsel — the unit of work a parallel scan hands
+/// to a worker. Large enough that claiming one (an atomic fetch-add) is noise
+/// against scanning it, small enough that a skewed pipeline rebalances.
+inline constexpr int64_t kDefaultMorselRows = 16384;
+
+/// Everything ExecutePlan needs beyond the plan itself, with fluent setters:
+///
+///   ExecutePlan(plan, query,
+///               ExecContext{}.WithThreads(8).WithBatchSize(1024)
+///                            .WithStats(&collector));
+///
+/// Replaces the old positional tail (io, stats, options); the deprecated thin
+/// overloads forward here. Plain aggregate struct: copyable, no ownership —
+/// the pointers (io, stats, pool) must outlive the execution.
+struct ExecContext {
+  /// Capacity of every batch flowing through the operator tree (1 degrades
+  /// to row-at-a-time Volcano behaviour).
+  int batch_size = kDefaultBatchSize;
+  /// Intra-query parallelism: number of pipeline instances running
+  /// morsel-parallel regions. 1 executes serially on the calling thread.
+  int threads = 1;
+  /// Rows per scan morsel.
+  int64_t morsel_rows = kDefaultMorselRows;
+  /// IO page charge sink; may be null (uncharged execution).
+  IoAccountant* io = nullptr;
+  /// EXPLAIN ANALYZE collector; null runs uninstrumented (no clocks).
+  RuntimeStatsCollector* stats = nullptr;
+  /// External worker pool to run on (e.g. a Session's). Null lets the
+  /// executor create a private pool for the query when threads > 1.
+  ThreadPool* pool = nullptr;
+
+  ExecContext& WithBatchSize(int n) {
+    batch_size = n > 0 ? n : 1;
+    return *this;
+  }
+  ExecContext& WithThreads(int n) {
+    threads = n > 0 ? n : 1;
+    return *this;
+  }
+  ExecContext& WithMorselRows(int64_t n) {
+    morsel_rows = n > 0 ? n : 1;
+    return *this;
+  }
+  ExecContext& WithIo(IoAccountant* accountant) {
+    io = accountant;
+    return *this;
+  }
+  ExecContext& WithStats(RuntimeStatsCollector* collector) {
+    stats = collector;
+    return *this;
+  }
+  ExecContext& WithPool(ThreadPool* p) {
+    pool = p;
+    return *this;
+  }
+
+  /// The standard context: default batch size and serial execution, unless
+  /// the environment overrides it — AGGVIEW_TEST_BATCH_SIZE (CI's degenerate
+  /// one-row-batch runs) and AGGVIEW_TEST_THREADS (CI's TSan job runs the
+  /// whole suite at 8 threads to drive every query through the parallel
+  /// paths).
+  static ExecContext Default();
+};
+
+/// The runtime state one operator tree shares across its parallel regions:
+/// thread budget, morsel geometry, and the worker pool. Lowering creates one
+/// per execution and hands every operator a shared_ptr; worker clones share
+/// the primary's. The pool is created lazily (on the driver thread, strictly
+/// before any worker runs) so serial executions never pay for threads.
+class ExecRuntime {
+ public:
+  ExecRuntime(int threads, int64_t morsel_rows, ThreadPool* external_pool);
+  ~ExecRuntime();
+
+  int threads() const { return threads_; }
+  int64_t morsel_rows() const { return morsel_rows_; }
+  bool parallel() const { return threads_ > 1; }
+
+  /// The pool to run ParallelFor on. Driver thread only.
+  ThreadPool* pool();
+
+ private:
+  int threads_;
+  int64_t morsel_rows_;
+  ThreadPool* external_;
+  std::unique_ptr<ThreadPool> owned_;
+};
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_EXEC_EXEC_CONTEXT_H_

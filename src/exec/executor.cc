@@ -63,26 +63,63 @@ std::string QueryResult::ToString(const ColumnCatalog& columns) const {
 }
 
 Result<QueryResult> ExecutePlan(const PlanPtr& plan, const Query& query,
-                                IoAccountant* io, RuntimeStatsCollector* stats,
-                                ExecOptions options) {
-  AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr op,
-                           LowerPlan(plan, query, io, stats, options));
+                                const ExecContext& ctx) {
+  AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr op, LowerPlan(plan, query, ctx));
   AGGVIEW_RETURN_NOT_OK(op->Open());
   QueryResult result;
   result.layout = op->layout();
-  RowBatch batch(options.batch_size);
-  while (true) {
-    auto more = op->Next(&batch);
-    if (!more.ok()) return more.status();
-    if (!*more) break;
-    for (int i = 0; i < batch.size(); ++i) {
-      // Copy, not move: the batch slots keep their heap buffers, so the
-      // root operator refills them without a per-row allocation.
-      result.rows.push_back(batch.row(i));
+  int workers = MorselWorkers(*op);
+  if (workers > 1) {
+    // Parallel root drain: every pipeline instance collects its share of
+    // the output into a private buffer; the buffers concatenate in worker
+    // order. The result is the same multiset as a serial drain (the
+    // fingerprint convention sorts rows, so even the order difference is
+    // invisible to equivalence checks).
+    std::vector<std::vector<Row>> chunks(static_cast<size_t>(workers));
+    AGGVIEW_RETURN_NOT_OK(RunMorselParallel(
+        op.get(), workers, [&](int w, Operator* instance) -> Status {
+          std::vector<Row>& rows = chunks[static_cast<size_t>(w)];
+          RowBatch batch(ctx.batch_size);
+          while (true) {
+            auto more = instance->Next(&batch);
+            if (!more.ok()) return more.status();
+            if (!*more) return Status::OK();
+            for (int i = 0; i < batch.size(); ++i) {
+              rows.push_back(batch.row(i));
+            }
+          }
+        }));
+    size_t total = 0;
+    for (const auto& chunk : chunks) total += chunk.size();
+    result.rows.reserve(total);
+    for (auto& chunk : chunks) {
+      for (Row& row : chunk) result.rows.push_back(std::move(row));
+    }
+  } else {
+    RowBatch batch(ctx.batch_size);
+    while (true) {
+      auto more = op->Next(&batch);
+      if (!more.ok()) return more.status();
+      if (!*more) break;
+      for (int i = 0; i < batch.size(); ++i) {
+        // Copy, not move: the batch slots keep their heap buffers, so the
+        // root operator refills them without a per-row allocation.
+        result.rows.push_back(batch.row(i));
+      }
     }
   }
   op->Close();
   return result;
+}
+
+Result<QueryResult> ExecutePlan(const PlanPtr& plan, const Query& query,
+                                IoAccountant* io, RuntimeStatsCollector* stats,
+                                ExecOptions options) {
+  return ExecutePlan(plan, query,
+                     ExecContext::Default()
+                         .WithBatchSize(options.batch_size)
+                         .WithIo(io)
+                         .WithStats(stats));
 }
 
 }  // namespace aggview

@@ -22,12 +22,23 @@ struct QueryResult {
   std::string ToString(const ColumnCatalog& columns) const;
 };
 
-/// Lowers and runs `plan` batch-at-a-time, charging `io` (which may be
-/// null). When `stats` is non-null, every operator records OpStats into it
-/// (EXPLAIN ANALYZE); when null, execution is uninstrumented and pays no
-/// observability cost. `options` sets the batch size the whole operator tree
-/// runs at; the result is identical for every batch size (the differential
-/// fuzz harness asserts this), only the throughput changes.
+/// Lowers and runs `plan` batch-at-a-time under `ctx`:
+///
+///   ExecutePlan(plan, query, ExecContext{}.WithThreads(8).WithIo(&io));
+///
+/// `ctx.io` (nullable) receives the page charges, `ctx.stats` (nullable)
+/// the EXPLAIN ANALYZE counters. `ctx.batch_size` sets the batch capacity
+/// the whole operator tree runs at and `ctx.threads` the number of pipeline
+/// instances driving morsel-parallel regions. The result is identical —
+/// same rows, same charged pages — for every batch size and thread count
+/// (the differential fuzz harness asserts both); only the throughput
+/// changes.
+Result<QueryResult> ExecutePlan(const PlanPtr& plan, const Query& query,
+                                const ExecContext& ctx = ExecContext::Default());
+
+/// \deprecated Positional-tail form; forwards to the ExecContext overload
+/// (inheriting the environment's thread/batch overrides from
+/// ExecContext::Default()).
 Result<QueryResult> ExecutePlan(const PlanPtr& plan, const Query& query,
                                 IoAccountant* io,
                                 RuntimeStatsCollector* stats = nullptr,

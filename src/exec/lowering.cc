@@ -15,7 +15,10 @@ struct LowerCtx {
   const Query& query;
   IoAccountant* io;
   RuntimeStatsCollector* stats;
-  ExecOptions exec;
+  ExecContext exec;
+  /// Shared by every operator of this execution; carries the thread budget,
+  /// morsel geometry and (lazily) the worker pool for parallel regions.
+  std::shared_ptr<ExecRuntime> runtime;
 };
 
 /// Splits join predicates into equi-join key pairs (left col, right col) and
@@ -47,6 +50,7 @@ void SplitJoinPredicates(const std::vector<Predicate>& preds,
 OperatorPtr Tag(OperatorPtr op, const PlanPtr& plan, const char* name,
                 const LowerCtx& ctx) {
   op->set_batch_size(ctx.exec.batch_size);
+  op->set_exec(ctx.runtime);
   if (ctx.stats != nullptr) op->set_stats(ctx.stats->Register(plan.get(), name));
   return op;
 }
@@ -193,10 +197,21 @@ Result<OperatorPtr> Lower(const PlanPtr& plan, const LowerCtx& ctx,
 }  // namespace
 
 Result<OperatorPtr> LowerPlan(const PlanPtr& plan, const Query& query,
+                              const ExecContext& ctx) {
+  LowerCtx lctx{query, ctx.io, ctx.stats, ctx,
+                std::make_shared<ExecRuntime>(ctx.threads, ctx.morsel_rows,
+                                              ctx.pool)};
+  return Lower(plan, lctx, /*charge_scan=*/true);
+}
+
+Result<OperatorPtr> LowerPlan(const PlanPtr& plan, const Query& query,
                               IoAccountant* io, RuntimeStatsCollector* stats,
                               ExecOptions options) {
-  LowerCtx ctx{query, io, stats, options};
-  return Lower(plan, ctx, /*charge_scan=*/true);
+  return LowerPlan(plan, query,
+                   ExecContext::Default()
+                       .WithBatchSize(options.batch_size)
+                       .WithIo(io)
+                       .WithStats(stats));
 }
 
 }  // namespace aggview

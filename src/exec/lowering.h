@@ -12,12 +12,19 @@ class RuntimeStatsCollector;
 /// Lowers an optimized plan tree to a physical operator tree. Requires every
 /// scanned table to have data loaded in the catalog.
 ///
-/// When `stats` is non-null every operator is registered with the collector
-/// (linked to the plan node it was lowered from) and instrumented; when null
-/// the operators run uninstrumented — no clocks, no counters.
+/// When `ctx.stats` is non-null every operator is registered with the
+/// collector (linked to the plan node it was lowered from) and instrumented;
+/// when null the operators run uninstrumented — no clocks, no counters.
 ///
-/// `options.batch_size` is installed on every operator, so the whole tree
-/// streams batches of one size.
+/// `ctx.batch_size` is installed on every operator, so the whole tree streams
+/// batches of one size; `ctx.threads`/`ctx.morsel_rows`/`ctx.pool` configure
+/// the shared ExecRuntime every operator is handed for its parallel regions.
+Result<OperatorPtr> LowerPlan(const PlanPtr& plan, const Query& query,
+                              const ExecContext& ctx);
+
+/// \deprecated Positional-tail form; forwards to the ExecContext overload
+/// (inheriting the environment's thread/batch overrides from
+/// ExecContext::Default()).
 Result<OperatorPtr> LowerPlan(const PlanPtr& plan, const Query& query,
                               IoAccountant* io,
                               RuntimeStatsCollector* stats = nullptr,

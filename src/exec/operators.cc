@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "cost/cost_model.h"
+#include "exec/thread_pool.h"
 #include "obs/runtime_stats.h"
 
 namespace aggview {
@@ -53,6 +54,8 @@ Status Drain(Operator* op, int batch_size, std::vector<Row>* rows) {
 
 // ----------------------------------------------------------------- Operator
 
+Operator::~Operator() = default;
+
 Status Operator::Open() {
   if (stats_ == nullptr) return OpenImpl();
   int64_t t0 = NowNs();
@@ -77,6 +80,24 @@ Result<bool> Operator::Next(RowBatch* out) {
 
 void Operator::Close() { CloseImpl(); }
 
+void Operator::AbsorbWorker(Operator& worker) {
+  if (stats_ != nullptr && worker.stats_ != nullptr) {
+    stats_->MergeFrom(*worker.stats_);
+  }
+}
+
+void Operator::InitWorkerClone(const Operator& primary) {
+  layout_ = primary.layout_;
+  batch_size_ = primary.batch_size_;
+  exec_ = primary.exec_;
+  parallel_mode_ = true;
+  if (primary.stats_ != nullptr) {
+    owned_stats_ = std::make_unique<OpStats>();
+    owned_stats_->op_name = primary.stats_->op_name;
+    stats_ = owned_stats_.get();
+  }
+}
+
 void Operator::ChargeRead(IoAccountant* io, int64_t pages) {
   if (io != nullptr) io->ChargeRead(pages);
   if (stats_ != nullptr) stats_->pages_charged += pages;
@@ -89,6 +110,44 @@ void Operator::ChargeWrite(IoAccountant* io, int64_t pages) {
 
 void Operator::CountInput(int64_t rows) {
   if (stats_ != nullptr) stats_->input_rows += rows;
+}
+
+// -------------------------------------------------- morsel-parallel driving
+
+int MorselWorkers(const Operator& pipeline) {
+  ExecRuntime* rt = pipeline.exec_runtime();
+  if (rt == nullptr || !rt->parallel()) return 1;
+  if (!pipeline.CanRunMorselParallel()) return 1;
+  return rt->threads();
+}
+
+Status RunMorselParallel(Operator* primary, int workers,
+                         const std::function<Status(int, Operator*)>& consume) {
+  if (workers <= 1 || primary->exec_runtime() == nullptr ||
+      !primary->CanRunMorselParallel()) {
+    return consume(0, primary);
+  }
+  primary->EnterParallelMode();
+  std::vector<OperatorPtr> clones;
+  clones.reserve(static_cast<size_t>(workers - 1));
+  for (int w = 1; w < workers; ++w) {
+    clones.push_back(primary->CloneForWorker());
+  }
+  std::vector<Status> status(static_cast<size_t>(workers), Status::OK());
+  primary->exec_runtime()->pool()->ParallelFor(workers, [&](int w) {
+    Operator* instance =
+        w == 0 ? primary : clones[static_cast<size_t>(w - 1)].get();
+    status[static_cast<size_t>(w)] = consume(w, instance);
+  });
+  // Absorb every clone even on error (the counters stay consistent), but
+  // fire the deferred charges only for a completed region. The first
+  // worker's error (by index) wins, deterministically.
+  for (OperatorPtr& clone : clones) primary->AbsorbWorker(*clone);
+  for (const Status& s : status) {
+    if (!s.ok()) return s;
+  }
+  primary->FinalizeParallelCharges();
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------- TableScan
@@ -111,8 +170,25 @@ TableScanOp::TableScanOp(const Table* table, RowLayout table_layout,
   }
 }
 
+TableScanOp::TableScanOp(const TableScanOp& primary, WorkerCloneTag)
+    : table_(primary.table_),
+      table_layout_(primary.table_layout_),
+      filter_(primary.filter_),
+      projection_(primary.projection_),
+      io_(primary.io_),
+      charge_io_(false),  // the primary charged the table's pages at Open
+      morsels_(primary.morsels_) {
+  InitWorkerClone(primary);
+}
+
+OperatorPtr TableScanOp::CloneForWorker() {
+  return OperatorPtr(new TableScanOp(*this, WorkerCloneTag{}));
+}
+
 Status TableScanOp::OpenImpl() {
-  pos_ = 0;
+  morsels_ = std::make_shared<MorselDispenser>();
+  if (exec_ != nullptr) morsels_->morsel_rows = exec_->morsel_rows();
+  pos_ = pos_end_ = 0;
   if (charge_io_) ChargeRead(io_, table_->page_count());
   for (int idx : projection_) {
     if (idx < 0 && idx != kRowIdIndex) {
@@ -125,18 +201,29 @@ Status TableScanOp::OpenImpl() {
 Result<bool> TableScanOp::NextBatchImpl(RowBatch* out) {
   const int64_t n = table_->row_count();
   int64_t examined = 0;
-  while (pos_ < n && !out->full()) {
-    int64_t rowid = pos_;
-    const Row& row = table_->row(pos_++);
-    ++examined;
-    if (!EvalConjunction(filter_, row, table_layout_)) continue;
-    Row& dst = out->AppendRow();
-    dst.reserve(projection_.size());
-    for (int idx : projection_) {
-      if (idx == kRowIdIndex) {
-        dst.push_back(Value::Int(rowid));
-      } else {
-        dst.push_back(row[static_cast<size_t>(idx)]);
+  while (!out->full()) {
+    if (pos_ >= pos_end_) {
+      // Claim the next morsel. A lone instance claims every morsel in
+      // ascending order — identical row order to the pre-morsel scan.
+      int64_t start = morsels_->next.fetch_add(morsels_->morsel_rows,
+                                               std::memory_order_relaxed);
+      if (start >= n) break;
+      pos_ = start;
+      pos_end_ = std::min(n, start + morsels_->morsel_rows);
+    }
+    while (pos_ < pos_end_ && !out->full()) {
+      int64_t rowid = pos_;
+      const Row& row = table_->row(pos_++);
+      ++examined;
+      if (!EvalConjunction(filter_, row, table_layout_)) continue;
+      Row& dst = out->AppendRow();
+      dst.reserve(projection_.size());
+      for (int idx : projection_) {
+        if (idx == kRowIdIndex) {
+          dst.push_back(Value::Int(rowid));
+        } else {
+          dst.push_back(row[static_cast<size_t>(idx)]);
+        }
       }
     }
   }
@@ -150,6 +237,27 @@ FilterOp::FilterOp(OperatorPtr child, std::vector<Predicate> preds)
     : child_(std::move(child)), preds_(std::move(preds)) {
   layout_ = child_->layout();
 }
+
+FilterOp::FilterOp(const FilterOp& primary, OperatorPtr child)
+    : child_(std::move(child)), preds_(primary.preds_) {
+  InitWorkerClone(primary);
+}
+
+OperatorPtr FilterOp::CloneForWorker() {
+  return OperatorPtr(new FilterOp(*this, child_->CloneForWorker()));
+}
+
+void FilterOp::AbsorbWorker(Operator& worker) {
+  Operator::AbsorbWorker(worker);
+  child_->AbsorbWorker(*static_cast<FilterOp&>(worker).child_);
+}
+
+void FilterOp::EnterParallelMode() {
+  Operator::EnterParallelMode();
+  child_->EnterParallelMode();
+}
+
+void FilterOp::FinalizeParallelCharges() { child_->FinalizeParallelCharges(); }
 
 Status FilterOp::OpenImpl() { return child_->Open(); }
 
@@ -185,6 +293,27 @@ ProjectOp::ProjectOp(OperatorPtr child, RowLayout output)
     projection_.push_back(child_->layout().IndexOf(c));
   }
 }
+
+ProjectOp::ProjectOp(const ProjectOp& primary, OperatorPtr child)
+    : child_(std::move(child)), projection_(primary.projection_) {
+  InitWorkerClone(primary);
+}
+
+OperatorPtr ProjectOp::CloneForWorker() {
+  return OperatorPtr(new ProjectOp(*this, child_->CloneForWorker()));
+}
+
+void ProjectOp::AbsorbWorker(Operator& worker) {
+  Operator::AbsorbWorker(worker);
+  child_->AbsorbWorker(*static_cast<ProjectOp&>(worker).child_);
+}
+
+void ProjectOp::EnterParallelMode() {
+  Operator::EnterParallelMode();
+  child_->EnterParallelMode();
+}
+
+void ProjectOp::FinalizeParallelCharges() { child_->FinalizeParallelCharges(); }
 
 Status ProjectOp::OpenImpl() {
   for (int idx : projection_) {
@@ -271,6 +400,101 @@ HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
   }
 }
 
+HashJoinOp::HashJoinOp(const HashJoinOp& primary, OperatorPtr left)
+    : left_(std::move(left)),
+      right_(nullptr),  // the build side was drained once, by the primary
+      residual_(primary.residual_),
+      columns_(primary.columns_),
+      io_(primary.io_),
+      left_key_idx_(primary.left_key_idx_),
+      right_key_idx_(primary.right_key_idx_),
+      build_(primary.build_),
+      charged_(true),  // deferred: the primary charges on merged totals
+      left_outer_(primary.left_outer_) {
+  InitWorkerClone(primary);
+  probe_ = RowBatch(batch_size_);
+}
+
+OperatorPtr HashJoinOp::CloneForWorker() {
+  return OperatorPtr(new HashJoinOp(*this, left_->CloneForWorker()));
+}
+
+void HashJoinOp::AbsorbWorker(Operator& worker) {
+  Operator::AbsorbWorker(worker);
+  auto& clone = static_cast<HashJoinOp&>(worker);
+  left_rows_ += clone.left_rows_;
+  left_->AbsorbWorker(*clone.left_);
+}
+
+void HashJoinOp::EnterParallelMode() {
+  Operator::EnterParallelMode();
+  left_->EnterParallelMode();
+}
+
+void HashJoinOp::FinalizeParallelCharges() {
+  if (!charged_) ChargeAtProbeEos();
+  left_->FinalizeParallelCharges();
+}
+
+Status HashJoinOp::BuildSerial() {
+  build_->parts.resize(1);
+  std::vector<Row> rows;
+  AGGVIEW_RETURN_NOT_OK(Drain(right_.get(), batch_size_, &rows));
+  right_rows_ = static_cast<int64_t>(rows.size());
+  for (Row& r : rows) {
+    // A NULL-keyed build row can never be matched; keep it out of the table.
+    if (HasNullKey(r, right_key_idx_)) continue;
+    size_t h = HashKey(r, right_key_idx_);
+    build_->parts[0].emplace(h, std::move(r));
+  }
+  return Status::OK();
+}
+
+Status HashJoinOp::BuildParallel(int workers) {
+  // Phase 1: worker pipelines drain the build side morsel-parallel into
+  // thread-local (hash, row) spools; NULL-keyed rows are dropped here (they
+  // can never match) but still counted toward the drained cardinality.
+  struct Spool {
+    std::vector<std::pair<size_t, Row>> rows;
+    int64_t drained = 0;
+  };
+  std::vector<Spool> spools(static_cast<size_t>(workers));
+  AGGVIEW_RETURN_NOT_OK(RunMorselParallel(
+      right_.get(), workers, [&](int w, Operator* src) -> Status {
+        Spool& spool = spools[static_cast<size_t>(w)];
+        RowBatch batch(batch_size_);
+        while (true) {
+          auto more = src->Next(&batch);
+          if (!more.ok()) return more.status();
+          if (!*more) return Status::OK();
+          spool.drained += batch.size();
+          for (int i = 0; i < batch.size(); ++i) {
+            Row& row = batch.row(i);
+            if (HasNullKey(row, right_key_idx_)) continue;
+            spool.rows.emplace_back(HashKey(row, right_key_idx_),
+                                    std::move(row));
+          }
+        }
+      }));
+  right_rows_ = 0;
+  for (const Spool& s : spools) right_rows_ += s.drained;
+
+  // Phase 2: partition by hash modulus, one hash table per worker. Each
+  // partition task scans every spool but moves only the rows whose hash
+  // lands in its partition — disjoint elements, so no synchronization.
+  const size_t parts = static_cast<size_t>(workers);
+  build_->parts.resize(parts);
+  exec_->pool()->ParallelFor(workers, [&](int p) {
+    auto& part = build_->parts[static_cast<size_t>(p)];
+    for (Spool& s : spools) {
+      for (auto& [h, row] : s.rows) {
+        if (h % parts == static_cast<size_t>(p)) part.emplace(h, std::move(row));
+      }
+    }
+  });
+  return Status::OK();
+}
+
 Status HashJoinOp::OpenImpl() {
   for (int idx : left_key_idx_) {
     if (idx < 0) return Status::Internal("hash join: left key column missing");
@@ -280,23 +504,39 @@ Status HashJoinOp::OpenImpl() {
   }
   AGGVIEW_RETURN_NOT_OK(left_->Open());
   AGGVIEW_RETURN_NOT_OK(right_->Open());
-  std::vector<Row> rows;
-  AGGVIEW_RETURN_NOT_OK(Drain(right_.get(), batch_size_, &rows));
-  right_rows_ = static_cast<int64_t>(rows.size());
-  CountInput(right_rows_);
-  for (Row& r : rows) {
-    // A NULL-keyed build row can never be matched; keep it out of the table.
-    if (HasNullKey(r, right_key_idx_)) continue;
-    size_t h = HashKey(r, right_key_idx_);
-    build_.emplace(h, std::move(r));
+  build_ = std::make_shared<BuildTable>();
+  int workers = MorselWorkers(*right_);
+  if (workers > 1) {
+    AGGVIEW_RETURN_NOT_OK(BuildParallel(workers));
+  } else {
+    AGGVIEW_RETURN_NOT_OK(BuildSerial());
   }
+  CountInput(right_rows_);
   if (stats_ != nullptr) {
-    stats_->hash_build_rows = static_cast<int64_t>(build_.size());
+    stats_->hash_build_rows = build_->rows();
   }
   probe_ = RowBatch(batch_size_);
   probe_pos_ = 0;
   current_left_ = nullptr;
   return Status::OK();
+}
+
+void HashJoinOp::ChargeAtProbeEos() {
+  // Same formula as the cost model, on actual sizes: one read of each
+  // input, plus Grace partition spills when the smaller input exceeds the
+  // buffer pool. In a parallel probe this runs once, on the driver, after
+  // every worker's probe rows were summed into left_rows_ — so the charge
+  // is byte-identical to the serial engine's.
+  double lp = ActualPages(left_rows_, left_->layout().RowWidth(*columns_));
+  double rp = ActualPages(right_rows_, right_->layout().RowWidth(*columns_));
+  ChargeRead(io_, static_cast<int64_t>(lp + rp));
+  double spill = CostModel::HashJoinLocalCost(lp, rp) - (lp + rp);
+  ChargeWrite(io_, static_cast<int64_t>(spill / 2.0));
+  ChargeRead(io_, static_cast<int64_t>(spill / 2.0));
+  if (stats_ != nullptr) {
+    stats_->spill_pages += static_cast<int64_t>(spill / 2.0) * 2;
+  }
+  charged_ = true;
 }
 
 Result<bool> HashJoinOp::NextBatchImpl(RowBatch* out) {
@@ -330,23 +570,7 @@ Result<bool> HashJoinOp::NextBatchImpl(RowBatch* out) {
       auto more = left_->Next(&probe_);
       if (!more.ok()) return more.status();
       if (!*more) {
-        if (!charged_) {
-          // Same formula as the cost model, on actual sizes: one read of
-          // each input, plus Grace partition spills when the smaller input
-          // exceeds the buffer pool.
-          double lp = ActualPages(left_rows_,
-                                  left_->layout().RowWidth(*columns_));
-          double rp = ActualPages(right_rows_,
-                                  right_->layout().RowWidth(*columns_));
-          ChargeRead(io_, static_cast<int64_t>(lp + rp));
-          double spill = CostModel::HashJoinLocalCost(lp, rp) - (lp + rp);
-          ChargeWrite(io_, static_cast<int64_t>(spill / 2.0));
-          ChargeRead(io_, static_cast<int64_t>(spill / 2.0));
-          if (stats_ != nullptr) {
-            stats_->spill_pages += static_cast<int64_t>(spill / 2.0) * 2;
-          }
-          charged_ = true;
-        }
+        if (!charged_ && !parallel_mode_) ChargeAtProbeEos();
         return !out->empty();
       }
       left_rows_ += probe_.size();
@@ -363,7 +587,8 @@ Result<bool> HashJoinOp::NextBatchImpl(RowBatch* out) {
     if (HasNullKey(*current_left_, left_key_idx_)) continue;
     if (stats_ != nullptr) ++stats_->hash_probes;
     size_t h = HashKey(*current_left_, left_key_idx_);
-    auto [begin, end] = build_.equal_range(h);
+    const auto& part = build_->parts[h % build_->parts.size()];
+    auto [begin, end] = part.equal_range(h);
     for (auto it = begin; it != end; ++it) {
       if (KeysEqual(*current_left_, left_key_idx_, it->second,
                     right_key_idx_)) {
@@ -375,8 +600,8 @@ Result<bool> HashJoinOp::NextBatchImpl(RowBatch* out) {
 
 void HashJoinOp::CloseImpl() {
   left_->Close();
-  right_->Close();
-  build_.clear();
+  if (right_ != nullptr) right_->Close();
+  build_.reset();
 }
 
 // ----------------------------------------------------------- NestedLoopJoin
@@ -749,6 +974,44 @@ HashAggregateOp::HashAggregateOp(OperatorPtr child, GroupBySpec spec,
   layout_ = RowLayout(spec_.OutputColumns());
 }
 
+Status HashAggregateOp::Accumulate(Operator* src,
+                                   const std::vector<int>& group_idx,
+                                   const std::vector<std::vector<int>>& arg_idx,
+                                   GroupMap* groups, int64_t* input_rows) {
+  // A whole input batch is accumulated per child dispatch; the group key and
+  // argument buffers are reused across rows. In a parallel drain this runs
+  // once per worker against a thread-local map and must not touch the
+  // operator's shared stats block — the caller counts the summed input.
+  RowBatch batch(batch_size_);
+  Row key;
+  std::vector<Value> args;
+  while (true) {
+    auto more = src->Next(&batch);
+    if (!more.ok()) return more.status();
+    if (!*more) return Status::OK();
+    *input_rows += batch.size();
+    for (int i = 0; i < batch.size(); ++i) {
+      const Row& row = batch.row(i);
+      key.clear();
+      key.reserve(group_idx.size());
+      for (int idx : group_idx) key.push_back(row[static_cast<size_t>(idx)]);
+      auto it = groups->find(key);
+      if (it == groups->end()) {
+        Group g;
+        for (const AggregateCall& a : spec_.aggregates) {
+          g.accs.emplace_back(a.kind);
+        }
+        it = groups->emplace(key, std::move(g)).first;
+      }
+      for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+        args.clear();
+        for (int idx : arg_idx[a]) args.push_back(row[static_cast<size_t>(idx)]);
+        it->second.accs[a].Add(args);
+      }
+    }
+  }
+}
+
 Status HashAggregateOp::OpenImpl() {
   AGGVIEW_RETURN_NOT_OK(child_->Open());
   const RowLayout& in = child_->layout();
@@ -770,43 +1033,43 @@ Status HashAggregateOp::OpenImpl() {
     arg_idx.push_back(std::move(idxs));
   }
 
-  struct Group {
-    std::vector<AggAccumulator> accs;
-  };
-  std::unordered_map<Row, Group, RowHash, RowEq> groups;
-
-  // A whole input batch is accumulated per child dispatch; the group key and
-  // argument buffers are reused across rows.
+  GroupMap groups;
   int64_t input_rows = 0;
-  RowBatch batch(batch_size_);
-  Row key;
-  std::vector<Value> args;
-  while (true) {
-    auto more = child_->Next(&batch);
-    if (!more.ok()) return more.status();
-    if (!*more) break;
-    input_rows += batch.size();
-    CountInput(batch.size());
-    for (int i = 0; i < batch.size(); ++i) {
-      const Row& row = batch.row(i);
-      key.clear();
-      key.reserve(group_idx.size());
-      for (int idx : group_idx) key.push_back(row[static_cast<size_t>(idx)]);
-      auto it = groups.find(key);
-      if (it == groups.end()) {
-        Group g;
-        for (const AggregateCall& a : spec_.aggregates) {
-          g.accs.emplace_back(a.kind);
+  int workers = MorselWorkers(*child_);
+  if (workers > 1) {
+    // Thread-local partial aggregation: every worker folds its morsels into
+    // a private group table, then the partials merge on the driver in worker
+    // order — AggAccumulator::Merge is the decomposable-aggregate combine
+    // (and MEDIAN's exact sample concatenation), so the merged state is the
+    // state a serial run would have reached.
+    std::vector<GroupMap> partials(static_cast<size_t>(workers));
+    std::vector<int64_t> counts(static_cast<size_t>(workers), 0);
+    AGGVIEW_RETURN_NOT_OK(RunMorselParallel(
+        child_.get(), workers, [&](int w, Operator* src) {
+          return Accumulate(src, group_idx, arg_idx,
+                            &partials[static_cast<size_t>(w)],
+                            &counts[static_cast<size_t>(w)]);
+        }));
+    groups = std::move(partials[0]);
+    for (int w = 1; w < workers; ++w) {
+      for (auto& [key, group] : partials[static_cast<size_t>(w)]) {
+        auto it = groups.find(key);
+        if (it == groups.end()) {
+          groups.emplace(key, std::move(group));
+        } else {
+          for (size_t a = 0; a < group.accs.size(); ++a) {
+            it->second.accs[a].Merge(group.accs[a]);
+          }
         }
-        it = groups.emplace(key, std::move(g)).first;
-      }
-      for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
-        args.clear();
-        for (int idx : arg_idx[a]) args.push_back(row[static_cast<size_t>(idx)]);
-        it->second.accs[a].Add(args);
       }
     }
+    for (int64_t c : counts) input_rows += c;
+    if (stats_ != nullptr) stats_->workers = workers;
+  } else {
+    AGGVIEW_RETURN_NOT_OK(
+        Accumulate(child_.get(), group_idx, arg_idx, &groups, &input_rows));
   }
+  CountInput(input_rows);
 
   // SQL: a scalar aggregate (no GROUP BY) over zero input rows yields
   // exactly one row — COUNT = 0, SUM/MIN/MAX/AVG = NULL. Grouped queries

@@ -1,12 +1,15 @@
 #ifndef AGGVIEW_EXEC_OPERATORS_H_
 #define AGGVIEW_EXEC_OPERATORS_H_
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "algebra/query.h"
 #include "common/result.h"
+#include "exec/exec_context.h"
 #include "exec/row_batch.h"
 #include "storage/io_accountant.h"
 #include "storage/table.h"
@@ -14,6 +17,8 @@
 namespace aggview {
 
 struct OpStats;
+class Operator;
+using OperatorPtr = std::unique_ptr<Operator>;
 
 /// Batch-at-a-time physical operator: Open / Next(RowBatch*) / Close.
 /// Operators charge the IoAccountant with the same page-granularity formulas
@@ -31,9 +36,18 @@ struct OpStats;
 /// batches and rows before dispatching to the virtual *Impl methods; with no
 /// sink they dispatch directly. Either way the cost is paid once per *batch*,
 /// not once per tuple, which is the point of the batch protocol.
+///
+/// Morsel-driven parallelism (RunMorselParallel below): a pipeline whose
+/// operators all answer CanRunMorselParallel() true can be cloned after Open
+/// into extra worker instances that share coordination state (the scan's
+/// morsel dispenser, a hash join's build table) and split the row multiset
+/// disjointly. Clones are born open, carry private OpStats, and are absorbed
+/// back into the primary (AbsorbWorker) when the region drains; deferred IO
+/// charges then fire once, on merged totals (FinalizeParallelCharges), so
+/// charged pages are byte-identical to serial execution.
 class Operator {
  public:
-  virtual ~Operator() = default;
+  virtual ~Operator();
 
   Status Open();
   /// Fills `out` with the next batch of rows; returns false at end of
@@ -57,10 +71,50 @@ class Operator {
   }
   int batch_size() const { return batch_size_; }
 
+  /// Installs the shared execution runtime (thread budget, morsel geometry,
+  /// worker pool). Lowering sets it on every operator; null means serial.
+  void set_exec(std::shared_ptr<ExecRuntime> exec) { exec_ = std::move(exec); }
+  ExecRuntime* exec_runtime() const { return exec_.get(); }
+
+  /// True when this operator and its whole input pipeline can be cloned into
+  /// extra worker instances whose outputs partition the row multiset. Scans
+  /// qualify (workers claim disjoint morsels); filters/projections/hash-join
+  /// probes delegate to their streamed input; pipeline breakers (sort,
+  /// aggregate, merge join) and block-nested-loop joins do not — they stay
+  /// serial and parallelize *internally* where profitable.
+  virtual bool CanRunMorselParallel() const { return false; }
+
+  /// Clones this pipeline for one extra worker. Only valid after Open on a
+  /// pipeline where CanRunMorselParallel(); the clone shares the primary's
+  /// coordination state, is already open, and must only be driven via Next
+  /// (never Open/Close — the primary owns the shared state's lifecycle).
+  virtual OperatorPtr CloneForWorker() { return nullptr; }
+
+  /// Folds a worker clone produced by CloneForWorker back into this primary:
+  /// merges its OpStats and the operator-specific counters that feed
+  /// deferred IO charges, recursing down both pipelines in lockstep.
+  virtual void AbsorbWorker(Operator& worker);
+
+  /// Marks this pipeline as running inside a morsel-parallel region:
+  /// end-of-stream IO charges are suppressed (every instance hits EOS) and
+  /// deferred to FinalizeParallelCharges. Recurses down the streamed input.
+  virtual void EnterParallelMode() { parallel_mode_ = true; }
+
+  /// Performs the IO charges a parallel region deferred, on the merged
+  /// totals, exactly once, on the driver thread. Recurses down the streamed
+  /// input. Called by RunMorselParallel after every worker was absorbed.
+  virtual void FinalizeParallelCharges() {}
+
  protected:
   virtual Status OpenImpl() = 0;
   virtual Result<bool> NextBatchImpl(RowBatch* out) = 0;
   virtual void CloseImpl() {}
+
+  /// Copies the base-operator state a worker clone shares with its primary
+  /// (layout, batch size, runtime) and allocates the clone's private stats
+  /// block when the primary is instrumented. Every CloneForWorker override
+  /// calls this from the clone's constructor path.
+  void InitWorkerClone(const Operator& primary);
 
   /// Charges `pages` reads/writes to `io` (when non-null) and mirrors the
   /// charge into the stats sink (when installed), so EXPLAIN ANALYZE can
@@ -74,14 +128,45 @@ class Operator {
   RowLayout layout_;
   OpStats* stats_ = nullptr;
   int batch_size_ = kDefaultBatchSize;
+  std::shared_ptr<ExecRuntime> exec_;
+  bool parallel_mode_ = false;
+  /// Worker clones own their stats block (absorbed by the primary later);
+  /// primaries point stats_ at the collector's block and leave this null.
+  std::unique_ptr<OpStats> owned_stats_;
 };
 
-using OperatorPtr = std::unique_ptr<Operator>;
+/// Drives `primary`'s pipeline with `workers` instances over its shared
+/// morsel dispenser: clones the pipeline `workers - 1` times, runs
+/// `consume(worker_index, instance)` for every instance on the runtime's
+/// pool (instance 0 is the primary), then absorbs every clone's stats and
+/// counters back into the primary and fires the deferred IO charges. Falls
+/// back to a single serial `consume(0, primary)` when `workers <= 1`, the
+/// pipeline is not morsel-parallel, or no runtime is installed — the serial
+/// path is byte-for-byte the pre-parallel engine.
+///
+/// `consume` must drain its instance to end of stream; each instance yields
+/// a disjoint share of the pipeline's row multiset. On error, the
+/// lowest-indexed worker's status is returned (deterministic across runs).
+Status RunMorselParallel(Operator* primary, int workers,
+                         const std::function<Status(int, Operator*)>& consume);
+
+/// Workers this operator tree should use for a parallel region: the
+/// runtime's thread budget when one is installed and the pipeline supports
+/// morsel parallelism, else 1.
+int MorselWorkers(const Operator& pipeline);
 
 /// Scans an in-memory table, applying a filter and projecting: each Next
 /// copies out one batch-sized slice of qualifying rows. When `charge_io` is
 /// set, Open charges one read per table page (a BNL inner scan is created
 /// uncharged because the join charges per-pass rescans).
+///
+/// The scan is the morsel dispenser of a parallel pipeline: Open publishes
+/// an atomic cursor over the table's row-id space; every Next claims a
+/// morsel (ExecRuntime::morsel_rows row ids) and fills batches from it,
+/// claiming again until the batch fills or the table ends. Worker clones
+/// share the cursor, so instances scan disjoint row ranges; a single
+/// instance claims every morsel in order and is byte-identical to the
+/// pre-morsel serial scan.
 class TableScanOp final : public Operator {
  public:
   /// `rowid_col`, when valid, names a synthetic output column materialized
@@ -91,6 +176,9 @@ class TableScanOp final : public Operator {
               IoAccountant* io, bool charge_io,
               ColId rowid_col = kInvalidColId);
 
+  bool CanRunMorselParallel() const override { return true; }
+  OperatorPtr CloneForWorker() override;
+
  protected:
   Status OpenImpl() override;
   Result<bool> NextBatchImpl(RowBatch* out) override;
@@ -98,13 +186,25 @@ class TableScanOp final : public Operator {
  private:
   static constexpr int kRowIdIndex = -2;
 
+  /// The shared morsel cursor: workers fetch-add to claim disjoint row-id
+  /// ranges of `morsel_rows` rows each.
+  struct MorselDispenser {
+    std::atomic<int64_t> next{0};
+    int64_t morsel_rows = kDefaultMorselRows;
+  };
+
+  struct WorkerCloneTag {};
+  TableScanOp(const TableScanOp& primary, WorkerCloneTag);
+
   const Table* table_;
   RowLayout table_layout_;
   std::vector<Predicate> filter_;
   std::vector<int> projection_;  // table-layout indices per output column
   IoAccountant* io_;
   bool charge_io_;
-  int64_t pos_ = 0;
+  std::shared_ptr<MorselDispenser> morsels_;
+  int64_t pos_ = 0;      // next row id within the claimed morsel
+  int64_t pos_end_ = 0;  // end of the claimed morsel
 };
 
 /// Applies residual predicates in place: the child fills the caller's batch
@@ -116,12 +216,22 @@ class FilterOp final : public Operator {
  public:
   FilterOp(OperatorPtr child, std::vector<Predicate> preds);
 
+  bool CanRunMorselParallel() const override {
+    return child_->CanRunMorselParallel();
+  }
+  OperatorPtr CloneForWorker() override;
+  void AbsorbWorker(Operator& worker) override;
+  void EnterParallelMode() override;
+  void FinalizeParallelCharges() override;
+
  protected:
   Status OpenImpl() override;
   Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
 
  private:
+  FilterOp(const FilterOp& primary, OperatorPtr child);
+
   OperatorPtr child_;
   std::vector<Predicate> preds_;
 };
@@ -134,12 +244,22 @@ class ProjectOp final : public Operator {
  public:
   ProjectOp(OperatorPtr child, RowLayout output);
 
+  bool CanRunMorselParallel() const override {
+    return child_->CanRunMorselParallel();
+  }
+  OperatorPtr CloneForWorker() override;
+  void AbsorbWorker(Operator& worker) override;
+  void EnterParallelMode() override;
+  void FinalizeParallelCharges() override;
+
  protected:
   Status OpenImpl() override;
   Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
 
  private:
+  ProjectOp(const ProjectOp& primary, OperatorPtr child);
+
   OperatorPtr child_;
   std::vector<int> projection_;
   Row scratch_;
@@ -151,6 +271,18 @@ class ProjectOp final : public Operator {
 /// concatenated row. Rows with a NULL in any join key never match (SQL
 /// equality semantics); in outer mode a NULL-keyed probe row still survives
 /// as a padded row.
+///
+/// Parallel build: when the runtime grants threads and the build side is
+/// morsel-parallel, Open drains it with worker pipelines into thread-local
+/// (hash, row) spools, then partitions them into `threads` hash tables by
+/// hash modulus — each partition built by one worker, touching disjoint
+/// rows. Probing (serial or parallel) looks up h % partitions first. With
+/// one partition the layout and probe order are the serial engine's.
+///
+/// Parallel probe: the probe side is the streamed input, so the join itself
+/// clones for morsel parallelism; clones share the built partitions
+/// read-only. The Grace/IO charge is deferred to the region's merge point
+/// and computed on summed probe-row counts — identical to the serial charge.
 class HashJoinOp final : public Operator {
  public:
   /// `left_outer` preserves unmatched probe rows, padding the build side's
@@ -160,12 +292,38 @@ class HashJoinOp final : public Operator {
              std::vector<Predicate> residual, const ColumnCatalog* columns,
              IoAccountant* io, bool left_outer = false);
 
+  bool CanRunMorselParallel() const override {
+    return left_->CanRunMorselParallel();
+  }
+  OperatorPtr CloneForWorker() override;
+  void AbsorbWorker(Operator& worker) override;
+  void EnterParallelMode() override;
+  void FinalizeParallelCharges() override;
+
  protected:
   Status OpenImpl() override;
   Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
 
  private:
+  /// The build side, hash-partitioned. parts.size() is 1 in serial builds
+  /// and the worker count in parallel builds; a key with hash h lives in
+  /// parts[h % parts.size()]. Immutable once built (shared read-only by
+  /// probe clones).
+  struct BuildTable {
+    std::vector<std::unordered_multimap<size_t, Row>> parts;
+    int64_t rows() const {
+      int64_t n = 0;
+      for (const auto& p : parts) n += static_cast<int64_t>(p.size());
+      return n;
+    }
+  };
+
+  HashJoinOp(const HashJoinOp& primary, OperatorPtr left);
+  Status BuildSerial();
+  Status BuildParallel(int workers);
+  void ChargeAtProbeEos();
+
   OperatorPtr left_;
   OperatorPtr right_;
   std::vector<std::pair<ColId, ColId>> keys_;
@@ -175,7 +333,7 @@ class HashJoinOp final : public Operator {
 
   std::vector<int> left_key_idx_;
   std::vector<int> right_key_idx_;
-  std::unordered_multimap<size_t, Row> build_;
+  std::shared_ptr<BuildTable> build_;
   int64_t right_rows_ = 0;
   int64_t left_rows_ = 0;
   // Probe state: the current input batch and the row of it being matched
@@ -196,7 +354,9 @@ class HashJoinOp final : public Operator {
 /// the page count charged per pass (the base table's full page count when
 /// the inner is a bare table scan); pass 0 to derive it from the
 /// materialized rows. `charge_materialize` adds the one-time write of the
-/// materialized inner.
+/// materialized inner. Runs serial (not morsel-parallel): its per-pass IO
+/// accounting is block-order-dependent, and plans route large probe sides
+/// to the hash join.
 class NestedLoopJoinOp final : public Operator {
  public:
   NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
@@ -247,7 +407,9 @@ class NestedLoopJoinOp final : public Operator {
 /// Materializes and sorts both inputs at Open, charging external-sort IO on
 /// actual sizes; Next emits one batch of the merge output per call. NULL
 /// join keys sort first and are skipped by the merge, so they never match
-/// (SQL equality semantics).
+/// (SQL equality semantics). A pipeline breaker on both sides; runs serial
+/// so sort tie-breaking (and hence emission order) matches the serial
+/// engine exactly.
 class SortMergeJoinOp final : public Operator {
  public:
   SortMergeJoinOp(OperatorPtr left, OperatorPtr right,
@@ -281,7 +443,9 @@ class SortMergeJoinOp final : public Operator {
 
 /// Final ORDER BY: materializes its input at Open, sorts by the keys, and
 /// charges external-sort IO on the actual size. Next copies out one sorted
-/// slice per call.
+/// slice per call. A pipeline breaker; the input drain stays serial so
+/// stable_sort sees the serial arrival order and equal-key rows keep their
+/// deterministic order.
 class SortOp final : public Operator {
  public:
   SortOp(OperatorPtr child, std::vector<OrderKey> keys,
@@ -307,6 +471,16 @@ class SortOp final : public Operator {
 /// input batch per pull. A scalar aggregate (empty grouping) over zero input
 /// rows produces exactly one row, with COUNT = 0 and SUM/MIN/MAX/AVG = NULL
 /// (SQL semantics).
+///
+/// The pipeline breaker of parallel plans: when the runtime grants threads
+/// and the child pipeline is morsel-parallel, Open drains it with worker
+/// pipelines into *thread-local* group tables (no shared mutable state on
+/// the hot path), then merges the partial tables in worker order on the
+/// driver — partial accumulators of the same group fold together with
+/// AggAccumulator::Merge, the execution-time form of the decomposable-
+/// aggregate combines (COUNT partials merge with kCountSum's empty-is-0
+/// semantics; MEDIAN merges exactly by sample concatenation). The spill
+/// charge is computed on the summed input cardinality, identical to serial.
 class HashAggregateOp final : public Operator {
  public:
   HashAggregateOp(OperatorPtr child, GroupBySpec spec,
@@ -318,6 +492,17 @@ class HashAggregateOp final : public Operator {
   void CloseImpl() override;
 
  private:
+  struct Group {
+    std::vector<AggAccumulator> accs;
+  };
+  using GroupMap = std::unordered_map<Row, Group, RowHash, RowEq>;
+
+  /// Drains `src` into `groups`, accumulating every row; adds the consumed
+  /// row count to `input_rows`. Runs once serially or once per worker.
+  Status Accumulate(Operator* src, const std::vector<int>& group_idx,
+                    const std::vector<std::vector<int>>& arg_idx,
+                    GroupMap* groups, int64_t* input_rows);
+
   OperatorPtr child_;
   GroupBySpec spec_;
   const ColumnCatalog* columns_;

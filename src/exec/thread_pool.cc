@@ -1,0 +1,82 @@
+#include "exec/thread_pool.h"
+
+namespace aggview {
+
+ThreadPool::ThreadPool(int threads) {
+  int background = threads - 1;
+  workers_.reserve(background > 0 ? static_cast<size_t>(background) : 0);
+  for (int i = 0; i < background; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  int64_t seen = 0;
+  while (true) {
+    const std::function<void(int)>* fn;
+    int tasks;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || generation_ > seen; });
+      if (generation_ <= seen) return;  // shutdown with no pending generation
+      seen = generation_;
+      fn = fn_;
+      tasks = tasks_;
+    }
+    while (true) {
+      int i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks) break;
+      (*fn)(i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++finished_ == static_cast<int>(workers_.size())) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int tasks, const std::function<void(int)>& fn) {
+  if (tasks <= 0) return;
+  if (workers_.empty()) {
+    for (int i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    tasks_ = tasks;
+    next_.store(0, std::memory_order_relaxed);
+    finished_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The driver claims tasks alongside the workers.
+  while (true) {
+    int i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= tasks) break;
+    fn(i);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return finished_ == static_cast<int>(workers_.size());
+  });
+  fn_ = nullptr;
+}
+
+int ThreadPool::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+}  // namespace aggview

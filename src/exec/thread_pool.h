@@ -1,0 +1,75 @@
+#ifndef AGGVIEW_EXEC_THREAD_POOL_H_
+#define AGGVIEW_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aggview {
+
+/// A fixed-size worker pool for morsel-driven parallel execution.
+///
+/// The pool is built for the executor's usage pattern: the driver thread
+/// issues one ParallelFor at a time (pipeline instances over a shared morsel
+/// dispenser, partition tasks of a parallel hash-join build) and blocks until
+/// it completes. Workers are spawned once at construction and parked on a
+/// condition variable between calls, so a query plan with several parallel
+/// regions pays the thread-creation cost once, not per region.
+///
+/// ParallelFor runs `fn(0) .. fn(tasks - 1)`, each exactly once. Task indices
+/// are claimed from a shared atomic counter, so long and short tasks balance
+/// dynamically; the calling thread participates, which makes a 1-thread pool
+/// a plain serial loop with no synchronization beyond one atomic per task.
+///
+/// Not reentrant: ParallelFor must not be called from inside a task, and only
+/// one thread may drive the pool. (The executor honours this by parallelizing
+/// one pipeline region at a time; nested operators run their parallel drains
+/// during Open, strictly before the enclosing region's ParallelFor starts.)
+class ThreadPool {
+ public:
+  /// A pool that runs ParallelFor on `threads` threads total: the caller plus
+  /// `threads - 1` background workers. `threads <= 1` spawns nothing.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [0, tasks), distributing indices dynamically
+  /// across the pool's threads plus the calling thread. Returns when every
+  /// task has finished and every worker has quiesced, so `fn` and anything it
+  /// captured may be destroyed immediately after. Writes made by tasks
+  /// happen-before the return (the completion handshake is a mutex).
+  void ParallelFor(int tasks, const std::function<void(int)>& fn);
+
+  /// Threads the hardware runs concurrently (>= 1; hardware_concurrency with
+  /// a fallback when the runtime reports 0).
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals a new generation / shutdown
+  std::condition_variable done_cv_;   // signals all workers finished
+  const std::function<void(int)>* fn_ = nullptr;
+  int tasks_ = 0;
+  std::atomic<int> next_{0};
+  // Every worker passes through every generation exactly once and reports in
+  // via finished_; ParallelFor waits for all of them before returning, so a
+  // straggler can never carry a stale fn_ into the next generation.
+  int64_t generation_ = 0;
+  int finished_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_EXEC_THREAD_POOL_H_

@@ -135,6 +135,53 @@ void AggAccumulator::Add(const std::vector<Value>& args) {
   }
 }
 
+void AggAccumulator::Merge(const AggAccumulator& other) {
+  assert(kind_ == other.kind_);
+  switch (kind_) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      count_ += other.count_;
+      return;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+    case AggKind::kCountSum: {
+      count_ += other.count_;
+      if (all_int_ && other.all_int_) {
+        isum_ += other.isum_;
+      } else {
+        double theirs =
+            other.all_int_ ? static_cast<double>(other.isum_) : other.sum_;
+        if (all_int_) {
+          sum_ = static_cast<double>(isum_);
+          all_int_ = false;
+        }
+        sum_ += theirs;
+      }
+      return;
+    }
+    case AggKind::kMin:
+      if (other.has_value_ && (!has_value_ || other.extreme_ < extreme_)) {
+        extreme_ = other.extreme_;
+        has_value_ = true;
+      }
+      return;
+    case AggKind::kMax:
+      if (other.has_value_ && (!has_value_ || extreme_ < other.extreme_)) {
+        extreme_ = other.extreme_;
+        has_value_ = true;
+      }
+      return;
+    case AggKind::kMedian:
+      samples_.insert(samples_.end(), other.samples_.begin(),
+                      other.samples_.end());
+      return;
+    case AggKind::kAvgFinal:
+      final_sum_ += other.final_sum_;
+      final_count_ += other.final_count_;
+      return;
+  }
+}
+
 Value AggAccumulator::Finish() const {
   // SQL: every aggregate except COUNT yields NULL when no (non-NULL) input
   // was fed — the scalar-aggregate-over-empty-input case and groups whose

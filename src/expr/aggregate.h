@@ -69,6 +69,17 @@ class AggAccumulator {
   /// Feeds the argument values of one input row (arity matches the call).
   void Add(const std::vector<Value>& args);
 
+  /// Folds another accumulator of the same kind into this one, as if every
+  /// row fed to `other` had been fed here. This is the execution-time
+  /// counterpart of the coalescing combines (transform/coalescing): COUNT
+  /// partials merge by summation with COUNT's empty-input-is-0 semantics
+  /// (the AggKind::kCountSum rule), SUM/AVG partials by summation (exact on
+  /// the all-integer path, so integer merges are order-independent), MIN/MAX
+  /// by comparison. MEDIAN is not decomposable but is exactly mergeable by
+  /// concatenating the kept samples. The parallel hash aggregate merges
+  /// thread-local partial states with this.
+  void Merge(const AggAccumulator& other);
+
   /// The aggregate value of everything fed so far. Empty groups cannot occur
   /// (a group exists only if at least one row was fed).
   Value Finish() const;

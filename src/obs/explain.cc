@@ -27,6 +27,7 @@ struct NodeRuntime {
   int64_t hash_build_rows = 0;
   int64_t hash_probes = 0;
   int64_t spill_pages = 0;
+  int64_t workers = 1;
 };
 
 NodeRuntime RuntimeOfNode(const PlanNode* node,
@@ -41,6 +42,7 @@ NodeRuntime RuntimeOfNode(const PlanNode* node,
     rt.hash_build_rows += e.stats->hash_build_rows;
     rt.hash_probes += e.stats->hash_probes;
     rt.spill_pages += e.stats->spill_pages;
+    rt.workers = std::max(rt.workers, e.stats->workers);
   }
   return rt;
 }
@@ -71,6 +73,9 @@ void ExplainRec(const PlanPtr& plan, const Query& query,
     }
     if (rt.spill_pages > 0) {
       *out += StrFormat(" spill=%lld", static_cast<long long>(rt.spill_pages));
+    }
+    if (rt.workers > 1) {
+      *out += StrFormat(" workers=%lld", static_cast<long long>(rt.workers));
     }
     *out += ")";
   } else {

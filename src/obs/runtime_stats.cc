@@ -14,6 +14,20 @@ std::string FmtMs(int64_t ns) {
 
 }  // namespace
 
+void OpStats::MergeFrom(const OpStats& other) {
+  rows_produced += other.rows_produced;
+  batches_produced += other.batches_produced;
+  input_rows += other.input_rows;
+  next_calls += other.next_calls;
+  open_ns += other.open_ns;
+  next_ns += other.next_ns;
+  pages_charged += other.pages_charged;
+  hash_build_rows += other.hash_build_rows;
+  hash_probes += other.hash_probes;
+  spill_pages += other.spill_pages;
+  workers += other.workers;
+}
+
 std::string OpStatsToString(const OpStats& s) {
   std::string out = s.op_name + ": rows=" + std::to_string(s.rows_produced) +
                     " batches=" + std::to_string(s.batches_produced) +
@@ -26,6 +40,7 @@ std::string OpStatsToString(const OpStats& s) {
            " probes=" + std::to_string(s.hash_probes);
   }
   if (s.spill_pages > 0) out += " spill=" + std::to_string(s.spill_pages);
+  if (s.workers > 1) out += " workers=" + std::to_string(s.workers);
   return out;
 }
 

@@ -54,7 +54,19 @@ struct OpStats {
   /// (the out-of-core passes beyond the first read of the input).
   int64_t spill_pages = 0;
 
+  /// Pipeline instances that contributed to these counters: 1 for serial
+  /// execution; N when the operator ran as part of an N-way morsel-parallel
+  /// region (each worker clone accumulates into a private OpStats, merged
+  /// here at the region's end — the accumulation itself is race-free).
+  /// With workers > 1 the time counters sum the workers' clocks, so next_ns
+  /// is CPU time across the region, not wall time.
+  int64_t workers = 1;
+
   int64_t total_ns() const { return open_ns + next_ns; }
+
+  /// Folds a worker clone's counters into this (primary) block: counts sum,
+  /// workers accumulate. op_name is kept.
+  void MergeFrom(const OpStats& other);
 };
 
 /// Collects the OpStats of every physical operator of one execution and

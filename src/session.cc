@@ -1,0 +1,79 @@
+#include "session.h"
+
+#include "exec/thread_pool.h"
+#include "obs/explain.h"
+#include "obs/runtime_stats.h"
+#include "optimizer/traditional.h"
+#include "sql/binder.h"
+
+namespace aggview {
+
+SessionOptions SessionOptions::Default() {
+  SessionOptions options;
+  ExecContext env = ExecContext::Default();
+  options.threads = env.threads;
+  options.batch_size = env.batch_size;
+  return options;
+}
+
+Session::Session(SessionOptions options) : options_(std::move(options)) {
+  if (options_.threads < 1) options_.threads = 1;
+  if (options_.batch_size < 1) options_.batch_size = 1;
+}
+
+Session::~Session() = default;
+
+ThreadPool* Session::pool() {
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(options_.threads);
+  return pool_.get();
+}
+
+ExecContext Session::MakeContext() {
+  ExecContext ctx;
+  ctx.batch_size = options_.batch_size;
+  ctx.threads = options_.threads;
+  if (options_.threads > 1) ctx.pool = pool();
+  return ctx;
+}
+
+Result<PreparedQuery> Session::Sql(const std::string& text) {
+  AGGVIEW_ASSIGN_OR_RETURN(Query query, ParseAndBind(catalog_, text));
+  OptimizedQuery optimized;
+  if (options_.use_traditional) {
+    AGGVIEW_ASSIGN_OR_RETURN(optimized, OptimizeTraditional(query));
+  } else {
+    AGGVIEW_ASSIGN_OR_RETURN(optimized,
+                             OptimizeQueryWithAggViews(query, options_.optimizer));
+  }
+  return PreparedQuery(this, std::move(optimized));
+}
+
+Result<QueryResult> PreparedQuery::Execute() {
+  IoAccountant io;
+  AGGVIEW_ASSIGN_OR_RETURN(
+      QueryResult result,
+      ExecutePlan(optimized_.plan, optimized_.query,
+                  session_->MakeContext().WithIo(&io)));
+  last_io_pages_ = io.total();
+  return result;
+}
+
+std::string PreparedQuery::Explain() const {
+  std::string out = optimized_.description;
+  if (!out.empty() && out.back() != '\n') out += "\n";
+  out += PlanToString(optimized_.plan, optimized_.query);
+  return out;
+}
+
+Result<std::string> PreparedQuery::ExplainAnalyze() {
+  IoAccountant io;
+  RuntimeStatsCollector stats;
+  AGGVIEW_RETURN_NOT_OK(
+      ExecutePlan(optimized_.plan, optimized_.query,
+                  session_->MakeContext().WithIo(&io).WithStats(&stats))
+          .status());
+  last_io_pages_ = io.total();
+  return aggview::ExplainAnalyze(optimized_.plan, optimized_.query, stats);
+}
+
+}  // namespace aggview

@@ -1,0 +1,127 @@
+#ifndef AGGVIEW_SESSION_H_
+#define AGGVIEW_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "exec/exec_context.h"
+#include "exec/executor.h"
+#include "optimizer/aggview_optimizer.h"
+
+namespace aggview {
+
+class Session;
+class ThreadPool;
+
+/// Session-wide knobs; each PreparedQuery inherits them at Sql() time.
+struct SessionOptions {
+  /// Intra-query parallelism for every query this session executes. The
+  /// session owns one worker pool sized to this, shared across queries.
+  int threads = 1;
+  /// Batch capacity of every operator tree the session runs.
+  int batch_size = kDefaultBatchSize;
+  /// Optimize with the traditional two-phase optimizer instead of the
+  /// paper's aggregate-view optimizer (for comparisons).
+  bool use_traditional = false;
+  /// Options of the aggregate-view optimizer (ignored by use_traditional).
+  OptimizerOptions optimizer;
+
+  /// Serial, default batch size — unless the environment overrides it
+  /// (AGGVIEW_TEST_THREADS / AGGVIEW_TEST_BATCH_SIZE, same convention as
+  /// ExecContext::Default()).
+  static SessionOptions Default();
+};
+
+/// A parsed, bound and optimized statement, ready to run. Produced by
+/// Session::Sql; holds the rewritten query and the winning plan, so the
+/// (comparatively expensive) optimization runs once however often the
+/// statement executes. Must not outlive its Session — it executes against
+/// the session's catalog data and worker pool.
+class PreparedQuery {
+ public:
+  PreparedQuery(PreparedQuery&&) = default;
+  PreparedQuery& operator=(PreparedQuery&&) = default;
+
+  /// Runs the plan on the session's pool/threads and materializes the
+  /// result. Page charges of the run are available from last_io_pages()
+  /// afterwards.
+  Result<QueryResult> Execute();
+
+  /// The optimizer's one-line rationale plus the physical plan tree.
+  std::string Explain() const;
+
+  /// Runs the plan instrumented and renders the plan tree annotated with
+  /// actual cardinalities, timings, IO and worker counts.
+  Result<std::string> ExplainAnalyze();
+
+  const PlanPtr& plan() const { return optimized_.plan; }
+  const Query& query() const { return optimized_.query; }
+  const std::string& description() const { return optimized_.description; }
+  /// Every W-assignment alternative the optimizer evaluated.
+  const std::vector<PlanAlternative>& alternatives() const {
+    return optimized_.alternatives;
+  }
+  /// Pages (reads + writes) charged by the most recent Execute /
+  /// ExplainAnalyze, -1 before the first run.
+  int64_t last_io_pages() const { return last_io_pages_; }
+
+ private:
+  friend class Session;
+  PreparedQuery(Session* session, OptimizedQuery optimized)
+      : session_(session), optimized_(std::move(optimized)) {}
+
+  Session* session_;
+  OptimizedQuery optimized_;
+  int64_t last_io_pages_ = -1;
+};
+
+/// The library's front door: one object owning the catalog (schemas + data),
+/// the optimizer configuration, and the worker pool for parallel execution.
+///
+///   Session session(SessionOptions{.threads = 8});
+///   CreateEmpDeptSchema(&session.catalog());
+///   GenerateEmpDeptData(&session.catalog(), ...);
+///   AGGVIEW_ASSIGN_OR_RETURN(PreparedQuery q, session.Sql("SELECT ..."));
+///   AGGVIEW_ASSIGN_OR_RETURN(QueryResult result, q.Execute());
+///
+/// Sql() runs parse → bind → optimize; the returned PreparedQuery executes
+/// any number of times. A Session is single-threaded at its surface (one
+/// statement at a time) — the parallelism is *inside* an Execute call.
+class Session {
+ public:
+  explicit Session(SessionOptions options = SessionOptions::Default());
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// The session's schema + data; populate it before Sql().
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  const SessionOptions& options() const { return options_; }
+
+  /// Switches which optimizer subsequent Sql() calls use (already-prepared
+  /// queries are unaffected).
+  void set_use_traditional(bool on) { options_.use_traditional = on; }
+
+  /// Parses, binds and optimizes one SELECT statement.
+  Result<PreparedQuery> Sql(const std::string& text);
+
+  /// The execution context queries of this session run under (threads,
+  /// batch size, shared pool), without IO or stats sinks installed.
+  ExecContext MakeContext();
+
+ private:
+  /// The shared worker pool, created on first parallel use.
+  ThreadPool* pool();
+
+  SessionOptions options_;
+  Catalog catalog_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_SESSION_H_

@@ -1,6 +1,7 @@
 #ifndef AGGVIEW_STORAGE_IO_ACCOUNTANT_H_
 #define AGGVIEW_STORAGE_IO_ACCOUNTANT_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace aggview {
@@ -24,19 +25,37 @@ int64_t PagesForRows(int64_t rows, int64_t row_width_bytes);
 /// executor charges base-table scans per page and charges spill passes of
 /// out-of-core joins / sorts / aggregations, mirroring the cost model's
 /// formulas with actual (not estimated) cardinalities.
+///
+/// Charging is atomic (relaxed increments — the counters carry no ordering),
+/// so one accountant may be shared by operators running on different worker
+/// threads. The parallel executor additionally *defers* every data-dependent
+/// charge to a serial merge point computed on totals, which keeps the charged
+/// page counts byte-identical to serial execution at any thread count; the
+/// atomics make the class safe even for callers that don't defer.
 class IoAccountant {
  public:
-  void ChargeRead(int64_t pages) { reads_ += pages; }
-  void ChargeWrite(int64_t pages) { writes_ += pages; }
-  void Reset() { reads_ = writes_ = 0; }
+  IoAccountant() = default;
+  IoAccountant(const IoAccountant&) = delete;
+  IoAccountant& operator=(const IoAccountant&) = delete;
 
-  int64_t reads() const { return reads_; }
-  int64_t writes() const { return writes_; }
-  int64_t total() const { return reads_ + writes_; }
+  void ChargeRead(int64_t pages) {
+    reads_.fetch_add(pages, std::memory_order_relaxed);
+  }
+  void ChargeWrite(int64_t pages) {
+    writes_.fetch_add(pages, std::memory_order_relaxed);
+  }
+  void Reset() {
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+  }
+
+  int64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  int64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+  int64_t total() const { return reads() + writes(); }
 
  private:
-  int64_t reads_ = 0;
-  int64_t writes_ = 0;
+  std::atomic<int64_t> reads_{0};
+  std::atomic<int64_t> writes_{0};
 };
 
 }  // namespace aggview

@@ -117,6 +117,40 @@ TEST_F(ExecutorTest, MeasuredIoMatchesEstimateForFkHashJoin) {
   EXPECT_NEAR(static_cast<double>(io.total()), plan->cost, 1.0);
 }
 
+TEST_F(ExecutorTest, ParallelRunChargesSameIoAsSerial) {
+  // Deferred parallel charging: a hash join + aggregate pipeline charges the
+  // same pages whether the build/scan/aggregate run on 1 worker or 8. Every
+  // page formula is applied once, on merged totals, at the serial points.
+  PlanBuilder b(q_);
+  ColId avg_out = q_.columns().Add("avg(e.sal)", DataType::kDouble);
+  std::set<ColId> needed = {e_dno_, sal_, d_dno_, budget_, avg_out};
+  PlanPtr join = b.Join(JoinAlgo::kHash, b.Scan(e_, {}, needed),
+                        b.Scan(d_, {}, needed), {EqCols(e_dno_, d_dno_)},
+                        needed);
+  GroupBySpec gb;
+  gb.grouping = {e_dno_};
+  gb.aggregates = {{AggKind::kAvg, {sal_}, avg_out}};
+  PlanPtr plan = b.GroupBy(join, gb, {e_dno_, avg_out});
+
+  IoAccountant serial_io;
+  auto serial = ExecutePlan(plan, q_, ExecContext{}.WithIo(&serial_io));
+  ASSERT_OK(serial);
+  for (int threads : {2, 8}) {
+    IoAccountant parallel_io;
+    auto parallel = ExecutePlan(
+        plan, q_,
+        ExecContext{}.WithThreads(threads).WithMorselRows(64).WithIo(
+            &parallel_io));
+    ASSERT_OK(parallel);
+    EXPECT_EQ(parallel->Fingerprint(), serial->Fingerprint())
+        << "threads=" << threads;
+    EXPECT_EQ(parallel_io.total(), serial_io.total()) << "threads=" << threads;
+    EXPECT_EQ(parallel_io.reads(), serial_io.reads()) << "threads=" << threads;
+    EXPECT_EQ(parallel_io.writes(), serial_io.writes())
+        << "threads=" << threads;
+  }
+}
+
 TEST_F(ExecutorTest, FingerprintOrderInsensitive) {
   QueryResult a, b;
   a.rows = {{Value::Int(1)}, {Value::Int(2)}};

@@ -33,6 +33,13 @@ TEST_P(DifferentialFuzz, AllOptimizersAgreeUnderParanoidAnalysis) {
   EXPECT_EQ(report->batch_size_checks,
             options.num_queries *
                 static_cast<int>(options.cross_batch_sizes.size()));
+  // ... and at every (threads x batch size) combination of {1, 2, 8} x
+  // {1, 1024}: morsel-driven parallelism is invisible to semantics too —
+  // zero fingerprint mismatches across thread counts.
+  EXPECT_EQ(report->thread_checks,
+            options.num_queries *
+                static_cast<int>(options.cross_thread_counts.size() *
+                                 options.cross_thread_batch_sizes.size()));
   // Paranoid mode actually fired: the analyzer ran at DP insertions and
   // transformation certificates were re-proved.
   EXPECT_GT(report->plans_checked, 0);
