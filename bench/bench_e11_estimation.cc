@@ -7,6 +7,7 @@
 // reported q-error is max(est/actual, actual/est).
 #include <cmath>
 
+#include "analysis/dataflow.h"
 #include "bench_util.h"
 #include "optimizer/plan_validator.h"
 
@@ -20,6 +21,30 @@ std::string FmtQ(double v) {
   return buf;
 }
 
+/// Root-node provable cardinality bounds from the dataflow verifier,
+/// rendered compactly.
+std::string FmtBounds(const CardBounds& b) {
+  char buf[64];
+  if (std::isfinite(b.hi)) {
+    std::snprintf(buf, sizeof(buf), "[%.0f, %.0f]", b.lo, b.hi);
+  } else {
+    std::snprintf(buf, sizeof(buf), "[%.0f, inf]", b.lo);
+  }
+  return buf;
+}
+
+/// True when every node's estimate lies inside its provable bounds — an
+/// escape anywhere in the plan is an estimator bug by construction.
+bool AllEstimatesInBounds(const PlanPtr& plan, const DataflowAnalysis& flow) {
+  if (plan == nullptr) return true;
+  const NodeFacts* f = flow.Find(plan.get());
+  if (f != nullptr && !EstimateWithinBounds(plan->est.rows, f->card)) {
+    return false;
+  }
+  return AllEstimatesInBounds(plan->left, flow) &&
+         AllEstimatesInBounds(plan->right, flow);
+}
+
 void Run() {
   Banner("E11", "cardinality estimation accuracy (q-error)");
 
@@ -28,7 +53,8 @@ void Run() {
   // estimate looks fine but which mispredicts an intermediate join is still
   // exposed. `worst_op` names the operator with the largest q-error.
   TablePrinter table({"skew", "operator", "est_rows", "actual", "q_root",
-                      "q_op_max", "q_op_geo", "worst_op"});
+                      "q_op_max", "q_op_geo", "bounds", "est_ok",
+                      "worst_op"});
   for (double skew : {0.0, 1.1}) {
     DbgenOptions options;
     options.scale_factor = 0.005;
@@ -70,9 +96,16 @@ void Run() {
       double actual = static_cast<double>(result->rows.size());
       QErrorSummary ops = SummarizeQError(
           CollectNodeQErrors(optimized->plan, optimized->query, stats));
+      DataflowAnalysis flow =
+          DataflowAnalysis::Analyze(optimized->plan, optimized->query);
+      const NodeFacts* root = flow.Find(optimized->plan.get());
       table.Row({skew == 0.0 ? "uniform" : "zipf1.1", probe.op, Fmt(est),
                  Fmt(actual), FmtQ(QError(est, actual)), FmtQ(ops.max_q),
-                 FmtQ(ops.mean_q), ops.worst_label});
+                 FmtQ(ops.mean_q),
+                 root != nullptr ? FmtBounds(root->card) : "?",
+                 AllEstimatesInBounds(optimized->plan, flow) ? "yes"
+                                                             : "VIOLATION",
+                 ops.worst_label});
     }
   }
   std::printf(

@@ -5,6 +5,7 @@
 // plan costs (the cheap always-on alternative).
 #include <benchmark/benchmark.h>
 
+#include "analysis/dataflow.h"
 #include "bench_util.h"
 
 namespace aggview {
@@ -55,15 +56,46 @@ void BM_TwoViews_Plain(benchmark::State& state) {
 }
 BENCHMARK(BM_TwoViews_Plain);
 
+// Dataflow-analysis axis: paranoid mode with the dataflow verifier pass on
+// (range(1)) vs off (range(0)). The delta divided by `plans_checked` is the
+// abstract interpretation's cost per DP-table insertion. Run with
+// --benchmark_format=json for machine-readable output.
 void BM_TwoViews_Paranoid(benchmark::State& state) {
   OptimizerOptions options;
   options.paranoid = true;
+  options.paranoid_dataflow = state.range(0) != 0;
   for (auto _ : state) OptimizeOnce(TwoViewQuery(), options, state);
 }
-BENCHMARK(BM_TwoViews_Paranoid);
+BENCHMARK(BM_TwoViews_Paranoid)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("dataflow");
 
 void BM_TwoViews_FinalAnalyzeOnly(benchmark::State& state) {
-  // Optimize once, measure only the one-shot analysis of the winning plan.
+  // Optimize once, measure only the one-shot analysis of the winning plan —
+  // with and without the dataflow pass (same axis as above).
+  auto query = ParseAndBind(*Db().catalog, TwoViewQuery());
+  if (!query.ok()) std::abort();
+  OptimizerOptions options;
+  options.paranoid = false;
+  auto optimized = OptimizeQueryWithAggViews(*query, options);
+  if (!optimized.ok()) std::abort();
+  AnalysisOptions analysis;
+  analysis.dataflow = state.range(0) != 0;
+  for (auto _ : state) {
+    Status st = AnalyzePlan(optimized->plan, optimized->query, analysis);
+    if (!st.ok()) std::abort();
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_TwoViews_FinalAnalyzeOnly)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("dataflow");
+
+void BM_DataflowAnalysisOnly(benchmark::State& state) {
+  // The raw abstract interpretation (facts only, no obligations) of the
+  // winning two-view plan.
   auto query = ParseAndBind(*Db().catalog, TwoViewQuery());
   if (!query.ok()) std::abort();
   OptimizerOptions options;
@@ -71,12 +103,12 @@ void BM_TwoViews_FinalAnalyzeOnly(benchmark::State& state) {
   auto optimized = OptimizeQueryWithAggViews(*query, options);
   if (!optimized.ok()) std::abort();
   for (auto _ : state) {
-    Status st = AnalyzePlan(optimized->plan, optimized->query);
-    if (!st.ok()) std::abort();
-    benchmark::DoNotOptimize(st);
+    DataflowAnalysis flow =
+        DataflowAnalysis::Analyze(optimized->plan, optimized->query);
+    benchmark::DoNotOptimize(flow.Find(optimized->plan.get()));
   }
 }
-BENCHMARK(BM_TwoViews_FinalAnalyzeOnly);
+BENCHMARK(BM_DataflowAnalysisOnly);
 
 void BM_Fuzz10_Plain(benchmark::State& state) {
   for (auto _ : state) {

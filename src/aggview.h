@@ -18,6 +18,7 @@
 #include "algebra/query.h"
 #include "analysis/analyzer.h"
 #include "analysis/certificate.h"
+#include "analysis/dataflow.h"
 #include "analysis/fd.h"
 #include "analysis/fuzzer.h"
 #include "catalog/catalog.h"

@@ -28,6 +28,11 @@ struct ColumnInfo {
   DataType type = DataType::kInt64;
   /// Byte width used in row-width (and hence page-count) arithmetic.
   int64_t width = 8;
+  /// Declared nullability. Defaults to true (unknown); COUNT-family
+  /// aggregate outputs and coalescing partial-count columns are declared
+  /// non-nullable at allocation, and the dataflow analyzer proves the
+  /// declaration (a COUNT output declared nullable is a plan bug).
+  bool nullable = true;
 };
 
 /// Registry of all query-global columns of one query. Owned by the Query
@@ -51,6 +56,10 @@ class ColumnCatalog {
   const std::string& name(ColId id) const { return info(id).name; }
   DataType type(ColId id) const { return info(id).type; }
   int64_t width(ColId id) const { return info(id).width; }
+  bool nullable(ColId id) const { return info(id).nullable; }
+  void set_nullable(ColId id, bool nullable) {
+    columns_[static_cast<size_t>(id)].nullable = nullable;
+  }
 
  private:
   std::vector<ColumnInfo> columns_;

@@ -90,9 +90,17 @@ Result<ColId> Query::ResolveColumn(const std::string& alias,
 ColId Query::AddAggregateOutput(AggKind kind, const std::vector<ColId>& args,
                                 const std::string& display_name,
                                 DataType type) {
-  (void)kind;
   (void)args;
-  return columns_.Add(display_name, type);
+  ColId out = columns_.Add(display_name, type);
+  // COUNT-family results are never NULL: COUNT/COUNT(*) emit 0 on empty
+  // input and the COUNT-combine (kCountSum) sums partial counts starting
+  // from 0. Declaring this here lets the dataflow analyzer cross-check the
+  // declaration against what the plan provably produces.
+  if (kind == AggKind::kCount || kind == AggKind::kCountStar ||
+      kind == AggKind::kCountSum) {
+    columns_.set_nullable(out, false);
+  }
+  return out;
 }
 
 std::set<ColId> Query::ColumnsOfRels(const std::vector<int>& rel_ids) const {

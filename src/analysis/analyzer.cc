@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/dataflow.h"
 #include "common/string_util.h"
 #include "optimizer/plan_validator.h"
 
@@ -169,6 +170,11 @@ Status AnalyzePlan(const PlanPtr& plan, const Query& query,
     // The derivation itself re-walks the tree and fails on malformed nodes;
     // its result also feeds the certificate verifiers.
     AGGVIEW_RETURN_NOT_OK(DerivePlanProperties(plan, query).status());
+  }
+  // Last, so type/shape errors surface with the more specific messages of
+  // the passes above before the dataflow obligations see the plan.
+  if (options.dataflow) {
+    AGGVIEW_RETURN_NOT_OK(CheckDataflowObligations(plan, query));
   }
   return Status::OK();
 }
@@ -518,9 +524,14 @@ Status VerifyCoalescingCertificate(const Query& query,
         if (psum == nullptr || pcount == nullptr ||
             psum->kind != AggKind::kSum ||
             psum->args != std::vector<ColId>{orig.args[0]} ||
-            pcount->kind != AggKind::kSum ||
+            pcount->kind != AggKind::kCountSum ||
             pcount->args != std::vector<ColId>{orig.args[1]}) {
-          return fail("re-split AVG needs partial SUMs of sum and count");
+          // Count side must pre-aggregate with kCountSum, not kSum: a plain
+          // SUM over an empty scalar partial is NULL and would be silently
+          // dropped by the AvgFinal combine.
+          return fail(
+              "re-split AVG needs a partial SUM of the sum and a "
+              "count-preserving SUM of the count");
         }
         if (fin.kind != AggKind::kAvgFinal ||
             fin.args != std::vector<ColId>{psum->output, pcount->output}) {

@@ -16,6 +16,12 @@ struct AnalysisOptions {
   /// output disjointness, aggregate arity, HAVING placement, and bottom-up
   /// FD/key derivation.
   bool semantic = true;
+  /// Run the dataflow verifier (dataflow.h) after the semantic passes:
+  /// abstract interpretation deriving nullability, value domains and
+  /// cardinality bounds, then CheckDataflowObligations. On by default, so
+  /// paranoid mode (EnumeratorOptions::dp_check) re-proves the dataflow
+  /// obligations at every DP-table insertion of all three optimizers.
+  bool dataflow = true;
 };
 
 /// Static semantic analysis of a physical plan, beyond the structural

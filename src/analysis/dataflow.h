@@ -1,0 +1,185 @@
+#ifndef AGGVIEW_ANALYSIS_DATAFLOW_H_
+#define AGGVIEW_ANALYSIS_DATAFLOW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+#include "algebra/query.h"
+#include "common/result.h"
+#include "exec/row_batch.h"
+#include "optimizer/plan.h"
+
+namespace aggview {
+
+class RuntimeStatsCollector;
+
+/// Abstract interpretation over physical plans (the dataflow verifier).
+///
+/// A bottom-up pass computes, for every plan node, an abstract state:
+///
+///  - per output column, a *nullability lattice* value (never / maybe /
+///    always NULL), a *value domain* (a closed interval over the non-NULL
+///    values, numeric or lexicographic, seeded from the catalog's exact
+///    min/max statistics and refined through filter and join predicates),
+///    and a sound upper bound on the column's distinct non-NULL values;
+///  - per node, *cardinality bounds* [lo, hi] on the number of rows the
+///    node can produce, via sound transfer functions (scans from table row
+///    counts, filters zero the bound on provably-false predicates, inner
+///    joins multiply, outer joins preserve the left input and introduce
+///    NULLs on the right, group-bys are capped by the product of the
+///    grouping columns' domains).
+///
+/// Everything derived here is a *theorem* about execution, not an estimate:
+/// any run of the plan over data consistent with the catalog statistics
+/// must produce a row count inside [lo, hi] and NULLs only in maybe/always
+/// columns. Three consumers rely on that:
+///
+///  1. static obligations in AnalyzePlan (CheckDataflowObligations):
+///     COUNT-family outputs are non-null and >= 0, coalescing combine
+///     inputs are never-null where AggAccumulator::Merge requires it,
+///     predicates are not statically dead, and every estimator estimate
+///     lies inside the provable bounds (outside = a flagged estimator bug);
+///  2. paranoid mode: AnalyzePlan (and with it this pass) runs on every
+///     DP-table insertion of all three optimizers;
+///  3. runtime self-verification (DataflowVerifier): a debug ExecContext
+///     mode where the executor checks every produced batch and every
+///     node's final row count against the static facts, which in turn lets
+///     the differential fuzzer test the analysis itself against execution.
+enum class Nullability {
+  kNever,   // no row of this node carries NULL in the column
+  kMaybe,   // unknown; NULLs permitted
+  kAlways,  // every row carries NULL (outer-join padding of an empty side)
+};
+
+const char* NullabilityName(Nullability n);
+
+/// Unbounded distinct-count sentinel.
+inline constexpr double kUnboundedDistinct =
+    std::numeric_limits<double>::infinity();
+
+/// Abstract state of one column at one plan node.
+struct ColumnFacts {
+  Nullability null = Nullability::kMaybe;
+  /// Closed numeric interval over the column's non-NULL values.
+  bool has_range = false;
+  double min = 0.0;
+  double max = 0.0;
+  /// Closed lexicographic interval for string columns.
+  bool has_str_range = false;
+  std::string min_str;
+  std::string max_str;
+  /// Sound upper bound on the number of distinct non-NULL values
+  /// (kUnboundedDistinct when nothing is known).
+  double max_distinct = kUnboundedDistinct;
+};
+
+/// Provable cardinality bounds of one plan node.
+struct CardBounds {
+  double lo = 0.0;
+  double hi = std::numeric_limits<double>::infinity();
+};
+
+/// The abstract state of one plan node: cardinality bounds plus facts for
+/// every column flowing through the node (not just the projected output, so
+/// pre-projection operators of the same node are checkable too).
+struct NodeFacts {
+  CardBounds card;
+  std::unordered_map<ColId, ColumnFacts> cols;
+  /// Rendering of the first predicate of this node proved statically false
+  /// because it references an always-NULL column outside COALESCE (empty
+  /// when none). Surfaced as a static obligation failure.
+  std::string dead_predicate;
+
+  const ColumnFacts* Find(ColId c) const {
+    auto it = cols.find(c);
+    return it == cols.end() ? nullptr : &it->second;
+  }
+};
+
+/// The result of the abstract interpretation: facts per plan node, keyed by
+/// node identity (plans are DAGs — shared subplans are analyzed once).
+/// Analysis is total: it never fails, it only loses precision (a node it
+/// cannot model gets [0, inf) and maybe-NULL columns).
+class DataflowAnalysis {
+ public:
+  static DataflowAnalysis Analyze(const PlanPtr& plan, const Query& query);
+
+  const NodeFacts* Find(const PlanNode* node) const {
+    auto it = facts_.find(node);
+    return it == facts_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::unordered_map<const PlanNode*, NodeFacts> facts_;
+};
+
+/// Static obligations over the analysis (consumer 1). Errors name the
+/// offending node (same convention as the analyzer's NodeError):
+///  - every node's estimated row count lies inside the provable [lo, hi]
+///    (an estimate outside the bounds is an estimator bug by construction);
+///  - COUNT-family outputs are declared non-nullable, derive never-NULL,
+///    and their domain proves >= 0;
+///  - coalescing combine inputs that carry counts (the kCountSum argument
+///    and the count side of kAvgFinal) derive never-NULL — a NULL there is
+///    silently skipped by AggAccumulator::Add/Merge and loses rows;
+///  - no predicate (scan filter, residual filter, join predicate, HAVING)
+///    references an always-NULL column outside COALESCE: such a conjunct is
+///    statically false and the plan is dead weight at best, a miscompiled
+///    pull-up at worst.
+Status CheckDataflowObligations(const PlanPtr& plan, const Query& query,
+                                const DataflowAnalysis& analysis);
+
+/// Convenience: analyze + check in one call.
+Status CheckDataflowObligations(const PlanPtr& plan, const Query& query);
+
+/// True when `est_rows` lies inside `bounds` up to float-rounding slack.
+bool EstimateWithinBounds(double est_rows, const CardBounds& bounds);
+
+/// Runtime self-verification (consumer 3): owns the analysis of one plan
+/// and checks actual execution against it. Installed via
+/// ExecContext::WithVerify; the executor then
+///  - checks every batch an operator produces (CheckBatch): NULLs only in
+///    maybe/always columns, values inside the value domains;
+///  - checks every node's total produced row count against [lo, hi] after
+///    the drain (CheckPlanCardinality).
+/// Thread-safe: the facts are immutable after construction and the check
+/// counter is atomic (worker clones of a morsel-parallel pipeline all call
+/// CheckBatch).
+class DataflowVerifier {
+ public:
+  DataflowVerifier(const PlanPtr& plan, const Query& query)
+      : plan_(plan),
+        query_(&query),
+        analysis_(DataflowAnalysis::Analyze(plan, query)) {}
+
+  const DataflowAnalysis& analysis() const { return analysis_; }
+
+  /// Verifies one produced batch of `node` (layout = the producing
+  /// operator's output layout). Counts one check per (column, batch).
+  Status CheckBatch(const PlanNode* node, const RowLayout& layout,
+                    const RowBatch& batch) const;
+
+  /// Verifies the per-node total row counts recorded in `stats` against the
+  /// static bounds. Call after the plan fully drained.
+  Status CheckPlanCardinality(const RuntimeStatsCollector& stats) const;
+
+  /// Number of runtime facts checked so far (batch-column checks plus
+  /// per-node cardinality checks).
+  int64_t checks() const { return checks_.load(std::memory_order_relaxed); }
+
+ private:
+  Status CheckNodeCardinality(const PlanPtr& node,
+                              const RuntimeStatsCollector& stats) const;
+
+  PlanPtr plan_;
+  const Query* query_;
+  DataflowAnalysis analysis_;
+  mutable std::atomic<int64_t> checks_{0};
+};
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_ANALYSIS_DATAFLOW_H_

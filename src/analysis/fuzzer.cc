@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/dataflow.h"
 #include "catalog/catalog.h"
 #include "exec/executor.h"
 #include "optimizer/aggview_optimizer.h"
@@ -307,7 +308,14 @@ Result<FuzzReport> RunDifferentialFuzz(const FuzzOptions& options) {
       Status audited = VerifyAudit(optimized->query, optimized->audit);
       if (!audited.ok()) return fail("audit", audited);
 
-      auto result = ExecutePlan(optimized->plan, optimized->query, nullptr);
+      // Every execution below runs with runtime dataflow self-verification:
+      // the verifier's static facts (nullability, value domains, cardinality
+      // bounds) are checked against every produced batch and every node's
+      // final row count — the fuzzer tests the abstract interpretation
+      // itself against real execution.
+      DataflowVerifier verifier(optimized->plan, optimized->query);
+      auto result = ExecutePlan(optimized->plan, optimized->query,
+                                ExecContext::Default().WithVerify(&verifier));
       if (!result.ok()) return fail("execute", result.status());
       ++report.plans_compared;
       if (i == 0) {
@@ -317,10 +325,10 @@ Result<FuzzReport> RunDifferentialFuzz(const FuzzOptions& options) {
         // produce a byte-identical fingerprint (size 1 is the row-at-a-time
         // engine's behaviour; size 2 exercises every mid-batch boundary).
         for (int batch_size : options.cross_batch_sizes) {
-          ExecOptions exec;
-          exec.batch_size = batch_size;
-          auto rerun = ExecutePlan(optimized->plan, optimized->query, nullptr,
-                                   nullptr, exec);
+          auto rerun = ExecutePlan(optimized->plan, optimized->query,
+                                   ExecContext{}
+                                       .WithBatchSize(batch_size)
+                                       .WithVerify(&verifier));
           if (!rerun.ok()) {
             return fail("execute at batch_size=" + std::to_string(batch_size),
                         rerun.status());
@@ -343,7 +351,8 @@ Result<FuzzReport> RunDifferentialFuzz(const FuzzOptions& options) {
             auto rerun = ExecutePlan(optimized->plan, optimized->query,
                                      ExecContext{}
                                          .WithThreads(threads)
-                                         .WithBatchSize(batch_size));
+                                         .WithBatchSize(batch_size)
+                                         .WithVerify(&verifier));
             if (!rerun.ok()) {
               return fail("execute at threads=" + std::to_string(threads) +
                               " batch_size=" + std::to_string(batch_size),
@@ -362,6 +371,7 @@ Result<FuzzReport> RunDifferentialFuzz(const FuzzOptions& options) {
         return fail("results diverge from traditional plan",
                     Status::Internal("fingerprints differ"));
       }
+      report.dataflow_checks += verifier.checks();
     }
     ++report.queries_run;
   }

@@ -65,6 +65,11 @@ struct FuzzReport {
   int thread_checks = 0;
   int64_t plans_checked = 0;        // analyzer invocations from dp_check
   int64_t certificates_verified = 0;
+  /// Runtime dataflow facts checked by the self-verification mode: every
+  /// execution runs with a DataflowVerifier installed, so every produced
+  /// batch is checked against the statically derived nullability and value
+  /// domains and every node's row count against the provable [lo, hi].
+  int64_t dataflow_checks = 0;
 };
 
 /// Runs the differential fuzz loop. Fails on the first query where any

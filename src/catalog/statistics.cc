@@ -35,6 +35,7 @@ TableStats ComputeStats(const Table& table) {
     ColumnStats& cs = stats.columns[static_cast<size_t>(c)];
     std::unordered_set<size_t> seen;
     bool first = true;
+    bool first_str = true;
     bool numeric = IsNumeric(schema.column(c).type);
     std::vector<double> values;
     if (numeric) values.reserve(static_cast<size_t>(table.row_count()));
@@ -43,7 +44,20 @@ TableStats ComputeStats(const Table& table) {
       seen.insert(v.Hash());
       // NULLs count toward distinct (one bucket) but contribute no range or
       // histogram mass.
-      if (v.is_null()) continue;
+      if (v.is_null()) {
+        ++cs.null_count;
+        continue;
+      }
+      if (v.is_string()) {
+        const std::string& s = v.AsString();
+        if (first_str) {
+          cs.min_str = cs.max_str = s;
+          first_str = false;
+        } else {
+          if (s < cs.min_str) cs.min_str = s;
+          if (s > cs.max_str) cs.max_str = s;
+        }
+      }
       if (numeric) {
         double d = v.AsNumeric();
         values.push_back(d);
@@ -59,6 +73,7 @@ TableStats ComputeStats(const Table& table) {
     cs.distinct = static_cast<int64_t>(seen.size());
     if (cs.distinct == 0) cs.distinct = 1;
     cs.has_range = numeric && !first;
+    cs.has_str_range = !first_str;
 
     // Equi-depth histogram: bucket edges at the N-quantiles.
     if (cs.has_range && values.size() >= 2) {

@@ -2,6 +2,7 @@
 #define AGGVIEW_CATALOG_STATISTICS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace aggview {
@@ -32,6 +33,17 @@ struct ColumnStats {
   double min = 0.0;
   double max = 0.0;
   bool has_range = false;
+  /// Lexicographic min/max over the non-NULL values of a string column, so
+  /// interval domains exist for strings too (the estimator still uses the
+  /// default selectivity for string ranges; these feed the dataflow
+  /// analyzer's value domains).
+  std::string min_str;
+  std::string max_str;
+  bool has_str_range = false;
+  /// Exact number of NULLs in the column (NULLs count toward `distinct` as
+  /// one bucket but contribute nothing to any range). Seeds the dataflow
+  /// analyzer's nullability lattice: 0 proves a scanned column never-NULL.
+  int64_t null_count = 0;
   /// Equi-depth histogram (numeric columns with enough rows).
   Histogram histogram;
 };

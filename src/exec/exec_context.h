@@ -8,6 +8,7 @@
 
 namespace aggview {
 
+class DataflowVerifier;
 class IoAccountant;
 class RuntimeStatsCollector;
 class ThreadPool;
@@ -42,6 +43,13 @@ struct ExecContext {
   /// External worker pool to run on (e.g. a Session's). Null lets the
   /// executor create a private pool for the query when threads > 1.
   ThreadPool* pool = nullptr;
+  /// Debug self-verification mode: when set, every operator checks each
+  /// produced batch against the verifier's static dataflow facts (NULLs only
+  /// in maybe/always columns, values inside the derived domains), and the
+  /// executor checks every node's total row count against the provable
+  /// [lo, hi] after the drain. The verifier must have been built for the
+  /// same plan that is executed, and must outlive the execution.
+  const DataflowVerifier* verify = nullptr;
 
   ExecContext& WithBatchSize(int n) {
     batch_size = n > 0 ? n : 1;
@@ -65,6 +73,10 @@ struct ExecContext {
   }
   ExecContext& WithPool(ThreadPool* p) {
     pool = p;
+    return *this;
+  }
+  ExecContext& WithVerify(const DataflowVerifier* verifier) {
+    verify = verifier;
     return *this;
   }
 

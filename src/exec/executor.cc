@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdio>
 
+#include "analysis/dataflow.h"
+#include "obs/runtime_stats.h"
+
 namespace aggview {
 
 namespace {
@@ -64,7 +67,14 @@ std::string QueryResult::ToString(const ColumnCatalog& columns) const {
 
 Result<QueryResult> ExecutePlan(const PlanPtr& plan, const Query& query,
                                 const ExecContext& ctx) {
-  AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr op, LowerPlan(plan, query, ctx));
+  // Self-verification needs per-node row counts for the post-drain
+  // cardinality check; instrument the run locally when the caller did not.
+  RuntimeStatsCollector verify_stats;
+  ExecContext effective = ctx;
+  if (ctx.verify != nullptr && ctx.stats == nullptr) {
+    effective.stats = &verify_stats;
+  }
+  AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr op, LowerPlan(plan, query, effective));
   AGGVIEW_RETURN_NOT_OK(op->Open());
   QueryResult result;
   result.layout = op->layout();
@@ -109,6 +119,10 @@ Result<QueryResult> ExecutePlan(const PlanPtr& plan, const Query& query,
     }
   }
   op->Close();
+  if (ctx.verify != nullptr && effective.stats != nullptr) {
+    AGGVIEW_RETURN_NOT_OK(
+        ctx.verify->CheckPlanCardinality(*effective.stats));
+  }
   return result;
 }
 

@@ -52,6 +52,7 @@ OperatorPtr Tag(OperatorPtr op, const PlanPtr& plan, const char* name,
   op->set_batch_size(ctx.exec.batch_size);
   op->set_exec(ctx.runtime);
   if (ctx.stats != nullptr) op->set_stats(ctx.stats->Register(plan.get(), name));
+  if (ctx.exec.verify != nullptr) op->set_verify(ctx.exec.verify, plan.get());
   return op;
 }
 

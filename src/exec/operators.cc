@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "analysis/dataflow.h"
 #include "cost/cost_model.h"
 #include "exec/thread_pool.h"
 #include "obs/runtime_stats.h"
@@ -66,14 +67,19 @@ Status Operator::Open() {
 
 Result<bool> Operator::Next(RowBatch* out) {
   out->Clear();
-  if (stats_ == nullptr) return NextBatchImpl(out);
-  int64_t t0 = NowNs();
+  if (stats_ == nullptr && verify_ == nullptr) return NextBatchImpl(out);
+  int64_t t0 = stats_ != nullptr ? NowNs() : 0;
   Result<bool> r = NextBatchImpl(out);
-  stats_->next_ns += NowNs() - t0;
-  ++stats_->next_calls;
-  if (r.ok() && *r) {
-    ++stats_->batches_produced;
-    stats_->rows_produced += out->size();
+  if (stats_ != nullptr) {
+    stats_->next_ns += NowNs() - t0;
+    ++stats_->next_calls;
+    if (r.ok() && *r) {
+      ++stats_->batches_produced;
+      stats_->rows_produced += out->size();
+    }
+  }
+  if (verify_ != nullptr && r.ok() && *r) {
+    AGGVIEW_RETURN_NOT_OK(verify_->CheckBatch(verify_node_, layout_, *out));
   }
   return r;
 }
@@ -90,6 +96,8 @@ void Operator::InitWorkerClone(const Operator& primary) {
   layout_ = primary.layout_;
   batch_size_ = primary.batch_size_;
   exec_ = primary.exec_;
+  verify_ = primary.verify_;
+  verify_node_ = primary.verify_node_;
   parallel_mode_ = true;
   if (primary.stats_ != nullptr) {
     owned_stats_ = std::make_unique<OpStats>();
@@ -471,8 +479,8 @@ Status HashJoinOp::BuildParallel(int workers) {
           for (int i = 0; i < batch.size(); ++i) {
             Row& row = batch.row(i);
             if (HasNullKey(row, right_key_idx_)) continue;
-            spool.rows.emplace_back(HashKey(row, right_key_idx_),
-                                    std::move(row));
+            size_t h = HashKey(row, right_key_idx_);
+            spool.rows.emplace_back(h, std::move(row));
           }
         }
       }));

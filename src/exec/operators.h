@@ -9,6 +9,7 @@
 
 #include "algebra/query.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "exec/exec_context.h"
 #include "exec/row_batch.h"
 #include "storage/io_accountant.h"
@@ -17,6 +18,8 @@
 namespace aggview {
 
 struct OpStats;
+struct PlanNode;
+class DataflowVerifier;
 class Operator;
 using OperatorPtr = std::unique_ptr<Operator>;
 
@@ -76,6 +79,16 @@ class Operator {
   void set_exec(std::shared_ptr<ExecRuntime> exec) { exec_ = std::move(exec); }
   ExecRuntime* exec_runtime() const { return exec_.get(); }
 
+  /// Installs the dataflow self-verification hook (ExecContext::verify):
+  /// the non-virtual Next checks every produced batch against the static
+  /// facts the verifier derived for `node`. Both pointers are borrowed and
+  /// must outlive the operator. Must be set before Open; worker clones
+  /// inherit it.
+  void set_verify(const DataflowVerifier* verifier, const PlanNode* node) {
+    verify_ = verifier;
+    verify_node_ = node;
+  }
+
   /// True when this operator and its whole input pipeline can be cloned into
   /// extra worker instances whose outputs partition the row multiset. Scans
   /// qualify (workers claim disjoint morsels); filters/projections/hash-join
@@ -130,6 +143,9 @@ class Operator {
   int batch_size_ = kDefaultBatchSize;
   std::shared_ptr<ExecRuntime> exec_;
   bool parallel_mode_ = false;
+  /// Dataflow self-verification hook; both borrowed, null when off.
+  const DataflowVerifier* verify_ = nullptr;
+  const PlanNode* verify_node_ = nullptr;
   /// Worker clones own their stats block (absorbed by the primary later);
   /// primaries point stats_ at the collector's block and leave this null.
   std::unique_ptr<OpStats> owned_stats_;
@@ -189,7 +205,7 @@ class TableScanOp final : public Operator {
   /// The shared morsel cursor: workers fetch-add to claim disjoint row-id
   /// ranges of `morsel_rows` rows each.
   struct MorselDispenser {
-    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> next AGGVIEW_LOCK_FREE("atomic fetch-add claim"){0};
     int64_t morsel_rows = kDefaultMorselRows;
   };
 
@@ -333,7 +349,9 @@ class HashJoinOp final : public Operator {
 
   std::vector<int> left_key_idx_;
   std::vector<int> right_key_idx_;
-  std::shared_ptr<BuildTable> build_;
+  std::shared_ptr<BuildTable> build_ AGGVIEW_LOCK_FREE(
+      "written only inside BuildParallel's ParallelFor (disjoint partitions); "
+      "the barrier publishes it, immutable once shared with probe clones");
   int64_t right_rows_ = 0;
   int64_t left_rows_ = 0;
   // Probe state: the current input batch and the row of it being matched

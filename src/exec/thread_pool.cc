@@ -12,7 +12,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -25,8 +25,8 @@ void ThreadPool::WorkerLoop() {
     const std::function<void(int)>* fn;
     int tasks;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return shutdown_ || generation_ > seen; });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && generation_ <= seen) work_cv_.wait(lock);
       if (generation_ <= seen) return;  // shutdown with no pending generation
       seen = generation_;
       fn = fn_;
@@ -38,7 +38,7 @@ void ThreadPool::WorkerLoop() {
       (*fn)(i);
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (++finished_ == static_cast<int>(workers_.size())) {
         done_cv_.notify_one();
       }
@@ -53,7 +53,7 @@ void ThreadPool::ParallelFor(int tasks, const std::function<void(int)>& fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     fn_ = &fn;
     tasks_ = tasks;
     next_.store(0, std::memory_order_relaxed);
@@ -67,10 +67,8 @@ void ThreadPool::ParallelFor(int tasks, const std::function<void(int)>& fn) {
     if (i >= tasks) break;
     fn(i);
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] {
-    return finished_ == static_cast<int>(workers_.size());
-  });
+  MutexLock lock(&mu_);
+  while (finished_ != static_cast<int>(workers_.size())) done_cv_.wait(lock);
   fn_ = nullptr;
 }
 

@@ -5,9 +5,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace aggview {
 
@@ -56,18 +57,20 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // signals a new generation / shutdown
-  std::condition_variable done_cv_;   // signals all workers finished
-  const std::function<void(int)>* fn_ = nullptr;
-  int tasks_ = 0;
-  std::atomic<int> next_{0};
+  Mutex mu_;
+  // condition_variable_any, because the annotated MutexLock (not a
+  // std::unique_lock<std::mutex>) is what wait() releases and reacquires.
+  std::condition_variable_any work_cv_;  // signals a new generation / shutdown
+  std::condition_variable_any done_cv_;  // signals all workers finished
+  const std::function<void(int)>* fn_ AGGVIEW_GUARDED_BY(mu_) = nullptr;
+  int tasks_ AGGVIEW_GUARDED_BY(mu_) = 0;
+  std::atomic<int> next_ AGGVIEW_LOCK_FREE("atomic task-index claim"){0};
   // Every worker passes through every generation exactly once and reports in
   // via finished_; ParallelFor waits for all of them before returning, so a
   // straggler can never carry a stale fn_ into the next generation.
-  int64_t generation_ = 0;
-  int finished_ = 0;
-  bool shutdown_ = false;
+  int64_t generation_ AGGVIEW_GUARDED_BY(mu_) = 0;
+  int finished_ AGGVIEW_GUARDED_BY(mu_) = 0;
+  bool shutdown_ AGGVIEW_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace aggview

@@ -98,8 +98,10 @@ Result<PlanPtr> OptimizeRewritten(Query* query, const OptimizerOptions& options,
   if (options.paranoid) {
     enum_options.verify_certificates = true;
     const Query* q = query;
-    enum_options.dp_check = [q](const PlanPtr& plan) {
-      return AnalyzePlan(plan, *q);
+    AnalysisOptions analysis;
+    analysis.dataflow = options.paranoid_dataflow;
+    enum_options.dp_check = [q, analysis](const PlanPtr& plan) {
+      return AnalyzePlan(plan, *q, analysis);
     };
   }
 
@@ -270,6 +272,7 @@ Result<OptimizedQuery> OptimizeQueryWithAggViews(const Query& query,
   if (options.include_traditional_alternative) {
     OptimizerOptions traditional_options = TraditionalOptions();
     traditional_options.paranoid = options.paranoid;
+    traditional_options.paranoid_dataflow = options.paranoid_dataflow;
     AGGVIEW_ASSIGN_OR_RETURN(
         OptimizedQuery traditional,
         OptimizeQueryWithAggViews(query, traditional_options));
@@ -292,7 +295,9 @@ Result<OptimizedQuery> OptimizeQueryWithAggViews(const Query& query,
     // Belt and braces: the winner was already checked at every DP insertion,
     // but Project/Sort are added after the enumerator — analyze the full
     // final plan and re-verify the audit trail once more.
-    AGGVIEW_RETURN_NOT_OK(AnalyzePlan(best.plan, best.query));
+    AnalysisOptions analysis;
+    analysis.dataflow = options.paranoid_dataflow;
+    AGGVIEW_RETURN_NOT_OK(AnalyzePlan(best.plan, best.query, analysis));
     AGGVIEW_RETURN_NOT_OK(VerifyAudit(best.query, best.audit));
   }
 

@@ -47,6 +47,11 @@ struct OptimizerOptions {
 #else
   bool paranoid = false;
 #endif
+  /// When paranoid, include the dataflow verifier pass (analysis/dataflow.h)
+  /// in every DP-insertion analysis and in the final-plan analysis. Turning
+  /// it off (bench_e12) isolates what the abstract interpretation costs on
+  /// top of the other semantic passes.
+  bool paranoid_dataflow = true;
 };
 
 /// One evaluated alternative (a W assignment), for the experiment reports.

@@ -140,7 +140,11 @@ Status Validate(const PlanPtr& plan, const Query& query) {
           plan, query, ConjunctionColumns(gb.having), gb_outputs, "HAVING"));
       AGGVIEW_RETURN_NOT_OK(
           CheckColumns(plan, query, outputs, gb_outputs, "group-by output"));
-      if (plan->est.rows > plan->left->est.rows + 1e-6) {
+      // A scalar aggregate legitimately emits one row over empty input;
+      // grouped output is bounded by the input.
+      double gb_cap = gb.grouping.empty() ? std::max(plan->left->est.rows, 1.0)
+                                          : plan->left->est.rows;
+      if (plan->est.rows > gb_cap + 1e-6) {
         return NodeError(plan, query, "group-by increased the row estimate");
       }
       if (plan->cost + 1e-9 < plan->left->cost) {

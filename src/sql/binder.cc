@@ -156,7 +156,7 @@ Result<ColId> Binder::BindAggregate(
               query->columns().name(arg) + ")";
   }
   DataType type = call.ResultType(query->columns());
-  call.output = query->columns().Add(display, type);
+  call.output = query->AddAggregateOutput(call.kind, call.args, display, type);
   ColId out = call.output;
   calls->push_back(std::move(call));
   (*known)[rendering] = out;

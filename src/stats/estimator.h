@@ -15,6 +15,12 @@ struct ColEstimate {
   double min = 0.0;
   double max = 0.0;
   bool has_range = false;
+  /// True for integer-typed columns (set from the table schema at the
+  /// leaves). Lets the estimator narrow strict comparisons by a full unit
+  /// and cap the distinct count by the interval width — both required so
+  /// estimates stay inside the dataflow verifier's provable bounds, which
+  /// narrow the same way.
+  bool integral = false;
   /// Base-table equi-depth histogram (owned by the catalog; null for
   /// derived columns). Range selectivities condition the histogram on the
   /// current [min, max], so it stays usable after earlier filters narrowed

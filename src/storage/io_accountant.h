@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/thread_annotations.h"
+
 namespace aggview {
 
 /// Page geometry shared by the storage layer and the cost model. Using the
@@ -54,8 +56,8 @@ class IoAccountant {
   int64_t total() const { return reads() + writes(); }
 
  private:
-  std::atomic<int64_t> reads_{0};
-  std::atomic<int64_t> writes_{0};
+  std::atomic<int64_t> reads_ AGGVIEW_LOCK_FREE("relaxed atomic counter"){0};
+  std::atomic<int64_t> writes_ AGGVIEW_LOCK_FREE("relaxed atomic counter"){0};
 };
 
 }  // namespace aggview

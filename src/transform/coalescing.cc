@@ -54,6 +54,7 @@ Result<CoalescingSplit> SplitForCoalescing(const GroupBySpec& spec,
       case AggKind::kCount:
       case AggKind::kCountStar: {
         ColId partial = columns->Add("pcount", DataType::kInt64);
+        columns->set_nullable(partial, false);
         split.partial.aggregates.push_back(
             {original.kind, original.args, partial});
         // kCountSum, not kSum: the combine must keep COUNT's empty-input
@@ -66,6 +67,7 @@ Result<CoalescingSplit> SplitForCoalescing(const GroupBySpec& spec,
         // Re-splitting an already-coalesced COUNT: pre-sum the partial
         // counts one level further.
         ColId partial = columns->Add("pcount", DataType::kInt64);
+        columns->set_nullable(partial, false);
         split.partial.aggregates.push_back(
             {AggKind::kCountSum, original.args, partial});
         split.final_aggregates.push_back(
@@ -88,6 +90,7 @@ Result<CoalescingSplit> SplitForCoalescing(const GroupBySpec& spec,
         ColId psum = columns->Add("psum(" + columns->name(original.args[0]) + ")",
                                   DataType::kDouble);
         ColId pcount = columns->Add("pcount", DataType::kInt64);
+        columns->set_nullable(pcount, false);
         split.partial.aggregates.push_back(
             {AggKind::kSum, original.args, psum});
         split.partial.aggregates.push_back(
@@ -101,10 +104,14 @@ Result<CoalescingSplit> SplitForCoalescing(const GroupBySpec& spec,
         // sums and counts one level further.
         ColId psum = columns->Add("psum", DataType::kDouble);
         ColId pcount = columns->Add("pcount", DataType::kInt64);
+        columns->set_nullable(pcount, false);
         split.partial.aggregates.push_back(
             {AggKind::kSum, {original.args[0]}, psum});
+        // kCountSum, not kSum, for the count side: the pre-aggregated count
+        // must stay non-NULL even over an empty scalar partial, or the final
+        // AvgFinal combine would silently skip it in Merge.
         split.partial.aggregates.push_back(
-            {AggKind::kSum, {original.args[1]}, pcount});
+            {AggKind::kCountSum, {original.args[1]}, pcount});
         split.final_aggregates.push_back(
             {AggKind::kAvgFinal, {psum, pcount}, original.output});
         break;

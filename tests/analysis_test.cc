@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/analyzer.h"
+#include "analysis/dataflow.h"
 #include "analysis/fd.h"
 #include "transform/coalescing.h"
 #include "transform/pullup.h"
@@ -417,6 +418,111 @@ TEST_F(AnalysisTest, ParanoidOptimizationChecksEveryDpInsertion) {
   ASSERT_OK(plain);
   EXPECT_EQ(optimized->plan->cost, plain->plan->cost);
   EXPECT_EQ(optimized->description, plain->description);
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt-plan negative suite: hand-damaged plans the dataflow obligations
+// must reject, each with an error naming the offending node.
+
+TEST_F(AnalysisTest, RejectsEstimateAboveProvableBounds) {
+  PlanBuilder b(q_);
+  PlanPtr scan = b.Scan(e_, {}, {eno_, sal_});
+  // An unfiltered scan provably produces exactly the table's row count;
+  // claim ten times that.
+  auto corrupt = std::make_shared<PlanNode>(*scan);
+  corrupt->est.rows = scan->est.rows * 10.0 + 100.0;
+  Status st = CheckDataflowObligations(corrupt, q_);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("estimator bug"), std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("in node:"), std::string::npos) << st.message();
+}
+
+TEST_F(AnalysisTest, RejectsEstimateBelowProvableBounds) {
+  PlanBuilder b(q_);
+  PlanPtr scan = b.Scan(e_, {}, {eno_, sal_});
+  // The same scan cannot produce fewer rows than the table holds either.
+  auto corrupt = std::make_shared<PlanNode>(*scan);
+  corrupt->est.rows = 0.0;
+  Status st = CheckDataflowObligations(corrupt, q_);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("estimator bug"), std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("in node:"), std::string::npos) << st.message();
+}
+
+TEST_F(AnalysisTest, RejectsCountOutputDeclaredNullable) {
+  PlanBuilder b(q_);
+  PlanPtr scan = b.Scan(e_, {}, {e_dno_});
+  GroupBySpec gb;
+  gb.grouping = {e_dno_};
+  // Plain Add leaves the declared nullability at its unknown-ergo-nullable
+  // default; a real plan allocates COUNT outputs via AddAggregateOutput,
+  // which marks them non-nullable.
+  ColId cnt = q_.columns().Add("count(*)", DataType::kInt64);
+  gb.aggregates = {{AggKind::kCountStar, {}, cnt}};
+  PlanPtr grouped = b.GroupBy(scan, gb, {e_dno_, cnt});
+  Status st = CheckDataflowObligations(grouped, q_);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("declared nullable"), std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("in node:"), std::string::npos) << st.message();
+}
+
+TEST_F(AnalysisTest, RuntimeRejectsNullInNeverNullColumn) {
+  PlanBuilder b(q_);
+  PlanPtr scan = b.Scan(e_, {}, {eno_, sal_});
+  DataflowVerifier verifier(scan, q_);
+  // eno is emp's primary key: the catalog stats record zero NULLs, so the
+  // analysis derives never-null. Feed the verifier a batch violating that.
+  RowBatch batch(4);
+  Row& row = batch.AppendRow();
+  row.assign(static_cast<size_t>(scan->output.size()), Value::Null());
+  Status st = verifier.CheckBatch(scan.get(), scan->output, batch);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("NULL in a never-null column"),
+            std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("in node:"), std::string::npos) << st.message();
+}
+
+TEST_F(AnalysisTest, RuntimeRejectsValueOutsideDerivedDomain) {
+  PlanBuilder b(q_);
+  // sal > 0 narrows the derived domain's lower edge to above zero.
+  PlanPtr scan =
+      b.Scan(e_, {Cmp(Col(sal_), CompareOp::kGt, LitInt(0))}, {eno_, sal_});
+  DataflowVerifier verifier(scan, q_);
+  RowBatch batch(4);
+  Row& row = batch.AppendRow();
+  int eno_idx = scan->output.IndexOf(eno_);
+  int sal_idx = scan->output.IndexOf(sal_);
+  row.assign(static_cast<size_t>(scan->output.size()), Value::Null());
+  row[static_cast<size_t>(eno_idx)] = Value::Int(1);
+  row[static_cast<size_t>(sal_idx)] = Value::Real(-1e12);
+  Status st = verifier.CheckBatch(scan.get(), scan->output, batch);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("outside the derived domain"),
+            std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("in node:"), std::string::npos) << st.message();
+}
+
+TEST_F(AnalysisTest, RuntimeAcceptsLegitimateBatch) {
+  PlanBuilder b(q_);
+  PlanPtr scan = b.Scan(e_, {}, {eno_, sal_});
+  DataflowVerifier verifier(scan, q_);
+  // An actual row of the table satisfies every derived fact.
+  const Table& emp = *fixture_.catalog->table(fixture_.tables.emp).data;
+  const std::vector<ColId>& table_cols = q_.range_var(e_).columns;
+  RowBatch batch(4);
+  Row& row = batch.AppendRow();
+  for (ColId c : scan->output.columns()) {
+    for (size_t i = 0; i < table_cols.size(); ++i) {
+      if (table_cols[i] == c) row.push_back(emp.rows()[0][i]);
+    }
+  }
+  EXPECT_OK(verifier.CheckBatch(scan.get(), scan->output, batch));
+  EXPECT_GT(verifier.checks(), 0);
 }
 
 TEST_F(AnalysisTest, ParanoidAuditRecordsPullUp) {

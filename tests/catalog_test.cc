@@ -127,6 +127,50 @@ TEST(StatisticsTest, ComputeStats) {
   EXPECT_FALSE(stats.columns[2].has_range);
 }
 
+TEST(StatisticsTest, ComputeStatsStringMinMax) {
+  Table t(Schema({{"s", DataType::kString}}));
+  for (const char* s : {"pear", "apple", "quince", "banana", "apple"}) {
+    t.AppendUnchecked({Value::Str(s)});
+  }
+  TableStats stats = ComputeStats(t);
+  ASSERT_EQ(stats.columns.size(), 1u);
+  EXPECT_TRUE(stats.columns[0].has_str_range);
+  EXPECT_EQ(stats.columns[0].min_str, "apple");
+  EXPECT_EQ(stats.columns[0].max_str, "quince");
+  EXPECT_FALSE(stats.columns[0].has_range);
+  EXPECT_EQ(stats.columns[0].null_count, 0);
+}
+
+TEST(StatisticsTest, ComputeStatsSkipsNullsInRanges) {
+  Table t(Schema({{"v", DataType::kDouble}, {"s", DataType::kString}}));
+  // NULLs must not contaminate min/max on either side: without the skip, a
+  // NULL would coerce to 0.0 and drag the numeric min below 5.0.
+  t.AppendUnchecked({Value::Real(7.0), Value::Null()});
+  t.AppendUnchecked({Value::Null(), Value::Str("kiwi")});
+  t.AppendUnchecked({Value::Real(5.0), Value::Str("mango")});
+  t.AppendUnchecked({Value::Null(), Value::Null()});
+  TableStats stats = ComputeStats(t);
+  EXPECT_EQ(stats.row_count, 4);
+  EXPECT_TRUE(stats.columns[0].has_range);
+  EXPECT_DOUBLE_EQ(stats.columns[0].min, 5.0);
+  EXPECT_DOUBLE_EQ(stats.columns[0].max, 7.0);
+  EXPECT_EQ(stats.columns[0].null_count, 2);
+  EXPECT_TRUE(stats.columns[1].has_str_range);
+  EXPECT_EQ(stats.columns[1].min_str, "kiwi");
+  EXPECT_EQ(stats.columns[1].max_str, "mango");
+  EXPECT_EQ(stats.columns[1].null_count, 2);
+}
+
+TEST(StatisticsTest, ComputeStatsAllNullColumn) {
+  Table t(Schema({{"v", DataType::kDouble}}));
+  for (int i = 0; i < 3; ++i) t.AppendUnchecked({Value::Null()});
+  TableStats stats = ComputeStats(t);
+  // No non-NULL value exists, so no range of either kind may be claimed.
+  EXPECT_FALSE(stats.columns[0].has_range);
+  EXPECT_FALSE(stats.columns[0].has_str_range);
+  EXPECT_EQ(stats.columns[0].null_count, 3);
+}
+
 TEST(StatisticsTest, EquiDepthHistogram) {
   Table t(Schema({{"v", DataType::kDouble}}));
   // Bimodal: 900 values near 0, 100 values near 1000 — uniform

@@ -44,6 +44,11 @@ TEST_P(DifferentialFuzz, AllOptimizersAgreeUnderParanoidAnalysis) {
   // transformation certificates were re-proved.
   EXPECT_GT(report->plans_checked, 0);
   EXPECT_GT(report->certificates_verified, 0);
+  // Runtime dataflow self-verification actually fired: every execution ran
+  // with the verifier installed and checked batches/cardinalities against
+  // the statically derived facts — with zero violations (a violation is an
+  // execution error and would have failed the run above).
+  EXPECT_GT(report->dataflow_checks, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Shards, DifferentialFuzz, ::testing::Range(0, 10));
