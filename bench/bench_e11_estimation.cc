@@ -90,7 +90,8 @@ void Run() {
       if (!optimized.ok()) std::abort();
       RuntimeStatsCollector stats;
       auto result =
-          ExecutePlan(optimized->plan, optimized->query, nullptr, &stats);
+          ExecutePlan(optimized->plan, optimized->query,
+                      ExecContext::Default().WithStats(&stats));
       if (!result.ok()) std::abort();
       double est = optimized->plan->est.rows;
       double actual = static_cast<double>(result->rows.size());

@@ -51,7 +51,8 @@ void Sweep(const char* title, const std::string& select_clause,
     auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
     if (!optimized.ok()) std::abort();
     IoAccountant io;
-    auto result = ExecutePlan(optimized->plan, optimized->query, &io);
+    auto result = ExecutePlan(optimized->plan, optimized->query,
+                            ExecContext::Default().WithIo(&io));
     if (!result.ok()) std::abort();
 
     // Selectivity of the budget predicate (budgets: half in [100k,1M), half

@@ -52,7 +52,8 @@ void Run() {
     auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
     if (!optimized.ok()) std::abort();
     IoAccountant io;
-    auto result = ExecutePlan(optimized->plan, optimized->query, &io);
+    auto result = ExecutePlan(optimized->plan, optimized->query,
+                            ExecContext::Default().WithIo(&io));
     if (!result.ok()) std::abort();
 
     bool coalesced = PlanHasGroupByBelowJoin(optimized->plan);

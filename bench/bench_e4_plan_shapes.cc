@@ -62,7 +62,8 @@ RunOutcome RunShape(const Catalog& catalog, const std::string& sql,
   RunOutcome out;
   out.estimated = optimized->plan->cost;
   IoAccountant io;
-  auto result = ExecutePlan(optimized->plan, optimized->query, &io);
+  auto result = ExecutePlan(optimized->plan, optimized->query,
+                            ExecContext::Default().WithIo(&io));
   if (!result.ok()) std::abort();
   out.measured = io.total();
   return out;

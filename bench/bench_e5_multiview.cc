@@ -49,7 +49,8 @@ where e1.dno = v1.dno and e1.sal > v1.asal
   }
 
   IoAccountant io;
-  auto result = ExecutePlan(optimized->plan, optimized->query, &io);
+  auto result = ExecutePlan(optimized->plan, optimized->query,
+                            ExecContext::Default().WithIo(&io));
   if (!result.ok()) std::abort();
   std::printf("\nchosen: %s  est=%.1f  measured_io=%lld  rows=%zu\n",
               optimized->description.c_str(), optimized->plan->cost,

@@ -56,16 +56,83 @@ inline bool JsonMode(int argc, char** argv) {
   return false;
 }
 
+/// Escapes `s` for use inside a JSON string per RFC 8259: `"` and `\` get a
+/// backslash, the named control escapes are used where they exist, and every
+/// other control character below 0x20 becomes a \u00XX sequence (via an
+/// unsigned cast, so no sign-extension garbage). Bytes >= 0x80 pass through
+/// untouched (the document is UTF-8).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; continue;
+      case '\\': out += "\\\\"; continue;
+      case '\b': out += "\\b"; continue;
+      case '\f': out += "\\f"; continue;
+      case '\n': out += "\\n"; continue;
+      case '\r': out += "\\r"; continue;
+      case '\t': out += "\\t"; continue;
+      default: break;
+    }
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// True when `cell` is a valid JSON number token (RFC 8259 grammar:
+/// optional minus, integer part without leading zeros, optional fraction,
+/// optional exponent). Deliberately stricter than strtod, which also accepts
+/// "inf", "nan", hex like "0x1f" and leading-zero forms like "007" — all of
+/// which are malformed JSON when emitted unquoted.
+inline bool IsJsonNumber(const std::string& cell) {
+  const char* p = cell.c_str();
+  if (*p == '-') ++p;
+  if (*p == '0') {
+    ++p;
+  } else if (*p >= '1' && *p <= '9') {
+    while (*p >= '0' && *p <= '9') ++p;
+  } else {
+    return false;
+  }
+  if (*p == '.') {
+    ++p;
+    if (*p < '0' || *p > '9') return false;
+    while (*p >= '0' && *p <= '9') ++p;
+  }
+  if (*p == 'e' || *p == 'E') {
+    ++p;
+    if (*p == '+' || *p == '-') ++p;
+    if (*p < '0' || *p > '9') return false;
+    while (*p >= '0' && *p <= '9') ++p;
+  }
+  return *p == '\0';
+}
+
+/// Renders `cell` as a JSON value: unquoted when it is a valid JSON number
+/// token, an escaped string otherwise.
+inline std::string JsonLiteral(const std::string& cell) {
+  return IsJsonNumber(cell) ? cell : "\"" + JsonEscape(cell) + "\"";
+}
+
 /// Streams experiment rows as a JSON document:
 ///   {"experiment": "E13", "rows": [{"col": value, ...}, ...]}
-/// Cells that parse completely as numbers are emitted unquoted; everything
+/// Cells that are valid JSON number tokens are emitted unquoted; everything
 /// else is emitted as an escaped string. The document closes when the
 /// writer is destroyed.
 class JsonWriter {
  public:
   JsonWriter(std::string experiment, std::vector<std::string> headers)
       : headers_(std::move(headers)) {
-    std::printf("{\"experiment\": \"%s\", \"rows\": [", experiment.c_str());
+    std::printf("{\"experiment\": \"%s\", \"rows\": [",
+                JsonEscape(experiment).c_str());
   }
 
   JsonWriter(const JsonWriter&) = delete;
@@ -78,35 +145,13 @@ class JsonWriter {
     first_ = false;
     for (size_t i = 0; i < headers_.size() && i < cells.size(); ++i) {
       std::printf("%s\"%s\": %s", i == 0 ? "" : ", ",
-                  Escape(headers_[i]).c_str(), Literal(cells[i]).c_str());
+                  JsonEscape(headers_[i]).c_str(),
+                  JsonLiteral(cells[i]).c_str());
     }
     std::printf("}");
   }
 
  private:
-  static std::string Escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      if (static_cast<unsigned char>(c) < 0x20) {
-        char buf[8];
-        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-        out += buf;
-        continue;
-      }
-      out.push_back(c);
-    }
-    return out;
-  }
-
-  static std::string Literal(const std::string& cell) {
-    char* end = nullptr;
-    std::strtod(cell.c_str(), &end);
-    bool numeric = !cell.empty() && end != nullptr && *end == '\0';
-    return numeric ? cell : "\"" + Escape(cell) + "\"";
-  }
-
   std::vector<std::string> headers_;
   bool first_ = true;
 };
@@ -213,8 +258,9 @@ inline RunOutcome RunConfig(const Catalog& catalog, const std::string& sql,
   if (execute) {
     IoAccountant io;
     RuntimeStatsCollector stats;
-    auto result = ExecutePlan(optimized->plan, optimized->query, &io,
-                              analyze ? &stats : nullptr);
+    auto result = ExecutePlan(optimized->plan, optimized->query,
+                              ExecContext::Default().WithIo(&io).WithStats(
+                                  analyze ? &stats : nullptr));
     if (!result.ok()) {
       std::fprintf(stderr, "execute: %s\n", result.status().ToString().c_str());
       std::abort();

@@ -35,8 +35,10 @@ int main() {
     if (!traditional.ok() || !extended.ok()) return 1;
 
     IoAccountant io_t, io_e;
-    auto rt = ExecutePlan(traditional->plan, traditional->query, &io_t);
-    auto re = ExecutePlan(extended->plan, extended->query, &io_e);
+    auto rt = ExecutePlan(traditional->plan, traditional->query,
+                           ExecContext::Default().WithIo(&io_t));
+    auto re = ExecutePlan(extended->plan, extended->query,
+                          ExecContext::Default().WithIo(&io_e));
     if (!rt.ok() || !re.ok()) return 1;
 
     std::printf("traditional: est %8.1f  measured %6lld IO\n",

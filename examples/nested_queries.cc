@@ -69,8 +69,10 @@ where e1.dno = b.dno and e1.age < 22 and e1.sal > b.asal
   if (!optimized.ok()) return 1;
 
   IoAccountant io_t, io_b;
-  auto rows_t = ExecutePlan(traditional->plan, traditional->query, &io_t);
-  auto rows_b = ExecutePlan(optimized->plan, optimized->query, &io_b);
+  auto rows_t = ExecutePlan(traditional->plan, traditional->query,
+                           ExecContext::Default().WithIo(&io_t));
+  auto rows_b = ExecutePlan(optimized->plan, optimized->query,
+                           ExecContext::Default().WithIo(&io_b));
   if (!rows_t.ok() || !rows_b.ok()) return 1;
 
   std::printf("traditional: est %.1f, measured %lld IO, %zu rows\n",
@@ -118,8 +120,8 @@ where e1.dno = b.dno and e1.age < 22 and e1.sal > b.asal
                       needed),
       {Cmp(Coalesce(Col(cnt), LitInt(0)), CompareOp::kLt, LitInt(3))});
 
-  auto wrong = ExecutePlan(b.Project(inner_flat, q.select_list()), q, nullptr);
-  auto right = ExecutePlan(b.Project(outer_flat, q.select_list()), q, nullptr);
+  auto wrong = ExecutePlan(b.Project(inner_flat, q.select_list()), q);
+  auto right = ExecutePlan(b.Project(outer_flat, q.select_list()), q);
   if (!wrong.ok() || !right.ok()) return 1;
   std::printf("inner-join flattening (the COUNT bug): %zu departments\n",
               wrong->rows.size());

@@ -11,6 +11,11 @@
 ///   auto result = q->Execute();       // morsel-parallel on 8 threads
 ///   std::cout << q->Explain();        // or q->ExplainAnalyze()
 ///
+/// Multi-query serving — the Server layer (server/server.h): one Server
+/// owns the catalog, a plan cache keyed on normalized SQL + stats epoch +
+/// optimizer config, a shared worker pool, and FIFO admission control;
+/// any number of client threads Connect() and issue Sql()/Execute().
+///
 /// The layers underneath remain directly usable: ParseAndBind (sql/binder.h),
 /// OptimizeQueryWithAggViews (optimizer/aggview_optimizer.h), and
 /// ExecutePlan(plan, query, ExecContext) (exec/executor.h).
@@ -32,6 +37,8 @@
 #include "optimizer/aggview_optimizer.h"
 #include "optimizer/plan_validator.h"
 #include "optimizer/traditional.h"
+#include "server/plan_cache.h"
+#include "server/server.h"
 #include "session.h"
 #include "sql/binder.h"
 #include "sql/parser.h"

@@ -49,6 +49,7 @@ Result<TableId> Catalog::AddTable(TableDef def) {
   TableId id = static_cast<TableId>(tables_.size());
   def.id = id;
   tables_.push_back(std::make_unique<TableDef>(std::move(def)));
+  BumpStatsEpoch();
   return id;
 }
 
@@ -68,6 +69,7 @@ Status Catalog::AddForeignKey(ForeignKey fk) {
                                    target.name + "'");
   }
   foreign_keys_.push_back(std::move(fk));
+  BumpStatsEpoch();
   return Status::OK();
 }
 

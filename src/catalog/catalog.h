@@ -1,6 +1,7 @@
 #ifndef AGGVIEW_CATALOG_CATALOG_H_
 #define AGGVIEW_CATALOG_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -69,10 +70,32 @@ class Catalog {
   const TableDef& table(TableId id) const {
     return *tables_[static_cast<size_t>(id)];
   }
+  /// Mutable access to a table definition (schema evolution, stats refresh,
+  /// data (re)load). Any mutable access is presumed to mutate and bumps the
+  /// stats epoch, so plans cached against the old catalog state are
+  /// invalidated conservatively.
   TableDef& mutable_table(TableId id) {
+    BumpStatsEpoch();
     return *tables_[static_cast<size_t>(id)];
   }
   int num_tables() const { return static_cast<int>(tables_.size()); }
+
+  /// Monotonic version of the catalog's schema, statistics and data.
+  /// Starts at 0 and is bumped by AddTable, AddForeignKey, every
+  /// mutable_table access, and explicit BumpStatsEpoch calls. A plan cache
+  /// stamps each entry with the epoch it was optimized under and treats a
+  /// mismatch as invalidation. Reads are safe concurrent with query serving;
+  /// mutations themselves must be quiesced relative to running queries.
+  int64_t stats_epoch() const {
+    return stats_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Declares "something this catalog describes changed" without going
+  /// through a mutator (e.g. rows appended through a Table pointer obtained
+  /// earlier).
+  void BumpStatsEpoch() {
+    stats_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
 
   Result<TableId> FindTable(const std::string& name) const;
 
@@ -89,6 +112,8 @@ class Catalog {
  private:
   std::vector<std::unique_ptr<TableDef>> tables_;
   std::vector<ForeignKey> foreign_keys_;
+  // Atomic so serving-layer epoch reads need no lock; see stats_epoch().
+  std::atomic<int64_t> stats_epoch_{0};
 };
 
 }  // namespace aggview

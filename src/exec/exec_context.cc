@@ -1,21 +1,34 @@
 #include "exec/exec_context.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "exec/thread_pool.h"
 
 namespace aggview {
 
+int EnvKnob(const char* name, int fallback, int max_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  long v = std::strtol(env, &end, 10);
+  // Garbage (no digits, or trailing junk like "8x") falls back rather than
+  // silently becoming 0; nonpositive values have no meaning for a thread
+  // count or batch size and fall back too. A value too large for long is
+  // still a genuine (huge) number and clamps like any other oversized value.
+  if (end == env || *end != '\0') return fallback;
+  if (errno == ERANGE) return v > 0 ? max_value : fallback;
+  if (v <= 0) return fallback;
+  if (v > max_value) return max_value;
+  return static_cast<int>(v);
+}
+
 ExecContext ExecContext::Default() {
   ExecContext ctx;
-  if (const char* env = std::getenv("AGGVIEW_TEST_BATCH_SIZE")) {
-    int v = std::atoi(env);
-    if (v > 0) ctx.batch_size = v;
-  }
-  if (const char* env = std::getenv("AGGVIEW_TEST_THREADS")) {
-    int v = std::atoi(env);
-    if (v > 0) ctx.threads = v;
-  }
+  ctx.batch_size =
+      EnvKnob("AGGVIEW_TEST_BATCH_SIZE", ctx.batch_size, kMaxEnvBatchSize);
+  ctx.threads = EnvKnob("AGGVIEW_TEST_THREADS", ctx.threads, kMaxEnvThreads);
   return ctx;
 }
 

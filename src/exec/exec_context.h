@@ -18,6 +18,23 @@ class ThreadPool;
 /// against scanning it, small enough that a skewed pipeline rebalances.
 inline constexpr int64_t kDefaultMorselRows = 16384;
 
+/// Upper clamp for the AGGVIEW_TEST_THREADS environment override: far above
+/// any real core count, low enough that a typo cannot spawn thousands of
+/// workers.
+inline constexpr int kMaxEnvThreads = 256;
+
+/// Upper clamp for the AGGVIEW_TEST_BATCH_SIZE environment override (1M rows
+/// per batch; larger only wastes memory without changing semantics).
+inline constexpr int kMaxEnvBatchSize = 1 << 20;
+
+/// Reads environment variable `name` as a positive decimal integer knob.
+/// Returns `fallback` when the variable is unset, empty, not a complete
+/// decimal number, or zero/negative (a nonpositive thread count or batch size
+/// has no meaning); values above `max_value` clamp to `max_value`. Never
+/// returns a value outside [1, max_value] unless it returns `fallback`
+/// verbatim.
+int EnvKnob(const char* name, int fallback, int max_value);
+
 /// Everything ExecutePlan needs beyond the plan itself, with fluent setters:
 ///
 ///   ExecutePlan(plan, query,

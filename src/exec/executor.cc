@@ -126,14 +126,4 @@ Result<QueryResult> ExecutePlan(const PlanPtr& plan, const Query& query,
   return result;
 }
 
-Result<QueryResult> ExecutePlan(const PlanPtr& plan, const Query& query,
-                                IoAccountant* io, RuntimeStatsCollector* stats,
-                                ExecOptions options) {
-  return ExecutePlan(plan, query,
-                     ExecContext::Default()
-                         .WithBatchSize(options.batch_size)
-                         .WithIo(io)
-                         .WithStats(stats));
-}
-
 }  // namespace aggview

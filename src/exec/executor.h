@@ -36,14 +36,6 @@ struct QueryResult {
 Result<QueryResult> ExecutePlan(const PlanPtr& plan, const Query& query,
                                 const ExecContext& ctx = ExecContext::Default());
 
-/// \deprecated Positional-tail form; forwards to the ExecContext overload
-/// (inheriting the environment's thread/batch overrides from
-/// ExecContext::Default()).
-Result<QueryResult> ExecutePlan(const PlanPtr& plan, const Query& query,
-                                IoAccountant* io,
-                                RuntimeStatsCollector* stats = nullptr,
-                                ExecOptions options = ExecOptions::Default());
-
 }  // namespace aggview
 
 #endif  // AGGVIEW_EXEC_EXECUTOR_H_

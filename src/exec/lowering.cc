@@ -205,14 +205,4 @@ Result<OperatorPtr> LowerPlan(const PlanPtr& plan, const Query& query,
   return Lower(plan, lctx, /*charge_scan=*/true);
 }
 
-Result<OperatorPtr> LowerPlan(const PlanPtr& plan, const Query& query,
-                              IoAccountant* io, RuntimeStatsCollector* stats,
-                              ExecOptions options) {
-  return LowerPlan(plan, query,
-                   ExecContext::Default()
-                       .WithBatchSize(options.batch_size)
-                       .WithIo(io)
-                       .WithStats(stats));
-}
-
 }  // namespace aggview

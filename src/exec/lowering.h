@@ -22,14 +22,6 @@ class RuntimeStatsCollector;
 Result<OperatorPtr> LowerPlan(const PlanPtr& plan, const Query& query,
                               const ExecContext& ctx);
 
-/// \deprecated Positional-tail form; forwards to the ExecContext overload
-/// (inheriting the environment's thread/batch overrides from
-/// ExecContext::Default()).
-Result<OperatorPtr> LowerPlan(const PlanPtr& plan, const Query& query,
-                              IoAccountant* io,
-                              RuntimeStatsCollector* stats = nullptr,
-                              ExecOptions options = ExecOptions::Default());
-
 }  // namespace aggview
 
 #endif  // AGGVIEW_EXEC_LOWERING_H_

@@ -10,22 +10,13 @@ namespace aggview {
 /// Default number of rows per execution batch. Large enough to amortize the
 /// per-dispatch costs (virtual call, clock reads, counter updates) down to
 /// noise, small enough that a batch of the widest rows stays cache-resident.
+/// 1 degrades to row-at-a-time Volcano behaviour (useful for boundary-bug
+/// hunting and as the baseline in throughput experiments); the environment
+/// variable AGGVIEW_TEST_BATCH_SIZE overrides the default through
+/// ExecContext::Default() (CI runs the whole test suite at batch size 1 to
+/// shake out off-by-one bugs at batch boundaries that size-1024 runs never
+/// hit).
 inline constexpr int kDefaultBatchSize = 1024;
-
-/// Execution-engine knobs, threaded from ExecutePlan through lowering into
-/// every operator.
-struct ExecOptions {
-  /// Capacity of every batch flowing through the operator tree. 1 degrades
-  /// to row-at-a-time Volcano behaviour (useful for boundary-bug hunting and
-  /// as the baseline in throughput experiments).
-  int batch_size = kDefaultBatchSize;
-
-  /// The standard options: kDefaultBatchSize, unless the environment
-  /// variable AGGVIEW_TEST_BATCH_SIZE overrides it (CI runs the whole test
-  /// suite under AGGVIEW_TEST_BATCH_SIZE=1 to shake out off-by-one bugs at
-  /// batch boundaries that size-1024 runs never hit).
-  static ExecOptions Default();
-};
 
 /// A fixed-capacity buffer of rows, the unit of flow between operators.
 ///

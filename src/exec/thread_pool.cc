@@ -49,8 +49,18 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(int tasks, const std::function<void(int)>& fn) {
   if (tasks <= 0) return;
   if (workers_.empty()) {
+    // Serial pool: no shared state is touched, so any number of drivers may
+    // run their loops concurrently without the lease.
     for (int i = 0; i < tasks; ++i) fn(i);
     return;
+  }
+  // Take the FIFO driver lease: one whole parallel region runs at a time,
+  // regions are granted in ticket (arrival) order.
+  int64_t ticket;
+  {
+    MutexLock lock(&driver_mu_);
+    ticket = next_ticket_++;
+    while (serving_ticket_ != ticket) driver_cv_.wait(lock);
   }
   {
     MutexLock lock(&mu_);
@@ -67,9 +77,16 @@ void ThreadPool::ParallelFor(int tasks, const std::function<void(int)>& fn) {
     if (i >= tasks) break;
     fn(i);
   }
-  MutexLock lock(&mu_);
-  while (finished_ != static_cast<int>(workers_.size())) done_cv_.wait(lock);
-  fn_ = nullptr;
+  {
+    MutexLock lock(&mu_);
+    while (finished_ != static_cast<int>(workers_.size())) done_cv_.wait(lock);
+    fn_ = nullptr;
+  }
+  {
+    MutexLock lock(&driver_mu_);
+    ++serving_ticket_;
+  }
+  driver_cv_.notify_all();
 }
 
 int ThreadPool::HardwareThreads() {

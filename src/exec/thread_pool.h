@@ -26,10 +26,14 @@ namespace aggview {
 /// dynamically; the calling thread participates, which makes a 1-thread pool
 /// a plain serial loop with no synchronization beyond one atomic per task.
 ///
-/// Not reentrant: ParallelFor must not be called from inside a task, and only
-/// one thread may drive the pool. (The executor honours this by parallelizing
-/// one pipeline region at a time; nested operators run their parallel drains
-/// during Open, strictly before the enclosing region's ParallelFor starts.)
+/// Not reentrant: ParallelFor must not be called from inside a task. Multiple
+/// threads may drive the pool concurrently (a server's client sessions sharing
+/// one pool): calls queue on a FIFO driver lease, so parallel regions from
+/// different queries interleave at region granularity in arrival order — the
+/// serving layer's fair inter-query scheduling. Within one query the executor
+/// still parallelizes one pipeline region at a time; nested operators run
+/// their parallel drains during Open, strictly before the enclosing region's
+/// ParallelFor starts.
 class ThreadPool {
  public:
   /// A pool that runs ParallelFor on `threads` threads total: the caller plus
@@ -47,6 +51,10 @@ class ThreadPool {
   /// task has finished and every worker has quiesced, so `fn` and anything it
   /// captured may be destroyed immediately after. Writes made by tasks
   /// happen-before the return (the completion handshake is a mutex).
+  ///
+  /// Safe to call from several driver threads at once: callers take a FIFO
+  /// ticket and run their region exclusively when their turn comes, so no
+  /// driver starves however busy the pool is.
   void ParallelFor(int tasks, const std::function<void(int)>& fn);
 
   /// Threads the hardware runs concurrently (>= 1; hardware_concurrency with
@@ -71,6 +79,14 @@ class ThreadPool {
   int64_t generation_ AGGVIEW_GUARDED_BY(mu_) = 0;
   int finished_ AGGVIEW_GUARDED_BY(mu_) = 0;
   bool shutdown_ AGGVIEW_GUARDED_BY(mu_) = false;
+
+  // FIFO driver lease: concurrent ParallelFor callers draw a ticket and wait
+  // until it is served, so whole parallel regions from different drivers
+  // never overlap and are granted in arrival order.
+  Mutex driver_mu_;
+  std::condition_variable_any driver_cv_;
+  int64_t next_ticket_ AGGVIEW_GUARDED_BY(driver_mu_) = 0;
+  int64_t serving_ticket_ AGGVIEW_GUARDED_BY(driver_mu_) = 0;
 };
 
 }  // namespace aggview

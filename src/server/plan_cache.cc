@@ -1,0 +1,118 @@
+#include "server/plan_cache.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace aggview {
+
+std::string PlanCacheStats::ToString() const {
+  return StrFormat(
+      "plan cache: %lld hits, %lld misses, %lld evictions, "
+      "%lld invalidations, %lld/%lld entries",
+      static_cast<long long>(hits), static_cast<long long>(misses),
+      static_cast<long long>(evictions), static_cast<long long>(invalidations),
+      static_cast<long long>(size), static_cast<long long>(capacity));
+}
+
+std::string NormalizeSql(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool in_literal = false;
+  bool pending_space = false;
+  for (char c : sql) {
+    if (in_literal) {
+      out.push_back(c);
+      if (c == '\'') in_literal = false;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      // Collapse the run; emit one space only if more text follows.
+      if (!out.empty()) pending_space = true;
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    if (c == '\'') {
+      in_literal = true;
+      out.push_back(c);
+      continue;
+    }
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  // Drop a trailing semicolon (and any space the collapse left before it).
+  while (!out.empty() && (out.back() == ';' || out.back() == ' ')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+PlanCache::PlanCache(int64_t capacity)
+    : capacity_(capacity > 0 ? capacity : 0) {}
+
+std::shared_ptr<const OptimizedQuery> PlanCache::Lookup(const std::string& key,
+                                                        int64_t epoch) {
+  MutexLock lock(&mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (it->second->epoch != epoch) {
+    // Optimized under a catalog state that no longer exists: serve nothing,
+    // drop the entry so the slot is reusable immediately.
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++invalidations_;
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  // Move to the front (most recently used) without invalidating iterators.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->plan;
+}
+
+void PlanCache::Insert(const std::string& key, int64_t epoch,
+                       std::shared_ptr<const OptimizedQuery> plan) {
+  if (capacity_ == 0) return;
+  MutexLock lock(&mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Replace in place (a concurrent session optimized the same statement).
+    it->second->epoch = epoch;
+    it->second->plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (static_cast<int64_t>(lru_.size()) >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{key, epoch, std::move(plan)});
+  index_[key] = lru_.begin();
+}
+
+void PlanCache::Clear() {
+  MutexLock lock(&mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  MutexLock lock(&mu_);
+  PlanCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.invalidations = invalidations_;
+  s.size = static_cast<int64_t>(lru_.size());
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace aggview

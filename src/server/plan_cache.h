@@ -1,0 +1,107 @@
+#ifndef AGGVIEW_SERVER_PLAN_CACHE_H_
+#define AGGVIEW_SERVER_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/thread_annotations.h"
+#include "optimizer/aggview_optimizer.h"
+
+namespace aggview {
+
+/// Point-in-time counters of a PlanCache, surfaced by the serving layer the
+/// way EXPLAIN surfaces plan facts: every Sql() path increments exactly one
+/// of hits/misses, and the throughput benchmark asserts the repeated-query
+/// speedup against them.
+struct PlanCacheStats {
+  /// Lookups answered from the cache (parse/bind/optimize skipped).
+  int64_t hits = 0;
+  /// Lookups that found nothing usable and paid the full optimization.
+  int64_t misses = 0;
+  /// Entries dropped because the cache was full (LRU victim).
+  int64_t evictions = 0;
+  /// Entries dropped because the catalog's stats epoch moved past them: the
+  /// plan was optimized against statistics/data that no longer exist.
+  int64_t invalidations = 0;
+  /// Current number of cached plans and the configured ceiling.
+  int64_t size = 0;
+  int64_t capacity = 0;
+
+  /// One-line rendering ("plan cache: 12 hits, 3 misses, ..."), for shells
+  /// and EXPLAIN-style diagnostics.
+  std::string ToString() const;
+};
+
+/// Normalizes SQL text for plan-cache keying: lower-cases everything outside
+/// single-quoted string literals, collapses whitespace runs (spaces, tabs,
+/// newlines) to one space, trims the ends, and drops a trailing semicolon —
+/// so textual re-spellings of the same statement share one cache entry.
+/// String literals are preserved byte-for-byte (SQL string comparison is
+/// case-sensitive; 'Sales' and 'sales' are different constants).
+std::string NormalizeSql(const std::string& sql);
+
+/// An LRU cache of optimized query plans, shared by every session of a
+/// Server.
+///
+/// The key is the normalized SQL text plus the optimizer-configuration
+/// fingerprint (the caller appends it; see Server::Prepare). Each entry is
+/// additionally stamped with the catalog stats epoch it was optimized under:
+/// a lookup whose current epoch differs from the entry's drops the entry and
+/// counts an invalidation — a plan optimized against stale statistics or
+/// vanished data must never be served, however textually equal the SQL.
+///
+/// Thread-safe: every operation takes the cache mutex; the cached
+/// OptimizedQuery objects themselves are immutable and may be executed by
+/// any number of sessions concurrently.
+class PlanCache {
+ public:
+  /// A cache that holds at most `capacity` plans (LRU eviction). Capacity 0
+  /// disables caching: Lookup always misses and Insert is a no-op.
+  explicit PlanCache(int64_t capacity);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached plan for `key` if present and stamped with `epoch`;
+  /// null on miss. A present-but-stale entry (older epoch) is erased, counts
+  /// as an invalidation, and misses.
+  std::shared_ptr<const OptimizedQuery> Lookup(const std::string& key,
+                                               int64_t epoch);
+
+  /// Caches `plan` under `key` at `epoch`, evicting the least recently used
+  /// entry when full. Re-inserting an existing key replaces the entry (last
+  /// writer wins; two sessions racing to optimize the same fresh statement
+  /// both produce equivalent plans).
+  void Insert(const std::string& key, int64_t epoch,
+              std::shared_ptr<const OptimizedQuery> plan);
+
+  /// Drops every entry (counters keep accumulating).
+  void Clear();
+
+  PlanCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    int64_t epoch = 0;
+    std::shared_ptr<const OptimizedQuery> plan;
+  };
+
+  mutable Mutex mu_;
+  const int64_t capacity_;
+  /// Front = most recently used.
+  std::list<Entry> lru_ AGGVIEW_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      AGGVIEW_GUARDED_BY(mu_);
+  int64_t hits_ AGGVIEW_GUARDED_BY(mu_) = 0;
+  int64_t misses_ AGGVIEW_GUARDED_BY(mu_) = 0;
+  int64_t evictions_ AGGVIEW_GUARDED_BY(mu_) = 0;
+  int64_t invalidations_ AGGVIEW_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_SERVER_PLAN_CACHE_H_

@@ -1,0 +1,215 @@
+#include "server/server.h"
+
+#include "common/string_util.h"
+#include "exec/thread_pool.h"
+#include "obs/explain.h"
+#include "obs/runtime_stats.h"
+#include "optimizer/traditional.h"
+#include "sql/binder.h"
+#include "storage/io_accountant.h"
+
+namespace aggview {
+
+namespace {
+
+/// RAII admission pass around one statement execution.
+class AdmissionPass {
+ public:
+  explicit AdmissionPass(AdmissionController* admission)
+      : admission_(admission) {
+    admission_->Enter();
+  }
+  ~AdmissionPass() { admission_->Exit(); }
+
+  AdmissionPass(const AdmissionPass&) = delete;
+  AdmissionPass& operator=(const AdmissionPass&) = delete;
+
+ private:
+  AdmissionController* admission_;
+};
+
+/// Encodes every option that changes which plan the optimizer picks, so two
+/// configurations never share a cache entry. Thread/batch knobs are
+/// deliberately absent: they change throughput, never the plan.
+std::string ConfigFingerprint(const ServerOptions& options) {
+  const OptimizerOptions& opt = options.optimizer;
+  return StrFormat(
+      "trad=%d;prop=%d;pull=%d;shared=%d;shrink=%d;maxw=%d;inctrad=%d;"
+      "greedy=%d;inv=%d;coal=%d",
+      options.use_traditional ? 1 : 0, opt.propagate_predicates ? 1 : 0,
+      opt.max_pullup, opt.require_shared_predicate ? 1 : 0,
+      opt.shrink_views ? 1 : 0, opt.max_assignments,
+      opt.include_traditional_alternative ? 1 : 0,
+      opt.enumerator.greedy_aggregation ? 1 : 0,
+      opt.enumerator.enable_invariant ? 1 : 0,
+      opt.enumerator.enable_coalescing ? 1 : 0);
+}
+
+}  // namespace
+
+ServerOptions ServerOptions::Default() {
+  ServerOptions options;
+  ExecContext env = ExecContext::Default();
+  options.threads = env.threads;
+  options.batch_size = env.batch_size;
+  return options;
+}
+
+void AdmissionController::Enter() {
+  if (limit_ <= 0) {
+    MutexLock lock(&mu_);
+    ++next_ticket_;
+    ++running_;
+    if (running_ > peak_running_) peak_running_ = running_;
+    return;
+  }
+  MutexLock lock(&mu_);
+  int64_t ticket = next_ticket_++;
+  // FIFO: ticket k runs once fewer than `limit_` of the tickets before it
+  // are still in flight — i.e. strictly in arrival order.
+  while (ticket >= finished_ + limit_) cv_.wait(lock);
+  ++running_;
+  if (running_ > peak_running_) peak_running_ = running_;
+}
+
+void AdmissionController::Exit() {
+  {
+    MutexLock lock(&mu_);
+    --running_;
+    ++finished_;
+  }
+  cv_.notify_all();
+}
+
+int AdmissionController::peak_running() const {
+  MutexLock lock(&mu_);
+  return peak_running_;
+}
+
+int64_t AdmissionController::total_admitted() const {
+  MutexLock lock(&mu_);
+  return next_ticket_;
+}
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      config_fingerprint_(ConfigFingerprint(options_)),
+      cache_(options_.plan_cache_capacity),
+      admission_(options_.max_concurrent_queries),
+      self_(std::make_shared<Server*>(this)) {
+  if (options_.threads < 1) options_.threads = 1;
+  if (options_.batch_size < 1) options_.batch_size = 1;
+  // Eager pool creation: a lazily-built pool would need its own lock once
+  // several sessions race to the first parallel query.
+  if (options_.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
+}
+
+Server::~Server() { *self_ = nullptr; }
+
+ServerSession Server::Connect() {
+  return ServerSession(self_,
+                       next_session_id_.fetch_add(1, std::memory_order_relaxed)
+                           + 1);
+}
+
+ExecContext Server::MakeContext() {
+  ExecContext ctx;
+  ctx.batch_size = options_.batch_size;
+  ctx.threads = options_.threads;
+  ctx.pool = pool_.get();
+  return ctx;
+}
+
+Result<std::shared_ptr<const OptimizedQuery>> Server::Prepare(
+    const std::string& text, bool* cache_hit) {
+  *cache_hit = false;
+  const std::string key = NormalizeSql(text) + '\x1f' + config_fingerprint_;
+  // Read the epoch before optimizing: if the catalog mutates concurrently
+  // (against the documented quiescence contract) the entry is stamped with
+  // the older epoch and the next lookup invalidates it — never the reverse.
+  const int64_t epoch = catalog_.stats_epoch();
+  if (options_.plan_cache_capacity > 0) {
+    if (std::shared_ptr<const OptimizedQuery> hit = cache_.Lookup(key, epoch)) {
+      *cache_hit = true;
+      return hit;
+    }
+  }
+  AGGVIEW_ASSIGN_OR_RETURN(Query query, ParseAndBind(catalog_, text));
+  OptimizedQuery optimized;
+  if (options_.use_traditional) {
+    AGGVIEW_ASSIGN_OR_RETURN(optimized, OptimizeTraditional(query));
+  } else {
+    AGGVIEW_ASSIGN_OR_RETURN(
+        optimized, OptimizeQueryWithAggViews(query, options_.optimizer));
+  }
+  auto shared =
+      std::make_shared<const OptimizedQuery>(std::move(optimized));
+  if (options_.plan_cache_capacity > 0) cache_.Insert(key, epoch, shared);
+  return shared;
+}
+
+Result<ServerQuery> ServerSession::Sql(const std::string& text) {
+  if (server_ == nullptr) {
+    return Status::InvalidArgument(
+        "ServerSession is moved-from; use the session it was moved into");
+  }
+  Server* server = *server_;
+  if (server == nullptr) {
+    return Status::InvalidArgument(
+        "ServerSession outlived its Server: the Server owning the catalog "
+        "and worker pool has been destroyed");
+  }
+  bool cache_hit = false;
+  AGGVIEW_ASSIGN_OR_RETURN(std::shared_ptr<const OptimizedQuery> optimized,
+                           server->Prepare(text, &cache_hit));
+  return ServerQuery(server_, std::move(optimized), cache_hit);
+}
+
+Result<Server*> ServerQuery::server() const {
+  if (server_ == nullptr) {
+    return Status::InvalidArgument(
+        "ServerQuery is moved-from; execute the query it was moved into");
+  }
+  if (*server_ == nullptr) {
+    return Status::InvalidArgument(
+        "ServerQuery outlived its Server: the Server owning the catalog "
+        "data and worker pool has been destroyed");
+  }
+  return *server_;
+}
+
+Result<QueryResult> ServerQuery::Execute() {
+  AGGVIEW_ASSIGN_OR_RETURN(Server * server, this->server());
+  AdmissionPass pass(&server->admission_);
+  IoAccountant io;
+  AGGVIEW_ASSIGN_OR_RETURN(
+      QueryResult result,
+      ExecutePlan(optimized_->plan, optimized_->query,
+                  server->MakeContext().WithIo(&io)));
+  last_io_pages_ = io.total();
+  return result;
+}
+
+std::string ServerQuery::Explain() const {
+  std::string out = optimized_->description;
+  if (!out.empty() && out.back() != '\n') out += "\n";
+  out += PlanToString(optimized_->plan, optimized_->query);
+  return out;
+}
+
+Result<std::string> ServerQuery::ExplainAnalyze() {
+  AGGVIEW_ASSIGN_OR_RETURN(Server * server, this->server());
+  AdmissionPass pass(&server->admission_);
+  IoAccountant io;
+  RuntimeStatsCollector stats;
+  AGGVIEW_RETURN_NOT_OK(
+      ExecutePlan(optimized_->plan, optimized_->query,
+                  server->MakeContext().WithIo(&io).WithStats(&stats))
+          .status());
+  last_io_pages_ = io.total();
+  return aggview::ExplainAnalyze(optimized_->plan, optimized_->query, stats);
+}
+
+}  // namespace aggview

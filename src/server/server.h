@@ -1,0 +1,239 @@
+#ifndef AGGVIEW_SERVER_SERVER_H_
+#define AGGVIEW_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "common/thread_annotations.h"
+#include "exec/exec_context.h"
+#include "exec/executor.h"
+#include "optimizer/aggview_optimizer.h"
+#include "server/plan_cache.h"
+
+namespace aggview {
+
+class Server;
+class ServerSession;
+class ThreadPool;
+
+/// Server-wide configuration, fixed at construction (the plan-cache key
+/// depends on it being immutable while serving).
+struct ServerOptions {
+  /// Size of the shared worker pool every query's morsel-parallel regions
+  /// run on (intra-query parallelism; 1 = serial execution).
+  int threads = 1;
+  /// Batch capacity of every operator tree the server runs.
+  int batch_size = kDefaultBatchSize;
+  /// Optimize with the traditional two-phase optimizer instead of the
+  /// paper's aggregate-view optimizer (for comparisons).
+  bool use_traditional = false;
+  /// Options of the aggregate-view optimizer (ignored by use_traditional).
+  OptimizerOptions optimizer;
+  /// Maximum number of plans the shared plan cache holds (LRU beyond that);
+  /// 0 disables plan caching entirely.
+  int64_t plan_cache_capacity = 256;
+  /// Admission control: at most this many statements execute at once;
+  /// excess Execute() calls queue FIFO (no starvation). 0 = unlimited —
+  /// every statement runs immediately and inter-query fairness degrades to
+  /// the thread pool's per-region FIFO lease.
+  int max_concurrent_queries = 0;
+
+  /// Serial, default batch size — unless the environment overrides it
+  /// (AGGVIEW_TEST_THREADS / AGGVIEW_TEST_BATCH_SIZE, same convention as
+  /// ExecContext::Default()).
+  static ServerOptions Default();
+};
+
+/// FIFO admission controller: a counting semaphore whose waiters are served
+/// strictly in arrival order, so a steady stream of cheap queries can never
+/// starve an expensive one out of its execution slot.
+class AdmissionController {
+ public:
+  /// At most `limit` concurrent holders; `limit` <= 0 means unlimited.
+  explicit AdmissionController(int limit) : limit_(limit) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Blocks until admitted. Every Enter must be paired with one Exit.
+  void Enter();
+  void Exit();
+
+  /// Largest number of concurrent holders observed (== limit under load;
+  /// asserted by the admission tests).
+  int peak_running() const;
+  /// Total number of admissions granted so far.
+  int64_t total_admitted() const;
+
+ private:
+  const int limit_;
+  mutable Mutex mu_;
+  std::condition_variable_any cv_;
+  /// Next ticket to hand out; tickets are admitted in ticket order as
+  /// soon as `ticket < finished_ + limit_` (a FIFO counting semaphore).
+  int64_t next_ticket_ AGGVIEW_GUARDED_BY(mu_) = 0;
+  int64_t finished_ AGGVIEW_GUARDED_BY(mu_) = 0;
+  int running_ AGGVIEW_GUARDED_BY(mu_) = 0;
+  int peak_running_ AGGVIEW_GUARDED_BY(mu_) = 0;
+};
+
+/// A statement prepared through a Server: the (possibly cache-shared)
+/// optimized plan plus everything needed to run it on the server's pool
+/// under admission control. Obtained from ServerSession::Sql; any number of
+/// ServerQuery objects — across any number of client threads — may hold and
+/// execute the same cached plan concurrently.
+///
+/// Like PreparedQuery, lifetime is guarded explicitly: executing a query
+/// whose Server has been destroyed, or a moved-from query, returns a clear
+/// error Status instead of dereferencing a dangling pointer.
+class ServerQuery {
+ public:
+  ServerQuery(ServerQuery&&) = default;
+  ServerQuery& operator=(ServerQuery&&) = default;
+
+  /// Runs the plan on the server's shared pool, gated by the server's
+  /// admission controller, and materializes the result.
+  Result<QueryResult> Execute();
+
+  /// The optimizer's one-line rationale plus the physical plan tree.
+  std::string Explain() const;
+
+  /// Runs the plan instrumented and renders the annotated plan tree.
+  Result<std::string> ExplainAnalyze();
+
+  /// True when Sql() answered this statement from the plan cache (the
+  /// parse/bind/optimize pipeline was skipped entirely).
+  bool cache_hit() const { return cache_hit_; }
+
+  const PlanPtr& plan() const { return optimized_->plan; }
+  const Query& query() const { return optimized_->query; }
+  const std::string& description() const { return optimized_->description; }
+  /// Pages (reads + writes) charged by the most recent Execute /
+  /// ExplainAnalyze, -1 before the first run.
+  int64_t last_io_pages() const { return last_io_pages_; }
+
+ private:
+  friend class ServerSession;
+  ServerQuery(std::shared_ptr<Server*> server,
+              std::shared_ptr<const OptimizedQuery> optimized, bool cache_hit)
+      : server_(std::move(server)),
+        optimized_(std::move(optimized)),
+        cache_hit_(cache_hit) {}
+
+  /// Resolves the owning Server, or an error when this query was moved from
+  /// or the Server has been destroyed.
+  Result<Server*> server() const;
+
+  std::shared_ptr<Server*> server_;
+  std::shared_ptr<const OptimizedQuery> optimized_;
+  bool cache_hit_ = false;
+  int64_t last_io_pages_ = -1;
+};
+
+/// A client connection to a Server: a cheap value handle safe to move to
+/// any thread. Each concurrent client thread should hold its own session
+/// (sessions themselves are not synchronized); all sessions share the
+/// server's catalog, plan cache, worker pool and admission controller.
+class ServerSession {
+ public:
+  ServerSession(ServerSession&&) = default;
+  ServerSession& operator=(ServerSession&&) = default;
+
+  /// Parses, binds and optimizes one statement — or skips all three when
+  /// the server's plan cache already holds a plan for the normalized text
+  /// under the current stats epoch and optimizer configuration.
+  Result<ServerQuery> Sql(const std::string& text);
+
+  /// This connection's id (1-based, in Connect() order).
+  int id() const { return id_; }
+
+ private:
+  friend class Server;
+  ServerSession(std::shared_ptr<Server*> server, int id)
+      : server_(std::move(server)), id_(id) {}
+
+  std::shared_ptr<Server*> server_;
+  int id_ = 0;
+};
+
+/// The multi-query serving layer: one object owning the catalog, the plan
+/// cache, the shared worker pool and the admission controller, serving any
+/// number of concurrently connected client sessions.
+///
+///   Server server(ServerOptions{.threads = 8, .max_concurrent_queries = 4});
+///   ... populate server.catalog() (tables + stats + data), then serve ...
+///   ServerSession conn = server.Connect();             // one per client
+///   AGGVIEW_ASSIGN_OR_RETURN(ServerQuery q, conn.Sql("SELECT ..."));
+///   AGGVIEW_ASSIGN_OR_RETURN(QueryResult result, q.Execute());
+///
+/// Concurrency contract: Connect() and every ServerSession/ServerQuery
+/// operation are safe from any thread once the catalog is populated.
+/// Catalog mutation (loading data, refreshing stats) must be quiesced
+/// relative to running queries — it is not synchronized against execution —
+/// and bumps the catalog stats epoch, which invalidates every cached plan
+/// optimized before it.
+class Server {
+ public:
+  explicit Server(ServerOptions options = ServerOptions::Default());
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The server's schema + data; populate before serving. Mutable access
+  /// bumps the catalog's stats epoch (see Catalog::mutable_table).
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  const ServerOptions& options() const { return options_; }
+
+  /// The catalog's current stats epoch (cache-invalidation stamp).
+  int64_t stats_epoch() const { return catalog_.stats_epoch(); }
+
+  /// Opens a client session. Thread-safe.
+  ServerSession Connect();
+
+  /// Plan-cache counters (hits, misses, evictions, invalidations).
+  PlanCacheStats cache_stats() const { return cache_.stats(); }
+
+  /// Admission counters (peak concurrency, total admissions).
+  int admission_peak_running() const { return admission_.peak_running(); }
+  int64_t admission_total() const { return admission_.total_admitted(); }
+
+ private:
+  friend class ServerSession;
+  friend class ServerQuery;
+
+  /// Cache-aware prepare: normalized text + config fingerprint + current
+  /// stats epoch key the cache; a miss pays parse → bind → optimize and
+  /// publishes the result for every other session.
+  Result<std::shared_ptr<const OptimizedQuery>> Prepare(
+      const std::string& text, bool* cache_hit);
+
+  /// The execution context queries of this server run under (threads, batch
+  /// size, shared pool), without IO or stats sinks installed.
+  ExecContext MakeContext();
+
+  ServerOptions options_;
+  /// Cache-key suffix encoding every optimizer option that changes plan
+  /// choice; computed once (options are immutable after construction).
+  std::string config_fingerprint_;
+  Catalog catalog_;
+  PlanCache cache_;
+  AdmissionController admission_;
+  /// Created eagerly when threads > 1 so serving never races a lazy init.
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<int> next_session_id_{0};
+  /// Lifetime token handed to sessions and queries; ~Server nulls the
+  /// pointee so outstanding handles fail with a clear error instead of a
+  /// use-after-free.
+  std::shared_ptr<Server*> self_;
+};
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_SERVER_SERVER_H_

@@ -16,12 +16,14 @@ SessionOptions SessionOptions::Default() {
   return options;
 }
 
-Session::Session(SessionOptions options) : options_(std::move(options)) {
+Session::Session(SessionOptions options)
+    : options_(std::move(options)),
+      self_(std::make_shared<Session*>(this)) {
   if (options_.threads < 1) options_.threads = 1;
   if (options_.batch_size < 1) options_.batch_size = 1;
 }
 
-Session::~Session() = default;
+Session::~Session() { *self_ = nullptr; }
 
 ThreadPool* Session::pool() {
   if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(options_.threads);
@@ -45,15 +47,29 @@ Result<PreparedQuery> Session::Sql(const std::string& text) {
     AGGVIEW_ASSIGN_OR_RETURN(optimized,
                              OptimizeQueryWithAggViews(query, options_.optimizer));
   }
-  return PreparedQuery(this, std::move(optimized));
+  return PreparedQuery(self_, std::move(optimized));
+}
+
+Result<Session*> PreparedQuery::session() const {
+  if (session_ == nullptr) {
+    return Status::InvalidArgument(
+        "PreparedQuery is moved-from; execute the query it was moved into");
+  }
+  if (*session_ == nullptr) {
+    return Status::InvalidArgument(
+        "PreparedQuery outlived its Session: the Session owning the catalog "
+        "data and worker pool has been destroyed");
+  }
+  return *session_;
 }
 
 Result<QueryResult> PreparedQuery::Execute() {
+  AGGVIEW_ASSIGN_OR_RETURN(Session * session, this->session());
   IoAccountant io;
   AGGVIEW_ASSIGN_OR_RETURN(
       QueryResult result,
       ExecutePlan(optimized_.plan, optimized_.query,
-                  session_->MakeContext().WithIo(&io)));
+                  session->MakeContext().WithIo(&io)));
   last_io_pages_ = io.total();
   return result;
 }
@@ -66,11 +82,12 @@ std::string PreparedQuery::Explain() const {
 }
 
 Result<std::string> PreparedQuery::ExplainAnalyze() {
+  AGGVIEW_ASSIGN_OR_RETURN(Session * session, this->session());
   IoAccountant io;
   RuntimeStatsCollector stats;
   AGGVIEW_RETURN_NOT_OK(
       ExecutePlan(optimized_.plan, optimized_.query,
-                  session_->MakeContext().WithIo(&io).WithStats(&stats))
+                  session->MakeContext().WithIo(&io).WithStats(&stats))
           .status());
   last_io_pages_ = io.total();
   return aggview::ExplainAnalyze(optimized_.plan, optimized_.query, stats);

@@ -37,8 +37,10 @@ struct SessionOptions {
 /// A parsed, bound and optimized statement, ready to run. Produced by
 /// Session::Sql; holds the rewritten query and the winning plan, so the
 /// (comparatively expensive) optimization runs once however often the
-/// statement executes. Must not outlive its Session — it executes against
-/// the session's catalog data and worker pool.
+/// statement executes. It executes against the session's catalog data and
+/// worker pool, and guards that lifetime explicitly: Execute() on a query
+/// whose Session has been destroyed, or on a moved-from query, returns a
+/// clear error Status instead of dereferencing a dangling pointer.
 class PreparedQuery {
  public:
   PreparedQuery(PreparedQuery&&) = default;
@@ -69,10 +71,17 @@ class PreparedQuery {
 
  private:
   friend class Session;
-  PreparedQuery(Session* session, OptimizedQuery optimized)
-      : session_(session), optimized_(std::move(optimized)) {}
+  PreparedQuery(std::shared_ptr<Session*> session, OptimizedQuery optimized)
+      : session_(std::move(session)), optimized_(std::move(optimized)) {}
 
-  Session* session_;
+  /// Resolves the owning Session, or an error when this query was moved
+  /// from or the Session has been destroyed.
+  Result<Session*> session() const;
+
+  /// Generation token shared with the Session: the Session's destructor
+  /// nulls the pointee, a move nulls the shared_ptr itself, and both states
+  /// surface as error Statuses from session().
+  std::shared_ptr<Session*> session_;
   OptimizedQuery optimized_;
   int64_t last_io_pages_ = -1;
 };
@@ -120,6 +129,10 @@ class Session {
   SessionOptions options_;
   Catalog catalog_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Lifetime token handed to every PreparedQuery; ~Session nulls the
+  /// pointee so outstanding queries fail their Execute with a clear error
+  /// instead of a use-after-free.
+  std::shared_ptr<Session*> self_;
 };
 
 }  // namespace aggview

@@ -51,24 +51,75 @@ TEST(RowBatchTest, NonPositiveCapacityClampsToOne) {
   EXPECT_TRUE(batch.full());
 }
 
-TEST(ExecOptionsTest, EnvironmentVariableOverridesDefault) {
-  // CI runs the suite with AGGVIEW_TEST_BATCH_SIZE already set; save and
-  // restore whatever is there so this test observes only its own values.
-  const char* ambient = std::getenv("AGGVIEW_TEST_BATCH_SIZE");
-  std::string saved = ambient == nullptr ? "" : ambient;
-
-  EXPECT_EQ(ExecOptions{}.batch_size, kDefaultBatchSize);
-  ASSERT_EQ(setenv("AGGVIEW_TEST_BATCH_SIZE", "7", /*overwrite=*/1), 0);
-  EXPECT_EQ(ExecOptions::Default().batch_size, 7);
-  // Non-positive values are ignored, not honoured as batch size zero.
-  ASSERT_EQ(setenv("AGGVIEW_TEST_BATCH_SIZE", "0", /*overwrite=*/1), 0);
-  EXPECT_EQ(ExecOptions::Default().batch_size, kDefaultBatchSize);
-  ASSERT_EQ(unsetenv("AGGVIEW_TEST_BATCH_SIZE"), 0);
-  EXPECT_EQ(ExecOptions::Default().batch_size, kDefaultBatchSize);
-
-  if (ambient != nullptr) {
-    ASSERT_EQ(setenv("AGGVIEW_TEST_BATCH_SIZE", saved.c_str(), 1), 0);
+/// Saves and restores one environment variable for the duration of a test
+/// (CI runs the suite with AGGVIEW_TEST_* already set; the tests below must
+/// observe only their own values).
+class ScopedEnv {
+ public:
+  explicit ScopedEnv(const char* name) : name_(name) {
+    const char* ambient = std::getenv(name);
+    had_ = ambient != nullptr;
+    saved_ = had_ ? ambient : "";
   }
+  ~ScopedEnv() {
+    if (had_) {
+      setenv(name_, saved_.c_str(), /*overwrite=*/1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+  void Set(const char* value) { setenv(name_, value, /*overwrite=*/1); }
+  void Unset() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+  bool had_ = false;
+  std::string saved_;
+};
+
+TEST(ExecContextEnvTest, BatchSizeOverrideIsValidatedAndClamped) {
+  ScopedEnv env("AGGVIEW_TEST_BATCH_SIZE");
+
+  EXPECT_EQ(ExecContext{}.batch_size, kDefaultBatchSize);
+  env.Set("7");
+  EXPECT_EQ(ExecContext::Default().batch_size, 7);
+  // Non-positive values are ignored, not honoured as batch size zero.
+  env.Set("0");
+  EXPECT_EQ(ExecContext::Default().batch_size, kDefaultBatchSize);
+  env.Set("-16");
+  EXPECT_EQ(ExecContext::Default().batch_size, kDefaultBatchSize);
+  // Garbage falls back instead of atoi-ing to 0; so does trailing junk.
+  env.Set("lots");
+  EXPECT_EQ(ExecContext::Default().batch_size, kDefaultBatchSize);
+  env.Set("64k");
+  EXPECT_EQ(ExecContext::Default().batch_size, kDefaultBatchSize);
+  env.Set("");
+  EXPECT_EQ(ExecContext::Default().batch_size, kDefaultBatchSize);
+  // Absurdly large values clamp to the documented ceiling rather than
+  // overflowing int or allocating a terabyte batch.
+  env.Set("99999999999999999999");
+  EXPECT_EQ(ExecContext::Default().batch_size, kMaxEnvBatchSize);
+  env.Set("2000000");
+  EXPECT_EQ(ExecContext::Default().batch_size, kMaxEnvBatchSize);
+  env.Unset();
+  EXPECT_EQ(ExecContext::Default().batch_size, kDefaultBatchSize);
+}
+
+TEST(ExecContextEnvTest, ThreadsOverrideIsValidatedAndClamped) {
+  ScopedEnv env("AGGVIEW_TEST_THREADS");
+
+  env.Set("8");
+  EXPECT_EQ(ExecContext::Default().threads, 8);
+  env.Set("-2");
+  EXPECT_EQ(ExecContext::Default().threads, 1);
+  env.Set("all");
+  EXPECT_EQ(ExecContext::Default().threads, 1);
+  env.Set("4x");
+  EXPECT_EQ(ExecContext::Default().threads, 1);
+  env.Set("100000");
+  EXPECT_EQ(ExecContext::Default().threads, kMaxEnvThreads);
+  env.Unset();
+  EXPECT_EQ(ExecContext::Default().threads, 1);
 }
 
 /// Ten-row table scanned through small batches, directly at the operator
@@ -152,12 +203,12 @@ class BatchSizeInvarianceTest : public ::testing::Test {
     ASSERT_OK(optimized);
 
     auto reference =
-        ExecutePlan(optimized->plan, optimized->query, nullptr, nullptr,
-                    ExecOptions{.batch_size = kDefaultBatchSize});
+        ExecutePlan(optimized->plan, optimized->query,
+                    ExecContext{}.WithBatchSize(kDefaultBatchSize));
     ASSERT_OK(reference);
     for (int batch_size : {1, 2, 3, 7, 64, 4096}) {
-      auto rerun = ExecutePlan(optimized->plan, optimized->query, nullptr,
-                               nullptr, ExecOptions{.batch_size = batch_size});
+      auto rerun = ExecutePlan(optimized->plan, optimized->query,
+                               ExecContext{}.WithBatchSize(batch_size));
       ASSERT_OK(rerun);
       EXPECT_EQ(rerun->Fingerprint(), reference->Fingerprint())
           << "batch_size=" << batch_size << " changed the result of:\n"
@@ -236,8 +287,8 @@ TEST_F(NullKeysAcrossBatchesTest, AllJoinAlgorithmsAtAllBatchSizes) {
                           {EqCols(d_dno, e_dno)}, needed);
     PlanPtr plan = b.Project(join, q.select_list());
     for (int batch_size : {1, 2, 3, 1024}) {
-      auto result = ExecutePlan(plan, q, nullptr, nullptr,
-                                ExecOptions{.batch_size = batch_size});
+      auto result = ExecutePlan(plan, q,
+                                ExecContext{}.WithBatchSize(batch_size));
       ASSERT_OK(result);
       EXPECT_EQ(result->rows.size(), 12u)
           << JoinAlgoName(algo) << " batch_size=" << batch_size;
@@ -271,8 +322,8 @@ TEST_F(NullKeysAcrossBatchesTest, OuterJoinPadsNullKeyedRowsAtEverySize) {
                                 {EqCols(e_dno, d_dno)}, needed);
   PlanPtr plan = b.Project(loj, q.select_list());
   for (int batch_size : {1, 2, 3, 1024}) {
-    auto result = ExecutePlan(plan, q, nullptr, nullptr,
-                              ExecOptions{.batch_size = batch_size});
+    auto result = ExecutePlan(plan, q,
+                              ExecContext{}.WithBatchSize(batch_size));
     ASSERT_OK(result);
     // All 18 employees survive: 12 matched, 6 NULL-dno rows padded.
     ASSERT_EQ(result->rows.size(), 18u) << "batch_size=" << batch_size;
@@ -315,8 +366,8 @@ TEST(GroupAcrossBatchesTest, GroupSpanningManyBatchesAggregatesOnce) {
   ASSERT_OK(optimized);
 
   for (int batch_size : {1, 3, 25, 100, 1024}) {
-    auto result = ExecutePlan(optimized->plan, optimized->query, nullptr,
-                              nullptr, ExecOptions{.batch_size = batch_size});
+    auto result = ExecutePlan(optimized->plan, optimized->query,
+                              ExecContext{}.WithBatchSize(batch_size));
     ASSERT_OK(result);
     ASSERT_EQ(result->rows.size(), 1u) << "batch_size=" << batch_size;
     const Row& row = result->rows[0];

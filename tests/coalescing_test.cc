@@ -67,9 +67,9 @@ class CoalescingTest : public ::testing::Test {
                b.Scan(f_, {}, needed2), join, needed2),
         final_spec, needed2);
 
-    auto r_lazy = ExecutePlan(lazy, q_, nullptr);
+    auto r_lazy = ExecutePlan(lazy, q_);
     ASSERT_OK(r_lazy);
-    auto r_eager = ExecutePlan(eager, q_, nullptr);
+    auto r_eager = ExecutePlan(eager, q_);
     ASSERT_OK(r_eager);
     EXPECT_GT(r_lazy->rows.size(), 0u);
     EXPECT_EQ(r_lazy->Fingerprint(), r_eager->Fingerprint());

@@ -264,10 +264,10 @@ TEST(EnumeratorScenario, GreedyPushesGroupByWhenCheaper) {
   // And the two plans agree on results (projected to a common layout —
   // block plans choose their own column order).
   PlanBuilder pb(q);
-  auto r_lazy = ExecutePlan(pb.Project(*lazy, q.select_list()), q, nullptr);
+  auto r_lazy = ExecutePlan(pb.Project(*lazy, q.select_list()), q);
   ASSERT_OK(r_lazy);
   auto r_greedy =
-      ExecutePlan(pb.Project(*greedy, q.select_list()), q, nullptr);
+      ExecutePlan(pb.Project(*greedy, q.select_list()), q);
   ASSERT_OK(r_greedy);
   EXPECT_EQ(r_lazy->Fingerprint(), r_greedy->Fingerprint());
 }
@@ -355,9 +355,9 @@ TEST(EnumeratorScenario, CoalescingUsedWhenInvariantInapplicable) {
 
   // Both plans agree on results (multiplicity preserved by eager agg).
   PlanBuilder pb(q);
-  auto r1 = ExecutePlan(pb.Project(*without, q.select_list()), q, nullptr);
+  auto r1 = ExecutePlan(pb.Project(*without, q.select_list()), q);
   ASSERT_OK(r1);
-  auto r2 = ExecutePlan(pb.Project(*with, q.select_list()), q, nullptr);
+  auto r2 = ExecutePlan(pb.Project(*with, q.select_list()), q);
   ASSERT_OK(r2);
   EXPECT_EQ(r1->Fingerprint(), r2->Fingerprint());
 }
@@ -438,7 +438,7 @@ TEST_F(EnumeratorTest, CompositeLeafGetsLocalFilter) {
     return has_filter(p->left) || has_filter(p->right);
   };
   EXPECT_TRUE(has_filter(*plan));
-  auto result = ExecutePlan(*plan, q_, nullptr);
+  auto result = ExecutePlan(*plan, q_);
   ASSERT_OK(result);
   for (const Row& row : result->rows) {
     EXPECT_GT(row[0].AsDouble(), 50'000.0);

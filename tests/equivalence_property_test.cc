@@ -128,7 +128,7 @@ TEST_P(EquivalenceProperty, AllOptimizerConfigurationsAgree) {
       ASSERT_OK(optimized);
       Status valid = ValidatePlan(optimized->plan, optimized->query);
       ASSERT_TRUE(valid.ok()) << valid.ToString();
-      auto result = ExecutePlan(optimized->plan, optimized->query, nullptr);
+      auto result = ExecutePlan(optimized->plan, optimized->query);
       ASSERT_OK(result);
       if (i == 0) {
         reference = result->Fingerprint();
@@ -171,11 +171,11 @@ TEST_P(ShapeSweep, Example1EquivalentAcrossDataShapes) {
   auto forced = OptimizeQueryWithAggViews(*pulled, TraditionalOptions());
   ASSERT_OK(forced);
 
-  auto rt = ExecutePlan(traditional->plan, traditional->query, nullptr);
+  auto rt = ExecutePlan(traditional->plan, traditional->query);
   ASSERT_OK(rt);
-  auto re = ExecutePlan(extended->plan, extended->query, nullptr);
+  auto re = ExecutePlan(extended->plan, extended->query);
   ASSERT_OK(re);
-  auto rf = ExecutePlan(forced->plan, forced->query, nullptr);
+  auto rf = ExecutePlan(forced->plan, forced->query);
   ASSERT_OK(rf);
   EXPECT_EQ(rt->Fingerprint(), re->Fingerprint());
   EXPECT_EQ(rt->Fingerprint(), rf->Fingerprint());

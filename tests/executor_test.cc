@@ -39,7 +39,7 @@ TEST_F(ExecutorTest, ScanPlanExecutes) {
   PlanBuilder b(q_);
   PlanPtr scan = b.Scan(e_, {}, {eno_, sal_});
   IoAccountant io;
-  auto result = ExecutePlan(scan, q_, &io);
+  auto result = ExecutePlan(scan, q_, ExecContext::Default().WithIo(&io));
   ASSERT_OK(result);
   EXPECT_EQ(result->rows.size(), 500u);
   EXPECT_GT(io.reads(), 0);
@@ -49,7 +49,7 @@ TEST_F(ExecutorTest, FilteredScanMatchesPredicate) {
   PlanBuilder b(q_);
   PlanPtr scan =
       b.Scan(e_, {Cmp(Col(age_), CompareOp::kLt, LitInt(22))}, {eno_, age_});
-  auto result = ExecutePlan(scan, q_, nullptr);
+  auto result = ExecutePlan(scan, q_);
   ASSERT_OK(result);
   for (const Row& row : result->rows) {
     EXPECT_LT(row[1].AsInt(), 22);
@@ -68,7 +68,7 @@ TEST_F(ExecutorTest, JoinAlgorithmsAgree) {
   for (JoinAlgo algo :
        {JoinAlgo::kBlockNestedLoop, JoinAlgo::kHash, JoinAlgo::kSortMerge}) {
     PlanPtr plan = b.Join(algo, emp, dept, join, needed);
-    auto result = ExecutePlan(plan, q_, nullptr);
+    auto result = ExecutePlan(plan, q_);
     ASSERT_OK(result);
     EXPECT_EQ(result->rows.size(), 500u);  // FK join
     if (fp.empty()) {
@@ -87,7 +87,7 @@ TEST_F(ExecutorTest, GroupByPlanComputesAverages) {
   gb.aggregates = {{AggKind::kAvg, {sal_}, avg_out}};
   PlanPtr plan = b.GroupBy(b.Scan(e_, {}, {e_dno_, sal_}), gb,
                            {e_dno_, avg_out});
-  auto result = ExecutePlan(plan, q_, nullptr);
+  auto result = ExecutePlan(plan, q_);
   ASSERT_OK(result);
   EXPECT_EQ(result->rows.size(), 20u);
   for (const Row& row : result->rows) {
@@ -100,7 +100,7 @@ TEST_F(ExecutorTest, MeasuredIoMatchesEstimateForScan) {
   PlanBuilder b(q_);
   PlanPtr scan = b.Scan(e_, {}, {eno_});
   IoAccountant io;
-  ASSERT_OK(ExecutePlan(scan, q_, &io));
+  ASSERT_OK(ExecutePlan(scan, q_, ExecContext::Default().WithIo(&io)));
   EXPECT_DOUBLE_EQ(static_cast<double>(io.total()), scan->cost);
 }
 
@@ -113,7 +113,7 @@ TEST_F(ExecutorTest, MeasuredIoMatchesEstimateForFkHashJoin) {
                         b.Scan(d_, {}, needed), {EqCols(e_dno_, d_dno_)},
                         needed);
   IoAccountant io;
-  ASSERT_OK(ExecutePlan(plan, q_, &io));
+  ASSERT_OK(ExecutePlan(plan, q_, ExecContext::Default().WithIo(&io)));
   EXPECT_NEAR(static_cast<double>(io.total()), plan->cost, 1.0);
 }
 
@@ -178,7 +178,7 @@ TEST_F(ExecutorTest, MissingDataIsAnExecutionError) {
   q.select_list() = {q.range_var(e).columns[0]};
   PlanBuilder b(q);
   PlanPtr scan = b.Scan(e, {}, {q.range_var(e).columns[0]});
-  auto result = ExecutePlan(scan, q, nullptr);
+  auto result = ExecutePlan(scan, q);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
 }

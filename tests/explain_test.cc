@@ -84,7 +84,8 @@ TEST_F(ExplainAnalyzeTest, RootStatsMatchResultCardinality) {
 
   IoAccountant io;
   RuntimeStatsCollector stats;
-  auto result = ExecutePlan(optimized->plan, optimized->query, &io, &stats);
+  auto result = ExecutePlan(optimized->plan, optimized->query,
+                            ExecContext::Default().WithIo(&io).WithStats(&stats));
   ASSERT_OK(result);
   ASSERT_FALSE(stats.empty());
 
@@ -108,7 +109,8 @@ TEST_F(ExplainAnalyzeTest, EveryNodeCarriesEstimateAndActual) {
   ASSERT_OK(optimized);
 
   RuntimeStatsCollector stats;
-  auto result = ExecutePlan(optimized->plan, optimized->query, nullptr, &stats);
+  auto result = ExecutePlan(optimized->plan, optimized->query,
+                            ExecContext::Default().WithStats(&stats));
   ASSERT_OK(result);
 
   int nodes = CountPlanNodes(optimized->plan);
@@ -163,11 +165,12 @@ TEST_F(ExplainAnalyzeTest, UninstrumentedExecutionInstallsNoStats) {
   auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
   ASSERT_OK(optimized);
   // Default ExecutePlan call: no collector, identical results.
-  auto plain = ExecutePlan(optimized->plan, optimized->query, nullptr);
+  auto plain = ExecutePlan(optimized->plan, optimized->query);
   ASSERT_OK(plain);
 
   RuntimeStatsCollector stats;
-  auto traced = ExecutePlan(optimized->plan, optimized->query, nullptr, &stats);
+  auto traced = ExecutePlan(optimized->plan, optimized->query,
+                            ExecContext::Default().WithStats(&stats));
   ASSERT_OK(traced);
   EXPECT_EQ(plain->Fingerprint(), traced->Fingerprint());
 }

@@ -43,7 +43,7 @@ class IntegrationTest : public ::testing::Test {
     EXPECT_TRUE(query.ok()) << query.status().ToString();
     auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
     EXPECT_TRUE(optimized.ok()) << optimized.status().ToString();
-    auto result = ExecutePlan(optimized->plan, optimized->query, nullptr);
+    auto result = ExecutePlan(optimized->plan, optimized->query);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     return std::move(result).value();
   }
@@ -168,7 +168,8 @@ TEST_F(IntegrationTest, MeasuredIoIsPositiveAndFinite) {
   auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
   ASSERT_OK(optimized);
   IoAccountant io;
-  ASSERT_OK(ExecutePlan(optimized->plan, optimized->query, &io));
+  ASSERT_OK(ExecutePlan(optimized->plan, optimized->query,
+                            ExecContext::Default().WithIo(&io)));
   EXPECT_GT(io.total(), 0);
   EXPECT_LT(io.total(), 100);
 }

@@ -67,7 +67,7 @@ TEST_F(NullKeysTest, AllJoinAlgorithmsSkipNullKeysIdentically) {
        {JoinAlgo::kHash, JoinAlgo::kSortMerge, JoinAlgo::kBlockNestedLoop}) {
     PlanPtr join = b.Join(algo, b.Scan(d, {}, needed), b.Scan(e, {}, needed),
                           {EqCols(d_dno, e_dno)}, needed);
-    auto result = ExecutePlan(b.Project(join, q.select_list()), q, nullptr);
+    auto result = ExecutePlan(b.Project(join, q.select_list()), q);
     ASSERT_OK(result);
     // dept 1 x emp {1,2}, dept 2 x emp {3}; NULL keys pair with nothing.
     EXPECT_EQ(result->rows.size(), 3u) << JoinAlgoName(algo);
@@ -104,8 +104,8 @@ TEST_F(NullKeysTest, NestedLoopFallbackAgreesWithIndexedPath) {
           Col(e_dno));
   PlanPtr bnl = b.Join(JoinAlgo::kBlockNestedLoop, b.Scan(d, {}, needed),
                        b.Scan(e, {}, needed), {arith_eq}, needed);
-  auto r1 = ExecutePlan(b.Project(hash, q.select_list()), q, nullptr);
-  auto r2 = ExecutePlan(b.Project(bnl, q.select_list()), q, nullptr);
+  auto r1 = ExecutePlan(b.Project(hash, q.select_list()), q);
+  auto r2 = ExecutePlan(b.Project(bnl, q.select_list()), q);
   ASSERT_OK(r1);
   ASSERT_OK(r2);
   EXPECT_EQ(r1->rows.size(), 3u);
@@ -129,7 +129,7 @@ TEST_F(NullKeysTest, OuterJoinStillPadsNullKeyedLeftRows) {
 
   PlanPtr loj = b.LeftOuterJoin(b.Scan(e, {}, needed), b.Scan(d, {}, needed),
                                 {EqCols(e_dno, d_dno)}, needed);
-  auto result = ExecutePlan(b.Project(loj, q.select_list()), q, nullptr);
+  auto result = ExecutePlan(b.Project(loj, q.select_list()), q);
   ASSERT_OK(result);
   // All 5 employees survive: 3 matched, 2 NULL-dno rows padded.
   ASSERT_EQ(result->rows.size(), 5u);
@@ -178,7 +178,7 @@ TEST_F(NullKeysTest, ScalarAggregateOverEmptyInputYieldsOneRow) {
   PlanPtr plan = b.GroupBy(
       b.Scan(e, {Cmp(Col(sal), CompareOp::kLt, LitInt(0))}, needed), gb,
       needed);
-  auto result = ExecutePlan(b.Project(plan, q.select_list()), q, nullptr);
+  auto result = ExecutePlan(b.Project(plan, q.select_list()), q);
   ASSERT_OK(result);
   ASSERT_EQ(result->rows.size(), 1u);
   const Row& row = result->rows[0];
@@ -197,7 +197,7 @@ TEST_F(NullKeysTest, ScalarAggregateOverEmptyInputEndToEnd) {
   ASSERT_OK(query);
   auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
   ASSERT_OK(optimized);
-  auto result = ExecutePlan(optimized->plan, optimized->query, nullptr);
+  auto result = ExecutePlan(optimized->plan, optimized->query);
   ASSERT_OK(result);
   ASSERT_EQ(result->rows.size(), 1u);
   EXPECT_EQ(result->rows[0][0].AsInt(), 0);
@@ -213,7 +213,7 @@ TEST_F(NullKeysTest, GroupedAggregateOverEmptyInputStaysEmpty) {
   ASSERT_OK(query);
   auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
   ASSERT_OK(optimized);
-  auto result = ExecutePlan(optimized->plan, optimized->query, nullptr);
+  auto result = ExecutePlan(optimized->plan, optimized->query);
   ASSERT_OK(result);
   EXPECT_EQ(result->rows.size(), 0u);
 }

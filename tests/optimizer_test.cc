@@ -42,7 +42,7 @@ TEST_F(OptimizerTest, TraditionalOptimizesExample1) {
   EXPECT_GT(optimized->plan->cost, 0.0);
   // Traditional plans keep the view's group-by above all of the view's
   // joins and below the top join.
-  auto result = ExecutePlan(optimized->plan, optimized->query, nullptr);
+  auto result = ExecutePlan(optimized->plan, optimized->query);
   ASSERT_OK(result);
   EXPECT_GT(result->rows.size(), 0u);
 }

@@ -23,7 +23,7 @@ class OrderByTest : public ::testing::Test {
     EXPECT_TRUE(optimized.ok()) << optimized.status().ToString();
     Status valid = ValidatePlan(optimized->plan, optimized->query);
     EXPECT_TRUE(valid.ok()) << valid.ToString();
-    auto result = ExecutePlan(optimized->plan, optimized->query, nullptr);
+    auto result = ExecutePlan(optimized->plan, optimized->query);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     return std::move(result).value();
   }

@@ -111,7 +111,7 @@ TEST_F(OuterJoinTest, LeftOuterJoinPadsUnmatchedRows) {
   std::set<ColId> needed = {d_dno, e_dno, eno};
   PlanPtr loj = b.LeftOuterJoin(b.Scan(d, {}, needed), b.Scan(e, {}, needed),
                                 {EqCols(d_dno, e_dno)}, needed);
-  auto result = ExecutePlan(b.Project(loj, q.select_list()), q, nullptr);
+  auto result = ExecutePlan(b.Project(loj, q.select_list()), q);
   ASSERT_OK(result);
   // 2 matches for dept 1, 1 for dept 2, 1 padded row for dept 3.
   ASSERT_EQ(result->rows.size(), 4u);
@@ -146,8 +146,8 @@ TEST_F(OuterJoinTest, NestedLoopOuterMatchesHashOuter) {
   auto bnl = std::make_shared<PlanNode>(*bnl_inner);
   bnl->left_outer = true;
 
-  auto r1 = ExecutePlan(b.Project(hash, q.select_list()), q, nullptr);
-  auto r2 = ExecutePlan(b.Project(bnl, q.select_list()), q, nullptr);
+  auto r1 = ExecutePlan(b.Project(hash, q.select_list()), q);
+  auto r2 = ExecutePlan(b.Project(bnl, q.select_list()), q);
   ASSERT_OK(r1);
   ASSERT_OK(r2);
   EXPECT_EQ(r1->Fingerprint(), r2->Fingerprint());
@@ -169,7 +169,7 @@ TEST_F(OuterJoinTest, SortMergeOuterIsDemotedToHash) {
                        b.Scan(e, {}, needed), {EqCols(d_dno, e_dno)}, needed);
   auto outer = std::make_shared<PlanNode>(*smj);
   outer->left_outer = true;
-  auto result = ExecutePlan(b.Project(outer, q.select_list()), q, nullptr);
+  auto result = ExecutePlan(b.Project(outer, q.select_list()), q);
   ASSERT_OK(result);
   EXPECT_EQ(result->rows.size(), 4u);  // 3 matches + 1 padded dept
 }
@@ -202,7 +202,7 @@ TEST_F(OuterJoinTest, CountBugFlattening) {
       b.Join(JoinAlgo::kHash, b.Scan(d, {}, needed), view,
              {EqCols(d_dno, e_dno)}, needed),
       {Cmp(Col(cnt), CompareOp::kLt, LitInt(2))});
-  auto wrong_result = ExecutePlan(b.Project(wrong, q.select_list()), q, nullptr);
+  auto wrong_result = ExecutePlan(b.Project(wrong, q.select_list()), q);
   ASSERT_OK(wrong_result);
   EXPECT_EQ(wrong_result->rows.size(), 1u);  // only dept 2 — dept 3 lost!
 
@@ -211,7 +211,7 @@ TEST_F(OuterJoinTest, CountBugFlattening) {
       b.LeftOuterJoin(b.Scan(d, {}, needed), view, {EqCols(d_dno, e_dno)},
                       needed),
       {Cmp(Coalesce(Col(cnt), LitInt(0)), CompareOp::kLt, LitInt(2))});
-  auto result = ExecutePlan(b.Project(right, q.select_list()), q, nullptr);
+  auto result = ExecutePlan(b.Project(right, q.select_list()), q);
   ASSERT_OK(result);
   std::set<int64_t> dnos;
   for (const Row& row : result->rows) dnos.insert(row[0].AsInt());
@@ -236,7 +236,7 @@ TEST_F(OuterJoinTest, GroupByTreatsNullsAsOneGroup) {
   gb.grouping = {e_dno};
   gb.aggregates = {{AggKind::kCountStar, {}, cnt}};
   PlanPtr plan = b.GroupBy(loj, gb, needed);
-  auto result = ExecutePlan(b.Project(plan, q.select_list()), q, nullptr);
+  auto result = ExecutePlan(b.Project(plan, q.select_list()), q);
   ASSERT_OK(result);
   // Groups: dno 1 (2 rows), dno 2 (1 row), NULL (1 padded row).
   ASSERT_EQ(result->rows.size(), 3u);

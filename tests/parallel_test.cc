@@ -280,23 +280,26 @@ TEST(SessionApi, ErrorsAndTraditionalToggle) {
   EXPECT_EQ(re->Fingerprint(), rt->Fingerprint());
 }
 
-/// The ExecContext fluent surface and the deprecated positional overload
-/// drive the executor identically.
-TEST(ExecContextApi, DeprecatedOverloadMatchesContextForm) {
+/// An explicitly-spelled default ExecContext and ExecContext::Default()
+/// drive the executor identically (modulo the environment overrides, which
+/// only change throughput, never results).
+TEST(ExecContextApi, ExplicitContextMatchesDefaultForm) {
   EmpDeptFixture f = MakeEmpDept();
   auto query = ParseAndBind(*f.catalog, Example1Sql());
   ASSERT_OK(query);
   auto optimized = OptimizeQueryWithAggViews(*query, OptimizerOptions{});
   ASSERT_OK(optimized);
 
-  IoAccountant io_new, io_old;
-  auto via_context = ExecutePlan(optimized->plan, optimized->query,
-                                 ExecContext{}.WithIo(&io_new));
-  ASSERT_OK(via_context);
-  auto via_legacy = ExecutePlan(optimized->plan, optimized->query, &io_old);
-  ASSERT_OK(via_legacy);
-  EXPECT_EQ(via_context->Fingerprint(), via_legacy->Fingerprint());
-  EXPECT_EQ(io_new.total(), io_old.total());
+  IoAccountant io_explicit, io_default;
+  auto via_explicit = ExecutePlan(optimized->plan, optimized->query,
+                                  ExecContext{}.WithIo(&io_explicit));
+  ASSERT_OK(via_explicit);
+  auto via_default =
+      ExecutePlan(optimized->plan, optimized->query,
+                  ExecContext::Default().WithIo(&io_default));
+  ASSERT_OK(via_default);
+  EXPECT_EQ(via_explicit->Fingerprint(), via_default->Fingerprint());
+  EXPECT_EQ(io_explicit.total(), io_default.total());
 
   // Defaults clamp: zero/negative knobs fall back to sane values.
   ExecContext ctx;

@@ -20,7 +20,7 @@ class PropagateTest : public ::testing::Test {
   std::string Execute(const Query& q) {
     auto optimized = OptimizeTraditional(q);
     EXPECT_TRUE(optimized.ok()) << optimized.status().ToString();
-    auto result = ExecutePlan(optimized->plan, optimized->query, nullptr);
+    auto result = ExecutePlan(optimized->plan, optimized->query);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     return result->Fingerprint();
   }
@@ -149,9 +149,9 @@ select v.cnt from v where v.dno < 5)sql",
     ASSERT_OK(with);
     EXPECT_LE(with->plan->cost, without->plan->cost) << sql;
 
-    auto r1 = ExecutePlan(without->plan, without->query, nullptr);
+    auto r1 = ExecutePlan(without->plan, without->query);
     ASSERT_OK(r1);
-    auto r2 = ExecutePlan(with->plan, with->query, nullptr);
+    auto r2 = ExecutePlan(with->plan, with->query);
     ASSERT_OK(r2);
     EXPECT_EQ(r1->Fingerprint(), r2->Fingerprint());
   }

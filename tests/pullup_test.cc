@@ -23,7 +23,7 @@ class PullupTest : public ::testing::Test {
   std::string Execute(const Query& q) {
     auto optimized = OptimizeTraditional(q);
     EXPECT_TRUE(optimized.ok()) << optimized.status().ToString();
-    auto result = ExecutePlan(optimized->plan, optimized->query, nullptr);
+    auto result = ExecutePlan(optimized->plan, optimized->query);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     return result->Fingerprint();
   }

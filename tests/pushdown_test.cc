@@ -178,9 +178,9 @@ TEST_F(PushdownTest, ShrinkViewPreservesResults) {
   auto plan_shrunk = OptimizeTraditional(*shrunk);
   ASSERT_OK(plan_shrunk);
 
-  auto r1 = ExecutePlan(plan_orig->plan, plan_orig->query, nullptr);
+  auto r1 = ExecutePlan(plan_orig->plan, plan_orig->query);
   ASSERT_OK(r1);
-  auto r2 = ExecutePlan(plan_shrunk->plan, plan_shrunk->query, nullptr);
+  auto r2 = ExecutePlan(plan_shrunk->plan, plan_shrunk->query);
   ASSERT_OK(r2);
   EXPECT_EQ(r1->Fingerprint(), r2->Fingerprint());
   EXPECT_GT(r1->rows.size(), 0u);
@@ -212,8 +212,8 @@ select c.dno, c.asal from c
   ASSERT_OK(plan_orig);
   auto plan_shrunk = OptimizeTraditional(*shrunk);
   ASSERT_OK(plan_shrunk);
-  auto r1 = ExecutePlan(plan_orig->plan, plan_orig->query, nullptr);
-  auto r2 = ExecutePlan(plan_shrunk->plan, plan_shrunk->query, nullptr);
+  auto r1 = ExecutePlan(plan_orig->plan, plan_orig->query);
+  auto r2 = ExecutePlan(plan_shrunk->plan, plan_shrunk->query);
   ASSERT_OK(r1);
   ASSERT_OK(r2);
   EXPECT_EQ(r1->Fingerprint(), r2->Fingerprint());

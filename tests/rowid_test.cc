@@ -96,14 +96,14 @@ where p1.dno = v.dno and p1.amount > 0.25 * v.total
 
   auto traditional = OptimizeTraditional(*q);
   ASSERT_OK(traditional);
-  auto rt = ExecutePlan(traditional->plan, traditional->query, nullptr);
+  auto rt = ExecutePlan(traditional->plan, traditional->query);
   ASSERT_OK(rt);
 
   auto pulled = PullUpIntoView(*q, 0, {q->base_rels()[0]});
   ASSERT_OK(pulled);
   auto forced = OptimizeQueryWithAggViews(*pulled, TraditionalOptions());
   ASSERT_OK(forced);
-  auto rp = ExecutePlan(forced->plan, forced->query, nullptr);
+  auto rp = ExecutePlan(forced->plan, forced->query);
   ASSERT_OK(rp);
 
   // dno 1: total 250, threshold 62.5 -> rows 100, 100 (both duplicates!).
@@ -121,7 +121,7 @@ TEST_F(RowidTest, ScanMaterializesDistinctRowids) {
   q.select_list() = {rowid, amount};
   PlanBuilder b(q);
   PlanPtr scan = b.Scan(p, {}, {rowid, amount});
-  auto result = ExecutePlan(scan, q, nullptr);
+  auto result = ExecutePlan(scan, q);
   ASSERT_OK(result);
   ASSERT_EQ(result->rows.size(), 5u);
   int idx = result->layout.IndexOf(rowid);

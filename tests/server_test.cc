@@ -1,0 +1,355 @@
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "test_util.h"
+
+namespace aggview {
+namespace {
+
+/// Schema + generated data for the paper's emp/dept running example,
+/// installed into the server's own catalog.
+void PopulateEmpDept(Server* server) {
+  auto tables = CreateEmpDeptSchema(&server->catalog());
+  ASSERT_OK(tables.status());
+  ASSERT_OK(GenerateEmpDeptData(&server->catalog(), *tables, EmpDeptOptions{}));
+}
+
+TEST(NormalizeSqlTest, CollapsesCaseAndWhitespace) {
+  EXPECT_EQ(NormalizeSql("SELECT  e.sal\nFROM emp e ;"),
+            "select e.sal from emp e");
+  EXPECT_EQ(NormalizeSql("select e.sal from emp e"),
+            NormalizeSql("  SELECT\te.sal\n FROM emp e;  "));
+}
+
+TEST(NormalizeSqlTest, PreservesStringLiterals) {
+  // Case inside a quoted literal is significant; outside it is not.
+  EXPECT_EQ(NormalizeSql("SELECT 'Sales'"), "select 'Sales'");
+  EXPECT_NE(NormalizeSql("select 'Sales'"), NormalizeSql("select 'sales'"));
+  // Whitespace inside a literal survives the collapse.
+  EXPECT_EQ(NormalizeSql("select 'a  b'"), "select 'a  b'");
+}
+
+TEST(ServerTest, CacheHitSkipsOptimizationAndCountersTrack) {
+  Server server;
+  PopulateEmpDept(&server);
+  ServerSession conn = server.Connect();
+
+  auto q1 = conn.Sql(Example2Sql());
+  ASSERT_OK(q1.status());
+  EXPECT_FALSE(q1->cache_hit());
+
+  auto q2 = conn.Sql(Example2Sql());
+  ASSERT_OK(q2.status());
+  EXPECT_TRUE(q2->cache_hit());
+
+  // A textual re-spelling (case + whitespace) of the same statement hits too.
+  std::string respelled =
+      "SELECT   e.dno,\tAVG(e.sal)\nFROM emp e, dept d\n"
+      "WHERE e.dno = d.dno AND d.budget < 1000000\nGROUP BY e.dno;";
+  auto q3 = conn.Sql(respelled);
+  ASSERT_OK(q3.status());
+  EXPECT_TRUE(q3->cache_hit());
+
+  PlanCacheStats stats = server.cache_stats();
+  EXPECT_EQ(stats.hits, 2);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.size, 1);
+
+  // The shared cached plan produces the same answer as the fresh one.
+  auto r1 = q1->Execute();
+  ASSERT_OK(r1.status());
+  auto r2 = q2->Execute();
+  ASSERT_OK(r2.status());
+  EXPECT_EQ(r1->Fingerprint(), r2->Fingerprint());
+}
+
+TEST(ServerTest, CacheCapacityZeroDisablesCaching) {
+  ServerOptions options;
+  options.plan_cache_capacity = 0;
+  Server server(options);
+  PopulateEmpDept(&server);
+  ServerSession conn = server.Connect();
+
+  ASSERT_OK(conn.Sql(Example2Sql()));
+  auto again = conn.Sql(Example2Sql());
+  ASSERT_OK(again.status());
+  EXPECT_FALSE(again->cache_hit());
+  EXPECT_EQ(server.cache_stats().size, 0);
+}
+
+TEST(ServerTest, LruEvictionDropsColdestPlan) {
+  ServerOptions options;
+  options.plan_cache_capacity = 2;
+  Server server(options);
+  PopulateEmpDept(&server);
+  ServerSession conn = server.Connect();
+
+  const std::string qa = "select e.sal from emp e";
+  const std::string qb = "select e.age from emp e";
+  const std::string qc = "select d.budget from dept d";
+
+  ASSERT_OK(conn.Sql(qa));
+  ASSERT_OK(conn.Sql(qb));
+  // Touch qa so qb becomes the LRU victim.
+  auto hit = conn.Sql(qa);
+  ASSERT_OK(hit.status());
+  EXPECT_TRUE(hit->cache_hit());
+  // Third distinct plan evicts qb.
+  ASSERT_OK(conn.Sql(qc));
+
+  PlanCacheStats stats = server.cache_stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.size, 2);
+
+  auto qa_again = conn.Sql(qa);
+  ASSERT_OK(qa_again.status());
+  EXPECT_TRUE(qa_again->cache_hit());
+  auto qb_again = conn.Sql(qb);
+  ASSERT_OK(qb_again.status());
+  EXPECT_FALSE(qb_again->cache_hit());
+}
+
+TEST(ServerTest, StatsEpochBumpInvalidatesCachedPlans) {
+  Server server;
+  PopulateEmpDept(&server);
+  ServerSession conn = server.Connect();
+
+  auto before = conn.Sql(Example2Sql());
+  ASSERT_OK(before.status());
+  auto cached = conn.Sql(Example2Sql());
+  ASSERT_OK(cached.status());
+  ASSERT_TRUE(cached->cache_hit());
+  auto baseline = cached->Execute();
+  ASSERT_OK(baseline.status());
+
+  const int64_t epoch_before = server.stats_epoch();
+  server.catalog().BumpStatsEpoch();
+  EXPECT_GT(server.stats_epoch(), epoch_before);
+
+  // The cached plan was optimized under the old epoch: it must be re-prepared.
+  auto fresh = conn.Sql(Example2Sql());
+  ASSERT_OK(fresh.status());
+  EXPECT_FALSE(fresh->cache_hit());
+  EXPECT_EQ(server.cache_stats().invalidations, 1);
+
+  // Re-optimizing against unchanged data still gives the same answer.
+  auto result = fresh->Execute();
+  ASSERT_OK(result.status());
+  EXPECT_EQ(result->Fingerprint(), baseline->Fingerprint());
+
+  // And the re-prepared plan is cached under the new epoch.
+  auto recached = conn.Sql(Example2Sql());
+  ASSERT_OK(recached.status());
+  EXPECT_TRUE(recached->cache_hit());
+}
+
+TEST(ServerTest, MutableTableAccessBumpsEpoch) {
+  Server server;
+  PopulateEmpDept(&server);
+  ServerSession conn = server.Connect();
+  ASSERT_OK(conn.Sql(Example2Sql()));
+
+  // Any mutable catalog touch is conservatively treated as a data change.
+  ASSERT_GT(server.catalog().num_tables(), 0);
+  const int64_t before = server.stats_epoch();
+  server.catalog().mutable_table(0);
+  EXPECT_GT(server.stats_epoch(), before);
+
+  auto q = conn.Sql(Example2Sql());
+  ASSERT_OK(q.status());
+  EXPECT_FALSE(q->cache_hit());
+}
+
+TEST(ServerTest, ConcurrentClientsMatchSerialExecution) {
+  ServerOptions options;
+  options.threads = 2;
+  Server server(options);
+  PopulateEmpDept(&server);
+
+  const std::vector<std::string> mix = {
+      Example1Sql(), Example2Sql(), "select e.sal from emp e",
+      "select d.budget from dept d"};
+
+  // Serial baseline: one session runs the mix once.
+  std::vector<std::string> serial;
+  {
+    ServerSession conn = server.Connect();
+    for (const std::string& sql : mix) {
+      auto q = conn.Sql(sql);
+      ASSERT_OK(q.status());
+      auto r = q->Execute();
+      ASSERT_OK(r.status());
+      serial.push_back(r->Fingerprint());
+    }
+  }
+
+  constexpr int kClients = 4;
+  constexpr int kReps = 3;
+  std::vector<std::vector<std::string>> fingerprints(kClients);
+  std::vector<std::string> errors(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ServerSession conn = server.Connect();
+      for (int rep = 0; rep < kReps; ++rep) {
+        for (const std::string& sql : mix) {
+          auto q = conn.Sql(sql);
+          if (!q.ok()) {
+            errors[c] = q.status().ToString();
+            return;
+          }
+          auto r = q->Execute();
+          if (!r.ok()) {
+            errors[c] = r.status().ToString();
+            return;
+          }
+          fingerprints[c].push_back(r->Fingerprint());
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_TRUE(errors[c].empty()) << "client " << c << ": " << errors[c];
+    ASSERT_EQ(fingerprints[c].size(), static_cast<size_t>(kReps * mix.size()));
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (size_t i = 0; i < mix.size(); ++i) {
+        EXPECT_EQ(fingerprints[c][rep * mix.size() + i], serial[i])
+            << "client " << c << " rep " << rep << " query " << i
+            << " diverged from serial execution";
+      }
+    }
+  }
+
+  // Every statement after the first appearance of its text was a cache hit.
+  PlanCacheStats stats = server.cache_stats();
+  EXPECT_EQ(stats.misses, static_cast<int64_t>(mix.size()));
+  EXPECT_EQ(stats.hits,
+            static_cast<int64_t>(mix.size() * (1 + kClients * kReps) -
+                                 mix.size()));
+}
+
+TEST(ServerTest, AdmissionControlLimitsConcurrencyFifo) {
+  ServerOptions options;
+  options.max_concurrent_queries = 1;
+  Server server(options);
+  PopulateEmpDept(&server);
+
+  constexpr int kClients = 4;
+  std::vector<std::string> errors(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ServerSession conn = server.Connect();
+      auto q = conn.Sql(Example2Sql());
+      if (!q.ok()) {
+        errors[c] = q.status().ToString();
+        return;
+      }
+      for (int rep = 0; rep < 3; ++rep) {
+        auto r = q->Execute();
+        if (!r.ok()) {
+          errors[c] = r.status().ToString();
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_TRUE(errors[c].empty()) << "client " << c << ": " << errors[c];
+  }
+
+  EXPECT_EQ(server.admission_peak_running(), 1);
+  EXPECT_EQ(server.admission_total(), kClients * 3);
+}
+
+TEST(ServerTest, QueryOutlivingServerFailsCleanly) {
+  auto server = std::make_unique<Server>();
+  PopulateEmpDept(server.get());
+  ServerSession conn = server->Connect();
+  auto q = conn.Sql(Example2Sql());
+  ASSERT_OK(q.status());
+
+  server.reset();
+
+  auto result = q->Execute();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("destroyed"), std::string::npos)
+      << result.status().ToString();
+  auto analyzed = q->ExplainAnalyze();
+  ASSERT_FALSE(analyzed.ok());
+
+  auto prepared = conn.Sql(Example2Sql());
+  ASSERT_FALSE(prepared.ok());
+  EXPECT_NE(prepared.status().ToString().find("destroyed"), std::string::npos)
+      << prepared.status().ToString();
+}
+
+TEST(ServerTest, MovedFromQueryFailsCleanly) {
+  Server server;
+  PopulateEmpDept(&server);
+  ServerSession conn = server.Connect();
+  auto q = conn.Sql(Example2Sql());
+  ASSERT_OK(q.status());
+
+  ServerQuery moved = std::move(*q);
+  auto result = q->Execute();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("moved-from"), std::string::npos)
+      << result.status().ToString();
+  ASSERT_OK(moved.Execute());
+}
+
+TEST(SessionLifetimeTest, PreparedQueryOutlivingSessionFailsCleanly) {
+  auto session = std::make_unique<Session>();
+  {
+    auto tables = CreateEmpDeptSchema(&session->catalog());
+    ASSERT_OK(tables.status());
+    ASSERT_OK(GenerateEmpDeptData(&session->catalog(), *tables,
+                                  EmpDeptOptions{}));
+  }
+  auto q = session->Sql(Example2Sql());
+  ASSERT_OK(q.status());
+  ASSERT_OK(q->Execute());
+
+  session.reset();
+
+  auto result = q->Execute();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("destroyed"), std::string::npos)
+      << result.status().ToString();
+  auto analyzed = q->ExplainAnalyze();
+  ASSERT_FALSE(analyzed.ok());
+}
+
+TEST(SessionLifetimeTest, MovedFromPreparedQueryFailsCleanly) {
+  Session session;
+  {
+    auto tables = CreateEmpDeptSchema(&session.catalog());
+    ASSERT_OK(tables.status());
+    ASSERT_OK(
+        GenerateEmpDeptData(&session.catalog(), *tables, EmpDeptOptions{}));
+  }
+  auto q = session.Sql(Example2Sql());
+  ASSERT_OK(q.status());
+
+  PreparedQuery moved = std::move(*q);
+  auto result = q->Execute();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("moved-from"), std::string::npos)
+      << result.status().ToString();
+  ASSERT_OK(moved.Execute());
+}
+
+}  // namespace
+}  // namespace aggview

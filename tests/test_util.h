@@ -109,9 +109,11 @@ inline void CheckOptimizersAgree(const Catalog& catalog,
       << "no-worse guarantee violated";
 
   IoAccountant io_t, io_e;
-  auto result_t = ExecutePlan(traditional->plan, traditional->query, &io_t);
+  auto result_t = ExecutePlan(traditional->plan, traditional->query,
+                              ExecContext::Default().WithIo(&io_t));
   ASSERT_TRUE(result_t.ok()) << result_t.status().ToString();
-  auto result_e = ExecutePlan(extended->plan, extended->query, &io_e);
+  auto result_e = ExecutePlan(extended->plan, extended->query,
+                              ExecContext::Default().WithIo(&io_e));
   ASSERT_TRUE(result_e.ok()) << result_e.status().ToString();
 
   EXPECT_EQ(result_t->Fingerprint(), result_e->Fingerprint())

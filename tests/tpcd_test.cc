@@ -87,7 +87,7 @@ TEST_F(TpcdTest, Q15StyleReturnsSuppliers) {
   ASSERT_OK(q);
   auto optimized = OptimizeQueryWithAggViews(*q, OptimizerOptions{});
   ASSERT_OK(optimized);
-  auto result = ExecutePlan(optimized->plan, optimized->query, nullptr);
+  auto result = ExecutePlan(optimized->plan, optimized->query);
   ASSERT_OK(result);
   EXPECT_GT(result->rows.size(), 0u);
   // Every returned revenue exceeds the threshold.
@@ -101,7 +101,7 @@ TEST_F(TpcdTest, Q2StyleFindsMinimumCostSuppliers) {
   ASSERT_OK(q);
   auto optimized = OptimizeQueryWithAggViews(*q, OptimizerOptions{});
   ASSERT_OK(optimized);
-  auto result = ExecutePlan(optimized->plan, optimized->query, nullptr);
+  auto result = ExecutePlan(optimized->plan, optimized->query);
   ASSERT_OK(result);
   // p_size = 15 selects ~1/50 of parts; each has >= 1 min-cost supplier.
   EXPECT_GT(result->rows.size(), 0u);
