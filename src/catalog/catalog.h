@@ -73,7 +73,10 @@ class Catalog {
   /// Mutable access to a table definition (schema evolution, stats refresh,
   /// data (re)load). Any mutable access is presumed to mutate and bumps the
   /// stats epoch, so plans cached against the old catalog state are
-  /// invalidated conservatively.
+  /// invalidated conservatively — every call costs the serving layer its
+  /// entire plan cache. Read-only callers (the whole serve path: binder,
+  /// optimizer, executor) must use the const table() overload instead;
+  /// steady-state serving never bumps the epoch (asserted in server_test).
   TableDef& mutable_table(TableId id) {
     BumpStatsEpoch();
     return *tables_[static_cast<size_t>(id)];

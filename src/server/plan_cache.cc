@@ -20,10 +20,19 @@ std::string NormalizeSql(const std::string& sql) {
   out.reserve(sql.size());
   bool in_literal = false;
   bool pending_space = false;
-  for (char c : sql) {
+  const size_t n = sql.size();
+  for (size_t i = 0; i < n; ++i) {
+    char c = sql[i];
     if (in_literal) {
       out.push_back(c);
       if (c == '\'') in_literal = false;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      // '--' line comment, mirroring the lexer: drop it but leave the
+      // terminating newline for the whitespace collapse below, so the key
+      // still separates the tokens the comment sat between.
+      while (i + 1 < n && sql[i + 1] != '\n') ++i;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {

@@ -36,10 +36,12 @@ struct PlanCacheStats {
 };
 
 /// Normalizes SQL text for plan-cache keying: lower-cases everything outside
-/// single-quoted string literals, collapses whitespace runs (spaces, tabs,
-/// newlines) to one space, trims the ends, and drops a trailing semicolon —
-/// so textual re-spellings of the same statement share one cache entry.
-/// String literals are preserved byte-for-byte (SQL string comparison is
+/// single-quoted string literals, strips '--' to end-of-line comments
+/// (exactly the text the lexer discards), collapses whitespace runs (spaces,
+/// tabs, newlines) to one space, trims the ends, and drops a trailing
+/// semicolon — so textual re-spellings of the same statement share one cache
+/// entry while statements that tokenize differently never do. String
+/// literals are preserved byte-for-byte (SQL string comparison is
 /// case-sensitive; 'Sales' and 'sales' are different constants).
 std::string NormalizeSql(const std::string& sql);
 

@@ -56,18 +56,14 @@ ServerOptions ServerOptions::Default() {
 }
 
 void AdmissionController::Enter() {
-  if (limit_ <= 0) {
-    MutexLock lock(&mu_);
-    ++next_ticket_;
-    ++running_;
-    if (running_ > peak_running_) peak_running_ = running_;
-    return;
-  }
   MutexLock lock(&mu_);
   int64_t ticket = next_ticket_++;
-  // FIFO: ticket k runs once fewer than `limit_` of the tickets before it
-  // are still in flight — i.e. strictly in arrival order.
-  while (ticket >= finished_ + limit_) cv_.wait(lock);
+  if (limit_ > 0) {
+    // FIFO: ticket k runs once fewer than `limit_` of the tickets before it
+    // are still in flight — i.e. strictly in arrival order.
+    while (ticket >= finished_ + limit_) cv_.wait(lock);
+  }
+  ++admitted_;
   ++running_;
   if (running_ > peak_running_) peak_running_ = running_;
 }
@@ -88,7 +84,7 @@ int AdmissionController::peak_running() const {
 
 int64_t AdmissionController::total_admitted() const {
   MutexLock lock(&mu_);
-  return next_ticket_;
+  return admitted_;
 }
 
 Server::Server(ServerOptions options)

@@ -67,7 +67,8 @@ class AdmissionController {
   /// Largest number of concurrent holders observed (== limit under load;
   /// asserted by the admission tests).
   int peak_running() const;
-  /// Total number of admissions granted so far.
+  /// Total number of admissions actually granted so far (Enter() calls that
+  /// have returned; callers still blocked waiting are not counted).
   int64_t total_admitted() const;
 
  private:
@@ -78,6 +79,9 @@ class AdmissionController {
   /// soon as `ticket < finished_ + limit_` (a FIFO counting semaphore).
   int64_t next_ticket_ AGGVIEW_GUARDED_BY(mu_) = 0;
   int64_t finished_ AGGVIEW_GUARDED_BY(mu_) = 0;
+  /// Enter() calls past the wait loop, i.e. admissions granted — distinct
+  /// from next_ticket_, which also counts callers still blocked.
+  int64_t admitted_ AGGVIEW_GUARDED_BY(mu_) = 0;
   int running_ AGGVIEW_GUARDED_BY(mu_) = 0;
   int peak_running_ AGGVIEW_GUARDED_BY(mu_) = 0;
 };
@@ -90,11 +94,27 @@ class AdmissionController {
 ///
 /// Like PreparedQuery, lifetime is guarded explicitly: executing a query
 /// whose Server has been destroyed, or a moved-from query, returns a clear
-/// error Status instead of dereferencing a dangling pointer.
+/// error Status instead of dereferencing a dangling pointer. A move
+/// transfers the right to execute but leaves the source with shared read
+/// access to the immutable plan, so the introspection accessors — Explain(),
+/// plan(), query(), description() — stay valid on a moved-from query too.
 class ServerQuery {
  public:
-  ServerQuery(ServerQuery&&) = default;
-  ServerQuery& operator=(ServerQuery&&) = default;
+  ServerQuery(ServerQuery&& other) noexcept
+      : server_(std::move(other.server_)),
+        // Copied, not moved: the plan is immutable and shared; keeping it
+        // makes every accessor on the moved-from query safe, while the
+        // nulled server_ token still refuses Execute/ExplainAnalyze.
+        optimized_(other.optimized_),
+        cache_hit_(other.cache_hit_),
+        last_io_pages_(other.last_io_pages_) {}
+  ServerQuery& operator=(ServerQuery&& other) noexcept {
+    server_ = std::move(other.server_);
+    optimized_ = other.optimized_;
+    cache_hit_ = other.cache_hit_;
+    last_io_pages_ = other.last_io_pages_;
+    return *this;
+  }
 
   /// Runs the plan on the server's shared pool, gated by the server's
   /// admission controller, and materializes the result.

@@ -27,6 +27,25 @@ TEST(NormalizeSqlTest, CollapsesCaseAndWhitespace) {
             NormalizeSql("  SELECT\te.sal\n FROM emp e;  "));
 }
 
+TEST(NormalizeSqlTest, StripsLineComments) {
+  // A comment is dropped exactly as the lexer drops it; the terminating
+  // newline still separates the surrounding tokens.
+  EXPECT_EQ(NormalizeSql("SELECT e.sal -- note\nFROM emp e"),
+            "select e.sal from emp e");
+  // A newline after a comment changes which text is commented out — these
+  // parse to different predicates and must not share a cache key.
+  EXPECT_NE(NormalizeSql("select e.sal from emp e where a > 1 --x\nand b > 0"),
+            NormalizeSql("select e.sal from emp e where a > 1 --x and b > 0"));
+  // The fully-commented spelling keys like the text the lexer actually sees.
+  EXPECT_EQ(NormalizeSql("select e.sal from emp e --tail comment"),
+            "select e.sal from emp e");
+  EXPECT_EQ(NormalizeSql("--leading comment\nselect e.sal from emp e"),
+            "select e.sal from emp e");
+  // '--' inside a string literal is data, not a comment.
+  EXPECT_EQ(NormalizeSql("select '--not a comment'"),
+            "select '--not a comment'");
+}
+
 TEST(NormalizeSqlTest, PreservesStringLiterals) {
   // Case inside a quoted literal is significant; outside it is not.
   EXPECT_EQ(NormalizeSql("SELECT 'Sales'"), "select 'Sales'");
@@ -308,6 +327,37 @@ TEST(ServerTest, MovedFromQueryFailsCleanly) {
   EXPECT_NE(result.status().ToString().find("moved-from"), std::string::npos)
       << result.status().ToString();
   ASSERT_OK(moved.Execute());
+
+  // Introspection stays valid on the moved-from query: the move transfers
+  // the right to execute but shares the immutable plan.
+  EXPECT_EQ(q->Explain(), moved.Explain());
+  EXPECT_FALSE(q->Explain().empty());
+  EXPECT_EQ(q->description(), moved.description());
+  EXPECT_NE(q->plan(), nullptr);
+}
+
+TEST(ServerTest, SteadyStateServingDoesNotBumpEpoch) {
+  Server server;
+  PopulateEmpDept(&server);
+  ServerSession conn = server.Connect();
+  auto warm = conn.Sql(Example2Sql());
+  ASSERT_OK(warm.status());
+  ASSERT_OK(warm->Execute());
+
+  // Serving (prepare + execute, hits and misses alike) is read-only on the
+  // catalog: the epoch must not move, or the cache would degrade to 0% hits.
+  const int64_t epoch = server.stats_epoch();
+  for (int i = 0; i < 3; ++i) {
+    auto q = conn.Sql(Example2Sql());
+    ASSERT_OK(q.status());
+    EXPECT_TRUE(q->cache_hit());
+    ASSERT_OK(q->Execute());
+  }
+  auto miss = conn.Sql("select e.age from emp e");
+  ASSERT_OK(miss.status());
+  EXPECT_FALSE(miss->cache_hit());
+  ASSERT_OK(miss->Execute());
+  EXPECT_EQ(server.stats_epoch(), epoch);
 }
 
 TEST(SessionLifetimeTest, PreparedQueryOutlivingSessionFailsCleanly) {
