@@ -19,6 +19,11 @@
 /// The layers underneath remain directly usable: ParseAndBind (sql/binder.h),
 /// OptimizeQueryWithAggViews (optimizer/aggview_optimizer.h), and
 /// ExecutePlan(plan, query, ExecContext) (exec/executor.h).
+///
+/// Exhaustive verification — the small-scope prover (verify/prover.h):
+/// ProveSqlTransformation enumerates every database within a bound and
+/// asserts the traditional and transformed plans agree byte-for-byte,
+/// shrinking any mismatch to a minimal counterexample.
 
 #include "algebra/query.h"
 #include "analysis/analyzer.h"
@@ -49,5 +54,9 @@
 #include "transform/propagate.h"
 #include "transform/pullup.h"
 #include "transform/pushdown.h"
+#include "verify/enumerate.h"
+#include "verify/prover.h"
+#include "verify/shrink.h"
+#include "verify/skeleton.h"
 
 #endif  // AGGVIEW_AGGVIEW_H_

@@ -509,8 +509,11 @@ Status VerifyCoalescingCertificate(const Query& query,
         const AggregateCall* pcount = take_partial();
         if (psum == nullptr || pcount == nullptr ||
             psum->kind != AggKind::kSum || psum->args != orig.args ||
-            pcount->kind != AggKind::kCountStar) {
-          return fail("AVG needs partial SUM and COUNT(*)");
+            pcount->kind != AggKind::kCount || pcount->args != orig.args) {
+          // COUNT of the argument, not COUNT(*): AVG divides by the number
+          // of non-NULL values, and COUNT(*) inflates the denominator when
+          // a group contains NULL arguments.
+          return fail("AVG needs partial SUM and COUNT of the argument");
         }
         if (fin.kind != AggKind::kAvgFinal ||
             fin.args != std::vector<ColId>{psum->output, pcount->output}) {

@@ -1,0 +1,76 @@
+#include "analysis/certificate.h"
+
+namespace aggview {
+
+namespace {
+
+void InsertAll(const std::vector<ColId>& cols, std::set<ColId>* out) {
+  out->insert(cols.begin(), cols.end());
+}
+
+void InsertPredicates(const std::vector<Predicate>& preds,
+                      std::set<ColId>* out) {
+  for (const Predicate& p : preds) {
+    std::set<ColId> cols = p.Columns();
+    out->insert(cols.begin(), cols.end());
+  }
+}
+
+void InsertGroupBy(const GroupBySpec& spec, std::set<ColId>* out) {
+  InsertAll(spec.grouping, out);
+  for (const AggregateCall& agg : spec.aggregates) {
+    InsertAll(agg.args, out);
+    if (agg.output != kInvalidColId) out->insert(agg.output);
+  }
+  InsertPredicates(spec.having, out);
+}
+
+}  // namespace
+
+std::set<ColId> PullUpCertificate::ReferencedColumns() const {
+  std::set<ColId> out;
+  InsertPredicates(block_predicates, &out);
+  InsertAll(grouping_before, &out);
+  InsertAll(grouping_after, &out);
+  for (const RelClaim& claim : rels) InsertAll(claim.key_added, &out);
+  return out;
+}
+
+std::set<ColId> InvariantCertificate::ReferencedColumns() const {
+  std::set<ColId> out;
+  InsertGroupBy(group_by, &out);
+  InsertPredicates(predicates, &out);
+  return out;
+}
+
+std::set<ColId> CoalescingCertificate::ReferencedColumns() const {
+  std::set<ColId> out;
+  InsertGroupBy(original, &out);
+  InsertGroupBy(partial, &out);
+  for (const AggregateCall& agg : final_aggregates) {
+    InsertAll(agg.args, &out);
+    if (agg.output != kInvalidColId) out.insert(agg.output);
+  }
+  out.insert(below_cols.begin(), below_cols.end());
+  out.insert(carry_cols.begin(), carry_cols.end());
+  return out;
+}
+
+std::set<ColId> TransformationAudit::ReferencedColumns() const {
+  std::set<ColId> out;
+  for (const PullUpCertificate& c : pullups) {
+    std::set<ColId> cols = c.ReferencedColumns();
+    out.insert(cols.begin(), cols.end());
+  }
+  for (const InvariantCertificate& c : invariants) {
+    std::set<ColId> cols = c.ReferencedColumns();
+    out.insert(cols.begin(), cols.end());
+  }
+  for (const CoalescingCertificate& c : coalescings) {
+    std::set<ColId> cols = c.ReferencedColumns();
+    out.insert(cols.begin(), cols.end());
+  }
+  return out;
+}
+
+}  // namespace aggview

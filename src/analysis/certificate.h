@@ -53,6 +53,12 @@ struct PullUpCertificate {
     bool used_rowid = false;
   };
   std::vector<RelClaim> rels;
+
+  /// Every query-global column this certificate's claims mention — the
+  /// column skeleton of the transformation, consumed by the small-scope
+  /// prover (src/verify/skeleton.h) to decide which base-table columns a
+  /// bounded counterexample search must vary.
+  std::set<ColId> ReferencedColumns() const;
 };
 
 /// Emitted when a group-by is moved past relations (invariant grouping,
@@ -67,6 +73,9 @@ struct InvariantCertificate {
   std::vector<BlockRelClaim> removed;
   std::vector<BlockRelClaim> retained;
   std::vector<Predicate> predicates;
+
+  /// Column skeleton of the claim; see PullUpCertificate::ReferencedColumns.
+  std::set<ColId> ReferencedColumns() const;
 };
 
 /// Emitted by SplitForCoalescing (Section 4.2). Claims that every aggregate
@@ -80,6 +89,9 @@ struct CoalescingCertificate {
   std::vector<AggregateCall> final_aggregates;
   std::set<ColId> below_cols;
   std::set<ColId> carry_cols;
+
+  /// Column skeleton of the claim; see PullUpCertificate::ReferencedColumns.
+  std::set<ColId> ReferencedColumns() const;
 };
 
 /// Audit trail of one optimization: every certificate the winning rewrite
@@ -93,6 +105,9 @@ struct TransformationAudit {
     return static_cast<int64_t>(pullups.size() + invariants.size() +
                                 coalescings.size());
   }
+
+  /// Union of the column skeletons of every certificate in the audit.
+  std::set<ColId> ReferencedColumns() const;
 };
 
 }  // namespace aggview

@@ -1,6 +1,8 @@
 #include "analysis/fuzzer.h"
 
+#include <cstdlib>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "analysis/analyzer.h"
@@ -12,6 +14,8 @@
 #include "optimizer/traditional.h"
 #include "sql/binder.h"
 #include "tpcd/dbgen.h"
+#include "verify/prover.h"
+#include "verify/skeleton.h"
 
 namespace aggview {
 
@@ -149,6 +153,72 @@ ViewSpec GenerateView(Rng* rng, int index) {
   return view;
 }
 
+/// Reads AGGVIEW_FUZZ_SEED: unset/empty -> nullopt (normal sweep); otherwise
+/// a strict base-10 uint64 naming the single per-query seed to replay.
+Result<std::optional<uint64_t>> FuzzReplaySeedFromEnv() {
+  const char* raw = std::getenv("AGGVIEW_FUZZ_SEED");
+  if (raw == nullptr || *raw == '\0') return std::optional<uint64_t>{};
+  uint64_t value = 0;
+  for (const char* p = raw; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      return Status::InvalidArgument(
+          "AGGVIEW_FUZZ_SEED must be a base-10 unsigned integer, got: " +
+          std::string(raw));
+    }
+    uint64_t digit = static_cast<uint64_t>(*p - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::InvalidArgument("AGGVIEW_FUZZ_SEED overflows uint64: " +
+                                     std::string(raw));
+    }
+    value = value * 10 + digit;
+  }
+  return std::optional<uint64_t>(value);
+}
+
+/// On a divergence the fuzzer does not shrink its own generated database
+/// (dbgen keys are 1-based, violating the shrinker's canonical-label
+/// invariant); instead it re-proves the failing plan pair on the small
+/// scope, where any counterexample found is minimized and rendered as a
+/// self-contained repro. Returns a note to append to the failure message.
+std::string MinimizeDivergenceNote(Catalog* catalog, const Query& pre_query,
+                                   const PlanPtr& pre_plan,
+                                   const ExecContext& pre_ctx,
+                                   const Query& post_query,
+                                   const PlanPtr& post_plan,
+                                   const ExecContext& post_ctx,
+                                   const std::string& name) {
+  std::vector<SkeletonSource> sources;
+  sources.push_back(SkeletonSource{&pre_query, {}});
+  if (&post_query != &pre_query) {
+    sources.push_back(SkeletonSource{&post_query, {}});
+  }
+  auto skeleton = ExtractSkeleton(*catalog, sources);
+  if (!skeleton.ok()) {
+    return "\n(no minimized counterexample: skeleton extraction failed: " +
+           skeleton.status().ToString() + ")";
+  }
+  ProverOptions prover_options;
+  prover_options.bounds.max_rows = 2;
+  prover_options.bounds.max_databases = 200'000;
+  prover_options.name = name;
+  ExecutionSpec pre{&pre_query, pre_plan, pre_ctx, "reference"};
+  ExecutionSpec post{&post_query, post_plan, post_ctx, name};
+  auto proof = ProveEquivalence(catalog, *skeleton, pre, post, prover_options);
+  if (!proof.ok()) {
+    return "\n(no minimized counterexample: prover failed: " +
+           proof.status().ToString() + ")";
+  }
+  if (!proof->counterexample.has_value()) {
+    return "\n(prover found no counterexample among " +
+           std::to_string(proof->databases_checked) +
+           " small-scope databases; the divergence may need more rows or "
+           "specific values than the bounded search covers)";
+  }
+  const Counterexample& cx = *proof->counterexample;
+  return "\nminimized counterexample (" + std::to_string(cx.db.total_rows()) +
+         " rows):\n" + cx.repro;
+}
+
 }  // namespace
 
 std::string GenerateAggViewSql(Rng* rng) {
@@ -278,23 +348,40 @@ Result<FuzzReport> RunDifferentialFuzz(const FuzzOptions& options) {
   configs.push_back(deep_pull);
   for (OptimizerOptions& c : configs) c.paranoid = options.paranoid;
 
-  Rng rng(options.seed);
+  // Each query gets its own derived seed, so any failure is replayable in
+  // isolation: set AGGVIEW_FUZZ_SEED to the seed printed in the failure
+  // message and the run regenerates exactly that one query (same data).
+  AGGVIEW_ASSIGN_OR_RETURN(std::optional<uint64_t> replay,
+                           FuzzReplaySeedFromEnv());
+  const int num_queries = replay.has_value() ? 1 : options.num_queries;
+
   FuzzReport report;
-  for (int q = 0; q < options.num_queries; ++q) {
+  for (int q = 0; q < num_queries; ++q) {
+    const uint64_t query_seed =
+        replay.has_value()
+            ? *replay
+            : options.seed * 1000003ULL + static_cast<uint64_t>(q);
+    Rng rng(query_seed);
     std::string sql = GenerateAggViewSql(&rng);
+    const std::string seed_note =
+        "\nfailing query seed: " + std::to_string(query_seed) +
+        " (set AGGVIEW_FUZZ_SEED=" + std::to_string(query_seed) +
+        " to replay this query alone)";
     auto bound = ParseAndBind(catalog, sql);
     if (!bound.ok()) {
       return Status::Internal("fuzzer generated unbindable SQL:\n" + sql +
-                              "\n" + bound.status().ToString());
+                              seed_note + "\n" + bound.status().ToString());
     }
     if (!bound->views().empty()) ++report.queries_with_views;
 
     std::string reference;
+    std::optional<OptimizedQuery> reference_opt;
     for (size_t i = 0; i < configs.size(); ++i) {
       auto fail = [&](const std::string& what, const Status& st) {
         return Status::Internal("differential fuzz failure (config " +
                                 std::to_string(i) + ", " + what +
-                                ") on query:\n" + sql + "\n" + st.ToString());
+                                ") on query:\n" + sql + seed_note + "\n" +
+                                st.ToString());
       };
       auto optimized = OptimizeQueryWithAggViews(*bound, configs[i]);
       if (!optimized.ok()) return fail("optimize", optimized.status());
@@ -334,9 +421,14 @@ Result<FuzzReport> RunDifferentialFuzz(const FuzzOptions& options) {
                         rerun.status());
           }
           if (rerun->Fingerprint() != reference) {
+            std::string note = MinimizeDivergenceNote(
+                &catalog, optimized->query, optimized->plan, ExecContext{},
+                optimized->query, optimized->plan,
+                ExecContext{}.WithBatchSize(batch_size),
+                "fuzz_batch" + std::to_string(batch_size));
             return fail("batch_size=" + std::to_string(batch_size) +
                             " diverges from the reference execution",
-                        Status::Internal("fingerprints differ"));
+                        Status::Internal("fingerprints differ" + note));
           }
           ++report.batch_size_checks;
         }
@@ -359,19 +451,36 @@ Result<FuzzReport> RunDifferentialFuzz(const FuzzOptions& options) {
                           rerun.status());
             }
             if (rerun->Fingerprint() != reference) {
+              std::string note = MinimizeDivergenceNote(
+                  &catalog, optimized->query, optimized->plan, ExecContext{},
+                  optimized->query, optimized->plan,
+                  ExecContext{}.WithThreads(threads).WithBatchSize(batch_size),
+                  "fuzz_threads" + std::to_string(threads));
               return fail("threads=" + std::to_string(threads) +
                               " batch_size=" + std::to_string(batch_size) +
                               " diverges from the serial reference",
-                          Status::Internal("fingerprints differ"));
+                          Status::Internal("fingerprints differ" + note));
             }
             ++report.thread_checks;
           }
         }
       } else if (result->Fingerprint() != reference) {
+        std::string note =
+            reference_opt.has_value()
+                ? MinimizeDivergenceNote(
+                      &catalog, reference_opt->query, reference_opt->plan,
+                      ExecContext{}, optimized->query, optimized->plan,
+                      ExecContext{}, "fuzz_config" + std::to_string(i))
+                : std::string();
         return fail("results diverge from traditional plan",
-                    Status::Internal("fingerprints differ"));
+                    Status::Internal("fingerprints differ" + note));
       }
       report.dataflow_checks += verifier.checks();
+      // Keep the traditional plan and query alive past this iteration: a
+      // later config's divergence re-proves this exact plan pair on the
+      // small scope to produce a minimized counterexample. Moved last —
+      // `verifier` holds pointers into the query.
+      if (i == 0) reference_opt.emplace(std::move(*optimized));
     }
     ++report.queries_run;
   }

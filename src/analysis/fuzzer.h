@@ -28,8 +28,14 @@ namespace aggview {
 std::string GenerateAggViewSql(Rng* rng);
 
 struct FuzzOptions {
+  /// Base seed. Query q runs under the derived per-query seed
+  /// `seed * 1000003 + q`, which every failure message prints; exporting
+  /// AGGVIEW_FUZZ_SEED=<that seed> makes the next run regenerate exactly
+  /// that one query (against the same database), so a failure is replayable
+  /// without re-running the whole sweep.
   uint64_t seed = 1;
-  /// Queries generated and cross-checked.
+  /// Queries generated and cross-checked. Ignored (forced to 1) when
+  /// AGGVIEW_FUZZ_SEED is set.
   int num_queries = 50;
   /// Database shape: small enough to execute hundreds of queries quickly,
   /// large enough for multi-tuple groups and empty-group edge cases.
@@ -76,7 +82,10 @@ struct FuzzReport {
 /// optimizer configuration yields a plan that fails validation/analysis,
 /// fails to execute, or executes to a result multiset different from the
 /// traditional plan's; the error message contains the SQL, the configuration
-/// index, and the underlying diagnostic.
+/// index, the replayable per-query seed, and the underlying diagnostic. On a
+/// fingerprint divergence the failing plan pair is additionally re-proved on
+/// the small scope (verify/prover.h) and any counterexample found there is
+/// minimized and embedded in the error as a self-contained repro.
 Result<FuzzReport> RunDifferentialFuzz(const FuzzOptions& options);
 
 }  // namespace aggview

@@ -38,6 +38,22 @@ void ConcatInto(const Row& a, const Row& b, Row* out) {
   out->insert(out->end(), b.begin(), b.end());
 }
 
+/// Rejects predicates that reference a column the operator's layout does not
+/// carry. Column-ref eval on a missing column is undefined behavior in
+/// release builds, so a malformed plan (e.g. an unsound transformation that
+/// dropped a column a later predicate still needs) must fail cleanly at
+/// Open() instead.
+Status ValidatePredicateColumns(const std::vector<Predicate>& preds,
+                                const RowLayout& layout, const char* op) {
+  for (ColId c : ConjunctionColumns(preds)) {
+    if (layout.IndexOf(c) < 0) {
+      return Status::Internal(std::string(op) +
+                              ": predicate column missing from input layout");
+    }
+  }
+  return Status::OK();
+}
+
 /// Drains `op` batch-by-batch into `rows` (Open-time materialization).
 Status Drain(Operator* op, int batch_size, std::vector<Row>* rows) {
   RowBatch batch(batch_size);
@@ -267,7 +283,10 @@ void FilterOp::EnterParallelMode() {
 
 void FilterOp::FinalizeParallelCharges() { child_->FinalizeParallelCharges(); }
 
-Status FilterOp::OpenImpl() { return child_->Open(); }
+Status FilterOp::OpenImpl() {
+  AGGVIEW_RETURN_NOT_OK(ValidatePredicateColumns(preds_, layout_, "filter"));
+  return child_->Open();
+}
 
 Result<bool> FilterOp::NextBatchImpl(RowBatch* out) {
   while (true) {
@@ -510,6 +529,8 @@ Status HashJoinOp::OpenImpl() {
   for (int idx : right_key_idx_) {
     if (idx < 0) return Status::Internal("hash join: right key column missing");
   }
+  AGGVIEW_RETURN_NOT_OK(
+      ValidatePredicateColumns(residual_, layout_, "hash join"));
   AGGVIEW_RETURN_NOT_OK(left_->Open());
   AGGVIEW_RETURN_NOT_OK(right_->Open());
   build_ = std::make_shared<BuildTable>();
@@ -632,6 +653,8 @@ NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
 }
 
 Status NestedLoopJoinOp::OpenImpl() {
+  AGGVIEW_RETURN_NOT_OK(
+      ValidatePredicateColumns(preds_, layout_, "nested-loop join"));
   AGGVIEW_RETURN_NOT_OK(left_->Open());
   AGGVIEW_RETURN_NOT_OK(right_->Open());
   AGGVIEW_RETURN_NOT_OK(Drain(right_.get(), batch_size_, &inner_));
@@ -812,6 +835,8 @@ Status SortMergeJoinOp::OpenImpl() {
   for (int idx : right_key_idx_) {
     if (idx < 0) return Status::Internal("merge join: right key column missing");
   }
+  AGGVIEW_RETURN_NOT_OK(
+      ValidatePredicateColumns(residual_, layout_, "merge join"));
   AGGVIEW_RETURN_NOT_OK(left_->Open());
   AGGVIEW_RETURN_NOT_OK(right_->Open());
   AGGVIEW_RETURN_NOT_OK(Drain(left_.get(), batch_size_, &lrows_));

@@ -7,6 +7,7 @@
 
 #include "analysis/analyzer.h"
 #include "transform/coalescing.h"
+#include "transform/unsound.h"
 
 namespace aggview {
 
@@ -182,7 +183,12 @@ bool Enumerator::InvariantApplicableAt(Mask mask) const {
   // already gone, while this mask retains B. (The certificate verifier found
   // exactly such a mask: a crossing predicate reached a retained non-grouping
   // column that the fixpoint order had eliminated first.) Re-run the
-  // elimination against exactly this retained set.
+  // elimination against exactly this retained set. The mutation harness
+  // reinjects the old trust-the-global-set behaviour to prove the
+  // small-scope prover rediscovers the bug.
+  if (UnsoundReinjectionActive(UnsoundReinjection::kTrustGlobalRemovable)) {
+    return true;
+  }
   auto cached = invariant_ok_.find(mask);
   if (cached != invariant_ok_.end()) return cached->second;
   std::set<size_t> pending;

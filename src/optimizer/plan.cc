@@ -90,6 +90,7 @@ PlanPtr PlanBuilder::Join(JoinAlgo algo, PlanPtr left, PlanPtr right,
   node->est = Estimator::Join(left->est, right->est, node->join_preds);
 
   std::vector<ColId> cols;
+  cols.reserve(left->output.columns().size() + right->output.columns().size());
   for (ColId c : left->output.columns()) cols.push_back(c);
   for (ColId c : right->output.columns()) cols.push_back(c);
   cols = ProjectColumns(cols, needed);

@@ -1,5 +1,7 @@
 #include "transform/coalescing.h"
 
+#include "transform/unsound.h"
+
 namespace aggview {
 
 bool CoalescingApplicable(const GroupBySpec& spec,
@@ -58,9 +60,15 @@ Result<CoalescingSplit> SplitForCoalescing(const GroupBySpec& spec,
         split.partial.aggregates.push_back(
             {original.kind, original.args, partial});
         // kCountSum, not kSum: the combine must keep COUNT's empty-input
-        // semantics (scalar over zero rows = 0, not NULL).
+        // semantics (scalar over zero rows = 0, not NULL). The mutation
+        // harness reinjects the old plain-SUM combine to prove the
+        // small-scope prover rediscovers the bug.
+        AggKind combine =
+            UnsoundReinjectionActive(UnsoundReinjection::kCountCombinePlainSum)
+                ? AggKind::kSum
+                : AggKind::kCountSum;
         split.final_aggregates.push_back(
-            {AggKind::kCountSum, {partial}, original.output});
+            {combine, {partial}, original.output});
         break;
       }
       case AggKind::kCountSum: {
@@ -93,8 +101,14 @@ Result<CoalescingSplit> SplitForCoalescing(const GroupBySpec& spec,
         columns->set_nullable(pcount, false);
         split.partial.aggregates.push_back(
             {AggKind::kSum, original.args, psum});
+        // COUNT(arg), not COUNT(*): AVG divides by the number of non-NULL
+        // argument values. With COUNT(*) a group containing NULL arguments
+        // inflates the denominator (the small-scope prover found this on a
+        // 2-row group {1, NULL}: true AVG 1, coalesced 1/2). COUNT(arg) also
+        // keeps the pair consistent — psum NULL implies pcount 0, so the
+        // AvgFinal combine's NULL-skip drops exactly the empty partials.
         split.partial.aggregates.push_back(
-            {AggKind::kCountStar, {}, pcount});
+            {AggKind::kCount, original.args, pcount});
         split.final_aggregates.push_back(
             {AggKind::kAvgFinal, {psum, pcount}, original.output});
         break;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "algebra/logical_plan.h"
+#include "transform/unsound.h"
 
 namespace aggview {
 
@@ -53,7 +54,15 @@ bool CanMoveGroupByPastShape(const RelShape& rel,
   // the *row multiplicity* of the group-by output, which any downstream
   // duplicate-sensitive consumer (count(*), sum, bag projection) observes.
   // The differential fuzzer found exactly this divergence, so the former
-  // MIN/MAX waiver is gone.
+  // MIN/MAX waiver is gone. The mutation harness reinjects it here to prove
+  // the small-scope prover rediscovers the bug.
+  if (UnsoundReinjectionActive(UnsoundReinjection::kMinMaxInvariantWaiver)) {
+    bool all_duplicate_insensitive = !gb.aggregates.empty();
+    for (const AggregateCall& agg : gb.aggregates) {
+      if (!IsDuplicateInsensitive(agg.kind)) all_duplicate_insensitive = false;
+    }
+    if (all_duplicate_insensitive) return true;
+  }
   std::set<ColId> fixed;
   // Equi-joins with retained grouping columns.
   for (const Predicate& p : preds) {
@@ -120,6 +129,7 @@ RelShape ShapeOfRangeVar(const Query& query, int rel_id) {
   shape.cols = rv.ColumnSet();
   auto key_to_cols = [&](const std::vector<int>& key) {
     std::vector<ColId> out;
+    out.reserve(key.size());
     for (int k : key) out.push_back(rv.columns[static_cast<size_t>(k)]);
     return out;
   };
@@ -134,6 +144,7 @@ RelShape ShapeOfRangeVar(const Query& query, int rel_id) {
 InvariantAnalysis AnalyzeInvariantGrouping(const Query& query,
                                            const AggView& view) {
   std::vector<RelShape> shapes;
+  shapes.reserve(view.spj.rels.size());
   for (int r : view.spj.rels) shapes.push_back(ShapeOfRangeVar(query, r));
   std::set<size_t> removable =
       RemovableShapes(shapes, view.spj.predicates, view.group_by);

@@ -1,0 +1,23 @@
+#include "transform/unsound.h"
+
+#include <atomic>
+
+namespace aggview {
+
+namespace {
+std::atomic<UnsoundReinjection> g_active{UnsoundReinjection::kNone};
+}  // namespace
+
+void SetUnsoundReinjectionForTesting(UnsoundReinjection which) {
+  g_active.store(which, std::memory_order_release);
+}
+
+UnsoundReinjection GetUnsoundReinjection() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+bool UnsoundReinjectionActive(UnsoundReinjection which) {
+  return GetUnsoundReinjection() == which;
+}
+
+}  // namespace aggview

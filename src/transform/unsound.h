@@ -1,0 +1,58 @@
+#ifndef AGGVIEW_TRANSFORM_UNSOUND_H_
+#define AGGVIEW_TRANSFORM_UNSOUND_H_
+
+namespace aggview {
+
+/// Test-only reinjection of the three optimizer soundness bugs PR 2's
+/// differential fuzzer found and fixed. The prover's mutation harness
+/// (tests/prover_mutation_test.cc) re-enables each one and asserts the
+/// small-scope prover refutes it with a minimized counterexample — the
+/// prover must be able to rediscover every bug the fuzzer ever found.
+/// Production code never sets these; the default is kNone.
+enum class UnsoundReinjection {
+  kNone = 0,
+  /// Bug 1: waive the IG3 key condition of invariant grouping when every
+  /// aggregate is duplicate-insensitive (MIN/MAX). Wrong: removability is
+  /// about *which* rows join, not how often — a removed relation can still
+  /// filter rows, and moving the group-by past it changes MIN/MAX inputs.
+  kMinMaxInvariantWaiver,
+  /// Bug 2: trust the block-level removable set at every DP mask instead of
+  /// re-running the elimination fixpoint for the mask's retained relations.
+  /// Wrong: removability of one relation can depend on another relation
+  /// being present (IG2's grouping-column cover), so the set is not
+  /// downward-closed across masks.
+  kTrustGlobalRemovable,
+  /// Bug 3: combine partial COUNTs with a plain SUM instead of kCountSum.
+  /// Wrong on the empty input: a scalar COUNT must yield 0, but SUM over
+  /// zero partials yields NULL.
+  kCountCombinePlainSum,
+};
+
+/// Sets the active reinjection (kNone restores soundness). Not thread-safe
+/// with concurrent optimization — test harness use only.
+void SetUnsoundReinjectionForTesting(UnsoundReinjection which);
+
+UnsoundReinjection GetUnsoundReinjection();
+
+/// True when `which` is the active reinjection.
+bool UnsoundReinjectionActive(UnsoundReinjection which);
+
+/// RAII scope for one reinjection; restores the previous value.
+class ScopedUnsoundReinjection {
+ public:
+  explicit ScopedUnsoundReinjection(UnsoundReinjection which)
+      : previous_(GetUnsoundReinjection()) {
+    SetUnsoundReinjectionForTesting(which);
+  }
+  ~ScopedUnsoundReinjection() { SetUnsoundReinjectionForTesting(previous_); }
+
+  ScopedUnsoundReinjection(const ScopedUnsoundReinjection&) = delete;
+  ScopedUnsoundReinjection& operator=(const ScopedUnsoundReinjection&) = delete;
+
+ private:
+  UnsoundReinjection previous_;
+};
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_TRANSFORM_UNSOUND_H_

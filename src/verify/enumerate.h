@@ -1,0 +1,83 @@
+#ifndef AGGVIEW_VERIFY_ENUMERATE_H_
+#define AGGVIEW_VERIFY_ENUMERATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+#include "verify/skeleton.h"
+
+namespace aggview {
+
+/// Exhaustive enumeration of all databases over a schema skeleton within a
+/// small-scope bound, up to isomorphism. Two prunings keep the state space
+/// tractable without losing completeness:
+///
+///   * Canonical row labeling. Key (and foreign-key) values only flow through
+///     equality, grouping, and the output (enforced by ExtractSkeleton), so
+///     databases that differ only by renaming key values are isomorphic —
+///     both plans produce identically renamed results. Keys are therefore
+///     fixed to the row position 0..rows-1 instead of enumerated.
+///
+///   * Multiset canonicalization. With keys fixed to positions, two rows of
+///     one table are interchangeable by swapping labels (foreign-key cells in
+///     referencing tables range over all labels independently, so the swapped
+///     database is also enumerated). Row contents are thus enumerated as
+///     non-decreasing sequences over the per-row value-tuple space.
+///
+/// Databases violating a declared unique key are skipped: the declared
+/// constraints are preconditions of the transformations' legality proofs.
+
+struct EnumerationBounds {
+  /// Per-table row counts range over 0..max_rows.
+  int max_rows = 3;
+  /// Include NULL in every nullable relevant column's domain.
+  bool with_null = true;
+  /// Abort with an error after visiting this many databases (0 = unlimited).
+  int64_t max_databases = 0;
+  /// Abort when one table's per-row value-tuple space exceeds this (guards
+  /// against a skeleton with too many relevant columns).
+  int64_t max_row_tuples = 4096;
+};
+
+/// One concrete small database; `tables` is aligned with
+/// SchemaSkeleton::tables.
+struct BoundedDatabase {
+  std::vector<std::shared_ptr<Table>> tables;
+
+  int64_t total_rows() const {
+    int64_t n = 0;
+    for (const std::shared_ptr<Table>& t : tables) {
+      if (t) n += t->row_count();
+    }
+    return n;
+  }
+};
+
+/// Deep copy (Table itself is move-only).
+BoundedDatabase CloneDatabase(const SchemaSkeleton& skeleton,
+                              const BoundedDatabase& db);
+
+/// True when `db` satisfies every declared unique key of the skeleton
+/// (NULL treated as an ordinary value: strict at-most-once semantics, the
+/// reading under which the optimizer's key-based legality arguments hold).
+bool SatisfiesUniqueKeys(const SchemaSkeleton& skeleton,
+                         const BoundedDatabase& db);
+
+/// Visits one database; return false to stop the enumeration early (e.g. a
+/// counterexample was found), true to continue.
+using DatabaseCallback = std::function<Result<bool>(const BoundedDatabase&)>;
+
+/// Runs `fn` on every canonical database within `bounds`; returns the number
+/// of databases visited. Deterministic: the order is a pure function of the
+/// skeleton and bounds.
+Result<int64_t> ForEachBoundedDatabase(const SchemaSkeleton& skeleton,
+                                       const EnumerationBounds& bounds,
+                                       const DatabaseCallback& fn);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_VERIFY_ENUMERATE_H_

@@ -1,0 +1,133 @@
+#ifndef AGGVIEW_VERIFY_PROVER_H_
+#define AGGVIEW_VERIFY_PROVER_H_
+
+#include <optional>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "exec/executor.h"
+#include "optimizer/aggview_optimizer.h"
+#include "verify/enumerate.h"
+#include "verify/shrink.h"
+#include "verify/skeleton.h"
+
+namespace aggview {
+
+/// Small-scope bounded model checking of plan equivalence. Two plans over
+/// the same catalog are executed on *every* database within the enumeration
+/// bounds (enumerate.h); equivalence holds on the small scope iff every
+/// execution pair produces byte-identical result fingerprints. A refutation
+/// is either diverging fingerprints or one side failing where the other
+/// succeeds (an unsound rewrite can produce a structurally invalid plan —
+/// that is a counterexample too, found on the empty database). The first
+/// refuting database is shrunk (shrink.h) to a minimal counterexample and
+/// rendered as a self-contained repro.
+
+/// One side of the equivalence: a plan, the (rewritten) query it must be
+/// interpreted against, and the execution context to run it under. Running
+/// the *same* plan under two contexts checks execution-strategy equivalence
+/// (the fuzzer's batch-size/thread-count divergence shrinking uses this).
+struct ExecutionSpec {
+  const Query* query = nullptr;
+  PlanPtr plan;
+  ExecContext ctx;
+  std::string label;
+};
+
+struct ProverOptions {
+  EnumerationBounds bounds;
+  /// Shrink the first refuting database to a minimal counterexample.
+  bool shrink = true;
+  /// Directory to write the self-contained repro into on refutation; empty
+  /// falls back to $AGGVIEW_PROVER_REPRO_DIR, and no file is written when
+  /// both are unset. The file is named counterexample_<name>.sql.
+  std::string repro_dir;
+  /// Name of the proof obligation (labels logs and the repro file).
+  std::string name = "proof";
+};
+
+struct Counterexample {
+  /// The minimized (or first, when shrinking is off) refuting database.
+  BoundedDatabase db;
+  /// Result fingerprint or "ERROR: <status>" per side.
+  std::string pre_outcome;
+  std::string post_outcome;
+  /// Self-contained repro: CREATE TABLE + INSERT + both plans + outcomes.
+  std::string repro;
+  /// Path of the written repro file; empty when none was written.
+  std::string repro_path;
+  ShrinkStats shrink_stats;
+};
+
+struct ProofResult {
+  /// True when every database within bounds produced agreeing outcomes.
+  bool proved = false;
+  int64_t databases_checked = 0;
+  /// Databases where *both* sides failed (counted, not refuting: the plans
+  /// agree that the input is outside their domain).
+  int64_t agreeing_failures = 0;
+  std::optional<Counterexample> counterexample;
+};
+
+/// Swaps enumerated data into the catalog's skeleton tables for the duration
+/// of an execution and restores the original data (and stats) on destruction.
+/// The prover owns the catalog exclusively while proving.
+class DataSwapGuard {
+ public:
+  DataSwapGuard(Catalog* catalog, const SchemaSkeleton& skeleton);
+  ~DataSwapGuard();
+
+  DataSwapGuard(const DataSwapGuard&) = delete;
+  DataSwapGuard& operator=(const DataSwapGuard&) = delete;
+
+  /// Installs `db.tables[i]` as the data of skeleton table i.
+  void Install(const BoundedDatabase& db);
+
+ private:
+  Catalog* catalog_;
+  const SchemaSkeleton* skeleton_;
+  std::vector<std::shared_ptr<Table>> saved_;
+};
+
+/// Core prover: enumerate, execute both specs, compare, shrink on mismatch.
+/// `catalog` is mutated (data swapped) during the call and restored before
+/// returning. An error return means the proof could not be *run* (e.g. the
+/// skeleton is out of scope); a refutation is a successful return with
+/// proved == false.
+Result<ProofResult> ProveEquivalence(Catalog* catalog,
+                                     const SchemaSkeleton& skeleton,
+                                     const ExecutionSpec& pre,
+                                     const ExecutionSpec& post,
+                                     const ProverOptions& options);
+
+/// The outcome of the SQL-level driver: the proof plus both optimized
+/// queries (kept alive here because the proof's specs point into them).
+struct SqlProof {
+  ProofResult result;
+  OptimizedQuery pre;
+  OptimizedQuery post;
+  SchemaSkeleton skeleton;
+};
+
+/// End-to-end driver: parse and bind `sql`, optimize under `pre_options`
+/// and `post_options`, extract the skeleton from both rewritten queries and
+/// the post-side transformation audit, and prove the two plans equivalent.
+Result<SqlProof> ProveSqlTransformation(Catalog* catalog,
+                                        const std::string& sql,
+                                        const OptimizerOptions& pre_options,
+                                        const OptimizerOptions& post_options,
+                                        const ProverOptions& options);
+
+/// Renders a self-contained textual repro of a counterexample database:
+/// CREATE TABLE + INSERT statements, the two plans, and both outcomes.
+std::string RenderCounterexampleRepro(const SchemaSkeleton& skeleton,
+                                      const BoundedDatabase& db,
+                                      const std::string& description,
+                                      const std::string& pre_text,
+                                      const std::string& post_text,
+                                      const std::string& pre_outcome,
+                                      const std::string& post_outcome);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_VERIFY_PROVER_H_

@@ -1,0 +1,51 @@
+#ifndef AGGVIEW_VERIFY_SHRINK_H_
+#define AGGVIEW_VERIFY_SHRINK_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/result.h"
+#include "verify/enumerate.h"
+#include "verify/skeleton.h"
+
+namespace aggview {
+
+/// Counterexample minimization: given a database on which the refutation
+/// oracle fires, greedily (a) delete rows — cascading over foreign keys and
+/// renumbering the canonical labels — and (b) collapse cell values toward 0
+/// and NULL, as long as the oracle keeps firing and the declared unique keys
+/// stay satisfied. The result is 1-minimal over row deletions: removing any
+/// remaining row (with its cascade) makes the refutation disappear.
+///
+/// Termination: every accepted step strictly decreases (total rows, sum of
+/// value ranks) lexicographically; both passes repeat to a fixpoint.
+/// Determinism: candidate order is a pure function of the database.
+
+/// True when the database still refutes the property under test.
+using RefutesFn = std::function<Result<bool>(const BoundedDatabase&)>;
+
+struct ShrinkStats {
+  int64_t rows_removed = 0;
+  int64_t values_collapsed = 0;
+  int64_t oracle_calls = 0;
+};
+
+/// Removes row `row` of table `table_idx`, every row transitively
+/// referencing it through a modeled foreign key, renumbers the remaining
+/// canonical labels to 0..rows-1, and remaps surviving foreign-key cells.
+/// Building block of the shrinker, exposed so tests can check 1-minimality.
+BoundedDatabase RemoveRowCascade(const SchemaSkeleton& skeleton,
+                                 const BoundedDatabase& db, int table_idx,
+                                 int64_t row);
+
+/// Shrinks `db` to a minimal refuting database. `db` itself must refute
+/// (callers establish this before shrinking); the oracle is re-consulted
+/// only for candidate databases.
+Result<BoundedDatabase> ShrinkCounterexample(const SchemaSkeleton& skeleton,
+                                             const BoundedDatabase& db,
+                                             const RefutesFn& refutes,
+                                             ShrinkStats* stats = nullptr);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_VERIFY_SHRINK_H_

@@ -1,0 +1,367 @@
+#include "verify/skeleton.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace aggview {
+
+namespace {
+
+/// Where a query-global column id lives: which catalog table, which schema
+/// position. Aggregate outputs and rowids map to nothing.
+struct ColumnSite {
+  TableId table = -1;
+  int index = -1;
+};
+
+/// All predicates of a query, across every block (view SPJ + HAVING, top
+/// block + top HAVING).
+std::vector<const Predicate*> AllPredicates(const Query& query) {
+  std::vector<const Predicate*> out;
+  auto add = [&out](const std::vector<Predicate>& preds) {
+    out.reserve(out.size() + preds.size());
+    for (const Predicate& p : preds) out.push_back(&p);
+  };
+  for (const AggView& view : query.views()) {
+    add(view.spj.predicates);
+    add(view.group_by.having);
+  }
+  add(query.predicates());
+  if (query.top_group_by()) add(query.top_group_by()->having);
+  return out;
+}
+
+/// All aggregate calls of a query, across every group-by.
+std::vector<const AggregateCall*> AllAggregates(const Query& query) {
+  std::vector<const AggregateCall*> out;
+  for (const AggView& view : query.views()) {
+    for (const AggregateCall& agg : view.group_by.aggregates) out.push_back(&agg);
+  }
+  if (query.top_group_by()) {
+    for (const AggregateCall& agg : query.top_group_by()->aggregates) {
+      out.push_back(&agg);
+    }
+  }
+  return out;
+}
+
+Value DomainValue(DataType type, double v) {
+  return type == DataType::kDouble ? Value::Real(v)
+                                   : Value::Int(static_cast<int64_t>(v));
+}
+
+/// Inserts `v` (coerced to the column type) into the sorted domain.
+void AddDomainValue(std::vector<Value>* domain, DataType type, const Value& v) {
+  if (v.is_null() || v.is_string()) return;
+  Value coerced = type == DataType::kDouble ? Value::Real(v.AsNumeric())
+                                            : Value::Int(static_cast<int64_t>(
+                                                  v.AsNumeric()));
+  for (const Value& existing : *domain) {
+    if (existing == coerced) return;
+  }
+  domain->push_back(coerced);
+}
+
+}  // namespace
+
+int SchemaSkeleton::IndexOf(TableId id) const {
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i].table == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<SchemaSkeleton> ExtractSkeleton(
+    const Catalog& catalog, const std::vector<SkeletonSource>& sources) {
+  if (sources.empty()) {
+    return Status::InvalidArgument("skeleton extraction needs a query");
+  }
+  for (const SkeletonSource& source : sources) {
+    if (source.query == nullptr) {
+      return Status::InvalidArgument("null query in skeleton source");
+    }
+  }
+
+  // 1. The tables: every catalog table some range variable scans.
+  std::set<TableId> table_set;
+  for (const SkeletonSource& source : sources) {
+    const Query& q = *source.query;
+    for (int rv = 0; rv < q.num_range_vars(); ++rv) {
+      table_set.insert(q.range_var(rv).table);
+    }
+  }
+
+  // 2. Per-table key column (single-column primary key) and unique keys.
+  std::map<TableId, int> key_column;
+  for (TableId t : table_set) {
+    const TableDef& def = catalog.table(t);
+    if (def.primary_key.size() > 1) {
+      return Status::Unimplemented("prover: composite primary key on table '" +
+                                 def.name + "'");
+    }
+    key_column[t] = def.primary_key.empty() ? -1 : def.primary_key[0];
+  }
+
+  // 3. Resolve foreign keys the enumeration must model: single referencing
+  // column onto the referenced table's key column, both tables in scope.
+  // fk[(table, column)] = referenced table.
+  std::map<std::pair<TableId, int>, TableId> fk;
+  for (const ForeignKey& f : catalog.foreign_keys()) {
+    if (table_set.count(f.referencing_table) == 0) continue;
+    if (table_set.count(f.referenced_table) == 0) continue;
+    if (f.referencing_columns.size() != 1) {
+      return Status::Unimplemented(
+          "prover: composite foreign key on table '" +
+          catalog.table(f.referencing_table).name + "'");
+    }
+    if (f.referenced_columns.size() != 1 ||
+        f.referenced_columns[0] != key_column[f.referenced_table]) {
+      return Status::Unimplemented(
+          "prover: foreign key not referencing the primary key of '" +
+          catalog.table(f.referenced_table).name + "'");
+    }
+    fk[{f.referencing_table, f.referencing_columns[0]}] = f.referenced_table;
+  }
+
+  // 4. Map every query-global column id to its (table, schema index) site.
+  // One map per source; column id spaces are per-query.
+  std::vector<std::map<ColId, ColumnSite>> sites(sources.size());
+  for (size_t s = 0; s < sources.size(); ++s) {
+    const Query& q = *sources[s].query;
+    for (int rv = 0; rv < q.num_range_vars(); ++rv) {
+      const RangeVar& var = q.range_var(rv);
+      for (size_t i = 0; i < var.columns.size(); ++i) {
+        sites[s][var.columns[i]] = ColumnSite{var.table, static_cast<int>(i)};
+      }
+    }
+  }
+
+  // 5. Relevance: every base column some predicate, grouping list, aggregate
+  // argument, select list, order key, or certificate claim mentions.
+  std::set<std::pair<TableId, int>> relevant;
+  auto mark = [&](size_t s, ColId col) {
+    auto it = sites[s].find(col);
+    if (it != sites[s].end()) relevant.insert({it->second.table, it->second.index});
+  };
+  for (size_t s = 0; s < sources.size(); ++s) {
+    const Query& q = *sources[s].query;
+    for (const Predicate* p : AllPredicates(q)) {
+      for (ColId c : p->Columns()) mark(s, c);
+    }
+    for (const AggView& view : q.views()) {
+      for (ColId c : view.group_by.grouping) mark(s, c);
+    }
+    if (q.top_group_by()) {
+      for (ColId c : q.top_group_by()->grouping) mark(s, c);
+    }
+    for (const AggregateCall* agg : AllAggregates(q)) {
+      for (ColId c : agg->args) mark(s, c);
+    }
+    for (ColId c : q.select_list()) mark(s, c);
+    for (const OrderKey& k : q.order_by()) mark(s, k.column);
+    for (ColId c : sources[s].extra_columns) mark(s, c);
+  }
+
+  // 6. Key opacity. Canonical row labeling (enumerate.h) is only complete
+  // when key and foreign-key values act as opaque labels: they may flow
+  // through equalities within one label space, grouping, COUNT, and the
+  // output, but never through literal comparisons, order comparisons,
+  // arithmetic aggregates, or equalities against a plain column or a label
+  // of a different space — those distinguish labelings the pruning
+  // identifies. A column's label space is the table whose row labels its
+  // values draw from: its own table for a key, the referenced table for a
+  // foreign key; -1 for plain columns.
+  auto label_space = [&](size_t s, ColId col) -> TableId {
+    auto it = sites[s].find(col);
+    if (it == sites[s].end()) return -1;
+    if (key_column[it->second.table] == it->second.index) {
+      return it->second.table;
+    }
+    auto f = fk.find({it->second.table, it->second.index});
+    return f != fk.end() ? f->second : -1;
+  };
+  auto is_label_column = [&](size_t s, ColId col) {
+    return label_space(s, col) >= 0;
+  };
+  for (size_t s = 0; s < sources.size(); ++s) {
+    const Query& q = *sources[s].query;
+    for (const Predicate* p : AllPredicates(q)) {
+      ColId a = kInvalidColId;
+      ColId b = kInvalidColId;
+      if (p->AsColumnEquality(&a, &b)) {
+        if (label_space(s, a) == label_space(s, b)) continue;
+        return Status::Unimplemented(
+            "prover: equality between columns of different label spaces "
+            "(breaks canonical row labeling): " +
+            p->ToString(q.columns()));
+      }
+      for (ColId c : p->Columns()) {
+        if (is_label_column(s, c)) {
+          return Status::Unimplemented(
+              "prover: key/foreign-key column '" + q.columns().name(c) +
+              "' used outside column-column equality (breaks canonical row "
+              "labeling): " +
+              p->ToString(q.columns()));
+        }
+      }
+    }
+    for (const AggregateCall* agg : AllAggregates(q)) {
+      if (agg->kind == AggKind::kCount || agg->kind == AggKind::kCountStar ||
+          agg->kind == AggKind::kCountSum) {
+        continue;  // counting only observes non-null-ness; labels stay opaque
+      }
+      for (ColId c : agg->args) {
+        if (is_label_column(s, c)) {
+          return Status::Unimplemented(
+              "prover: key/foreign-key column '" + q.columns().name(c) +
+              "' used as a " + AggKindName(agg->kind) +
+              " argument (breaks canonical row labeling)");
+        }
+      }
+    }
+  }
+
+  // 7. Assemble per-table skeletons.
+  SchemaSkeleton skeleton;
+  for (TableId t : table_set) {
+    const TableDef& def = catalog.table(t);
+    TableSkeleton ts;
+    ts.table = t;
+    ts.name = def.name;
+    ts.schema = def.schema;
+    ts.key_column = key_column[t];
+    if (ts.key_column >= 0) ts.unique_keys.push_back({ts.key_column});
+    for (const std::vector<int>& uk : def.unique_keys) ts.unique_keys.push_back(uk);
+
+    std::set<int> unique_members;
+    for (const std::vector<int>& uk : ts.unique_keys) {
+      unique_members.insert(uk.begin(), uk.end());
+    }
+
+    for (int i = 0; i < def.schema.num_columns(); ++i) {
+      const ColumnSpec& spec = def.schema.column(i);
+      SkeletonColumn col;
+      col.index = i;
+      col.name = spec.name;
+      col.type = spec.type;
+      col.relevant = relevant.count({t, i}) > 0;
+      col.is_key = (i == ts.key_column);
+      auto fk_it = fk.find({t, i});
+      if (fk_it != fk.end()) col.fk_table = fk_it->second;
+
+      if (col.is_key) {
+        col.nullable = false;  // labels, assigned 0..rows-1
+      } else if (!col.relevant) {
+        // Pinned. Foreign keys pin to NULL so the pin can never dangle;
+        // unique-key members pin to per-row distinct values.
+        if (col.fk_table >= 0) {
+          col.pinned = Value::Null();
+        } else if (unique_members.count(i) > 0) {
+          col.pin_distinct = true;
+        } else {
+          switch (spec.type) {
+            case DataType::kInt64:
+              col.pinned = Value::Int(0);
+              break;
+            case DataType::kDouble:
+              col.pinned = Value::Real(0.0);
+              break;
+            case DataType::kString:
+              col.pinned = Value::Str("");
+              break;
+          }
+        }
+      } else if (col.fk_table >= 0) {
+        col.nullable = true;  // values drawn from referenced labels at runtime
+      } else {
+        if (spec.type == DataType::kString) {
+          return Status::Unimplemented("prover: relevant string column '" +
+                                     def.name + "." + spec.name + "'");
+        }
+        col.nullable = true;
+        col.domain.push_back(DomainValue(spec.type, 0.0));
+        col.domain.push_back(DomainValue(spec.type, 1.0));
+      }
+      ts.columns.push_back(std::move(col));
+    }
+    skeleton.tables.push_back(std::move(ts));
+  }
+
+  // 8. Literal boundary values: every literal a query compares a relevant
+  // plain column against joins that column's domain (with +/-1 neighbours
+  // for inequalities, so both sides of the boundary are populated).
+  for (size_t s = 0; s < sources.size(); ++s) {
+    const Query& q = *sources[s].query;
+    for (const Predicate* p : AllPredicates(q)) {
+      ColId col = kInvalidColId;
+      CompareOp op = CompareOp::kEq;
+      Value literal;
+      if (!p->AsColumnVsLiteral(&col, &op, &literal)) continue;
+      auto it = sites[s].find(col);
+      if (it == sites[s].end()) continue;  // e.g. HAVING on an agg output
+      int ti = skeleton.IndexOf(it->second.table);
+      SkeletonColumn& sc =
+          skeleton.tables[static_cast<size_t>(ti)].columns[static_cast<size_t>(
+              it->second.index)];
+      if (!sc.relevant || sc.is_key || sc.fk_table >= 0) continue;
+      AddDomainValue(&sc.domain, sc.type, literal);
+      if (op != CompareOp::kEq && op != CompareOp::kNe && !literal.is_null() &&
+          !literal.is_string()) {
+        AddDomainValue(&sc.domain, sc.type,
+                       DomainValue(sc.type, literal.AsNumeric() - 1.0));
+        AddDomainValue(&sc.domain, sc.type,
+                       DomainValue(sc.type, literal.AsNumeric() + 1.0));
+      }
+    }
+  }
+  for (TableSkeleton& ts : skeleton.tables) {
+    for (SkeletonColumn& col : ts.columns) {
+      std::sort(col.domain.begin(), col.domain.end());
+      if (static_cast<int>(col.domain.size()) > kMaxDomainValues) {
+        return Status::Unimplemented("prover: domain of '" + ts.name + "." +
+                                   col.name + "' exceeds " +
+                                   std::to_string(kMaxDomainValues) +
+                                   " values");
+      }
+    }
+  }
+
+  // 9. Topological order: referenced tables before referencers, so the
+  // enumeration knows the referenced row count when drawing FK values.
+  std::vector<TableSkeleton> ordered;
+  std::set<TableId> placed;
+  while (ordered.size() < skeleton.tables.size()) {
+    bool progressed = false;
+    for (TableSkeleton& ts : skeleton.tables) {
+      if (placed.count(ts.table) > 0) continue;
+      bool ready = true;
+      for (const SkeletonColumn& col : ts.columns) {
+        if (col.fk_table >= 0 && col.fk_table != ts.table &&
+            placed.count(col.fk_table) == 0) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      // Self-referencing FKs are out of scope: labels would constrain the
+      // very rows being enumerated.
+      for (const SkeletonColumn& col : ts.columns) {
+        if (col.fk_table == ts.table && (col.relevant || col.is_key)) {
+          return Status::Unimplemented("prover: self-referencing foreign key on '" +
+                                     ts.name + "'");
+        }
+      }
+      placed.insert(ts.table);
+      ordered.push_back(std::move(ts));
+      progressed = true;
+    }
+    if (!progressed) {
+      return Status::Unimplemented("prover: foreign-key cycle among tables");
+    }
+  }
+  skeleton.tables = std::move(ordered);
+  return skeleton;
+}
+
+}  // namespace aggview

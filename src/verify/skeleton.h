@@ -1,0 +1,100 @@
+#ifndef AGGVIEW_VERIFY_SKELETON_H_
+#define AGGVIEW_VERIFY_SKELETON_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/query.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "types/value.h"
+
+namespace aggview {
+
+/// Schema skeleton of a transformation: the tables, keys, foreign keys, and
+/// columns a bounded counterexample search must vary — extracted from the
+/// queries of a pre/post plan pair and from the transformation certificates'
+/// column claims (certificate ReferencedColumns). The skeleton is what makes
+/// the small-scope enumeration tractable: columns the plans never look at
+/// are pinned to a single value instead of multiplying the state space.
+
+/// One base-table column as the prover sees it.
+struct SkeletonColumn {
+  /// Position in the table schema.
+  int index = -1;
+  std::string name;
+  DataType type = DataType::kInt64;
+  /// Some query predicate, grouping list, aggregate argument, select list, or
+  /// certificate claim mentions the column; irrelevant columns are pinned.
+  bool relevant = false;
+  /// The table's single-column primary key. Key values are canonical row
+  /// labels (0..rows-1), not enumerated — see enumerate.h.
+  bool is_key = false;
+  /// Resolved single-column foreign key: values are drawn from the referenced
+  /// table's key labels (plus NULL). -1 when not a foreign key.
+  TableId fk_table = -1;
+  /// Whether the enumeration may place NULL here (keys never; everything
+  /// else when EnumerationBounds::with_null).
+  bool nullable = false;
+  /// Non-null candidate values of a relevant non-key, non-FK column: the base
+  /// small-scope domain {0, 1} plus every literal the queries compare the
+  /// column against (with +/-1 neighbours for inequalities, so comparisons
+  /// have rows on both sides of the boundary). Sorted, deduplicated.
+  std::vector<Value> domain;
+  /// The single value irrelevant columns are pinned to.
+  Value pinned;
+  /// Irrelevant column that participates in a declared unique key: pinned to
+  /// a per-row distinct value (derived from the row position) instead of
+  /// `pinned`, so the pinning itself never violates the constraint.
+  bool pin_distinct = false;
+};
+
+/// One base table of the skeleton.
+struct TableSkeleton {
+  TableId table = -1;
+  std::string name;
+  Schema schema;
+  std::vector<SkeletonColumn> columns;
+  /// Schema position of the single-column primary key; -1 when the table has
+  /// no declared key (scans then synthesize rowids, and rows need no labels).
+  int key_column = -1;
+  /// Declared unique column sets (including the primary key when present);
+  /// the enumeration discards databases violating any of them, since the
+  /// transformations' legality proofs assume the declared constraints hold.
+  std::vector<std::vector<int>> unique_keys;
+};
+
+/// The full skeleton: tables ordered so every foreign-key-referenced table
+/// precedes its referencers (the enumeration needs referenced key labels
+/// before it can draw foreign-key values).
+struct SchemaSkeleton {
+  std::vector<TableSkeleton> tables;
+
+  /// Index into `tables` of catalog table `id`; -1 when absent.
+  int IndexOf(TableId id) const;
+};
+
+/// One query contributing to the skeleton, plus any extra columns its
+/// transformation certificates claim (TransformationAudit::ReferencedColumns;
+/// the ids live in the query's column space).
+struct SkeletonSource {
+  const Query* query = nullptr;
+  std::set<ColId> extra_columns;
+};
+
+/// Extracts the skeleton for a set of queries over one catalog. Fails with
+/// Unsupported when the queries fall outside the prover's scope: composite
+/// or multi-column keys/foreign keys, relevant string columns, key columns
+/// used in anything but column-column equalities / grouping / output (the
+/// canonical-labeling argument needs keys to be opaque labels), foreign-key
+/// cycles, or a per-column domain larger than kMaxDomainValues.
+Result<SchemaSkeleton> ExtractSkeleton(const Catalog& catalog,
+                                       const std::vector<SkeletonSource>& sources);
+
+/// Cap on a single column's enumerated domain (base values + query literals).
+inline constexpr int kMaxDomainValues = 8;
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_VERIFY_SKELETON_H_

@@ -193,8 +193,10 @@ TEST_F(CoalescingTest, ResplitAvgFinal) {
   GroupBySpec second;
   second.grouping = gb.grouping;
   second.aggregates = split1->final_aggregates;
-  std::set<ColId> below2(split1->partial.OutputColumns().begin(),
-                         split1->partial.OutputColumns().end());
+  // OutputColumns() returns by value; materialize it once so the set is not
+  // built from iterators into two distinct temporaries.
+  std::vector<ColId> partial_out = split1->partial.OutputColumns();
+  std::set<ColId> below2(partial_out.begin(), partial_out.end());
   auto split2 = SplitForCoalescing(second, below2, {e_dno_}, &q_.columns());
   ASSERT_OK(split2);
   EXPECT_EQ(split2->final_aggregates[0].kind, AggKind::kAvgFinal);

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "test_util.h"
+#include "transform/unsound.h"
+
+namespace aggview {
+namespace {
+
+/// Mutation harness: each of the three soundness bugs PR 2's differential
+/// fuzzer found is re-enabled (transform/unsound.h) and the small-scope
+/// prover must refute the resulting plan pair with a minimized
+/// counterexample of at most 3 rows. This is the sensitivity half of the
+/// prover's own validation — the proof suite (prover_test.cc) shows it
+/// accepts the sound rules, this file shows it rejects known-unsound ones —
+/// and a regression net: any future bug with one of these shapes is caught
+/// by an exhaustive search, not by fuzzing luck.
+
+OptimizerOptions NonParanoid(OptimizerOptions options) {
+  // The reinjected rules must reach execution: paranoid mode would reject
+  // the illegal transformation at optimization time, which is a different
+  // (also load-bearing) line of defense tested elsewhere.
+  options.paranoid = false;
+  return options;
+}
+
+OptimizerOptions InvariantOnly() {
+  // Isolate the invariant-grouping lane: with coalescing on, the DP may
+  // prefer a (sound) partial-aggregation plan of the same cost and the
+  // reinjected rule never reaches the winning plan.
+  OptimizerOptions options = NonParanoid(OptimizerOptions{});
+  options.enumerator.enable_coalescing = false;
+  return options;
+}
+
+/// Bug 1: the IG3 key-coverage condition of invariant grouping waived for
+/// duplicate-insensitive aggregates. MIN/MAX ignore duplicates, but moving
+/// the group-by below a join still changes *how many times* each group row
+/// comes out: two emp rows in one department make the early-aggregated plan
+/// emit the group twice.
+TEST(ProverMutationTest, RefutesMinMaxInvariantWaiver) {
+  EmpDeptFixture fixture = MakeEmpDept();
+  const std::string sql = R"sql(
+select e.dno, min(e.sal)
+from emp e, emp f
+where e.dno = f.dno
+group by e.dno
+)sql";
+
+  ProverOptions options;
+  options.name = "mutation_minmax_waiver";
+
+  {
+    ScopedUnsoundReinjection reinject(UnsoundReinjection::kMinMaxInvariantWaiver);
+    auto proof = ProveSqlTransformation(
+        fixture.catalog.get(), sql, NonParanoid(TraditionalOptions()),
+        InvariantOnly(), options);
+    ASSERT_OK(proof);
+    EXPECT_FALSE(proof->result.proved)
+        << "prover failed to refute the reinjected IG3 waiver";
+    ASSERT_TRUE(proof->result.counterexample.has_value());
+    const Counterexample& cx = *proof->result.counterexample;
+    EXPECT_LE(cx.db.total_rows(), 3);
+    EXPECT_NE(cx.pre_outcome, cx.post_outcome);
+    EXPECT_FALSE(cx.repro.empty());
+  }
+
+  // Soundness restored: the same obligation proves.
+  auto sound = ProveSqlTransformation(
+      fixture.catalog.get(), sql, NonParanoid(TraditionalOptions()),
+      InvariantOnly(), options);
+  ASSERT_OK(sound);
+  EXPECT_TRUE(sound->result.proved)
+      << (sound->result.counterexample ? sound->result.counterexample->repro
+                                       : "");
+}
+
+/// Catalog for bug 2: removability of `a` and `d` holds at the block level,
+/// but the mask {a, c} loses the grouping column d.dg that made a's crossing
+/// predicate a.ax = d.dg legal — the removable set is not downward-closed
+/// across DP masks. Stats steer the optimizer so the (bogus) early
+/// aggregation at that mask is the cheapest alternative.
+struct AcdFixture {
+  std::unique_ptr<Catalog> catalog = std::make_unique<Catalog>();
+  TableId ra = -1, rd = -1, rc = -1;
+};
+
+AcdFixture MakeAcd() {
+  AcdFixture f;
+  {
+    TableDef def;
+    def.name = "ra";
+    def.schema = Schema({{"ak", DataType::kInt64}, {"ax", DataType::kInt64}});
+    def.primary_key = {0};
+    auto id = f.catalog->AddTable(std::move(def));
+    EXPECT_OK(id);
+    f.ra = *id;
+  }
+  {
+    TableDef def;
+    def.name = "rd";
+    def.schema = Schema({{"dk", DataType::kInt64}, {"dg", DataType::kInt64}});
+    def.primary_key = {0};
+    auto id = f.catalog->AddTable(std::move(def));
+    EXPECT_OK(id);
+    f.rd = *id;
+  }
+  {
+    TableDef def;
+    def.name = "rc";
+    def.schema = Schema({{"ck", DataType::kInt64},
+                         {"cg2", DataType::kInt64},
+                         {"cg3", DataType::kInt64},
+                         {"cv", DataType::kInt64}});
+    def.primary_key = {0};
+    auto id = f.catalog->AddTable(std::move(def));
+    EXPECT_OK(id);
+    f.rc = *id;
+  }
+  EXPECT_OK(f.catalog->AddForeignKey(
+      ForeignKey{f.rc, {1}, f.ra, {0}}));
+  EXPECT_OK(f.catalog->AddForeignKey(
+      ForeignKey{f.rc, {2}, f.rd, {0}}));
+
+  auto load = [&](TableId id, std::shared_ptr<Table> data) {
+    TableDef& def = f.catalog->mutable_table(id);
+    def.stats = ComputeStats(*data);
+    def.data = std::move(data);
+  };
+
+  // Representative data (stats only; the prover swaps in enumerated data):
+  // tiny ra, mid-size rc, huge rd. Every plan must eventually cross the
+  // expensive rd, so aggregating before that join dominates the cost, and
+  // folding ra into the pre-aggregation side (the bogus mask {a, c}) is one
+  // page cheaper than the legal placement that aggregates rc alone. The
+  // ax/dg domains overlap so the estimator sees nonzero join selectivity.
+  auto ra_data = std::make_shared<Table>(f.catalog->table(f.ra).schema);
+  ra_data->AppendUnchecked({Value::Int(0), Value::Int(7)});
+  load(f.ra, std::move(ra_data));
+
+  auto rd_data = std::make_shared<Table>(f.catalog->table(f.rd).schema);
+  for (int64_t i = 0; i < 100000; ++i) {
+    rd_data->AppendUnchecked({Value::Int(i), Value::Int(7)});
+  }
+  load(f.rd, std::move(rd_data));
+
+  auto rc_data = std::make_shared<Table>(f.catalog->table(f.rc).schema);
+  for (int64_t i = 0; i < 5000; ++i) {
+    rc_data->AppendUnchecked(
+        {Value::Int(i), Value::Int(0), Value::Int(i % 500), Value::Int(1)});
+  }
+  load(f.rc, std::move(rc_data));
+  return f;
+}
+
+/// Bug 2: the block-level removable set trusted at every DP mask. At mask
+/// {a, c} the re-run would notice a.ax = d.dg reaches a column the mask
+/// neither groups by nor retains; trusting the global set pushes a group-by
+/// that drops ax, and the later join with d references a column that no
+/// longer exists — the plans disagree already on the empty database (one
+/// executes, one cannot).
+TEST(ProverMutationTest, RefutesTrustedGlobalRemovableSet) {
+  AcdFixture fixture = MakeAcd();
+  const std::string sql = R"sql(
+select c.cg2, c.cg3, d.dg, sum(c.cv)
+from ra a, rc c, rd d
+where a.ak = c.cg2 and c.cg3 = d.dk and a.ax = d.dg
+group by c.cg2, c.cg3, d.dg
+)sql";
+
+  ProverOptions options;
+  options.name = "mutation_trust_removable";
+
+  {
+    ScopedUnsoundReinjection reinject(UnsoundReinjection::kTrustGlobalRemovable);
+    auto proof = ProveSqlTransformation(
+        fixture.catalog.get(), sql, NonParanoid(TraditionalOptions()),
+        InvariantOnly(), options);
+    ASSERT_OK(proof);
+    EXPECT_FALSE(proof->result.proved)
+        << "prover failed to refute the trusted removable set";
+    ASSERT_TRUE(proof->result.counterexample.has_value());
+    const Counterexample& cx = *proof->result.counterexample;
+    EXPECT_LE(cx.db.total_rows(), 3);
+    EXPECT_NE(cx.pre_outcome, cx.post_outcome);
+  }
+
+  // Soundness restored (smaller bound: three tables multiply the scope).
+  ProverOptions small = options;
+  small.bounds.max_rows = 1;
+  auto sound = ProveSqlTransformation(
+      fixture.catalog.get(), sql, NonParanoid(TraditionalOptions()),
+      InvariantOnly(), small);
+  ASSERT_OK(sound);
+  EXPECT_TRUE(sound->result.proved)
+      << (sound->result.counterexample ? sound->result.counterexample->repro
+                                       : "");
+}
+
+/// Bug 3: partial COUNTs combined with a plain SUM. Equivalent on every
+/// nonempty group — the difference is exactly the empty input, where a
+/// scalar COUNT must produce 0 but SUM over no partials produces NULL. The
+/// counterexample is the empty database itself.
+TEST(ProverMutationTest, RefutesCountCombinePlainSum) {
+  EmpDeptFixture fixture = MakeEmpDept();
+  Query q(fixture.catalog.get());
+  int e = q.AddRangeVar(fixture.tables.emp, "e");
+  ColId e_dno = q.range_var(e).columns[1];
+  q.base_rels() = {e};
+
+  GroupBySpec gb;
+  gb.aggregates = {{AggKind::kCountStar, {}, q.columns().Add("c", DataType::kInt64)}};
+  q.top_group_by() = gb;
+  q.select_list() = gb.OutputColumns();
+
+  const std::vector<ColId> outs = gb.OutputColumns();
+  std::set<ColId> needed(outs.begin(), outs.end());
+  needed.insert(e_dno);
+
+  PlanBuilder b(q);
+  PlanPtr lazy = b.GroupBy(b.Scan(e, {}, needed), gb, needed);
+
+  auto eager_for = [&](bool reinject) -> PlanPtr {
+    ScopedUnsoundReinjection scope(reinject
+                                       ? UnsoundReinjection::kCountCombinePlainSum
+                                       : UnsoundReinjection::kNone);
+    auto split = SplitForCoalescing(gb, q.range_var(e).ColumnSet(), {e_dno},
+                                    &q.columns());
+    EXPECT_OK(split);
+    if (!split.ok()) return nullptr;
+    GroupBySpec final_spec;
+    final_spec.aggregates = split->final_aggregates;
+    std::set<ColId> needed2 = needed;
+    for (ColId c : split->partial.OutputColumns()) needed2.insert(c);
+    return b.GroupBy(b.GroupBy(b.Scan(e, {}, needed2), split->partial, needed2),
+                     final_spec, needed2);
+  };
+
+  auto skeleton = ExtractSkeleton(*fixture.catalog, {SkeletonSource{&q, {}}});
+  ASSERT_OK(skeleton);
+
+  ProverOptions options;
+  options.name = "mutation_count_plain_sum";
+
+  PlanPtr bad = eager_for(/*reinject=*/true);
+  ASSERT_NE(bad, nullptr);
+  auto refuted = ProveEquivalence(fixture.catalog.get(), *skeleton,
+                                  ExecutionSpec{&q, lazy, ExecContext{}, "lazy"},
+                                  ExecutionSpec{&q, bad, ExecContext{}, "eager(SUM)"},
+                                  options);
+  ASSERT_OK(refuted);
+  EXPECT_FALSE(refuted->proved)
+      << "prover failed to refute the SUM-combined COUNT";
+  ASSERT_TRUE(refuted->counterexample.has_value());
+  // The minimal counterexample is the empty database.
+  EXPECT_EQ(refuted->counterexample->db.total_rows(), 0);
+
+  PlanPtr good = eager_for(/*reinject=*/false);
+  ASSERT_NE(good, nullptr);
+  auto sound = ProveEquivalence(fixture.catalog.get(), *skeleton,
+                                ExecutionSpec{&q, lazy, ExecContext{}, "lazy"},
+                                ExecutionSpec{&q, good, ExecContext{}, "eager"},
+                                options);
+  ASSERT_OK(sound);
+  EXPECT_TRUE(sound->proved)
+      << (sound->counterexample ? sound->counterexample->repro : "");
+}
+
+}  // namespace
+}  // namespace aggview
