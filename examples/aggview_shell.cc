@@ -8,6 +8,9 @@
 //   create view v (dno, asal) as
 //     select e.dno, avg(e.sal) from emp e group by e.dno;
 //   select e1.sal from emp e1, v where e1.dno = v.dno and e1.sal > v.asal;
+// CREATE MATERIALIZED VIEW name [(cols)] AS select / REFRESH MATERIALIZED
+// VIEW name are routed to the session's DDL path; matching aggregate
+// queries are then answered from the stored view (see the plan banner).
 // Prefix a statement with `explain analyze` to run it instrumented and see
 // per-operator actual rows, Q-error, pages and wall time.
 // Meta commands: \help \tables \traditional (toggle) \quit
@@ -63,6 +66,15 @@ void PrintTables(const Catalog& catalog) {
 
 void RunStatement(Session& session, std::string sql) {
   bool analyze = StripExplainAnalyze(&sql);
+  if (IsMatViewDdl(sql)) {
+    auto message = session.ExecuteDdl(sql);
+    if (!message.ok()) {
+      std::printf("error: %s\n", message.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s\n", message->c_str());
+    return;
+  }
   auto prepared = session.Sql(sql);
   if (!prepared.ok()) {
     std::printf("error: %s\n", prepared.status().ToString().c_str());
@@ -147,6 +159,7 @@ int main(int argc, char** argv) {
             "\\traditional   toggle traditional vs extended optimizer\n"
             "\\quit          exit\n"
             "Anything else: SQL, terminated by ';'.\n"
+            "create/refresh materialized view run as DDL statements.\n"
             "Prefix with `explain analyze` for per-operator actual rows,\n"
             "Q-error, pages and time.\n");
       }

@@ -58,5 +58,9 @@
 #include "verify/prover.h"
 #include "verify/shrink.h"
 #include "verify/skeleton.h"
+#include "view/definition_analysis.h"
+#include "view/maintenance.h"
+#include "view/matview.h"
+#include "view/rewriter.h"
 
 #endif  // AGGVIEW_AGGVIEW_H_

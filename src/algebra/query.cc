@@ -72,6 +72,30 @@ int Query::AddRangeVar(TableId table, const std::string& alias) {
   return range_vars_.back().id;
 }
 
+int Query::AddRangeVarWithReuse(TableId table, const std::string& alias,
+                                const std::vector<ColId>& reuse) {
+  const TableDef& def = catalog_->table(table);
+  RangeVar rv;
+  rv.id = static_cast<int>(range_vars_.size());
+  rv.table = table;
+  rv.alias = alias;
+  for (int i = 0; i < def.schema.num_columns(); ++i) {
+    const ColumnSpec& c = def.schema.column(i);
+    ColId reused = i < static_cast<int>(reuse.size())
+                       ? reuse[static_cast<size_t>(i)]
+                       : kInvalidColId;
+    rv.columns.push_back(reused != kInvalidColId
+                             ? reused
+                             : columns_.Add(alias + "." + c.name, c.type,
+                                            c.width));
+  }
+  if (def.primary_key.empty() && def.unique_keys.empty()) {
+    rv.rowid = columns_.Add(alias + ".$rowid", DataType::kInt64);
+  }
+  range_vars_.push_back(std::move(rv));
+  return range_vars_.back().id;
+}
+
 Result<ColId> Query::ResolveColumn(const std::string& alias,
                                    const std::string& column_name) const {
   for (const RangeVar& rv : range_vars_) {
@@ -121,10 +145,12 @@ Status Query::Validate() const {
     for (int id : v.spj.rels) occurrences[static_cast<size_t>(id)]++;
   }
   for (size_t i = 0; i < occurrences.size(); ++i) {
-    if (occurrences[i] != 1) {
+    int expected = range_vars_[i].detached ? 0 : 1;
+    if (occurrences[i] != expected) {
       return Status::Internal(StrFormat(
-          "range variable %zu ('%s') appears in %d blocks", i,
-          range_vars_[i].alias.c_str(), occurrences[i]));
+          "range variable %zu ('%s'%s) appears in %d blocks", i,
+          range_vars_[i].alias.c_str(),
+          range_vars_[i].detached ? ", detached" : "", occurrences[i]));
     }
   }
 

@@ -30,6 +30,11 @@ struct RangeVar {
   /// the query engine can use the internal tuple id as a key"). The scan
   /// operator materializes it as the row's position.
   ColId rowid = kInvalidColId;
+  /// Set by the materialized-view rewriter when this occurrence was replaced
+  /// by a view scan: the range variable stays allocated (its column ids may
+  /// live on, reused by the backing scan) but belongs to no block and is
+  /// never scanned. Validate() requires detached vars in zero blocks.
+  bool detached = false;
 
   std::set<ColId> ColumnSet() const {
     std::set<ColId> out(columns.begin(), columns.end());
@@ -114,6 +119,22 @@ class Query {
   /// NOT placed in any block; callers add its id to a view's SPJ or to the
   /// top block.
   int AddRangeVar(TableId table, const std::string& alias);
+
+  /// Like AddRangeVar, but positions with a valid ColId in `reuse` adopt
+  /// that existing column instead of allocating a fresh one. The
+  /// materialized-view rewriter uses this to make the backing-table scan
+  /// produce the very column ids the query already references (the matched
+  /// grouping columns of the replaced relations, which are detached and no
+  /// longer produce them). `reuse` may be shorter than the schema; missing
+  /// or invalid entries allocate fresh ids named "<alias>.<col>".
+  int AddRangeVarWithReuse(TableId table, const std::string& alias,
+                           const std::vector<ColId>& reuse);
+
+  /// Marks a range variable as replaced by the view rewriter; see
+  /// RangeVar::detached.
+  void DetachRangeVar(int id) {
+    range_vars_[static_cast<size_t>(id)].detached = true;
+  }
 
   const RangeVar& range_var(int id) const {
     return range_vars_[static_cast<size_t>(id)];

@@ -1,10 +1,13 @@
 #include "analysis/analyzer.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "analysis/dataflow.h"
 #include "common/string_util.h"
 #include "optimizer/plan_validator.h"
+#include "transform/decompose.h"
+#include "view/definition_analysis.h"
 
 namespace aggview {
 
@@ -553,6 +556,169 @@ Status VerifyCoalescingCertificate(const Query& query,
   return Status::OK();
 }
 
+Status VerifyViewRewriteCertificate(const Query& query,
+                                    const ViewRewriteCertificate& cert) {
+  auto fail = [&](const std::string& what) {
+    return Status::Internal("view rewrite certificate ('" + cert.view_name +
+                            "') rejected: " + what);
+  };
+  const Catalog& catalog = query.catalog();
+  const ViewDefinition* view = catalog.FindView(cert.view_name);
+  if (view == nullptr) return fail("no such materialized view");
+  if (cert.backing_rel < 0 || cert.backing_rel >= query.num_range_vars()) {
+    return fail("backing range variable out of range");
+  }
+  const RangeVar& brv = query.range_var(cert.backing_rel);
+  if (brv.table != view->backing_table) {
+    return fail("backing scan is not the view's backing table");
+  }
+  // The backing key must be exactly the grouping prefix — the property that
+  // makes a residual roll-up aggregate whole view groups.
+  const TableDef& backing = catalog.table(view->backing_table);
+  if (static_cast<int>(backing.primary_key.size()) != view->num_grouping) {
+    return fail("backing key is not the grouping prefix");
+  }
+  for (int k = 0; k < view->num_grouping; ++k) {
+    if (backing.primary_key[static_cast<size_t>(k)] != k) {
+      return fail("backing key is not the grouping prefix");
+    }
+  }
+
+  // Re-derive the definition from its stored SQL, independent of whatever
+  // the rewriter matched against.
+  AGGVIEW_ASSIGN_OR_RETURN(
+      DefAnalysis def,
+      AnalyzeViewDefinition(catalog, view->name, view->definition_sql,
+                            view->column_names));
+
+  // The replaced relations must biject onto the definition FROM list,
+  // preserving catalog tables (positional: cert.replaced_rels is in
+  // definition order).
+  if (cert.replaced_rels.size() != def.base_tables.size()) {
+    return fail("replaced relation count does not match the definition");
+  }
+  std::unordered_map<ColId, ColId> colmap;  // definition -> incoming
+  for (size_t p = 0; p < cert.replaced_rels.size(); ++p) {
+    int rel = cert.replaced_rels[p];
+    if (rel < 0 || rel >= query.num_range_vars()) {
+      return fail("replaced relation out of range");
+    }
+    const RangeVar& iv = query.range_var(rel);
+    if (iv.table != def.base_tables[p]) {
+      return fail("replaced relation scans a different table than the "
+                  "definition");
+    }
+    const RangeVar& dv = def.query.range_var(def.query.base_rels()[p]);
+    for (size_t j = 0; j < dv.columns.size(); ++j) {
+      colmap[dv.columns[j]] = iv.columns[j];
+    }
+  }
+
+  // Predicate equality as canonicalized multisets.
+  auto canon = [&](const Predicate& p) {
+    std::string fwd = p.ToString(query.columns());
+    Predicate flipped(p.rhs, FlipCompareOp(p.op), p.lhs);
+    std::string rev = flipped.ToString(query.columns());
+    return fwd < rev ? fwd : rev;
+  };
+  std::vector<std::string> def_preds;
+  for (const Predicate& p : def.query.predicates()) {
+    def_preds.push_back(canon(p.RemapColumns(colmap)));
+  }
+  std::vector<std::string> got_preds;
+  for (const Predicate& p : cert.replaced_predicates) {
+    got_preds.push_back(canon(p));
+  }
+  std::sort(def_preds.begin(), def_preds.end());
+  std::sort(got_preds.begin(), got_preds.end());
+  if (def_preds != got_preds) {
+    return fail("absorbed predicates do not equal the definition's WHERE");
+  }
+
+  // Grouping containment + the reuse invariant: each kept grouping column
+  // is one of the view's grouping keys and the backing scan produces it at
+  // that key's position.
+  for (ColId g : cert.grouping) {
+    int key = -1;
+    for (int k = 0; k < view->num_grouping; ++k) {
+      int p = view->grouping_rel[static_cast<size_t>(k)];
+      int c = view->grouping_col[static_cast<size_t>(k)];
+      const RangeVar& iv =
+          query.range_var(cert.replaced_rels[static_cast<size_t>(p)]);
+      if (iv.columns[static_cast<size_t>(c)] == g) {
+        key = k;
+        break;
+      }
+    }
+    if (key < 0) return fail("kept grouping column is not a view grouping key");
+    if (brv.columns[static_cast<size_t>(key)] != g) {
+      return fail("backing scan does not produce the kept grouping column");
+    }
+  }
+
+  // Aggregates: each original call maps onto a stored slot (by kind and
+  // argument) and became exactly its decomposition combine over that slot's
+  // partial columns, keeping the output id.
+  if (cert.original_aggregates.size() != cert.combine_aggregates.size()) {
+    return fail("aggregate lists disagree in length");
+  }
+  for (size_t i = 0; i < cert.original_aggregates.size(); ++i) {
+    const AggregateCall& orig = cert.original_aggregates[i];
+    const AggregateCall& comb = cert.combine_aggregates[i];
+    if (orig.output != comb.output) {
+      return fail("combine does not keep the original output column");
+    }
+    Result<AggDecomposition> d = DecomposeAggregate(orig.kind);
+    if (!d.ok()) return fail("original aggregate is not decomposable");
+    if (comb.kind != d->combine) {
+      return fail("combine kind is not the decomposition combine");
+    }
+    std::vector<int> storage;
+    if (orig.kind == AggKind::kCountStar) {
+      storage = {view->rows_col};
+    } else {
+      if (orig.args.size() != 1) return fail("original aggregate arity");
+      // Locate the argument among the replaced relations.
+      int rel_pos = -1;
+      int col = -1;
+      for (size_t p = 0; p < cert.replaced_rels.size() && rel_pos < 0; ++p) {
+        const RangeVar& iv = query.range_var(cert.replaced_rels[p]);
+        for (size_t j = 0; j < iv.columns.size(); ++j) {
+          if (iv.columns[j] == orig.args[0]) {
+            rel_pos = static_cast<int>(p);
+            col = static_cast<int>(j);
+            break;
+          }
+        }
+      }
+      if (rel_pos < 0) {
+        return fail("aggregate argument is not a replaced base column");
+      }
+      const ViewAggSlot* slot = nullptr;
+      for (const ViewAggSlot& s : view->slots) {
+        if (s.kind == orig.kind && s.arg_rel == rel_pos && s.arg_col == col) {
+          slot = &s;
+          break;
+        }
+      }
+      if (slot == nullptr) {
+        return fail("no stored slot answers aggregate " +
+                    orig.ToString(query.columns()));
+      }
+      storage = slot->storage;
+    }
+    if (comb.args.size() != storage.size()) {
+      return fail("combine arity does not match the slot storage");
+    }
+    for (size_t j = 0; j < storage.size(); ++j) {
+      if (comb.args[j] != brv.columns[static_cast<size_t>(storage[j])]) {
+        return fail("combine argument is not the slot's partial column");
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Status VerifyAudit(const Query& query, const TransformationAudit& audit) {
   for (const PullUpCertificate& cert : audit.pullups) {
     AGGVIEW_RETURN_NOT_OK(VerifyPullUpCertificate(query, cert));
@@ -562,6 +728,9 @@ Status VerifyAudit(const Query& query, const TransformationAudit& audit) {
   }
   for (const CoalescingCertificate& cert : audit.coalescings) {
     AGGVIEW_RETURN_NOT_OK(VerifyCoalescingCertificate(query, cert));
+  }
+  for (const ViewRewriteCertificate& cert : audit.view_rewrites) {
+    AGGVIEW_RETURN_NOT_OK(VerifyViewRewriteCertificate(query, cert));
   }
   return Status::OK();
 }

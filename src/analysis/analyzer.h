@@ -68,6 +68,18 @@ Status VerifyInvariantCertificate(const Query& query,
 Status VerifyCoalescingCertificate(const Query& query,
                                    const CoalescingCertificate& cert);
 
+/// Re-derives a materialized-view rewrite's legality from the stored
+/// definition SQL, independent of the rewriter's matching: the replaced
+/// relations biject onto the definition FROM (preserving tables), the
+/// absorbed predicates equal the definition's WHERE as a canonicalized
+/// multiset under the mapping, every kept grouping column is a view grouping
+/// key produced by the backing scan at that key's position (and the backing
+/// key is exactly the grouping prefix, so the residual group-by rolls up
+/// whole view groups), and every aggregate became its decomposition combine
+/// over the matched slot's partial columns with the original output id.
+Status VerifyViewRewriteCertificate(const Query& query,
+                                    const ViewRewriteCertificate& cert);
+
 /// Verifies every certificate in `audit` against `query`.
 Status VerifyAudit(const Query& query, const TransformationAudit& audit);
 

@@ -56,6 +56,21 @@ std::set<ColId> CoalescingCertificate::ReferencedColumns() const {
   return out;
 }
 
+std::set<ColId> ViewRewriteCertificate::ReferencedColumns() const {
+  std::set<ColId> out;
+  InsertPredicates(replaced_predicates, &out);
+  InsertAll(grouping, &out);
+  for (const AggregateCall& agg : original_aggregates) {
+    InsertAll(agg.args, &out);
+    if (agg.output != kInvalidColId) out.insert(agg.output);
+  }
+  for (const AggregateCall& agg : combine_aggregates) {
+    InsertAll(agg.args, &out);
+    if (agg.output != kInvalidColId) out.insert(agg.output);
+  }
+  return out;
+}
+
 std::set<ColId> TransformationAudit::ReferencedColumns() const {
   std::set<ColId> out;
   for (const PullUpCertificate& c : pullups) {
@@ -67,6 +82,10 @@ std::set<ColId> TransformationAudit::ReferencedColumns() const {
     out.insert(cols.begin(), cols.end());
   }
   for (const CoalescingCertificate& c : coalescings) {
+    std::set<ColId> cols = c.ReferencedColumns();
+    out.insert(cols.begin(), cols.end());
+  }
+  for (const ViewRewriteCertificate& c : view_rewrites) {
     std::set<ColId> cols = c.ReferencedColumns();
     out.insert(cols.begin(), cols.end());
   }

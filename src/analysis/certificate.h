@@ -94,16 +94,48 @@ struct CoalescingCertificate {
   std::set<ColId> ReferencedColumns() const;
 };
 
+/// Emitted by the materialized-view rewriter (view/rewriter.h) when it
+/// answers a block from a view's backing table. Claims that the replaced
+/// block's relations biject onto the view definition's FROM list (preserving
+/// catalog tables), the block predicates equal the definition's WHERE as a
+/// multiset under that mapping, the kept grouping columns are a subset of
+/// the view's grouping (so the residual group-by is a legal roll-up over
+/// whole view groups — the backing key is exactly the grouping prefix), and
+/// every replaced aggregate became its decomposition's combine over the
+/// view's partial columns. The verifier re-derives all of this from the
+/// stored definition SQL, independent of the rewriter's own matching.
+struct ViewRewriteCertificate {
+  std::string view_name;
+  /// View content epoch at rewrite time (observability; freshness at
+  /// execution time is the plan cache's dependency stamps' job).
+  int64_t view_epoch = 0;
+  /// Range variable scanning the backing table, added by the rewrite.
+  int backing_rel = -1;
+  /// Replaced range variables, in definition FROM order (the mapping).
+  std::vector<int> replaced_rels;
+  /// The block predicates the rewrite absorbed (incoming column space).
+  std::vector<Predicate> replaced_predicates;
+  /// Grouping columns kept by the residual group-by.
+  std::vector<ColId> grouping;
+  /// Pairwise: the original aggregate call and the combine it became.
+  std::vector<AggregateCall> original_aggregates;
+  std::vector<AggregateCall> combine_aggregates;
+
+  /// Column skeleton of the claim; see PullUpCertificate::ReferencedColumns.
+  std::set<ColId> ReferencedColumns() const;
+};
+
 /// Audit trail of one optimization: every certificate the winning rewrite
 /// emitted, for observability and post-hoc re-verification.
 struct TransformationAudit {
   std::vector<PullUpCertificate> pullups;
   std::vector<InvariantCertificate> invariants;
   std::vector<CoalescingCertificate> coalescings;
+  std::vector<ViewRewriteCertificate> view_rewrites;
 
   int64_t size() const {
     return static_cast<int64_t>(pullups.size() + invariants.size() +
-                                coalescings.size());
+                                coalescings.size() + view_rewrites.size());
   }
 
   /// Union of the column skeletons of every certificate in the audit.

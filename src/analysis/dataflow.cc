@@ -669,6 +669,46 @@ DataflowAnalysis DataflowAnalysis::Analyze(const PlanPtr& plan,
   return a;
 }
 
+namespace {
+
+/// Rebuilds the spine above any node whose estimate needs clamping (plans
+/// are immutable and shared); untouched subtrees are reused as-is, and the
+/// memo preserves DAG sharing in the rebuilt plan.
+PlanPtr ClampNodeEstimates(const PlanPtr& node,
+                           const DataflowAnalysis& analysis,
+                           std::unordered_map<const PlanNode*, PlanPtr>* memo) {
+  if (node == nullptr) return nullptr;
+  auto it = memo->find(node.get());
+  if (it != memo->end()) return it->second;
+  PlanPtr left = ClampNodeEstimates(node->left, analysis, memo);
+  PlanPtr right = ClampNodeEstimates(node->right, analysis, memo);
+  double rows = node->est.rows;
+  if (const NodeFacts* f = analysis.Find(node.get())) {
+    if (rows < f->card.lo) rows = f->card.lo;
+    if (rows > f->card.hi) rows = f->card.hi;
+  }
+  PlanPtr out = node;
+  if (left != node->left || right != node->right || rows != node->est.rows) {
+    auto clone = std::make_shared<PlanNode>(*node);
+    clone->left = std::move(left);
+    clone->right = std::move(right);
+    clone->est.rows = rows;
+    out = std::move(clone);
+  }
+  (*memo)[node.get()] = out;
+  return out;
+}
+
+}  // namespace
+
+PlanPtr ClampEstimatesToProvableBounds(const PlanPtr& plan,
+                                       const Query& query) {
+  if (plan == nullptr) return plan;
+  DataflowAnalysis analysis = DataflowAnalysis::Analyze(plan, query);
+  std::unordered_map<const PlanNode*, PlanPtr> memo;
+  return ClampNodeEstimates(plan, analysis, &memo);
+}
+
 bool EstimateWithinBounds(double est_rows, const CardBounds& bounds) {
   if (!std::isfinite(est_rows)) return false;
   // Float slack: every estimator step is a monotone rounding of monotone

@@ -138,6 +138,20 @@ Status CheckDataflowObligations(const PlanPtr& plan, const Query& query);
 /// True when `est_rows` lies inside `bounds` up to float-rounding slack.
 bool EstimateWithinBounds(double est_rows, const CardBounds& bounds);
 
+/// Returns `plan` with every node's estimated row count clamped into its
+/// provable [lo, hi] bounds (nodes are immutable, so the spine above any
+/// clamped node is rebuilt; feasible subtrees are shared with the input).
+/// The view-matching rewriter can make the provable bounds *tighter* than
+/// the estimator's heuristics: backing-table column statistics flow through
+/// the combine aggregates (a per-group partial sum has real min/max stats
+/// where the base aggregate output has none), so the interpreter may prove
+/// a view-output predicate empty while the estimator still applies a
+/// default selectivity. Clamping restores the estimator-consistency
+/// obligation above without touching any estimate that was already
+/// feasible. Run on view-backed plans after optimization.
+PlanPtr ClampEstimatesToProvableBounds(const PlanPtr& plan,
+                                       const Query& query);
+
 /// Runtime self-verification (consumer 3): owns the analysis of one plan
 /// and checks actual execution against it. Installed via
 /// ExecContext::WithVerify; the executor then

@@ -3,11 +3,13 @@
 #include <cstdlib>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "analysis/analyzer.h"
 #include "analysis/dataflow.h"
 #include "catalog/catalog.h"
+#include "catalog/statistics.h"
 #include "exec/executor.h"
 #include "optimizer/aggview_optimizer.h"
 #include "optimizer/plan_validator.h"
@@ -16,6 +18,9 @@
 #include "tpcd/dbgen.h"
 #include "verify/prover.h"
 #include "verify/skeleton.h"
+#include "view/maintenance.h"
+#include "view/matview.h"
+#include "view/rewriter.h"
 
 namespace aggview {
 
@@ -221,13 +226,15 @@ std::string MinimizeDivergenceNote(Catalog* catalog, const Query& pre_query,
 
 }  // namespace
 
-std::string GenerateAggViewSql(Rng* rng) {
+std::string GenerateAggViewSql(Rng* rng,
+                               std::vector<std::string>* view_ddl) {
   int num_views = static_cast<int>(rng->Uniform(0, 2));
   std::vector<ViewSpec> views;
   std::string sql;
   for (int i = 0; i < num_views; ++i) {
     views.push_back(GenerateView(rng, i));
     sql += views.back().sql;
+    if (view_ddl != nullptr) view_ddl->push_back(views.back().sql);
   }
 
   // Top block: emp e1 always, optional self-join / dept, every view joined
@@ -320,6 +327,156 @@ std::string GenerateAggViewSql(Rng* rng) {
   return sql;
 }
 
+namespace {
+
+/// The materialized-view leg of one fuzz query: creates every supported
+/// inline view as a materialized view, checks that the rewriter answers the
+/// query from the backing tables byte-identically, then applies a random
+/// insert+delete delta to emp (incremental maintenance), refreshes whatever
+/// went stale, and re-checks the *same* view-answering plan against a base
+/// re-execution — so maintained backing content is compared against a full
+/// recompute. Restores emp and drops the views before returning, on every
+/// path.
+Status MatViewDifferential(Catalog* catalog, TableId emp,
+                           const std::string& sql,
+                           const std::vector<std::string>& view_ddls,
+                           const std::string& reference,
+                           const OptimizedQuery& reference_opt,
+                           const std::string& seed_note, Rng* rng,
+                           FuzzReport* report) {
+  auto fail = [&](const std::string& what, const Status& st) {
+    return Status::Internal("materialized-view differential failure (" + what +
+                            ") on query:\n" + sql + seed_note + "\n" +
+                            st.ToString());
+  };
+
+  // Re-issue each inline definition as CREATE MATERIALIZED VIEW under a
+  // fresh name ("v0" -> "mv0"; the inline views keep their names, so both
+  // forms coexist). Definitions the matview layer rejects (HAVING, MEDIAN)
+  // are expected skips, not failures.
+  static const char kCreatePrefix[] = "create view ";
+  std::vector<std::string> created;
+  for (size_t vi = 0; vi < view_ddls.size(); ++vi) {
+    std::string ddl = "create materialized view m" +
+                      view_ddls[vi].substr(sizeof(kCreatePrefix) - 1);
+    auto res = ExecuteMatViewStatement(catalog, ddl);
+    if (res.ok()) {
+      created.push_back("mv" + std::to_string(vi));
+    } else {
+      ++report->matview_skips;
+    }
+  }
+  if (created.empty()) return Status::OK();
+
+  std::vector<Row> snapshot = catalog->table(emp).data->rows();
+  Status st = [&]() -> Status {
+    // Phase 1: the rewriter must answer every materialized block, and the
+    // view-backed execution must reproduce the reference bytes.
+    AGGVIEW_ASSIGN_OR_RETURN(Query query, ParseAndBind(*catalog, sql));
+    std::vector<ViewRewriteCertificate> certs;
+    AGGVIEW_ASSIGN_OR_RETURN(
+        int rewrites, RewriteWithMaterializedViews(*catalog, &query, &certs));
+    if (rewrites < static_cast<int>(created.size())) {
+      return Status::Internal(
+          "rewriter answered " + std::to_string(rewrites) + " of " +
+          std::to_string(created.size()) +
+          " blocks whose definitions were materialized verbatim");
+    }
+    AGGVIEW_ASSIGN_OR_RETURN(
+        OptimizedQuery opt,
+        OptimizeQueryWithAggViews(query, TraditionalOptions()));
+    for (ViewRewriteCertificate& cert : certs) {
+      opt.audit.view_rewrites.push_back(std::move(cert));
+    }
+    // Backing-column statistics can prove bounds the estimator's heuristics
+    // miss; AnalyzePlan requires estimates to respect them.
+    opt.plan = ClampEstimatesToProvableBounds(opt.plan, opt.query);
+    AGGVIEW_RETURN_NOT_OK(ValidatePlan(opt.plan, opt.query));
+    AGGVIEW_RETURN_NOT_OK(AnalyzePlan(opt.plan, opt.query));
+    AGGVIEW_RETURN_NOT_OK(VerifyAudit(opt.query, opt.audit));
+    AGGVIEW_ASSIGN_OR_RETURN(
+        QueryResult answered, ExecutePlan(opt.plan, opt.query, ExecContext{}));
+    if (answered.Fingerprint() != reference) {
+      return Status::Internal(
+          "view-answered execution diverges from the reference");
+    }
+    report->matview_rewrite_checks += rewrites;
+
+    // Phase 2: a random delta (inserts merging into existing groups plus
+    // deletes, the retraction path), then REFRESH for whatever went stale.
+    const int64_t nrows = catalog->table(emp).data->row_count();
+    TableDelta delta;
+    delta.table = emp;
+    const int num_inserts = static_cast<int>(rng->Uniform(1, 3));
+    for (int j = 0; j < num_inserts; ++j) {
+      const Row& donor =
+          snapshot[static_cast<size_t>(rng->Uniform(0, nrows - 1))];
+      Value sal = rng->Chance(0.15)
+                      ? Value::Null()
+                      : Value::Real(static_cast<double>(
+                            rng->Uniform(30'000, 150'000)));
+      delta.inserts.push_back({Value::Int(1'000'000 + j), donor[1],
+                               std::move(sal),
+                               Value::Int(rng->Uniform(18, 65))});
+    }
+    std::set<int64_t> deletes;
+    const int num_deletes = static_cast<int>(rng->Uniform(1, 3));
+    for (int j = 0; j < num_deletes; ++j) {
+      deletes.insert(rng->Uniform(0, nrows - 1));
+    }
+    delta.deletes.assign(deletes.begin(), deletes.end());
+    AGGVIEW_RETURN_NOT_OK(ApplyTableDelta(catalog, delta, nullptr));
+    for (const std::string& name : created) {
+      const ViewDefinition* view = catalog->FindView(name);
+      if (view != nullptr && !catalog->IsViewFresh(*view)) {
+        AGGVIEW_RETURN_NOT_OK(RefreshMaterializedView(catalog, name));
+      }
+    }
+
+    // The same plans re-executed over the mutated catalog: maintained (or
+    // refreshed) backing content vs the base recompute, byte for byte.
+    AGGVIEW_ASSIGN_OR_RETURN(
+        QueryResult base_after,
+        ExecutePlan(reference_opt.plan, reference_opt.query, ExecContext{}));
+    AGGVIEW_ASSIGN_OR_RETURN(
+        QueryResult view_after,
+        ExecutePlan(opt.plan, opt.query, ExecContext{}));
+    if (view_after.Fingerprint() != base_after.Fingerprint()) {
+      return Status::Internal(
+          "view-answered execution diverges from the base plan after an "
+          "insert+delete delta and refresh");
+    }
+    ++report->matview_delta_checks;
+    return Status::OK();
+  }();
+
+  // Restore emp exactly (data and stats) and drop the views, so the next
+  // fuzz query sees the pristine database whatever happened above.
+  {
+    TableDef& def = catalog->mutable_table(emp);
+    auto restored = std::make_shared<Table>(def.schema);
+    restored->Reserve(static_cast<int64_t>(snapshot.size()));
+    for (Row& r : snapshot) restored->AppendUnchecked(std::move(r));
+    def.data = std::move(restored);
+    def.stats = ComputeStats(*def.data);
+  }
+  for (const std::string& name : created) {
+    Status dropped = catalog->DropView(name);
+    if (st.ok() && !dropped.ok()) st = dropped;
+  }
+  if (!st.ok()) return fail("matview", st);
+  return Status::OK();
+}
+
+/// Reads AGGVIEW_FUZZ_MATVIEW: any value other than unset/empty/"0" turns
+/// the materialized-view leg on.
+bool MatViewModeFromEnv() {
+  const char* raw = std::getenv("AGGVIEW_FUZZ_MATVIEW");
+  return raw != nullptr && *raw != '\0' && std::string(raw) != "0";
+}
+
+}  // namespace
+
 Result<FuzzReport> RunDifferentialFuzz(const FuzzOptions& options) {
   Catalog catalog;
   AGGVIEW_ASSIGN_OR_RETURN(EmpDeptTables tables,
@@ -354,6 +511,7 @@ Result<FuzzReport> RunDifferentialFuzz(const FuzzOptions& options) {
   AGGVIEW_ASSIGN_OR_RETURN(std::optional<uint64_t> replay,
                            FuzzReplaySeedFromEnv());
   const int num_queries = replay.has_value() ? 1 : options.num_queries;
+  const bool matview_mode = options.materialize_views || MatViewModeFromEnv();
 
   FuzzReport report;
   for (int q = 0; q < num_queries; ++q) {
@@ -362,7 +520,8 @@ Result<FuzzReport> RunDifferentialFuzz(const FuzzOptions& options) {
             ? *replay
             : options.seed * 1000003ULL + static_cast<uint64_t>(q);
     Rng rng(query_seed);
-    std::string sql = GenerateAggViewSql(&rng);
+    std::vector<std::string> view_ddls;
+    std::string sql = GenerateAggViewSql(&rng, &view_ddls);
     const std::string seed_note =
         "\nfailing query seed: " + std::to_string(query_seed) +
         " (set AGGVIEW_FUZZ_SEED=" + std::to_string(query_seed) +
@@ -481,6 +640,11 @@ Result<FuzzReport> RunDifferentialFuzz(const FuzzOptions& options) {
       // small scope to produce a minimized counterexample. Moved last —
       // `verifier` holds pointers into the query.
       if (i == 0) reference_opt.emplace(std::move(*optimized));
+    }
+    if (matview_mode && !view_ddls.empty() && reference_opt.has_value()) {
+      AGGVIEW_RETURN_NOT_OK(MatViewDifferential(
+          &catalog, tables.emp, sql, view_ddls, reference, *reference_opt,
+          seed_note, &rng, &report));
     }
     ++report.queries_run;
   }

@@ -25,7 +25,11 @@ namespace aggview {
 /// aggregate-output predicates, and an optional top group-by (grouped or
 /// scalar). All literals are integers, so results are exactly comparable
 /// across plans. Deterministic in `rng`.
-std::string GenerateAggViewSql(Rng* rng);
+/// When `view_ddl` is non-null it receives each generated view's standalone
+/// CREATE VIEW statement, in FROM order — the materialized-view fuzz mode
+/// re-issues them as CREATE MATERIALIZED VIEW.
+std::string GenerateAggViewSql(Rng* rng,
+                               std::vector<std::string>* view_ddl = nullptr);
 
 struct FuzzOptions {
   /// Base seed. Query q runs under the derived per-query seed
@@ -56,6 +60,17 @@ struct FuzzOptions {
   /// geometry. Either list empty disables the check.
   std::vector<int> cross_thread_counts = {1, 2, 8};
   std::vector<int> cross_thread_batch_sizes = {1, 1024};
+  /// Materialize the generated queries' view definitions and differentially
+  /// test the whole materialized-view stack against the reference: each
+  /// supported inline view (no HAVING, no MEDIAN — rejected ones count as
+  /// skips) is re-issued as CREATE MATERIALIZED VIEW, the query is re-bound
+  /// and rewritten to answer from the backing tables, and the execution must
+  /// be byte-identical to the reference. Then a random insert+delete delta
+  /// is applied to emp (exercising incremental maintenance), stale views are
+  /// REFRESHed, and the same view-answering plan must again match a base
+  /// re-execution. The base data is restored and the views dropped before
+  /// the next query. Also enabled by AGGVIEW_FUZZ_MATVIEW=1.
+  bool materialize_views = false;
 };
 
 /// What a fuzz run did, for test assertions and reporting.
@@ -76,6 +91,15 @@ struct FuzzReport {
   /// batch is checked against the statically derived nullability and value
   /// domains and every node's row count against the provable [lo, hi].
   int64_t dataflow_checks = 0;
+  /// materialize_views mode: inline view blocks answered from freshly
+  /// created backing tables with a reference-identical fingerprint.
+  int matview_rewrite_checks = 0;
+  /// materialize_views mode: queries whose view-answering plan still matched
+  /// the base plan after an insert+delete delta and REFRESH of stale views.
+  int matview_delta_checks = 0;
+  /// materialize_views mode: generated view definitions the matview layer
+  /// rejects by design (HAVING, MEDIAN).
+  int matview_skips = 0;
 };
 
 /// Runs the differential fuzz loop. Fails on the first query where any

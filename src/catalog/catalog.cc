@@ -49,6 +49,7 @@ Result<TableId> Catalog::AddTable(TableDef def) {
   TableId id = static_cast<TableId>(tables_.size());
   def.id = id;
   tables_.push_back(std::make_unique<TableDef>(std::move(def)));
+  table_epochs_.emplace_back(0);
   BumpStatsEpoch();
   return id;
 }
@@ -78,6 +79,58 @@ Result<TableId> Catalog::FindTable(const std::string& name) const {
     if (t->name == name) return t->id;
   }
   return Status::NotFound("no table named '" + name + "'");
+}
+
+Status Catalog::AddView(std::unique_ptr<ViewDefinition> view) {
+  if (view == nullptr || view->name.empty()) {
+    return Status::InvalidArgument("materialized view needs a name");
+  }
+  if (FindView(view->name) != nullptr) {
+    return Status::AlreadyExists("materialized view '" + view->name +
+                                 "' already exists");
+  }
+  if (FindTable(view->name).ok()) {
+    return Status::AlreadyExists("materialized view '" + view->name +
+                                 "' shadows a base table");
+  }
+  views_.push_back(std::move(view));
+  return Status::OK();
+}
+
+const ViewDefinition* Catalog::FindView(const std::string& name) const {
+  for (const auto& v : views_) {
+    if (v->name == name) return v.get();
+  }
+  return nullptr;
+}
+
+ViewDefinition* Catalog::FindMutableView(const std::string& name) {
+  for (const auto& v : views_) {
+    if (v->name == name) return v.get();
+  }
+  return nullptr;
+}
+
+Status Catalog::DropView(const std::string& name) {
+  for (auto it = views_.begin(); it != views_.end(); ++it) {
+    if ((*it)->name != name) continue;
+    TableId backing = (*it)->backing_table;
+    views_.erase(it);
+    if (backing >= 0 && backing < num_tables()) {
+      // Free the backing rows; the positional TableDef slot stays. The
+      // epoch bump invalidates any cached plan that scanned the view.
+      mutable_table(backing).data.reset();
+    }
+    return Status::OK();
+  }
+  return Status::NotFound("no materialized view named '" + name + "'");
+}
+
+bool Catalog::IsViewFresh(const ViewDefinition& view) const {
+  for (const auto& [base, epoch] : view.synced_base_epochs) {
+    if (table_epoch(base) != epoch) return false;
+  }
+  return !view.synced_base_epochs.empty() || view.base_tables.empty();
 }
 
 bool Catalog::IsForeignKeyJoin(TableId referencing,

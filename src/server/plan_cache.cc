@@ -9,9 +9,10 @@ namespace aggview {
 std::string PlanCacheStats::ToString() const {
   return StrFormat(
       "plan cache: %lld hits, %lld misses, %lld evictions, "
-      "%lld invalidations, %lld/%lld entries",
+      "%lld invalidations (%lld avoided), %lld/%lld entries",
       static_cast<long long>(hits), static_cast<long long>(misses),
       static_cast<long long>(evictions), static_cast<long long>(invalidations),
+      static_cast<long long>(avoided_invalidations),
       static_cast<long long>(size), static_cast<long long>(capacity));
 }
 
@@ -62,15 +63,32 @@ std::string NormalizeSql(const std::string& sql) {
 PlanCache::PlanCache(int64_t capacity)
     : capacity_(capacity > 0 ? capacity : 0) {}
 
-std::shared_ptr<const OptimizedQuery> PlanCache::Lookup(const std::string& key,
-                                                        int64_t epoch) {
+std::shared_ptr<const OptimizedQuery> PlanCache::Lookup(
+    const std::string& key, int64_t epoch,
+    const DependencyResolver& resolver) {
   MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
     return nullptr;
   }
-  if (it->second->epoch != epoch) {
+  const Entry& entry = *it->second;
+  bool fresh;
+  if (resolver != nullptr && !entry.deps.empty()) {
+    // Per-dependency freshness: the plan stays servable while every table
+    // and view it reads is unchanged, however many unrelated objects moved.
+    fresh = true;
+    for (const PlanDependency& dep : entry.deps) {
+      if (resolver(dep.name) != dep.epoch) {
+        fresh = false;
+        break;
+      }
+    }
+    if (fresh && entry.epoch != epoch) ++avoided_invalidations_;
+  } else {
+    fresh = entry.epoch == epoch;
+  }
+  if (!fresh) {
     // Optimized under a catalog state that no longer exists: serve nothing,
     // drop the entry so the slot is reusable immediately.
     lru_.erase(it->second);
@@ -86,7 +104,8 @@ std::shared_ptr<const OptimizedQuery> PlanCache::Lookup(const std::string& key,
 }
 
 void PlanCache::Insert(const std::string& key, int64_t epoch,
-                       std::shared_ptr<const OptimizedQuery> plan) {
+                       std::shared_ptr<const OptimizedQuery> plan,
+                       std::vector<PlanDependency> deps) {
   if (capacity_ == 0) return;
   MutexLock lock(&mu_);
   auto it = index_.find(key);
@@ -94,6 +113,7 @@ void PlanCache::Insert(const std::string& key, int64_t epoch,
     // Replace in place (a concurrent session optimized the same statement).
     it->second->epoch = epoch;
     it->second->plan = std::move(plan);
+    it->second->deps = std::move(deps);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
@@ -102,7 +122,7 @@ void PlanCache::Insert(const std::string& key, int64_t epoch,
     lru_.pop_back();
     ++evictions_;
   }
-  lru_.push_front(Entry{key, epoch, std::move(plan)});
+  lru_.push_front(Entry{key, epoch, std::move(plan), std::move(deps)});
   index_[key] = lru_.begin();
 }
 
@@ -119,6 +139,7 @@ PlanCacheStats PlanCache::stats() const {
   s.misses = misses_;
   s.evictions = evictions_;
   s.invalidations = invalidations_;
+  s.avoided_invalidations = avoided_invalidations_;
   s.size = static_cast<int64_t>(lru_.size());
   s.capacity = capacity_;
   return s;

@@ -2,10 +2,12 @@
 #define AGGVIEW_SERVER_PLAN_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/thread_annotations.h"
 #include "optimizer/aggview_optimizer.h"
@@ -26,6 +28,11 @@ struct PlanCacheStats {
   /// Entries dropped because the catalog's stats epoch moved past them: the
   /// plan was optimized against statistics/data that no longer exist.
   int64_t invalidations = 0;
+  /// Hits served from entries that outlived a global stats-epoch bump
+  /// because every individual dependency (per-table / per-view epoch) still
+  /// matched — exactly the invalidations whole-cache epoch keying would have
+  /// inflicted and the dependency stamps avoided.
+  int64_t avoided_invalidations = 0;
   /// Current number of cached plans and the configured ceiling.
   int64_t size = 0;
   int64_t capacity = 0;
@@ -44,6 +51,20 @@ struct PlanCacheStats {
 /// literals are preserved byte-for-byte (SQL string comparison is
 /// case-sensitive; 'Sales' and 'sales' are different constants).
 std::string NormalizeSql(const std::string& sql);
+
+/// One dependency stamp of a cached plan: a catalog object the plan reads —
+/// "t:<table id>" for a table scan (base or view backing), "v:<name>" for a
+/// materialized view the rewriter answered from — with the epoch observed at
+/// optimize time. A plan is servable exactly while every stamp still matches
+/// the object's current epoch.
+struct PlanDependency {
+  std::string name;
+  int64_t epoch = 0;
+};
+
+/// Maps a dependency name to its current epoch, or -1 when the object no
+/// longer exists (a dropped view); -1 never matches a stamp.
+using DependencyResolver = std::function<int64_t(const std::string&)>;
 
 /// An LRU cache of optimized query plans, shared by every session of a
 /// Server.
@@ -67,18 +88,27 @@ class PlanCache {
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
-  /// Returns the cached plan for `key` if present and stamped with `epoch`;
-  /// null on miss. A present-but-stale entry (older epoch) is erased, counts
-  /// as an invalidation, and misses.
-  std::shared_ptr<const OptimizedQuery> Lookup(const std::string& key,
-                                               int64_t epoch);
+  /// Returns the cached plan for `key` if still fresh; null on miss.
+  /// Freshness: when the entry carries dependency stamps and `resolver` is
+  /// provided, every stamp must match its current epoch — the global `epoch`
+  /// is then only consulted to count avoided invalidations (a dependency-
+  /// fresh entry whose global stamp is stale survived exactly one
+  /// whole-cache invalidation). Entries without stamps (or lookups without a
+  /// resolver) fall back to whole-cache keying: the entry's global epoch
+  /// must equal `epoch`. A stale entry is erased, counts as an
+  /// invalidation, and misses.
+  std::shared_ptr<const OptimizedQuery> Lookup(
+      const std::string& key, int64_t epoch,
+      const DependencyResolver& resolver = nullptr);
 
-  /// Caches `plan` under `key` at `epoch`, evicting the least recently used
-  /// entry when full. Re-inserting an existing key replaces the entry (last
-  /// writer wins; two sessions racing to optimize the same fresh statement
-  /// both produce equivalent plans).
+  /// Caches `plan` under `key` at `epoch` with its dependency stamps (pass
+  /// an empty vector to key on the global epoch alone), evicting the least
+  /// recently used entry when full. Re-inserting an existing key replaces
+  /// the entry (last writer wins; two sessions racing to optimize the same
+  /// fresh statement both produce equivalent plans).
   void Insert(const std::string& key, int64_t epoch,
-              std::shared_ptr<const OptimizedQuery> plan);
+              std::shared_ptr<const OptimizedQuery> plan,
+              std::vector<PlanDependency> deps = {});
 
   /// Drops every entry (counters keep accumulating).
   void Clear();
@@ -90,6 +120,7 @@ class PlanCache {
     std::string key;
     int64_t epoch = 0;
     std::shared_ptr<const OptimizedQuery> plan;
+    std::vector<PlanDependency> deps;
   };
 
   mutable Mutex mu_;
@@ -102,6 +133,7 @@ class PlanCache {
   int64_t misses_ AGGVIEW_GUARDED_BY(mu_) = 0;
   int64_t evictions_ AGGVIEW_GUARDED_BY(mu_) = 0;
   int64_t invalidations_ AGGVIEW_GUARDED_BY(mu_) = 0;
+  int64_t avoided_invalidations_ AGGVIEW_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace aggview

@@ -1,5 +1,10 @@
 #include "server/server.h"
 
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+
+#include "analysis/dataflow.h"
 #include "common/string_util.h"
 #include "exec/thread_pool.h"
 #include "obs/explain.h"
@@ -7,6 +12,8 @@
 #include "optimizer/traditional.h"
 #include "sql/binder.h"
 #include "storage/io_accountant.h"
+#include "view/matview.h"
+#include "view/rewriter.h"
 
 namespace aggview {
 
@@ -34,9 +41,11 @@ class AdmissionPass {
 std::string ConfigFingerprint(const ServerOptions& options) {
   const OptimizerOptions& opt = options.optimizer;
   return StrFormat(
-      "trad=%d;prop=%d;pull=%d;shared=%d;shrink=%d;maxw=%d;inctrad=%d;"
+      "trad=%d;mv=%d;prop=%d;pull=%d;shared=%d;shrink=%d;maxw=%d;inctrad=%d;"
       "greedy=%d;inv=%d;coal=%d",
-      options.use_traditional ? 1 : 0, opt.propagate_predicates ? 1 : 0,
+      options.use_traditional ? 1 : 0,
+      options.use_materialized_views ? 1 : 0,
+      opt.propagate_predicates ? 1 : 0,
       opt.max_pullup, opt.require_shared_predicate ? 1 : 0,
       opt.shrink_views ? 1 : 0, opt.max_assignments,
       opt.include_traditional_alternative ? 1 : 0,
@@ -118,21 +127,82 @@ ExecContext Server::MakeContext() {
   return ctx;
 }
 
+std::vector<PlanDependency> Server::CollectDependencies(
+    const OptimizedQuery& optimized) const {
+  std::set<TableId> tables;
+  for (int i = 0; i < optimized.query.num_range_vars(); ++i) {
+    const RangeVar& rv = optimized.query.range_var(i);
+    if (!rv.detached && rv.table >= 0) tables.insert(rv.table);
+  }
+  std::vector<PlanDependency> deps;
+  deps.reserve(tables.size() + optimized.audit.view_rewrites.size());
+  for (TableId t : tables) {
+    deps.push_back({"t:" + std::to_string(t), catalog_.table_epoch(t)});
+  }
+  std::set<std::string> stamped_views;
+  for (const ViewRewriteCertificate& cert : optimized.audit.view_rewrites) {
+    const ViewDefinition* view = catalog_.FindView(cert.view_name);
+    deps.push_back({"v:" + cert.view_name,
+                    view != nullptr
+                        ? view->epoch.load(std::memory_order_acquire)
+                        : -1});
+    stamped_views.insert(cert.view_name);
+  }
+  // Also stamp every view sharing a base table with the plan, answered-from
+  // or not: a plan compiled while such a view was stale (or that the
+  // rewriter declined) must be re-prepared once a REFRESH makes the view an
+  // eligible answer source again — otherwise the cached base plan shadows
+  // the view forever.
+  for (const auto& view : catalog_.views()) {
+    if (stamped_views.count(view->name) > 0) continue;
+    bool relevant = false;
+    for (TableId t : view->base_tables) relevant |= (tables.count(t) > 0);
+    if (!relevant) continue;
+    deps.push_back({"v:" + view->name,
+                    view->epoch.load(std::memory_order_acquire)});
+  }
+  return deps;
+}
+
 Result<std::shared_ptr<const OptimizedQuery>> Server::Prepare(
     const std::string& text, bool* cache_hit) {
   *cache_hit = false;
   const std::string key = NormalizeSql(text) + '\x1f' + config_fingerprint_;
-  // Read the epoch before optimizing: if the catalog mutates concurrently
-  // (against the documented quiescence contract) the entry is stamped with
-  // the older epoch and the next lookup invalidates it — never the reverse.
+  std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+  // Read the epoch before optimizing: a concurrent mutation (blocked on the
+  // exclusive lock until we finish) stamps the entry with the older epoch
+  // and the next lookup invalidates it — never the reverse.
   const int64_t epoch = catalog_.stats_epoch();
   if (options_.plan_cache_capacity > 0) {
-    if (std::shared_ptr<const OptimizedQuery> hit = cache_.Lookup(key, epoch)) {
+    DependencyResolver resolver = [this](const std::string& dep) -> int64_t {
+      if (dep.size() > 2 && dep[1] == ':') {
+        if (dep[0] == 't') {
+          TableId id = static_cast<TableId>(std::atoll(dep.c_str() + 2));
+          if (id < 0 || id >= catalog_.num_tables()) return -1;
+          return catalog_.table_epoch(id);
+        }
+        if (dep[0] == 'v') {
+          const ViewDefinition* view = catalog_.FindView(dep.substr(2));
+          if (view == nullptr) return -1;
+          return view->epoch.load(std::memory_order_acquire);
+        }
+      }
+      return -1;
+    };
+    if (std::shared_ptr<const OptimizedQuery> hit =
+            cache_.Lookup(key, epoch, resolver)) {
       *cache_hit = true;
       return hit;
     }
   }
   AGGVIEW_ASSIGN_OR_RETURN(Query query, ParseAndBind(catalog_, text));
+  std::vector<ViewRewriteCertificate> view_certs;
+  int view_rewrites = 0;
+  if (options_.use_materialized_views && catalog_.num_views() > 0) {
+    AGGVIEW_ASSIGN_OR_RETURN(
+        view_rewrites,
+        RewriteWithMaterializedViews(catalog_, &query, &view_certs));
+  }
   OptimizedQuery optimized;
   if (options_.use_traditional) {
     AGGVIEW_ASSIGN_OR_RETURN(optimized, OptimizeTraditional(query));
@@ -140,10 +210,34 @@ Result<std::shared_ptr<const OptimizedQuery>> Server::Prepare(
     AGGVIEW_ASSIGN_OR_RETURN(
         optimized, OptimizeQueryWithAggViews(query, options_.optimizer));
   }
+  if (view_rewrites > 0) {
+    for (ViewRewriteCertificate& cert : view_certs) {
+      optimized.audit.view_rewrites.push_back(std::move(cert));
+    }
+    optimized.description =
+        "answered " + std::to_string(view_rewrites) +
+        " block(s) from materialized views; " + optimized.description;
+    // Backing-column statistics can prove bounds the estimator's heuristics
+    // miss; keep the plan's estimates inside them.
+    optimized.plan = ClampEstimatesToProvableBounds(optimized.plan, optimized.query);
+  }
+  std::vector<PlanDependency> deps = CollectDependencies(optimized);
   auto shared =
       std::make_shared<const OptimizedQuery>(std::move(optimized));
-  if (options_.plan_cache_capacity > 0) cache_.Insert(key, epoch, shared);
+  if (options_.plan_cache_capacity > 0) {
+    cache_.Insert(key, epoch, shared, std::move(deps));
+  }
   return shared;
+}
+
+Result<std::string> Server::ExecuteDdl(const std::string& text) {
+  std::unique_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+  return ExecuteMatViewStatement(&catalog_, text, MakeContext());
+}
+
+Status Server::ApplyDelta(const TableDelta& delta, MaintenanceReport* report) {
+  std::unique_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+  return ApplyTableDelta(&catalog_, delta, report);
 }
 
 Result<ServerQuery> ServerSession::Sql(const std::string& text) {
@@ -163,6 +257,23 @@ Result<ServerQuery> ServerSession::Sql(const std::string& text) {
   return ServerQuery(server_, std::move(optimized), cache_hit);
 }
 
+Result<std::string> ServerSession::ExecuteDdl(const std::string& text) {
+  if (server_ == nullptr || *server_ == nullptr) {
+    return Status::InvalidArgument(
+        "ServerSession is moved-from or outlived its Server");
+  }
+  return (*server_)->ExecuteDdl(text);
+}
+
+Status ServerSession::ApplyDelta(const TableDelta& delta,
+                                 MaintenanceReport* report) {
+  if (server_ == nullptr || *server_ == nullptr) {
+    return Status::InvalidArgument(
+        "ServerSession is moved-from or outlived its Server");
+  }
+  return (*server_)->ApplyDelta(delta, report);
+}
+
 Result<Server*> ServerQuery::server() const {
   if (server_ == nullptr) {
     return Status::InvalidArgument(
@@ -179,6 +290,9 @@ Result<Server*> ServerQuery::server() const {
 Result<QueryResult> ServerQuery::Execute() {
   AGGVIEW_ASSIGN_OR_RETURN(Server * server, this->server());
   AdmissionPass pass(&server->admission_);
+  // Shared catalog lock after admission: a queued DDL/delta writer never
+  // blocks behind a statement that is itself still waiting for a slot.
+  std::shared_lock<std::shared_mutex> catalog_lock(server->catalog_mu_);
   IoAccountant io;
   AGGVIEW_ASSIGN_OR_RETURN(
       QueryResult result,
@@ -198,6 +312,7 @@ std::string ServerQuery::Explain() const {
 Result<std::string> ServerQuery::ExplainAnalyze() {
   AGGVIEW_ASSIGN_OR_RETURN(Server * server, this->server());
   AdmissionPass pass(&server->admission_);
+  std::shared_lock<std::shared_mutex> catalog_lock(server->catalog_mu_);
   IoAccountant io;
   RuntimeStatsCollector stats;
   AGGVIEW_RETURN_NOT_OK(

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 
 #include "catalog/catalog.h"
@@ -14,6 +15,7 @@
 #include "exec/executor.h"
 #include "optimizer/aggview_optimizer.h"
 #include "server/plan_cache.h"
+#include "view/maintenance.h"
 
 namespace aggview {
 
@@ -34,6 +36,10 @@ struct ServerOptions {
   bool use_traditional = false;
   /// Options of the aggregate-view optimizer (ignored by use_traditional).
   OptimizerOptions optimizer;
+  /// Answer queries from fresh materialized views when one matches
+  /// (view/rewriter.h), before either optimizer runs. Part of the plan-cache
+  /// configuration fingerprint.
+  bool use_materialized_views = true;
   /// Maximum number of plans the shared plan cache holds (LRU beyond that);
   /// 0 disables plan caching entirely.
   int64_t plan_cache_capacity = 256;
@@ -130,6 +136,11 @@ class ServerQuery {
   /// parse/bind/optimize pipeline was skipped entirely).
   bool cache_hit() const { return cache_hit_; }
 
+  /// True when the plan answers at least one block from a materialized
+  /// view's backing table (its cache entry then also carries that view's
+  /// epoch as a dependency stamp).
+  bool view_backed() const { return !optimized_->audit.view_rewrites.empty(); }
+
   const PlanPtr& plan() const { return optimized_->plan; }
   const Query& query() const { return optimized_->query; }
   const std::string& description() const { return optimized_->description; }
@@ -166,8 +177,22 @@ class ServerSession {
 
   /// Parses, binds and optimizes one statement — or skips all three when
   /// the server's plan cache already holds a plan for the normalized text
-  /// under the current stats epoch and optimizer configuration.
+  /// whose every dependency (table and view epochs) is unchanged under the
+  /// current optimizer configuration.
   Result<ServerQuery> Sql(const std::string& text);
+
+  /// Runs one materialized-view DDL statement (`CREATE MATERIALIZED VIEW
+  /// name [(cols)] AS select` or `REFRESH MATERIALIZED VIEW name`) under the
+  /// server's exclusive catalog lock, returning a one-line confirmation.
+  /// Safe to call while other sessions execute queries: they drain first.
+  Result<std::string> ExecuteDdl(const std::string& text);
+
+  /// Applies a base-table delta (view/maintenance.h) under the server's
+  /// exclusive catalog lock, incrementally maintaining every fresh
+  /// single-relation view and marking the rest stale. Per-table epoch bumps
+  /// invalidate exactly the cached plans that read the mutated objects.
+  Status ApplyDelta(const TableDelta& delta, MaintenanceReport* report =
+                                                 nullptr);
 
   /// This connection's id (1-based, in Connect() order).
   int id() const { return id_; }
@@ -193,10 +218,15 @@ class ServerSession {
 ///
 /// Concurrency contract: Connect() and every ServerSession/ServerQuery
 /// operation are safe from any thread once the catalog is populated.
-/// Catalog mutation (loading data, refreshing stats) must be quiesced
-/// relative to running queries — it is not synchronized against execution —
-/// and bumps the catalog stats epoch, which invalidates every cached plan
-/// optimized before it.
+/// Initial catalog population (loading data, refreshing stats) must be
+/// quiesced relative to serving. Once serving, the structured mutation
+/// paths — ExecuteDdl (view CREATE/REFRESH) and ApplyDelta (base-table
+/// deltas with view maintenance) — take the server's exclusive catalog
+/// lock, while Prepare and Execute hold it shared, so DDL and deltas
+/// interleave safely with running queries. Epoch bookkeeping is
+/// per-object: a mutation invalidates exactly the cached plans whose
+/// dependency stamps (tables scanned, views answered from) it touched;
+/// unrelated plans survive and count toward `avoided_invalidations`.
 class Server {
  public:
   explicit Server(ServerOptions options = ServerOptions::Default());
@@ -217,6 +247,13 @@ class Server {
   /// Opens a client session. Thread-safe.
   ServerSession Connect();
 
+  /// Materialized-view DDL and base-table deltas, exposed on the server
+  /// itself for administrative callers; ServerSession forwards here. Both
+  /// take the exclusive catalog lock.
+  Result<std::string> ExecuteDdl(const std::string& text);
+  Status ApplyDelta(const TableDelta& delta,
+                    MaintenanceReport* report = nullptr);
+
   /// Plan-cache counters (hits, misses, evictions, invalidations).
   PlanCacheStats cache_stats() const { return cache_.stats(); }
 
@@ -228,17 +265,30 @@ class Server {
   friend class ServerSession;
   friend class ServerQuery;
 
-  /// Cache-aware prepare: normalized text + config fingerprint + current
-  /// stats epoch key the cache; a miss pays parse → bind → optimize and
-  /// publishes the result for every other session.
+  /// Cache-aware prepare: normalized text + config fingerprint key the
+  /// cache; entries carry per-dependency epoch stamps checked on every
+  /// lookup. A miss pays parse → bind → (view rewrite) → optimize and
+  /// publishes the result for every other session. Takes the catalog lock
+  /// shared.
   Result<std::shared_ptr<const OptimizedQuery>> Prepare(
       const std::string& text, bool* cache_hit);
+
+  /// The dependency stamps of a freshly optimized plan: one "t:<id>" per
+  /// scanned table (base tables and view backings alike), one "v:<name>"
+  /// per view the rewriter answered from. Caller holds the catalog lock.
+  std::vector<PlanDependency> CollectDependencies(
+      const OptimizedQuery& optimized) const;
 
   /// The execution context queries of this server run under (threads, batch
   /// size, shared pool), without IO or stats sinks installed.
   ExecContext MakeContext();
 
   ServerOptions options_;
+  /// Readers-writer lock between serving (Prepare/Execute, shared) and the
+  /// structured catalog mutations (ExecuteDdl/ApplyDelta, exclusive).
+  /// Acquired after admission so a queued writer never holds an execution
+  /// slot hostage.
+  mutable std::shared_mutex catalog_mu_;
   /// Cache-key suffix encoding every optimizer option that changes plan
   /// choice; computed once (options are immutable after construction).
   std::string config_fingerprint_;

@@ -1,10 +1,13 @@
 #include "session.h"
 
+#include "analysis/dataflow.h"
 #include "exec/thread_pool.h"
 #include "obs/explain.h"
 #include "obs/runtime_stats.h"
 #include "optimizer/traditional.h"
 #include "sql/binder.h"
+#include "view/matview.h"
+#include "view/rewriter.h"
 
 namespace aggview {
 
@@ -40,6 +43,13 @@ ExecContext Session::MakeContext() {
 
 Result<PreparedQuery> Session::Sql(const std::string& text) {
   AGGVIEW_ASSIGN_OR_RETURN(Query query, ParseAndBind(catalog_, text));
+  std::vector<ViewRewriteCertificate> view_certs;
+  int view_rewrites = 0;
+  if (options_.use_materialized_views && catalog_.num_views() > 0) {
+    AGGVIEW_ASSIGN_OR_RETURN(
+        view_rewrites,
+        RewriteWithMaterializedViews(catalog_, &query, &view_certs));
+  }
   OptimizedQuery optimized;
   if (options_.use_traditional) {
     AGGVIEW_ASSIGN_OR_RETURN(optimized, OptimizeTraditional(query));
@@ -47,7 +57,22 @@ Result<PreparedQuery> Session::Sql(const std::string& text) {
     AGGVIEW_ASSIGN_OR_RETURN(optimized,
                              OptimizeQueryWithAggViews(query, options_.optimizer));
   }
+  if (view_rewrites > 0) {
+    for (ViewRewriteCertificate& cert : view_certs) {
+      optimized.audit.view_rewrites.push_back(std::move(cert));
+    }
+    optimized.description =
+        "answered " + std::to_string(view_rewrites) +
+        " block(s) from materialized views; " + optimized.description;
+    // Backing-column statistics can prove bounds the estimator's heuristics
+    // miss; keep the plan's estimates inside them.
+    optimized.plan = ClampEstimatesToProvableBounds(optimized.plan, optimized.query);
+  }
   return PreparedQuery(self_, std::move(optimized));
+}
+
+Result<std::string> Session::ExecuteDdl(const std::string& text) {
+  return ExecuteMatViewStatement(&catalog_, text, MakeContext());
 }
 
 Result<Session*> PreparedQuery::session() const {

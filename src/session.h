@@ -25,6 +25,10 @@ struct SessionOptions {
   /// Optimize with the traditional two-phase optimizer instead of the
   /// paper's aggregate-view optimizer (for comparisons).
   bool use_traditional = false;
+  /// Answer queries from fresh materialized views when one matches
+  /// (view/rewriter.h), before either optimizer runs. Off disables the
+  /// rewriter entirely; view maintenance and REFRESH are unaffected.
+  bool use_materialized_views = true;
   /// Options of the aggregate-view optimizer (ignored by use_traditional).
   OptimizerOptions optimizer;
 
@@ -115,8 +119,16 @@ class Session {
   /// queries are unaffected).
   void set_use_traditional(bool on) { options_.use_traditional = on; }
 
-  /// Parses, binds and optimizes one SELECT statement.
+  /// Parses, binds and optimizes one SELECT statement. When materialized
+  /// views are enabled (SessionOptions::use_materialized_views) and a fresh
+  /// view matches, the query is rewritten to scan the view's backing table
+  /// first; the rewrite's certificates land in the prepared query's audit.
   Result<PreparedQuery> Sql(const std::string& text);
+
+  /// Runs one materialized-view DDL statement (`CREATE MATERIALIZED VIEW
+  /// name [(cols)] AS select` or `REFRESH MATERIALIZED VIEW name`) against
+  /// this session's catalog, returning a one-line confirmation.
+  Result<std::string> ExecuteDdl(const std::string& text);
 
   /// The execution context queries of this session run under (threads,
   /// batch size, shared pool), without IO or stats sinks installed.

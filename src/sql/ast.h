@@ -88,6 +88,20 @@ struct AstScript {
   AstSelect query;
 };
 
+/// A materialized-view DDL statement:
+///   CREATE MATERIALIZED VIEW name [(col, ...)] AS select [;]
+///   REFRESH MATERIALIZED VIEW name [;]
+struct AstMatViewDdl {
+  bool refresh = false;
+  std::string name;
+  std::vector<std::string> column_names;  // CREATE only; may be empty
+  AstSelect select;                       // CREATE only
+  /// The definition text after AS, verbatim — stored in the catalog so the
+  /// view can be re-bound (for matching, maintenance, refresh) without the
+  /// catalog depending on the AST.
+  std::string select_sql;
+};
+
 }  // namespace aggview
 
 #endif  // AGGVIEW_SQL_AST_H_

@@ -297,6 +297,21 @@ Result<Query> Binder::Bind(const AstScript& script) {
       scope.AddViewOutputs(ref.alias, outputs);
       continue;
     }
+    // Catalog materialized views resolve like logical views: the stored
+    // definition is inlined as an AggView block (the view-matching rewriter
+    // may later replace the block with a scan of the backing table).
+    if (const ViewDefinition* mv = catalog_.FindView(ref.table)) {
+      AstCreateView def;
+      def.name = mv->name;
+      def.column_names = mv->column_names;
+      AGGVIEW_ASSIGN_OR_RETURN(def.select, ParseSelect(mv->definition_sql));
+      AggView view;
+      AGGVIEW_ASSIGN_OR_RETURN(
+          auto outputs, InstantiateView(def, ref.alias, &query, &view));
+      query.views().push_back(std::move(view));
+      scope.AddViewOutputs(ref.alias, outputs);
+      continue;
+    }
     AGGVIEW_ASSIGN_OR_RETURN(TableId table, catalog_.FindTable(ref.table));
     int rel = query.AddRangeVar(table, ref.alias);
     query.base_rels().push_back(rel);

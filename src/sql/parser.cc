@@ -13,6 +13,7 @@ class Parser {
 
   Result<AstScript> Script();
   Result<AstSelect> SingleSelect();
+  Result<AstMatViewDdl> MatViewDdl(const std::string& sql);
 
  private:
   const Token& Peek() const { return tokens_[pos_]; }
@@ -319,6 +320,39 @@ Result<AstScript> Parser::Script() {
   return script;
 }
 
+Result<AstMatViewDdl> Parser::MatViewDdl(const std::string& sql) {
+  AstMatViewDdl ddl;
+  if (ConsumeKeyword("refresh")) {
+    ddl.refresh = true;
+    AGGVIEW_RETURN_NOT_OK(ExpectKeyword("materialized"));
+    AGGVIEW_RETURN_NOT_OK(ExpectKeyword("view"));
+    AGGVIEW_ASSIGN_OR_RETURN(ddl.name, Identifier());
+  } else {
+    AGGVIEW_RETURN_NOT_OK(ExpectKeyword("create"));
+    AGGVIEW_RETURN_NOT_OK(ExpectKeyword("materialized"));
+    AGGVIEW_RETURN_NOT_OK(ExpectKeyword("view"));
+    AGGVIEW_ASSIGN_OR_RETURN(ddl.name, Identifier());
+    if (ConsumeSymbol("(")) {
+      while (true) {
+        AGGVIEW_ASSIGN_OR_RETURN(std::string col, Identifier());
+        ddl.column_names.push_back(std::move(col));
+        if (!ConsumeSymbol(",")) break;
+      }
+      AGGVIEW_RETURN_NOT_OK(ExpectSymbol(")"));
+    }
+    AGGVIEW_RETURN_NOT_OK(ExpectKeyword("as"));
+    // The definition text is the remainder of the statement, sliced at the
+    // first token after AS; the catalog stores it for later re-binding.
+    ddl.select_sql = sql.substr(static_cast<size_t>(Peek().position));
+    AGGVIEW_ASSIGN_OR_RETURN(ddl.select, Select());
+  }
+  ConsumeSymbol(";");
+  if (Peek().kind != TokenKind::kEnd) {
+    return Error("trailing input after statement");
+  }
+  return ddl;
+}
+
 Result<AstSelect> Parser::SingleSelect() {
   AGGVIEW_ASSIGN_OR_RETURN(AstSelect select, Select());
   ConsumeSymbol(";");
@@ -340,6 +374,24 @@ Result<AstSelect> ParseSelect(const std::string& sql) {
   AGGVIEW_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   Parser parser(std::move(tokens));
   return parser.SingleSelect();
+}
+
+Result<AstMatViewDdl> ParseMatViewDdl(const std::string& sql) {
+  AGGVIEW_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.MatViewDdl(sql);
+}
+
+bool IsMatViewDdl(const std::string& sql) {
+  Result<std::vector<Token>> tokens = Tokenize(sql);
+  if (!tokens.ok()) return false;
+  const std::vector<Token>& t = *tokens;
+  auto kw = [&](size_t i, const char* w) {
+    return i < t.size() && t[i].kind == TokenKind::kIdentifier &&
+           t[i].text == w;
+  };
+  if (kw(0, "refresh") && kw(1, "materialized")) return true;
+  return kw(0, "create") && kw(1, "materialized");
 }
 
 }  // namespace aggview

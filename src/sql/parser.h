@@ -23,6 +23,18 @@ Result<AstScript> ParseScript(const std::string& sql);
 /// Parses a single SELECT statement.
 Result<AstSelect> ParseSelect(const std::string& sql);
 
+/// Parses one materialized-view DDL statement:
+///
+///   CREATE MATERIALIZED VIEW name [(col, ...)] AS select [;]
+///   REFRESH MATERIALIZED VIEW name [;]
+///
+/// For CREATE, `select_sql` holds the definition text after AS verbatim.
+Result<AstMatViewDdl> ParseMatViewDdl(const std::string& sql);
+
+/// Cheap classifier: does `sql` start like a materialized-view DDL
+/// statement? (Used by the session layer to dispatch before parsing.)
+bool IsMatViewDdl(const std::string& sql);
+
 }  // namespace aggview
 
 #endif  // AGGVIEW_SQL_PARSER_H_

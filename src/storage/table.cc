@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include <algorithm>
+
 namespace aggview {
 
 Status Table::Append(Row row) {
@@ -13,6 +15,33 @@ Status Table::Append(Row row) {
     }
   }
   rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::DeleteRows(const std::vector<int64_t>& indices) {
+  for (int64_t i : indices) {
+    if (i < 0 || i >= row_count()) {
+      return Status::InvalidArgument("delete index out of range");
+    }
+  }
+  std::vector<int64_t> sorted = indices;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  if (sorted.empty()) return Status::OK();
+  // Single-pass compaction: shift every survivor left over the holes.
+  // Erasing one index at a time moves the whole tail per delete — O(n * d),
+  // which dominates large-delta maintenance.
+  size_t out = static_cast<size_t>(sorted[0]);
+  size_t next_hole = 0;
+  for (size_t i = out; i < rows_.size(); ++i) {
+    if (next_hole < sorted.size() &&
+        static_cast<int64_t>(i) == sorted[next_hole]) {
+      ++next_hole;
+      continue;
+    }
+    rows_[out++] = std::move(rows_[i]);
+  }
+  rows_.resize(out);
   return Status::OK();
 }
 

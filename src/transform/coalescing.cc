@@ -1,5 +1,6 @@
 #include "transform/coalescing.h"
 
+#include "transform/decompose.h"
 #include "transform/unsound.h"
 
 namespace aggview {
@@ -42,97 +43,41 @@ Result<CoalescingSplit> SplitForCoalescing(const GroupBySpec& spec,
     }
   }
 
+  // The per-kind split/merge rules live in transform/decompose.h, shared
+  // with materialized-view storage and delta maintenance (view/), so every
+  // consumer of the Section 4.2 decomposition provably applies one table.
   for (const AggregateCall& original : spec.aggregates) {
-    switch (original.kind) {
-      case AggKind::kSum: {
-        ColId partial = columns->Add("psum(" + columns->name(original.args[0]) + ")",
-                                     columns->type(original.args[0]));
-        split.partial.aggregates.push_back(
-            {AggKind::kSum, original.args, partial});
-        split.final_aggregates.push_back(
-            {AggKind::kSum, {partial}, original.output});
-        break;
+    AGGVIEW_ASSIGN_OR_RETURN(AggDecomposition d,
+                             DecomposeAggregate(original.kind));
+    std::vector<ColId> partial_cols;
+    for (const PartialAggSpec& p : d.partials) {
+      std::string name = p.prefix;
+      if (p.name_uses_arg) {
+        name += "(" + columns->name(original.args[static_cast<size_t>(p.arg)]) +
+                ")";
       }
-      case AggKind::kCount:
-      case AggKind::kCountStar: {
-        ColId partial = columns->Add("pcount", DataType::kInt64);
-        columns->set_nullable(partial, false);
-        split.partial.aggregates.push_back(
-            {original.kind, original.args, partial});
-        // kCountSum, not kSum: the combine must keep COUNT's empty-input
-        // semantics (scalar over zero rows = 0, not NULL). The mutation
-        // harness reinjects the old plain-SUM combine to prove the
-        // small-scope prover rediscovers the bug.
-        AggKind combine =
-            UnsoundReinjectionActive(UnsoundReinjection::kCountCombinePlainSum)
-                ? AggKind::kSum
-                : AggKind::kCountSum;
-        split.final_aggregates.push_back(
-            {combine, {partial}, original.output});
-        break;
-      }
-      case AggKind::kCountSum: {
-        // Re-splitting an already-coalesced COUNT: pre-sum the partial
-        // counts one level further.
-        ColId partial = columns->Add("pcount", DataType::kInt64);
-        columns->set_nullable(partial, false);
-        split.partial.aggregates.push_back(
-            {AggKind::kCountSum, original.args, partial});
-        split.final_aggregates.push_back(
-            {AggKind::kCountSum, {partial}, original.output});
-        break;
-      }
-      case AggKind::kMin:
-      case AggKind::kMax: {
-        ColId partial = columns->Add(
-            std::string("p") + AggKindName(original.kind) + "(" +
-                columns->name(original.args[0]) + ")",
-            columns->type(original.args[0]));
-        split.partial.aggregates.push_back(
-            {original.kind, original.args, partial});
-        split.final_aggregates.push_back(
-            {original.kind, {partial}, original.output});
-        break;
-      }
-      case AggKind::kAvg: {
-        ColId psum = columns->Add("psum(" + columns->name(original.args[0]) + ")",
-                                  DataType::kDouble);
-        ColId pcount = columns->Add("pcount", DataType::kInt64);
-        columns->set_nullable(pcount, false);
-        split.partial.aggregates.push_back(
-            {AggKind::kSum, original.args, psum});
-        // COUNT(arg), not COUNT(*): AVG divides by the number of non-NULL
-        // argument values. With COUNT(*) a group containing NULL arguments
-        // inflates the denominator (the small-scope prover found this on a
-        // 2-row group {1, NULL}: true AVG 1, coalesced 1/2). COUNT(arg) also
-        // keeps the pair consistent — psum NULL implies pcount 0, so the
-        // AvgFinal combine's NULL-skip drops exactly the empty partials.
-        split.partial.aggregates.push_back(
-            {AggKind::kCount, original.args, pcount});
-        split.final_aggregates.push_back(
-            {AggKind::kAvgFinal, {psum, pcount}, original.output});
-        break;
-      }
-      case AggKind::kAvgFinal: {
-        // Re-splitting an already-coalesced AVG: pre-aggregate the partial
-        // sums and counts one level further.
-        ColId psum = columns->Add("psum", DataType::kDouble);
-        ColId pcount = columns->Add("pcount", DataType::kInt64);
-        columns->set_nullable(pcount, false);
-        split.partial.aggregates.push_back(
-            {AggKind::kSum, {original.args[0]}, psum});
-        // kCountSum, not kSum, for the count side: the pre-aggregated count
-        // must stay non-NULL even over an empty scalar partial, or the final
-        // AvgFinal combine would silently skip it in Merge.
-        split.partial.aggregates.push_back(
-            {AggKind::kCountSum, {original.args[1]}, pcount});
-        split.final_aggregates.push_back(
-            {AggKind::kAvgFinal, {psum, pcount}, original.output});
-        break;
-      }
-      case AggKind::kMedian:
-        return Status::Internal("unreachable: MEDIAN is not decomposable");
+      DataType arg_type =
+          p.arg >= 0 ? columns->type(original.args[static_cast<size_t>(p.arg)])
+                     : DataType::kInt64;
+      ColId partial = columns->Add(std::move(name),
+                                   PartialColumnType(p, arg_type));
+      if (p.non_null) columns->set_nullable(partial, false);
+      std::vector<ColId> args;
+      if (p.arg >= 0) args.push_back(original.args[static_cast<size_t>(p.arg)]);
+      split.partial.aggregates.push_back({p.kind, std::move(args), partial});
+      partial_cols.push_back(partial);
     }
+    // The mutation harness reinjects the old plain-SUM COUNT combine (the
+    // empty-scalar-is-NULL bug) to prove the small-scope prover rediscovers
+    // it; the hook stays here, not in the shared rule table.
+    AggKind combine = d.combine;
+    if ((original.kind == AggKind::kCount ||
+         original.kind == AggKind::kCountStar) &&
+        UnsoundReinjectionActive(UnsoundReinjection::kCountCombinePlainSum)) {
+      combine = AggKind::kSum;
+    }
+    split.final_aggregates.push_back(
+        {combine, std::move(partial_cols), original.output});
   }
   if (cert != nullptr) {
     *cert = CoalescingCertificate{};

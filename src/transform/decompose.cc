@@ -1,0 +1,85 @@
+#include "transform/decompose.h"
+
+namespace aggview {
+
+Result<AggDecomposition> DecomposeAggregate(AggKind kind) {
+  AggDecomposition d;
+  switch (kind) {
+    case AggKind::kSum:
+      d.partials.push_back({AggKind::kSum, 0, "psum", /*name_uses_arg=*/true,
+                            PartialValueType::kArgType, /*non_null=*/false});
+      d.combine = AggKind::kSum;
+      return d;
+    case AggKind::kCount:
+      // The combine is kCountSum, not kSum: it must keep COUNT's
+      // empty-input semantics (scalar over zero rows = 0, not NULL).
+      d.partials.push_back({AggKind::kCount, 0, "pcount",
+                            /*name_uses_arg=*/false, PartialValueType::kInt64,
+                            /*non_null=*/true});
+      d.combine = AggKind::kCountSum;
+      return d;
+    case AggKind::kCountStar:
+      d.partials.push_back({AggKind::kCountStar, -1, "pcount",
+                            /*name_uses_arg=*/false, PartialValueType::kInt64,
+                            /*non_null=*/true});
+      d.combine = AggKind::kCountSum;
+      return d;
+    case AggKind::kCountSum:
+      // Re-splitting an already-combined COUNT: pre-sum the partial counts
+      // one level further.
+      d.partials.push_back({AggKind::kCountSum, 0, "pcount",
+                            /*name_uses_arg=*/false, PartialValueType::kInt64,
+                            /*non_null=*/true});
+      d.combine = AggKind::kCountSum;
+      return d;
+    case AggKind::kMin:
+      d.partials.push_back({AggKind::kMin, 0, "pmin", /*name_uses_arg=*/true,
+                            PartialValueType::kArgType, /*non_null=*/false});
+      d.combine = AggKind::kMin;
+      return d;
+    case AggKind::kMax:
+      d.partials.push_back({AggKind::kMax, 0, "pmax", /*name_uses_arg=*/true,
+                            PartialValueType::kArgType, /*non_null=*/false});
+      d.combine = AggKind::kMax;
+      return d;
+    case AggKind::kAvg:
+      // COUNT(arg), not COUNT(*): AVG divides by the number of non-NULL
+      // argument values, and psum NULL implies pcount 0 so the AvgFinal
+      // combine's NULL-skip drops exactly the empty partials.
+      d.partials.push_back({AggKind::kSum, 0, "psum", /*name_uses_arg=*/true,
+                            PartialValueType::kDouble, /*non_null=*/false});
+      d.partials.push_back({AggKind::kCount, 0, "pcount",
+                            /*name_uses_arg=*/false, PartialValueType::kInt64,
+                            /*non_null=*/true});
+      d.combine = AggKind::kAvgFinal;
+      return d;
+    case AggKind::kAvgFinal:
+      // Re-splitting an already-combined AVG: pre-aggregate the partial sums
+      // and counts one level further. kCountSum on the count side keeps the
+      // pre-aggregated count non-NULL even over an empty scalar partial.
+      d.partials.push_back({AggKind::kSum, 0, "psum", /*name_uses_arg=*/false,
+                            PartialValueType::kDouble, /*non_null=*/false});
+      d.partials.push_back({AggKind::kCountSum, 1, "pcount",
+                            /*name_uses_arg=*/false, PartialValueType::kInt64,
+                            /*non_null=*/true});
+      d.combine = AggKind::kAvgFinal;
+      return d;
+    case AggKind::kMedian:
+      return Status::Internal("MEDIAN is not decomposable");
+  }
+  return Status::Internal("unknown aggregate kind");
+}
+
+DataType PartialColumnType(const PartialAggSpec& spec, DataType arg_type) {
+  switch (spec.type) {
+    case PartialValueType::kArgType:
+      return arg_type;
+    case PartialValueType::kDouble:
+      return DataType::kDouble;
+    case PartialValueType::kInt64:
+      return DataType::kInt64;
+  }
+  return DataType::kInt64;
+}
+
+}  // namespace aggview

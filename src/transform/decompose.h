@@ -1,0 +1,67 @@
+#ifndef AGGVIEW_TRANSFORM_DECOMPOSE_H_
+#define AGGVIEW_TRANSFORM_DECOMPOSE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "expr/aggregate.h"
+#include "types/data_type.h"
+
+namespace aggview {
+
+/// The aggregate-decomposition rules of Section 4.2, shared by everything
+/// that splits an aggregate into partials plus a final combine: simple
+/// coalescing grouping (transform/coalescing.h) and materialized-view
+/// partial storage + delta maintenance + compensating roll-up (view/). The
+/// rules live here — in one table — so the three consumers provably agree on
+/// how each AggKind splits and merges (the AVG → SUM+COUNT re-split, the
+/// COUNT combine that must keep empty-input-is-0 semantics, and so on).
+
+/// Type rule for one partial column.
+enum class PartialValueType {
+  /// Same type as the original call's argument (SUM/MIN/MAX partials).
+  kArgType,
+  /// Always double (the AVG numerator in coalescing's column layout).
+  kDouble,
+  /// Always int64 (count partials).
+  kInt64,
+};
+
+/// One partial aggregate computed over each partition of a group.
+struct PartialAggSpec {
+  /// Aggregate computed over the partition's base rows.
+  AggKind kind = AggKind::kCountStar;
+  /// Index into the original call's args feeding this partial; -1 when the
+  /// partial takes no argument (the COUNT(*) partial).
+  int arg = -1;
+  /// Display-name prefix for the partial's output column ("psum", "pcount",
+  /// "pmin", "pmax").
+  const char* prefix = "p";
+  /// Whether the display name carries the argument ("psum(e.sal)") or is
+  /// bare ("pcount").
+  bool name_uses_arg = false;
+  PartialValueType type = PartialValueType::kInt64;
+  /// Declared non-nullable (count partials start from 0, never NULL).
+  bool non_null = false;
+};
+
+/// A full decomposition: the partial aggregates (in the order the final
+/// combine consumes them as arguments) and the combine kind.
+struct AggDecomposition {
+  std::vector<PartialAggSpec> partials;
+  /// Final aggregate over the partial columns. kAvgFinal takes two inputs
+  /// (partial sum, partial count); every other combine takes one.
+  AggKind combine = AggKind::kCountStar;
+};
+
+/// Decomposition rule for `kind`. Fails for MEDIAN (the stand-in for
+/// non-decomposable user aggregates; callers gate on IsDecomposable first).
+Result<AggDecomposition> DecomposeAggregate(AggKind kind);
+
+/// Resolves a PartialAggSpec's type rule against the original argument type.
+/// `arg_type` is ignored for the fixed-type rules.
+DataType PartialColumnType(const PartialAggSpec& spec, DataType arg_type);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_TRANSFORM_DECOMPOSE_H_

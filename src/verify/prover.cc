@@ -121,8 +121,11 @@ Result<ProofResult> ProveEquivalence(Catalog* catalog,
     std::string pre_outcome;
     std::string post_outcome;
   };
-  auto check = [&](const BoundedDatabase& db) -> Outcomes {
+  auto check = [&](const BoundedDatabase& db) -> Result<Outcomes> {
     guard.Install(db);
+    if (options.post_install) {
+      AGGVIEW_RETURN_NOT_OK(options.post_install(catalog));
+    }
     Result<QueryResult> pre_r = ExecutePlan(pre.plan, *pre.query, pre.ctx);
     Result<QueryResult> post_r = ExecutePlan(post.plan, *post.query, post.ctx);
     Outcomes o;
@@ -145,7 +148,7 @@ Result<ProofResult> ProveEquivalence(Catalog* catalog,
       ForEachBoundedDatabase(
           skeleton, options.bounds,
           [&](const BoundedDatabase& db) -> Result<bool> {
-            Outcomes o = check(db);
+            AGGVIEW_ASSIGN_OR_RETURN(Outcomes o, check(db));
             if (o.both_failed) ++result.agreeing_failures;
             if (!o.refuted) return true;
             first_refuting = CloneDatabase(skeleton, db);
@@ -164,11 +167,12 @@ Result<ProofResult> ProveEquivalence(Catalog* catalog,
         cex.db, ShrinkCounterexample(
                     skeleton, cex.db,
                     [&](const BoundedDatabase& db) -> Result<bool> {
-                      return check(db).refuted;
+                      AGGVIEW_ASSIGN_OR_RETURN(Outcomes o, check(db));
+                      return o.refuted;
                     },
                     &cex.shrink_stats));
   }
-  Outcomes final_outcomes = check(cex.db);
+  AGGVIEW_ASSIGN_OR_RETURN(Outcomes final_outcomes, check(cex.db));
   cex.pre_outcome = final_outcomes.pre_outcome;
   cex.post_outcome = final_outcomes.post_outcome;
 

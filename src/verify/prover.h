@@ -1,6 +1,7 @@
 #ifndef AGGVIEW_VERIFY_PROVER_H_
 #define AGGVIEW_VERIFY_PROVER_H_
 
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -44,6 +45,16 @@ struct ProverOptions {
   std::string repro_dir;
   /// Name of the proof obligation (labels logs and the repro file).
   std::string name = "proof";
+  /// Invoked after each enumerated database is installed — including every
+  /// shrink probe — before either side executes. Lets proofs whose plans
+  /// read derived state (materialized-view backing tables) re-derive it for
+  /// the installed database, e.g. RefreshMaterializedView per view; without
+  /// this, a view-backed plan would be judged against backing content from
+  /// a different database. A failure aborts the proof run with the hook's
+  /// status. The catalog's base data is restored on return as usual, but
+  /// derived state is left as the hook's last invocation produced it (the
+  /// restore bumps the base-table epochs, so such views read as stale).
+  std::function<Status(Catalog*)> post_install;
 };
 
 struct Counterexample {

@@ -1,0 +1,53 @@
+#ifndef AGGVIEW_VIEW_REWRITER_H_
+#define AGGVIEW_VIEW_REWRITER_H_
+
+#include <vector>
+
+#include "algebra/query.h"
+#include "analysis/certificate.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+
+namespace aggview {
+
+/// View-matching rewriter: answers blocks of `query` from fresh materialized
+/// views instead of base-table joins. Runs between bind and optimization;
+/// the rewritten query then optimizes normally (the backing scans are plain
+/// catalog tables).
+///
+/// Two match sites, both requiring containment in the strict sense — the
+/// block's relations biject onto the definition's FROM (same catalog
+/// tables), its predicate conjunction equals the definition's WHERE as a
+/// multiset under the mapping, its grouping columns are a subset of the
+/// view's grouping (the residual group-by is then a roll-up over whole
+/// groups, legal because the backing key is exactly the grouping prefix and
+/// every stored partial re-aggregates: SUM of partial sums, kCountSum of
+/// partial counts, MIN of partial minima, kAvgFinal over summed
+/// sum/count), and every aggregate maps onto a stored slot by kind and
+/// argument (COUNT(*) onto the hidden row count):
+///
+///  - an AggView block (a view inlined into the query, e.g. a materialized
+///    view referenced in FROM) is rewritten in place to scan the backing
+///    table;
+///  - the top block of a view-free aggregate query (including scalar
+///    aggregates — matching a scalar view's single-row backing table).
+///
+/// Replaced range variables are detached; the backing scan adopts the
+/// incoming ColIds of the matched grouping columns and the combine calls
+/// reuse the original aggregate outputs, so references above the block
+/// (HAVING, select list, ORDER BY, other predicates) survive untouched.
+///
+/// Every applied rewrite emits a ViewRewriteCertificate and is immediately
+/// re-verified with VerifyViewRewriteCertificate; a verification failure
+/// aborts the rewrite with an error rather than returning a wrong plan.
+///
+/// Only fresh views participate (Catalog::IsViewFresh); stale views are
+/// skipped until REFRESH. Returns the number of blocks rewritten;
+/// certificates are appended to `certs` when non-null.
+Result<int> RewriteWithMaterializedViews(
+    const Catalog& catalog, Query* query,
+    std::vector<ViewRewriteCertificate>* certs = nullptr);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_VIEW_REWRITER_H_

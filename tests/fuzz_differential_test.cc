@@ -85,6 +85,51 @@ TEST(FuzzGenerator, CoversViewsAndTopAggregates) {
   EXPECT_GT(with_group_by, 10);
 }
 
+/// Materialized-view fuzzing: the generated inline view definitions are
+/// re-issued as CREATE MATERIALIZED VIEW, the rewriter must answer the query
+/// from the backing tables byte-identically, and the same view-backed plan
+/// must still match a base re-execution after a random insert+delete delta
+/// plus REFRESH of whatever went stale.
+TEST(FuzzMatView, ViewAnsweringAndMaintenanceAgreeWithBasePlans) {
+  FuzzOptions options;
+  options.seed = 11;
+  options.num_queries = 30;
+  options.num_employees = 120;
+  options.num_departments = 6;
+  options.materialize_views = true;
+  // Keep the run cheap: the matview leg is the subject here, not the
+  // batch/thread geometry sweeps.
+  options.cross_batch_sizes.clear();
+  options.cross_thread_counts.clear();
+
+  auto report = RunDifferentialFuzz(options);
+  ASSERT_OK(report);
+  EXPECT_EQ(report->queries_run, options.num_queries);
+  // Across 30 queries some views materialize and answer, some delta cycles
+  // complete, and some definitions (HAVING, MEDIAN) are rejected by design.
+  EXPECT_GT(report->matview_rewrite_checks, 0);
+  EXPECT_GT(report->matview_delta_checks, 0);
+  EXPECT_GT(report->matview_skips, 0);
+}
+
+/// The AGGVIEW_FUZZ_MATVIEW environment knob turns the same leg on without
+/// touching FuzzOptions (for CI sweeps over an unmodified binary).
+TEST(FuzzMatView, EnvKnobEnablesMaterialization) {
+  FuzzOptions options;
+  options.seed = 11;
+  options.num_queries = 8;
+  options.num_employees = 80;
+  options.num_departments = 5;
+  options.cross_batch_sizes.clear();
+  options.cross_thread_counts.clear();
+
+  ASSERT_EQ(setenv("AGGVIEW_FUZZ_MATVIEW", "1", /*overwrite=*/1), 0);
+  auto report = RunDifferentialFuzz(options);
+  ASSERT_EQ(unsetenv("AGGVIEW_FUZZ_MATVIEW"), 0);
+  ASSERT_OK(report);
+  EXPECT_GT(report->matview_rewrite_checks + report->matview_skips, 0);
+}
+
 /// Seed replay: AGGVIEW_FUZZ_SEED pins the run to exactly one query — the
 /// per-query seed a failure message prints — so a prover-minimized
 /// counterexample stays tied to the originating fuzz case.

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <thread>
@@ -151,7 +152,19 @@ TEST(ServerTest, StatsEpochBumpInvalidatesCachedPlans) {
   server.catalog().BumpStatsEpoch();
   EXPECT_GT(server.stats_epoch(), epoch_before);
 
-  // The cached plan was optimized under the old epoch: it must be re-prepared.
+  // A bare global bump leaves every per-table epoch unchanged: the entry's
+  // dependency stamps still match, so it survives as a hit and the counter
+  // records the invalidation that whole-cache keying would have inflicted.
+  auto survived = conn.Sql(Example2Sql());
+  ASSERT_OK(survived.status());
+  EXPECT_TRUE(survived->cache_hit());
+  EXPECT_EQ(server.cache_stats().invalidations, 0);
+  EXPECT_EQ(server.cache_stats().avoided_invalidations, 1);
+
+  // Bumping an epoch of a table the plan reads is a real data change: the
+  // cached plan must be re-prepared.
+  server.catalog().BumpTableEpoch(0);
+
   auto fresh = conn.Sql(Example2Sql());
   ASSERT_OK(fresh.status());
   EXPECT_FALSE(fresh->cache_hit());
@@ -166,6 +179,238 @@ TEST(ServerTest, StatsEpochBumpInvalidatesCachedPlans) {
   auto recached = conn.Sql(Example2Sql());
   ASSERT_OK(recached.status());
   EXPECT_TRUE(recached->cache_hit());
+}
+
+TEST(ServerTest, UnrelatedTableMutationKeepsCachedPlan) {
+  Server server;
+  PopulateEmpDept(&server);
+  ServerSession conn = server.Connect();
+
+  // Example 1's first query reads only emp (table 0); dept is table 1.
+  const std::string emp_only =
+      "select dno, sum(sal) as dsal from emp group by dno;";
+  ASSERT_OK(conn.Sql(emp_only).status());
+
+  // Mutating dept bumps its table epoch and the global stats epoch, but the
+  // emp-only plan's dependency stamps all still match.
+  server.catalog().BumpTableEpoch(1);
+
+  auto survived = conn.Sql(emp_only);
+  ASSERT_OK(survived.status());
+  EXPECT_TRUE(survived->cache_hit());
+  EXPECT_EQ(server.cache_stats().invalidations, 0);
+  EXPECT_EQ(server.cache_stats().avoided_invalidations, 1);
+
+  // Mutating emp itself invalidates it.
+  server.catalog().BumpTableEpoch(0);
+  auto fresh = conn.Sql(emp_only);
+  ASSERT_OK(fresh.status());
+  EXPECT_FALSE(fresh->cache_hit());
+  EXPECT_EQ(server.cache_stats().invalidations, 1);
+}
+
+TEST(ServerMatViewTest, ViewBackedPlanInvalidatesOnDeltaAndRefresh) {
+  Server server;
+  PopulateEmpDept(&server);
+  ServerSession conn = server.Connect();
+
+  auto ddl = conn.ExecuteDdl(
+      "create materialized view dsal (dno, total) as "
+      "select e.dno, sum(e.sal) from emp e group by e.dno");
+  ASSERT_OK(ddl.status());
+  EXPECT_NE(ddl->find("dsal"), std::string::npos);
+
+  const std::string sql =
+      "select e.dno, sum(e.sal) from emp e group by e.dno;";
+  auto q = conn.Sql(sql);
+  ASSERT_OK(q.status());
+  EXPECT_TRUE(q->view_backed());
+  auto base_bytes = q->Execute();
+  ASSERT_OK(base_bytes.status());
+  auto hit = conn.Sql(sql);
+  ASSERT_OK(hit.status());
+  EXPECT_TRUE(hit->cache_hit());
+
+  // A delta through the server maintains the single-relation view in place;
+  // the emp table epoch and the view's content epoch both move, so the
+  // cached view-backed plan re-prepares instead of serving stale bytes.
+  TableDelta delta;
+  delta.table = 0;  // emp
+  delta.inserts = {{Value::Int(9001), Value::Int(1), Value::Real(1234.5),
+                    Value::Int(30)}};
+  MaintenanceReport report;
+  ASSERT_OK(conn.ApplyDelta(delta, &report));
+  EXPECT_EQ(report.views_maintained, 1);
+
+  auto fresh = conn.Sql(sql);
+  ASSERT_OK(fresh.status());
+  EXPECT_FALSE(fresh->cache_hit());
+  EXPECT_TRUE(fresh->view_backed());
+  auto maintained = fresh->Execute();
+  ASSERT_OK(maintained.status());
+
+  // The maintained view answers with exactly the bytes a view-less server
+  // computes from base tables after the same delta.
+  Server plain{[] {
+    ServerOptions o = ServerOptions::Default();
+    o.use_materialized_views = false;
+    return o;
+  }()};
+  PopulateEmpDept(&plain);
+  ASSERT_OK(plain.ApplyDelta(delta, nullptr));
+  ServerSession plain_conn = plain.Connect();
+  auto plain_q = plain_conn.Sql(sql);
+  ASSERT_OK(plain_q.status());
+  EXPECT_FALSE(plain_q->view_backed());
+  auto plain_bytes = plain_q->Execute();
+  ASSERT_OK(plain_bytes.status());
+  EXPECT_EQ(maintained->Fingerprint(), plain_bytes->Fingerprint());
+
+  // REFRESH bumps the view's content epoch: the "v:dsal" dependency stamp
+  // no longer matches and the plan re-prepares again.
+  auto recached = conn.Sql(sql);
+  ASSERT_OK(recached.status());
+  EXPECT_TRUE(recached->cache_hit());
+  ASSERT_OK(conn.ExecuteDdl("refresh materialized view dsal").status());
+  auto after_refresh = conn.Sql(sql);
+  ASSERT_OK(after_refresh.status());
+  EXPECT_FALSE(after_refresh->cache_hit());
+  EXPECT_TRUE(after_refresh->view_backed());
+  auto refreshed = after_refresh->Execute();
+  ASSERT_OK(refreshed.status());
+  EXPECT_EQ(refreshed->Fingerprint(), plain_bytes->Fingerprint());
+}
+
+TEST(ServerMatViewTest, DroppedStalenessPathRefreshRestoresServing) {
+  // A multi-relation view goes stale under a delta; the serving layer skips
+  // it (base plan) until REFRESH through the server restores view answering.
+  Server server;
+  PopulateEmpDept(&server);
+  ServerSession conn = server.Connect();
+  ASSERT_OK(conn.ExecuteDdl(
+                    "create materialized view dept_pay (dno, total) as "
+                    "select e.dno, sum(e.sal) from emp e, dept d "
+                    "where e.dno = d.dno group by e.dno")
+                .status());
+
+  const std::string sql =
+      "select e.dno, sum(e.sal) from emp e, dept d "
+      "where e.dno = d.dno group by e.dno;";
+  auto answered = conn.Sql(sql);
+  ASSERT_OK(answered.status());
+  EXPECT_TRUE(answered->view_backed());
+
+  TableDelta delta;
+  delta.table = 0;  // emp
+  delta.inserts = {{Value::Int(9001), Value::Int(1), Value::Real(10.0),
+                    Value::Int(30)}};
+  MaintenanceReport report;
+  ASSERT_OK(conn.ApplyDelta(delta, &report));
+  EXPECT_EQ(report.views_marked_stale, 1);
+
+  // Stale view: the rewriter must not use it, and the old view-backed plan
+  // must not be served from cache.
+  auto base_plan = conn.Sql(sql);
+  ASSERT_OK(base_plan.status());
+  EXPECT_FALSE(base_plan->cache_hit());
+  EXPECT_FALSE(base_plan->view_backed());
+  auto base_bytes = base_plan->Execute();
+  ASSERT_OK(base_bytes.status());
+
+  ASSERT_OK(conn.ExecuteDdl("refresh materialized view dept_pay").status());
+  auto restored = conn.Sql(sql);
+  ASSERT_OK(restored.status());
+  EXPECT_TRUE(restored->view_backed());
+  auto restored_bytes = restored->Execute();
+  ASSERT_OK(restored_bytes.status());
+  EXPECT_EQ(restored_bytes->Fingerprint(), base_bytes->Fingerprint());
+}
+
+TEST(ServerMatViewTest, ConcurrentRefreshAndReadsStayConsistent) {
+  // Readers execute view-backed and base plans while a writer thread applies
+  // deltas and refreshes; the shared catalog lock must keep every observed
+  // result internally consistent (no torn backing tables, no crashes).
+  Server server;
+  PopulateEmpDept(&server);
+  ServerSession ddl_conn = server.Connect();
+  ASSERT_OK(ddl_conn
+                .ExecuteDdl("create materialized view dsal (dno, total) as "
+                            "select e.dno, sum(e.sal) from emp e group by "
+                            "e.dno")
+                .status());
+
+  constexpr int kReaders = 4;
+  constexpr int kRoundsPerReader = 25;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&server, &failed] {
+      ServerSession conn = server.Connect();
+      for (int i = 0; i < kRoundsPerReader && !failed.load(); ++i) {
+        auto q = conn.Sql(
+            "select e.dno, sum(e.sal) from emp e group by e.dno;");
+        if (!q.ok() || !q->Execute().ok()) {
+          failed.store(true);
+          break;
+        }
+      }
+    });
+  }
+  std::thread writer([&server, &failed] {
+    ServerSession conn = server.Connect();
+    for (int i = 0; i < 20 && !failed.load(); ++i) {
+      TableDelta delta;
+      delta.table = 0;  // emp
+      delta.inserts = {{Value::Int(20000 + i), Value::Int(1 + (i % 3)),
+                        Value::Real(100.0 + i), Value::Int(30)}};
+      if (!conn.ApplyDelta(delta, nullptr).ok()) {
+        failed.store(true);
+        break;
+      }
+      if (i % 5 == 0 &&
+          !conn.ExecuteDdl("refresh materialized view dsal").ok()) {
+        failed.store(true);
+        break;
+      }
+    }
+  });
+  for (std::thread& t : readers) t.join();
+  writer.join();
+  ASSERT_FALSE(failed.load());
+
+  // After the dust settles, the view is either fresh (maintained) and must
+  // agree with base bytes, byte for byte.
+  ASSERT_OK(ddl_conn.ExecuteDdl("refresh materialized view dsal").status());
+  ServerSession conn = server.Connect();
+  const std::string sql =
+      "select e.dno, sum(e.sal) from emp e group by e.dno;";
+  auto viewed = conn.Sql(sql);
+  ASSERT_OK(viewed.status());
+  EXPECT_TRUE(viewed->view_backed());
+  auto viewed_bytes = viewed->Execute();
+  ASSERT_OK(viewed_bytes.status());
+
+  Server plain{[] {
+    ServerOptions o = ServerOptions::Default();
+    o.use_materialized_views = false;
+    return o;
+  }()};
+  PopulateEmpDept(&plain);
+  // Nothing mutated plain's emp; replay the writer's inserts.
+  for (int i = 0; i < 20; ++i) {
+    TableDelta delta;
+    delta.table = 0;
+    delta.inserts = {{Value::Int(20000 + i), Value::Int(1 + (i % 3)),
+                      Value::Real(100.0 + i), Value::Int(30)}};
+    ASSERT_OK(plain.ApplyDelta(delta, nullptr));
+  }
+  ServerSession plain_conn = plain.Connect();
+  auto plain_q = plain_conn.Sql(sql);
+  ASSERT_OK(plain_q.status());
+  auto plain_bytes = plain_q->Execute();
+  ASSERT_OK(plain_bytes.status());
+  EXPECT_EQ(viewed_bytes->Fingerprint(), plain_bytes->Fingerprint());
 }
 
 TEST(ServerTest, MutableTableAccessBumpsEpoch) {

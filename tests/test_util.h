@@ -122,6 +122,39 @@ inline void CheckOptimizersAgree(const Catalog& catalog,
   if (extended_io != nullptr) *extended_io = io_e.total();
 }
 
+/// Executes `sql` twice — answered from materialized views (rewriter +
+/// traditional optimizer) and straight from base tables — and expects
+/// byte-identical results plus a verifying rewrite audit. Returns the
+/// number of blocks the rewriter answered.
+inline int CheckViewAnswersAgree(const Catalog& catalog,
+                                 const std::string& sql) {
+  auto base = ParseAndBind(catalog, sql);
+  EXPECT_TRUE(base.ok()) << base.status().ToString();
+  auto opt_base = OptimizeTraditional(*base);
+  EXPECT_TRUE(opt_base.ok()) << opt_base.status().ToString();
+  auto res_base = ExecutePlan(opt_base->plan, opt_base->query);
+  EXPECT_TRUE(res_base.ok()) << res_base.status().ToString();
+
+  auto rewritten = ParseAndBind(catalog, sql);
+  EXPECT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  std::vector<ViewRewriteCertificate> certs;
+  auto n = RewriteWithMaterializedViews(catalog, &*rewritten, &certs);
+  EXPECT_TRUE(n.ok()) << n.status().ToString();
+  auto opt_view = OptimizeTraditional(*rewritten);
+  EXPECT_TRUE(opt_view.ok()) << opt_view.status().ToString();
+  auto res_view = ExecutePlan(opt_view->plan, opt_view->query);
+  EXPECT_TRUE(res_view.ok()) << res_view.status().ToString();
+
+  EXPECT_EQ(res_base->Fingerprint(), res_view->Fingerprint())
+      << "view-answered plan disagrees with the base plan for:\n"
+      << sql;
+  TransformationAudit audit;
+  audit.view_rewrites = std::move(certs);
+  Status verified = VerifyAudit(opt_view->query, audit);
+  EXPECT_TRUE(verified.ok()) << verified.ToString();
+  return *n;
+}
+
 }  // namespace aggview
 
 #endif  // AGGVIEW_TESTS_TEST_UTIL_H_
