@@ -623,6 +623,45 @@ Result<FuzzReport> RunDifferentialFuzz(const FuzzOptions& options) {
             ++report.thread_checks;
           }
         }
+        // The compiled backend must be equally invisible: the same plan
+        // re-executed on bytecode predicates and fused pipeline kernels —
+        // serial and morsel-parallel, degenerate and default batch geometry
+        // — has to reproduce the interpreted reference fingerprint bit for
+        // bit. The verifier stays installed, so fused kernels are also
+        // checked against the statically derived dataflow facts.
+        for (int threads : options.cross_backend_thread_counts) {
+          for (int batch_size : options.cross_backend_batch_sizes) {
+            auto rerun = ExecutePlan(optimized->plan, optimized->query,
+                                     ExecContext{}
+                                         .WithBackend(ExecBackend::kCompiled)
+                                         .WithThreads(threads)
+                                         .WithBatchSize(batch_size)
+                                         .WithVerify(&verifier));
+            if (!rerun.ok()) {
+              return fail("execute compiled at threads=" +
+                              std::to_string(threads) +
+                              " batch_size=" + std::to_string(batch_size),
+                          rerun.status());
+            }
+            if (rerun->Fingerprint() != reference) {
+              std::string note = MinimizeDivergenceNote(
+                  &catalog, optimized->query, optimized->plan, ExecContext{},
+                  optimized->query, optimized->plan,
+                  ExecContext{}
+                      .WithBackend(ExecBackend::kCompiled)
+                      .WithThreads(threads)
+                      .WithBatchSize(batch_size),
+                  "fuzz_compiled_t" + std::to_string(threads) + "_b" +
+                      std::to_string(batch_size));
+              return fail("compiled backend at threads=" +
+                              std::to_string(threads) +
+                              " batch_size=" + std::to_string(batch_size) +
+                              " diverges from the interpreted reference",
+                          Status::Internal("fingerprints differ" + note));
+            }
+            ++report.backend_checks;
+          }
+        }
       } else if (result->Fingerprint() != reference) {
         std::string note =
             reference_opt.has_value()

@@ -1,0 +1,394 @@
+#include "exec/compile/expr_compiler.h"
+
+#include <utility>
+
+namespace aggview {
+
+namespace {
+
+/// The generic arithmetic path, byte-for-byte ArithExpr::Eval: NULL
+/// propagates, integer arithmetic stays integral except for division (which
+/// promotes to double), and division by zero yields 0.0.
+Value GenericArith(ArithOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if (l.is_int() && r.is_int() && op != ArithOp::kDiv) {
+    int64_t a = l.AsInt(), b = r.AsInt();
+    switch (op) {
+      case ArithOp::kAdd:
+        return Value::Int(a + b);
+      case ArithOp::kSub:
+        return Value::Int(a - b);
+      case ArithOp::kMul:
+        return Value::Int(a * b);
+      case ArithOp::kDiv:
+        break;
+    }
+  }
+  double a = l.AsNumeric(), b = r.AsNumeric();
+  switch (op) {
+    case ArithOp::kAdd:
+      return Value::Real(a + b);
+    case ArithOp::kSub:
+      return Value::Real(a - b);
+    case ArithOp::kMul:
+      return Value::Real(a * b);
+    case ArithOp::kDiv:
+      return Value::Real(b == 0.0 ? 0.0 : a / b);
+  }
+  return Value::Real(0.0);
+}
+
+int Sign(int64_t a, int64_t b) { return a < b ? -1 : (a > b ? 1 : 0); }
+int Sign(double a, double b) { return a < b ? -1 : (a > b ? 1 : 0); }
+
+bool ApplyCompareOp(CompareOp op, int c) {
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- ExprProgram
+
+Result<ExprProgram> ExprProgram::Compile(const ScalarExpr& expr,
+                                         const RowLayout& layout,
+                                         const ColumnCatalog& columns) {
+  ExprProgram prog;
+  AGGVIEW_RETURN_NOT_OK(prog.CompileInto(expr, layout, columns));
+  return prog;
+}
+
+Status ExprProgram::CompileInto(const ScalarExpr& expr,
+                                const RowLayout& layout,
+                                const ColumnCatalog& columns) {
+  switch (expr.kind()) {
+    case ScalarExpr::Kind::kColumnRef: {
+      ColId id = static_cast<const ColumnRefExpr&>(expr).id();
+      int idx = layout.IndexOf(id);
+      if (idx < 0) {
+        return Status::Internal(
+            "expr compiler: column missing from input layout");
+      }
+      code_.push_back(Insn{Op::kLoadCol, idx});
+      return Status::OK();
+    }
+    case ScalarExpr::Kind::kLiteral: {
+      consts_.push_back(static_cast<const LiteralExpr&>(expr).value());
+      code_.push_back(
+          Insn{Op::kLoadConst, static_cast<int32_t>(consts_.size() - 1)});
+      return Status::OK();
+    }
+    case ScalarExpr::Kind::kArith: {
+      const auto& arith = static_cast<const ArithExpr&>(expr);
+      AGGVIEW_RETURN_NOT_OK(CompileInto(*arith.lhs(), layout, columns));
+      AGGVIEW_RETURN_NOT_OK(CompileInto(*arith.rhs(), layout, columns));
+      // Lane selection from the *static* types; the typed instructions
+      // re-check the runtime types and fall through to the generic path, so
+      // a wrong static guess costs speed, never correctness.
+      DataType lt = arith.lhs()->ResultType(columns);
+      DataType rt = arith.rhs()->ResultType(columns);
+      bool both_int = lt == DataType::kInt64 && rt == DataType::kInt64;
+      bool both_double = lt == DataType::kDouble && rt == DataType::kDouble;
+      // The switch is exhaustive over ArithOp; the initializer only
+      // placates -Wmaybe-uninitialized, which cannot prove that.
+      Op op = Op::kAddGeneric;
+      switch (arith.op()) {
+        case ArithOp::kAdd:
+          op = both_int ? Op::kAddInt
+                        : (both_double ? Op::kAddDouble : Op::kAddGeneric);
+          break;
+        case ArithOp::kSub:
+          op = both_int ? Op::kSubInt
+                        : (both_double ? Op::kSubDouble : Op::kSubGeneric);
+          break;
+        case ArithOp::kMul:
+          op = both_int ? Op::kMulInt
+                        : (both_double ? Op::kMulDouble : Op::kMulGeneric);
+          break;
+        case ArithOp::kDiv:
+          // Division always promotes, so there is no INT64 lane for it.
+          op = both_double ? Op::kDivDouble : Op::kDivGeneric;
+          break;
+      }
+      code_.push_back(Insn{op, 0});
+      return Status::OK();
+    }
+    case ScalarExpr::Kind::kCoalesce: {
+      const auto& coalesce = static_cast<const CoalesceExpr&>(expr);
+      AGGVIEW_RETURN_NOT_OK(CompileInto(*coalesce.inner(), layout, columns));
+      size_t jump_at = code_.size();
+      code_.push_back(Insn{Op::kJumpIfNotNull, 0});
+      code_.push_back(Insn{Op::kPop, 0});
+      AGGVIEW_RETURN_NOT_OK(CompileInto(*coalesce.fallback(), layout, columns));
+      code_[jump_at].a = static_cast<int32_t>(code_.size());
+      return Status::OK();
+    }
+  }
+  return Status::Internal("expr compiler: unknown expression kind");
+}
+
+Value ExprProgram::Eval(const Row& row, std::vector<Value>* stack) const {
+  stack->clear();
+  // Binary instructions fold in place: the result lands in the lhs slot and
+  // the rhs slot pops, so the stack never reallocates in steady state.
+  size_t n = code_.size();
+  for (size_t pc = 0; pc < n; ++pc) {
+    const Insn& in = code_[pc];
+    switch (in.op) {
+      case Op::kLoadCol:
+        stack->push_back(row[static_cast<size_t>(in.a)]);
+        break;
+      case Op::kLoadConst:
+        stack->push_back(consts_[static_cast<size_t>(in.a)]);
+        break;
+      case Op::kJumpIfNotNull:
+        if (!stack->back().is_null()) pc = static_cast<size_t>(in.a) - 1;
+        break;
+      case Op::kPop:
+        stack->pop_back();
+        break;
+      default: {
+        Value& r = (*stack)[stack->size() - 1];
+        Value& l = (*stack)[stack->size() - 2];
+        switch (in.op) {
+          case Op::kAddInt:
+            l = (l.is_int() && r.is_int())
+                    ? Value::Int(l.AsInt() + r.AsInt())
+                    : GenericArith(ArithOp::kAdd, l, r);
+            break;
+          case Op::kSubInt:
+            l = (l.is_int() && r.is_int())
+                    ? Value::Int(l.AsInt() - r.AsInt())
+                    : GenericArith(ArithOp::kSub, l, r);
+            break;
+          case Op::kMulInt:
+            l = (l.is_int() && r.is_int())
+                    ? Value::Int(l.AsInt() * r.AsInt())
+                    : GenericArith(ArithOp::kMul, l, r);
+            break;
+          case Op::kAddDouble:
+            l = (l.is_double() && r.is_double())
+                    ? Value::Real(l.AsDouble() + r.AsDouble())
+                    : GenericArith(ArithOp::kAdd, l, r);
+            break;
+          case Op::kSubDouble:
+            l = (l.is_double() && r.is_double())
+                    ? Value::Real(l.AsDouble() - r.AsDouble())
+                    : GenericArith(ArithOp::kSub, l, r);
+            break;
+          case Op::kMulDouble:
+            l = (l.is_double() && r.is_double())
+                    ? Value::Real(l.AsDouble() * r.AsDouble())
+                    : GenericArith(ArithOp::kMul, l, r);
+            break;
+          case Op::kDivDouble:
+            l = (l.is_double() && r.is_double())
+                    ? Value::Real(r.AsDouble() == 0.0
+                                      ? 0.0
+                                      : l.AsDouble() / r.AsDouble())
+                    : GenericArith(ArithOp::kDiv, l, r);
+            break;
+          case Op::kAddGeneric:
+            l = GenericArith(ArithOp::kAdd, l, r);
+            break;
+          case Op::kSubGeneric:
+            l = GenericArith(ArithOp::kSub, l, r);
+            break;
+          case Op::kMulGeneric:
+            l = GenericArith(ArithOp::kMul, l, r);
+            break;
+          case Op::kDivGeneric:
+            l = GenericArith(ArithOp::kDiv, l, r);
+            break;
+          default:
+            break;
+        }
+        stack->pop_back();
+        break;
+      }
+    }
+  }
+  Value out = std::move(stack->back());
+  stack->pop_back();
+  return out;
+}
+
+// --------------------------------------------------------- PredicateProgram
+
+Result<PredicateProgram::Operand> PredicateProgram::CompileOperand(
+    const ExprPtr& expr, const RowLayout& layout, const ColumnCatalog& columns,
+    std::vector<ExprProgram>* programs) {
+  Operand o;
+  ColId col = expr->AsColumnRef();
+  if (col != kInvalidColId) {
+    o.col = layout.IndexOf(col);
+    if (o.col < 0) {
+      return Status::Internal(
+          "predicate compiler: column missing from input layout");
+    }
+    return o;
+  }
+  if (expr->kind() == ScalarExpr::Kind::kLiteral) {
+    o.constant = static_cast<const LiteralExpr&>(*expr).value();
+    return o;
+  }
+  AGGVIEW_ASSIGN_OR_RETURN(ExprProgram prog,
+                           ExprProgram::Compile(*expr, layout, columns));
+  programs->push_back(std::move(prog));
+  o.prog = static_cast<int>(programs->size() - 1);
+  return o;
+}
+
+Result<PredicateProgram> PredicateProgram::Compile(
+    const std::vector<Predicate>& preds, const RowLayout& layout,
+    const ColumnCatalog& columns) {
+  PredicateProgram prog;
+  for (const Predicate& p : preds) {
+    Conjunct c;
+    AGGVIEW_ASSIGN_OR_RETURN(
+        c.lhs, CompileOperand(p.lhs, layout, columns, &prog.programs_));
+    AGGVIEW_ASSIGN_OR_RETURN(
+        c.rhs, CompileOperand(p.rhs, layout, columns, &prog.programs_));
+    c.op = p.op;
+    DataType lt = p.lhs->ResultType(columns);
+    DataType rt = p.rhs->ResultType(columns);
+    if (lt == DataType::kInt64 && rt == DataType::kInt64) {
+      c.lane = CmpLane::kInt64;
+    } else if (lt == DataType::kString && rt == DataType::kString) {
+      c.lane = CmpLane::kString;
+    } else if (lt != DataType::kString && rt != DataType::kString) {
+      c.lane = CmpLane::kDouble;
+      // Normalize an integer constant against a DOUBLE-lane operand to a
+      // double constant at compile time: the mixed int-vs-double comparison
+      // goes through the same int64 -> double conversion (Value::Compare's
+      // AsNumeric path) at runtime, so pre-converting is bit-identical and
+      // lets EvalRow take the both-double fast branch per row instead of
+      // the out-of-line AsNumeric calls.
+      auto normalize = [](Operand* o) {
+        if (o->col < 0 && o->prog < 0 && o->constant.is_int()) {
+          o->constant = Value::Real(o->constant.AsNumeric());
+        }
+      };
+      normalize(&c.lhs);
+      normalize(&c.rhs);
+    } else {
+      c.lane = CmpLane::kGeneric;
+    }
+    // Promote the typed lanes to their col-vs-constant shapes when the
+    // conjunct is a direct slot compared against an inline constant of the
+    // lane's exact type (the dominant shape of pushed-down filters).
+    const bool rhs_const = c.rhs.col < 0 && c.rhs.prog < 0;
+    if (c.lhs.col >= 0 && rhs_const) {
+      if (c.lane == CmpLane::kInt64 && c.rhs.constant.is_int()) {
+        c.lane = CmpLane::kInt64ColConst;
+      } else if (c.lane == CmpLane::kDouble && c.rhs.constant.is_double()) {
+        c.lane = CmpLane::kDoubleColConst;
+      }
+    }
+    prog.conjuncts_.push_back(std::move(c));
+  }
+  return prog;
+}
+
+const Value* PredicateProgram::EvalOperand(const Operand& o, const Row& row,
+                                           EvalScratch* scratch,
+                                           Value* tmp) const {
+  if (o.col >= 0) return &row[static_cast<size_t>(o.col)];
+  if (o.prog >= 0) {
+    *tmp = programs_[static_cast<size_t>(o.prog)].Eval(row, &scratch->stack);
+    return tmp;
+  }
+  return &o.constant;
+}
+
+bool PredicateProgram::EvalRow(const Row& row, EvalScratch* scratch) const {
+  for (const Conjunct& c : conjuncts_) {
+    // Col-vs-constant fast lanes: no operand resolution, and the slot's
+    // type check subsumes the NULL check (NULL is its own alternative in
+    // Value's variant). The mixed-type fallbacks reduce to Value::Compare,
+    // which is exactly what the matching general lane below computes for
+    // those type combinations.
+    if (c.lane == CmpLane::kInt64ColConst) {
+      const Value& l = row[static_cast<size_t>(c.lhs.col)];
+      if (l.is_int()) {
+        if (!ApplyCompareOp(c.op, Sign(l.AsInt(), c.rhs.constant.AsInt()))) {
+          return false;
+        }
+        continue;
+      }
+      if (l.is_null()) return false;
+      if (!ApplyCompareOp(c.op, l.Compare(c.rhs.constant))) return false;
+      continue;
+    }
+    if (c.lane == CmpLane::kDoubleColConst) {
+      const Value& l = row[static_cast<size_t>(c.lhs.col)];
+      if (l.is_double()) {
+        if (!ApplyCompareOp(c.op,
+                            Sign(l.AsDouble(), c.rhs.constant.AsDouble()))) {
+          return false;
+        }
+        continue;
+      }
+      if (l.is_null()) return false;
+      if (!ApplyCompareOp(c.op, l.Compare(c.rhs.constant))) return false;
+      continue;
+    }
+    const Value* l = EvalOperand(c.lhs, row, scratch, &scratch->lhs);
+    const Value* r = EvalOperand(c.rhs, row, scratch, &scratch->rhs);
+    // SQL semantics: comparisons with NULL are not true (Predicate::Eval).
+    if (l->is_null() || r->is_null()) return false;
+    int cmp;
+    switch (c.lane) {
+      case CmpLane::kInt64:
+        cmp = (l->is_int() && r->is_int()) ? Sign(l->AsInt(), r->AsInt())
+                                           : l->Compare(*r);
+        break;
+      case CmpLane::kDouble:
+        // Value::Compare's numeric path: both-INT64 compares exactly as
+        // int64 (no precision loss above 2^53), otherwise via AsNumeric().
+        // The leading both-double branch is the lane's expected shape (and
+        // what the compile-time constant normalization above steers mixed
+        // col-vs-int-literal conjuncts into): it stays on inline accessors
+        // instead of the out-of-line AsNumeric calls.
+        if (l->is_double() && r->is_double()) {
+          cmp = Sign(l->AsDouble(), r->AsDouble());
+        } else if (!l->is_string() && !r->is_string()) {
+          cmp = (l->is_int() && r->is_int())
+                    ? Sign(l->AsInt(), r->AsInt())
+                    : Sign(l->AsNumeric(), r->AsNumeric());
+        } else {
+          cmp = l->Compare(*r);
+        }
+        break;
+      case CmpLane::kString:
+        if (l->is_string() && r->is_string()) {
+          int s = l->AsString().compare(r->AsString());
+          cmp = s < 0 ? -1 : (s > 0 ? 1 : 0);
+        } else {
+          cmp = l->Compare(*r);
+        }
+        break;
+      case CmpLane::kGeneric:
+      default:
+        cmp = l->Compare(*r);
+        break;
+    }
+    if (!ApplyCompareOp(c.op, cmp)) return false;
+  }
+  return true;
+}
+
+}  // namespace aggview

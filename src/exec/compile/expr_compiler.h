@@ -1,0 +1,162 @@
+#ifndef AGGVIEW_EXEC_COMPILE_EXPR_COMPILER_H_
+#define AGGVIEW_EXEC_COMPILE_EXPR_COMPILER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algebra/column.h"
+#include "common/result.h"
+#include "expr/predicate.h"
+#include "expr/scalar_expr.h"
+#include "types/value.h"
+
+namespace aggview {
+
+/// Per-evaluator scratch state for program evaluation. Programs themselves
+/// are immutable after compilation and safe to share across morsel-parallel
+/// worker clones; each evaluating operator instance owns one EvalScratch so
+/// the value stack is never contended.
+struct EvalScratch {
+  std::vector<Value> stack;
+  Value lhs;
+  Value rhs;
+};
+
+/// A ScalarExpr tree lowered to flat stack bytecode.
+///
+/// The interpreter pays a virtual Eval() call per tree node per row; a
+/// program is a dense instruction array evaluated by one dispatch loop — no
+/// virtual calls, no tree pointer chasing. Arithmetic instructions are
+/// type-specialized at compile time from the catalog's static column types
+/// (an INT64 lane for integer arithmetic, a DOUBLE lane for floating-point),
+/// but every typed instruction still guards the *runtime* value types and
+/// falls through to the generic Value path on a mismatch, because the
+/// interpreter it must mirror dispatches on runtime types (a nullable INT64
+/// column can yield NULL; COALESCE can change the lane). Results are
+/// therefore bit-identical to ScalarExpr::Eval on every input, including
+/// NULL propagation and the division-by-zero convention (x / 0 == 0.0).
+class ExprProgram {
+ public:
+  ExprProgram() = default;
+
+  /// Lowers `expr` against `layout`. Fails (Status::Internal) when the
+  /// expression references a column the layout does not carry — the same
+  /// malformed-plan condition the interpreter's ValidatePredicateColumns
+  /// rejects at Open.
+  static Result<ExprProgram> Compile(const ScalarExpr& expr,
+                                     const RowLayout& layout,
+                                     const ColumnCatalog& columns);
+
+  /// Evaluates against `row`, exactly as ScalarExpr::Eval would.
+  /// `stack` is caller-owned scratch, cleared on entry.
+  Value Eval(const Row& row, std::vector<Value>* stack) const;
+
+  int num_instructions() const { return static_cast<int>(code_.size()); }
+
+ private:
+  friend class PredicateProgram;
+
+  enum class Op : uint8_t {
+    kLoadCol,    // push row[a]
+    kLoadConst,  // push consts_[a]
+    // INT64 lane: both operands statically INT64 (guarded at runtime).
+    kAddInt,
+    kSubInt,
+    kMulInt,
+    // DOUBLE lane: both operands statically DOUBLE (guarded at runtime).
+    kAddDouble,
+    kSubDouble,
+    kMulDouble,
+    kDivDouble,
+    // Generic lane: mirrors ArithExpr::Eval's full dispatch.
+    kAddGeneric,
+    kSubGeneric,
+    kMulGeneric,
+    kDivGeneric,
+    // COALESCE control flow: skip the fallback when the top of the stack is
+    // non-NULL, else pop it and evaluate the fallback.
+    kJumpIfNotNull,  // if (!top.is_null()) pc = a
+    kPop,
+  };
+
+  struct Insn {
+    Op op;
+    int32_t a = 0;
+  };
+
+  Status CompileInto(const ScalarExpr& expr, const RowLayout& layout,
+                     const ColumnCatalog& columns);
+
+  std::vector<Insn> code_;
+  std::vector<Value> consts_;
+};
+
+/// A conjunction of Predicates lowered to compiled form: each conjunct is a
+/// (lhs, op, rhs) frame whose operands are a direct column slot, an inline
+/// constant, or an ExprProgram — the dominant `col op literal` shape
+/// evaluates with zero Value copies. Conjuncts short-circuit inside one
+/// evaluation frame (first false wins), and each comparison runs on a lane
+/// picked from the static types (INT64 / DOUBLE / STRING), guarded at
+/// runtime with fallback to Value::Compare so results match Predicate::Eval
+/// bit for bit — including SQL's NULL-comparison-is-false rule.
+class PredicateProgram {
+ public:
+  PredicateProgram() = default;
+
+  /// Lowers `preds` against `layout`; the empty conjunction compiles to a
+  /// program that is always true (matching EvalConjunction).
+  static Result<PredicateProgram> Compile(const std::vector<Predicate>& preds,
+                                          const RowLayout& layout,
+                                          const ColumnCatalog& columns);
+
+  /// Evaluates the conjunction over `row`; exactly
+  /// EvalConjunction(preds, row, layout).
+  bool EvalRow(const Row& row, EvalScratch* scratch) const;
+
+  bool empty() const { return conjuncts_.empty(); }
+  int size() const { return static_cast<int>(conjuncts_.size()); }
+
+ private:
+  // kInt64ColConst / kDoubleColConst are the col-vs-literal shapes of the
+  // typed lanes: lhs is a direct row slot and rhs an inline non-NULL
+  // constant of the lane's type, so EvalRow skips operand resolution and
+  // the slot's type check doubles as its NULL check.
+  enum class CmpLane : uint8_t {
+    kGeneric,
+    kInt64,
+    kDouble,
+    kString,
+    kInt64ColConst,
+    kDoubleColConst,
+  };
+
+  /// One comparison operand. Exactly one of the three forms is active:
+  /// col >= 0 (direct row slot), prog >= 0 (bytecode), else the constant.
+  struct Operand {
+    int col = -1;
+    int prog = -1;
+    Value constant;
+  };
+
+  struct Conjunct {
+    Operand lhs;
+    Operand rhs;
+    CompareOp op = CompareOp::kEq;
+    CmpLane lane = CmpLane::kGeneric;
+  };
+
+  static Result<Operand> CompileOperand(const ExprPtr& expr,
+                                        const RowLayout& layout,
+                                        const ColumnCatalog& columns,
+                                        std::vector<ExprProgram>* programs);
+
+  const Value* EvalOperand(const Operand& o, const Row& row,
+                           EvalScratch* scratch, Value* tmp) const;
+
+  std::vector<Conjunct> conjuncts_;
+  std::vector<ExprProgram> programs_;
+};
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_EXEC_COMPILE_EXPR_COMPILER_H_

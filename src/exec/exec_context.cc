@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <string>
 
 #include "exec/thread_pool.h"
 
@@ -24,11 +25,55 @@ int EnvKnob(const char* name, int fallback, int max_value) {
   return static_cast<int>(v);
 }
 
+const char* ExecBackendName(ExecBackend backend) {
+  switch (backend) {
+    case ExecBackend::kInterpret:
+      return "interpret";
+    case ExecBackend::kCompiled:
+      return "compiled";
+  }
+  return "interpret";
+}
+
+bool ParseExecBackend(const char* text, ExecBackend* out) {
+  if (text == nullptr) return false;
+  const std::string s(text);
+  if (s == "interpret") {
+    *out = ExecBackend::kInterpret;
+    return true;
+  }
+  if (s == "compiled") {
+    *out = ExecBackend::kCompiled;
+    return true;
+  }
+  return false;
+}
+
+ExecBackend BackendEnvKnob(const char* name, ExecBackend fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  // Like EnvKnob, garbage falls back rather than silently picking an engine:
+  // only the exact backend names select one.
+  ExecBackend parsed = fallback;
+  if (!ParseExecBackend(env, &parsed)) return fallback;
+  return parsed;
+}
+
+ExecDefaults ExecDefaults::FromEnv() {
+  ExecDefaults d;
+  d.batch_size =
+      EnvKnob("AGGVIEW_TEST_BATCH_SIZE", d.batch_size, kMaxEnvBatchSize);
+  d.threads = EnvKnob("AGGVIEW_TEST_THREADS", d.threads, kMaxEnvThreads);
+  d.backend = BackendEnvKnob("AGGVIEW_TEST_BACKEND", d.backend);
+  return d;
+}
+
 ExecContext ExecContext::Default() {
+  ExecDefaults d = ExecDefaults::FromEnv();
   ExecContext ctx;
-  ctx.batch_size =
-      EnvKnob("AGGVIEW_TEST_BATCH_SIZE", ctx.batch_size, kMaxEnvBatchSize);
-  ctx.threads = EnvKnob("AGGVIEW_TEST_THREADS", ctx.threads, kMaxEnvThreads);
+  ctx.batch_size = d.batch_size;
+  ctx.threads = d.threads;
+  ctx.backend = d.backend;
   return ctx;
 }
 

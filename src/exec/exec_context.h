@@ -35,6 +35,48 @@ inline constexpr int kMaxEnvBatchSize = 1 << 20;
 /// verbatim.
 int EnvKnob(const char* name, int fallback, int max_value);
 
+/// Which execution engine runs the physical plan.
+///
+/// kInterpret is the Volcano batch interpreter: every operator is lowered
+/// one-to-one, predicates and scalar expressions evaluate by virtual-dispatch
+/// tree walks. kCompiled lowers predicate/expression trees to flat typed
+/// bytecode (src/exec/compile/) and fuses the hottest pipeline shapes
+/// (scan->filter->project, scan->filter->aggregate) into single operators;
+/// anything the compiler does not cover falls back operator-by-operator to
+/// the interpreter, so every plan executes under either backend and the two
+/// produce byte-identical results (the differential fuzzer's backend axis
+/// enforces this).
+enum class ExecBackend {
+  kInterpret,
+  kCompiled,
+};
+
+/// "interpret" / "compiled" — the spelling AGGVIEW_TEST_BACKEND accepts and
+/// EXPLAIN ANALYZE prints.
+const char* ExecBackendName(ExecBackend backend);
+
+/// Parses `text` as an ExecBackend name. Returns false (leaving `out`
+/// untouched) for anything but the exact strings "interpret" / "compiled".
+bool ParseExecBackend(const char* text, ExecBackend* out);
+
+/// Reads environment variable `name` as an ExecBackend knob, with the same
+/// contract as EnvKnob: unset, empty, or unparseable values fall back.
+ExecBackend BackendEnvKnob(const char* name, ExecBackend fallback);
+
+/// The one shared surface resolving the execution-default environment knobs
+/// (AGGVIEW_TEST_THREADS, AGGVIEW_TEST_BATCH_SIZE, AGGVIEW_TEST_BACKEND).
+/// ExecContext::Default(), SessionOptions::Default() and
+/// ServerOptions::Default() all read their defaults from here, so a CI lane
+/// that exports one of the knobs steers the executor, the session layer, the
+/// server and the fuzzer identically.
+struct ExecDefaults {
+  int threads = 1;
+  int batch_size = kDefaultBatchSize;
+  ExecBackend backend = ExecBackend::kInterpret;
+
+  static ExecDefaults FromEnv();
+};
+
 /// Everything ExecutePlan needs beyond the plan itself, with fluent setters:
 ///
 ///   ExecutePlan(plan, query,
@@ -53,6 +95,9 @@ struct ExecContext {
   int threads = 1;
   /// Rows per scan morsel.
   int64_t morsel_rows = kDefaultMorselRows;
+  /// Execution engine: the Volcano batch interpreter or the compiling
+  /// backend (fused pipelines over flat predicate/expression bytecode).
+  ExecBackend backend = ExecBackend::kInterpret;
   /// IO page charge sink; may be null (uncharged execution).
   IoAccountant* io = nullptr;
   /// EXPLAIN ANALYZE collector; null runs uninstrumented (no clocks).
@@ -80,6 +125,10 @@ struct ExecContext {
     morsel_rows = n > 0 ? n : 1;
     return *this;
   }
+  ExecContext& WithBackend(ExecBackend b) {
+    backend = b;
+    return *this;
+  }
   ExecContext& WithIo(IoAccountant* accountant) {
     io = accountant;
     return *this;
@@ -97,11 +146,13 @@ struct ExecContext {
     return *this;
   }
 
-  /// The standard context: default batch size and serial execution, unless
-  /// the environment overrides it — AGGVIEW_TEST_BATCH_SIZE (CI's degenerate
-  /// one-row-batch runs) and AGGVIEW_TEST_THREADS (CI's TSan job runs the
-  /// whole suite at 8 threads to drive every query through the parallel
-  /// paths).
+  /// The standard context: default batch size, serial execution and the
+  /// interpreting backend, unless the environment overrides it —
+  /// AGGVIEW_TEST_BATCH_SIZE (CI's degenerate one-row-batch runs),
+  /// AGGVIEW_TEST_THREADS (CI's TSan job runs the whole suite at 8 threads
+  /// to drive every query through the parallel paths) and
+  /// AGGVIEW_TEST_BACKEND (CI's compiled lane runs the whole suite on the
+  /// compiling backend). All three resolve through ExecDefaults::FromEnv().
   static ExecContext Default();
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/compile/expr_compiler.h"
+#include "exec/compile/fused_ops.h"
 #include "obs/runtime_stats.h"
 
 namespace aggview {
@@ -47,12 +49,122 @@ void SplitJoinPredicates(const std::vector<Predicate>& preds,
 /// block, and configures its batch size. Operators are tagged bottom-up, so
 /// the last tag for a plan node is its topmost operator (whose output is the
 /// node's output).
+///
+/// `backend_label` feeds EXPLAIN ANALYZE's backend column: under the
+/// compiled backend every operator is attributed either "compiled" (fused
+/// kernel, or predicate/expression work running on bytecode) or "interpret"
+/// (fell back to the Volcano interpreter). Under the interpreting backend
+/// the label stays empty and EXPLAIN output is unchanged.
 OperatorPtr Tag(OperatorPtr op, const PlanPtr& plan, const char* name,
-                const LowerCtx& ctx) {
+                const LowerCtx& ctx, const char* backend_label = nullptr) {
   op->set_batch_size(ctx.exec.batch_size);
   op->set_exec(ctx.runtime);
-  if (ctx.stats != nullptr) op->set_stats(ctx.stats->Register(plan.get(), name));
+  if (ctx.stats != nullptr) {
+    OpStats* stats = ctx.stats->Register(plan.get(), name);
+    if (ctx.exec.backend == ExecBackend::kCompiled) {
+      stats->backend = backend_label != nullptr ? backend_label : "interpret";
+    }
+    op->set_stats(stats);
+  }
   if (ctx.exec.verify != nullptr) op->set_verify(ctx.exec.verify, plan.get());
+  return op;
+}
+
+bool UseCompiled(const LowerCtx& ctx) {
+  return ctx.exec.backend == ExecBackend::kCompiled;
+}
+
+/// Compiles a conjunction against `layout`, or returns null when any
+/// conjunct references a column the layout lacks — the caller then keeps
+/// the interpreted evaluation path (which reports the malformed plan, or
+/// evaluates layouts the compiler does not cover, e.g. a synthetic rowid
+/// column in a scan's output).
+std::shared_ptr<const PredicateProgram> TryCompilePreds(
+    const std::vector<Predicate>& preds, const RowLayout& layout,
+    const ColumnCatalog& columns) {
+  Result<PredicateProgram> compiled =
+      PredicateProgram::Compile(preds, layout, columns);
+  if (!compiled.ok()) return nullptr;
+  return std::make_shared<const PredicateProgram>(std::move(*compiled));
+}
+
+/// Registers an interior stats block for a plan node a fused kernel covers
+/// (the node has no operator of its own, but EXPLAIN ANALYZE and the
+/// dataflow verifier's per-node cardinality checks still see its counters).
+OpStats* RegisterInterior(const PlanPtr& node, const char* name,
+                          const LowerCtx& ctx) {
+  if (ctx.stats == nullptr) return nullptr;
+  OpStats* stats = ctx.stats->Register(node.get(), name);
+  stats->backend = "compiled";
+  return stats;
+}
+
+/// Attempts the scan->filter->aggregate fused kernel for a kGroupBy over a
+/// kScan or kFilter(kScan) shape. Returns null when the shape, the layouts
+/// or the predicates are outside the kernel's coverage (the caller falls
+/// back to HashAggregateOp) — including parallel execution, which uses
+/// thread-local aggregation over a fused scan instead.
+OperatorPtr TryLowerFusedAggregate(const PlanPtr& plan, const LowerCtx& ctx) {
+  if (ctx.runtime->parallel()) return nullptr;
+  const PlanPtr& child = plan->left;
+  const PlanPtr* filter_plan = nullptr;
+  const PlanPtr* scan_plan = nullptr;
+  if (child->kind == PlanNode::Kind::kScan) {
+    scan_plan = &child;
+  } else if (child->kind == PlanNode::Kind::kFilter &&
+             child->left->kind == PlanNode::Kind::kScan) {
+    filter_plan = &child;
+    scan_plan = &child->left;
+  } else {
+    return nullptr;
+  }
+  const RangeVar& rv = ctx.query.range_var((*scan_plan)->rel_id);
+  const TableDef& def = ctx.query.catalog().table(rv.table);
+  if (def.data == nullptr) return nullptr;  // interpreted path reports it
+
+  const ColumnCatalog& columns = ctx.query.columns();
+  CompiledAggregateOp::Spec spec;
+  spec.table = def.data.get();
+  spec.table_layout = RowLayout(rv.columns);
+  for (ColId g : plan->group_by.grouping) {
+    int idx = spec.table_layout.IndexOf(g);
+    if (idx < 0) return nullptr;  // grouping on a derived column (e.g. rowid)
+    spec.group_idx.push_back(idx);
+  }
+  for (const AggregateCall& a : plan->group_by.aggregates) {
+    std::vector<int> idxs;
+    for (ColId arg : a.args) {
+      int idx = spec.table_layout.IndexOf(arg);
+      if (idx < 0) return nullptr;
+      idxs.push_back(idx);
+    }
+    spec.arg_idx.push_back(std::move(idxs));
+  }
+  spec.scan_filter =
+      TryCompilePreds((*scan_plan)->scan_filter, spec.table_layout, columns);
+  spec.filter = TryCompilePreds(
+      filter_plan != nullptr ? (*filter_plan)->filter_preds
+                             : std::vector<Predicate>{},
+      spec.table_layout, columns);
+  RowLayout out_layout(plan->group_by.OutputColumns());
+  spec.having = TryCompilePreds(plan->group_by.having, out_layout, columns);
+  if (spec.scan_filter == nullptr || spec.filter == nullptr ||
+      spec.having == nullptr) {
+    return nullptr;
+  }
+  spec.group_by = plan->group_by;
+  spec.input_row_width = child->output.RowWidth(columns);
+  spec.charge_scan = true;
+
+  auto fused =
+      std::make_unique<CompiledAggregateOp>(std::move(spec), &columns, ctx.io);
+  CompiledAggregateOp* raw = fused.get();
+  OperatorPtr op =
+      Tag(std::move(fused), plan, "CompiledAggregate", ctx, "compiled");
+  raw->set_scan_stats(RegisterInterior(*scan_plan, "TableScan", ctx));
+  if (filter_plan != nullptr) {
+    raw->set_filter_stats(RegisterInterior(*filter_plan, "Filter", ctx));
+  }
   return op;
 }
 
@@ -66,10 +178,49 @@ Result<OperatorPtr> LowerScan(const PlanPtr& plan, const LowerCtx& ctx,
   if (def.data == nullptr) {
     return Status::ExecutionError("table '" + def.name + "' has no data loaded");
   }
+  RowLayout table_layout(rv.columns);
+  if (UseCompiled(ctx)) {
+    auto scan_prog =
+        TryCompilePreds(plan->scan_filter, table_layout, ctx.query.columns());
+    if (scan_prog != nullptr) {
+      auto no_filter = TryCompilePreds(std::vector<Predicate>{}, table_layout,
+                                       ctx.query.columns());
+      OperatorPtr op = std::make_unique<FusedScanFilterOp>(
+          def.data.get(), std::move(table_layout), std::move(scan_prog),
+          std::move(no_filter), plan->output, ctx.io, charge_scan, rv.rowid);
+      return Tag(std::move(op), plan, "TableScan", ctx, "compiled");
+    }
+  }
   OperatorPtr op = std::make_unique<TableScanOp>(
-      def.data.get(), RowLayout(rv.columns), plan->scan_filter, plan->output,
+      def.data.get(), std::move(table_layout), plan->scan_filter, plan->output,
       ctx.io, charge_scan, rv.rowid);
   return Tag(std::move(op), plan, "TableScan", ctx);
+}
+
+/// Attempts the scan->filter->project fused kernel for a kFilter-over-kScan
+/// shape: one operator covers both plan nodes. Returns null when a predicate
+/// does not compile against the table layout (e.g. references the synthetic
+/// rowid column) — the caller falls back to the operator-per-node pipeline.
+OperatorPtr TryLowerFusedFilter(const PlanPtr& plan, const LowerCtx& ctx) {
+  const PlanPtr& scan = plan->left;
+  const RangeVar& rv = ctx.query.range_var(scan->rel_id);
+  const TableDef& def = ctx.query.catalog().table(rv.table);
+  if (def.data == nullptr) return nullptr;  // interpreted path reports it
+  const ColumnCatalog& columns = ctx.query.columns();
+  RowLayout table_layout(rv.columns);
+  auto scan_prog = TryCompilePreds(scan->scan_filter, table_layout, columns);
+  auto filter_prog =
+      TryCompilePreds(plan->filter_preds, table_layout, columns);
+  if (scan_prog == nullptr || filter_prog == nullptr) return nullptr;
+  auto fused = std::make_unique<FusedScanFilterOp>(
+      def.data.get(), std::move(table_layout), std::move(scan_prog),
+      std::move(filter_prog), plan->output, ctx.io, /*charge_io=*/true,
+      rv.rowid);
+  FusedScanFilterOp* raw = fused.get();
+  OperatorPtr op =
+      Tag(std::move(fused), plan, "FusedScanFilter", ctx, "compiled");
+  raw->set_scan_stats(RegisterInterior(scan, "TableScan", ctx));
+  return op;
 }
 
 Result<OperatorPtr> LowerJoin(const PlanPtr& plan, const LowerCtx& ctx) {
@@ -88,6 +239,7 @@ Result<OperatorPtr> LowerJoin(const PlanPtr& plan, const LowerCtx& ctx) {
 
   OperatorPtr join;
   const char* op_name = nullptr;
+  const char* join_label = nullptr;
   JoinAlgo algo = plan->algo;
   if (plan->left_outer && algo == JoinAlgo::kSortMerge) {
     algo = JoinAlgo::kHash;  // merge join has no outer mode; hash does
@@ -123,10 +275,23 @@ Result<OperatorPtr> LowerJoin(const PlanPtr& plan, const LowerCtx& ctx) {
         return Status::Internal("hash/merge join lowered without equi-join keys");
       }
       if (algo == JoinAlgo::kHash) {
-        join = std::make_unique<HashJoinOp>(std::move(left), std::move(right),
-                                            std::move(keys), std::move(residual),
-                                            &ctx.query.columns(), ctx.io,
-                                            plan->left_outer);
+        std::vector<Predicate> residual_copy;
+        if (UseCompiled(ctx)) residual_copy = residual;
+        auto hj = std::make_unique<HashJoinOp>(
+            std::move(left), std::move(right), std::move(keys),
+            std::move(residual), &ctx.query.columns(), ctx.io,
+            plan->left_outer);
+        if (!residual_copy.empty()) {
+          // Residual conjuncts see the concatenated probe row; compile them
+          // against the join's own layout.
+          auto prog = TryCompilePreds(residual_copy, hj->layout(),
+                                      ctx.query.columns());
+          if (prog != nullptr) {
+            hj->set_compiled_residual(std::move(prog));
+            join_label = "compiled";
+          }
+        }
+        join = std::move(hj);
         op_name = "HashJoin";
       } else {
         join = std::make_unique<SortMergeJoinOp>(
@@ -137,7 +302,7 @@ Result<OperatorPtr> LowerJoin(const PlanPtr& plan, const LowerCtx& ctx) {
       break;
     }
   }
-  join = Tag(std::move(join), plan, op_name, ctx);
+  join = Tag(std::move(join), plan, op_name, ctx, join_label);
   // Project the concatenated row down to the plan's output layout.
   if (join->layout().columns() != plan->output.columns()) {
     join = Tag(std::make_unique<ProjectOp>(std::move(join), plan->output),
@@ -152,12 +317,25 @@ Result<OperatorPtr> Lower(const PlanPtr& plan, const LowerCtx& ctx,
     case PlanNode::Kind::kScan:
       return LowerScan(plan, ctx, charge_scan);
     case PlanNode::Kind::kFilter: {
+      if (UseCompiled(ctx) && plan->left->kind == PlanNode::Kind::kScan) {
+        if (OperatorPtr fused = TryLowerFusedFilter(plan, ctx)) return fused;
+      }
       AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr child,
                                Lower(plan->left, ctx, true));
       OperatorPtr op = std::move(child);
       if (!plan->filter_preds.empty()) {
-        op = Tag(std::make_unique<FilterOp>(std::move(op), plan->filter_preds),
-                 plan, "Filter", ctx);
+        auto filter =
+            std::make_unique<FilterOp>(std::move(op), plan->filter_preds);
+        const char* label = nullptr;
+        if (UseCompiled(ctx)) {
+          auto prog = TryCompilePreds(plan->filter_preds, filter->layout(),
+                                      ctx.query.columns());
+          if (prog != nullptr) {
+            filter->set_compiled_preds(std::move(prog));
+            label = "compiled";
+          }
+        }
+        op = Tag(std::move(filter), plan, "Filter", ctx, label);
       }
       if (op->layout().columns() != plan->output.columns()) {
         op = Tag(std::make_unique<ProjectOp>(std::move(op), plan->output),
@@ -168,13 +346,24 @@ Result<OperatorPtr> Lower(const PlanPtr& plan, const LowerCtx& ctx,
     case PlanNode::Kind::kJoin:
       return LowerJoin(plan, ctx);
     case PlanNode::Kind::kGroupBy: {
-      AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr child,
-                               Lower(plan->left, ctx, true));
-      OperatorPtr op =
-          Tag(std::make_unique<HashAggregateOp>(std::move(child),
-                                                plan->group_by,
-                                                &ctx.query.columns(), ctx.io),
-              plan, "HashAggregate", ctx);
+      OperatorPtr op;
+      if (UseCompiled(ctx)) op = TryLowerFusedAggregate(plan, ctx);
+      if (op == nullptr) {
+        AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr child,
+                                 Lower(plan->left, ctx, true));
+        auto agg = std::make_unique<HashAggregateOp>(
+            std::move(child), plan->group_by, &ctx.query.columns(), ctx.io);
+        const char* label = nullptr;
+        if (UseCompiled(ctx) && !plan->group_by.having.empty()) {
+          auto prog = TryCompilePreds(plan->group_by.having, agg->layout(),
+                                      ctx.query.columns());
+          if (prog != nullptr) {
+            agg->set_compiled_having(std::move(prog));
+            label = "compiled";
+          }
+        }
+        op = Tag(std::move(agg), plan, "HashAggregate", ctx, label);
+      }
       if (op->layout().columns() != plan->output.columns()) {
         op = Tag(std::make_unique<ProjectOp>(std::move(op), plan->output),
                  plan, "Project", ctx);

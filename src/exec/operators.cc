@@ -263,7 +263,9 @@ FilterOp::FilterOp(OperatorPtr child, std::vector<Predicate> preds)
 }
 
 FilterOp::FilterOp(const FilterOp& primary, OperatorPtr child)
-    : child_(std::move(child)), preds_(primary.preds_) {
+    : child_(std::move(child)),
+      preds_(primary.preds_),
+      compiled_preds_(primary.compiled_preds_) {
   InitWorkerClone(primary);
 }
 
@@ -296,10 +298,13 @@ Result<bool> FilterOp::NextBatchImpl(RowBatch* out) {
     CountInput(out->size());
     // Selection compaction: swap survivors to the front (buffer pointer
     // swaps, no row copies) and truncate.
+    const PredicateProgram* prog = compiled_preds_.get();
     int kept = 0;
     for (int i = 0; i < out->size(); ++i) {
       Row& row = out->row(i);
-      if (EvalConjunction(preds_, row, layout_)) {
+      bool pass = prog != nullptr ? prog->EvalRow(row, &scratch_)
+                                  : EvalConjunction(preds_, row, layout_);
+      if (pass) {
         if (kept != i) out->row(kept).swap(row);
         ++kept;
       }
@@ -431,6 +436,7 @@ HashJoinOp::HashJoinOp(const HashJoinOp& primary, OperatorPtr left)
     : left_(std::move(left)),
       right_(nullptr),  // the build side was drained once, by the primary
       residual_(primary.residual_),
+      compiled_residual_(primary.compiled_residual_),
       columns_(primary.columns_),
       io_(primary.io_),
       left_key_idx_(primary.left_key_idx_),
@@ -578,7 +584,10 @@ Result<bool> HashJoinOp::NextBatchImpl(RowBatch* out) {
         if (out->full()) return true;
         Row& dst = out->AppendRow();
         ConcatInto(*current_left_, *matches_[match_pos_++], &dst);
-        if (EvalConjunction(residual_, dst, layout_)) {
+        bool pass = compiled_residual_ != nullptr
+                        ? compiled_residual_->EvalRow(dst, &scratch_)
+                        : EvalConjunction(residual_, dst, layout_);
+        if (pass) {
           emitted_for_left_ = true;
         } else {
           out->PopRow();
@@ -1128,7 +1137,10 @@ Status HashAggregateOp::OpenImpl() {
   for (auto& [group_key, group] : groups) {
     Row out = group_key;
     for (AggAccumulator& acc : group.accs) out.push_back(acc.Finish());
-    if (!EvalConjunction(spec_.having, out, layout_)) continue;
+    bool pass = compiled_having_ != nullptr
+                    ? compiled_having_->EvalRow(out, &scratch_)
+                    : EvalConjunction(spec_.having, out, layout_);
+    if (!pass) continue;
     results_.push_back(std::move(out));
   }
   pos_ = 0;

@@ -10,6 +10,7 @@
 #include "algebra/query.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
+#include "exec/compile/expr_compiler.h"
 #include "exec/exec_context.h"
 #include "exec/row_batch.h"
 #include "storage/io_accountant.h"
@@ -232,6 +233,14 @@ class FilterOp final : public Operator {
  public:
   FilterOp(OperatorPtr child, std::vector<Predicate> preds);
 
+  /// Compiled-backend injection: when set, the conjunction evaluates via the
+  /// bytecode program (compiled against this operator's layout) instead of
+  /// tree-walking preds_ — identical results, no per-row virtual calls.
+  /// Worker clones share the immutable program.
+  void set_compiled_preds(std::shared_ptr<const PredicateProgram> program) {
+    compiled_preds_ = std::move(program);
+  }
+
   bool CanRunMorselParallel() const override {
     return child_->CanRunMorselParallel();
   }
@@ -250,6 +259,8 @@ class FilterOp final : public Operator {
 
   OperatorPtr child_;
   std::vector<Predicate> preds_;
+  std::shared_ptr<const PredicateProgram> compiled_preds_;
+  EvalScratch scratch_;
 };
 
 /// Projects the child's output to a (sub)set of its columns, reordering.
@@ -308,6 +319,12 @@ class HashJoinOp final : public Operator {
              std::vector<Predicate> residual, const ColumnCatalog* columns,
              IoAccountant* io, bool left_outer = false);
 
+  /// Compiled-backend injection for the residual conjunction (compiled
+  /// against the concatenated left|right layout). Worker clones share it.
+  void set_compiled_residual(std::shared_ptr<const PredicateProgram> program) {
+    compiled_residual_ = std::move(program);
+  }
+
   bool CanRunMorselParallel() const override {
     return left_->CanRunMorselParallel();
   }
@@ -344,6 +361,8 @@ class HashJoinOp final : public Operator {
   OperatorPtr right_;
   std::vector<std::pair<ColId, ColId>> keys_;
   std::vector<Predicate> residual_;
+  std::shared_ptr<const PredicateProgram> compiled_residual_;
+  EvalScratch scratch_;
   const ColumnCatalog* columns_;
   IoAccountant* io_;
 
@@ -504,6 +523,12 @@ class HashAggregateOp final : public Operator {
   HashAggregateOp(OperatorPtr child, GroupBySpec spec,
                   const ColumnCatalog* columns, IoAccountant* io);
 
+  /// Compiled-backend injection for the HAVING conjunction (compiled against
+  /// the output layout: grouping columns + aggregate outputs).
+  void set_compiled_having(std::shared_ptr<const PredicateProgram> program) {
+    compiled_having_ = std::move(program);
+  }
+
  protected:
   Status OpenImpl() override;
   Result<bool> NextBatchImpl(RowBatch* out) override;
@@ -523,6 +548,8 @@ class HashAggregateOp final : public Operator {
 
   OperatorPtr child_;
   GroupBySpec spec_;
+  std::shared_ptr<const PredicateProgram> compiled_having_;
+  EvalScratch scratch_;
   const ColumnCatalog* columns_;
   IoAccountant* io_;
 

@@ -81,12 +81,29 @@ std::string AggregateCall::ToString(const ColumnCatalog& cat) const {
 }
 
 void AggAccumulator::Add(const std::vector<Value>& args) {
-  // SQL: aggregates (other than COUNT(*)) ignore NULL inputs.
-  if (kind_ != AggKind::kCountStar) {
-    for (const Value& v : args) {
-      if (v.is_null()) return;
-    }
+  switch (args.size()) {
+    case 0:
+      Add0();
+      return;
+    case 1:
+      Add1(args[0]);
+      return;
+    default:
+      assert(args.size() == 2);
+      Add2(args[0], args[1]);
+      return;
   }
+}
+
+void AggAccumulator::Add0() {
+  // Only COUNT(*) is nullary: it counts rows regardless of values.
+  assert(kind_ == AggKind::kCountStar);
+  ++count_;
+}
+
+void AggAccumulator::Add1(const Value& v) {
+  // SQL: aggregates (other than COUNT(*)) ignore NULL inputs.
+  if (kind_ != AggKind::kCountStar && v.is_null()) return;
   switch (kind_) {
     case AggKind::kCountStar:
     case AggKind::kCount:
@@ -95,8 +112,6 @@ void AggAccumulator::Add(const std::vector<Value>& args) {
     case AggKind::kSum:
     case AggKind::kAvg:
     case AggKind::kCountSum: {
-      assert(args.size() == 1);
-      const Value& v = args[0];
       ++count_;
       if (v.is_int() && all_int_) {
         isum_ += v.AsInt();
@@ -110,29 +125,30 @@ void AggAccumulator::Add(const std::vector<Value>& args) {
       return;
     }
     case AggKind::kMin: {
-      assert(args.size() == 1);
-      if (!has_value_ || args[0] < extreme_) extreme_ = args[0];
+      if (!has_value_ || v < extreme_) extreme_ = v;
       has_value_ = true;
       return;
     }
     case AggKind::kMax: {
-      assert(args.size() == 1);
-      if (!has_value_ || extreme_ < args[0]) extreme_ = args[0];
+      if (!has_value_ || extreme_ < v) extreme_ = v;
       has_value_ = true;
       return;
     }
     case AggKind::kMedian: {
-      assert(args.size() == 1);
-      samples_.push_back(args[0].AsNumeric());
+      samples_.push_back(v.AsNumeric());
       return;
     }
-    case AggKind::kAvgFinal: {
-      assert(args.size() == 2);
-      final_sum_ += args[0].AsNumeric();
-      final_count_ += args[1].AsInt();
+    case AggKind::kAvgFinal:
+      assert(false && "AVG-final takes two arguments");
       return;
-    }
   }
+}
+
+void AggAccumulator::Add2(const Value& a, const Value& b) {
+  assert(kind_ == AggKind::kAvgFinal);
+  if (a.is_null() || b.is_null()) return;
+  final_sum_ += a.AsNumeric();
+  final_count_ += b.AsInt();
 }
 
 void AggAccumulator::Merge(const AggAccumulator& other) {

@@ -69,6 +69,15 @@ class AggAccumulator {
   /// Feeds the argument values of one input row (arity matches the call).
   void Add(const std::vector<Value>& args);
 
+  /// Arity-explicit forms of Add, for callers (the compiled backend's fused
+  /// aggregate kernel) that feed values straight from an input row without
+  /// staging them in a vector: Add0 is COUNT(*)'s nullary form, Add1 the
+  /// unary aggregates, Add2 AVG-final's (sum, count) pair. Add() dispatches
+  /// here by arity, so the semantics have one definition.
+  void Add0();
+  void Add1(const Value& v);
+  void Add2(const Value& a, const Value& b);
+
   /// Folds another accumulator of the same kind into this one, as if every
   /// row fed to `other` had been fed here. This is the execution-time
   /// counterpart of the coalescing combines (transform/coalescing): COUNT

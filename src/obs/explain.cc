@@ -96,6 +96,13 @@ void ExplainRec(const PlanPtr& plan, const Query& query,
     if (rt.workers > 1) {
       *out += StrFormat(" workers=%lld", static_cast<long long>(rt.workers));
     }
+    // Which backend implemented this node ("compiled" / "interpret"). Only
+    // labeled when the compiled backend was requested; interpreter-only
+    // output is unchanged. The bottom block is the node's real
+    // implementation (a Project wrapper above it is plumbing).
+    if (!rt.bottom->backend.empty()) {
+      *out += " backend=" + rt.bottom->backend;
+    }
     *out += BoundsSuffix(plan, flow);
     *out += ")";
   } else {

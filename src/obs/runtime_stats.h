@@ -24,6 +24,14 @@ struct OpStats {
   /// Operator class name ("TableScan", "HashJoin", ...).
   std::string op_name;
 
+  /// Which engine ran this operator, for EXPLAIN ANALYZE's backend column:
+  /// "compiled" when the operator is a fused kernel or evaluates compiled
+  /// predicate/expression programs, "interpret" when it fell back to the
+  /// Volcano interpreter. Empty under the pure interpreting backend (the
+  /// column is only rendered when a compiled execution was requested, so
+  /// interpreter-only EXPLAIN output is unchanged).
+  std::string backend;
+
   /// Rows returned from Next (the operator's actual output cardinality).
   int64_t rows_produced = 0;
   /// Non-empty batches returned from Next. An exact-multiple result

@@ -35,14 +35,15 @@ class AdmissionPass {
   AdmissionController* admission_;
 };
 
-/// Encodes every option that changes which plan the optimizer picks, so two
-/// configurations never share a cache entry. Thread/batch knobs are
+/// Encodes every option that changes which plan the optimizer picks — plus
+/// the execution backend, so a future compiled-artifact cache can never
+/// serve one backend's entry to the other. Thread/batch knobs are
 /// deliberately absent: they change throughput, never the plan.
 std::string ConfigFingerprint(const ServerOptions& options) {
   const OptimizerOptions& opt = options.optimizer;
   return StrFormat(
       "trad=%d;mv=%d;prop=%d;pull=%d;shared=%d;shrink=%d;maxw=%d;inctrad=%d;"
-      "greedy=%d;inv=%d;coal=%d",
+      "greedy=%d;inv=%d;coal=%d;backend=%s",
       options.use_traditional ? 1 : 0,
       options.use_materialized_views ? 1 : 0,
       opt.propagate_predicates ? 1 : 0,
@@ -51,16 +52,18 @@ std::string ConfigFingerprint(const ServerOptions& options) {
       opt.include_traditional_alternative ? 1 : 0,
       opt.enumerator.greedy_aggregation ? 1 : 0,
       opt.enumerator.enable_invariant ? 1 : 0,
-      opt.enumerator.enable_coalescing ? 1 : 0);
+      opt.enumerator.enable_coalescing ? 1 : 0,
+      ExecBackendName(options.backend));
 }
 
 }  // namespace
 
 ServerOptions ServerOptions::Default() {
   ServerOptions options;
-  ExecContext env = ExecContext::Default();
+  ExecDefaults env = ExecDefaults::FromEnv();
   options.threads = env.threads;
   options.batch_size = env.batch_size;
+  options.backend = env.backend;
   return options;
 }
 
@@ -123,6 +126,7 @@ ExecContext Server::MakeContext() {
   ExecContext ctx;
   ctx.batch_size = options_.batch_size;
   ctx.threads = options_.threads;
+  ctx.backend = options_.backend;
   ctx.pool = pool_.get();
   return ctx;
 }

@@ -31,6 +31,9 @@ struct ServerOptions {
   int threads = 1;
   /// Batch capacity of every operator tree the server runs.
   int batch_size = kDefaultBatchSize;
+  /// Execution backend for every query the server runs (interpreter or
+  /// compiled). Part of the plan-cache configuration fingerprint.
+  ExecBackend backend = ExecBackend::kInterpret;
   /// Optimize with the traditional two-phase optimizer instead of the
   /// paper's aggregate-view optimizer (for comparisons).
   bool use_traditional = false;
@@ -49,9 +52,10 @@ struct ServerOptions {
   /// the thread pool's per-region FIFO lease.
   int max_concurrent_queries = 0;
 
-  /// Serial, default batch size — unless the environment overrides it
-  /// (AGGVIEW_TEST_THREADS / AGGVIEW_TEST_BATCH_SIZE, same convention as
-  /// ExecContext::Default()).
+  /// Serial, default batch size, interpreting backend — unless the
+  /// environment overrides them (AGGVIEW_TEST_THREADS /
+  /// AGGVIEW_TEST_BATCH_SIZE / AGGVIEW_TEST_BACKEND via
+  /// ExecDefaults::FromEnv(), the same knobs ExecContext::Default() reads).
   static ServerOptions Default();
 };
 

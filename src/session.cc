@@ -13,9 +13,10 @@ namespace aggview {
 
 SessionOptions SessionOptions::Default() {
   SessionOptions options;
-  ExecContext env = ExecContext::Default();
+  ExecDefaults env = ExecDefaults::FromEnv();
   options.threads = env.threads;
   options.batch_size = env.batch_size;
+  options.backend = env.backend;
   return options;
 }
 
@@ -37,6 +38,7 @@ ExecContext Session::MakeContext() {
   ExecContext ctx;
   ctx.batch_size = options_.batch_size;
   ctx.threads = options_.threads;
+  ctx.backend = options_.backend;
   if (options_.threads > 1) ctx.pool = pool();
   return ctx;
 }
@@ -68,7 +70,7 @@ Result<PreparedQuery> Session::Sql(const std::string& text) {
     // miss; keep the plan's estimates inside them.
     optimized.plan = ClampEstimatesToProvableBounds(optimized.plan, optimized.query);
   }
-  return PreparedQuery(self_, std::move(optimized));
+  return PreparedQuery(self_, std::move(optimized), options_.backend);
 }
 
 Result<std::string> Session::ExecuteDdl(const std::string& text) {

@@ -22,6 +22,10 @@ struct SessionOptions {
   int threads = 1;
   /// Batch capacity of every operator tree the session runs.
   int batch_size = kDefaultBatchSize;
+  /// Execution backend for every query this session runs: the Volcano batch
+  /// interpreter, or the compiling backend (bytecode predicates + fused
+  /// pipeline kernels, falling back per-operator where uncovered).
+  ExecBackend backend = ExecBackend::kInterpret;
   /// Optimize with the traditional two-phase optimizer instead of the
   /// paper's aggregate-view optimizer (for comparisons).
   bool use_traditional = false;
@@ -32,9 +36,10 @@ struct SessionOptions {
   /// Options of the aggregate-view optimizer (ignored by use_traditional).
   OptimizerOptions optimizer;
 
-  /// Serial, default batch size — unless the environment overrides it
-  /// (AGGVIEW_TEST_THREADS / AGGVIEW_TEST_BATCH_SIZE, same convention as
-  /// ExecContext::Default()).
+  /// Serial, default batch size, interpreting backend — unless the
+  /// environment overrides them (AGGVIEW_TEST_THREADS /
+  /// AGGVIEW_TEST_BATCH_SIZE / AGGVIEW_TEST_BACKEND via
+  /// ExecDefaults::FromEnv(), the same knobs ExecContext::Default() reads).
   static SessionOptions Default();
 };
 
@@ -72,11 +77,17 @@ class PreparedQuery {
   /// Pages (reads + writes) charged by the most recent Execute /
   /// ExplainAnalyze, -1 before the first run.
   int64_t last_io_pages() const { return last_io_pages_; }
+  /// The execution backend this query runs under (inherited from the
+  /// session's options at Sql() time).
+  ExecBackend backend() const { return backend_; }
 
  private:
   friend class Session;
-  PreparedQuery(std::shared_ptr<Session*> session, OptimizedQuery optimized)
-      : session_(std::move(session)), optimized_(std::move(optimized)) {}
+  PreparedQuery(std::shared_ptr<Session*> session, OptimizedQuery optimized,
+                ExecBackend backend)
+      : session_(std::move(session)),
+        optimized_(std::move(optimized)),
+        backend_(backend) {}
 
   /// Resolves the owning Session, or an error when this query was moved
   /// from or the Session has been destroyed.
@@ -87,6 +98,7 @@ class PreparedQuery {
   /// surface as error Statuses from session().
   std::shared_ptr<Session*> session_;
   OptimizedQuery optimized_;
+  ExecBackend backend_ = ExecBackend::kInterpret;
   int64_t last_io_pages_ = -1;
 };
 

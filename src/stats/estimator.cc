@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+
+#include "catalog/catalog.h"
 
 namespace aggview {
 
@@ -56,6 +59,7 @@ RelEstimate Estimator::BaseRel(const Query& query, int rel_id) {
   const RangeVar& rv = query.range_var(rel_id);
   const TableDef& def = query.catalog().table(rv.table);
   RelEstimate est;
+  est.stats_epoch = query.catalog().stats_epoch();
   est.rows = static_cast<double>(def.stats.row_count);
   for (size_t i = 0; i < rv.columns.size(); ++i) {
     ColEstimate cs;
@@ -175,6 +179,7 @@ RelEstimate Estimator::ApplyFilter(const RelEstimate& input,
 RelEstimate Estimator::Join(const RelEstimate& left, const RelEstimate& right,
                             const std::vector<Predicate>& preds) {
   RelEstimate out;
+  out.stats_epoch = std::max(left.stats_epoch, right.stats_epoch);
   out.rows = left.rows * right.rows;
   out.cols = left.cols;
   for (const auto& [col, cs] : right.cols) out.cols[col] = cs;
@@ -221,6 +226,7 @@ double Estimator::CardenasGroups(double rows, double dvalues) {
 RelEstimate Estimator::GroupBy(const RelEstimate& input,
                                const GroupBySpec& spec) {
   RelEstimate out;
+  out.stats_epoch = input.stats_epoch;
   double key_space = 1.0;
   for (ColId g : spec.grouping) {
     const ColEstimate* cs = input.Find(g);
@@ -278,6 +284,20 @@ RelEstimate Estimator::GroupBy(const RelEstimate& input,
     out = ApplyFilter(out, spec.having);
   }
   return out;
+}
+
+Status Estimator::CheckFresh(const RelEstimate& est, const Catalog& catalog) {
+  if (est.stats_epoch < 0) return Status::OK();
+  const int64_t now = catalog.stats_epoch();
+  if (est.stats_epoch != now) {
+    return Status::InvalidArgument(
+        "stale RelEstimate: built at catalog stats epoch " +
+        std::to_string(est.stats_epoch) + " but the catalog is at epoch " +
+        std::to_string(now) +
+        "; its histogram pointers may dangle (see ColEstimate::histogram) — "
+        "rebuild the estimate from current statistics");
+  }
+  return Status::OK();
 }
 
 }  // namespace aggview

@@ -25,6 +25,15 @@ struct ColEstimate {
   /// derived columns). Range selectivities condition the histogram on the
   /// current [min, max], so it stays usable after earlier filters narrowed
   /// the column.
+  ///
+  /// Lifetime contract: this is a raw pointer into the catalog-owned
+  /// TableStats the estimate was built from. Any catalog statistics
+  /// mutation — Catalog::mutable_table, ComputeStats, or an explicit
+  /// BumpStatsEpoch — may reallocate or replace that storage, so an
+  /// estimate must not be used past the stats epoch it was built under.
+  /// RelEstimate carries that epoch (stamped by Estimator::BaseRel and
+  /// propagated by every derivation); Estimator::CheckFresh turns a stale
+  /// estimate into a clear error instead of a dangling read.
   const Histogram* histogram = nullptr;
 };
 
@@ -34,6 +43,10 @@ using ColStatsMap = std::unordered_map<ColId, ColEstimate>;
 struct RelEstimate {
   double rows = 0.0;
   ColStatsMap cols;
+  /// Catalog stats epoch the leaf statistics (histogram pointers in `cols`)
+  /// were read at; -1 when the estimate holds no catalog-owned state. See
+  /// ColEstimate::histogram for the lifetime contract this stamp enforces.
+  int64_t stats_epoch = -1;
 
   const ColEstimate* Find(ColId c) const {
     auto it = cols.find(c);
@@ -77,6 +90,12 @@ class Estimator {
   /// Expected number of distinct groups when `rows` rows draw uniformly from
   /// `dvalues` possible grouping-key values: d * (1 - (1 - 1/d)^n).
   static double CardenasGroups(double rows, double dvalues);
+
+  /// Enforces ColEstimate::histogram's lifetime contract: an error when
+  /// `est` was built under an older catalog stats epoch (its histogram
+  /// pointers may dangle — the estimate must be rebuilt), OK for estimates
+  /// without catalog-owned state (stats_epoch == -1).
+  static Status CheckFresh(const RelEstimate& est, const Catalog& catalog);
 };
 
 }  // namespace aggview

@@ -195,5 +195,52 @@ TEST_F(EstimatorTest, GroupRowsNeverExceedInput) {
   EXPECT_LE(grouped.rows, emp.rows + 1e-9);
 }
 
+TEST_F(EstimatorTest, StaleEstimateIsRejectedAfterStatsMutation) {
+  // ColEstimate::histogram points into catalog-owned TableStats; any stats
+  // mutation may reallocate that storage. CheckFresh is the enforcement of
+  // that lifetime contract: an estimate built before a mutation must fail
+  // loudly instead of dereferencing a possibly-dangling histogram.
+  RelEstimate est = Estimator::BaseRel(q_, e_);
+  EXPECT_EQ(est.stats_epoch, fixture_.catalog->stats_epoch());
+  EXPECT_OK(Estimator::CheckFresh(est, *fixture_.catalog));
+
+  // mutable_table bumps the stats epoch (it hands out writable stats).
+  (void)fixture_.catalog->mutable_table(fixture_.tables.emp);
+  Status stale = Estimator::CheckFresh(est, *fixture_.catalog);
+  EXPECT_FALSE(stale.ok());
+  EXPECT_NE(stale.ToString().find("stale RelEstimate"), std::string::npos);
+
+  // Rebuilding from the current statistics is the documented remedy.
+  RelEstimate fresh = Estimator::BaseRel(q_, e_);
+  EXPECT_OK(Estimator::CheckFresh(fresh, *fixture_.catalog));
+}
+
+TEST_F(EstimatorTest, DerivedEstimatesCarryTheStatsEpoch) {
+  RelEstimate emp = Estimator::BaseRel(q_, e_);
+  RelEstimate dept = Estimator::BaseRel(q_, d_);
+  ASSERT_GE(emp.stats_epoch, 0);
+
+  RelEstimate filtered = Estimator::ApplyFilter(
+      emp, {Cmp(Col(age_), CompareOp::kLt, LitInt(22))});
+  EXPECT_EQ(filtered.stats_epoch, emp.stats_epoch);
+
+  RelEstimate joined =
+      Estimator::Join(filtered, dept, {EqCols(e_dno_, d_dno_)});
+  EXPECT_EQ(joined.stats_epoch, emp.stats_epoch);
+
+  GroupBySpec gb;
+  gb.grouping = {e_dno_};
+  RelEstimate grouped = Estimator::GroupBy(joined, gb);
+  EXPECT_EQ(grouped.stats_epoch, emp.stats_epoch);
+
+  // Derived estimates are stale too once the catalog moves on.
+  fixture_.catalog->BumpStatsEpoch();
+  EXPECT_FALSE(Estimator::CheckFresh(grouped, *fixture_.catalog).ok());
+
+  // An estimate with no catalog-owned state is always fresh.
+  RelEstimate synthetic;
+  EXPECT_OK(Estimator::CheckFresh(synthetic, *fixture_.catalog));
+}
+
 }  // namespace
 }  // namespace aggview

@@ -42,6 +42,14 @@ TEST_P(DifferentialFuzz, AllOptimizersAgreeUnderParanoidAnalysis) {
             options.num_queries *
                 static_cast<int>(options.cross_thread_counts.size() *
                                  options.cross_thread_batch_sizes.size()));
+  // ... and under the compiled backend at every (threads x batch size)
+  // combination of {1, 8} x {1, 1024}: bytecode predicates and fused
+  // pipeline kernels reproduce the interpreted reference bit for bit.
+  EXPECT_GT(report->backend_checks, 0);
+  EXPECT_EQ(report->backend_checks,
+            options.num_queries *
+                static_cast<int>(options.cross_backend_thread_counts.size() *
+                                 options.cross_backend_batch_sizes.size()));
   // Paranoid mode actually fired: the analyzer ran at DP insertions and
   // transformation certificates were re-proved.
   EXPECT_GT(report->plans_checked, 0);
@@ -101,6 +109,7 @@ TEST(FuzzMatView, ViewAnsweringAndMaintenanceAgreeWithBasePlans) {
   // batch/thread geometry sweeps.
   options.cross_batch_sizes.clear();
   options.cross_thread_counts.clear();
+  options.cross_backend_thread_counts.clear();
 
   auto report = RunDifferentialFuzz(options);
   ASSERT_OK(report);
@@ -122,6 +131,7 @@ TEST(FuzzMatView, EnvKnobEnablesMaterialization) {
   options.num_departments = 5;
   options.cross_batch_sizes.clear();
   options.cross_thread_counts.clear();
+  options.cross_backend_thread_counts.clear();
 
   ASSERT_EQ(setenv("AGGVIEW_FUZZ_MATVIEW", "1", /*overwrite=*/1), 0);
   auto report = RunDifferentialFuzz(options);
@@ -142,6 +152,7 @@ TEST(FuzzReplay, EnvSeedRunsExactlyOneQuery) {
   // Keep the replay cheap: skip the batch/thread sweeps.
   options.cross_batch_sizes.clear();
   options.cross_thread_counts.clear();
+  options.cross_backend_thread_counts.clear();
 
   // The per-query seed of query 3 under base seed 42 (seed * 1000003 + q).
   ASSERT_EQ(setenv("AGGVIEW_FUZZ_SEED", "42000129", /*overwrite=*/1), 0);
