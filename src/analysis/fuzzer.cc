@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/certificate.h"
 #include "analysis/dataflow.h"
 #include "catalog/catalog.h"
 #include "catalog/statistics.h"
@@ -631,17 +632,32 @@ Result<FuzzReport> RunDifferentialFuzz(const FuzzOptions& options) {
         // checked against the statically derived dataflow facts.
         for (int threads : options.cross_backend_thread_counts) {
           for (int batch_size : options.cross_backend_batch_sizes) {
+            TransformationAudit compile_audit;
             auto rerun = ExecutePlan(optimized->plan, optimized->query,
                                      ExecContext{}
                                          .WithBackend(ExecBackend::kCompiled)
                                          .WithThreads(threads)
                                          .WithBatchSize(batch_size)
-                                         .WithVerify(&verifier));
+                                         .WithVerify(&verifier)
+                                         .WithAudit(&compile_audit));
             if (!rerun.ok()) {
               return fail("execute compiled at threads=" +
                               std::to_string(threads) +
                               " batch_size=" + std::to_string(batch_size),
                           rerun.status());
+            }
+            // Every bytecode program this lowering compiled must have passed
+            // the static verifier — a rejection inside the fuzz corpus means
+            // either a compiler bug (it emitted an unfaithful program) or a
+            // verifier bug (it rejected a faithful one); both must surface.
+            for (const CompilationCertificate& cert :
+                 compile_audit.compilations) {
+              if (!cert.verified) {
+                return fail("bytecode verifier rejected a compiled program "
+                            "(node " + cert.node + ", " + cert.kind + ")",
+                            Status::Internal(cert.rejection));
+              }
+              ++report.bytecode_checks;
             }
             if (rerun->Fingerprint() != reference) {
               std::string note = MinimizeDivergenceNote(

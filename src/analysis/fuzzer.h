@@ -95,6 +95,12 @@ struct FuzzReport {
   /// Reference-plan re-executions under the compiled backend whose
   /// fingerprint matched the interpreted reference fingerprint.
   int backend_checks = 0;
+  /// Compiled bytecode programs of the backend-axis reruns that carried a
+  /// passing verification certificate (exec/compile/verifier.h). A rejected
+  /// certificate fails the fuzz run outright: inside the corpus every
+  /// compiled program must verify — a rejection is a compiler bug (an
+  /// unfaithful program) or a verifier bug (a faithful one rejected).
+  int64_t bytecode_checks = 0;
   int64_t plans_checked = 0;        // analyzer invocations from dp_check
   int64_t certificates_verified = 0;
   /// Runtime dataflow facts checked by the self-verification mode: every

@@ -1,0 +1,186 @@
+#include "exec/compile/disasm.h"
+
+#include <cstddef>
+
+#include "common/string_util.h"
+
+namespace aggview {
+
+namespace {
+
+using Op = ExprProgram::Op;
+using CmpLane = PredicateProgram::CmpLane;
+
+bool IsArith(Op op) {
+  switch (op) {
+    case Op::kAddInt:
+    case Op::kSubInt:
+    case Op::kMulInt:
+    case Op::kAddDouble:
+    case Op::kSubDouble:
+    case Op::kMulDouble:
+    case Op::kDivDouble:
+    case Op::kAddGeneric:
+    case Op::kSubGeneric:
+    case Op::kMulGeneric:
+    case Op::kDivGeneric:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Renders one operand of a conjunct frame.
+std::string OperandString(const PredicateProgram::Operand& o,
+                          const RowLayout* layout,
+                          const ColumnCatalog* columns) {
+  if (o.col >= 0) {
+    std::string out = StrFormat("[%d]", o.col);
+    if (layout != nullptr && columns != nullptr && o.col < layout->size()) {
+      out += " " + columns->name(layout->columns()[static_cast<size_t>(o.col)]);
+    } else if (layout != nullptr && o.col >= layout->size()) {
+      out += "!";  // slot past the layout — corrupted, but printable
+    }
+    if (o.prog >= 0) out += StrFormat(" prog<%d>!", o.prog);  // ambiguous form
+    return out;
+  }
+  if (o.prog >= 0) return StrFormat("prog<%d>", o.prog);
+  return o.constant.ToString();
+}
+
+}  // namespace
+
+std::string OpMnemonic(ExprProgram::Op op) {
+  switch (op) {
+    case Op::kLoadCol:
+      return "load_col";
+    case Op::kLoadConst:
+      return "load_const";
+    case Op::kAddInt:
+      return "add_int";
+    case Op::kSubInt:
+      return "sub_int";
+    case Op::kMulInt:
+      return "mul_int";
+    case Op::kAddDouble:
+      return "add_double";
+    case Op::kSubDouble:
+      return "sub_double";
+    case Op::kMulDouble:
+      return "mul_double";
+    case Op::kDivDouble:
+      return "div_double";
+    case Op::kAddGeneric:
+      return "add_generic";
+    case Op::kSubGeneric:
+      return "sub_generic";
+    case Op::kMulGeneric:
+      return "mul_generic";
+    case Op::kDivGeneric:
+      return "div_generic";
+    case Op::kJumpIfNotNull:
+      return "jump_if_not_null";
+    case Op::kPop:
+      return "pop";
+  }
+  return StrFormat("op(%d)", static_cast<int>(op));
+}
+
+std::string CmpLaneName(PredicateProgram::CmpLane lane) {
+  switch (lane) {
+    case CmpLane::kGeneric:
+      return "generic";
+    case CmpLane::kInt64:
+      return "int64";
+    case CmpLane::kDouble:
+      return "double";
+    case CmpLane::kString:
+      return "string";
+    case CmpLane::kInt64ColConst:
+      return "int64_col_const";
+    case CmpLane::kDoubleColConst:
+      return "double_col_const";
+  }
+  return StrFormat("lane(%d)", static_cast<int>(lane));
+}
+
+std::string DisassembleExpr(const ExprProgram& prog, const RowLayout* layout,
+                            const ColumnCatalog* columns) {
+  const auto& code = prog.code();
+  const auto& consts = prog.consts();
+  std::string out;
+  for (size_t pc = 0; pc < code.size(); ++pc) {
+    const ExprProgram::Insn& in = code[pc];
+    out += StrFormat("%3d: %-16s", static_cast<int>(pc),
+                     OpMnemonic(in.op).c_str());
+    if (in.op == Op::kLoadCol) {
+      out += StrFormat(" [%d]", in.a);
+      if (in.a >= 0 && layout != nullptr && in.a < layout->size()) {
+        if (columns != nullptr) {
+          out += "            ; " +
+                 columns->name(layout->columns()[static_cast<size_t>(in.a)]);
+        }
+      } else if (layout != nullptr) {
+        out += "!";  // slot outside the layout
+      }
+    } else if (in.op == Op::kLoadConst) {
+      out += StrFormat(" #%d", in.a);
+      if (in.a >= 0 && static_cast<size_t>(in.a) < consts.size()) {
+        out += "             ; " + consts[static_cast<size_t>(in.a)].ToString();
+      } else {
+        out += "!";  // constant index outside the pool
+      }
+    } else if (in.op == Op::kJumpIfNotNull) {
+      out += StrFormat(" -> %d", in.a);
+      if (in.a < 0 || static_cast<size_t>(in.a) > code.size()) out += "!";
+    } else if (in.a != 0 && (IsArith(in.op) || in.op == Op::kPop)) {
+      // Stackless instructions carry no operand; a nonzero field is
+      // corruption worth showing.
+      out += StrFormat(" a=%d!", in.a);
+    }
+    out += "\n";
+  }
+  if (out.empty()) out = "  <empty program>\n";
+  return out;
+}
+
+std::string DisassemblePredicate(const PredicateProgram& prog,
+                                 const RowLayout* layout,
+                                 const ColumnCatalog* columns) {
+  std::string out;
+  const auto& conjuncts = prog.conjuncts();
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    const PredicateProgram::Conjunct& c = conjuncts[i];
+    out += StrFormat("conjunct %d: %s %s %s  lane=%s\n", static_cast<int>(i),
+                     OperandString(c.lhs, layout, columns).c_str(),
+                     CompareOpSymbol(c.op),
+                     OperandString(c.rhs, layout, columns).c_str(),
+                     CmpLaneName(c.lane).c_str());
+  }
+  if (conjuncts.empty()) out += "<empty conjunction: always true>\n";
+  for (size_t p = 0; p < prog.programs().size(); ++p) {
+    out += StrFormat("prog<%d>:\n", static_cast<int>(p));
+    out += DisassembleExpr(prog.programs()[p], layout, columns);
+  }
+  return out;
+}
+
+std::string ExprProgram::Disassemble(const RowLayout& layout,
+                                     const ColumnCatalog& columns) const {
+  return DisassembleExpr(*this, &layout, &columns);
+}
+
+std::string ExprProgram::Disassemble() const {
+  return DisassembleExpr(*this, nullptr, nullptr);
+}
+
+std::string PredicateProgram::Disassemble(const RowLayout& layout,
+                                          const ColumnCatalog& columns) const {
+  return DisassemblePredicate(*this, &layout, &columns);
+}
+
+std::string PredicateProgram::Disassemble() const {
+  return DisassemblePredicate(*this, nullptr, nullptr);
+}
+
+}  // namespace aggview

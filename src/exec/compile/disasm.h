@@ -1,0 +1,47 @@
+#ifndef AGGVIEW_EXEC_COMPILE_DISASM_H_
+#define AGGVIEW_EXEC_COMPILE_DISASM_H_
+
+#include <string>
+
+#include "algebra/column.h"
+#include "exec/compile/expr_compiler.h"
+
+namespace aggview {
+
+/// Bytecode disassembler: renders ExprProgram / PredicateProgram as a
+/// human-readable listing. Consumed by the bytecode_lint CLI, by the
+/// verifier's error messages (every rejection quotes the offending
+/// program), and by EXPLAIN ANALYZE's verbose mode.
+///
+/// The listing is one line per instruction:
+///
+///   0: load_col     [2]            ; e.sal
+///   1: load_const   #0             ; 100
+///   2: add_int
+///   3: jump_if_not_null -> 5
+///   4: pop
+///
+/// Typed lanes are part of the mnemonic (add_int / add_double /
+/// add_generic), so a lane-retyping corruption is visible in the listing the
+/// verifier quotes. Jump targets render as `-> target`; an out-of-range
+/// operand renders with a `!` marker instead of crashing — the disassembler
+/// must work on exactly the corrupted programs the verifier rejects.
+
+/// Mnemonic of one opcode ("load_col", "add_int", ...); "op(<n>)" for a raw
+/// byte outside the opcode range (corrupted programs stay printable).
+std::string OpMnemonic(ExprProgram::Op op);
+
+/// Lane tag name of one comparison lane ("generic", "int64", ...).
+std::string CmpLaneName(PredicateProgram::CmpLane lane);
+
+/// Listings. `layout`/`columns` may be null — operands then render as bare
+/// slot indices instead of column names.
+std::string DisassembleExpr(const ExprProgram& prog, const RowLayout* layout,
+                            const ColumnCatalog* columns);
+std::string DisassemblePredicate(const PredicateProgram& prog,
+                                 const RowLayout* layout,
+                                 const ColumnCatalog* columns);
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_EXEC_COMPILE_DISASM_H_

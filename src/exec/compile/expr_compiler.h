@@ -2,6 +2,8 @@
 #define AGGVIEW_EXEC_COMPILE_EXPR_COMPILER_H_
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "algebra/column.h"
@@ -39,23 +41,6 @@ class ExprProgram {
  public:
   ExprProgram() = default;
 
-  /// Lowers `expr` against `layout`. Fails (Status::Internal) when the
-  /// expression references a column the layout does not carry — the same
-  /// malformed-plan condition the interpreter's ValidatePredicateColumns
-  /// rejects at Open.
-  static Result<ExprProgram> Compile(const ScalarExpr& expr,
-                                     const RowLayout& layout,
-                                     const ColumnCatalog& columns);
-
-  /// Evaluates against `row`, exactly as ScalarExpr::Eval would.
-  /// `stack` is caller-owned scratch, cleared on entry.
-  Value Eval(const Row& row, std::vector<Value>* stack) const;
-
-  int num_instructions() const { return static_cast<int>(code_.size()); }
-
- private:
-  friend class PredicateProgram;
-
   enum class Op : uint8_t {
     kLoadCol,    // push row[a]
     kLoadConst,  // push consts_[a]
@@ -84,6 +69,46 @@ class ExprProgram {
     int32_t a = 0;
   };
 
+  /// Lowers `expr` against `layout`. Fails (Status::Internal) when the
+  /// expression references a column the layout does not carry — the same
+  /// malformed-plan condition the interpreter's ValidatePredicateColumns
+  /// rejects at Open.
+  static Result<ExprProgram> Compile(const ScalarExpr& expr,
+                                     const RowLayout& layout,
+                                     const ColumnCatalog& columns);
+
+  /// Builds a program from a raw instruction stream, bypassing the compiler
+  /// *and every invariant it guarantees*. Exists for the bytecode verifier's
+  /// mutation harness (tests corrupt valid programs one instruction at a
+  /// time); evaluating an unverified raw program is undefined behaviour.
+  static ExprProgram FromRaw(std::vector<Insn> code, std::vector<Value> consts) {
+    ExprProgram p;
+    p.code_ = std::move(code);
+    p.consts_ = std::move(consts);
+    return p;
+  }
+
+  /// Evaluates against `row`, exactly as ScalarExpr::Eval would.
+  /// `stack` is caller-owned scratch, cleared on entry.
+  Value Eval(const Row& row, std::vector<Value>* stack) const;
+
+  int num_instructions() const { return static_cast<int>(code_.size()); }
+
+  /// Raw program form, consumed by the disassembler and the bytecode
+  /// verifier (exec/compile/disasm.h, exec/compile/verifier.h).
+  const std::vector<Insn>& code() const { return code_; }
+  const std::vector<Value>& consts() const { return consts_; }
+
+  /// Human-readable listing: one line per instruction with opcode mnemonic,
+  /// lane tag, operand (column name / constant / jump target) and jump
+  /// arrows. With a layout+catalog, kLoadCol operands show column names.
+  std::string Disassemble(const RowLayout& layout,
+                          const ColumnCatalog& columns) const;
+  std::string Disassemble() const;
+
+ private:
+  friend class PredicateProgram;
+
   Status CompileInto(const ScalarExpr& expr, const RowLayout& layout,
                      const ColumnCatalog& columns);
 
@@ -103,20 +128,6 @@ class PredicateProgram {
  public:
   PredicateProgram() = default;
 
-  /// Lowers `preds` against `layout`; the empty conjunction compiles to a
-  /// program that is always true (matching EvalConjunction).
-  static Result<PredicateProgram> Compile(const std::vector<Predicate>& preds,
-                                          const RowLayout& layout,
-                                          const ColumnCatalog& columns);
-
-  /// Evaluates the conjunction over `row`; exactly
-  /// EvalConjunction(preds, row, layout).
-  bool EvalRow(const Row& row, EvalScratch* scratch) const;
-
-  bool empty() const { return conjuncts_.empty(); }
-  int size() const { return static_cast<int>(conjuncts_.size()); }
-
- private:
   // kInt64ColConst / kDoubleColConst are the col-vs-literal shapes of the
   // typed lanes: lhs is a direct row slot and rhs an inline non-NULL
   // constant of the lane's type, so EvalRow skips operand resolution and
@@ -145,6 +156,40 @@ class PredicateProgram {
     CmpLane lane = CmpLane::kGeneric;
   };
 
+  /// Lowers `preds` against `layout`; the empty conjunction compiles to a
+  /// program that is always true (matching EvalConjunction).
+  static Result<PredicateProgram> Compile(const std::vector<Predicate>& preds,
+                                          const RowLayout& layout,
+                                          const ColumnCatalog& columns);
+
+  /// Raw construction bypassing the compiler; same contract and caveats as
+  /// ExprProgram::FromRaw (mutation-harness use only).
+  static PredicateProgram FromRaw(std::vector<Conjunct> conjuncts,
+                                  std::vector<ExprProgram> programs) {
+    PredicateProgram p;
+    p.conjuncts_ = std::move(conjuncts);
+    p.programs_ = std::move(programs);
+    return p;
+  }
+
+  /// Evaluates the conjunction over `row`; exactly
+  /// EvalConjunction(preds, row, layout).
+  bool EvalRow(const Row& row, EvalScratch* scratch) const;
+
+  bool empty() const { return conjuncts_.empty(); }
+  int size() const { return static_cast<int>(conjuncts_.size()); }
+
+  /// Raw program form, consumed by the disassembler and the verifier.
+  const std::vector<Conjunct>& conjuncts() const { return conjuncts_; }
+  const std::vector<ExprProgram>& programs() const { return programs_; }
+
+  /// Human-readable listing: one frame per conjunct (lane tag, operands,
+  /// comparison), nested ExprProgram listings below their conjunct.
+  std::string Disassemble(const RowLayout& layout,
+                          const ColumnCatalog& columns) const;
+  std::string Disassemble() const;
+
+ private:
   static Result<Operand> CompileOperand(const ExprPtr& expr,
                                         const RowLayout& layout,
                                         const ColumnCatalog& columns,

@@ -1,0 +1,1274 @@
+#include "exec/compile/verifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "common/string_util.h"
+#include "common/thread_annotations.h"
+#include "exec/compile/disasm.h"
+
+namespace aggview {
+
+namespace {
+
+using Op = ExprProgram::Op;
+using CmpLane = PredicateProgram::CmpLane;
+using Insn = ExprProgram::Insn;
+using Operand = PredicateProgram::Operand;
+using Conjunct = PredicateProgram::Conjunct;
+
+// ------------------------------------------------------------------ stage 1
+
+/// Maps an opcode to its arithmetic operator; false for non-arithmetic ops
+/// *and* for raw bytes outside the opcode range (corrupted programs).
+bool ArithOf(Op op, ArithOp* out) {
+  switch (op) {
+    case Op::kAddInt:
+    case Op::kAddDouble:
+    case Op::kAddGeneric:
+      *out = ArithOp::kAdd;
+      return true;
+    case Op::kSubInt:
+    case Op::kSubDouble:
+    case Op::kSubGeneric:
+      *out = ArithOp::kSub;
+      return true;
+    case Op::kMulInt:
+    case Op::kMulDouble:
+    case Op::kMulGeneric:
+      *out = ArithOp::kMul;
+      return true;
+    case Op::kDivDouble:
+    case Op::kDivGeneric:
+      *out = ArithOp::kDiv;
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// ArithExpr::ResultType at the type level: division always promotes,
+/// integer arithmetic stays integral, everything else is double.
+DataType ArithResultType(ArithOp op, DataType l, DataType r) {
+  if (op == ArithOp::kDiv) return DataType::kDouble;
+  if (l == DataType::kInt64 && r == DataType::kInt64) return DataType::kInt64;
+  return DataType::kDouble;
+}
+
+/// The exact opcode ExprProgram::CompileInto emits for `op` over operands of
+/// the given static types — the canonical lane. The runtime guards make any
+/// other lane behaviourally identical (it falls through to GenericArith), so
+/// a non-canonical lane in a program is evidence of corruption the guards
+/// alone would silently absorb.
+Op CanonicalArithOp(ArithOp op, DataType lt, DataType rt) {
+  bool both_int = lt == DataType::kInt64 && rt == DataType::kInt64;
+  bool both_double = lt == DataType::kDouble && rt == DataType::kDouble;
+  switch (op) {
+    case ArithOp::kAdd:
+      return both_int ? Op::kAddInt
+                      : (both_double ? Op::kAddDouble : Op::kAddGeneric);
+    case ArithOp::kSub:
+      return both_int ? Op::kSubInt
+                      : (both_double ? Op::kSubDouble : Op::kSubGeneric);
+    case ArithOp::kMul:
+      return both_int ? Op::kMulInt
+                      : (both_double ? Op::kMulDouble : Op::kMulGeneric);
+    case ArithOp::kDiv:
+      // Division always promotes; there is no INT64 lane for it.
+      return both_double ? Op::kDivDouble : Op::kDivGeneric;
+  }
+  return Op::kAddGeneric;
+}
+
+Status ExprErr(const ExprProgram& prog, const RowLayout* layout,
+               const ColumnCatalog* columns, int pc, const std::string& msg) {
+  return Status::Internal(
+      StrFormat("bytecode verifier: %s at pc %d\n%s", msg.c_str(), pc,
+                DisassembleExpr(prog, layout, columns).c_str()));
+}
+
+/// Stage-1 core: one linear pass with a DataType per abstract stack slot.
+/// COALESCE's kJumpIfNotNull contributes a saved copy of the stack at the
+/// jump, merged back in when the scan reaches the target; the merged result
+/// slot takes the jump edge's (inner) type, because that is the type the
+/// compiler's lane selection above the COALESCE uses
+/// (CoalesceExpr::ResultType == inner type).
+Status AnalyzeExprProgram(const ExprProgram& prog, const RowLayout& layout,
+                          const ColumnCatalog& columns,
+                          ExprProgramShape* shape) {
+  const std::vector<Insn>& code = prog.code();
+  const std::vector<Value>& consts = prog.consts();
+  const int n = static_cast<int>(code.size());
+  std::vector<DataType> stack;
+  std::map<int, std::vector<std::vector<DataType>>> pending;
+  int max_depth = 0;
+  auto err = [&](int pc, const std::string& msg) {
+    return ExprErr(prog, &layout, &columns, pc, msg);
+  };
+
+  for (int pc = 0; pc <= n; ++pc) {
+    auto merge = pending.find(pc);
+    if (merge != pending.end()) {
+      for (const std::vector<DataType>& saved : merge->second) {
+        if (saved.size() != stack.size()) {
+          return err(pc, StrFormat(
+                             "stack depth mismatch at jump target "
+                             "(fall-through %d, jump edge %d)",
+                             static_cast<int>(stack.size()),
+                             static_cast<int>(saved.size())));
+        }
+        for (size_t i = 0; i + 1 < saved.size(); ++i) {
+          if (saved[i] != stack[i]) {
+            return err(pc, "stack slot type mismatch at jump target");
+          }
+        }
+      }
+      // The merged result takes the *first* jump edge's type: the earliest
+      // jump to a shared target is the outermost COALESCE, and the lane
+      // selection above the merge uses CoalesceExpr::ResultType — the
+      // outermost inner branch's type.
+      if (!merge->second.empty() && !merge->second.front().empty()) {
+        stack.back() = merge->second.front().back();
+      }
+      pending.erase(merge);
+    }
+    if (pc == n) break;
+
+    const Insn& in = code[static_cast<size_t>(pc)];
+    switch (in.op) {
+      case Op::kLoadCol:
+        if (in.a < 0 || in.a >= layout.size()) {
+          return err(pc, StrFormat("column slot %d outside the input layout "
+                                   "(%d columns)",
+                                   in.a, layout.size()));
+        }
+        stack.push_back(
+            columns.type(layout.columns()[static_cast<size_t>(in.a)]));
+        break;
+      case Op::kLoadConst:
+        if (in.a < 0 || static_cast<size_t>(in.a) >= consts.size()) {
+          return err(pc, StrFormat("constant index %d outside the pool "
+                                   "(%d constants)",
+                                   in.a, static_cast<int>(consts.size())));
+        }
+        // A NULL constant types as STRING, matching LiteralExpr::ResultType
+        // (Value::type() of NULL), so lane canonicalization below mirrors
+        // the compiler bit for bit.
+        stack.push_back(consts[static_cast<size_t>(in.a)].type());
+        break;
+      case Op::kJumpIfNotNull: {
+        if (stack.empty()) return err(pc, "jump reads an empty stack");
+        if (in.a <= pc) {
+          return err(pc, "backward or self jump (loops are illegal)");
+        }
+        if (in.a > n) return err(pc, "jump target outside the program");
+        if (in.a == pc + 1) {
+          return err(pc, "no-op jump (the COALESCE shape skips the pop)");
+        }
+        if (pc + 1 >= n || code[static_cast<size_t>(pc + 1)].op != Op::kPop) {
+          return err(pc,
+                     "jump_if_not_null not followed by pop (violates the "
+                     "compiled COALESCE NULL convention)");
+        }
+        pending[in.a].push_back(stack);
+        break;
+      }
+      case Op::kPop:
+        if (in.a != 0) return err(pc, "pop carries a nonzero operand field");
+        if (stack.empty()) return err(pc, "pop underflows the stack");
+        stack.pop_back();
+        break;
+      default: {
+        ArithOp aop;
+        if (!ArithOf(in.op, &aop)) return err(pc, "unknown opcode");
+        if (in.a != 0) {
+          return err(pc, "arithmetic carries a nonzero operand field");
+        }
+        if (stack.size() < 2) {
+          return err(pc, "arithmetic underflows the stack");
+        }
+        DataType rt = stack.back();
+        stack.pop_back();
+        DataType lt = stack.back();
+        stack.pop_back();
+        Op canonical = CanonicalArithOp(aop, lt, rt);
+        if (in.op != canonical) {
+          return err(pc, StrFormat(
+                             "non-canonical lane %s over (%s, %s) operands "
+                             "(compiler emits %s; a retyped lane is "
+                             "corruption the runtime guards would mask)",
+                             OpMnemonic(in.op).c_str(), DataTypeName(lt),
+                             DataTypeName(rt),
+                             OpMnemonic(canonical).c_str()));
+        }
+        stack.push_back(ArithResultType(aop, lt, rt));
+        break;
+      }
+    }
+    max_depth = std::max(max_depth, static_cast<int>(stack.size()));
+  }
+  if (stack.size() != 1) {
+    return err(n, StrFormat("program exits with %d stack values (exactly one "
+                            "result required)",
+                            static_cast<int>(stack.size())));
+  }
+  if (shape != nullptr) {
+    shape->result_type = stack.back();
+    shape->max_stack_depth = max_depth;
+  }
+  return Status::OK();
+}
+
+Status PredErr(const PredicateProgram& prog, const RowLayout* layout,
+               const ColumnCatalog* columns, int conjunct,
+               const std::string& msg) {
+  return Status::Internal(
+      StrFormat("bytecode verifier: %s at conjunct %d\n%s", msg.c_str(),
+                conjunct, DisassemblePredicate(prog, layout, columns).c_str()));
+}
+
+/// Static type of one conjunct operand: a slot's declared type, a nested
+/// program's abstract result type, or the constant's own type. For an
+/// untampered program this equals the source expression's ResultType.
+DataType OperandStaticType(const Operand& o, const RowLayout& layout,
+                           const ColumnCatalog& columns,
+                           const std::vector<ExprProgramShape>& shapes) {
+  if (o.col >= 0) {
+    return columns.type(layout.columns()[static_cast<size_t>(o.col)]);
+  }
+  if (o.prog >= 0) return shapes[static_cast<size_t>(o.prog)].result_type;
+  return o.constant.type();
+}
+
+bool ValidCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+    case CompareOp::kNe:
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      return true;
+  }
+  return false;
+}
+
+Status AnalyzePredicateProgram(const PredicateProgram& prog,
+                               const RowLayout& layout,
+                               const ColumnCatalog& columns,
+                               std::vector<ExprProgramShape>* shapes_out,
+                               int* max_stack_depth) {
+  std::vector<ExprProgramShape> shapes;
+  int max_depth = 0;
+  for (size_t p = 0; p < prog.programs().size(); ++p) {
+    ExprProgramShape shape;
+    Status s = AnalyzeExprProgram(prog.programs()[p], layout, columns, &shape);
+    if (!s.ok()) {
+      return Status::Internal(StrFormat("prog<%d>: ", static_cast<int>(p)) +
+                              s.message());
+    }
+    max_depth = std::max(max_depth, shape.max_stack_depth);
+    shapes.push_back(shape);
+  }
+
+  const std::vector<Conjunct>& conjuncts = prog.conjuncts();
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    const Conjunct& c = conjuncts[i];
+    const int ci = static_cast<int>(i);
+    auto err = [&](const std::string& msg) {
+      return PredErr(prog, &layout, &columns, ci, msg);
+    };
+    for (const Operand* o : {&c.lhs, &c.rhs}) {
+      if (o->col >= 0 && o->prog >= 0) {
+        return err("ambiguous operand (both slot and program forms active)");
+      }
+      if (o->col >= 0 && o->col >= layout.size()) {
+        return err(StrFormat("operand slot %d outside the input layout "
+                             "(%d columns)",
+                             o->col, layout.size()));
+      }
+      if (o->prog >= 0 &&
+          static_cast<size_t>(o->prog) >= prog.programs().size()) {
+        return err(StrFormat("operand references prog<%d> but only %d "
+                             "programs exist",
+                             o->prog, static_cast<int>(prog.programs().size())));
+      }
+    }
+    if (!ValidCompareOp(c.op)) {
+      return err(StrFormat("corrupted comparison operator (%d)",
+                           static_cast<int>(c.op)));
+    }
+
+    // Canonical lane: recompute exactly what PredicateProgram::Compile
+    // selects for these operand types, including the DOUBLE-lane constant
+    // normalization and the col-vs-constant promotions. Any other lane is
+    // behaviourally masked by the runtime guards — and therefore rejected
+    // as corruption rather than tolerated as a slowdown.
+    DataType lt = OperandStaticType(c.lhs, layout, columns, shapes);
+    DataType rt = OperandStaticType(c.rhs, layout, columns, shapes);
+    CmpLane expected;
+    if (lt == DataType::kInt64 && rt == DataType::kInt64) {
+      expected = CmpLane::kInt64;
+    } else if (lt == DataType::kString && rt == DataType::kString) {
+      expected = CmpLane::kString;
+    } else if (lt != DataType::kString && rt != DataType::kString) {
+      expected = CmpLane::kDouble;
+      for (const Operand* o : {&c.lhs, &c.rhs}) {
+        if (o->col < 0 && o->prog < 0 && o->constant.is_int()) {
+          return err(
+              "integer constant not normalized to double on the DOUBLE lane");
+        }
+      }
+    } else {
+      expected = CmpLane::kGeneric;
+    }
+    const bool rhs_const = c.rhs.col < 0 && c.rhs.prog < 0;
+    if (c.lhs.col >= 0 && rhs_const) {
+      if (expected == CmpLane::kInt64 && c.rhs.constant.is_int()) {
+        expected = CmpLane::kInt64ColConst;
+      } else if (expected == CmpLane::kDouble && c.rhs.constant.is_double()) {
+        expected = CmpLane::kDoubleColConst;
+      }
+    }
+    if (c.lane != expected) {
+      return err(StrFormat("non-canonical comparison lane %s over (%s, %s) "
+                           "operands (compiler emits %s)",
+                           CmpLaneName(c.lane).c_str(), DataTypeName(lt),
+                           DataTypeName(rt), CmpLaneName(expected).c_str()));
+    }
+  }
+  if (shapes_out != nullptr) *shapes_out = std::move(shapes);
+  if (max_stack_depth != nullptr) *max_stack_depth = max_depth;
+  return Status::OK();
+}
+
+// ------------------------------------------------- stage 2a: abstract facts
+
+/// Nullability lattice join (kNever ⊔ kAlways = kMaybe).
+Nullability JoinNull(Nullability a, Nullability b) {
+  return a == b ? a : Nullability::kMaybe;
+}
+
+ColumnFacts LiteralFacts(const Value& v) {
+  ColumnFacts f;
+  f.max_distinct = 1;
+  if (v.is_null()) {
+    f.null = Nullability::kAlways;
+    return f;
+  }
+  f.null = Nullability::kNever;
+  if (v.is_string()) {
+    f.has_str_range = true;
+    f.min_str = f.max_str = v.AsString();
+  } else {
+    f.has_range = true;
+    f.min = f.max = v.AsNumeric();
+  }
+  return f;
+}
+
+/// Transfer function of one arithmetic node, shared verbatim by the tree
+/// and the bytecode abstract interpreters so a faithful translation agrees
+/// *exactly*. NULL propagates; intervals combine for add/sub/mul; division
+/// drops the interval (the x/0 == 0.0 convention plus a divisor interval
+/// spanning zero make a sound quotient interval unbounded).
+ColumnFacts ArithFacts(ArithOp op, const ColumnFacts& l, const ColumnFacts& r) {
+  ColumnFacts out;
+  if (l.null == Nullability::kAlways || r.null == Nullability::kAlways) {
+    out.null = Nullability::kAlways;
+    return out;
+  }
+  out.null = (l.null == Nullability::kNever && r.null == Nullability::kNever)
+                 ? Nullability::kNever
+                 : Nullability::kMaybe;
+  if (op != ArithOp::kDiv && l.has_range && r.has_range && !l.has_str_range &&
+      !r.has_str_range) {
+    out.has_range = true;
+    switch (op) {
+      case ArithOp::kAdd:
+        out.min = l.min + r.min;
+        out.max = l.max + r.max;
+        break;
+      case ArithOp::kSub:
+        out.min = l.min - r.max;
+        out.max = l.max - r.min;
+        break;
+      case ArithOp::kMul: {
+        double c1 = l.min * r.min, c2 = l.min * r.max;
+        double c3 = l.max * r.min, c4 = l.max * r.max;
+        out.min = std::min(std::min(c1, c2), std::min(c3, c4));
+        out.max = std::max(std::max(c1, c2), std::max(c3, c4));
+        break;
+      }
+      case ArithOp::kDiv:
+        break;
+    }
+  }
+  return out;
+}
+
+/// Lattice join of the two COALESCE edges (jump edge already stripped to
+/// never-NULL by the caller). Symmetric, so the linear interpreter's merge
+/// order cannot disagree with the tree's.
+ColumnFacts HullFacts(const ColumnFacts& a, const ColumnFacts& b) {
+  ColumnFacts out;
+  out.null = JoinNull(a.null, b.null);
+  if (a.has_range && b.has_range) {
+    out.has_range = true;
+    out.min = std::min(a.min, b.min);
+    out.max = std::max(a.max, b.max);
+  }
+  if (a.has_str_range && b.has_str_range) {
+    out.has_str_range = true;
+    out.min_str = std::min(a.min_str, b.min_str);
+    out.max_str = std::max(a.max_str, b.max_str);
+  }
+  return out;
+}
+
+ColumnFacts CoalesceFacts(const ColumnFacts& inner, const ColumnFacts& fb) {
+  if (inner.null == Nullability::kNever) return inner;
+  if (inner.null == Nullability::kAlways) return fb;
+  ColumnFacts stripped = inner;
+  stripped.null = Nullability::kNever;
+  return HullFacts(stripped, fb);
+}
+
+bool FactsEqual(const ColumnFacts& a, const ColumnFacts& b) {
+  if (a.null != b.null || a.has_range != b.has_range ||
+      a.has_str_range != b.has_str_range) {
+    return false;
+  }
+  if (a.has_range && (a.min != b.min || a.max != b.max)) return false;
+  if (a.has_str_range && (a.min_str != b.min_str || a.max_str != b.max_str)) {
+    return false;
+  }
+  return true;
+}
+
+std::string FactsToString(const ColumnFacts& f) {
+  std::string out = NullabilityName(f.null);
+  if (f.has_range) out += StrFormat(" [%g, %g]", f.min, f.max);
+  if (f.has_str_range) {
+    out += " ['" + f.min_str + "', '" + f.max_str + "']";
+  }
+  return out;
+}
+
+/// Structural abstract interpretation of the source tree.
+Result<ColumnFacts> AbstractEvalTree(const ScalarExpr& expr,
+                                     const RowLayout& layout,
+                                     const std::vector<ColumnFacts>& env) {
+  switch (expr.kind()) {
+    case ScalarExpr::Kind::kColumnRef: {
+      int idx = layout.IndexOf(static_cast<const ColumnRefExpr&>(expr).id());
+      if (idx < 0) {
+        return Status::Internal(
+            "bytecode verifier: source tree references a column outside the "
+            "layout");
+      }
+      return env[static_cast<size_t>(idx)];
+    }
+    case ScalarExpr::Kind::kLiteral:
+      return LiteralFacts(static_cast<const LiteralExpr&>(expr).value());
+    case ScalarExpr::Kind::kArith: {
+      const auto& arith = static_cast<const ArithExpr&>(expr);
+      AGGVIEW_ASSIGN_OR_RETURN(ColumnFacts l,
+                               AbstractEvalTree(*arith.lhs(), layout, env));
+      AGGVIEW_ASSIGN_OR_RETURN(ColumnFacts r,
+                               AbstractEvalTree(*arith.rhs(), layout, env));
+      return ArithFacts(arith.op(), l, r);
+    }
+    case ScalarExpr::Kind::kCoalesce: {
+      const auto& coalesce = static_cast<const CoalesceExpr&>(expr);
+      AGGVIEW_ASSIGN_OR_RETURN(
+          ColumnFacts inner, AbstractEvalTree(*coalesce.inner(), layout, env));
+      AGGVIEW_ASSIGN_OR_RETURN(
+          ColumnFacts fb, AbstractEvalTree(*coalesce.fallback(), layout, env));
+      return CoalesceFacts(inner, fb);
+    }
+  }
+  return Status::Internal("bytecode verifier: unknown expression kind");
+}
+
+/// Linear abstract interpretation of the bytecode over the same lattice.
+/// Requires a stage-1-verified program (indices and stack discipline hold).
+/// Dead COALESCE edges are pruned exactly as the tree side prunes them: a
+/// never-NULL inner value makes the fall-through unreachable, an always-NULL
+/// one drops the jump edge — so a faithful translation agrees exactly.
+Result<ColumnFacts> AbstractEvalProgram(const ExprProgram& prog,
+                                        const std::vector<ColumnFacts>& env) {
+  const std::vector<Insn>& code = prog.code();
+  const int n = static_cast<int>(code.size());
+  std::vector<ColumnFacts> stack;
+  std::map<int, std::vector<std::vector<ColumnFacts>>> pending;
+  bool reachable = true;
+  for (int pc = 0; pc <= n; ++pc) {
+    auto merge = pending.find(pc);
+    if (merge != pending.end()) {
+      for (std::vector<ColumnFacts>& saved : merge->second) {
+        if (!reachable) {
+          stack = std::move(saved);
+          reachable = true;
+        } else {
+          stack.back() = HullFacts(stack.back(), saved.back());
+        }
+      }
+      pending.erase(merge);
+    }
+    if (pc == n) break;
+    if (!reachable) continue;
+
+    const Insn& in = code[static_cast<size_t>(pc)];
+    switch (in.op) {
+      case Op::kLoadCol:
+        stack.push_back(env[static_cast<size_t>(in.a)]);
+        break;
+      case Op::kLoadConst:
+        stack.push_back(LiteralFacts(prog.consts()[static_cast<size_t>(in.a)]));
+        break;
+      case Op::kJumpIfNotNull: {
+        if (stack.back().null == Nullability::kNever) {
+          pending[in.a].push_back(stack);
+          reachable = false;  // the pop + fallback path is dead
+        } else if (stack.back().null == Nullability::kAlways) {
+          // Jump never taken; the always-NULL value is about to be popped.
+        } else {
+          std::vector<ColumnFacts> taken = stack;
+          taken.back().null = Nullability::kNever;
+          pending[in.a].push_back(std::move(taken));
+        }
+        break;
+      }
+      case Op::kPop:
+        stack.pop_back();
+        break;
+      default: {
+        ArithOp aop;
+        if (!ArithOf(in.op, &aop)) {
+          return Status::Internal("bytecode verifier: unknown opcode reached "
+                                  "abstract evaluation");
+        }
+        ColumnFacts r = stack.back();
+        stack.pop_back();
+        ColumnFacts l = stack.back();
+        stack.pop_back();
+        stack.push_back(ArithFacts(aop, l, r));
+        break;
+      }
+    }
+  }
+  if (!reachable || stack.size() != 1) {
+    return Status::Internal(
+        "bytecode verifier: abstract evaluation lost the result slot");
+  }
+  return stack.back();
+}
+
+// ------------------------------------------ stage 2b: witness co-evaluation
+
+void CollectLiterals(const ScalarExpr& expr, std::vector<Value>* out) {
+  switch (expr.kind()) {
+    case ScalarExpr::Kind::kLiteral: {
+      const Value& v = static_cast<const LiteralExpr&>(expr).value();
+      if (!v.is_null()) out->push_back(v);
+      return;
+    }
+    case ScalarExpr::Kind::kArith: {
+      const auto& arith = static_cast<const ArithExpr&>(expr);
+      CollectLiterals(*arith.lhs(), out);
+      CollectLiterals(*arith.rhs(), out);
+      return;
+    }
+    case ScalarExpr::Kind::kCoalesce: {
+      const auto& coalesce = static_cast<const CoalesceExpr&>(expr);
+      CollectLiterals(*coalesce.inner(), out);
+      CollectLiterals(*coalesce.fallback(), out);
+      return;
+    }
+    case ScalarExpr::Kind::kColumnRef:
+      return;
+  }
+}
+
+void AppendUnique(std::vector<Value>* out, Value v, size_t cap) {
+  if (out->size() >= cap) return;
+  for (const Value& existing : *out) {
+    if (existing.type() == v.type() && !existing.is_null() && !v.is_null() &&
+        existing.Compare(v) == 0) {
+      return;
+    }
+    if (existing.is_null() && v.is_null()) return;
+  }
+  out->push_back(std::move(v));
+}
+
+/// Candidate witness values of one slot — the same domain construction the
+/// small-scope prover uses for its skeleton columns (verify/skeleton.h):
+/// the base values 0/1, every query literal of the slot's type plus its ±1
+/// neighbours (so comparisons are exercised on, just below and just above
+/// their boundary), one slot-distinguishing value (so a retargeted slot
+/// operand cannot hide behind identical candidate sets), clamped into the
+/// slot's known value domain, plus NULL when the facts admit it.
+std::vector<Value> SlotCandidates(int slot, DataType type,
+                                  const ColumnFacts& facts,
+                                  const std::vector<Value>& literals) {
+  constexpr size_t kMaxPerSlot = 8;  // kMaxDomainValues of the prover
+  std::vector<Value> out;
+  if (facts.null == Nullability::kAlways) {
+    out.push_back(Value::Null());
+    return out;
+  }
+  auto in_range = [&](double v) {
+    return !facts.has_range || (v >= facts.min && v <= facts.max);
+  };
+  switch (type) {
+    case DataType::kInt64: {
+      std::vector<int64_t> ints = {0, 1, 17 + slot};
+      for (const Value& lit : literals) {
+        if (lit.is_int()) {
+          ints.push_back(lit.AsInt() - 1);
+          ints.push_back(lit.AsInt());
+          ints.push_back(lit.AsInt() + 1);
+        }
+      }
+      if (facts.has_range) {
+        ints.push_back(static_cast<int64_t>(facts.min));
+        ints.push_back(static_cast<int64_t>(facts.max));
+      }
+      for (int64_t v : ints) {
+        if (in_range(static_cast<double>(v))) {
+          AppendUnique(&out, Value::Int(v), kMaxPerSlot);
+        }
+      }
+      break;
+    }
+    case DataType::kDouble: {
+      std::vector<double> vals = {0.0, 1.0, 0.5 + slot};
+      for (const Value& lit : literals) {
+        if (!lit.is_string()) {
+          vals.push_back(lit.AsNumeric() - 0.5);
+          vals.push_back(lit.AsNumeric());
+          vals.push_back(lit.AsNumeric() + 0.5);
+        }
+      }
+      if (facts.has_range) {
+        vals.push_back(facts.min);
+        vals.push_back(facts.max);
+      }
+      for (double v : vals) {
+        if (in_range(v)) AppendUnique(&out, Value::Real(v), kMaxPerSlot);
+      }
+      break;
+    }
+    case DataType::kString: {
+      AppendUnique(&out, Value::Str(""), kMaxPerSlot);
+      AppendUnique(&out, Value::Str("a"), kMaxPerSlot);
+      std::string tag = std::to_string(slot);
+      tag.insert(0, 1, 's');
+      AppendUnique(&out, Value::Str(std::move(tag)), kMaxPerSlot);
+      for (const Value& lit : literals) {
+        if (lit.is_string()) AppendUnique(&out, lit, kMaxPerSlot);
+      }
+      break;
+    }
+  }
+  if (out.empty()) out.push_back(type == DataType::kString ? Value::Str("")
+                                                           : Value::Int(0));
+  if (facts.null != Nullability::kNever) {
+    AppendUnique(&out, Value::Null(), kMaxPerSlot + 1);
+  }
+  return out;
+}
+
+/// Enumerates witness rows and applies `check` to each. The full cross
+/// product runs when it fits the budget ("exhaustively co-evaluate on small
+/// witness vectors"); otherwise a deterministic subset still covers every
+/// candidate of every slot (per-slot sweeps against a fixed base row) and
+/// fills the remaining budget with an odometer prefix.
+Status ForEachWitness(const std::vector<std::vector<Value>>& candidates,
+                      int max_rows,
+                      const std::function<Status(const Row&)>& check,
+                      int* rows_out) {
+  const size_t slots = candidates.size();
+  int rows = 0;
+  auto run = [&](const Row& row) -> Status {
+    ++rows;
+    return check(row);
+  };
+
+  double total = 1.0;
+  for (const auto& c : candidates) {
+    total *= static_cast<double>(c.size());
+  }
+  if (total <= static_cast<double>(max_rows)) {
+    Row row(slots);
+    std::vector<size_t> idx(slots, 0);
+    for (;;) {
+      for (size_t s = 0; s < slots; ++s) row[s] = candidates[s][idx[s]];
+      Status st = run(row);
+      if (!st.ok()) return st;
+      size_t s = 0;
+      while (s < slots && ++idx[s] == candidates[s].size()) {
+        idx[s] = 0;
+        ++s;
+      }
+      if (s == slots || slots == 0) break;
+    }
+  } else {
+    Row base(slots);
+    for (size_t s = 0; s < slots; ++s) base[s] = candidates[s][0];
+    Status st = run(base);
+    if (!st.ok()) return st;
+    for (size_t s = 0; s < slots && rows < max_rows; ++s) {
+      Row row = base;
+      for (size_t v = 1; v < candidates[s].size() && rows < max_rows; ++v) {
+        row[s] = candidates[s][v];
+        st = run(row);
+        if (!st.ok()) return st;
+      }
+    }
+    // Odometer prefix over the remaining budget: varies slot combinations
+    // the sweeps never reach (two NULLs at once, two boundary values, ...).
+    std::vector<size_t> idx(slots, 0);
+    Row row(slots);
+    while (rows < max_rows) {
+      size_t s = 0;
+      while (s < slots && ++idx[s] == candidates[s].size()) {
+        idx[s] = 0;
+        ++s;
+      }
+      if (s == slots || slots == 0) break;
+      for (size_t k = 0; k < slots; ++k) row[k] = candidates[k][idx[k]];
+      st = run(row);
+      if (!st.ok()) return st;
+    }
+  }
+  if (rows_out != nullptr) *rows_out += rows;
+  return Status::OK();
+}
+
+/// Type-exact value identity, the divergence test of witness co-evaluation:
+/// Int(3) differs from Real(3.0) even though Value::Compare orders them
+/// equal — a lane corruption that changes the result *type* must reject.
+bool ValuesIdentical(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return a.is_null() && b.is_null();
+  if (a.type() != b.type()) return false;
+  if (a.is_int()) return a.AsInt() == b.AsInt();
+  if (a.is_double()) {
+    return a.AsDouble() == b.AsDouble() ||
+           (std::isnan(a.AsDouble()) && std::isnan(b.AsDouble()));
+  }
+  return a.AsString() == b.AsString();
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].is_null() ? "NULL" : row[i].ToString();
+  }
+  return out + ")";
+}
+
+/// Slots the source tree reads. A slot neither the tree nor the
+/// (stage-1-clean) program loads cannot influence either evaluation, so
+/// witness rows pin it to one value instead of sweeping its whole domain —
+/// on wide layouts this is the difference between verification being a
+/// rounding error of prepare time and dominating it.
+void MarkTreeSlots(const ScalarExpr& expr, const RowLayout& layout,
+                   std::vector<bool>* referenced) {
+  switch (expr.kind()) {
+    case ScalarExpr::Kind::kColumnRef: {
+      int idx = layout.IndexOf(static_cast<const ColumnRefExpr&>(expr).id());
+      if (idx >= 0 && static_cast<size_t>(idx) < referenced->size()) {
+        (*referenced)[static_cast<size_t>(idx)] = true;
+      }
+      return;
+    }
+    case ScalarExpr::Kind::kArith: {
+      const auto& arith = static_cast<const ArithExpr&>(expr);
+      MarkTreeSlots(*arith.lhs(), layout, referenced);
+      MarkTreeSlots(*arith.rhs(), layout, referenced);
+      return;
+    }
+    case ScalarExpr::Kind::kCoalesce: {
+      const auto& coalesce = static_cast<const CoalesceExpr&>(expr);
+      MarkTreeSlots(*coalesce.inner(), layout, referenced);
+      MarkTreeSlots(*coalesce.fallback(), layout, referenced);
+      return;
+    }
+    case ScalarExpr::Kind::kLiteral:
+      return;
+  }
+}
+
+/// Slots the program loads. A mutated slot operand always lands here, so the
+/// union with the tree's slots keeps every retargeting divergence visible.
+void MarkProgramSlots(const ExprProgram& prog, std::vector<bool>* referenced) {
+  for (const Insn& insn : prog.code()) {
+    if (insn.op == Op::kLoadCol && insn.a >= 0 &&
+        static_cast<size_t>(insn.a) < referenced->size()) {
+      (*referenced)[static_cast<size_t>(insn.a)] = true;
+    }
+  }
+}
+
+std::vector<std::vector<Value>> BuildCandidates(
+    const RowLayout& layout, const ColumnCatalog& columns,
+    const std::vector<ColumnFacts>& slot_facts,
+    const std::vector<Value>& literals,
+    const std::vector<bool>& referenced) {
+  static const std::vector<Value> kNoLiterals;
+  std::vector<std::vector<Value>> candidates;
+  candidates.reserve(static_cast<size_t>(layout.size()));
+  for (int s = 0; s < layout.size(); ++s) {
+    DataType type = columns.type(layout.columns()[static_cast<size_t>(s)]);
+    if (referenced[static_cast<size_t>(s)]) {
+      candidates.push_back(SlotCandidates(
+          s, type, slot_facts[static_cast<size_t>(s)], literals));
+    } else {
+      // Pinned slot: one candidate, constructed without the literal lists.
+      candidates.push_back(SlotCandidates(
+          s, type, slot_facts[static_cast<size_t>(s)], kNoLiterals));
+      candidates.back().resize(1);
+    }
+  }
+  return candidates;
+}
+
+std::string RenderConjunction(const std::vector<Predicate>& preds,
+                              const ColumnCatalog& columns) {
+  if (preds.empty()) return "true";
+  std::string out;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (i > 0) out += " and ";
+    out += preds[i].ToString(columns);
+  }
+  return out;
+}
+
+PredicateTamperHook g_tamper_hook;  // NOLINT(cert-err58-cpp)
+
+// --------------------------------------------------- verification memo
+//
+// A verdict is a pure function of the program bytes, the source conjunction,
+// the layout's column types/nullability, and the mode — so it is memoized
+// process-wide on exactly that content, the way a JVM verifies a class once.
+// Keys are full serialized content (compared byte for byte on lookup, never
+// by hash alone), so a colliding digest cannot smuggle an unverified program
+// past the verifier; any tampered byte is a different key.
+
+void AppendBytes(std::string* k, const void* p, size_t n) {
+  k->append(static_cast<const char*>(p), n);
+}
+void AppendI32(std::string* k, int32_t v) { AppendBytes(k, &v, sizeof v); }
+void AppendI64(std::string* k, int64_t v) { AppendBytes(k, &v, sizeof v); }
+
+void AppendValueKey(std::string* k, const Value& v) {
+  if (v.is_null()) {
+    k->push_back('N');
+  } else if (v.is_int()) {
+    k->push_back('I');
+    AppendI64(k, v.AsInt());
+  } else if (v.is_double()) {
+    k->push_back('D');
+    double d = v.AsDouble();
+    AppendBytes(k, &d, sizeof d);
+  } else {
+    k->push_back('S');
+    AppendI32(k, static_cast<int32_t>(v.AsString().size()));
+    k->append(v.AsString());
+  }
+}
+
+void AppendExprKey(std::string* k, const ScalarExpr& expr) {
+  k->push_back(static_cast<char>(expr.kind()));
+  switch (expr.kind()) {
+    case ScalarExpr::Kind::kColumnRef:
+      AppendI32(k, static_cast<const ColumnRefExpr&>(expr).id());
+      return;
+    case ScalarExpr::Kind::kLiteral:
+      AppendValueKey(k, static_cast<const LiteralExpr&>(expr).value());
+      return;
+    case ScalarExpr::Kind::kArith: {
+      const auto& arith = static_cast<const ArithExpr&>(expr);
+      k->push_back(static_cast<char>(arith.op()));
+      AppendExprKey(k, *arith.lhs());
+      AppendExprKey(k, *arith.rhs());
+      return;
+    }
+    case ScalarExpr::Kind::kCoalesce: {
+      const auto& coalesce = static_cast<const CoalesceExpr&>(expr);
+      AppendExprKey(k, *coalesce.inner());
+      AppendExprKey(k, *coalesce.fallback());
+      return;
+    }
+  }
+}
+
+std::string MemoKey(const PredicateProgram& prog,
+                    const std::vector<Predicate>& preds,
+                    const RowLayout& layout, const ColumnCatalog& columns,
+                    BytecodeVerifyMode mode) {
+  std::string k;
+  k.reserve(256);
+  k.push_back(static_cast<char>(mode));
+  AppendI32(&k, layout.size());
+  for (int s = 0; s < layout.size(); ++s) {
+    ColId id = layout.columns()[static_cast<size_t>(s)];
+    AppendI32(&k, id);
+    k.push_back(static_cast<char>(columns.type(id)));
+    k.push_back(columns.nullable(id) ? '\1' : '\0');
+  }
+  AppendI32(&k, static_cast<int32_t>(prog.conjuncts().size()));
+  for (const Conjunct& c : prog.conjuncts()) {
+    k.push_back(static_cast<char>(c.op));
+    k.push_back(static_cast<char>(c.lane));
+    for (const Operand* o : {&c.lhs, &c.rhs}) {
+      AppendI32(&k, o->col);
+      AppendI32(&k, o->prog);
+      AppendValueKey(&k, o->constant);
+    }
+  }
+  AppendI32(&k, static_cast<int32_t>(prog.programs().size()));
+  for (const ExprProgram& p : prog.programs()) {
+    AppendI32(&k, static_cast<int32_t>(p.code().size()));
+    for (const Insn& in : p.code()) {
+      k.push_back(static_cast<char>(in.op));
+      AppendI32(&k, in.a);
+    }
+    AppendI32(&k, static_cast<int32_t>(p.consts().size()));
+    for (const Value& v : p.consts()) AppendValueKey(&k, v);
+  }
+  AppendI32(&k, static_cast<int32_t>(preds.size()));
+  for (const Predicate& p : preds) {
+    k.push_back(static_cast<char>(p.op));
+    AppendExprKey(&k, *p.lhs);
+    AppendExprKey(&k, *p.rhs);
+  }
+  return k;
+}
+
+/// The memoized part of a certificate: the verdict and its measurements,
+/// without the node/kind labels or the rendered listings (those are
+/// call-site-specific and cheap to regenerate on demand).
+struct MemoVerdict {
+  bool verified = false;
+  int witness_rows = 0;
+  int max_stack_depth = 0;
+  std::string rejection;
+};
+
+class VerificationMemo {
+ public:
+  bool Lookup(const std::string& key, MemoVerdict* out) {
+    MutexLock lock(&mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  void Insert(std::string key, const MemoVerdict& verdict) {
+    MutexLock lock(&mu_);
+    // Bounded: a full memo drops everything rather than tracking recency —
+    // re-proving a program is always correct, just slower.
+    if (map_.size() >= kMaxEntries) map_.clear();
+    map_.emplace(std::move(key), verdict);
+  }
+
+ private:
+  static constexpr size_t kMaxEntries = 1024;
+  Mutex mu_;
+  std::unordered_map<std::string, MemoVerdict> map_ AGGVIEW_GUARDED_BY(mu_);
+};
+
+VerificationMemo& Memo() {
+  static VerificationMemo* memo = new VerificationMemo;  // leaky singleton
+  return *memo;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- public API
+
+BytecodeVerifyOptions BytecodeVerifyOptions::ForMode(BytecodeVerifyMode mode) {
+  BytecodeVerifyOptions opts;
+  if (mode == BytecodeVerifyMode::kParanoid) {
+    opts.max_witness_rows = 1024;
+    opts.reprove = true;
+  }
+  return opts;
+}
+
+Status VerifyWellFormed(const ExprProgram& prog, const RowLayout& layout,
+                        const ColumnCatalog& columns, ExprProgramShape* shape) {
+  return AnalyzeExprProgram(prog, layout, columns, shape);
+}
+
+Status VerifyWellFormed(const PredicateProgram& prog, const RowLayout& layout,
+                        const ColumnCatalog& columns, int* max_stack_depth) {
+  return AnalyzePredicateProgram(prog, layout, columns, nullptr,
+                                 max_stack_depth);
+}
+
+std::vector<ColumnFacts> SeedFactsFromCatalog(const RowLayout& layout,
+                                              const ColumnCatalog& columns) {
+  std::vector<ColumnFacts> facts(static_cast<size_t>(layout.size()));
+  for (int s = 0; s < layout.size(); ++s) {
+    facts[static_cast<size_t>(s)].null =
+        columns.nullable(layout.columns()[static_cast<size_t>(s)])
+            ? Nullability::kMaybe
+            : Nullability::kNever;
+  }
+  return facts;
+}
+
+Status ValidateTranslation(const ExprProgram& prog, const ScalarExpr& expr,
+                           const RowLayout& layout,
+                           const ColumnCatalog& columns,
+                           const std::vector<ColumnFacts>& slot_facts,
+                           const BytecodeVerifyOptions& opts,
+                           int* witness_rows) {
+  // Witness evaluation of an ill-formed program would be unsafe (stack
+  // underflow is UB in Eval); stage 1 gates stage 2 unconditionally.
+  AGGVIEW_RETURN_NOT_OK(VerifyWellFormed(prog, layout, columns));
+
+  // 2a: abstract co-interpretation over the dataflow lattice. Identical
+  // transfer functions on both sides, so a faithful translation agrees
+  // exactly; disagreement is evidence the bytecode computes something else.
+  AGGVIEW_ASSIGN_OR_RETURN(ColumnFacts tree_facts,
+                           AbstractEvalTree(expr, layout, slot_facts));
+  AGGVIEW_ASSIGN_OR_RETURN(ColumnFacts prog_facts,
+                           AbstractEvalProgram(prog, slot_facts));
+  if (!FactsEqual(tree_facts, prog_facts)) {
+    return Status::Internal(StrFormat(
+        "bytecode verifier: abstract facts diverge — tree derives %s, "
+        "program derives %s\n%s",
+        FactsToString(tree_facts).c_str(), FactsToString(prog_facts).c_str(),
+        DisassembleExpr(prog, &layout, &columns).c_str()));
+  }
+
+  if (opts.reprove) {
+    AGGVIEW_ASSIGN_OR_RETURN(ExprProgram recompiled,
+                             ExprProgram::Compile(expr, layout, columns));
+    if (DisassembleExpr(recompiled, nullptr, nullptr) !=
+        DisassembleExpr(prog, nullptr, nullptr)) {
+      return Status::Internal(
+          "bytecode verifier: paranoid re-proof failed — recompiling the "
+          "source yields a different program\n" +
+          DisassembleExpr(prog, &layout, &columns));
+    }
+  }
+
+  // 2b: exhaustive co-evaluation on witness vectors from the column domains,
+  // sweeping only the slots either side of the validation reads.
+  std::vector<Value> literals;
+  CollectLiterals(expr, &literals);
+  std::vector<bool> referenced(static_cast<size_t>(layout.size()), false);
+  MarkTreeSlots(expr, layout, &referenced);
+  MarkProgramSlots(prog, &referenced);
+  std::vector<std::vector<Value>> candidates =
+      BuildCandidates(layout, columns, slot_facts, literals, referenced);
+  std::vector<Value> stack;
+  return ForEachWitness(
+      candidates, opts.max_witness_rows,
+      [&](const Row& row) -> Status {
+        Value want = expr.Eval(row, layout);
+        Value got = prog.Eval(row, &stack);
+        if (!ValuesIdentical(want, got)) {
+          return Status::Internal(StrFormat(
+              "bytecode verifier: witness divergence on row %s — tree "
+              "evaluates to %s, program to %s\n%s",
+              RowToString(row).c_str(),
+              (want.is_null() ? "NULL" : want.ToString()).c_str(),
+              (got.is_null() ? "NULL" : got.ToString()).c_str(),
+              DisassembleExpr(prog, &layout, &columns).c_str()));
+        }
+        return Status::OK();
+      },
+      witness_rows);
+}
+
+Status ValidateTranslation(const PredicateProgram& prog,
+                           const std::vector<Predicate>& preds,
+                           const RowLayout& layout,
+                           const ColumnCatalog& columns,
+                           const std::vector<ColumnFacts>& slot_facts,
+                           const BytecodeVerifyOptions& opts,
+                           int* witness_rows) {
+  std::vector<ExprProgramShape> shapes;
+  AGGVIEW_RETURN_NOT_OK(
+      AnalyzePredicateProgram(prog, layout, columns, &shapes, nullptr));
+
+  if (prog.conjuncts().size() != preds.size()) {
+    return Status::Internal(StrFormat(
+        "bytecode verifier: conjunct count mismatch — source has %d, "
+        "program has %d\n%s",
+        static_cast<int>(preds.size()),
+        static_cast<int>(prog.conjuncts().size()),
+        DisassemblePredicate(prog, &layout, &columns).c_str()));
+  }
+
+  // 2a per conjunct: the comparison operator must match the source, and
+  // both operands' abstract facts must agree with the source operand's.
+  for (size_t i = 0; i < preds.size(); ++i) {
+    const Conjunct& c = prog.conjuncts()[i];
+    const int ci = static_cast<int>(i);
+    if (c.op != preds[i].op) {
+      return PredErr(prog, &layout, &columns, ci,
+                     "comparison operator differs from the source predicate");
+    }
+    const std::pair<const Operand*, const ExprPtr*> sides[] = {
+        {&c.lhs, &preds[i].lhs}, {&c.rhs, &preds[i].rhs}};
+    for (const auto& [operand, source] : sides) {
+      AGGVIEW_ASSIGN_OR_RETURN(ColumnFacts tree_facts,
+                               AbstractEvalTree(**source, layout, slot_facts));
+      ColumnFacts operand_facts;
+      if (operand->col >= 0) {
+        operand_facts = slot_facts[static_cast<size_t>(operand->col)];
+      } else if (operand->prog >= 0) {
+        AGGVIEW_ASSIGN_OR_RETURN(
+            operand_facts,
+            AbstractEvalProgram(
+                prog.programs()[static_cast<size_t>(operand->prog)],
+                slot_facts));
+      } else {
+        operand_facts = LiteralFacts(operand->constant);
+      }
+      if (!FactsEqual(tree_facts, operand_facts)) {
+        return PredErr(
+            prog, &layout, &columns, ci,
+            StrFormat("abstract facts diverge — source operand derives %s, "
+                      "compiled operand derives %s",
+                      FactsToString(tree_facts).c_str(),
+                      FactsToString(operand_facts).c_str()));
+      }
+    }
+  }
+
+  if (opts.reprove) {
+    Result<PredicateProgram> recompiled =
+        PredicateProgram::Compile(preds, layout, columns);
+    if (!recompiled.ok()) {
+      return Status::Internal(
+          "bytecode verifier: paranoid re-proof failed — the source no "
+          "longer compiles: " +
+          recompiled.status().message());
+    }
+    if (DisassemblePredicate(*recompiled, nullptr, nullptr) !=
+        DisassemblePredicate(prog, nullptr, nullptr)) {
+      return Status::Internal(
+          "bytecode verifier: paranoid re-proof failed — recompiling the "
+          "source yields a different program\n" +
+          DisassemblePredicate(prog, &layout, &columns));
+    }
+  }
+
+  // 2b: witness rows over the whole layout, comparing the conjunction's
+  // boolean result (EvalConjunction is the interpreter's exact semantics,
+  // including SQL's NULL-comparison-is-false rule).
+  std::vector<Value> literals;
+  std::vector<bool> referenced(static_cast<size_t>(layout.size()), false);
+  for (const Predicate& p : preds) {
+    CollectLiterals(*p.lhs, &literals);
+    CollectLiterals(*p.rhs, &literals);
+    MarkTreeSlots(*p.lhs, layout, &referenced);
+    MarkTreeSlots(*p.rhs, layout, &referenced);
+  }
+  for (const Conjunct& c : prog.conjuncts()) {
+    if (c.lhs.col >= 0 && static_cast<size_t>(c.lhs.col) < referenced.size()) {
+      referenced[static_cast<size_t>(c.lhs.col)] = true;
+    }
+    if (c.rhs.col >= 0 && static_cast<size_t>(c.rhs.col) < referenced.size()) {
+      referenced[static_cast<size_t>(c.rhs.col)] = true;
+    }
+  }
+  for (const ExprProgram& p : prog.programs()) {
+    MarkProgramSlots(p, &referenced);
+  }
+  std::vector<std::vector<Value>> candidates =
+      BuildCandidates(layout, columns, slot_facts, literals, referenced);
+  EvalScratch scratch;
+  return ForEachWitness(
+      candidates, opts.max_witness_rows,
+      [&](const Row& row) -> Status {
+        bool want = EvalConjunction(preds, row, layout);
+        bool got = prog.EvalRow(row, &scratch);
+        if (want != got) {
+          return Status::Internal(StrFormat(
+              "bytecode verifier: witness divergence on row %s — source "
+              "conjunction is %s, program is %s\n%s",
+              RowToString(row).c_str(), want ? "true" : "false",
+              got ? "true" : "false",
+              DisassemblePredicate(prog, &layout, &columns).c_str()));
+        }
+        return Status::OK();
+      },
+      witness_rows);
+}
+
+CompilationCertificate VerifyPredicateProgram(const PredicateProgram& prog,
+                                              const std::vector<Predicate>& preds,
+                                              const RowLayout& layout,
+                                              const ColumnCatalog& columns,
+                                              BytecodeVerifyMode mode,
+                                              std::string node,
+                                              std::string kind,
+                                              bool want_listing) {
+  CompilationCertificate cert;
+  cert.node = std::move(node);
+  cert.kind = std::move(kind);
+  if (want_listing) {
+    cert.source = RenderConjunction(preds, columns);
+    cert.disassembly = prog.Disassemble(layout, columns);
+  }
+  cert.instructions = prog.size();
+  for (const ExprProgram& p : prog.programs()) {
+    cert.instructions += p.num_instructions();
+  }
+
+  std::string key = MemoKey(prog, preds, layout, columns, mode);
+  MemoVerdict verdict;
+  if (!Memo().Lookup(key, &verdict)) {
+    int max_depth = 0;
+    Status stage1 = VerifyWellFormed(prog, layout, columns, &max_depth);
+    if (stage1.ok()) {
+      verdict.max_stack_depth = max_depth;
+      BytecodeVerifyOptions opts = BytecodeVerifyOptions::ForMode(mode);
+      Status stage2 =
+          ValidateTranslation(prog, preds, layout, columns,
+                              SeedFactsFromCatalog(layout, columns), opts,
+                              &verdict.witness_rows);
+      if (stage2.ok()) {
+        verdict.verified = true;
+      } else {
+        verdict.rejection = stage2.message();
+      }
+    } else {
+      verdict.rejection = stage1.message();
+    }
+    Memo().Insert(std::move(key), verdict);
+  }
+
+  cert.verified = verdict.verified;
+  cert.witness_rows = verdict.witness_rows;
+  cert.max_stack_depth = verdict.max_stack_depth;
+  cert.rejection = std::move(verdict.rejection);
+  return cert;
+}
+
+void SetBytecodeTamperHookForTesting(PredicateTamperHook hook) {
+  g_tamper_hook = std::move(hook);
+}
+
+const PredicateTamperHook& BytecodeTamperHookForTesting() {
+  return g_tamper_hook;
+}
+
+}  // namespace aggview

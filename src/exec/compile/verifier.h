@@ -1,0 +1,152 @@
+#ifndef AGGVIEW_EXEC_COMPILE_VERIFIER_H_
+#define AGGVIEW_EXEC_COMPILE_VERIFIER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algebra/column.h"
+#include "analysis/certificate.h"
+#include "analysis/dataflow.h"
+#include "common/result.h"
+#include "exec/compile/expr_compiler.h"
+#include "exec/exec_context.h"
+#include "expr/predicate.h"
+#include "expr/scalar_expr.h"
+
+namespace aggview {
+
+/// Static verification of compiled bytecode (the backend's analogue of the
+/// optimizer's legality certificates): every ExprProgram/PredicateProgram
+/// lowered under ExecBackend::kCompiled is proved well-formed and
+/// semantics-preserving *before* it executes. Two stages:
+///
+/// Stage 1 — well-formedness. Abstract interpretation of the instruction
+/// stream with a type-state lattice per stack slot: stack-effect balance (no
+/// underflow, exactly one result at exit), jump targets in bounds and
+/// strictly forward (kJumpIfNotNull cannot form loops), operand/slot indices
+/// inside the input row layout and constant pool, *canonical* lane tags
+/// (every typed instruction's lane is exactly what the compiler's static
+/// lane selection emits for its abstract operand types — the runtime type
+/// guards would mask a retyped lane as a slowdown, so the verifier treats a
+/// non-canonical lane as corruption), and the documented NULL conventions
+/// (kJumpIfNotNull is always followed by the kPop of the compiled COALESCE
+/// shape). Rejections carry an instruction-indexed message plus the
+/// disassembly.
+///
+/// Stage 2 — translation validation. The program and its source
+/// ArithExpr/Predicate tree are abstract-interpreted side by side over the
+/// dataflow lattices of src/analysis/dataflow (Nullability + value-domain
+/// intervals per ColumnFacts), with identical transfer functions applied
+/// structurally to the tree and linearly to the bytecode; the outputs must
+/// agree exactly. Then both are co-evaluated on small witness vectors drawn
+/// from the column domains (the same base-values-plus-query-literals domain
+/// construction as the small-scope prover's src/verify skeletons) and any
+/// divergence — value, type, or NULL-ness — rejects the program.
+///
+/// Verification is a one-time lowering cost; the per-row execution path is
+/// untouched. A rejected program never runs: lowering falls back to the
+/// interpreter and records the reason (OpStats::fallback, EXPLAIN ANALYZE's
+/// `fallback=` tag, and a CompilationCertificate in the audit).
+
+/// Tuning of one verification run, derived from the BytecodeVerifyMode.
+struct BytecodeVerifyOptions {
+  /// Budget for stage-2 witness co-evaluation, per program. When the full
+  /// cross product of the per-slot candidate values fits, it is enumerated
+  /// exhaustively; otherwise a deterministic subset (per-slot sweeps plus a
+  /// prefix of the odometer) covers every candidate value of every slot.
+  int max_witness_rows = 256;
+  /// Paranoid re-proof: recompile the source tree and require the recompiled
+  /// program's listing to be byte-identical to the verified program's.
+  bool reprove = false;
+
+  static BytecodeVerifyOptions ForMode(BytecodeVerifyMode mode);
+};
+
+/// Stage-1 by-products consumed by certificates and by the predicate
+/// verifier's lane canonicalization (a nested program's abstract result type
+/// stands in for its source expression's ResultType).
+struct ExprProgramShape {
+  DataType result_type = DataType::kInt64;
+  int max_stack_depth = 0;
+};
+
+/// Stage 1 for one expression program. `shape` (optional) receives the
+/// abstract result type and the deepest stack any path reaches.
+Status VerifyWellFormed(const ExprProgram& prog, const RowLayout& layout,
+                        const ColumnCatalog& columns,
+                        ExprProgramShape* shape = nullptr);
+
+/// Stage 1 for a predicate program: every nested ExprProgram is verified,
+/// every conjunct's operand indices are bounds-checked, operand forms are
+/// unambiguous, and each conjunct's comparison lane must be the canonical
+/// lane the compiler selects for its operand types. `max_stack_depth`
+/// (optional) receives the deepest nested-program stack.
+Status VerifyWellFormed(const PredicateProgram& prog, const RowLayout& layout,
+                        const ColumnCatalog& columns,
+                        int* max_stack_depth = nullptr);
+
+/// Seeds per-slot abstract facts from the catalog's declared column
+/// nullability (value domains unknown). Index-aligned with `layout`.
+std::vector<ColumnFacts> SeedFactsFromCatalog(const RowLayout& layout,
+                                              const ColumnCatalog& columns);
+
+/// Stage 2 for one expression program against its source tree. Runs stage 1
+/// first (witness evaluation of an ill-formed program would be unsafe).
+/// `slot_facts` seeds the abstract environment (SeedFactsFromCatalog, or
+/// richer facts when the caller has them); `witness_rows` (optional)
+/// receives the number of co-evaluated witness vectors.
+Status ValidateTranslation(const ExprProgram& prog, const ScalarExpr& expr,
+                           const RowLayout& layout,
+                           const ColumnCatalog& columns,
+                           const std::vector<ColumnFacts>& slot_facts,
+                           const BytecodeVerifyOptions& opts,
+                           int* witness_rows = nullptr);
+
+/// Stage 2 for a predicate program against its source conjunction.
+Status ValidateTranslation(const PredicateProgram& prog,
+                           const std::vector<Predicate>& preds,
+                           const RowLayout& layout,
+                           const ColumnCatalog& columns,
+                           const std::vector<ColumnFacts>& slot_facts,
+                           const BytecodeVerifyOptions& opts,
+                           int* witness_rows = nullptr);
+
+/// Both stages plus certificate assembly — the entry point lowering uses.
+/// Never fails: a rejected program yields a certificate with verified ==
+/// false and the instruction-indexed rejection message (the caller then
+/// falls back to the interpreter). `mode` kOff is treated as kOn — callers
+/// gate on the mode before compiling, not here.
+///
+/// Verdicts are memoized process-wide on the full content of the
+/// (program, source conjunction, layout, mode) tuple, JVM-style: a bytecode
+/// program is proved once, and re-lowering the identical program — the plan
+/// cache's steady state — replays the stored verdict for the cost of a
+/// content hash. Any byte of difference (a tampered program, a changed
+/// literal, another layout) is a different key and verifies from scratch.
+///
+/// `want_listing` controls whether the certificate carries the rendered
+/// source and disassembly; pass false when no audit sink will record the
+/// certificate, which keeps the hot prepare path free of string formatting.
+CompilationCertificate VerifyPredicateProgram(const PredicateProgram& prog,
+                                              const std::vector<Predicate>& preds,
+                                              const RowLayout& layout,
+                                              const ColumnCatalog& columns,
+                                              BytecodeVerifyMode mode,
+                                              std::string node,
+                                              std::string kind,
+                                              bool want_listing = true);
+
+/// Test-only corruption hook: when installed, lowering passes every freshly
+/// compiled PredicateProgram through the hook *before* verification, so
+/// tests can prove the rejection -> interpreter-fallback path end to end on
+/// a real query. Not thread-safe; install/clear around single-threaded test
+/// bodies only. Pass nullptr to clear.
+using PredicateTamperHook =
+    std::function<PredicateProgram(const PredicateProgram&)>;
+void SetBytecodeTamperHookForTesting(PredicateTamperHook hook);
+const PredicateTamperHook& BytecodeTamperHookForTesting();
+
+}  // namespace aggview
+
+#endif  // AGGVIEW_EXEC_COMPILE_VERIFIER_H_

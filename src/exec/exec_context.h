@@ -12,6 +12,7 @@ class DataflowVerifier;
 class IoAccountant;
 class RuntimeStatsCollector;
 class ThreadPool;
+struct TransformationAudit;
 
 /// Default number of rows per morsel — the unit of work a parallel scan hands
 /// to a worker. Large enough that claiming one (an atomic fetch-add) is noise
@@ -63,6 +64,37 @@ bool ParseExecBackend(const char* text, ExecBackend* out);
 /// contract as EnvKnob: unset, empty, or unparseable values fall back.
 ExecBackend BackendEnvKnob(const char* name, ExecBackend fallback);
 
+/// How much static checking every compiled program gets at lowering time
+/// (exec/compile/verifier.h). Verification is a one-time lowering cost: the
+/// program that executes per row is byte-identical under every mode.
+///
+/// kOff skips verification (exists so the bench can isolate its cost; not a
+/// supported production mode). kOn — the default — runs both stages on every
+/// program lowered under ExecBackend::kCompiled: well-formedness (stack
+/// discipline, jump topology, operand bounds, canonical lanes, NULL
+/// conventions) and translation validation against the source tree (abstract
+/// co-interpretation plus witness co-evaluation); a rejected program falls
+/// back to the interpreter with a recorded reason, never a crash. kParanoid
+/// additionally re-proves each certificate by recompiling the source and
+/// requiring a byte-identical program, and widens the witness sweep.
+enum class BytecodeVerifyMode {
+  kOff,
+  kOn,
+  kParanoid,
+};
+
+/// "off" / "on" / "paranoid" — the spelling AGGVIEW_VERIFY_BYTECODE accepts.
+const char* BytecodeVerifyModeName(BytecodeVerifyMode mode);
+
+/// Parses `text` as a BytecodeVerifyMode name. Returns false (leaving `out`
+/// untouched) for anything but the exact mode names.
+bool ParseBytecodeVerifyMode(const char* text, BytecodeVerifyMode* out);
+
+/// Reads environment variable `name` as a BytecodeVerifyMode knob, with the
+/// same contract as EnvKnob: unset, empty, or unparseable values fall back.
+BytecodeVerifyMode BytecodeVerifyEnvKnob(const char* name,
+                                         BytecodeVerifyMode fallback);
+
 /// The one shared surface resolving the execution-default environment knobs
 /// (AGGVIEW_TEST_THREADS, AGGVIEW_TEST_BATCH_SIZE, AGGVIEW_TEST_BACKEND).
 /// ExecContext::Default(), SessionOptions::Default() and
@@ -73,6 +105,9 @@ struct ExecDefaults {
   int threads = 1;
   int batch_size = kDefaultBatchSize;
   ExecBackend backend = ExecBackend::kInterpret;
+  /// AGGVIEW_VERIFY_BYTECODE steers how hard lowering checks each compiled
+  /// program (off / on / paranoid; CI's paranoid lane exports it).
+  BytecodeVerifyMode bytecode_verify = BytecodeVerifyMode::kOn;
 
   static ExecDefaults FromEnv();
 };
@@ -112,6 +147,14 @@ struct ExecContext {
   /// [lo, hi] after the drain. The verifier must have been built for the
   /// same plan that is executed, and must outlive the execution.
   const DataflowVerifier* verify = nullptr;
+  /// How hard lowering statically checks each compiled program before it is
+  /// allowed to execute (kCompiled only; the interpreter runs no bytecode).
+  BytecodeVerifyMode bytecode_verify = BytecodeVerifyMode::kOn;
+  /// Optional certificate sink: when set, lowering appends one
+  /// CompilationCertificate per compiled program (verified or rejected) to
+  /// audit->compilations, clearing the previous execution's entries first.
+  /// Must outlive the lowering call.
+  TransformationAudit* audit = nullptr;
 
   ExecContext& WithBatchSize(int n) {
     batch_size = n > 0 ? n : 1;
@@ -143,6 +186,14 @@ struct ExecContext {
   }
   ExecContext& WithVerify(const DataflowVerifier* verifier) {
     verify = verifier;
+    return *this;
+  }
+  ExecContext& WithBytecodeVerify(BytecodeVerifyMode mode) {
+    bytecode_verify = mode;
+    return *this;
+  }
+  ExecContext& WithAudit(TransformationAudit* sink) {
+    audit = sink;
     return *this;
   }
 

@@ -1,9 +1,12 @@
 #include "exec/lowering.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "analysis/certificate.h"
 #include "exec/compile/expr_compiler.h"
 #include "exec/compile/fused_ops.h"
+#include "exec/compile/verifier.h"
 #include "obs/runtime_stats.h"
 
 namespace aggview {
@@ -55,14 +58,23 @@ void SplitJoinPredicates(const std::vector<Predicate>& preds,
 /// kernel, or predicate/expression work running on bytecode) or "interpret"
 /// (fell back to the Volcano interpreter). Under the interpreting backend
 /// the label stays empty and EXPLAIN output is unchanged.
+/// `fallback` is the short token EXPLAIN ANALYZE renders as `fallback=` for
+/// operators that stayed interpreted although the compiled backend was
+/// requested. It is recorded only for interpreted operators — a compiled
+/// operator's token (e.g. a fused aggregate whose fusion attempt failed
+/// earlier) would be stale.
 OperatorPtr Tag(OperatorPtr op, const PlanPtr& plan, const char* name,
-                const LowerCtx& ctx, const char* backend_label = nullptr) {
+                const LowerCtx& ctx, const char* backend_label = nullptr,
+                const char* fallback = nullptr) {
   op->set_batch_size(ctx.exec.batch_size);
   op->set_exec(ctx.runtime);
   if (ctx.stats != nullptr) {
     OpStats* stats = ctx.stats->Register(plan.get(), name);
     if (ctx.exec.backend == ExecBackend::kCompiled) {
       stats->backend = backend_label != nullptr ? backend_label : "interpret";
+      if (fallback != nullptr && backend_label == nullptr) {
+        stats->fallback = fallback;
+      }
     }
     op->set_stats(stats);
   }
@@ -74,18 +86,67 @@ bool UseCompiled(const LowerCtx& ctx) {
   return ctx.exec.backend == ExecBackend::kCompiled;
 }
 
-/// Compiles a conjunction against `layout`, or returns null when any
-/// conjunct references a column the layout lacks — the caller then keeps
-/// the interpreted evaluation path (which reports the malformed plan, or
-/// evaluates layouts the compiler does not cover, e.g. a synthetic rowid
-/// column in a scan's output).
-std::shared_ptr<const PredicateProgram> TryCompilePreds(
-    const std::vector<Predicate>& preds, const RowLayout& layout,
-    const ColumnCatalog& columns) {
+/// One predicate-compilation attempt under the compiled backend. `prog` is
+/// null when the attempt declined — either the conjunction does not compile
+/// (a conjunct references a column the layout lacks, e.g. a synthetic rowid
+/// column) or the bytecode verifier rejected the compiled program; the
+/// caller then keeps the interpreted evaluation path and tags the operator
+/// with `fallback`. The verification certificate is carried here until the
+/// caller Commit()s it, so an abandoned fusion attempt leaves no stray
+/// certificates in the audit.
+struct PredCompile {
+  std::shared_ptr<const PredicateProgram> prog;
+  const char* fallback = nullptr;
+  bool has_cert = false;
+  CompilationCertificate cert;
+};
+
+/// Compiles `preds` against `layout` and — unless ctx.exec.bytecode_verify
+/// is kOff — runs the bytecode verifier on the result before it is allowed
+/// to execute. A rejected program is never returned: the certificate records
+/// the instruction-indexed rejection and the caller falls back to the
+/// interpreter (never a crash). The test-only tamper hook corrupts the
+/// program between compilation and verification, so tests can prove the
+/// rejection path end to end.
+PredCompile CompileAndVerify(const std::vector<Predicate>& preds,
+                             const RowLayout& layout, const LowerCtx& ctx,
+                             const char* node, const char* kind) {
+  PredCompile out;
   Result<PredicateProgram> compiled =
-      PredicateProgram::Compile(preds, layout, columns);
-  if (!compiled.ok()) return nullptr;
-  return std::make_shared<const PredicateProgram>(std::move(*compiled));
+      PredicateProgram::Compile(preds, layout, ctx.query.columns());
+  if (!compiled.ok()) {
+    out.fallback = "predicate-shape";
+    return out;
+  }
+  PredicateProgram prog = std::move(*compiled);
+  if (BytecodeTamperHookForTesting()) {
+    prog = BytecodeTamperHookForTesting()(prog);
+  }
+  if (ctx.exec.bytecode_verify != BytecodeVerifyMode::kOff) {
+    // Listings are rendered only when an audit sink will record them; the
+    // verdict itself never depends on them.
+    out.cert = VerifyPredicateProgram(prog, preds, layout, ctx.query.columns(),
+                                      ctx.exec.bytecode_verify, node, kind,
+                                      /*want_listing=*/ctx.exec.audit != nullptr);
+    out.has_cert = true;
+    if (!out.cert.verified) {
+      out.fallback = "verifier-rejected";
+      return out;
+    }
+  }
+  out.prog = std::make_shared<const PredicateProgram>(std::move(prog));
+  return out;
+}
+
+/// Files the attempt's certificate into the audit sink (when both exist).
+/// Called exactly once per program that reaches a final lowering decision;
+/// fused kernels drop the certificates of an abandoned attempt instead (the
+/// per-operator fallback path re-attempts and re-files them).
+void Commit(const LowerCtx& ctx, PredCompile* pc) {
+  if (pc->has_cert && ctx.exec.audit != nullptr) {
+    ctx.exec.audit->compilations.push_back(std::move(pc->cert));
+  }
+  pc->has_cert = false;
 }
 
 /// Registers an interior stats block for a plan node a fused kernel covers
@@ -103,9 +164,14 @@ OpStats* RegisterInterior(const PlanPtr& node, const char* name,
 /// kScan or kFilter(kScan) shape. Returns null when the shape, the layouts
 /// or the predicates are outside the kernel's coverage (the caller falls
 /// back to HashAggregateOp) — including parallel execution, which uses
-/// thread-local aggregation over a fused scan instead.
-OperatorPtr TryLowerFusedAggregate(const PlanPtr& plan, const LowerCtx& ctx) {
-  if (ctx.runtime->parallel()) return nullptr;
+/// thread-local aggregation over a fused scan instead. `why` receives the
+/// fallback token on a null return.
+OperatorPtr TryLowerFusedAggregate(const PlanPtr& plan, const LowerCtx& ctx,
+                                   const char** why) {
+  if (ctx.runtime->parallel()) {
+    *why = "parallel-aggregate";
+    return nullptr;
+  }
   const PlanPtr& child = plan->left;
   const PlanPtr* filter_plan = nullptr;
   const PlanPtr* scan_plan = nullptr;
@@ -116,11 +182,15 @@ OperatorPtr TryLowerFusedAggregate(const PlanPtr& plan, const LowerCtx& ctx) {
     filter_plan = &child;
     scan_plan = &child->left;
   } else {
+    *why = "plan-shape";
     return nullptr;
   }
   const RangeVar& rv = ctx.query.range_var((*scan_plan)->rel_id);
   const TableDef& def = ctx.query.catalog().table(rv.table);
-  if (def.data == nullptr) return nullptr;  // interpreted path reports it
+  if (def.data == nullptr) {
+    *why = "no-table-data";  // interpreted path reports it
+    return nullptr;
+  }
 
   const ColumnCatalog& columns = ctx.query.columns();
   CompiledAggregateOp::Spec spec;
@@ -128,30 +198,48 @@ OperatorPtr TryLowerFusedAggregate(const PlanPtr& plan, const LowerCtx& ctx) {
   spec.table_layout = RowLayout(rv.columns);
   for (ColId g : plan->group_by.grouping) {
     int idx = spec.table_layout.IndexOf(g);
-    if (idx < 0) return nullptr;  // grouping on a derived column (e.g. rowid)
+    if (idx < 0) {
+      *why = "derived-column";  // grouping on e.g. a synthetic rowid
+      return nullptr;
+    }
     spec.group_idx.push_back(idx);
   }
   for (const AggregateCall& a : plan->group_by.aggregates) {
     std::vector<int> idxs;
     for (ColId arg : a.args) {
       int idx = spec.table_layout.IndexOf(arg);
-      if (idx < 0) return nullptr;
+      if (idx < 0) {
+        *why = "derived-column";
+        return nullptr;
+      }
       idxs.push_back(idx);
     }
     spec.arg_idx.push_back(std::move(idxs));
   }
-  spec.scan_filter =
-      TryCompilePreds((*scan_plan)->scan_filter, spec.table_layout, columns);
-  spec.filter = TryCompilePreds(
+  PredCompile scan_pc =
+      CompileAndVerify((*scan_plan)->scan_filter, spec.table_layout, ctx,
+                       "CompiledAggregate", "scan-filter");
+  PredCompile filter_pc = CompileAndVerify(
       filter_plan != nullptr ? (*filter_plan)->filter_preds
                              : std::vector<Predicate>{},
-      spec.table_layout, columns);
+      spec.table_layout, ctx, "CompiledAggregate", "filter");
   RowLayout out_layout(plan->group_by.OutputColumns());
-  spec.having = TryCompilePreds(plan->group_by.having, out_layout, columns);
-  if (spec.scan_filter == nullptr || spec.filter == nullptr ||
-      spec.having == nullptr) {
+  PredCompile having_pc = CompileAndVerify(plan->group_by.having, out_layout,
+                                           ctx, "CompiledAggregate", "having");
+  if (scan_pc.prog == nullptr || filter_pc.prog == nullptr ||
+      having_pc.prog == nullptr) {
+    *why = scan_pc.prog == nullptr
+               ? scan_pc.fallback
+               : (filter_pc.prog == nullptr ? filter_pc.fallback
+                                            : having_pc.fallback);
     return nullptr;
   }
+  Commit(ctx, &scan_pc);
+  Commit(ctx, &filter_pc);
+  Commit(ctx, &having_pc);
+  spec.scan_filter = std::move(scan_pc.prog);
+  spec.filter = std::move(filter_pc.prog);
+  spec.having = std::move(having_pc.prog);
   spec.group_by = plan->group_by;
   spec.input_row_width = child->output.RowWidth(columns);
   spec.charge_scan = true;
@@ -179,22 +267,31 @@ Result<OperatorPtr> LowerScan(const PlanPtr& plan, const LowerCtx& ctx,
     return Status::ExecutionError("table '" + def.name + "' has no data loaded");
   }
   RowLayout table_layout(rv.columns);
+  const char* fallback = nullptr;
   if (UseCompiled(ctx)) {
-    auto scan_prog =
-        TryCompilePreds(plan->scan_filter, table_layout, ctx.query.columns());
-    if (scan_prog != nullptr) {
-      auto no_filter = TryCompilePreds(std::vector<Predicate>{}, table_layout,
-                                       ctx.query.columns());
-      OperatorPtr op = std::make_unique<FusedScanFilterOp>(
-          def.data.get(), std::move(table_layout), std::move(scan_prog),
-          std::move(no_filter), plan->output, ctx.io, charge_scan, rv.rowid);
-      return Tag(std::move(op), plan, "TableScan", ctx, "compiled");
+    PredCompile scan_pc = CompileAndVerify(plan->scan_filter, table_layout,
+                                           ctx, "TableScan", "scan-filter");
+    Commit(ctx, &scan_pc);
+    if (scan_pc.prog != nullptr) {
+      PredCompile no_filter = CompileAndVerify(
+          std::vector<Predicate>{}, table_layout, ctx, "TableScan", "filter");
+      Commit(ctx, &no_filter);
+      if (no_filter.prog != nullptr) {
+        OperatorPtr op = std::make_unique<FusedScanFilterOp>(
+            def.data.get(), std::move(table_layout), std::move(scan_pc.prog),
+            std::move(no_filter.prog), plan->output, ctx.io, charge_scan,
+            rv.rowid);
+        return Tag(std::move(op), plan, "TableScan", ctx, "compiled");
+      }
+      fallback = no_filter.fallback;
+    } else {
+      fallback = scan_pc.fallback;
     }
   }
   OperatorPtr op = std::make_unique<TableScanOp>(
       def.data.get(), std::move(table_layout), plan->scan_filter, plan->output,
       ctx.io, charge_scan, rv.rowid);
-  return Tag(std::move(op), plan, "TableScan", ctx);
+  return Tag(std::move(op), plan, "TableScan", ctx, nullptr, fallback);
 }
 
 /// Attempts the scan->filter->project fused kernel for a kFilter-over-kScan
@@ -206,15 +303,17 @@ OperatorPtr TryLowerFusedFilter(const PlanPtr& plan, const LowerCtx& ctx) {
   const RangeVar& rv = ctx.query.range_var(scan->rel_id);
   const TableDef& def = ctx.query.catalog().table(rv.table);
   if (def.data == nullptr) return nullptr;  // interpreted path reports it
-  const ColumnCatalog& columns = ctx.query.columns();
   RowLayout table_layout(rv.columns);
-  auto scan_prog = TryCompilePreds(scan->scan_filter, table_layout, columns);
-  auto filter_prog =
-      TryCompilePreds(plan->filter_preds, table_layout, columns);
-  if (scan_prog == nullptr || filter_prog == nullptr) return nullptr;
+  PredCompile scan_pc = CompileAndVerify(scan->scan_filter, table_layout, ctx,
+                                         "FusedScanFilter", "scan-filter");
+  PredCompile filter_pc = CompileAndVerify(plan->filter_preds, table_layout,
+                                           ctx, "FusedScanFilter", "filter");
+  if (scan_pc.prog == nullptr || filter_pc.prog == nullptr) return nullptr;
+  Commit(ctx, &scan_pc);
+  Commit(ctx, &filter_pc);
   auto fused = std::make_unique<FusedScanFilterOp>(
-      def.data.get(), std::move(table_layout), std::move(scan_prog),
-      std::move(filter_prog), plan->output, ctx.io, /*charge_io=*/true,
+      def.data.get(), std::move(table_layout), std::move(scan_pc.prog),
+      std::move(filter_pc.prog), plan->output, ctx.io, /*charge_io=*/true,
       rv.rowid);
   FusedScanFilterOp* raw = fused.get();
   OperatorPtr op =
@@ -240,6 +339,7 @@ Result<OperatorPtr> LowerJoin(const PlanPtr& plan, const LowerCtx& ctx) {
   OperatorPtr join;
   const char* op_name = nullptr;
   const char* join_label = nullptr;
+  const char* join_fallback = nullptr;
   JoinAlgo algo = plan->algo;
   if (plan->left_outer && algo == JoinAlgo::kSortMerge) {
     algo = JoinAlgo::kHash;  // merge join has no outer mode; hash does
@@ -263,6 +363,7 @@ Result<OperatorPtr> LowerJoin(const PlanPtr& plan, const LowerCtx& ctx) {
           &ctx.query.columns(), ctx.io, pages_per_pass, charge_materialize,
           plan->left_outer);
       op_name = "NestedLoopJoin";
+      join_fallback = plan->left_outer ? "outer-join" : "nested-loop-join";
       break;
     }
     case JoinAlgo::kHash:
@@ -284,12 +385,19 @@ Result<OperatorPtr> LowerJoin(const PlanPtr& plan, const LowerCtx& ctx) {
         if (!residual_copy.empty()) {
           // Residual conjuncts see the concatenated probe row; compile them
           // against the join's own layout.
-          auto prog = TryCompilePreds(residual_copy, hj->layout(),
-                                      ctx.query.columns());
-          if (prog != nullptr) {
-            hj->set_compiled_residual(std::move(prog));
+          PredCompile pc = CompileAndVerify(residual_copy, hj->layout(), ctx,
+                                            "HashJoin", "join-residual");
+          Commit(ctx, &pc);
+          if (pc.prog != nullptr) {
+            hj->set_compiled_residual(std::move(pc.prog));
             join_label = "compiled";
+          } else {
+            join_fallback = pc.fallback;
           }
+        } else if (UseCompiled(ctx)) {
+          // Key matching runs in the native probe loop; there is no
+          // bytecode for this operator at all.
+          join_fallback = "join-core-interpreted";
         }
         join = std::move(hj);
         op_name = "HashJoin";
@@ -298,11 +406,12 @@ Result<OperatorPtr> LowerJoin(const PlanPtr& plan, const LowerCtx& ctx) {
             std::move(left), std::move(right), std::move(keys),
             std::move(residual), &ctx.query.columns(), ctx.io);
         op_name = "SortMergeJoin";
+        join_fallback = "sort-merge-join";
       }
       break;
     }
   }
-  join = Tag(std::move(join), plan, op_name, ctx, join_label);
+  join = Tag(std::move(join), plan, op_name, ctx, join_label, join_fallback);
   // Project the concatenated row down to the plan's output layout.
   if (join->layout().columns() != plan->output.columns()) {
     join = Tag(std::make_unique<ProjectOp>(std::move(join), plan->output),
@@ -327,15 +436,20 @@ Result<OperatorPtr> Lower(const PlanPtr& plan, const LowerCtx& ctx,
         auto filter =
             std::make_unique<FilterOp>(std::move(op), plan->filter_preds);
         const char* label = nullptr;
+        const char* fallback = nullptr;
         if (UseCompiled(ctx)) {
-          auto prog = TryCompilePreds(plan->filter_preds, filter->layout(),
-                                      ctx.query.columns());
-          if (prog != nullptr) {
-            filter->set_compiled_preds(std::move(prog));
+          PredCompile pc = CompileAndVerify(plan->filter_preds,
+                                            filter->layout(), ctx, "Filter",
+                                            "filter");
+          Commit(ctx, &pc);
+          if (pc.prog != nullptr) {
+            filter->set_compiled_preds(std::move(pc.prog));
             label = "compiled";
+          } else {
+            fallback = pc.fallback;
           }
         }
-        op = Tag(std::move(filter), plan, "Filter", ctx, label);
+        op = Tag(std::move(filter), plan, "Filter", ctx, label, fallback);
       }
       if (op->layout().columns() != plan->output.columns()) {
         op = Tag(std::make_unique<ProjectOp>(std::move(op), plan->output),
@@ -347,22 +461,28 @@ Result<OperatorPtr> Lower(const PlanPtr& plan, const LowerCtx& ctx,
       return LowerJoin(plan, ctx);
     case PlanNode::Kind::kGroupBy: {
       OperatorPtr op;
-      if (UseCompiled(ctx)) op = TryLowerFusedAggregate(plan, ctx);
+      const char* fused_why = nullptr;
+      if (UseCompiled(ctx)) op = TryLowerFusedAggregate(plan, ctx, &fused_why);
       if (op == nullptr) {
         AGGVIEW_ASSIGN_OR_RETURN(OperatorPtr child,
                                  Lower(plan->left, ctx, true));
         auto agg = std::make_unique<HashAggregateOp>(
             std::move(child), plan->group_by, &ctx.query.columns(), ctx.io);
         const char* label = nullptr;
+        const char* fallback = fused_why;
         if (UseCompiled(ctx) && !plan->group_by.having.empty()) {
-          auto prog = TryCompilePreds(plan->group_by.having, agg->layout(),
-                                      ctx.query.columns());
-          if (prog != nullptr) {
-            agg->set_compiled_having(std::move(prog));
+          PredCompile pc = CompileAndVerify(plan->group_by.having,
+                                            agg->layout(), ctx,
+                                            "HashAggregate", "having");
+          Commit(ctx, &pc);
+          if (pc.prog != nullptr) {
+            agg->set_compiled_having(std::move(pc.prog));
             label = "compiled";
+          } else {
+            fallback = pc.fallback;
           }
         }
-        op = Tag(std::move(agg), plan, "HashAggregate", ctx, label);
+        op = Tag(std::move(agg), plan, "HashAggregate", ctx, label, fallback);
       }
       if (op->layout().columns() != plan->output.columns()) {
         op = Tag(std::make_unique<ProjectOp>(std::move(op), plan->output),
@@ -377,7 +497,7 @@ Result<OperatorPtr> Lower(const PlanPtr& plan, const LowerCtx& ctx,
                                                     plan->sort_keys,
                                                     &ctx.query.columns(),
                                                     ctx.io),
-                           plan, "Sort", ctx);
+                           plan, "Sort", ctx, nullptr, "sort");
       return op;
     }
   }
@@ -388,6 +508,9 @@ Result<OperatorPtr> Lower(const PlanPtr& plan, const LowerCtx& ctx,
 
 Result<OperatorPtr> LowerPlan(const PlanPtr& plan, const Query& query,
                               const ExecContext& ctx) {
+  // Compilation certificates describe one lowering; a re-execution of the
+  // same prepared plan refills them rather than accumulating stale entries.
+  if (ctx.audit != nullptr) ctx.audit->compilations.clear();
   LowerCtx lctx{query, ctx.io, ctx.stats, ctx,
                 std::make_shared<ExecRuntime>(ctx.threads, ctx.morsel_rows,
                                               ctx.pool)};

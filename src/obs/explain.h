@@ -49,6 +49,18 @@ QErrorSummary SummarizeQError(const std::vector<NodeQError>& nodes);
 std::string ExplainAnalyze(const PlanPtr& plan, const Query& query,
                            const RuntimeStatsCollector& stats);
 
+struct TransformationAudit;
+
+/// Verbose EXPLAIN ANALYZE: the annotated plan tree plus one section per
+/// compiled bytecode program of the execution's lowering (from
+/// audit->compilations): which operator it belongs to, the source
+/// predicate, the verification verdict with witness-row count, and the full
+/// disassembly. `audit` may be null or certificate-free — the output then
+/// equals the plain overload's.
+std::string ExplainAnalyze(const PlanPtr& plan, const Query& query,
+                           const RuntimeStatsCollector& stats,
+                           const TransformationAudit* audit);
+
 }  // namespace aggview
 
 #endif  // AGGVIEW_OBS_EXPLAIN_H_

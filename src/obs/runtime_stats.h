@@ -32,6 +32,15 @@ struct OpStats {
   /// interpreter-only EXPLAIN output is unchanged).
   std::string backend;
 
+  /// Why this operator is not "compiled" although the compiled backend was
+  /// requested: a short space-free token ("sort", "outer-join",
+  /// "predicate-shape", "verifier-rejected", ...) rendered as `fallback=` by
+  /// EXPLAIN ANALYZE. Empty for compiled operators and under the
+  /// interpreting backend. The detailed diagnostic (e.g. the bytecode
+  /// verifier's instruction-indexed rejection) lives in the audit's
+  /// CompilationCertificate, not here.
+  std::string fallback;
+
   /// Rows returned from Next (the operator's actual output cardinality).
   int64_t rows_produced = 0;
   /// Non-empty batches returned from Next. An exact-multiple result

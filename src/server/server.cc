@@ -64,6 +64,7 @@ ServerOptions ServerOptions::Default() {
   options.threads = env.threads;
   options.batch_size = env.batch_size;
   options.backend = env.backend;
+  options.bytecode_verify = env.bytecode_verify;
   return options;
 }
 
@@ -127,6 +128,7 @@ ExecContext Server::MakeContext() {
   ctx.batch_size = options_.batch_size;
   ctx.threads = options_.threads;
   ctx.backend = options_.backend;
+  ctx.bytecode_verify = options_.bytecode_verify;
   ctx.pool = pool_.get();
   return ctx;
 }

@@ -34,6 +34,10 @@ struct ServerOptions {
   /// Execution backend for every query the server runs (interpreter or
   /// compiled). Part of the plan-cache configuration fingerprint.
   ExecBackend backend = ExecBackend::kInterpret;
+  /// How hard lowering statically checks each compiled bytecode program
+  /// before it may execute (exec/compile/verifier.h); only the compiled
+  /// backend runs bytecode.
+  BytecodeVerifyMode bytecode_verify = BytecodeVerifyMode::kOn;
   /// Optimize with the traditional two-phase optimizer instead of the
   /// paper's aggregate-view optimizer (for comparisons).
   bool use_traditional = false;

@@ -17,6 +17,7 @@ SessionOptions SessionOptions::Default() {
   options.threads = env.threads;
   options.batch_size = env.batch_size;
   options.backend = env.backend;
+  options.bytecode_verify = env.bytecode_verify;
   return options;
 }
 
@@ -39,6 +40,7 @@ ExecContext Session::MakeContext() {
   ctx.batch_size = options_.batch_size;
   ctx.threads = options_.threads;
   ctx.backend = options_.backend;
+  ctx.bytecode_verify = options_.bytecode_verify;
   if (options_.threads > 1) ctx.pool = pool();
   return ctx;
 }
@@ -96,7 +98,8 @@ Result<QueryResult> PreparedQuery::Execute() {
   AGGVIEW_ASSIGN_OR_RETURN(
       QueryResult result,
       ExecutePlan(optimized_.plan, optimized_.query,
-                  session->MakeContext().WithIo(&io)));
+                  session->MakeContext().WithIo(&io).WithAudit(
+                      &optimized_.audit)));
   last_io_pages_ = io.total();
   return result;
 }
@@ -108,16 +111,19 @@ std::string PreparedQuery::Explain() const {
   return out;
 }
 
-Result<std::string> PreparedQuery::ExplainAnalyze() {
+Result<std::string> PreparedQuery::ExplainAnalyze(bool verbose) {
   AGGVIEW_ASSIGN_OR_RETURN(Session * session, this->session());
   IoAccountant io;
   RuntimeStatsCollector stats;
-  AGGVIEW_RETURN_NOT_OK(
-      ExecutePlan(optimized_.plan, optimized_.query,
-                  session->MakeContext().WithIo(&io).WithStats(&stats))
-          .status());
+  AGGVIEW_RETURN_NOT_OK(ExecutePlan(optimized_.plan, optimized_.query,
+                                    session->MakeContext()
+                                        .WithIo(&io)
+                                        .WithStats(&stats)
+                                        .WithAudit(&optimized_.audit))
+                            .status());
   last_io_pages_ = io.total();
-  return aggview::ExplainAnalyze(optimized_.plan, optimized_.query, stats);
+  return aggview::ExplainAnalyze(optimized_.plan, optimized_.query, stats,
+                                 verbose ? &optimized_.audit : nullptr);
 }
 
 }  // namespace aggview

@@ -33,13 +33,18 @@ struct SessionOptions {
   /// (view/rewriter.h), before either optimizer runs. Off disables the
   /// rewriter entirely; view maintenance and REFRESH are unaffected.
   bool use_materialized_views = true;
+  /// How hard lowering statically checks each compiled bytecode program
+  /// before it may execute (exec/compile/verifier.h); only the compiled
+  /// backend runs bytecode. AGGVIEW_VERIFY_BYTECODE overrides the default.
+  BytecodeVerifyMode bytecode_verify = BytecodeVerifyMode::kOn;
   /// Options of the aggregate-view optimizer (ignored by use_traditional).
   OptimizerOptions optimizer;
 
   /// Serial, default batch size, interpreting backend — unless the
   /// environment overrides them (AGGVIEW_TEST_THREADS /
-  /// AGGVIEW_TEST_BATCH_SIZE / AGGVIEW_TEST_BACKEND via
-  /// ExecDefaults::FromEnv(), the same knobs ExecContext::Default() reads).
+  /// AGGVIEW_TEST_BATCH_SIZE / AGGVIEW_TEST_BACKEND /
+  /// AGGVIEW_VERIFY_BYTECODE via ExecDefaults::FromEnv(), the same knobs
+  /// ExecContext::Default() reads).
   static SessionOptions Default();
 };
 
@@ -64,8 +69,17 @@ class PreparedQuery {
   std::string Explain() const;
 
   /// Runs the plan instrumented and renders the plan tree annotated with
-  /// actual cardinalities, timings, IO and worker counts.
-  Result<std::string> ExplainAnalyze();
+  /// actual cardinalities, timings, IO and worker counts. Under the compiled
+  /// backend, interpreted operators additionally show `fallback=<reason>`.
+  /// `verbose` appends one section per compiled bytecode program: source
+  /// predicate, verification verdict, and the full disassembly.
+  Result<std::string> ExplainAnalyze(bool verbose = false);
+
+  /// Certificates of the optimizer's transformations, the view rewriter's
+  /// matches, and (after an Execute / ExplainAnalyze under the compiled
+  /// backend) one CompilationCertificate per compiled bytecode program of
+  /// the most recent lowering.
+  const TransformationAudit& audit() const { return optimized_.audit; }
 
   const PlanPtr& plan() const { return optimized_.plan; }
   const Query& query() const { return optimized_.query; }

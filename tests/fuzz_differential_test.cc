@@ -50,6 +50,10 @@ TEST_P(DifferentialFuzz, AllOptimizersAgreeUnderParanoidAnalysis) {
             options.num_queries *
                 static_cast<int>(options.cross_backend_thread_counts.size() *
                                  options.cross_backend_batch_sizes.size()));
+  // Every bytecode program those compiled reruns lowered carried a passing
+  // verification certificate (a rejected certificate fails the run inside
+  // the fuzzer): the corpus executes no unverified bytecode.
+  EXPECT_GT(report->bytecode_checks, 0);
   // Paranoid mode actually fired: the analyzer ran at DP insertions and
   // transformation certificates were re-proved.
   EXPECT_GT(report->plans_checked, 0);
